@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: what if the DeepSpeed the paper measured (0.7.x, which
+ * reduces gradients after the backward pass) had overlapped its
+ * ZeRO-1/2 gradient reduction with the backward pass the way newer
+ * releases do? Quantifies how much of the dual-node ZeRO-vs-DDP gap
+ * is schedule, not hardware.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace dstrain;
+
+namespace {
+
+double
+runTput(int nodes, int stage, bool overlap)
+{
+    ExperimentConfig cfg =
+        dstrain::paperExperiment(nodes, StrategyConfig::zero(stage));
+    cfg.tuning.overlap_grad_reduction = overlap;
+    dstrain::bench::applyRunSettings(cfg, 3);
+    Experiment exp(std::move(cfg));
+    return exp.run().tflops;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation — ZeRO-1/2 gradient-reduction overlap "
+                  "(paper-era vs. modern schedule)");
+
+    TextTable table({"Configuration", "Post-backward (paper era)",
+                     "Overlapped (modern)", "Gain"});
+    for (int nodes : {1, 2}) {
+        for (int stage : {1, 2}) {
+            const double post = runTput(nodes, stage, false);
+            const double over = runTput(nodes, stage, true);
+            table.addRow({
+                csprintf("ZeRO-%d, %d node(s)", stage, nodes),
+                csprintf("%.1f TFLOP/s", post),
+                csprintf("%.1f TFLOP/s", over),
+                csprintf("%+.1f%%", 100.0 * (over / post - 1.0)),
+            });
+        }
+    }
+    std::cout << table << "\n"
+              << "Overlap matters most where the reduction is "
+                 "slowest — the dual-node runs over\nRoCE — which is "
+                 "exactly the regime where the paper found DeepSpeed "
+                 "trailing DDP.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: canned
+ * run settings, paper reference values for side-by-side printing,
+ * and small formatting utilities.
+ */
+
+#ifndef DSTRAIN_BENCH_BENCH_COMMON_HH
+#define DSTRAIN_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/presets.hh"
+#include "core/report.hh"
+#include "util/logging.hh"
+
+namespace dstrain::bench {
+
+/** Standard iteration settings for the reproduction runs. */
+inline void
+applyRunSettings(ExperimentConfig &cfg, int iterations = 4,
+                 int warmup = 1)
+{
+    cfg.iterations = iterations;
+    cfg.warmup = warmup;
+}
+
+/** Run one paper configuration with the standard settings. */
+inline ExperimentReport
+runPaperCase(int nodes, const StrategyConfig &strategy,
+             double billions = 0.0, int iterations = 4)
+{
+    ExperimentConfig cfg = paperExperiment(nodes, strategy, billions);
+    applyRunSettings(cfg, iterations);
+    Experiment exp(std::move(cfg));
+    return exp.run();
+}
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n============================================"
+                 "====================\n"
+              << title << "\n"
+              << "============================================"
+                 "====================\n";
+}
+
+/** "measured (paper X)" cell helper. */
+inline std::string
+vsPaper(double measured, double paper, const char *fmt = "%.1f")
+{
+    return csprintf(fmt, measured) + " (paper " +
+           csprintf(fmt, paper) + ")";
+}
+
+} // namespace dstrain::bench
+
+#endif // DSTRAIN_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Extension: energy per iteration and tokens per joule across the
+ * paper's configurations — quantifying the environmental-impact
+ * motivation of the paper's introduction (which cites the concern
+ * but reports no energy numbers). Uses the utilization-based power
+ * model of core/energy.hh.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/energy.hh"
+
+using namespace dstrain;
+
+namespace {
+
+void
+runRow(TextTable &table, std::vector<std::string> &labels,
+       std::vector<double> &tokens_per_joule, int nodes,
+       const StrategyConfig &s, double billions = 0.0)
+{
+    ExperimentConfig cfg = paperExperiment(nodes, s, billions);
+    bench::applyRunSettings(cfg, 3);
+    Experiment exp(std::move(cfg));
+    const ExperimentReport r = exp.run();
+    const EnergyReport e = estimateEnergy(r, exp.config());
+    table.addRow({
+        csprintf("%s, %d node(s)", s.displayName().c_str(), nodes),
+        csprintf("%.1f", r.model.billions),
+        csprintf("%.1f", r.tflops),
+        csprintf("%.1f", e.joules_per_iteration / 1e3),
+        csprintf("%.2f", e.avg_power_watts / 1e3),
+        csprintf("%.2f", e.tokens_per_joule),
+        csprintf("%.0f%%", 100.0 * e.gpu_busy_fraction),
+    });
+    labels.push_back(
+        csprintf("%s %dn", s.displayName().c_str(), nodes));
+    tokens_per_joule.push_back(e.tokens_per_joule);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Extension — energy per iteration and tokens/J");
+
+    TextTable table({"Configuration", "Model (B)", "TFLOP/s",
+                     "kJ/iter", "Avg power (kW)", "Tokens/J",
+                     "GPU busy"});
+    std::vector<std::string> labels;
+    std::vector<double> tpj;
+
+    for (const StrategyConfig &s : comparisonLineup(1))
+        runRow(table, labels, tpj, 1, s);
+    runRow(table, labels, tpj, 2, paperMegatron(2));
+    runRow(table, labels, tpj, 2, StrategyConfig::zero(3));
+    runRow(table, labels, tpj, 1, StrategyConfig::zeroOffloadCpu(2),
+           11.4);
+    runRow(table, labels, tpj, 1, StrategyConfig::zeroInfinityNvme(false),
+           11.4);
+
+    std::cout << table << "\n"
+              << barChart(labels, tpj, "tokens/J") << "\n";
+    std::cout
+        << "Offload trades energy for capacity: idle GPUs still burn "
+           "their floor power\nwhile the CPU or the drives work — the "
+           "flip side of the paper's consolidation\nstory that only "
+           "an energy model exposes.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Paper Fig. 1: the growth of large-language-model size versus the
+ * growth of single-GPU memory capacity. The paper plots public data;
+ * this bench regenerates the same series (sizes in billions of
+ * parameters, GPU memory in GB) and the headline ratio the paper
+ * quotes: ~1000x model growth vs ~5x memory growth over 2018-2020.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace dstrain;
+
+namespace {
+
+struct ModelPoint {
+    const char *name;
+    int year;
+    double billions;
+};
+
+struct GpuPoint {
+    const char *name;
+    int year;
+    double memory_gb;
+};
+
+const std::vector<ModelPoint> kModels = {
+    {"ELMo", 2018, 0.094},        {"BERT-Large", 2018, 0.34},
+    {"GPT-2", 2019, 1.5},         {"Megatron-LM", 2019, 8.3},
+    {"T5-11B", 2019, 11.0},       {"Turing-NLG", 2020, 17.2},
+    {"GPT-3", 2020, 175.0},       {"MT-NLG 530B", 2022, 530.0},
+    {"GPT-4 (est.)", 2023, 1760.0},
+};
+
+const std::vector<GpuPoint> kGpus = {
+    {"Tesla V100 16GB", 2017, 16.0}, {"Tesla V100 32GB", 2018, 32.0},
+    {"A100 40GB", 2020, 40.0},       {"A100 80GB", 2020, 80.0},
+    {"H100 80GB", 2023, 80.0},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 1 — LLM size vs. single-GPU memory trend");
+
+    TextTable models({"Model", "Year", "Params (B)",
+                      "Min GPUs to hold states (40GB A100)"});
+    for (const ModelPoint &m : kModels) {
+        // 16 bytes/param of mixed-precision model states.
+        const double state_gb = 16.0 * m.billions;
+        models.addRow({m.name, csprintf("%d", m.year),
+                       csprintf("%.3f", m.billions),
+                       csprintf("%.0f", std::ceil(state_gb / 40.0))});
+    }
+    std::cout << models << "\n";
+
+    TextTable gpus({"GPU", "Year", "Memory (GB)"});
+    for (const GpuPoint &g : kGpus)
+        gpus.addRow({g.name, csprintf("%d", g.year),
+                     csprintf("%.0f", g.memory_gb)});
+    std::cout << gpus << "\n";
+
+    const double model_growth = 175.0 / 0.094;  // ELMo'18 -> GPT-3'20
+    const double mem_growth = 80.0 / 16.0;      // V100'17 -> A100'20
+    std::cout << csprintf(
+        "Model growth 2018-2020: %.0fx (paper: ~1000x). GPU memory "
+        "growth: %.0fx (paper: 5x).\n",
+        model_growth, mem_growth);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Paper Fig. 3: average RoCE latency for SEND / RDMA READ /
+ * RDMA WRITE over message sizes from 2 B to 8 MiB, same-socket vs
+ * cross-socket. The paper's envelope: same-socket under 6 us and
+ * cross-socket under 40 us (~7x) for messages below 64 kB.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "net/verbs.hh"
+
+using namespace dstrain;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 3 — RoCE latency vs. message size (SEND / RDMA READ / "
+        "RDMA WRITE)");
+
+    const NodeSpec spec;  // XE8545 defaults
+    const std::vector<VerbsOp> ops = {VerbsOp::Send, VerbsOp::RdmaRead,
+                                      VerbsOp::RdmaWrite};
+
+    TextTable table({"Message size", "SEND same (us)", "SEND cross",
+                     "READ same", "READ cross", "WRITE same",
+                     "WRITE cross"});
+    bool envelope_ok = true;
+    for (Bytes size = 2.0; size <= 8.0 * units::MiB; size *= 4.0) {
+        std::vector<std::string> row = {formatBytes(size)};
+        for (VerbsOp op : ops) {
+            const SimTime same = verbsLatency(
+                op, size, SocketPlacement::SameSocket, spec);
+            const SimTime cross = verbsLatency(
+                op, size, SocketPlacement::CrossSocket, spec);
+            row.push_back(csprintf("%.2f", same / units::us));
+            row.push_back(csprintf("%.2f", cross / units::us));
+            if (size < 64.0 * units::KiB) {
+                envelope_ok = envelope_ok && same < 6.0 * units::us &&
+                              cross < 40.0 * units::us;
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    std::cout << table << "\n";
+    std::cout << "Paper envelope (<64 kB: same-socket <6 us, "
+                 "cross-socket <40 us): "
+              << (envelope_ok ? "REPRODUCED" : "VIOLATED") << "\n";
+    return 0;
+}

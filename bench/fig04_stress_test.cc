@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Fig. 4: the CPU-RoCE and GPU-RoCE bandwidth stress tests
+ * (four bidirectional perftest instances) with the average and peak
+ * bandwidth attained on every interconnect along the path, plus the
+ * achieved fraction of the theoretical RoCE rate against the paper's
+ * measurements (93% / 47% / 52% / 42%).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "net/stress_test.hh"
+
+using namespace dstrain;
+
+int
+main()
+{
+    bench::banner("Fig. 4 — inter-node bandwidth stress test");
+
+    struct Case {
+        const char *name;
+        bool gpu_direct;
+        bool cross_socket;
+        double paper_fraction;
+    };
+    const Case cases[] = {
+        {"CPU-RoCE same-socket", false, false, 0.93},
+        {"CPU-RoCE cross-socket", false, true, 0.47},
+        {"GPU-RoCE same-socket", true, false, 0.52},
+        {"GPU-RoCE cross-socket", true, true, 0.42},
+    };
+
+    TextTable table({"Scenario", "RoCE avg (GBps)", "RoCE peak",
+                     "% of theoretical (paper)", "DRAM avg",
+                     "xGMI avg", "PCIe-GPU avg", "PCIe-NIC avg"});
+    for (const Case &c : cases) {
+        StressConfig cfg;
+        cfg.gpu_direct = c.gpu_direct;
+        cfg.cross_socket = c.cross_socket;
+        const StressResult r = runRoceStressTest(cfg);
+        table.addRow({
+            c.name,
+            csprintf("%.1f", r.roce.avg / units::GBps),
+            csprintf("%.1f", r.roce.peak / units::GBps),
+            csprintf("%.1f%% (%.0f%%)", 100.0 * r.roceFraction(),
+                     100.0 * c.paper_fraction),
+            csprintf("%.1f", r.dram.avg / units::GBps),
+            csprintf("%.1f", r.xgmi.avg / units::GBps),
+            csprintf("%.1f", r.pcie_gpu.avg / units::GBps),
+            csprintf("%.1f", r.pcie_nic.avg / units::GBps),
+        });
+    }
+    std::cout << table << "\n"
+              << "Degradation whenever the path crosses two sets of "
+                 "IOD SerDes, as the paper\nhypothesizes "
+                 "(Sec. III-C4); memory-controller-to-SerDes paths "
+                 "run at line rate.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Paper Fig. 6: achieved model size (billions of parameters) for
+ * DDP, Megatron-LM and ZeRO-1/2/3 in single-node (a) and dual-node
+ * (b) training, via the capacity solver.
+ */
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_common.hh"
+#include "memplan/capacity_solver.hh"
+
+using namespace dstrain;
+
+int
+main()
+{
+    bench::banner("Fig. 6 — achieved model size (B parameters)");
+
+    const std::map<std::string, double> paper_single = {
+        {"DDP", 1.4},    {"Megatron-LM", 5.5}, {"ZeRO-1", 4.4},
+        {"ZeRO-2", 5.2}, {"ZeRO-3", 6.6},
+    };
+    const std::map<std::string, double> paper_dual = {
+        {"DDP", 1.4},    {"Megatron-LM", 11.4}, {"ZeRO-1", 6.4},
+        {"ZeRO-2", 8.5}, {"ZeRO-3", 13.5},
+    };
+
+    for (int nodes : {1, 2}) {
+        const auto &paper = nodes == 1 ? paper_single : paper_dual;
+        std::cout << "\n--- " << (nodes == 1 ? "Single" : "Dual")
+                  << " node ---\n";
+        TextTable table({"Configuration", "Achieved size (B)",
+                         "Paper (B)", "Max layers",
+                         "GPU bytes/GPU (GB)"});
+        std::vector<std::string> labels;
+        std::vector<double> sizes;
+        for (const StrategyConfig &s : comparisonLineup(nodes)) {
+            const CapacityResult r =
+                solveMaxModel(s, xe8545Cluster(nodes), 16);
+            const std::string kind_name = strategyKindName(s.kind);
+            table.addRow({
+                s.displayName(),
+                csprintf("%.1f", r.entry.billions),
+                csprintf("%.1f", paper.at(kind_name)),
+                csprintf("%d", r.max_layers),
+                csprintf("%.1f", r.footprint.gpu_per_gpu / units::GB),
+            });
+            labels.push_back(s.displayName());
+            sizes.push_back(r.entry.billions);
+        }
+        std::cout << table << "\n"
+                  << barChart(labels, sizes, "B params");
+    }
+    return 0;
+}

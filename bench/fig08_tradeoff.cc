@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Paper Fig. 8: the trade-off between achieved model size (x) and
+ * compute throughput (y) for single- and dual-node training,
+ * rendered as a labeled ASCII scatter plot. The paper's takeaways:
+ * ZeRO-2 is the single-node sweet spot; ZeRO-3 maximizes dual-node
+ * model size while keeping throughput.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace dstrain;
+
+namespace {
+
+struct Point {
+    std::string label;
+    double billions;
+    double tflops;
+};
+
+void
+scatter(const std::vector<Point> &points)
+{
+    const int width = 64;
+    const int height = 16;
+    double max_x = 0.0;
+    double max_y = 0.0;
+    for (const Point &p : points) {
+        max_x = std::max(max_x, p.billions);
+        max_y = std::max(max_y, p.tflops);
+    }
+    max_x *= 1.1;
+    max_y *= 1.1;
+
+    std::vector<std::string> grid(
+        height, std::string(static_cast<std::size_t>(width), ' '));
+    char marker = 'A';
+    for (const Point &p : points) {
+        const int col = std::min(
+            width - 1, static_cast<int>(p.billions / max_x * width));
+        const int row =
+            height - 1 -
+            std::min(height - 1,
+                     static_cast<int>(p.tflops / max_y * height));
+        grid[static_cast<std::size_t>(row)]
+            [static_cast<std::size_t>(col)] = marker++;
+    }
+    std::cout << csprintf("TFLOP/s (max %.0f)\n", max_y / 1.1);
+    for (const std::string &row : grid)
+        std::cout << " |" << row << "\n";
+    std::cout << " +" << std::string(width, '-')
+              << csprintf("> model size (max %.1fB)\n", max_x / 1.1);
+    marker = 'A';
+    for (const Point &p : points) {
+        std::cout << csprintf("   %c = %-26s (%.1fB, %.0f TFLOP/s)\n",
+                              marker++, p.label.c_str(), p.billions,
+                              p.tflops);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 8 — throughput vs. achieved model size trade-off");
+
+    for (int nodes : {1, 2}) {
+        std::cout << "\n--- " << (nodes == 1 ? "Single" : "Dual")
+                  << " node ---\n";
+        std::vector<Point> points;
+        for (const StrategyConfig &s : comparisonLineup(nodes)) {
+            const ExperimentReport r = bench::runPaperCase(nodes, s);
+            points.push_back(
+                Point{s.displayName(), r.model.billions, r.tflops});
+        }
+        scatter(points);
+    }
+    std::cout << "\nSweet spots, as in the paper: ZeRO-2 single-node "
+                 "(throughput at near-max size);\nZeRO-3 dual-node "
+                 "(largest model while holding throughput).\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Paper Fig. 13: the largest model a single node can train with
+ * offloading — achieved size (a), compute throughput (b) and memory
+ * usage/composition (c) for ZeRO-Offload on ZeRO-1/2 and
+ * ZeRO-Infinity on ZeRO-3 with the dual-NVMe scratch volume.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace dstrain;
+
+int
+main()
+{
+    bench::banner("Fig. 13 — largest single-node model with "
+                  "offloading");
+
+    struct Paper {
+        double billions;
+        double tflops;
+    };
+    const Paper paper[] = {{8.9, 155.3}, {14.2, 180.2}, {33.3, 37.16}};
+
+    std::vector<ExperimentReport> reports;
+    std::vector<std::string> labels;
+    std::vector<double> sizes;
+    std::vector<double> tputs;
+    int i = 0;
+    for (const StrategyConfig &s : largestModelLineup()) {
+        const ExperimentReport r =
+            bench::runPaperCase(1, s, /*billions=*/0.0,
+                                /*iterations=*/3);
+        std::cout << summarizeReport(r)
+                  << csprintf("   (paper: %.1fB, %.1f TFLOP/s)\n",
+                              paper[i].billions, paper[i].tflops);
+        labels.push_back(r.strategy.displayName());
+        sizes.push_back(r.model.billions);
+        tputs.push_back(r.tflops);
+        reports.push_back(std::move(r));
+        ++i;
+    }
+
+    std::cout << "\n(a) Achieved model size:\n"
+              << barChart(labels, sizes, "B params") << "\n"
+              << "(b) Compute throughput:\n"
+              << barChart(labels, tputs, "TFLOP/s") << "\n"
+              << "(c) Memory composition:\n"
+              << compositionTable(reports) << "\n";
+
+    std::cout << csprintf(
+        "ZeRO-Infinity fits a model %.1fx larger than Megatron-LM "
+        "can on one node\n(paper: 6x of 5.5B); the NVMe aggregate "
+        "bandwidth caps its throughput.\n",
+        sizes.back() / 5.5);
+    return 0;
+}

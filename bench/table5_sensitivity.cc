@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Paper Table V: sensitivity of throughput to model size — each
+ * configuration swept over the paper's model-size ladder up to its
+ * own achieved maximum, reporting aggregate TFLOP/s per cell.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "memplan/capacity_solver.hh"
+
+using namespace dstrain;
+
+int
+main()
+{
+    bench::banner("Table V — sensitivity of throughput to model size");
+
+    // The paper's column sizes (subset of the ladder; 13.5 excluded
+    // as it only appears in dual-node Fig. 6).
+    const double sizes[] = {0.7, 1.4, 2.9,  4.4,  5.2,  5.5,  6.0, 6.6,
+                            7.8, 8.9, 11.4, 14.2, 20.6, 26.9, 33.3};
+
+    std::vector<std::string> headers = {"Config."};
+    for (double s : sizes)
+        headers.push_back(csprintf("%.1f", s));
+    TextTable table(std::move(headers));
+
+    const ClusterSpec cluster = xe8545Cluster(1);
+    for (const StrategyConfig &s : sensitivityLineup()) {
+        const CapacityResult cap = solveMaxModel(s, cluster, 16);
+        std::vector<std::string> row = {s.displayName()};
+        for (double billions : sizes) {
+            if (billions > cap.entry.billions + 1e-9) {
+                row.push_back("");
+                continue;
+            }
+            const ExperimentReport r =
+                bench::runPaperCase(1, s, billions, /*iterations=*/3);
+            row.push_back(csprintf("%.0f", r.tflops));
+        }
+        table.addRow(std::move(row));
+    }
+    std::cout << table << "\n"
+              << "Shape check vs the paper: throughput grows with "
+                 "model size (better\namortization); the offload "
+                 "rows stay flat across sizes; ZeRO-3 with NVMe\n"
+                 "offload is flat and storage-bound (~30-40 "
+                 "TFLOP/s).\n";
+    return 0;
+}

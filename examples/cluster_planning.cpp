@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cluster planning: compare horizontal scaling (a second node) with
+ * vertical scaling (CPU/NVMe offload on one node) for a target model
+ * size — the decision the paper's Sec. V motivates. The example also
+ * shows how to customize the hardware spec (a cheaper cluster with
+ * 100 Gbps NICs).
+ *
+ * Run:  build/examples/cluster_planning [billions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/presets.hh"
+#include "core/report.hh"
+
+using namespace dstrain;
+
+namespace {
+
+ExperimentReport
+runCase(const char *label, ExperimentConfig cfg)
+{
+    Experiment exp(std::move(cfg));
+    ExperimentReport report = exp.run();
+    std::cout << "  [" << label << "] " << summarizeReport(report)
+              << "\n";
+    return report;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double billions = argc > 1 ? std::atof(argv[1]) : 11.4;
+    std::cout << "Planning for a " << billions
+              << "B-parameter GPT-2-like model\n\n";
+
+    std::vector<ExperimentReport> reports;
+
+    std::cout << "Horizontal scaling (two nodes over RoCE):\n";
+    reports.push_back(runCase(
+        "2n Megatron", paperExperiment(2, paperMegatron(2), billions)));
+    reports.push_back(runCase(
+        "2n ZeRO-3", paperExperiment(2, StrategyConfig::zero(3),
+                                     billions)));
+
+    std::cout << "\nVertical scaling (one node, offloading):\n";
+    reports.push_back(runCase(
+        "1n ZeRO-2+CPU",
+        paperExperiment(1, StrategyConfig::zeroOffloadCpu(2), billions)));
+    reports.push_back(runCase(
+        "1n ZeRO-3+NVMe",
+        paperExperiment(1, StrategyConfig::zeroInfinityNvme(true),
+                        billions)));
+
+    std::cout << "\nWhat if the cluster only had 100 Gbps NICs?\n";
+    {
+        ExperimentConfig cfg =
+            paperExperiment(2, StrategyConfig::zero(3), billions);
+        cfg.cluster.node.roce_per_dir = 12.5 * units::GBps;
+        reports.push_back(runCase("2n ZeRO-3 @100GbE", std::move(cfg)));
+    }
+
+    std::cout << "\nSummary:\n" << comparisonTable(reports);
+    std::cout << "\nRule of thumb from the paper: consolidate into one "
+                 "node with CPU offload\nwhen the inter-node fabric is "
+                 "the bottleneck; reach for NVMe only when\nthe model "
+                 "no longer fits in host memory.\n";
+    return 0;
+}

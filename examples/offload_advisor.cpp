@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Offload advisor: given a target model size and a node count, find
+ * the *simplest* configuration that fits it and the *fastest* one —
+ * walking the escalation ladder the paper establishes:
+ *
+ *   DDP -> ZeRO-1/2/3 -> Megatron-LM -> ZeRO-Offload (CPU) ->
+ *   ZeRO-Infinity (NVMe).
+ *
+ * Run:  build/examples/offload_advisor [billions] [nodes]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/presets.hh"
+#include "core/report.hh"
+#include "util/logging.hh"
+#include "memplan/capacity_solver.hh"
+
+using namespace dstrain;
+
+int
+main(int argc, char **argv)
+{
+    const double billions = argc > 1 ? std::atof(argv[1]) : 8.9;
+    const int nodes = argc > 2 ? std::atoi(argv[2]) : 1;
+
+    const ClusterSpec cluster = xe8545Cluster(nodes);
+    const TransformerConfig model =
+        configForBillions(billions);
+
+    std::cout << "Advising for " << billions << "B on " << nodes
+              << " node(s): " << model.layers << " layers, "
+              << formatParams(model.parameterCount()) << " params\n\n";
+
+    // The escalation ladder, simplest first.
+    std::vector<StrategyConfig> ladder = {
+        StrategyConfig::ddp(),
+        StrategyConfig::zero(1),
+        StrategyConfig::zero(2),
+        StrategyConfig::zero(3),
+        paperMegatron(nodes),
+        StrategyConfig::zeroOffloadCpu(1),
+        StrategyConfig::zeroOffloadCpu(2),
+        StrategyConfig::zeroInfinityNvme(false),
+        StrategyConfig::zeroInfinityNvme(true),
+    };
+
+    std::vector<ExperimentReport> feasible;
+    bool first_found = false;
+    for (const StrategyConfig &s : ladder) {
+        if (!fitsCluster(model, s, cluster, /*batch_per_gpu=*/16)) {
+            std::cout << "  " << s.displayName()
+                      << ": does not fit\n";
+            continue;
+        }
+        ExperimentConfig cfg = paperExperiment(nodes, s, billions);
+        cfg.iterations = 3;
+        cfg.warmup = 1;
+        Experiment exp(std::move(cfg));
+        ExperimentReport r = exp.run();
+        std::cout << "  " << summarizeReport(r);
+        if (!first_found) {
+            std::cout << "   <- simplest fit";
+            first_found = true;
+        }
+        std::cout << "\n";
+        feasible.push_back(std::move(r));
+    }
+
+    if (feasible.empty()) {
+        std::cout << "\nNothing fits — add nodes, drives, or host "
+                     "memory.\n";
+        return 1;
+    }
+
+    const ExperimentReport *fastest = &feasible.front();
+    for (const ExperimentReport &r : feasible)
+        if (r.tflops > fastest->tflops)
+            fastest = &r;
+
+    std::cout << "\nRecommendation: "
+              << fastest->strategy.displayName() << " ("
+              << csprintf("%.1f", fastest->tflops)
+              << " TFLOP/s). Prefer the plainest strategy that fits; "
+                 "offload only\nbuys you capacity, never speed "
+                 "(paper Fig. 5 caption).\n";
+    return 0;
+}

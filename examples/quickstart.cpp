@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: simulate training a GPT-2-like model with DeepSpeed
+ * ZeRO-3 on one XE8545-class node and print the paper's headline
+ * metrics — achieved model size, compute throughput, memory
+ * composition and per-interconnect bandwidth.
+ *
+ * Run:  build/examples/quickstart [nodes] [zero_stage]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/presets.hh"
+#include "core/report.hh"
+#include "telemetry/timeline.hh"
+
+using namespace dstrain;
+
+int
+main(int argc, char **argv)
+{
+    const int nodes = argc > 1 ? std::atoi(argv[1]) : 1;
+    const int stage = argc > 2 ? std::atoi(argv[2]) : 3;
+
+    // 1. Describe the experiment: the paper's cluster, ZeRO at the
+    //    requested stage, and "the largest model that fits".
+    ExperimentConfig cfg = paperExperiment(
+        nodes, StrategyConfig::zero(stage), /*billions=*/0.0);
+
+    // 2. Run it.
+    Experiment experiment(cfg);
+    ExperimentReport report = experiment.run();
+
+    // 3. Read the results.
+    std::cout << "== dstrain quickstart ==\n"
+              << summarizeReport(report) << "\n\n";
+
+    std::cout << "Memory composition (aggregate):\n"
+              << compositionTable({report}) << "\n";
+
+    TextTable bw = makeBandwidthTable();
+    addBandwidthRow(bw, report.bandwidth);
+    bw.setTitle("Aggregate bidirectional per-node bandwidth (GBps):");
+    std::cout << bw << "\n";
+
+    std::cout << "Last-iteration timeline:\n"
+              << renderTimeline(report.execution.spans,
+                                cfg.cluster.totalGpus(),
+                                report.execution.iteration_ends[
+                                    report.execution.iteration_ends
+                                        .size() - 2],
+                                report.execution.measured_end);
+    return 0;
+}

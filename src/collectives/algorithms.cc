@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Implementation of the topology-aware collective helpers.
+ */
+
+#include "collectives/algorithms.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+CommGroup
+orderNodeMajor(const CommGroup &group, const Cluster &cluster)
+{
+    CommGroup out = group;
+    std::stable_sort(out.ranks.begin(), out.ranks.end(),
+                     [&cluster](int a, int b) {
+                         return cluster.nodeOfRank(a) <
+                                cluster.nodeOfRank(b);
+                     });
+    return out;
+}
+
+int
+interNodeHops(const CommGroup &group, const Cluster &cluster)
+{
+    const int n = group.size();
+    if (n < 2)
+        return 0;
+    int hops = 0;
+    for (int i = 0; i < n; ++i) {
+        const int a = group.ranks[static_cast<std::size_t>(i)];
+        const int b = group.ranks[static_cast<std::size_t>((i + 1) % n)];
+        if (cluster.nodeOfRank(a) != cluster.nodeOfRank(b))
+            ++hops;
+    }
+    return hops;
+}
+
+Bps
+ringBottleneckBandwidth(const CommGroup &group, const Cluster &cluster)
+{
+    DSTRAIN_ASSERT(group.size() >= 2, "ring needs >= 2 ranks");
+    Bps worst = std::numeric_limits<Bps>::max();
+    const int n = group.size();
+    for (int i = 0; i < n; ++i) {
+        const int a = group.ranks[static_cast<std::size_t>(i)];
+        const int b = group.ranks[static_cast<std::size_t>((i + 1) % n)];
+        const Route &r = cluster.router().route(cluster.gpuByRank(a),
+                                                cluster.gpuByRank(b));
+        worst = std::min(worst, r.rate_cap);
+    }
+    return worst;
+}
+
+} // namespace dstrain

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Topology-aware collective algorithm selection, mirroring what NCCL
+ * does on the XE8545: intra-node groups ride the NVLink mesh with a
+ * single ring; inter-node groups use one ring per NIC with the ring
+ * ordered node-major so each ring crosses the inter-node fabric
+ * exactly twice (once out, once back).
+ */
+
+#ifndef DSTRAIN_COLLECTIVES_ALGORITHMS_HH
+#define DSTRAIN_COLLECTIVES_ALGORITHMS_HH
+
+#include <vector>
+
+#include "collectives/communicator.hh"
+#include "hw/cluster.hh"
+
+namespace dstrain {
+
+/**
+ * Order the ranks of @p group node-major (all ranks of node 0, then
+ * node 1, ...), preserving relative order within a node. This is the
+ * canonical ring order: it minimizes inter-node hops per ring.
+ */
+CommGroup orderNodeMajor(const CommGroup &group, const Cluster &cluster);
+
+/**
+ * Number of inter-node ring hops for a node-major ring over
+ * @p group — 0 for intra-node groups, otherwise the number of
+ * adjacent rank pairs whose nodes differ plus the wraparound hop.
+ */
+int interNodeHops(const CommGroup &group, const Cluster &cluster);
+
+/**
+ * The bottleneck per-hop effective bandwidth of a ring over
+ * @p group: the slowest hop (NVLink pair intra-node, the NIC/RoCE
+ * path inter-node, including protocol efficiency and SerDes
+ * degradation).
+ */
+Bps ringBottleneckBandwidth(const CommGroup &group,
+                            const Cluster &cluster);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_COLLECTIVES_ALGORITHMS_HH

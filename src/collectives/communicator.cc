@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Implementation of the collective engine (ring algorithms).
+ */
+
+#include "collectives/communicator.hh"
+
+#include <memory>
+#include <tuple>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+CommGroup
+CommGroup::worldOf(int n)
+{
+    CommGroup g;
+    g.ranks.resize(static_cast<std::size_t>(n));
+    std::iota(g.ranks.begin(), g.ranks.end(), 0);
+    return g;
+}
+
+const char *
+collectiveOpName(CollectiveOp op)
+{
+    switch (op) {
+      case CollectiveOp::AllReduce:
+        return "all-reduce";
+      case CollectiveOp::ReduceScatter:
+        return "reduce-scatter";
+      case CollectiveOp::AllGather:
+        return "all-gather";
+      case CollectiveOp::Broadcast:
+        return "broadcast";
+      case CollectiveOp::Reduce:
+        return "reduce";
+    }
+    panic("unknown CollectiveOp %d", static_cast<int>(op));
+}
+
+CollectiveEngine::CollectiveEngine(TransferManager &tm)
+    : tm_(tm)
+{
+}
+
+bool
+CollectiveEngine::spansNodes(const CommGroup &group) const
+{
+    const Cluster &cl = tm_.cluster();
+    if (group.ranks.empty())
+        return false;
+    const int first = cl.nodeOfRank(group.ranks.front());
+    for (int r : group.ranks)
+        if (cl.nodeOfRank(r) != first)
+            return true;
+    return false;
+}
+
+std::pair<ComponentId, ComponentId>
+CollectiveEngine::viaNics(int src_rank, int dst_rank, int channel,
+                          bool pin) const
+{
+    Cluster &cl = tm_.cluster();
+    if (!pin)
+        return {kNoComponent, kNoComponent};
+    const int src_node = cl.nodeOfRank(src_rank);
+    const int dst_node = cl.nodeOfRank(dst_rank);
+    if (src_node == dst_node)
+        return {kNoComponent, kNoComponent};  // intra-node: NVLink
+    const auto &src_nics = cl.node(src_node).nics;
+    const auto &dst_nics = cl.node(dst_node).nics;
+    DSTRAIN_ASSERT(!src_nics.empty() && !dst_nics.empty(),
+                   "nodes %d/%d lack NICs", src_node, dst_node);
+    return {src_nics[static_cast<std::size_t>(channel) %
+                     src_nics.size()],
+            dst_nics[static_cast<std::size_t>(channel) %
+                     dst_nics.size()]};
+}
+
+void
+CollectiveEngine::runRounds(const CommGroup &group,
+                            std::vector<Round> rounds, int channel,
+                            int channels, bool pin, double bw_factor,
+                            const std::string &tag, Callback on_done)
+{
+    // Self-destructing state machine: advance() launches round i and
+    // recurses when all of its transfers land.
+    struct State {
+        CollectiveEngine *eng;
+        CommGroup group;
+        std::vector<Round> rounds;
+        int channel;
+        int channels;
+        bool pin;
+        double bw_factor = 1.0;
+        std::string tag;
+        Callback on_done;
+        std::size_t next_round = 0;
+        int outstanding = 0;
+    };
+    auto st = std::make_shared<State>();
+    st->eng = this;
+    st->group = group;
+    st->rounds = std::move(rounds);
+    st->channel = channel;
+    st->channels = channels;
+    st->pin = pin;
+    st->bw_factor = bw_factor;
+    st->tag = tag;
+    st->on_done = std::move(on_done);
+
+    // advance is stored so the completion lambdas can call it.
+    auto advance = std::make_shared<std::function<void()>>();
+    *advance = [st, advance]() {
+        if (st->next_round >= st->rounds.size()) {
+            if (st->on_done)
+                st->on_done();
+            return;
+        }
+        const Round &round = st->rounds[st->next_round++];
+        DSTRAIN_ASSERT(!round.empty(), "empty collective round");
+        st->outstanding = static_cast<int>(round.size());
+        for (const Hop &hop : round) {
+            Cluster &cl = st->eng->tm_.cluster();
+            TransferOptions opts;
+            std::tie(opts.via, opts.via2) = st->eng->viaNics(
+                hop.src_rank, hop.dst_rank, st->channel, st->pin);
+            opts.rate_factor = st->bw_factor;
+            opts.tag = st->tag;
+            st->eng->tm_.start(
+                cl.gpuByRank(hop.src_rank), cl.gpuByRank(hop.dst_rank),
+                hop.bytes,
+                [st, advance] {
+                    if (--st->outstanding == 0)
+                        (*advance)();
+                },
+                std::move(opts));
+        }
+    };
+    (*advance)();
+}
+
+void
+CollectiveEngine::runChanneled(
+    const CommGroup &group, Bytes bytes, CollectiveOptions opts,
+    const std::string &kind,
+    std::function<std::vector<Round>(int, Bytes)> maker, Callback on_done)
+{
+    DSTRAIN_ASSERT(group.size() >= 2, "%s needs >= 2 ranks (got %d)",
+                   kind.c_str(), group.size());
+    int channels = opts.channels;
+    if (channels == 0)
+        channels = spansNodes(group) ? 2 : 1;
+
+    const std::string tag =
+        opts.tag.empty() ? kind : opts.tag + "/" + kind;
+
+    auto remaining = std::make_shared<int>(channels);
+    auto done = std::make_shared<Callback>(std::move(on_done));
+    for (int c = 0; c < channels; ++c) {
+        const Bytes share = bytes / channels;
+        std::vector<Round> rounds = maker(c, share);
+        runRounds(group, std::move(rounds), c, channels,
+                  opts.pin_channels_to_nics, opts.bandwidth_factor, tag,
+                  [this, remaining, done] {
+                      if (--*remaining == 0) {
+                          ++completed_;
+                          if (*done)
+                              (*done)();
+                      }
+                  });
+    }
+}
+
+void
+CollectiveEngine::reduceScatter(const CommGroup &group, Bytes bytes,
+                                Callback on_done, CollectiveOptions opts)
+{
+    const int n = group.size();
+    auto maker = [&group, n](int, Bytes share) {
+        std::vector<Round> rounds;
+        const Bytes chunk = share / n;
+        for (int r = 0; r < n - 1; ++r) {
+            Round round;
+            for (int i = 0; i < n; ++i) {
+                round.push_back(Hop{group.ranks[static_cast<std::size_t>(i)],
+                                    group.ranks[static_cast<std::size_t>(
+                                        (i + 1) % n)],
+                                    chunk});
+            }
+            rounds.push_back(std::move(round));
+        }
+        return rounds;
+    };
+    runChanneled(group, bytes, std::move(opts), "reduce-scatter", maker,
+                 std::move(on_done));
+}
+
+void
+CollectiveEngine::allGather(const CommGroup &group, Bytes bytes,
+                            Callback on_done, CollectiveOptions opts)
+{
+    // Identical traffic pattern to reduce-scatter (ring all-gather).
+    const int n = group.size();
+    auto maker = [&group, n](int, Bytes share) {
+        std::vector<Round> rounds;
+        const Bytes chunk = share / n;
+        for (int r = 0; r < n - 1; ++r) {
+            Round round;
+            for (int i = 0; i < n; ++i) {
+                round.push_back(Hop{group.ranks[static_cast<std::size_t>(i)],
+                                    group.ranks[static_cast<std::size_t>(
+                                        (i + 1) % n)],
+                                    chunk});
+            }
+            rounds.push_back(std::move(round));
+        }
+        return rounds;
+    };
+    runChanneled(group, bytes, std::move(opts), "all-gather", maker,
+                 std::move(on_done));
+}
+
+void
+CollectiveEngine::allReduce(const CommGroup &group, Bytes bytes,
+                            Callback on_done, CollectiveOptions opts)
+{
+    // Ring all-reduce: reduce-scatter rounds then all-gather rounds.
+    const int n = group.size();
+    auto maker = [&group, n](int, Bytes share) {
+        std::vector<Round> rounds;
+        const Bytes chunk = share / n;
+        for (int phase = 0; phase < 2; ++phase) {
+            for (int r = 0; r < n - 1; ++r) {
+                Round round;
+                for (int i = 0; i < n; ++i) {
+                    round.push_back(
+                        Hop{group.ranks[static_cast<std::size_t>(i)],
+                            group.ranks[static_cast<std::size_t>((i + 1) %
+                                                                 n)],
+                            chunk});
+                }
+                rounds.push_back(std::move(round));
+            }
+        }
+        return rounds;
+    };
+    runChanneled(group, bytes, std::move(opts), "all-reduce", maker,
+                 std::move(on_done));
+}
+
+void
+CollectiveEngine::broadcast(const CommGroup &group, int root, Bytes bytes,
+                            Callback on_done, CollectiveOptions opts)
+{
+    // Pipelined ring broadcast: the payload is cut into slices that
+    // travel down the ring; with k slices the makespan approaches
+    // (1 + (n-2)/k) * bytes / bw. Rounds model the pipeline steps.
+    const int n = group.size();
+    const int slices = 8;
+    // Rotate the ring so the root is first.
+    std::vector<int> order;
+    std::size_t root_pos = 0;
+    for (std::size_t i = 0; i < group.ranks.size(); ++i)
+        if (group.ranks[i] == root)
+            root_pos = i;
+    for (int i = 0; i < n; ++i)
+        order.push_back(group.ranks[(root_pos + static_cast<std::size_t>(i))
+                                    % group.ranks.size()]);
+
+    auto maker = [order, n, slices](int, Bytes share) {
+        std::vector<Round> rounds;
+        const Bytes slice = share / slices;
+        // Pipeline steps: at step t, link i (i -> i+1) carries slice
+        // (t - i) when 0 <= t - i < slices.
+        const int steps = slices + n - 2;
+        for (int t = 0; t < steps; ++t) {
+            Round round;
+            for (int i = 0; i < n - 1; ++i) {
+                const int s = t - i;
+                if (s < 0 || s >= slices)
+                    continue;
+                round.push_back(Hop{order[static_cast<std::size_t>(i)],
+                                    order[static_cast<std::size_t>(i + 1)],
+                                    slice});
+            }
+            if (!round.empty())
+                rounds.push_back(std::move(round));
+        }
+        return rounds;
+    };
+    runChanneled(group, bytes, std::move(opts), "broadcast", maker,
+                 std::move(on_done));
+}
+
+void
+CollectiveEngine::reduce(const CommGroup &group, int root, Bytes bytes,
+                         Callback on_done, CollectiveOptions opts)
+{
+    // Ring reduce toward the root: same pipeline as broadcast but in
+    // the opposite direction (traffic volume is identical).
+    const int n = group.size();
+    const int slices = 8;
+    std::vector<int> order;
+    std::size_t root_pos = 0;
+    for (std::size_t i = 0; i < group.ranks.size(); ++i)
+        if (group.ranks[i] == root)
+            root_pos = i;
+    // order[0] is the farthest rank; order[n-1] == root.
+    for (int i = 0; i < n; ++i)
+        order.push_back(
+            group.ranks[(root_pos + 1 + static_cast<std::size_t>(i)) %
+                        group.ranks.size()]);
+
+    auto maker = [order, n, slices](int, Bytes share) {
+        std::vector<Round> rounds;
+        const Bytes slice = share / slices;
+        const int steps = slices + n - 2;
+        for (int t = 0; t < steps; ++t) {
+            Round round;
+            for (int i = 0; i < n - 1; ++i) {
+                const int s = t - i;
+                if (s < 0 || s >= slices)
+                    continue;
+                round.push_back(Hop{order[static_cast<std::size_t>(i)],
+                                    order[static_cast<std::size_t>(i + 1)],
+                                    slice});
+            }
+            if (!round.empty())
+                rounds.push_back(std::move(round));
+        }
+        return rounds;
+    };
+    runChanneled(group, bytes, std::move(opts), "reduce", maker,
+                 std::move(on_done));
+}
+
+void
+CollectiveEngine::pointToPoint(int src_rank, int dst_rank, Bytes bytes,
+                               Callback on_done, const std::string &tag)
+{
+    Cluster &cl = tm_.cluster();
+    TransferOptions opts;
+    opts.tag = tag;
+    tm_.start(cl.gpuByRank(src_rank), cl.gpuByRank(dst_rank), bytes,
+              std::move(on_done), std::move(opts));
+}
+
+} // namespace dstrain

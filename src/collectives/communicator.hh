@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Communicator groups and the collective-communication engine.
+ *
+ * Collectives are modeled as their ring algorithms (the algorithms
+ * NCCL selects on this topology): reduce-scatter and all-gather run
+ * N-1 rounds in which every rank ships `bytes / N` to its ring
+ * neighbor; all-reduce is a reduce-scatter followed by an all-gather;
+ * broadcast is a pipelined ring. Every round's transfers are real
+ * flows on the simulated fabric, so link telemetry sees exactly the
+ * traffic pattern the paper's profilers saw.
+ *
+ * For groups spanning nodes the engine splits traffic across
+ * channels pinned to the node's NICs round-robin — mirroring NCCL's
+ * multi-channel behavior and reproducing the paper's observation
+ * that a portion of inter-node GPU traffic crosses the xGMI links to
+ * reach the neighboring CPU's NIC (Sec. IV-E2).
+ */
+
+#ifndef DSTRAIN_COLLECTIVES_COMMUNICATOR_HH
+#define DSTRAIN_COLLECTIVES_COMMUNICATOR_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/transfer_manager.hh"
+
+namespace dstrain {
+
+/** An ordered set of global GPU ranks participating in a collective. */
+struct CommGroup {
+    std::vector<int> ranks;
+
+    /** Group size. */
+    int size() const { return static_cast<int>(ranks.size()); }
+
+    /** A group over ranks [0, n). */
+    static CommGroup worldOf(int n);
+};
+
+/** The collective operations the training strategies use. */
+enum class CollectiveOp {
+    AllReduce,
+    ReduceScatter,
+    AllGather,
+    Broadcast,
+    Reduce,
+};
+
+/** Human-readable collective name (timeline labels). */
+const char *collectiveOpName(CollectiveOp op);
+
+/** Tuning knobs for one collective invocation. */
+struct CollectiveOptions {
+    /**
+     * Number of parallel channels (rings). 0 = automatic: 1 for
+     * intra-node groups, 2 (one per NIC) for inter-node groups.
+     */
+    int channels = 0;
+
+    /**
+     * Pin channel c's inter-node egress/ingress to NIC (c % nics).
+     * This is what produces cross-socket xGMI traffic for GPUs whose
+     * socket does not own the pinned NIC.
+     */
+    bool pin_channels_to_nics = true;
+
+    /**
+     * Per-hop achievable-bandwidth factor (<= 1.0): ZeRO-3's
+     * fine-grained gathers use ~0.3 (see strategies/strategy.hh).
+     */
+    double bandwidth_factor = 1.0;
+
+    /** Debug label. */
+    std::string tag;
+};
+
+/**
+ * Executes collectives on the simulated fabric.
+ */
+class CollectiveEngine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    explicit CollectiveEngine(TransferManager &tm);
+
+    CollectiveEngine(const CollectiveEngine &) = delete;
+    CollectiveEngine &operator=(const CollectiveEngine &) = delete;
+
+    /**
+     * All-reduce @p bytes per rank across @p group.
+     * @p on_done fires when every rank holds the reduced result.
+     */
+    void allReduce(const CommGroup &group, Bytes bytes, Callback on_done,
+                   CollectiveOptions opts = {});
+
+    /** Reduce-scatter @p bytes per rank (each keeps bytes/N). */
+    void reduceScatter(const CommGroup &group, Bytes bytes,
+                       Callback on_done, CollectiveOptions opts = {});
+
+    /** All-gather so every rank ends with @p bytes total. */
+    void allGather(const CommGroup &group, Bytes bytes, Callback on_done,
+                   CollectiveOptions opts = {});
+
+    /** Pipelined ring broadcast of @p bytes from @p root. */
+    void broadcast(const CommGroup &group, int root, Bytes bytes,
+                   Callback on_done, CollectiveOptions opts = {});
+
+    /**
+     * Rooted reduce of @p bytes (ring reduce; root ends with the
+     * sum). Used by ZeRO-2's gradient reduction.
+     */
+    void reduce(const CommGroup &group, int root, Bytes bytes,
+                Callback on_done, CollectiveOptions opts = {});
+
+    /** Plain point-to-point send between two ranks. */
+    void pointToPoint(int src_rank, int dst_rank, Bytes bytes,
+                      Callback on_done, const std::string &tag = "p2p");
+
+    /** Number of collectives completed (test/diagnostic hook). */
+    std::uint64_t completedCount() const { return completed_; }
+
+  private:
+    /** One ring round: every entry transfers concurrently. */
+    struct Hop {
+        int src_rank;
+        int dst_rank;
+        Bytes bytes;
+    };
+    using Round = std::vector<Hop>;
+
+    /**
+     * Execute @p rounds sequentially (round barrier) on channel
+     * @p channel of @p channels, then invoke @p on_done.
+     */
+    void runRounds(const CommGroup &group, std::vector<Round> rounds,
+                   int channel, int channels, bool pin,
+                   double bw_factor, const std::string &tag,
+                   Callback on_done);
+
+    /** Split a collective across channels and run them. */
+    void runChanneled(const CommGroup &group, Bytes bytes,
+                      CollectiveOptions opts, const std::string &kind,
+                      std::function<std::vector<Round>(int, Bytes)> maker,
+                      Callback on_done);
+
+    /** Does the group span more than one node? */
+    bool spansNodes(const CommGroup &group) const;
+
+    /**
+     * Resolve the pinned egress/ingress NICs for a hop (the src
+     * node's and dst node's NIC of the channel), or kNoComponent
+     * for intra-node hops / unpinned collectives.
+     */
+    std::pair<ComponentId, ComponentId>
+    viaNics(int src_rank, int dst_rank, int channel, bool pin) const;
+
+    TransferManager &tm_;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_COLLECTIVES_COMMUNICATOR_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the collective volume formulas.
+ */
+
+#include "collectives/volume.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+Bytes
+collectiveSendVolumePerRank(CollectiveOp op, int n, Bytes bytes)
+{
+    DSTRAIN_ASSERT(n >= 2, "collective needs >= 2 ranks");
+    const double frac = static_cast<double>(n - 1) / n;
+    switch (op) {
+      case CollectiveOp::AllReduce:
+        return 2.0 * frac * bytes;
+      case CollectiveOp::ReduceScatter:
+      case CollectiveOp::AllGather:
+        return frac * bytes;
+      case CollectiveOp::Broadcast:
+      case CollectiveOp::Reduce:
+        // Ring pipeline: every non-terminal rank forwards the whole
+        // payload once; averaged per rank this is (n-1)/n * bytes.
+        return frac * bytes;
+    }
+    panic("unknown CollectiveOp %d", static_cast<int>(op));
+}
+
+Bytes
+collectiveTotalVolume(CollectiveOp op, int n, Bytes bytes)
+{
+    switch (op) {
+      case CollectiveOp::AllReduce:
+        return 2.0 * (n - 1) * bytes;
+      case CollectiveOp::ReduceScatter:
+      case CollectiveOp::AllGather:
+        return static_cast<double>(n - 1) * bytes;
+      case CollectiveOp::Broadcast:
+      case CollectiveOp::Reduce:
+        return static_cast<double>(n - 1) * bytes;
+    }
+    panic("unknown CollectiveOp %d", static_cast<int>(op));
+}
+
+SimTime
+ringCollectiveIdealTime(CollectiveOp op, int n, Bytes bytes,
+                        Bps per_hop_bw)
+{
+    DSTRAIN_ASSERT(per_hop_bw > 0.0, "zero bandwidth");
+    const Bytes chunk = bytes / n;
+    switch (op) {
+      case CollectiveOp::AllReduce:
+        return 2.0 * (n - 1) * chunk / per_hop_bw;
+      case CollectiveOp::ReduceScatter:
+      case CollectiveOp::AllGather:
+        return (n - 1) * chunk / per_hop_bw;
+      case CollectiveOp::Broadcast:
+      case CollectiveOp::Reduce:
+        // Pipelined with k slices: (k + n - 2)/k * bytes / bw; the
+        // engine uses k = 8.
+        return (8.0 + n - 2.0) / 8.0 * bytes / per_hop_bw;
+    }
+    panic("unknown CollectiveOp %d", static_cast<int>(op));
+}
+
+} // namespace dstrain

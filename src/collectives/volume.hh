@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Closed-form communication-volume accounting for the ring
+ * collectives. These formulas are the ground truth the property
+ * tests check the simulated traffic against, and what the strategy
+ * documentation quotes (e.g. ZeRO-3's "+50% communication volume"
+ * claim, paper Sec. II-C).
+ */
+
+#ifndef DSTRAIN_COLLECTIVES_VOLUME_HH
+#define DSTRAIN_COLLECTIVES_VOLUME_HH
+
+#include "collectives/communicator.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/**
+ * Bytes *sent by each rank* for one collective over @p n ranks moving
+ * a logical payload of @p bytes.
+ */
+Bytes collectiveSendVolumePerRank(CollectiveOp op, int n, Bytes bytes);
+
+/** Total bytes crossing the fabric for the collective. */
+Bytes collectiveTotalVolume(CollectiveOp op, int n, Bytes bytes);
+
+/**
+ * Lower-bound completion time of a ring collective when every hop
+ * sustains @p per_hop_bw: the round count times the per-round time.
+ * (Latency terms excluded; the tests add them separately.)
+ */
+SimTime ringCollectiveIdealTime(CollectiveOp op, int n, Bytes bytes,
+                                Bps per_hop_bw);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_COLLECTIVES_VOLUME_HH

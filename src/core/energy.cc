@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Implementation of the energy estimate.
+ */
+
+#include "core/energy.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+EnergyReport
+estimateEnergy(const ExperimentReport &report,
+               const ExperimentConfig &cfg, const PowerModel &power)
+{
+    const auto &exec = report.execution;
+    DSTRAIN_ASSERT(exec.iteration_ends.size() >= 2,
+                   "need at least two iterations for the energy "
+                   "estimate (spans cover the final one)");
+    const SimTime begin =
+        exec.iteration_ends[exec.iteration_ends.size() - 2];
+    const SimTime end = exec.iteration_ends.back();
+    const SimTime window = end - begin;
+    DSTRAIN_ASSERT(window > 0.0, "empty final iteration");
+
+    const int gpus = cfg.cluster.totalGpus();
+    const int sockets = cfg.cluster.nodes * cfg.cluster.node.sockets;
+    const int drives =
+        cfg.cluster.nodes *
+        static_cast<int>(cfg.cluster.node.nvme_drives.size());
+    const int nics = cfg.cluster.nodes * cfg.cluster.node.sockets;
+
+    // Busy time per GPU rank (compute spans only; NCCL kernels are
+    // folded into the busy-idle delta they overlap) and per socket.
+    std::map<int, SimTime> gpu_busy;
+    std::map<std::pair<int, int>, SimTime> cpu_busy;
+    SimTime storage_active = 0.0;
+    for (const TaskSpan &s : exec.spans) {
+        const SimTime overlap =
+            std::max(0.0, std::min(s.end, end) - std::max(s.begin, begin));
+        if (overlap <= 0.0)
+            continue;
+        switch (s.kind) {
+          case TaskKind::GpuCompute:
+            gpu_busy[s.rank] += overlap;
+            break;
+          case TaskKind::CpuOptimizer:
+            // Socket identity is not on the span; attribute evenly.
+            cpu_busy[{0, 0}] += overlap;
+            break;
+          case TaskKind::NvmeIo:
+            storage_active += overlap;
+            break;
+          default:
+            break;
+        }
+    }
+
+    SimTime gpu_busy_total = 0.0;
+    for (auto &[rank, t] : gpu_busy)
+        gpu_busy_total += std::min(t, window);
+    SimTime cpu_busy_total = 0.0;
+    for (auto &[key, t] : cpu_busy)
+        cpu_busy_total += t;
+    // CPU optimizer work spreads across the node's sockets.
+    cpu_busy_total = std::min(cpu_busy_total,
+                              window * static_cast<double>(sockets));
+    storage_active = std::min(
+        storage_active, window * std::max(1.0, static_cast<double>(drives)));
+
+    EnergyReport out;
+    out.gpu_busy_fraction = gpus > 0 ? gpu_busy_total / (window * gpus)
+                                     : 0.0;
+    out.cpu_busy_fraction =
+        sockets > 0 ? cpu_busy_total / (window * sockets) : 0.0;
+
+    out.gpu_joules = power.gpu_idle * window * gpus +
+                     (power.gpu_busy - power.gpu_idle) * gpu_busy_total;
+    out.cpu_joules = power.cpu_idle * window * sockets +
+                     (power.cpu_busy - power.cpu_idle) * cpu_busy_total;
+    out.storage_joules =
+        power.nvme_idle * window * drives +
+        (power.nvme_active - power.nvme_idle) * storage_active;
+    out.platform_joules = (power.nic * nics +
+                           power.node_base * cfg.cluster.nodes) *
+                          window;
+
+    out.joules_per_iteration = out.gpu_joules + out.cpu_joules +
+                               out.storage_joules +
+                               out.platform_joules;
+    out.avg_power_watts = out.joules_per_iteration / window;
+
+    const double tokens = static_cast<double>(cfg.batch_per_gpu) *
+                          256.0 * gpus;  // paper's fixed seq length
+    out.tokens_per_joule = tokens / out.joules_per_iteration;
+    return out;
+}
+
+std::string
+summarizeEnergy(const EnergyReport &energy)
+{
+    return csprintf(
+        "%.1f kJ/iter, %.1f kW avg, %.2f tokens/J "
+        "(GPU busy %.0f%%, CPU busy %.0f%%)",
+        energy.joules_per_iteration / 1e3,
+        energy.avg_power_watts / 1e3, energy.tokens_per_joule,
+        100.0 * energy.gpu_busy_fraction,
+        100.0 * energy.cpu_busy_fraction);
+}
+
+} // namespace dstrain

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Energy estimation — an extension beyond the paper. The paper's
+ * introduction motivates the work with training cost and
+ * environmental impact but never quantifies energy; with the
+ * execution spans in hand the simulator can. The model is a
+ * utilization-based power estimate: every device draws idle power
+ * for the whole iteration and the busy-idle delta for the time the
+ * spans show it working.
+ */
+
+#ifndef DSTRAIN_CORE_ENERGY_HH
+#define DSTRAIN_CORE_ENERGY_HH
+
+#include "core/experiment.hh"
+
+namespace dstrain {
+
+/** Device power constants (watts). Defaults follow the Table II
+ *  hardware: 400 W A100-SXM4, 280 W TDP EPYC 7763, D7-P5600 and
+ *  ConnectX-6 datasheet figures, plus a per-node platform floor
+ *  (fans, VRs, DIMMs). */
+struct PowerModel {
+    double gpu_busy = 400.0;
+    double gpu_idle = 85.0;
+    double cpu_busy = 280.0;   ///< per socket
+    double cpu_idle = 95.0;    ///< per socket
+    double nvme_active = 22.0; ///< per drive
+    double nvme_idle = 6.0;
+    double nic = 22.0;         ///< per NIC (roughly constant)
+    double node_base = 250.0;  ///< platform floor per node
+};
+
+/** The energy estimate for one experiment. */
+struct EnergyReport {
+    double joules_per_iteration = 0.0;
+    double avg_power_watts = 0.0;        ///< whole cluster
+    double tokens_per_joule = 0.0;
+    double gpu_busy_fraction = 0.0;      ///< mean across ranks
+    double cpu_busy_fraction = 0.0;      ///< mean across sockets
+
+    // Per-iteration breakdown (joules).
+    double gpu_joules = 0.0;
+    double cpu_joules = 0.0;
+    double storage_joules = 0.0;
+    double platform_joules = 0.0;        ///< NICs + node floor
+};
+
+/**
+ * Estimate per-iteration energy from the final iteration's spans.
+ *
+ * @param report the finished experiment report.
+ * @param cfg    the configuration it ran with (cluster shape, batch).
+ * @param power  power constants.
+ */
+EnergyReport estimateEnergy(const ExperimentReport &report,
+                            const ExperimentConfig &cfg,
+                            const PowerModel &power = {});
+
+/** One-line rendering ("2.1 kJ/iter, 4.1 kW avg, 7.9 tokens/J"). */
+std::string summarizeEnergy(const EnergyReport &energy);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_CORE_ENERGY_HH

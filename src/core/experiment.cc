@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of the experiment facade.
+ */
+
+#include "core/experiment.hh"
+
+#include "model/flops.hh"
+#include "util/logging.hh"
+
+namespace dstrain {
+
+Experiment::Experiment(ExperimentConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    validateStrategy(cfg_.strategy);
+
+    // NVMe strategies must train against the configured placement's
+    // drives; install them into the node spec before building.
+    if (cfg_.strategy.offload == OffloadTarget::Nvme)
+        applyPlacement(cfg_.placement, cfg_.cluster.node);
+
+    // Resolve the model size.
+    if (cfg_.model_billions > 0.0) {
+        model_ = ladderEntryFor(cfg_.model_billions);
+        if (!fitsCluster(TransformerConfig::gpt2Like(model_.layers),
+                         cfg_.strategy, cfg_.cluster, cfg_.batch_per_gpu,
+                         cfg_.memory_cal)) {
+            warn("%s cannot fit %.1fB on this cluster per the memory "
+                 "model; simulating anyway (throughput study)",
+                 cfg_.strategy.displayName().c_str(), model_.billions);
+        }
+    } else {
+        model_ = solveMaxModel(cfg_.strategy, cfg_.cluster,
+                               cfg_.batch_per_gpu, cfg_.memory_cal)
+                     .entry;
+    }
+
+    sim_ = std::make_unique<Simulation>(cfg_.seed);
+    cluster_ = std::make_unique<Cluster>(cfg_.cluster);
+    flows_ = std::make_unique<FlowScheduler>(*sim_, cluster_->topology());
+    tm_ = std::make_unique<TransferManager>(*sim_, *cluster_, *flows_);
+    coll_ = std::make_unique<CollectiveEngine>(*tm_);
+    aio_ = std::make_unique<AioEngine>(*tm_);
+    executor_ = std::make_unique<Executor>(*sim_, *cluster_, *flows_,
+                                           *tm_, *coll_, *aio_,
+                                           cfg_.engine_cal);
+    executor_->configureStorage(cfg_.placement);
+}
+
+Experiment::~Experiment() = default;
+
+ExperimentReport
+Experiment::run()
+{
+    DSTRAIN_ASSERT(!ran_, "Experiment::run() called twice");
+    ran_ = true;
+
+    const TransformerConfig model_cfg =
+        TransformerConfig::gpt2Like(model_.layers);
+
+    PlanContext ctx{*cluster_, model_cfg, cfg_.batch_per_gpu,
+                    cfg_.placement, cfg_.tuning};
+    std::unique_ptr<Strategy> strategy =
+        Strategy::create(cfg_.strategy);
+    IterationPlan plan = strategy->buildIteration(ctx);
+
+    ExperimentReport report;
+    report.strategy = cfg_.strategy;
+    report.model = model_;
+    report.execution =
+        executor_->run(plan, cfg_.iterations, cfg_.warmup);
+    report.iteration_time = report.execution.avgIterationTime();
+    report.tflops = report.execution.achievedTflops();
+
+    report.footprint = computeFootprint(
+        model_cfg, cfg_.strategy, cfg_.cluster.totalGpus(),
+        cfg_.cluster.nodes, cfg_.batch_per_gpu, cfg_.memory_cal);
+    report.composition = composeMemory(
+        cfg_.strategy.displayName(), report.footprint,
+        cfg_.cluster.totalGpus(), cfg_.cluster.nodes);
+
+    report.bandwidth = measureBandwidthRow(
+        cfg_.strategy.displayName(), cluster_->topology(),
+        report.execution.measured_begin, report.execution.measured_end);
+    return report;
+}
+
+ExperimentReport
+runExperiment(ExperimentConfig cfg)
+{
+    Experiment exp(std::move(cfg));
+    return exp.run();
+}
+
+} // namespace dstrain

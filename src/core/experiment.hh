@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The top-level dstrain API: configure a cluster, a strategy and a
+ * model size; run the simulated training; get back the paper's
+ * metrics (achieved model size, compute throughput, memory
+ * composition, per-interconnect bandwidth).
+ *
+ * Typical use (see examples/quickstart.cpp):
+ * @code
+ *   ExperimentConfig cfg;
+ *   cfg.cluster.nodes = 2;
+ *   cfg.strategy = StrategyConfig::zero(3);
+ *   cfg.model_billions = 0.0;           // 0 = largest that fits
+ *   Experiment exp(cfg);
+ *   ExperimentReport report = exp.run();
+ * @endcode
+ */
+
+#ifndef DSTRAIN_CORE_EXPERIMENT_HH
+#define DSTRAIN_CORE_EXPERIMENT_HH
+
+#include <memory>
+
+#include "engine/executor.hh"
+#include "memplan/capacity_solver.hh"
+#include "memplan/composition.hh"
+#include "telemetry/summary.hh"
+
+namespace dstrain {
+
+/** Everything that defines one experiment run. */
+struct ExperimentConfig {
+    /** The cluster (defaults to one XE8545 node). */
+    ClusterSpec cluster;
+
+    /** The training strategy. */
+    StrategyConfig strategy;
+
+    /**
+     * Model size in billions of parameters (snapped to the paper
+     * ladder); 0 means "the largest model that fits" (the paper's
+     * achieved-model-size methodology).
+     */
+    double model_billions = 0.0;
+
+    int batch_per_gpu = 16;
+
+    /** Iterations to simulate and how many to discard as warm-up. */
+    int iterations = 6;
+    int warmup = 2;
+
+    PlanTuning tuning;
+
+    /** NVMe drive placement (ZeRO-Infinity only). */
+    NvmePlacement placement = nvmePlacementConfig('B');
+
+    MemoryCalibration memory_cal;
+    EngineCalibration engine_cal;
+
+    std::uint64_t seed = 1;
+};
+
+/** The metrics one run produces. */
+struct ExperimentReport {
+    StrategyConfig strategy;
+    LadderEntry model;              ///< the size actually trained
+    SimTime iteration_time = 0.0;   ///< mean measured iteration time
+    double tflops = 0.0;            ///< aggregate achieved TFLOP/s
+    MemoryFootprint footprint;
+    MemoryComposition composition;
+    BandwidthRow bandwidth;         ///< Table IV row
+    IterationResult execution;      ///< raw timings + spans
+};
+
+/**
+ * One experiment: owns the simulation, the cluster and every engine;
+ * remains inspectable after run() for figure-specific probing.
+ */
+class Experiment
+{
+  public:
+    explicit Experiment(ExperimentConfig cfg);
+    ~Experiment();
+
+    Experiment(const Experiment &) = delete;
+    Experiment &operator=(const Experiment &) = delete;
+
+    /** Run the experiment (once per Experiment instance). */
+    ExperimentReport run();
+
+    // --- post-run inspection --------------------------------------------
+
+    const ExperimentConfig &config() const { return cfg_; }
+    Cluster &cluster() { return *cluster_; }
+    Simulation &sim() { return *sim_; }
+
+    /** The resolved model (after ladder snap / capacity solve). */
+    const LadderEntry &model() const { return model_; }
+
+  private:
+    ExperimentConfig cfg_;
+    LadderEntry model_;
+    std::unique_ptr<Simulation> sim_;
+    std::unique_ptr<Cluster> cluster_;
+    std::unique_ptr<FlowScheduler> flows_;
+    std::unique_ptr<TransferManager> tm_;
+    std::unique_ptr<CollectiveEngine> coll_;
+    std::unique_ptr<AioEngine> aio_;
+    std::unique_ptr<Executor> executor_;
+    bool ran_ = false;
+};
+
+/** Convenience: configure + run in one call. */
+ExperimentReport runExperiment(ExperimentConfig cfg);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_CORE_EXPERIMENT_HH

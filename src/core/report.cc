@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Implementation of the report rendering.
+ */
+
+#include "core/report.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace dstrain {
+
+std::string
+summarizeReport(const ExperimentReport &report)
+{
+    return csprintf("%-28s %6.1fB params  %8.1f TFLOP/s  iter %s",
+                    report.strategy.displayName().c_str(),
+                    report.model.billions, report.tflops,
+                    formatTime(report.iteration_time).c_str());
+}
+
+TextTable
+comparisonTable(const std::vector<ExperimentReport> &reports)
+{
+    TextTable table({"Configuration", "Model (B params)",
+                     "Throughput (TFLOP/s)", "Iteration (s)",
+                     "GPU mem/GPU (GB)", "CPU mem/node (GB)",
+                     "NVMe/node (GB)"});
+    for (const ExperimentReport &r : reports) {
+        table.addRow({
+            r.strategy.displayName(),
+            csprintf("%.1f", r.model.billions),
+            csprintf("%.1f", r.tflops),
+            csprintf("%.3f", r.iteration_time),
+            csprintf("%.1f", r.footprint.gpu_per_gpu / units::GB),
+            csprintf("%.1f", r.footprint.cpu_per_node / units::GB),
+            csprintf("%.1f", r.footprint.nvme_per_node / units::GB),
+        });
+    }
+    return table;
+}
+
+TextTable
+compositionTable(const std::vector<ExperimentReport> &reports)
+{
+    TextTable table({"Configuration", "Total (GB)", "GPU", "CPU",
+                     "NVMe"});
+    for (const ExperimentReport &r : reports) {
+        const MemoryComposition &c = r.composition;
+        table.addRow({
+            r.strategy.displayName(),
+            csprintf("%.0f", c.total() / units::GB),
+            compositionCell(c.gpu, c.gpuShare()),
+            compositionCell(c.cpu, c.cpuShare()),
+            compositionCell(c.nvme, c.nvmeShare()),
+        });
+    }
+    return table;
+}
+
+std::string
+barChart(const std::vector<std::string> &labels,
+         const std::vector<double> &values, const std::string &unit,
+         int width)
+{
+    DSTRAIN_ASSERT(labels.size() == values.size(),
+                   "bar chart labels/values mismatch");
+    double max_v = 0.0;
+    std::size_t max_label = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        max_v = std::max(max_v, values[i]);
+        max_label = std::max(max_label, labels[i].size());
+    }
+    if (max_v <= 0.0)
+        max_v = 1.0;
+
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const int bar = static_cast<int>(values[i] / max_v * width);
+        out += csprintf("%s |%s%s %.1f %s\n",
+                        padRight(labels[i], max_label).c_str(),
+                        std::string(static_cast<std::size_t>(bar), '#')
+                            .c_str(),
+                        std::string(
+                            static_cast<std::size_t>(width - bar), ' ')
+                            .c_str(),
+                        values[i], unit.c_str());
+    }
+    return out;
+}
+
+std::string
+sparkline(const std::vector<double> &values, int width)
+{
+    static const char glyphs[] = " .:-=+*#%@";
+    constexpr int kLevels = 9;
+    if (values.empty() || width <= 0)
+        return "";
+    double max_v = 0.0;
+    for (double v : values)
+        max_v = std::max(max_v, v);
+    if (max_v <= 0.0)
+        max_v = 1.0;
+
+    std::string out;
+    const std::size_t n = values.size();
+    const int cols = std::min<int>(width, static_cast<int>(n));
+    for (int c = 0; c < cols; ++c) {
+        const std::size_t lo = static_cast<std::size_t>(c) * n /
+                               static_cast<std::size_t>(cols);
+        const std::size_t hi = (static_cast<std::size_t>(c) + 1) * n /
+                               static_cast<std::size_t>(cols);
+        double sum = 0.0;
+        for (std::size_t i = lo; i < std::max(hi, lo + 1); ++i)
+            sum += values[i];
+        const double mean = sum / std::max<std::size_t>(hi - lo, 1);
+        const int level =
+            static_cast<int>(mean / max_v * kLevels + 0.5);
+        out += glyphs[std::clamp(level, 0, kLevels)];
+    }
+    return out;
+}
+
+} // namespace dstrain

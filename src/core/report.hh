@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Report rendering: turn ExperimentReports into the tables and
+ * figure-style text blocks the benches print.
+ */
+
+#ifndef DSTRAIN_CORE_REPORT_HH
+#define DSTRAIN_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace dstrain {
+
+/** One-line summary ("ZeRO-3: 6.6B, 381 TFLOP/s, iter 2.27 s"). */
+std::string summarizeReport(const ExperimentReport &report);
+
+/**
+ * A comparison table over several reports: model size, throughput,
+ * iteration time, memory totals.
+ */
+TextTable comparisonTable(const std::vector<ExperimentReport> &reports);
+
+/** A memory-composition table (paper Fig. 11-b / 13-c style). */
+TextTable
+compositionTable(const std::vector<ExperimentReport> &reports);
+
+/**
+ * A horizontal ASCII bar chart: one row per (label, value) with
+ * bars scaled to the maximum value.
+ */
+std::string barChart(const std::vector<std::string> &labels,
+                     const std::vector<double> &values,
+                     const std::string &unit, int width = 50);
+
+/**
+ * A one-line ASCII sparkline of a series (downsampled to @p width
+ * columns; glyphs " .:-=+*#%@" scale with the bucket mean relative
+ * to the series maximum). Used for the bandwidth-pattern figures.
+ */
+std::string sparkline(const std::vector<double> &values, int width = 80);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_CORE_REPORT_HH

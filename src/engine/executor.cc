@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Implementation of the plan executor.
+ */
+
+#include "engine/executor.hh"
+
+#include <functional>
+#include <memory>
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+double
+EngineCalibration::gemmEfficiency(int layers) const
+{
+    return gemm_eff_max *
+           (1.0 - gemm_eff_dip *
+                      std::exp(-static_cast<double>(layers) /
+                               gemm_eff_layer_scale));
+}
+
+/** Mutable state of one iteration execution. */
+struct Executor::RunState {
+    const IterationPlan *plan = nullptr;
+    std::vector<int> pending_deps;
+    std::vector<std::vector<int>> dependents;
+    std::vector<SimTime> start_time;
+    int remaining = 0;
+    bool record_spans = false;
+    std::vector<TaskSpan> *spans = nullptr;
+    std::function<void()> on_done;
+
+    // Per-GPU FIFO execution of compute tasks.
+    std::map<int, std::deque<int>> gpu_queue;
+    std::map<int, bool> gpu_busy;
+
+    // Per-socket FIFO execution of CPU optimizer tasks.
+    std::map<std::pair<int, int>, std::deque<int>> cpu_queue;
+    std::map<std::pair<int, int>, bool> cpu_busy;
+};
+
+Executor::Executor(Simulation &sim, Cluster &cluster,
+                   FlowScheduler &flows, TransferManager &tm,
+                   CollectiveEngine &coll, AioEngine &aio,
+                   EngineCalibration cal)
+    : sim_(sim), cluster_(cluster), flows_(flows), tm_(tm), coll_(coll),
+      aio_(aio), cal_(cal)
+{
+}
+
+void
+Executor::configureStorage(const NvmePlacement &placement)
+{
+    placement_ = placement;
+    volumes_.clear();
+    volumes_.resize(static_cast<std::size_t>(cluster_.nodeCount()));
+    for (int node = 0; node < cluster_.nodeCount(); ++node) {
+        for (const VolumeSpec &vs : placement.volumes) {
+            volumes_[static_cast<std::size_t>(node)].push_back(
+                std::make_unique<StorageVolume>(aio_, node, vs));
+        }
+    }
+}
+
+void
+Executor::onTaskDone(RunState &st, int task_id)
+{
+    const PlanTask &t = st.plan->tasks()[static_cast<std::size_t>(task_id)];
+    if (st.record_spans && t.kind != TaskKind::Barrier) {
+        if (t.kind == TaskKind::Collective) {
+            for (int r : t.group.ranks) {
+                st.spans->push_back(TaskSpan{
+                    t.id, r, t.kind, t.phase,
+                    st.start_time[static_cast<std::size_t>(task_id)],
+                    sim_.now(), t.label});
+            }
+        } else {
+            st.spans->push_back(TaskSpan{
+                t.id, t.rank, t.kind, t.phase,
+                st.start_time[static_cast<std::size_t>(task_id)],
+                sim_.now(), t.label});
+        }
+    }
+
+    --st.remaining;
+    for (int dep : st.dependents[static_cast<std::size_t>(task_id)]) {
+        if (--st.pending_deps[static_cast<std::size_t>(dep)] == 0)
+            startTask(st, dep);
+    }
+    if (st.remaining == 0 && st.on_done)
+        st.on_done();
+}
+
+void
+Executor::dispatchGpu(RunState &st, int rank)
+{
+    auto &queue = st.gpu_queue[rank];
+    if (st.gpu_busy[rank] || queue.empty())
+        return;
+    const int task_id = queue.front();
+    queue.pop_front();
+    st.gpu_busy[rank] = true;
+
+    const PlanTask &t = st.plan->tasks()[static_cast<std::size_t>(task_id)];
+    const Flops peak = cluster_.spec().node.gpu_peak_fp16;
+    const double eff = cal_.gemmEfficiency(st.plan->modelLayers());
+    const SimTime duration = t.flops / (peak * eff);
+    st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
+    sim_.events().scheduleAfter(duration, [this, &st, task_id, rank] {
+        st.gpu_busy[rank] = false;
+        onTaskDone(st, task_id);
+        dispatchGpu(st, rank);
+    });
+}
+
+void
+Executor::dispatchCpu(RunState &st, int node, int socket)
+{
+    const auto key = std::make_pair(node, socket);
+    auto &queue = st.cpu_queue[key];
+    if (st.cpu_busy[key] || queue.empty())
+        return;
+    const int task_id = queue.front();
+    queue.pop_front();
+    st.cpu_busy[key] = true;
+
+    const PlanTask &t = st.plan->tasks()[static_cast<std::size_t>(task_id)];
+    const SimTime duration = t.cpu_params / cal_.cpu_adam_params_per_sec;
+    const Bytes dram_traffic =
+        t.cpu_params * cal_.cpu_adam_dram_bytes_per_param;
+    st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
+
+    // The Adam step is memory-bound: model it as a DRAM flow pinned
+    // at the rate the compute needs. Contention on the DRAM pool
+    // stretches the step, which is exactly the physical effect.
+    TransferOptions opts;
+    opts.rate_cap = dram_traffic / duration;
+    opts.tag = t.label;
+    const NodeHandles &nh = cluster_.node(node);
+    tm_.start(nh.drams[static_cast<std::size_t>(socket)],
+              nh.cpus[static_cast<std::size_t>(socket)], dram_traffic,
+              [this, &st, task_id, key] {
+                  st.cpu_busy[key] = false;
+                  onTaskDone(st, task_id);
+                  dispatchCpu(st, key.first, key.second);
+              },
+              std::move(opts));
+}
+
+void
+Executor::startTask(RunState &st, int task_id)
+{
+    const PlanTask &t = st.plan->tasks()[static_cast<std::size_t>(task_id)];
+    switch (t.kind) {
+      case TaskKind::Barrier: {
+        st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
+        sim_.events().scheduleAfter(
+            0.0, [this, &st, task_id] { onTaskDone(st, task_id); });
+        break;
+      }
+      case TaskKind::GpuCompute: {
+        st.gpu_queue[t.rank].push_back(task_id);
+        dispatchGpu(st, t.rank);
+        break;
+      }
+      case TaskKind::Collective: {
+        st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
+        sim_.events().scheduleAfter(
+            cal_.collective_launch +
+                st.plan->tasks()[static_cast<std::size_t>(task_id)]
+                    .extra_latency,
+            [this, &st, task_id] {
+                const PlanTask &task =
+                    st.plan->tasks()[static_cast<std::size_t>(task_id)];
+                CollectiveOptions opts;
+                opts.pin_channels_to_nics = task.pin_channels;
+                opts.bandwidth_factor = task.comm_bw_factor;
+                bool spans = false;
+                const int node0 =
+                    cluster_.nodeOfRank(task.group.ranks.front());
+                for (int r : task.group.ranks)
+                    spans = spans || cluster_.nodeOfRank(r) != node0;
+                if (spans)
+                    opts.bandwidth_factor = cal_.internode_comm_factor;
+                opts.tag = task.label;
+                auto done = [this, &st, task_id] {
+                    onTaskDone(st, task_id);
+                };
+                switch (task.op) {
+                  case CollectiveOp::AllReduce:
+                    coll_.allReduce(task.group, task.bytes, done, opts);
+                    break;
+                  case CollectiveOp::ReduceScatter:
+                    coll_.reduceScatter(task.group, task.bytes, done,
+                                        opts);
+                    break;
+                  case CollectiveOp::AllGather:
+                    coll_.allGather(task.group, task.bytes, done, opts);
+                    break;
+                  case CollectiveOp::Broadcast:
+                    coll_.broadcast(task.group, task.root, task.bytes,
+                                    done, opts);
+                    break;
+                  case CollectiveOp::Reduce:
+                    coll_.reduce(task.group, task.root, task.bytes, done,
+                                 opts);
+                    break;
+                }
+            });
+        break;
+      }
+      case TaskKind::HostTransfer: {
+        st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
+        const int node = cluster_.nodeOfRank(t.rank);
+        const int socket =
+            gpuSocket(cluster_.spec().node, cluster_.localOfRank(t.rank));
+        const NodeHandles &nh = cluster_.node(node);
+        const ComponentId gpu = cluster_.gpuByRank(t.rank);
+        const ComponentId dram =
+            nh.drams[static_cast<std::size_t>(socket)];
+        TransferOptions opts;
+        opts.tag = t.label;
+        tm_.start(t.to_host ? gpu : dram, t.to_host ? dram : gpu,
+                  t.bytes,
+                  [this, &st, task_id] { onTaskDone(st, task_id); },
+                  std::move(opts));
+        break;
+      }
+      case TaskKind::CpuOptimizer: {
+        st.cpu_queue[{t.node, t.socket}].push_back(task_id);
+        dispatchCpu(st, t.node, t.socket);
+        break;
+      }
+      case TaskKind::NvmeIo: {
+        st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
+        const int node = cluster_.nodeOfRank(t.rank);
+        const int socket =
+            gpuSocket(cluster_.spec().node, cluster_.localOfRank(t.rank));
+        DSTRAIN_ASSERT(node < static_cast<int>(volumes_.size()) &&
+                           t.volume < static_cast<int>(
+                                          volumes_[static_cast<
+                                              std::size_t>(node)]
+                                              .size()),
+                       "NvmeIo task '%s' has no volume %d on node %d "
+                       "(configureStorage not called?)",
+                       t.label.c_str(), t.volume, node);
+        StorageIo io;
+        io.write = t.io_write;
+        io.bytes = t.bytes;
+        io.node = node;
+        io.socket = socket;
+        io.tag = t.label;
+        io.on_done = [this, &st, task_id] { onTaskDone(st, task_id); };
+        volumes_[static_cast<std::size_t>(node)]
+                [static_cast<std::size_t>(t.volume)]
+                    ->io(std::move(io));
+        break;
+      }
+    }
+}
+
+IterationResult
+Executor::run(const IterationPlan &plan, int iterations, int warmup)
+{
+    DSTRAIN_ASSERT(iterations >= 1 && warmup >= 0 &&
+                       warmup < iterations,
+                   "bad iteration counts (%d total, %d warmup)",
+                   iterations, warmup);
+    plan.validate();
+
+    auto result = std::make_shared<IterationResult>();
+    result->flops_per_iteration = plan.totalGpuFlops();
+
+    auto state = std::make_shared<RunState>();
+    auto iter_index = std::make_shared<int>(0);
+    auto start_next = std::make_shared<std::function<void()>>();
+
+    *start_next = [this, &plan, result, state, iter_index, start_next,
+                   iterations]() {
+        if (*iter_index >= iterations)
+            return;
+        RunState &st = *state;
+        st = RunState{};
+        st.plan = &plan;
+        const std::size_t n = plan.size();
+        st.pending_deps.assign(n, 0);
+        st.dependents.assign(n, {});
+        st.start_time.assign(n, 0.0);
+        st.remaining = static_cast<int>(n);
+        st.record_spans = (*iter_index == iterations - 1);
+        st.spans = &result->spans;
+        st.on_done = [this, result, state, iter_index, start_next]() {
+            result->iteration_ends.push_back(sim_.now());
+            ++*iter_index;
+            // Defer the next iteration to a fresh event so the
+            // current iteration's callbacks fully unwind first.
+            sim_.events().scheduleAfter(0.0,
+                                        [start_next] { (*start_next)(); });
+        };
+        for (const PlanTask &t : plan.tasks()) {
+            st.pending_deps[static_cast<std::size_t>(t.id)] =
+                static_cast<int>(t.deps.size());
+            for (int dep : t.deps)
+                st.dependents[static_cast<std::size_t>(dep)].push_back(
+                    t.id);
+        }
+        // The fixed per-iteration framework overhead delays the
+        // first tasks of the iteration.
+        sim_.events().scheduleAfter(cal_.iteration_fixed,
+                                    [this, state] {
+            RunState &s2 = *state;
+            for (const PlanTask &t : s2.plan->tasks())
+                if (t.deps.empty())
+                    startTask(s2, t.id);
+        });
+    };
+
+    (*start_next)();
+    sim_.run();
+    sim_.checkEventLimit();
+    *start_next = nullptr;  // break the self-reference cycle
+
+    if (state->remaining != 0) {
+        panic("plan execution deadlocked with %d tasks outstanding",
+              state->remaining);
+    }
+    DSTRAIN_ASSERT(static_cast<int>(result->iteration_ends.size()) ==
+                       iterations,
+                   "iteration count mismatch");
+
+    result->measured_begin =
+        warmup == 0 ? 0.0
+                    : result->iteration_ends[static_cast<std::size_t>(
+                          warmup - 1)];
+    result->measured_end = result->iteration_ends.back();
+    flows_.finalizeLogs();
+    return *result;
+}
+
+} // namespace dstrain

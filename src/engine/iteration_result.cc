@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Implementation of the iteration result helpers.
+ */
+
+#include "engine/iteration_result.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+int
+IterationResult::measuredIterations() const
+{
+    int count = 0;
+    for (SimTime t : iteration_ends)
+        if (t > measured_begin && t <= measured_end)
+            ++count;
+    return count;
+}
+
+SimTime
+IterationResult::avgIterationTime() const
+{
+    const int n = measuredIterations();
+    DSTRAIN_ASSERT(n > 0, "no measured iterations");
+    return (measured_end - measured_begin) / n;
+}
+
+double
+IterationResult::achievedTflops() const
+{
+    return flops_per_iteration / avgIterationTime() / 1e12;
+}
+
+} // namespace dstrain

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Results of executing an iteration plan: iteration boundaries, the
+ * measurement window, achieved throughput, and task spans for
+ * timeline rendering (paper Fig. 5).
+ */
+
+#ifndef DSTRAIN_ENGINE_ITERATION_RESULT_HH
+#define DSTRAIN_ENGINE_ITERATION_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "strategies/iteration_plan.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** One executed task occurrence (for timelines). */
+struct TaskSpan {
+    int task_id = -1;
+    int rank = -1;  ///< -1 for host-side work
+    TaskKind kind = TaskKind::Barrier;
+    ComputePhase phase = ComputePhase::Idle;
+    SimTime begin = 0.0;
+    SimTime end = 0.0;
+    std::string label;
+};
+
+/** The outcome of Executor::run(). */
+struct IterationResult {
+    /** Completion time of every iteration, in order. */
+    std::vector<SimTime> iteration_ends;
+
+    /** Measurement window (excludes warm-up iterations). */
+    SimTime measured_begin = 0.0;
+    SimTime measured_end = 0.0;
+
+    /** Executed GPU FLOPs per iteration (from the plan). */
+    Flops flops_per_iteration = 0.0;
+
+    /** Spans of the final iteration (timeline source). */
+    std::vector<TaskSpan> spans;
+
+    /** Number of measured (non-warm-up) iterations. */
+    int measuredIterations() const;
+
+    /** Mean measured iteration time. */
+    SimTime avgIterationTime() const;
+
+    /** Aggregate achieved TFLOP/s over the measurement window. */
+    double achievedTflops() const;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_ENGINE_ITERATION_RESULT_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Implementation of the Chrome-trace exporter.
+ */
+
+#include "engine/trace_export.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Trace "thread id" of a span (GPU ranks, then the host row). */
+int
+traceThread(const TaskSpan &span)
+{
+    if (span.kind == TaskKind::CpuOptimizer || span.rank < 0)
+        return 1000;  // host thread
+    return span.rank;
+}
+
+} // namespace
+
+std::string
+renderChromeTrace(const std::vector<TaskSpan> &spans, TraceOptions opts)
+{
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    auto emit = [&out, &first](const std::string &event) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += event;
+    };
+
+    emit(csprintf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  jsonEscape(opts.process_name).c_str()));
+
+    std::vector<int> threads_seen;
+    for (const TaskSpan &s : spans) {
+        if (opts.end > opts.begin &&
+            (s.end <= opts.begin || s.begin >= opts.end)) {
+            continue;
+        }
+        const int tid = traceThread(s);
+        if (std::find(threads_seen.begin(), threads_seen.end(), tid) ==
+            threads_seen.end()) {
+            threads_seen.push_back(tid);
+            const std::string name =
+                tid == 1000 ? "host" : csprintf("gpu%d", tid);
+            emit(csprintf("{\"name\":\"thread_name\",\"ph\":\"M\","
+                          "\"pid\":1,\"tid\":%d,"
+                          "\"args\":{\"name\":\"%s\"}}",
+                          tid, name.c_str()));
+        }
+        emit(csprintf(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+            "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+            jsonEscape(s.label).c_str(), computePhaseName(s.phase), tid,
+            s.begin * 1e6, (s.end - s.begin) * 1e6));
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<TaskSpan> &spans, TraceOptions opts)
+{
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot open '%s' for trace export", path.c_str());
+        return false;
+    }
+    file << renderChromeTrace(spans, std::move(opts));
+    return static_cast<bool>(file);
+}
+
+} // namespace dstrain

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto) export of executed task
+ * spans — the shareable equivalent of the paper's NVIDIA Nsight
+ * Systems timelines (Sec. III-B1). Each GPU rank becomes a trace
+ * "thread", host-side optimizer work gets its own thread, and every
+ * span becomes a complete ("X") event with its phase as the
+ * category.
+ */
+
+#ifndef DSTRAIN_ENGINE_TRACE_EXPORT_HH
+#define DSTRAIN_ENGINE_TRACE_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "engine/iteration_result.hh"
+
+namespace dstrain {
+
+/** Options for the trace writer. */
+struct TraceOptions {
+    /** Display name of the trace process. */
+    std::string process_name = "dstrain";
+
+    /** Clip spans to [begin, end); 0/0 = everything. */
+    SimTime begin = 0.0;
+    SimTime end = 0.0;
+};
+
+/**
+ * Render spans as a Chrome trace-event JSON document
+ * (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+ *
+ * Timestamps are microseconds, as the format requires.
+ */
+std::string renderChromeTrace(const std::vector<TaskSpan> &spans,
+                              TraceOptions opts = {});
+
+/**
+ * Write a Chrome trace to @p path.
+ * @return true on success (warn() and false otherwise).
+ */
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<TaskSpan> &spans,
+                      TraceOptions opts = {});
+
+/** Escape a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string &text);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_ENGINE_TRACE_EXPORT_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the cluster builder.
+ */
+
+#include "hw/cluster.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+Cluster::Cluster(const ClusterSpec &spec)
+    : spec_(spec)
+{
+    DSTRAIN_ASSERT(spec_.nodes >= 1, "cluster needs at least one node");
+
+    for (int n = 0; n < spec_.nodes; ++n) {
+        nodes_.push_back(buildNode(topo_, n, spec_.node));
+        for (ComponentId gpu : nodes_.back().gpus)
+            all_gpus_.push_back(gpu);
+    }
+
+    if (spec_.nodes > 1) {
+        // The SN3700 switch: modeled as a non-blocking hub. Each NIC
+        // gets a duplex RoCE link at the 200 Gbps line rate; the
+        // switch fabric (12.8 Tbps) is never the bottleneck, so no
+        // fabric resource is added.
+        switch_ = topo_.addComponent(ComponentKind::Switch, "sw0", -1, -1,
+                                     0);
+        for (int n = 0; n < spec_.nodes; ++n) {
+            for (std::size_t s = 0; s < nodes_[n].nics.size(); ++s) {
+                topo_.addDuplexLink(
+                    LinkClass::Roce, spec_.node.roce_per_dir,
+                    nodes_[static_cast<std::size_t>(n)].nics[s], switch_,
+                    PortKind::Device, PortKind::Device,
+                    spec_.node.roce_latency,
+                    csprintf("n%d.roce-nic%zu", n, s));
+            }
+        }
+    }
+
+    router_ = std::make_unique<Router>(
+        topo_, spec_.node.model_serdes_contention);
+}
+
+const NodeHandles &
+Cluster::node(int n) const
+{
+    DSTRAIN_ASSERT(n >= 0 && n < static_cast<int>(nodes_.size()),
+                   "bad node index %d", n);
+    return nodes_[static_cast<std::size_t>(n)];
+}
+
+ComponentId
+Cluster::gpuByRank(int rank) const
+{
+    DSTRAIN_ASSERT(rank >= 0 &&
+                       rank < static_cast<int>(all_gpus_.size()),
+                   "bad gpu rank %d", rank);
+    return all_gpus_[static_cast<std::size_t>(rank)];
+}
+
+int
+Cluster::rankOfGpu(ComponentId gpu) const
+{
+    for (std::size_t i = 0; i < all_gpus_.size(); ++i)
+        if (all_gpus_[i] == gpu)
+            return static_cast<int>(i);
+    panic("component %d is not a GPU of this cluster", gpu);
+}
+
+} // namespace dstrain

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The cluster: one or more XE8545-style nodes joined by an Ethernet
+ * switch carrying RoCE traffic (paper Fig. 2-a), plus convenient
+ * component lookup and the router.
+ */
+
+#ifndef DSTRAIN_HW_CLUSTER_HH
+#define DSTRAIN_HW_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "hw/node_builder.hh"
+#include "hw/routing.hh"
+#include "hw/topology.hh"
+
+namespace dstrain {
+
+/** The whole-cluster specification. */
+struct ClusterSpec {
+    int nodes = 1;        ///< number of compute nodes
+    NodeSpec node;        ///< per-node hardware (identical nodes)
+
+    /** Total GPUs in the cluster. */
+    int totalGpus() const { return nodes * node.gpus; }
+};
+
+/**
+ * A built cluster: owns the topology, per-node handles, the switch,
+ * and a router. Construction is the only mutation; afterwards only
+ * resource rate logs change.
+ */
+class Cluster
+{
+  public:
+    /** Build the cluster described by @p spec. */
+    explicit Cluster(const ClusterSpec &spec);
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    const ClusterSpec &spec() const { return spec_; }
+    Topology &topology() { return topo_; }
+    const Topology &topology() const { return topo_; }
+    const Router &router() const { return *router_; }
+
+    int nodeCount() const { return spec_.nodes; }
+
+    /** Handles for one node. */
+    const NodeHandles &node(int n) const;
+
+    /** The switch component (kNoComponent for single-node clusters). */
+    ComponentId ethernetSwitch() const { return switch_; }
+
+    // --- flattened global indices --------------------------------------
+
+    /** GPU component by global rank (node-major order). */
+    ComponentId gpuByRank(int rank) const;
+
+    /** Global rank of a GPU component id. */
+    int rankOfGpu(ComponentId gpu) const;
+
+    /** Node index of a global rank. */
+    int nodeOfRank(int rank) const { return rank / spec_.node.gpus; }
+
+    /** In-node GPU index of a global rank. */
+    int localOfRank(int rank) const { return rank % spec_.node.gpus; }
+
+    /** All GPU component ids in rank order. */
+    const std::vector<ComponentId> &allGpus() const { return all_gpus_; }
+
+  private:
+    ClusterSpec spec_;
+    Topology topo_;
+    std::vector<NodeHandles> nodes_;
+    std::vector<ComponentId> all_gpus_;
+    ComponentId switch_ = kNoComponent;
+    std::unique_ptr<Router> router_;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_HW_CLUSTER_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Implementation of link primitives.
+ */
+
+#include "hw/link.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+const char *
+linkClassName(LinkClass cls)
+{
+    switch (cls) {
+      case LinkClass::Dram:
+        return "DRAM";
+      case LinkClass::Xgmi:
+        return "xGMI";
+      case LinkClass::PcieGpu:
+        return "PCIe-GPU";
+      case LinkClass::PcieNvme:
+        return "PCIe-NVME";
+      case LinkClass::PcieNic:
+        return "PCIe-NIC";
+      case LinkClass::NvLink:
+        return "NVLink";
+      case LinkClass::Roce:
+        return "RoCE";
+      case LinkClass::NvmeMedia:
+        return "NVMe-media";
+      case LinkClass::IodXbar:
+        return "IOD-xbar";
+    }
+    panic("unknown LinkClass %d", static_cast<int>(cls));
+}
+
+double
+linkClassEfficiency(LinkClass cls)
+{
+    // Protocol/encoding efficiency: the achievable fraction of the
+    // quoted line rate under ideal (same-socket, uncontended)
+    // conditions. RoCE is calibrated to the paper's 93% stress-test
+    // result; PCIe/NVLink values follow common microbenchmark
+    // achievable rates; DRAM accounts for refresh/turnaround.
+    switch (cls) {
+      case LinkClass::Dram:
+        return 0.85;
+      case LinkClass::Xgmi:
+        return 0.88;
+      case LinkClass::PcieGpu:
+      case LinkClass::PcieNvme:
+      case LinkClass::PcieNic:
+        return 0.82;
+      case LinkClass::NvLink:
+        return 0.80;
+      case LinkClass::Roce:
+        return 0.93;
+      case LinkClass::NvmeMedia:
+      case LinkClass::IodXbar:
+        return 1.0;  // these capacities are already effective rates
+    }
+    panic("unknown LinkClass %d", static_cast<int>(cls));
+}
+
+void
+RateLog::setRate(SimTime t, Bps rate)
+{
+    DSTRAIN_ASSERT(t >= open_since_, "rate log time went backwards");
+    if (rate == current_rate_)
+        return;
+    if (t > open_since_)
+        segments_.push_back(Segment{open_since_, t, current_rate_});
+    open_since_ = t;
+    current_rate_ = rate;
+}
+
+void
+RateLog::finalize(SimTime t)
+{
+    DSTRAIN_ASSERT(t >= open_since_, "finalize before last change");
+    if (t > open_since_)
+        segments_.push_back(Segment{open_since_, t, current_rate_});
+    open_since_ = t;
+}
+
+Bytes
+RateLog::totalBytes() const
+{
+    Bytes total = 0.0;
+    for (const Segment &s : segments_)
+        total += s.rate * (s.end - s.begin);
+    return total;
+}
+
+void
+RateLog::clear()
+{
+    segments_.clear();
+    open_since_ = 0.0;
+    current_rate_ = 0.0;
+}
+
+void
+RateLog::dropBefore(SimTime t)
+{
+    auto keep = std::remove_if(segments_.begin(), segments_.end(),
+                               [t](const Segment &s) { return s.end <= t; });
+    segments_.erase(keep, segments_.end());
+    for (Segment &s : segments_)
+        s.begin = std::max(s.begin, t);
+    open_since_ = std::max(open_since_, t);
+}
+
+} // namespace dstrain

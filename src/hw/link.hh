@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Link/interconnect primitives of the hardware model.
+ *
+ * The paper characterizes seven interconnect classes (Table III):
+ * CPU-DRAM, CPU-CPU (xGMI), CPU-GPU (PCIe), GPU-GPU (NVLink),
+ * CPU-NIC (PCIe), CPU-NVME (PCIe) and inter-node RoCE. dstrain models
+ * each physical interconnect *direction* as a `Resource` with a fixed
+ * capacity; half-duplex interconnects (DRAM) use a single shared
+ * resource for both directions. Flows consume resource capacity and
+ * the per-resource `RateLog` records the piecewise-constant aggregate
+ * rate history that telemetry later buckets into the paper's
+ * avg/90th/peak summaries.
+ */
+
+#ifndef DSTRAIN_HW_LINK_HH
+#define DSTRAIN_HW_LINK_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** The interconnect classes of paper Table III. */
+enum class LinkClass {
+    Dram,      ///< CPU memory channels (half-duplex, shared)
+    Xgmi,      ///< inter-socket Infinity Fabric (IFIS)
+    PcieGpu,   ///< PCIe 4.0 x16 between CPU and GPU
+    PcieNvme,  ///< PCIe 4.0 x4 between CPU and one NVMe drive
+    PcieNic,   ///< PCIe 4.0 x16 between CPU and NIC
+    NvLink,    ///< NVLink 3.0 GPU-GPU bundle
+    Roce,      ///< NIC <-> switch Ethernet/RoCE
+    NvmeMedia, ///< internal NVMe media throughput (device-side cap)
+    IodXbar,   ///< the EPYC IOD crossbar path for sustained
+               ///< SerDes-to-SerDes storage streams (Sec. III-C4)
+};
+
+/** Number of distinct LinkClass values (for array-indexed tables). */
+inline constexpr int kNumLinkClasses = 9;
+
+/** Human-readable class name, matching the paper's column headers. */
+const char *linkClassName(LinkClass cls);
+
+/**
+ * Achievable fraction of theoretical capacity for a class (protocol
+ * and encoding overhead). Calibrated so the stress tests of paper
+ * Sec. III-C reproduce: e.g. same-socket CPU-RoCE reaches 93% of the
+ * RoCE line rate.
+ */
+double linkClassEfficiency(LinkClass cls);
+
+/** How a link attaches at a CPU IOD (for SerDes-contention counting). */
+enum class PortKind {
+    MemCtrl,  ///< via the DDR memory controller (DRAM)
+    SerDes,   ///< via an x16 I/O SerDes set (PCIe, xGMI)
+    Device,   ///< endpoint is not a CPU (GPU/NIC/NVMe/switch side)
+};
+
+/**
+ * Piecewise-constant rate history of one resource.
+ *
+ * The flow scheduler calls setRate() whenever the aggregate rate on
+ * the resource changes; closed segments accumulate and the open
+ * segment is tracked separately. finalize() closes the open segment
+ * at end-of-run so integration and bucketing see the full history.
+ */
+class RateLog
+{
+  public:
+    /** One closed interval of constant rate. */
+    struct Segment {
+        SimTime begin;
+        SimTime end;
+        Bps rate;
+    };
+
+    /** Record a rate change at time @p t. No-op if rate unchanged. */
+    void setRate(SimTime t, Bps rate);
+
+    /** Rate of the open segment. */
+    Bps currentRate() const { return current_rate_; }
+
+    /** Close the open segment at @p t (idempotent for same t). */
+    void finalize(SimTime t);
+
+    /** Closed segments, in time order. */
+    const std::vector<Segment> &segments() const { return segments_; }
+
+    /** Total bytes transferred across all closed segments. */
+    Bytes totalBytes() const;
+
+    /** Forget all history (segments and open state). */
+    void clear();
+
+    /**
+     * Drop closed segments that end at or before @p t (history
+     * truncation between warm-up and measurement windows).
+     */
+    void dropBefore(SimTime t);
+
+  private:
+    std::vector<Segment> segments_;
+    SimTime open_since_ = 0.0;
+    Bps current_rate_ = 0.0;
+};
+
+/** Identifies one capacity resource inside a Topology. */
+using ResourceId = int;
+
+/** An invalid/absent resource id. */
+inline constexpr ResourceId kNoResource = -1;
+
+/**
+ * One direction of an interconnect (or a shared half-duplex pool):
+ * the unit of bandwidth contention in the flow model.
+ */
+struct Resource {
+    ResourceId id = kNoResource;
+    LinkClass cls = LinkClass::Dram;
+    Bps capacity = 0.0;   ///< theoretical capacity of this direction
+    std::string label;    ///< e.g. "n0.pcie-gpu0.fwd"
+    int node = -1;        ///< owning node index, -1 for the switch
+    int socket = -1;      ///< owning socket within node, -1 if n/a
+    RateLog log;          ///< aggregate-rate history for telemetry
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_HW_LINK_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Hardware specification of a Dell PowerEdge XE8545 compute node and
+ * the builder that instantiates it into a Topology.
+ *
+ * Defaults follow paper Table II/III exactly:
+ *   - 2x AMD EPYC 7763 (8 DDR4-3200 channels each, 3 xGMI links)
+ *   - 4x NVIDIA A100 SXM4 40 GB (full NVLink 3.0 mesh, 4 links/pair)
+ *   - GPUs 0-1 on CPU0 (PCIe link #1), GPUs 2-3 on CPU1 (link #3)
+ *   - 1 ConnectX-6 NIC per CPU (PCIe link #2), 200 Gbps RoCE each
+ *   - NVMe drives on PCIe 4.0 x4 (link #0 bifurcated)
+ */
+
+#ifndef DSTRAIN_HW_NODE_BUILDER_HH
+#define DSTRAIN_HW_NODE_BUILDER_HH
+
+#include <vector>
+
+#include "hw/topology.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** One NVMe drive and the socket its PCIe lanes attach to. */
+struct NvmeDriveSpec {
+    int socket = 1;              ///< attachment socket (0 or 1)
+    Bytes capacity = 3.2e12;     ///< 3.2 TB Intel D7-P5600
+
+    /**
+     * Sustained NAND media throughput, shared between reads and
+     * writes (the internal constraint behind the controller). Burst
+     * traffic absorbed by the drive's DRAM cache bypasses it; see
+     * storage/nvme_device.hh.
+     */
+    Bps media_rate = 3.3 * units::GBps;
+};
+
+/** The per-node hardware specification (defaults = XE8545). */
+struct NodeSpec {
+    // --- compute ------------------------------------------------------
+    int sockets = 2;              ///< CPU sockets per node
+    int gpus = 4;                 ///< GPUs per node
+    Flops gpu_peak_fp16 = 312e12; ///< A100 dense fp16 Tensor Core peak
+    Bytes gpu_memory = 40.0 * units::GiB;
+    Bytes cpu_memory = 1024.0 * units::GiB;  ///< per node (16 x 64 GB)
+    int cpu_cores = 128;          ///< total cores per node (2 x 64)
+
+    // --- interconnect bandwidths (per direction unless noted) ---------
+    Bps dram_channel = 25.6 * units::GBps;  ///< half-duplex per channel
+    int dram_channels = 8;                  ///< per socket
+    Bps xgmi_per_link = 36.0 * units::GBps; ///< 18 GT/s x16
+    int xgmi_links = 3;
+    Bps pcie_x16 = 32.0 * units::GBps;      ///< PCIe 4.0 x16
+    Bps pcie_x4 = 8.0 * units::GBps;        ///< PCIe 4.0 x4 (NVMe)
+    Bps nvlink_per_link = 25.0 * units::GBps;
+    int nvlink_links_per_pair = 4;
+    Bps roce_per_dir = 25.0 * units::GBps;  ///< 200 Gbps per NIC
+
+    // --- hop latencies --------------------------------------------------
+    SimTime dram_latency = 90e-9;
+    SimTime xgmi_latency = 120e-9;
+    SimTime pcie_latency = 400e-9;
+    SimTime nvlink_latency = 700e-9;
+    SimTime roce_latency = 1.3e-6;   ///< NIC to switch, one way
+
+    /**
+     * Effective capacity of the IOD crossbar path for *sustained*
+     * cross-socket storage streams (per node, both directions
+     * pooled). This instantiates the paper's SerDes-contention
+     * hypothesis for the constant-pattern NVMe traffic of
+     * ZeRO-Infinity; calibrated to Table VI's RAID0-spanning-sockets
+     * penalty (config E vs F).
+     */
+    Bps iod_storage_crossing = 4.7 * units::GBps;
+
+    /**
+     * Model the IOD SerDes contention at all (ablation switch).
+     * Disabling it answers "what would this cluster do if the CPU's
+     * crossbar were ideal?" — see bench/ablation_serdes.
+     */
+    bool model_serdes_contention = true;
+
+    // --- storage --------------------------------------------------------
+    /** Scratch drives; default = 2 on CPU1 (the paper's RAID0 pair). */
+    std::vector<NvmeDriveSpec> nvme_drives = {NvmeDriveSpec{1},
+                                              NvmeDriveSpec{1}};
+};
+
+/**
+ * The component ids of one built node, for convenient lookup.
+ * Indices follow the spec ordering (gpu[0..], nvme[0..], ...).
+ */
+struct NodeHandles {
+    std::vector<ComponentId> cpus;    ///< one per socket
+    std::vector<ComponentId> drams;   ///< one per socket
+    std::vector<ComponentId> gpus;
+    std::vector<ComponentId> nics;    ///< one per socket
+    std::vector<ComponentId> nvmes;   ///< drive controllers
+    std::vector<ComponentId> nvme_medias;  ///< media behind each drive
+
+    /** Shared IOD-crossbar resource for cross-socket storage flows. */
+    ResourceId iod_crossing = kNoResource;
+};
+
+/**
+ * Instantiate one node into @p topo.
+ *
+ * @param topo   target topology.
+ * @param node   node index (names and lookups key off it).
+ * @param spec   hardware specification.
+ * @return handles to the created components.
+ */
+NodeHandles buildNode(Topology &topo, int node, const NodeSpec &spec);
+
+/** Socket an in-node GPU index attaches to (0-1 -> 0, 2-3 -> 1). */
+int gpuSocket(const NodeSpec &spec, int gpu_index);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_HW_NODE_BUILDER_HH

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Implementation of route computation (BFS with transit filtering).
+ */
+
+#include "hw/routing.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+namespace {
+
+/** May this component forward traffic that is not addressed to it? */
+bool
+isTransit(ComponentKind kind)
+{
+    switch (kind) {
+      case ComponentKind::CpuIod:
+      case ComponentKind::Nic:
+      case ComponentKind::Switch:
+      case ComponentKind::NvmeDrive:  // forwards to its own media
+        return true;
+      case ComponentKind::DramPool:
+      case ComponentKind::Gpu:
+      case ComponentKind::NvmeMedia:
+        return false;
+    }
+    return false;
+}
+
+/** Which SerDes set does a link class use at the CPU IOD? */
+bool
+usesSerdes(LinkClass cls, SerdesSide *side)
+{
+    switch (cls) {
+      case LinkClass::PcieGpu:
+      case LinkClass::PcieNvme:
+      case LinkClass::PcieNic:
+        *side = SerdesSide::Pcie;
+        return true;
+      case LinkClass::Xgmi:
+        *side = SerdesSide::Xgmi;
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Router::Router(const Topology &topo, bool model_serdes)
+    : topo_(topo), model_serdes_(model_serdes)
+{
+    const std::size_t n = topo_.componentCount();
+    cache_.resize(n * n);
+    cached_.resize(n * n, false);
+}
+
+const Route &
+Router::route(ComponentId src, ComponentId dst) const
+{
+    DSTRAIN_ASSERT(src != dst, "route from component %d to itself", src);
+    const std::size_t n = topo_.componentCount();
+    const std::size_t key =
+        static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst);
+    DSTRAIN_ASSERT(key < cache_.size(), "component id out of range");
+    if (!cached_[key]) {
+        cache_[key] = computeRoute(src, dst);
+        cached_[key] = true;
+    }
+    const Route &r = cache_[key];
+    if (!r.valid()) {
+        fatal("no route from %s to %s in this topology",
+              topo_.component(src).name.c_str(),
+              topo_.component(dst).name.c_str());
+    }
+    return r;
+}
+
+Route
+Router::routeVia(ComponentId src, ComponentId via, ComponentId dst) const
+{
+    const Route &a = route(src, via);
+    const Route &b = route(via, dst);
+    std::vector<HalfLinkId> hops = a.hops;
+    hops.insert(hops.end(), b.hops.begin(), b.hops.end());
+    return finishRoute(std::move(hops));
+}
+
+Route
+Router::routeVia2(ComponentId src, ComponentId via_a, ComponentId via_b,
+                  ComponentId dst) const
+{
+    const Route &a = route(src, via_a);
+    const Route &b = route(via_a, via_b);
+    const Route &c = route(via_b, dst);
+    std::vector<HalfLinkId> hops = a.hops;
+    hops.insert(hops.end(), b.hops.begin(), b.hops.end());
+    hops.insert(hops.end(), c.hops.begin(), c.hops.end());
+    return finishRoute(std::move(hops));
+}
+
+Route
+Router::computeRoute(ComponentId src, ComponentId dst) const
+{
+    // Plain BFS: hop count metric, deterministic order because
+    // adjacency lists are in insertion order and the queue is FIFO.
+    const std::size_t n = topo_.componentCount();
+    std::vector<HalfLinkId> via(n, -1);
+    std::vector<bool> seen(n, false);
+    std::deque<ComponentId> queue;
+
+    seen[static_cast<std::size_t>(src)] = true;
+    queue.push_back(src);
+    bool found = false;
+    while (!queue.empty() && !found) {
+        ComponentId cur = queue.front();
+        queue.pop_front();
+        for (HalfLinkId hid : topo_.outgoing(cur)) {
+            const HalfLink &hl = topo_.halfLink(hid);
+            ComponentId next = hl.to;
+            if (seen[static_cast<std::size_t>(next)])
+                continue;
+            if (next != dst && !isTransit(topo_.component(next).kind))
+                continue;
+            seen[static_cast<std::size_t>(next)] = true;
+            via[static_cast<std::size_t>(next)] = hid;
+            if (next == dst) {
+                found = true;
+                break;
+            }
+            queue.push_back(next);
+        }
+    }
+
+    if (!found)
+        return Route{};
+
+    std::vector<HalfLinkId> hops;
+    for (ComponentId cur = dst; cur != src;) {
+        HalfLinkId hid = via[static_cast<std::size_t>(cur)];
+        DSTRAIN_ASSERT(hid >= 0, "broken BFS back-pointer");
+        hops.push_back(hid);
+        cur = topo_.halfLink(hid).from;
+    }
+    std::reverse(hops.begin(), hops.end());
+    return finishRoute(std::move(hops));
+}
+
+Route
+Router::finishRoute(std::vector<HalfLinkId> hops) const
+{
+    Route r;
+    r.hops = std::move(hops);
+    if (r.hops.empty())
+        return r;
+
+    Bps min_effective = std::numeric_limits<Bps>::max();
+    Bps min_serdes_hop = std::numeric_limits<Bps>::max();
+    for (std::size_t i = 0; i < r.hops.size(); ++i) {
+        const HalfLink &hl = topo_.halfLink(r.hops[i]);
+        r.latency += hl.latency;
+        const Resource &res = topo_.resource(hl.resource);
+        const Bps effective = res.capacity * linkClassEfficiency(res.cls);
+        min_effective = std::min(min_effective, effective);
+        SerdesSide side;
+        if (usesSerdes(res.cls, &side))
+            min_serdes_hop = std::min(min_serdes_hop, effective);
+
+        // A SerDes crossing happens at an intermediate CPU IOD where
+        // both the inbound and the outbound hop attach via SerDes.
+        if (i + 1 < r.hops.size()) {
+            const HalfLink &next = topo_.halfLink(r.hops[i + 1]);
+            const Component &mid = topo_.component(hl.to);
+            if (mid.kind != ComponentKind::CpuIod)
+                continue;
+            SerdesSide in_side;
+            SerdesSide out_side;
+            if (hl.toPort == PortKind::SerDes &&
+                next.fromPort == PortKind::SerDes &&
+                usesSerdes(hl.cls, &in_side) &&
+                usesSerdes(next.cls, &out_side)) {
+                r.crossings.push_back(SerdesCrossing{in_side, out_side});
+            }
+        }
+    }
+    r.serdes_factor = serdesDegradation(r.crossings);
+    // The IOD contention degrades the SerDes-attached hops only (see
+    // hw/serdes.hh); the route cap is the slower of the plain
+    // bottleneck and the degraded SerDes bottleneck.
+    r.rate_cap = min_effective;
+    if (model_serdes_ && !r.crossings.empty() &&
+        min_serdes_hop < std::numeric_limits<Bps>::max()) {
+        r.rate_cap =
+            std::min(min_effective, min_serdes_hop * r.serdes_factor);
+    }
+    return r;
+}
+
+} // namespace dstrain

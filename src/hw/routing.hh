@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Route computation over the topology graph.
+ *
+ * Routes are shortest paths (by hop count, deterministic id
+ * tie-break) where only CPU IODs, NICs and the switch may act as
+ * transit vertices — GPUs, DRAM pools and NVMe drives are endpoints
+ * only. This reproduces the paths real traffic takes on the XE8545:
+ * GPU peers talk over direct NVLink, GPU-to-remote traffic goes
+ * GPU -> PCIe -> CPU -> PCIe -> NIC -> switch -> ... (GPUDirect RDMA:
+ * no DRAM hop), and cross-socket NIC access crosses the xGMI links.
+ *
+ * Each computed route carries the SerDes-crossing analysis of
+ * hw/serdes.hh and a resulting per-flow rate cap.
+ */
+
+#ifndef DSTRAIN_HW_ROUTING_HH
+#define DSTRAIN_HW_ROUTING_HH
+
+#include <vector>
+
+#include "hw/serdes.hh"
+#include "hw/topology.hh"
+
+namespace dstrain {
+
+/** A computed path through the topology. */
+struct Route {
+    /** Half-link ids, in traversal order. Empty = no route. */
+    std::vector<HalfLinkId> hops;
+
+    /** Sum of hop latencies. */
+    SimTime latency = 0.0;
+
+    /** SerDes-to-SerDes crossings at intermediate CPU IODs. */
+    std::vector<SerdesCrossing> crossings;
+
+    /** serdesDegradation(crossings), cached. */
+    double serdes_factor = 1.0;
+
+    /**
+     * The maximum rate a single flow can attain on this route when
+     * uncontended: the minimum over hops of capacity x class
+     * efficiency, where SerDes-attached hops (PCIe/xGMI) are
+     * additionally scaled by the SerDes degradation factor when the
+     * route has crossings.
+     */
+    Bps rate_cap = 0.0;
+
+    /** True when the route connects the endpoints. */
+    bool valid() const { return !hops.empty(); }
+};
+
+/**
+ * Computes and caches routes over a fixed topology.
+ *
+ * The router must outlive no topology mutation: build the topology
+ * fully, then construct the router.
+ */
+class Router
+{
+  public:
+    /**
+     * @param topo the built topology.
+     * @param model_serdes apply the SerDes degradation to route caps
+     *        (crossings are still *reported* either way).
+     */
+    explicit Router(const Topology &topo, bool model_serdes = true);
+
+    /**
+     * Shortest route from @p src to @p dst.
+     *
+     * @param src source component (traffic origin).
+     * @param dst destination component.
+     * @return the route; fatal() if no route exists (a topology
+     *         configuration error).
+     */
+    const Route &route(ComponentId src, ComponentId dst) const;
+
+    /**
+     * As route(), but forces the path through component @p via
+     * (route(src, via) + route(via, dst)). Used for NIC pinning in
+     * multi-channel collectives.
+     */
+    Route routeVia(ComponentId src, ComponentId via,
+                   ComponentId dst) const;
+
+    /** As routeVia(), but through two waypoints in order. */
+    Route routeVia2(ComponentId src, ComponentId via_a,
+                    ComponentId via_b, ComponentId dst) const;
+
+  private:
+    Route computeRoute(ComponentId src, ComponentId dst) const;
+
+    /** Analyze crossings/latency/cap of a hop sequence. */
+    Route finishRoute(std::vector<HalfLinkId> hops) const;
+
+    const Topology &topo_;
+    bool model_serdes_ = true;
+    /** Dense cache indexed [src * n + dst]; empty Route = not yet. */
+    mutable std::vector<Route> cache_;
+    mutable std::vector<bool> cached_;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_HW_ROUTING_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the SerDes contention model.
+ */
+
+#include "hw/serdes.hh"
+
+#include <algorithm>
+
+namespace dstrain {
+
+namespace {
+
+// Calibrated against paper Fig. 4. The factor scales the capacity of
+// the route's slowest SerDes-attached hop (PCIe x16 at 32 GBps/dir
+// with 0.82 protocol efficiency = 26.2 GBps effective).
+//
+// Single crossing (e.g. host memory to a neighboring socket's NVMe
+// drive): moderate degradation.
+constexpr double kOnePciePcie = 0.495;
+constexpr double kOnePcieXgmi = 0.448;
+constexpr double kOneXgmiXgmi = 0.47;
+
+// End-to-end RDMA paths cross an IOD on *both* ends. Calibrated so
+// the four-instance stress test of Sec. III-C lands on the measured
+// fractions of the RoCE line rate (two streams per NIC):
+//   2x PCIe-PCIe crossings (same-socket GPUDirect):
+//       26.2 * 0.248 = 6.5 GBps/flow -> 13.0/NIC = 52% of 25 GBps.
+//   2x xGMI-PCIe crossings (cross-socket host memory):
+//       26.2 * 0.224 = 5.87         -> 11.75   = 47%.
+//   4 crossings (cross-socket GPUDirect):
+//       26.2 * 0.200 = 5.25         -> 10.5    = 42%.
+constexpr double kTwoPciePcie = 0.248;
+constexpr double kTwoWithXgmi = 0.224;
+constexpr double kManyCrossings = 0.200;
+
+} // namespace
+
+double
+serdesSingleCrossingFactor(SerdesSide ingress, SerdesSide egress)
+{
+    if (ingress == SerdesSide::Pcie && egress == SerdesSide::Pcie)
+        return kOnePciePcie;
+    if (ingress == SerdesSide::Xgmi && egress == SerdesSide::Xgmi)
+        return kOneXgmiXgmi;
+    return kOnePcieXgmi;
+}
+
+double
+serdesDegradation(const std::vector<SerdesCrossing> &crossings)
+{
+    if (crossings.empty())
+        return 1.0;
+    if (crossings.size() == 1) {
+        const SerdesCrossing &c = crossings.front();
+        return serdesSingleCrossingFactor(c.ingress, c.egress);
+    }
+    if (crossings.size() >= 3)
+        return kManyCrossings;
+
+    // Exactly two crossings: an xGMI leg anywhere costs more than a
+    // pure PCIe-PCIe pair (paper Fig. 4: 47% vs 52%).
+    for (const SerdesCrossing &c : crossings) {
+        if (c.ingress == SerdesSide::Xgmi ||
+            c.egress == SerdesSide::Xgmi) {
+            return kTwoWithXgmi;
+        }
+    }
+    return kTwoPciePcie;
+}
+
+} // namespace dstrain

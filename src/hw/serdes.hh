@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The EPYC I/O-die SerDes contention model.
+ *
+ * Paper Sec. III-C4 observes that traffic whose path crosses *between
+ * two sets of x16 I/O SerDes* on the EPYC 7763 I/O die (PCIe<->PCIe,
+ * PCIe<->xGMI, xGMI<->xGMI) attains far less bandwidth than traffic
+ * between the memory controller and one SerDes set, and hypothesizes
+ * contention inside the IOD's crossbar (Infinity Fabric Intra Die).
+ * AMD does not disclose the crossbar internals, so — exactly like the
+ * paper — we model the effect *empirically*: the capacity of the
+ * SerDes-attached hops (PCIe, xGMI) of a route is scaled by a factor
+ * chosen from the number and kind of SerDes-to-SerDes crossings
+ * along the route. Hops that are not SerDes-attached (DRAM, NVLink,
+ * RoCE wire, NVMe media) are unaffected, so a flow whose bottleneck
+ * is elsewhere (e.g. NVMe media throughput) sees little penalty —
+ * matching the small RAID-spanning penalty of paper Table VI.
+ * Calibration targets from the stress tests of paper Fig. 4:
+ *
+ *   same-socket CPU-RoCE  (0 crossings)           -> 93% of line rate
+ *   same-socket GPU-RoCE  (1 PCIe-PCIe crossing)  -> 52%
+ *   cross-socket CPU-RoCE (1 xGMI-PCIe crossing)  -> 47%
+ *   cross-socket GPU-RoCE (2 crossings)           -> 42%
+ *
+ * The 93% baseline is the RoCE protocol efficiency (see
+ * linkClassEfficiency); the factors below are the *additional*
+ * degradation attributed to the IOD.
+ */
+
+#ifndef DSTRAIN_HW_SERDES_HH
+#define DSTRAIN_HW_SERDES_HH
+
+#include <vector>
+
+namespace dstrain {
+
+/** The interface class on each side of an IOD crossing. */
+enum class SerdesSide {
+    Pcie,
+    Xgmi,
+};
+
+/** One SerDes-to-SerDes crossing observed on a route. */
+struct SerdesCrossing {
+    SerdesSide ingress;
+    SerdesSide egress;
+};
+
+/**
+ * Degradation factor for a route with the given crossings.
+ *
+ * @return a multiplier in (0, 1]; 1.0 for routes with no
+ *         SerDes-to-SerDes crossing.
+ */
+double serdesDegradation(const std::vector<SerdesCrossing> &crossings);
+
+/** Degradation factor for a single crossing kind (unit-test hook). */
+double serdesSingleCrossingFactor(SerdesSide ingress, SerdesSide egress);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_HW_SERDES_HH

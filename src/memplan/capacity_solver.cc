@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of the capacity solver.
+ */
+
+#include "memplan/capacity_solver.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+bool
+fitsCluster(const TransformerConfig &cfg, const StrategyConfig &strategy,
+            const ClusterSpec &cluster, int batch_per_gpu,
+            const MemoryCalibration &cal)
+{
+    validateStrategy(strategy);
+    const MemoryFootprint fp =
+        computeFootprint(cfg, strategy, cluster.totalGpus(),
+                         cluster.nodes, batch_per_gpu, cal);
+
+    if (fp.gpu_per_gpu > cal.gpuBudget(cluster.node.gpu_memory))
+        return false;
+    if (fp.cpu_per_node > cluster.node.cpu_memory)
+        return false;
+    if (fp.nvme_per_node > 0.0) {
+        Bytes scratch = 0.0;
+        for (const NvmeDriveSpec &d : cluster.node.nvme_drives)
+            scratch += d.capacity;
+        if (fp.nvme_per_node > scratch)
+            return false;
+    }
+    return true;
+}
+
+CapacityResult
+solveMaxModel(const StrategyConfig &strategy, const ClusterSpec &cluster,
+              int batch_per_gpu, const MemoryCalibration &cal)
+{
+    // Binary search the raw layer bound, then snap to the paper's
+    // reporting ladder. The footprint is monotone in the layer count
+    // (every term grows with params or layers), so bisection is
+    // sound; the property tests assert the monotonicity.
+    int lo = 1;
+    int hi = 1;
+    const auto fits = [&](int layers) {
+        return fitsCluster(TransformerConfig::gpt2Like(layers), strategy,
+                           cluster, batch_per_gpu, cal);
+    };
+    if (!fits(lo)) {
+        fatal("%s cannot fit even a 1-layer model on this cluster",
+              strategy.displayName().c_str());
+    }
+    while (fits(hi * 2)) {
+        hi *= 2;
+        DSTRAIN_ASSERT(hi < (1 << 20), "capacity solve diverged");
+    }
+    hi *= 2;  // known infeasible
+    while (hi - lo > 1) {
+        const int mid = lo + (hi - lo) / 2;
+        if (fits(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+
+    CapacityResult result;
+    result.max_layers = lo;
+    result.entry = largestLadderEntryAtMost(lo);
+    result.footprint = computeFootprint(
+        TransformerConfig::gpt2Like(result.entry.layers), strategy,
+        cluster.totalGpus(), cluster.nodes, batch_per_gpu, cal);
+    return result;
+}
+
+} // namespace dstrain

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The capacity solver: the dstrain equivalent of the paper's
+ * "achieved model size" methodology (Sec. III-B2) — grow the layer
+ * count until the configuration no longer fits, then report the
+ * largest size that trains.
+ */
+
+#ifndef DSTRAIN_MEMPLAN_CAPACITY_SOLVER_HH
+#define DSTRAIN_MEMPLAN_CAPACITY_SOLVER_HH
+
+#include "hw/cluster.hh"
+#include "memplan/footprint.hh"
+#include "model/size_ladder.hh"
+
+namespace dstrain {
+
+/** The result of a capacity solve. */
+struct CapacityResult {
+    LadderEntry entry;         ///< largest ladder model that fits
+    MemoryFootprint footprint; ///< its footprint
+    int max_layers = 0;        ///< raw layer bound before snapping
+};
+
+/**
+ * Does the configuration fit the cluster's memory budget?
+ *
+ * Checks the per-GPU budget, the per-node host memory and (when NVMe
+ * offload is active) the node's scratch NVMe capacity.
+ */
+bool fitsCluster(const TransformerConfig &cfg,
+                 const StrategyConfig &strategy,
+                 const ClusterSpec &cluster, int batch_per_gpu,
+                 const MemoryCalibration &cal = {});
+
+/**
+ * The largest paper-ladder model that fits (paper Fig. 6 / Fig. 13).
+ * fatal() if even the smallest ladder rung does not fit.
+ */
+CapacityResult solveMaxModel(const StrategyConfig &strategy,
+                             const ClusterSpec &cluster,
+                             int batch_per_gpu,
+                             const MemoryCalibration &cal = {});
+
+} // namespace dstrain
+
+#endif // DSTRAIN_MEMPLAN_CAPACITY_SOLVER_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Implementation of the memory-composition reports.
+ */
+
+#include "memplan/composition.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+MemoryComposition
+composeMemory(const std::string &label, const MemoryFootprint &fp,
+              int total_gpus, int nodes)
+{
+    MemoryComposition mc;
+    mc.label = label;
+    mc.gpu = fp.gpuTotal(total_gpus);
+    mc.cpu = fp.cpuTotal(nodes);
+    mc.nvme = fp.nvmeTotal(nodes);
+    return mc;
+}
+
+std::string
+compositionCell(Bytes bytes, double share)
+{
+    return csprintf("%.0f GB (%.1f%%)", bytes / units::GB,
+                    share * 100.0);
+}
+
+} // namespace dstrain

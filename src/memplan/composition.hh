@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory-composition reports: the GPU / CPU / NVMe breakdowns of
+ * paper Fig. 11-b and Fig. 13-c, in per-node aggregate gigabytes as
+ * the paper plots them.
+ */
+
+#ifndef DSTRAIN_MEMPLAN_COMPOSITION_HH
+#define DSTRAIN_MEMPLAN_COMPOSITION_HH
+
+#include <string>
+
+#include "memplan/footprint.hh"
+
+namespace dstrain {
+
+/** One bar of the composition figures. */
+struct MemoryComposition {
+    std::string label;    ///< configuration name
+    Bytes gpu = 0.0;      ///< aggregate GPU bytes (whole cluster)
+    Bytes cpu = 0.0;      ///< aggregate host bytes
+    Bytes nvme = 0.0;     ///< aggregate NVMe bytes
+
+    Bytes total() const { return gpu + cpu + nvme; }
+
+    /** Percentage helpers used by the figure output. */
+    double gpuShare() const { return total() > 0 ? gpu / total() : 0; }
+    double cpuShare() const { return total() > 0 ? cpu / total() : 0; }
+    double nvmeShare() const
+    {
+        return total() > 0 ? nvme / total() : 0;
+    }
+};
+
+/**
+ * Aggregate a footprint over the cluster into a composition bar.
+ */
+MemoryComposition
+composeMemory(const std::string &label, const MemoryFootprint &fp,
+              int total_gpus, int nodes);
+
+/** Render "X GB (Y%)" for one component. */
+std::string compositionCell(Bytes bytes, double share);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_MEMPLAN_COMPOSITION_HH

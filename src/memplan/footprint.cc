@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementation of the per-strategy memory footprints.
+ */
+
+#include "memplan/footprint.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+namespace {
+
+/** Activation bytes per GPU for the non-Megatron strategies. */
+Bytes
+dataParallelActivations(const TransformerConfig &cfg, int batch_per_gpu,
+                        const MemoryCalibration &cal)
+{
+    return static_cast<double>(cfg.layers) *
+           activationBytesPerLayer(cfg, batch_per_gpu, cal.act_workspace);
+}
+
+/** Activation bytes per GPU for Megatron-LM (see MemoryCalibration). */
+Bytes
+megatronActivations(const TransformerConfig &cfg, int batch_per_gpu,
+                    int mp, const MemoryCalibration &cal)
+{
+    const double mult = cal.megatron_act_numerator / mp;
+    return static_cast<double>(cfg.layers) *
+           activationBytesPerLayer(cfg, batch_per_gpu, mult);
+}
+
+} // namespace
+
+MemoryFootprint
+computeFootprint(const TransformerConfig &cfg,
+                 const StrategyConfig &strategy, int total_gpus,
+                 int nodes, int batch_per_gpu,
+                 const MemoryCalibration &cal)
+{
+    DSTRAIN_ASSERT(total_gpus >= 1 && nodes >= 1 &&
+                       total_gpus % nodes == 0,
+                   "bad cluster shape: %d GPUs on %d nodes", total_gpus,
+                   nodes);
+    const double p = static_cast<double>(cfg.parameterCount());
+    const int n = total_gpus;
+    const int gpus_per_node = total_gpus / nodes;
+    const ModelStateBytes states = modelStateBytes(cfg.parameterCount());
+
+    MemoryFootprint fp;
+    fp.cpu_per_node = cal.cpu_base_per_rank * gpus_per_node;
+
+    switch (strategy.kind) {
+      case StrategyKind::Ddp: {
+        fp.gpu_per_gpu = states.total() +
+                         cal.ddp_bucket_bytes_per_param * p +
+                         dataParallelActivations(cfg, batch_per_gpu, cal);
+        break;
+      }
+      case StrategyKind::Megatron: {
+        const int mp = strategy.modelParallelSize();
+        DSTRAIN_ASSERT(n % mp == 0,
+                       "model-parallel size %d does not divide %d GPUs",
+                       mp, n);
+        fp.gpu_per_gpu = states.total() / mp +
+                         megatronActivations(cfg, batch_per_gpu, mp, cal);
+        break;
+      }
+      case StrategyKind::Zero1: {
+        if (strategy.isHybridZero()) {
+            const int tp = strategy.tensor_parallel;
+            const int dp = strategy.dataParallelSize(n);
+            fp.gpu_per_gpu =
+                (states.fp16_params + states.fp16_grads +
+                 states.fp32_optimizer / dp) /
+                    tp +
+                megatronActivations(cfg, batch_per_gpu, tp, cal);
+            break;
+        }
+        if (strategy.offload == OffloadTarget::Cpu) {
+            fp.gpu_per_gpu =
+                cal.zero1_cpu_gpu_bytes_per_param * p +
+                dataParallelActivations(cfg, batch_per_gpu, cal);
+            fp.cpu_per_node +=
+                cal.zero1_cpu_cpu_bytes_per_param * p / nodes;
+        } else {
+            fp.gpu_per_gpu =
+                states.fp16_params + states.fp16_grads +
+                states.fp32_optimizer / n +
+                cal.zero1_extra_bytes_per_param * p +
+                dataParallelActivations(cfg, batch_per_gpu, cal);
+        }
+        break;
+      }
+      case StrategyKind::Zero2: {
+        if (strategy.isHybridZero()) {
+            const int tp = strategy.tensor_parallel;
+            const int dp = strategy.dataParallelSize(n);
+            fp.gpu_per_gpu =
+                (states.fp16_params +
+                 (states.fp16_grads + states.fp32_optimizer) / dp) /
+                    tp +
+                megatronActivations(cfg, batch_per_gpu, tp, cal);
+            break;
+        }
+        if (strategy.offload == OffloadTarget::Cpu) {
+            fp.gpu_per_gpu =
+                cal.zero2_cpu_gpu_bytes_per_param * p +
+                dataParallelActivations(cfg, batch_per_gpu, cal);
+            fp.cpu_per_node +=
+                cal.zero2_cpu_cpu_bytes_per_param * p / nodes;
+        } else {
+            fp.gpu_per_gpu =
+                states.fp16_params +
+                (states.fp16_grads + states.fp32_optimizer) / n +
+                cal.zero2_extra_numerator / (n * n) * p +
+                dataParallelActivations(cfg, batch_per_gpu, cal);
+        }
+        break;
+      }
+      case StrategyKind::Zero3: {
+        const Bytes act =
+            dataParallelActivations(cfg, batch_per_gpu, cal);
+        switch (strategy.offload) {
+          case OffloadTarget::None:
+            fp.gpu_per_gpu = states.total() / n +
+                             cal.zero3_extra_numerator / n * p + act;
+            break;
+          case OffloadTarget::Cpu:
+            fp.gpu_per_gpu =
+                cal.zero3_cpu_gpu_bytes_per_param * p + act;
+            fp.cpu_per_node +=
+                cal.zero3_cpu_cpu_bytes_per_param * p / nodes;
+            break;
+          case OffloadTarget::Nvme:
+            if (strategy.offload_params) {
+                fp.gpu_per_gpu =
+                    cal.zero3_nvme_param_gpu_bytes_per_param * p + act;
+                fp.cpu_per_node +=
+                    (cal.zero3_nvme_param_cpu_base +
+                     cal.zero3_nvme_param_cpu_bytes_per_param * p) /
+                    nodes;
+                fp.nvme_per_node =
+                    (cal.zero3_nvme_param_nvme_base +
+                     cal.zero3_nvme_param_nvme_bytes_per_param * p) /
+                    nodes;
+            } else {
+                fp.gpu_per_gpu =
+                    cal.zero3_nvme_gpu_bytes_per_param * p + act;
+                fp.cpu_per_node +=
+                    cal.zero3_nvme_cpu_base / nodes +
+                    cal.zero3_nvme_cpu_bytes_per_param * p / nodes;
+                fp.nvme_per_node =
+                    cal.zero3_nvme_nvme_bytes_per_param * p / nodes;
+            }
+            break;
+        }
+        break;
+      }
+    }
+
+    DSTRAIN_ASSERT(fp.gpu_per_gpu > 0.0, "footprint came out empty");
+    return fp;
+}
+
+} // namespace dstrain

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Implementation of the FLOP accounting.
+ */
+
+#include "model/flops.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+Flops
+forwardFlops(const TransformerConfig &cfg, std::int64_t tokens)
+{
+    DSTRAIN_ASSERT(tokens > 0, "iteration needs positive token count");
+    const double h = cfg.hidden;
+    const double s = cfg.seq_len;
+    const double per_token_layer = 2.0 * (12.0 * h * h + 2.0 * s * h);
+    const double logits = 2.0 * h * static_cast<double>(cfg.vocab);
+    return static_cast<double>(tokens) *
+           (cfg.layers * per_token_layer + logits);
+}
+
+Flops
+iterationFlops(const TransformerConfig &cfg, std::int64_t tokens,
+               bool with_recompute)
+{
+    const Flops fwd = forwardFlops(cfg, tokens);
+    // Backward is 2x forward; checkpointing re-executes the forward.
+    return fwd * (with_recompute ? 4.0 : 3.0);
+}
+
+double
+achievedTflops(const TransformerConfig &cfg, std::int64_t tokens,
+               SimTime iter_time, bool with_recompute)
+{
+    DSTRAIN_ASSERT(iter_time > 0.0, "non-positive iteration time");
+    return iterationFlops(cfg, tokens, with_recompute) / iter_time /
+           units::TFLOPS;
+}
+
+} // namespace dstrain

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * FLOP accounting for one training iteration, following the
+ * convention of the DeepSpeed FLOPS profiler the paper uses for its
+ * throughput numbers: achieved TFLOP/s = executed FLOPs / iteration
+ * time, where executed FLOPs include the activation-recomputation
+ * forward pass.
+ */
+
+#ifndef DSTRAIN_MODEL_FLOPS_HH
+#define DSTRAIN_MODEL_FLOPS_HH
+
+#include <cstdint>
+
+#include "model/transformer.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/**
+ * Matmul FLOPs of one forward pass over @p tokens tokens:
+ * per layer 2(12 h^2 + 2 s h) per token (QKV/proj/MLP plus the
+ * attention score and context matmuls), plus the 2 h V logits.
+ */
+Flops forwardFlops(const TransformerConfig &cfg, std::int64_t tokens);
+
+/**
+ * Executed FLOPs of one iteration over @p tokens tokens.
+ *
+ * @param with_recompute include the extra forward pass of activation
+ *        checkpointing (the paper's runs train with checkpointing
+ *        enabled, so the profiler counts it).
+ */
+Flops iterationFlops(const TransformerConfig &cfg, std::int64_t tokens,
+                     bool with_recompute = true);
+
+/**
+ * The paper's throughput metric: aggregate TFLOP/s over the cluster
+ * for an iteration of @p tokens tokens finishing in @p iter_time.
+ */
+double achievedTflops(const TransformerConfig &cfg, std::int64_t tokens,
+                      SimTime iter_time, bool with_recompute = true);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_MODEL_FLOPS_HH

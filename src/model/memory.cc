@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Implementation of the memory accounting primitives.
+ */
+
+#include "model/memory.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+ModelStateBytes
+modelStateBytes(std::int64_t params)
+{
+    DSTRAIN_ASSERT(params > 0, "non-positive parameter count");
+    const double p = static_cast<double>(params);
+    ModelStateBytes m;
+    m.fp16_params = 2.0 * p;
+    m.fp16_grads = 2.0 * p;
+    m.fp32_optimizer = 12.0 * p;
+    return m;
+}
+
+Bytes
+activationBytesPerLayer(const TransformerConfig &cfg, int batch_per_gpu,
+                        double workspace_multiplier)
+{
+    DSTRAIN_ASSERT(batch_per_gpu > 0, "non-positive batch size");
+    DSTRAIN_ASSERT(workspace_multiplier > 0.0,
+                   "non-positive workspace multiplier");
+    const double boundary = 2.0 * static_cast<double>(batch_per_gpu) *
+                            cfg.seq_len * cfg.hidden;  // fp16
+    return boundary * workspace_multiplier;
+}
+
+} // namespace dstrain

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory accounting primitives for mixed-precision (fp16) training
+ * with Adam — the "model states" of the ZeRO papers:
+ *
+ *   fp16 parameters   2 bytes/param
+ *   fp16 gradients    2 bytes/param
+ *   optimizer states 12 bytes/param (fp32 master copy + momentum +
+ *                                    variance)
+ *
+ * plus activation memory, which with activation checkpointing is the
+ * per-layer boundary activations and a transient working set.
+ */
+
+#ifndef DSTRAIN_MODEL_MEMORY_HH
+#define DSTRAIN_MODEL_MEMORY_HH
+
+#include <cstdint>
+
+#include "model/transformer.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** Byte sizes of the three model-state components. */
+struct ModelStateBytes {
+    Bytes fp16_params = 0.0;
+    Bytes fp16_grads = 0.0;
+    Bytes fp32_optimizer = 0.0;
+
+    /** Sum of the three components (the famous 16 bytes/param). */
+    Bytes total() const
+    {
+        return fp16_params + fp16_grads + fp32_optimizer;
+    }
+};
+
+/** Model states for @p params parameters (unpartitioned). */
+ModelStateBytes modelStateBytes(std::int64_t params);
+
+/**
+ * Checkpointed activation memory per transformer layer per sample:
+ * the stored layer-boundary activation (s x h, fp16) scaled by a
+ * calibration multiplier covering the transient working set
+ * (attention scores, dropout masks, recompute buffers).
+ */
+Bytes activationBytesPerLayer(const TransformerConfig &cfg,
+                              int batch_per_gpu,
+                              double workspace_multiplier);
+
+/** Default activation workspace multiplier (see memplan/footprint). */
+inline constexpr double kDefaultActWorkspace = 4.0;
+
+} // namespace dstrain
+
+#endif // DSTRAIN_MODEL_MEMORY_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Implementation of the strategy configuration helpers.
+ */
+
+#include "model/parallelism.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+const char *
+strategyKindName(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::Ddp:
+        return "DDP";
+      case StrategyKind::Megatron:
+        return "Megatron-LM";
+      case StrategyKind::Zero1:
+        return "ZeRO-1";
+      case StrategyKind::Zero2:
+        return "ZeRO-2";
+      case StrategyKind::Zero3:
+        return "ZeRO-3";
+    }
+    panic("unknown StrategyKind %d", static_cast<int>(kind));
+}
+
+void
+validateStrategy(const StrategyConfig &cfg)
+{
+    const bool is_zero = cfg.kind == StrategyKind::Zero1 ||
+                         cfg.kind == StrategyKind::Zero2 ||
+                         cfg.kind == StrategyKind::Zero3;
+    if (!is_zero && cfg.offload != OffloadTarget::None)
+        fatal("%s does not support offloading (paper Table I)",
+              strategyKindName(cfg.kind));
+    if (cfg.offload == OffloadTarget::Nvme &&
+        cfg.kind != StrategyKind::Zero3) {
+        fatal("NVMe offload requires ZeRO-3 (paper Table I)");
+    }
+    if (cfg.offload_params && cfg.offload == OffloadTarget::None)
+        fatal("parameter offload requires an offload target");
+    if (cfg.isHybridZero()) {
+        if (cfg.pipeline_parallel != 1)
+            fatal("hybrid ZeRO supports tensor parallelism only");
+        if (cfg.offload != OffloadTarget::None)
+            fatal("hybrid ZeRO does not support offloading");
+        return;
+    }
+    if (cfg.kind != StrategyKind::Megatron &&
+        (cfg.tensor_parallel != 1 || cfg.pipeline_parallel != 1)) {
+        fatal("TP/PP degrees apply to Megatron-LM or hybrid ZeRO-1/2");
+    }
+}
+
+bool
+StrategyConfig::isHybridZero() const
+{
+    return (kind == StrategyKind::Zero1 ||
+            kind == StrategyKind::Zero2) &&
+           tensor_parallel > 1;
+}
+
+int
+StrategyConfig::modelParallelSize() const
+{
+    if (kind == StrategyKind::Megatron)
+        return tensor_parallel * pipeline_parallel;
+    if (isHybridZero())
+        return tensor_parallel;
+    return 1;
+}
+
+int
+StrategyConfig::dataParallelSize(int total_gpus) const
+{
+    const int mp = modelParallelSize();
+    DSTRAIN_ASSERT(total_gpus >= mp && total_gpus % mp == 0,
+                   "%d GPUs not divisible by model-parallel size %d",
+                   total_gpus, mp);
+    return total_gpus / mp;
+}
+
+std::string
+StrategyConfig::displayName() const
+{
+    std::string name = strategyKindName(kind);
+    if (kind == StrategyKind::Megatron) {
+        name += csprintf(" (TP=%d,PP=%d)", tensor_parallel,
+                         pipeline_parallel);
+    } else if (isHybridZero()) {
+        name += csprintf(" +TP=%d", tensor_parallel);
+    }
+    switch (offload) {
+      case OffloadTarget::None:
+        break;
+      case OffloadTarget::Cpu:
+        name += " (CPU)";
+        break;
+      case OffloadTarget::Nvme:
+        name += offload_params ? " (NVME opt+param)" : " (NVME opt)";
+        break;
+    }
+    return name;
+}
+
+StrategyConfig
+StrategyConfig::ddp()
+{
+    return StrategyConfig{};
+}
+
+StrategyConfig
+StrategyConfig::megatron(int tp, int pp)
+{
+    DSTRAIN_ASSERT(tp >= 1 && pp >= 1, "bad TP/PP degrees %d/%d", tp, pp);
+    StrategyConfig c;
+    c.kind = StrategyKind::Megatron;
+    c.tensor_parallel = tp;
+    c.pipeline_parallel = pp;
+    return c;
+}
+
+StrategyConfig
+StrategyConfig::zero(int stage)
+{
+    StrategyConfig c;
+    switch (stage) {
+      case 1:
+        c.kind = StrategyKind::Zero1;
+        break;
+      case 2:
+        c.kind = StrategyKind::Zero2;
+        break;
+      case 3:
+        c.kind = StrategyKind::Zero3;
+        break;
+      default:
+        fatal("ZeRO stage must be 1, 2 or 3 (got %d)", stage);
+    }
+    return c;
+}
+
+StrategyConfig
+StrategyConfig::hybridZero(int stage, int tp)
+{
+    DSTRAIN_ASSERT(stage == 1 || stage == 2,
+                   "hybrid ZeRO supports stages 1 and 2 (got %d)",
+                   stage);
+    StrategyConfig c = zero(stage);
+    c.tensor_parallel = tp;
+    return c;
+}
+
+StrategyConfig
+StrategyConfig::zeroOffloadCpu(int stage)
+{
+    StrategyConfig c = zero(stage);
+    c.offload = OffloadTarget::Cpu;
+    return c;
+}
+
+StrategyConfig
+StrategyConfig::zeroInfinityNvme(bool params_too)
+{
+    StrategyConfig c = zero(3);
+    c.offload = OffloadTarget::Nvme;
+    c.offload_params = params_too;
+    return c;
+}
+
+} // namespace dstrain

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The training-strategy configurations the paper evaluates: PyTorch
+ * DDP, Megatron-LM (TP x PP x DP), and DeepSpeed ZeRO stages 1-3
+ * with optional CPU (ZeRO-Offload) or NVMe (ZeRO-Infinity)
+ * offloading. This header is pure data — the memory planner and the
+ * execution strategies both consume it.
+ */
+
+#ifndef DSTRAIN_MODEL_PARALLELISM_HH
+#define DSTRAIN_MODEL_PARALLELISM_HH
+
+#include <string>
+
+namespace dstrain {
+
+/** The training libraries/stages under comparison. */
+enum class StrategyKind {
+    Ddp,       ///< PyTorch Distributed Data-Parallel
+    Megatron,  ///< Megatron-LM tensor/pipeline model parallelism
+    Zero1,     ///< DeepSpeed ZeRO stage 1 (optimizer partitioned)
+    Zero2,     ///< stage 2 (optimizer + gradients partitioned)
+    Zero3,     ///< stage 3 (all model states partitioned)
+};
+
+/** Offload target for model states (paper Table I). */
+enum class OffloadTarget {
+    None,
+    Cpu,   ///< ZeRO-Offload: optimizer states + CPU Adam
+    Nvme,  ///< ZeRO-Infinity: NVMe staging (ZeRO-3 only)
+};
+
+/** A full strategy configuration. */
+struct StrategyConfig {
+    StrategyKind kind = StrategyKind::Ddp;
+
+    /** Where optimizer states live / where the optimizer runs. */
+    OffloadTarget offload = OffloadTarget::None;
+
+    /**
+     * ZeRO-Infinity option: offload the fp16 parameters too (paper's
+     * "optimizer & parameter" NVMe configurations).
+     */
+    bool offload_params = false;
+
+    /**
+     * Tensor-parallel degree. For Megatron-LM this is its TP axis;
+     * for ZeRO stages 1/2 a value > 1 selects the *hybrid* mode the
+     * DeepSpeed blog describes (paper Sec. II-C [119]): Megatron-style
+     * tensor parallelism inside each group, ZeRO partitioning across
+     * the data-parallel replicas. An extension beyond the paper's
+     * evaluation; see bench/extension_hybrid.
+     */
+    int tensor_parallel = 1;
+
+    /** Megatron pipeline-parallel degree (ignored otherwise). */
+    int pipeline_parallel = 1;
+
+    /** Model-parallel group size (Megatron/hybrid), else 1. */
+    int modelParallelSize() const;
+
+    /** True for the hybrid ZeRO-1/2 + tensor-parallel mode. */
+    bool isHybridZero() const;
+
+    /** Data-parallel degree given @p total_gpus. */
+    int dataParallelSize(int total_gpus) const;
+
+    /** A short display name matching the paper's figure labels. */
+    std::string displayName() const;
+
+    // --- canned configurations used throughout the benches ------------
+
+    static StrategyConfig ddp();
+    /** Megatron with the given TP and PP degrees. */
+    static StrategyConfig megatron(int tp, int pp);
+    static StrategyConfig zero(int stage);
+    /** Hybrid: ZeRO stage 1/2 across replicas, TP inside them. */
+    static StrategyConfig hybridZero(int stage, int tp);
+    /** ZeRO stage 1/2/3 with CPU optimizer offload. */
+    static StrategyConfig zeroOffloadCpu(int stage);
+    /** ZeRO-3 with NVMe offload (optionally parameters too). */
+    static StrategyConfig zeroInfinityNvme(bool params_too);
+};
+
+/** Name of a StrategyKind ("DDP", "Megatron-LM", "ZeRO-1", ...). */
+const char *strategyKindName(StrategyKind kind);
+
+/**
+ * fatal() if the configuration is not expressible in the real
+ * libraries (paper Table I): only DeepSpeed ZeRO offloads; NVMe
+ * offload requires stage 3; parameter offload requires an offload
+ * target.
+ */
+void validateStrategy(const StrategyConfig &cfg);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_MODEL_PARALLELISM_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the model-size ladder.
+ */
+
+#include "model/size_ladder.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+namespace {
+
+/** The sizes quoted anywhere in the paper, in billions. */
+constexpr double kPaperSizes[] = {
+    0.7,  1.4,  2.9,  4.4,  5.2,  5.5,  6.0,  6.4,  6.6,
+    7.8,  8.5,  8.9,  11.4, 13.5, 14.2, 20.6, 26.9, 33.3,
+};
+
+std::vector<LadderEntry>
+buildLadder()
+{
+    std::vector<LadderEntry> ladder;
+    for (double b : kPaperSizes) {
+        LadderEntry e;
+        e.billions = b;
+        e.layers = layersForParameterTarget(
+            static_cast<std::int64_t>(b * 1e9));
+        e.params =
+            TransformerConfig::gpt2Like(e.layers).parameterCount();
+        ladder.push_back(e);
+    }
+    return ladder;
+}
+
+} // namespace
+
+const std::vector<LadderEntry> &
+paperSizeLadder()
+{
+    static const std::vector<LadderEntry> ladder = buildLadder();
+    return ladder;
+}
+
+const LadderEntry &
+ladderEntryFor(double billions)
+{
+    const auto &ladder = paperSizeLadder();
+    const LadderEntry *best = nullptr;
+    double best_err = 0.0;
+    for (const LadderEntry &e : ladder) {
+        const double err = std::abs(e.billions - billions);
+        if (best == nullptr || err < best_err) {
+            best = &e;
+            best_err = err;
+        }
+    }
+    DSTRAIN_ASSERT(best != nullptr, "empty ladder");
+    if (best_err > 0.25 * billions) {
+        fatal("no ladder entry near %.2f billion parameters", billions);
+    }
+    return *best;
+}
+
+const LadderEntry &
+largestLadderEntryAtMost(int layers)
+{
+    const auto &ladder = paperSizeLadder();
+    const LadderEntry *best = nullptr;
+    for (const LadderEntry &e : ladder)
+        if (e.layers <= layers)
+            best = &e;
+    if (best == nullptr) {
+        fatal("no ladder model fits within %d layers "
+              "(smallest rung needs %d)",
+              layers, ladder.front().layers);
+    }
+    return *best;
+}
+
+TransformerConfig
+configForBillions(double billions)
+{
+    return TransformerConfig::gpt2Like(ladderEntryFor(billions).layers);
+}
+
+std::string
+ladderLabel(const LadderEntry &entry)
+{
+    return csprintf("%.1fB", entry.billions);
+}
+
+} // namespace dstrain

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's model-size ladder: the discrete set of GPT-2-like
+ * model sizes (in billions of parameters) that appear across Fig. 6,
+ * Fig. 13, Table V and Sec. V, realized as layer counts of the
+ * gpt2Like() architecture. Capacity solving snaps to this ladder so
+ * "achieved model size" is reported in the paper's own units.
+ */
+
+#ifndef DSTRAIN_MODEL_SIZE_LADDER_HH
+#define DSTRAIN_MODEL_SIZE_LADDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/transformer.hh"
+
+namespace dstrain {
+
+/** One rung of the ladder. */
+struct LadderEntry {
+    double billions = 0.0;  ///< nominal size, e.g. 1.4
+    int layers = 0;         ///< layer count realizing it
+    std::int64_t params = 0;///< exact parameterCount() at that depth
+};
+
+/** The ladder, ascending. */
+const std::vector<LadderEntry> &paperSizeLadder();
+
+/** The ladder entry closest to @p billions; fatal() if none within 25%. */
+const LadderEntry &ladderEntryFor(double billions);
+
+/**
+ * The largest ladder entry whose layer count is <= @p layers
+ * (used by the capacity solver to snap a raw layer bound to the
+ * paper's reporting grid). fatal() if even the smallest rung does
+ * not fit.
+ */
+const LadderEntry &largestLadderEntryAtMost(int layers);
+
+/** A transformer config for a ladder size. */
+TransformerConfig configForBillions(double billions);
+
+/** Short label such as "1.4B". */
+std::string ladderLabel(const LadderEntry &entry);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_MODEL_SIZE_LADDER_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Implementation of the transformer configuration.
+ */
+
+#include "model/transformer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+TransformerConfig
+TransformerConfig::gpt2Like(int layers)
+{
+    DSTRAIN_ASSERT(layers >= 1, "need at least one layer (got %d)",
+                   layers);
+    TransformerConfig cfg;
+    cfg.layers = layers;
+    return cfg;
+}
+
+std::int64_t
+TransformerConfig::layerParameterCount() const
+{
+    const std::int64_t h = hidden;
+    // Attention: QKV (3 h^2 + 3 h) + output projection (h^2 + h).
+    // MLP: up (4 h^2 + 4 h) + down (4 h^2 + h).
+    // Two LayerNorms: 4 h.
+    return 12 * h * h + 13 * h;
+}
+
+std::int64_t
+TransformerConfig::embeddingParameterCount() const
+{
+    const std::int64_t h = hidden;
+    return static_cast<std::int64_t>(vocab) * h +
+           static_cast<std::int64_t>(max_pos) * h + 2 * h;
+}
+
+std::int64_t
+TransformerConfig::parameterCount() const
+{
+    return embeddingParameterCount() +
+           static_cast<std::int64_t>(layers) * layerParameterCount();
+}
+
+int
+layersForParameterTarget(std::int64_t target_params)
+{
+    TransformerConfig base = TransformerConfig::gpt2Like(1);
+    const std::int64_t fixed = base.embeddingParameterCount();
+    const std::int64_t per_layer = base.layerParameterCount();
+    DSTRAIN_ASSERT(target_params > fixed,
+                   "target of %lld params is below the embedding size",
+                   static_cast<long long>(target_params));
+    const double layers =
+        static_cast<double>(target_params - fixed) /
+        static_cast<double>(per_layer);
+    return std::max(1, static_cast<int>(std::llround(layers)));
+}
+
+} // namespace dstrain

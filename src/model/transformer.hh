@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The GPT-2-like transformer configuration of the paper's workload
+ * (Sec. III-B2): 16 attention heads, hidden size 2048, sequence
+ * length 256, 1024 maximum position embeddings; the layer count is
+ * the knob that sets the model size.
+ */
+
+#ifndef DSTRAIN_MODEL_TRANSFORMER_HH
+#define DSTRAIN_MODEL_TRANSFORMER_HH
+
+#include <cstdint>
+
+namespace dstrain {
+
+/** Model architecture parameters. */
+struct TransformerConfig {
+    int layers = 24;
+    int hidden = 2048;
+    int heads = 16;
+    int seq_len = 256;
+    int max_pos = 1024;   ///< maximum position embeddings
+    int vocab = 50257;    ///< GPT-2 BPE vocabulary
+
+    /** The paper's GPT-2-like model with @p layers layers. */
+    static TransformerConfig gpt2Like(int layers);
+
+    /**
+     * Total parameter count:
+     * token embedding (vocab x hidden, tied with the LM head) +
+     * position embedding + per-layer (12 h^2 + 13 h: QKV, attention
+     * projection, 4x MLP up/down, biases, two LayerNorms) + final
+     * LayerNorm.
+     */
+    std::int64_t parameterCount() const;
+
+    /** Parameters of one transformer layer. */
+    std::int64_t layerParameterCount() const;
+
+    /** Embedding (plus final LayerNorm) parameters. */
+    std::int64_t embeddingParameterCount() const;
+};
+
+/**
+ * The number of layers whose gpt2Like() model has at least
+ * @p target_params parameters (closest layer count).
+ */
+int layersForParameterTarget(std::int64_t target_params);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_MODEL_TRANSFORMER_HH

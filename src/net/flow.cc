@@ -1,0 +1,8 @@
+/**
+ * @file
+ * flow.hh is header-only; this translation unit exists to keep the
+ * build layout uniform (one .cc per header) and to hold the
+ * out-of-line pieces if Flow grows them.
+ */
+
+#include "net/flow.hh"

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The flow abstraction of the fluid network model.
+ *
+ * A flow is a point-to-point transfer in progress: a fixed route, a
+ * byte count, and a time-varying rate assigned by the scheduler via
+ * max-min fair sharing. Flows are the *only* consumers of resource
+ * capacity; everything the telemetry layer reports derives from flow
+ * rates deposited into resource rate logs.
+ */
+
+#ifndef DSTRAIN_NET_FLOW_HH
+#define DSTRAIN_NET_FLOW_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hw/routing.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** Identifies an active flow. */
+using FlowId = std::uint64_t;
+
+/** Parameters for starting a flow. */
+struct FlowSpec {
+    /** The path; must be valid. */
+    Route route;
+
+    /** Payload size; zero-byte flows complete immediately. */
+    Bytes bytes = 0.0;
+
+    /**
+     * Additional per-flow rate cap in Bps (device limits such as
+     * NVMe media throughput). 0 means "route cap only".
+     */
+    Bps rate_cap = 0.0;
+
+    /**
+     * Additional shared resources this flow consumes beyond the
+     * route's links (e.g. the IOD crossbar for cross-socket storage
+     * streams).
+     */
+    std::vector<ResourceId> extra_resources;
+
+    /** Invoked (once) when the last byte arrives. */
+    std::function<void()> on_complete;
+
+    /** Debugging label. */
+    std::string tag;
+};
+
+/** Internal representation of an active flow (scheduler-owned). */
+struct Flow {
+    FlowId id = 0;
+    std::vector<ResourceId> resources;  ///< deduplicated route resources
+    Bytes remaining = 0.0;
+    Bps rate = 0.0;       ///< current assigned rate
+    Bps cap = 0.0;        ///< min(route cap, spec cap)
+    std::function<void()> on_complete;
+    std::string tag;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_NET_FLOW_HH

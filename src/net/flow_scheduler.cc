@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Implementation of the max-min fair flow scheduler.
+ */
+
+#include "net/flow_scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+namespace {
+
+/** Completion slack: remaining bytes below this count as done. */
+constexpr Bytes kByteEpsilon = 1.0;
+
+/** Residual capacity below this fraction counts as saturated. */
+constexpr double kSaturationFraction = 1e-9;
+
+} // namespace
+
+FlowScheduler::FlowScheduler(Simulation &sim, Topology &topo)
+    : sim_(sim), topo_(topo)
+{
+}
+
+FlowScheduler::~FlowScheduler()
+{
+    if (!flows_.empty())
+        warn("FlowScheduler destroyed with %zu active flows",
+             flows_.size());
+}
+
+FlowId
+FlowScheduler::start(FlowSpec spec)
+{
+    DSTRAIN_ASSERT(spec.route.valid(), "flow '%s' has no route",
+                   spec.tag.c_str());
+    DSTRAIN_ASSERT(spec.bytes >= 0.0, "flow '%s' has negative size",
+                   spec.tag.c_str());
+
+    FlowId id = next_id_++;
+    if (spec.bytes <= kByteEpsilon) {
+        // Degenerate transfer: complete via a zero-delay event so the
+        // caller's state machine always advances asynchronously.
+        if (spec.on_complete)
+            sim_.events().scheduleAfter(0.0, std::move(spec.on_complete));
+        return id;
+    }
+
+    Flow f;
+    f.id = id;
+    f.remaining = spec.bytes;
+    f.on_complete = std::move(spec.on_complete);
+    f.tag = std::move(spec.tag);
+    f.cap = spec.route.rate_cap;
+    if (spec.rate_cap > 0.0)
+        f.cap = std::min(f.cap, spec.rate_cap);
+    DSTRAIN_ASSERT(f.cap > 0.0, "flow '%s' has zero rate cap",
+                   f.tag.c_str());
+
+    for (HalfLinkId hid : spec.route.hops) {
+        ResourceId rid = topo_.halfLink(hid).resource;
+        if (std::find(f.resources.begin(), f.resources.end(), rid) ==
+            f.resources.end()) {
+            f.resources.push_back(rid);
+        }
+    }
+    for (ResourceId rid : spec.extra_resources) {
+        if (std::find(f.resources.begin(), f.resources.end(), rid) ==
+            f.resources.end()) {
+            f.resources.push_back(rid);
+        }
+    }
+
+    settle();
+    flows_.emplace(id, std::move(f));
+    recompute();
+    return id;
+}
+
+Bps
+FlowScheduler::currentRate(FlowId id) const
+{
+    auto it = flows_.find(id);
+    return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void
+FlowScheduler::settle()
+{
+    const SimTime now = sim_.now();
+    const SimTime dt = now - last_settle_;
+    DSTRAIN_ASSERT(dt >= 0.0, "settle time went backwards");
+    if (dt > 0.0) {
+        for (auto &[id, f] : flows_) {
+            f.remaining -= f.rate * dt;
+            if (f.remaining < 0.0)
+                f.remaining = 0.0;
+        }
+    }
+    last_settle_ = now;
+}
+
+void
+FlowScheduler::recompute()
+{
+    const SimTime now = sim_.now();
+
+    // --- water-filling ---------------------------------------------------
+    // residual effective capacity per touched resource
+    std::unordered_map<ResourceId, double> residual;
+    std::unordered_map<ResourceId, int> crossing;
+    std::vector<Flow *> unfrozen;
+    unfrozen.reserve(flows_.size());
+    for (auto &[id, f] : flows_) {
+        f.rate = 0.0;
+        unfrozen.push_back(&f);
+        for (ResourceId rid : f.resources) {
+            const Resource &r = topo_.resource(rid);
+            residual.emplace(rid,
+                             r.capacity * linkClassEfficiency(r.cls));
+            crossing[rid] += 1;
+        }
+    }
+
+    while (!unfrozen.empty()) {
+        // Limiting increment from resources...
+        double inc = std::numeric_limits<double>::max();
+        for (const auto &[rid, res_left] : residual) {
+            int n = crossing[rid];
+            if (n > 0)
+                inc = std::min(inc, res_left / n);
+        }
+        // ...and from per-flow caps.
+        for (Flow *f : unfrozen)
+            inc = std::min(inc, f->cap - f->rate);
+        DSTRAIN_ASSERT(inc >= 0.0, "negative water-filling increment");
+
+        for (Flow *f : unfrozen)
+            f->rate += inc;
+        for (auto &[rid, res_left] : residual)
+            res_left -= inc * crossing[rid];
+
+        // Freeze flows at their cap or crossing a saturated resource.
+        auto frozen = [&](Flow *f) {
+            if (f->rate >= f->cap * (1.0 - kSaturationFraction))
+                return true;
+            for (ResourceId rid : f->resources) {
+                const Resource &r = topo_.resource(rid);
+                double eff = r.capacity * linkClassEfficiency(r.cls);
+                if (residual[rid] <= eff * kSaturationFraction)
+                    return true;
+            }
+            return false;
+        };
+        std::vector<Flow *> still;
+        still.reserve(unfrozen.size());
+        bool any_frozen = false;
+        for (Flow *f : unfrozen) {
+            if (frozen(f)) {
+                any_frozen = true;
+                for (ResourceId rid : f->resources)
+                    crossing[rid] -= 1;
+            } else {
+                still.push_back(f);
+            }
+        }
+        DSTRAIN_ASSERT(any_frozen || still.empty(),
+                       "water-filling failed to make progress");
+        unfrozen.swap(still);
+    }
+
+    // --- update telemetry logs -------------------------------------------
+    std::unordered_map<ResourceId, double> totals;
+    for (const auto &[id, f] : flows_)
+        for (ResourceId rid : f.resources)
+            totals[rid] += f.rate;
+
+    // Zero out resources that had traffic before but no longer do.
+    for (ResourceId rid : touched_) {
+        if (totals.find(rid) == totals.end())
+            topo_.resource(rid).log.setRate(now, 0.0);
+    }
+    touched_.clear();
+    for (const auto &[rid, total] : totals) {
+        topo_.resource(rid).log.setRate(now, total);
+        touched_.push_back(rid);
+    }
+    std::sort(touched_.begin(), touched_.end());
+
+    scheduleNextCompletion();
+}
+
+void
+FlowScheduler::scheduleNextCompletion()
+{
+    if (completion_event_ != 0) {
+        sim_.events().cancel(completion_event_);
+        completion_event_ = 0;
+    }
+    if (flows_.empty())
+        return;
+
+    SimTime best = std::numeric_limits<SimTime>::max();
+    for (const auto &[id, f] : flows_) {
+        DSTRAIN_ASSERT(f.rate > 0.0, "active flow '%s' got zero rate",
+                       f.tag.c_str());
+        best = std::min(best, f.remaining / f.rate);
+    }
+    completion_event_ = sim_.events().scheduleAfter(
+        best, [this] { onCompletionEvent(); });
+}
+
+void
+FlowScheduler::onCompletionEvent()
+{
+    completion_event_ = 0;
+    settle();
+
+    // Collect finished flows first so callbacks observe a consistent
+    // scheduler state (finished flows removed, rates recomputed).
+    std::vector<std::function<void()>> callbacks;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining <= kByteEpsilon) {
+            if (it->second.on_complete)
+                callbacks.push_back(std::move(it->second.on_complete));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    recompute();
+    for (auto &cb : callbacks)
+        cb();
+}
+
+void
+FlowScheduler::finalizeLogs()
+{
+    settle();
+    topo_.finalizeLogs(sim_.now());
+}
+
+} // namespace dstrain

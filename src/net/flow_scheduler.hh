@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Max-min fair-share flow scheduler (progressive filling).
+ *
+ * All active flows share resource capacities fairly: rates are
+ * computed by water-filling — every flow's rate rises uniformly until
+ * it hits its own cap or saturates a resource, at which point it
+ * freezes; the rest keep rising. Rates are recomputed whenever the
+ * flow set changes and completion events are scheduled on the DES.
+ *
+ * Resource capacities are de-rated by the per-class protocol
+ * efficiency (linkClassEfficiency); per-flow caps additionally carry
+ * the route's SerDes degradation, so the stress tests of paper
+ * Sec. III-C reproduce directly from this scheduler.
+ */
+
+#ifndef DSTRAIN_NET_FLOW_SCHEDULER_HH
+#define DSTRAIN_NET_FLOW_SCHEDULER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/topology.hh"
+#include "net/flow.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+
+namespace dstrain {
+
+/**
+ * The fluid-model network scheduler.
+ *
+ * One instance per experiment; it mutates resource rate logs in the
+ * topology as flow rates change.
+ */
+class FlowScheduler
+{
+  public:
+    /** @param sim the simulation context; @param topo the network. */
+    FlowScheduler(Simulation &sim, Topology &topo);
+
+    FlowScheduler(const FlowScheduler &) = delete;
+    FlowScheduler &operator=(const FlowScheduler &) = delete;
+
+    ~FlowScheduler();
+
+    /**
+     * Start a flow now. Zero-byte flows invoke on_complete via a
+     * zero-delay event (never synchronously, to keep callback
+     * ordering deterministic).
+     * @return the flow id.
+     */
+    FlowId start(FlowSpec spec);
+
+    /** Number of currently active flows. */
+    std::size_t activeCount() const { return flows_.size(); }
+
+    /** Current rate of an active flow; 0 if unknown/finished. */
+    Bps currentRate(FlowId id) const;
+
+    /**
+     * Close all rate logs at the current time (call at end of the
+     * measurement window before reading telemetry).
+     */
+    void finalizeLogs();
+
+  private:
+    /** Integrate current rates from last_settle_ to now. */
+    void settle();
+
+    /** Run water-filling, update logs, reschedule completion. */
+    void recompute();
+
+    /** Completion event handler. */
+    void onCompletionEvent();
+
+    /** Schedule (or reschedule) the next completion event. */
+    void scheduleNextCompletion();
+
+    Simulation &sim_;
+    Topology &topo_;
+    std::unordered_map<FlowId, Flow> flows_;
+    std::vector<ResourceId> touched_;  ///< resources with nonzero rate
+    FlowId next_id_ = 1;
+    SimTime last_settle_ = 0.0;
+    EventId completion_event_ = 0;
+    bool in_completion_ = false;  ///< suppress recompute re-entrancy
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_NET_FLOW_SCHEDULER_HH

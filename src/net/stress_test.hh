@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Inter-node bandwidth stress test over the simulated RoCE fabric —
+ * the synthetic equivalent of paper Sec. III-C's OFED perftest runs
+ * (Fig. 4): four bidirectional test-kernel instances between the two
+ * nodes, pinned either to the NIC's own socket (same-socket) or to
+ * the neighboring socket (cross-socket), measuring the achieved
+ * bandwidth on every interconnect along the way.
+ */
+
+#ifndef DSTRAIN_NET_STRESS_TEST_HH
+#define DSTRAIN_NET_STRESS_TEST_HH
+
+#include "telemetry/probe.hh"
+#include "util/stats.hh"
+
+namespace dstrain {
+
+/** Configuration of one stress run. */
+struct StressConfig {
+    /** GPUDirect RDMA (buffers in GPU memory) vs host memory. */
+    bool gpu_direct = false;
+
+    /** Pin traffic to the neighboring socket's NIC. */
+    bool cross_socket = false;
+
+    /** Measured window (after flows are in steady state). */
+    SimTime duration = 2.0;
+
+    /** Telemetry bucket width. */
+    SimTime bucket = 0.05;
+};
+
+/** Per-interconnect results of a stress run. */
+struct StressResult {
+    BandwidthSummary dram;
+    BandwidthSummary xgmi;
+    BandwidthSummary pcie_gpu;
+    BandwidthSummary pcie_nic;
+    BandwidthSummary roce;
+
+    /** Theoretical aggregate bidirectional RoCE bandwidth per node. */
+    Bps roce_theoretical = 0.0;
+
+    /** Achieved fraction of theoretical RoCE bandwidth (avg). */
+    double roceFraction() const
+    {
+        return roce_theoretical > 0.0 ? roce.avg / roce_theoretical
+                                      : 0.0;
+    }
+};
+
+/**
+ * Run the stress test on a fresh two-node XE8545 cluster.
+ *
+ * Four bidirectional streams (two per socket for CPU mode, one per
+ * GPU for GPUDirect mode) saturate the fabric for cfg.duration.
+ */
+StressResult runRoceStressTest(const StressConfig &cfg);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_NET_STRESS_TEST_HH

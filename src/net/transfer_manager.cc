@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the transfer manager.
+ */
+
+#include "net/transfer_manager.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+TransferManager::TransferManager(Simulation &sim, Cluster &cluster,
+                                 FlowScheduler &flows)
+    : sim_(sim), cluster_(cluster), flows_(flows)
+{
+}
+
+void
+TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
+                       std::function<void()> on_done, TransferOptions opts)
+{
+    DSTRAIN_ASSERT(src != dst, "transfer from component %d to itself",
+                   src);
+    Route route;
+    if (opts.via == kNoComponent) {
+        DSTRAIN_ASSERT(opts.via2 == kNoComponent,
+                       "via2 requires via");
+        route = cluster_.router().route(src, dst);
+    } else if (opts.via2 == kNoComponent) {
+        route = cluster_.router().routeVia(src, opts.via, dst);
+    } else {
+        route = cluster_.router().routeVia2(src, opts.via, opts.via2,
+                                            dst);
+    }
+
+    ++started_;
+    DSTRAIN_ASSERT(opts.rate_factor > 0.0 && opts.rate_factor <= 1.0,
+                   "bad rate factor %g", opts.rate_factor);
+    Bps rate_cap = opts.rate_cap;
+    if (opts.rate_factor < 1.0) {
+        const Bps scaled = route.rate_cap * opts.rate_factor;
+        rate_cap = rate_cap > 0.0 ? std::min(rate_cap, scaled) : scaled;
+    }
+    const SimTime latency = route.latency;
+    auto launch = [this, route = std::move(route), bytes,
+                   on_done = std::move(on_done), rate_cap,
+                   extra = std::move(opts.extra_resources),
+                   tag = std::move(opts.tag)]() mutable {
+        FlowSpec spec;
+        spec.route = std::move(route);
+        spec.bytes = bytes;
+        spec.rate_cap = rate_cap;
+        spec.extra_resources = std::move(extra);
+        spec.tag = std::move(tag);
+        spec.on_complete = [this, on_done = std::move(on_done)] {
+            ++completed_;
+            if (on_done)
+                on_done();
+        };
+        flows_.start(std::move(spec));
+    };
+
+    sim_.events().scheduleAfter(latency, std::move(launch));
+}
+
+} // namespace dstrain

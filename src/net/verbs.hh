@@ -1,0 +1,61 @@
+/**
+ * @file
+ * RDMA verbs latency/bandwidth model over the simulated RoCE fabric,
+ * the synthetic equivalent of the paper's OFED perftest runs
+ * (Sec. III-C, Fig. 3 and Fig. 4).
+ *
+ * The latency model is analytic: a per-op base latency plus the
+ * serialization term over the effective bandwidth of the path. The
+ * cross-socket case applies the measured IOD penalty — both a fixed
+ * small-message inflation (paper: <6 us same-socket vs <40 us
+ * cross-socket below 64 kB, i.e. roughly 7x) and the SerDes
+ * bandwidth degradation of hw/serdes.hh for the serialization term.
+ */
+
+#ifndef DSTRAIN_NET_VERBS_HH
+#define DSTRAIN_NET_VERBS_HH
+
+#include "hw/node_builder.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** The three verbs the paper's latency test exercises. */
+enum class VerbsOp {
+    Send,       ///< channel semantic SEND
+    RdmaRead,   ///< memory semantic RDMA READ (round trip)
+    RdmaWrite,  ///< memory semantic RDMA WRITE
+};
+
+/** Human-readable op name. */
+const char *verbsOpName(VerbsOp op);
+
+/** Placement of the test buffer relative to the NIC's socket. */
+enum class SocketPlacement {
+    SameSocket,   ///< buffer and NIC on the same CPU
+    CrossSocket,  ///< buffer behind the xGMI links
+};
+
+/**
+ * Average one-op latency for a message of @p bytes between two nodes
+ * over RoCE.
+ *
+ * @param op        the verb.
+ * @param bytes     message size.
+ * @param placement same- or cross-socket buffer placement.
+ * @param spec      node hardware spec (for link rates/latencies).
+ */
+SimTime verbsLatency(VerbsOp op, Bytes bytes, SocketPlacement placement,
+                     const NodeSpec &spec);
+
+/**
+ * Effective unidirectional bandwidth of a single verbs stream for the
+ * given placement (used by the latency model's serialization term and
+ * by tests).
+ */
+Bps verbsStreamBandwidth(SocketPlacement placement, bool gpu_direct,
+                         const NodeSpec &spec);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_NET_VERBS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Implementation of the discrete-event queue.
+ */
+
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+EventId
+EventQueue::schedule(SimTime when, Callback cb)
+{
+    DSTRAIN_ASSERT(when >= now_,
+                   "cannot schedule in the past (when=%g, now=%g)",
+                   when, now_);
+    DSTRAIN_ASSERT(cb != nullptr, "null event callback");
+    EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(cb)});
+    pending_.insert(id);
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(SimTime delay, Callback cb)
+{
+    DSTRAIN_ASSERT(delay >= 0.0, "negative delay %g", delay);
+    return schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return pending_.erase(id) > 0;
+}
+
+void
+EventQueue::skimCancelled()
+{
+    while (!heap_.empty() && pending_.count(heap_.top().id) == 0)
+        heap_.pop();
+}
+
+void
+EventQueue::popAndRun()
+{
+    skimCancelled();
+    DSTRAIN_ASSERT(!heap_.empty(), "popAndRun on empty queue");
+    Entry top = heap_.top();
+    heap_.pop();
+    pending_.erase(top.id);
+    DSTRAIN_ASSERT(top.when >= now_, "time went backwards");
+    now_ = top.when;
+    ++executed_;
+    top.cb();
+}
+
+bool
+EventQueue::step()
+{
+    if (empty())
+        return false;
+    popAndRun();
+    return true;
+}
+
+SimTime
+EventQueue::run()
+{
+    while (!empty())
+        popAndRun();
+    return now_;
+}
+
+SimTime
+EventQueue::runUntil(SimTime until)
+{
+    DSTRAIN_ASSERT(until >= now_, "runUntil target in the past");
+    while (!empty()) {
+        skimCancelled();
+        if (heap_.empty() || heap_.top().when > until)
+            break;
+        popAndRun();
+    }
+    now_ = until;
+    return now_;
+}
+
+} // namespace dstrain

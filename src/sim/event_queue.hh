@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the dstrain simulator.
+ *
+ * Events are (time, sequence, callback) triples ordered by time and,
+ * for equal times, by insertion order; the sequence number makes the
+ * simulation fully deterministic regardless of the container's
+ * tie-breaking behavior.
+ */
+
+#ifndef DSTRAIN_SIM_EVENT_QUEUE_HH
+#define DSTRAIN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** Identifies a scheduled event so it can be cancelled. */
+using EventId = std::uint64_t;
+
+/**
+ * A time-ordered queue of callbacks with deterministic FIFO
+ * tie-breaking and O(log n) scheduling.
+ *
+ * Cancellation is lazy: a cancelled event's heap entry remains and is
+ * skipped on pop. The set of pending ids is tracked explicitly, so
+ * cancelling an executed or unknown id is a safe no-op.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time (the time of the last executed event). */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     *
+     * @p when must not be in the past; scheduling at exactly now()
+     * is allowed and runs after all currently pending events at the
+     * same timestamp (FIFO order).
+     * @return an id usable with cancel().
+     */
+    EventId schedule(SimTime when, Callback cb);
+
+    /** Schedule @p cb @p delay seconds after now(). */
+    EventId scheduleAfter(SimTime delay, Callback cb);
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was pending and is now cancelled;
+     *         false for executed, already-cancelled, or unknown ids.
+     */
+    bool cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const { return pending_.empty(); }
+
+    /** Number of live (non-cancelled, pending) events. */
+    std::size_t size() const { return pending_.size(); }
+
+    /**
+     * Execute events until the queue drains.
+     * @return the time of the last executed event.
+     */
+    SimTime run();
+
+    /**
+     * Execute events with time <= @p until, then advance the clock
+     * to exactly @p until.
+     * @return the new current time (== @p until).
+     */
+    SimTime runUntil(SimTime until);
+
+    /**
+     * Execute at most one event.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool step();
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry {
+        SimTime when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Pop and run the earliest live event; caller checked non-empty. */
+    void popAndRun();
+
+    /** Drop cancelled entries from the top of the heap. */
+    void skimCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> pending_;  ///< live event ids
+    SimTime now_ = 0.0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Implementation of the simulation context.
+ */
+
+#include "sim/simulation.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+void
+Simulation::checkEventLimit() const
+{
+    if (events_.executedCount() > event_limit_) {
+        panic("event limit exceeded (%llu events executed); "
+              "likely a zero-delay rescheduling loop",
+              static_cast<unsigned long long>(events_.executedCount()));
+    }
+}
+
+} // namespace dstrain

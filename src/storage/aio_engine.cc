@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of the async-IO engine.
+ */
+
+#include "storage/aio_engine.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+AioEngine::AioEngine(TransferManager &tm, AioConfig cfg)
+    : tm_(tm), cfg_(cfg)
+{
+}
+
+NvmeDevice &
+AioEngine::device(int node, int drive_index)
+{
+    auto key = std::make_pair(node, drive_index);
+    auto it = devices_.find(key);
+    if (it == devices_.end()) {
+        it = devices_
+                 .emplace(key, std::make_unique<NvmeDevice>(
+                                   tm_.cluster(), node, drive_index,
+                                   cfg_.cache))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+AioEngine::submit(int drive_index, StorageIo io)
+{
+    DSTRAIN_ASSERT(io.bytes >= 0.0, "negative IO size");
+    NvmeDevice &dev = device(io.node, drive_index);
+    const ComponentId dram = tm_.cluster()
+                                 .node(io.node)
+                                 .drams[static_cast<std::size_t>(io.socket)];
+
+    Simulation &sim = tm_.sim();
+    auto launch = [this, &dev, dram, io = std::move(io)]() mutable {
+        const SimTime now = tm_.sim().now();
+
+        Bytes burst = 0.0;
+        Bytes sustained = io.bytes;
+        if (io.write) {
+            burst = dev.absorbWrite(now, io.bytes);
+            sustained = io.bytes - burst;
+        }
+
+        // Join: the request completes when both portions land.
+        auto remaining = std::make_shared<int>(0);
+        auto on_done = std::make_shared<std::function<void()>>(
+            std::move(io.on_done));
+        auto part_done = [this, remaining, on_done] {
+            if (--*remaining == 0) {
+                ++completed_;
+                if (*on_done)
+                    (*on_done)();
+            }
+        };
+
+        TransferOptions opts;
+        opts.tag = io.tag;
+        if (dev.socket() != io.socket &&
+            tm_.cluster().spec().node.model_serdes_contention) {
+            // Cross-socket storage stream: consumes the shared IOD
+            // crossbar path (paper Sec. III-C4 / Table VI).
+            opts.extra_resources.push_back(
+                tm_.cluster().node(io.node).iod_crossing);
+        }
+        if (burst > 0.0) {
+            ++*remaining;
+            tm_.start(dram, dev.controller(), burst, part_done, opts);
+        }
+        if (sustained > 0.0) {
+            ++*remaining;
+            if (io.write)
+                tm_.start(dram, dev.media(), sustained, part_done, opts);
+            else
+                tm_.start(dev.media(), dram, sustained, part_done, opts);
+        }
+        if (*remaining == 0) {
+            // Zero-byte IO: complete asynchronously.
+            tm_.sim().events().scheduleAfter(0.0, [this, on_done] {
+                ++completed_;
+                if (*on_done)
+                    (*on_done)();
+            });
+        }
+    };
+    sim.events().scheduleAfter(cfg_.submit_latency, std::move(launch));
+}
+
+} // namespace dstrain

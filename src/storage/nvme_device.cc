@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Implementation of the NVMe drive model.
+ */
+
+#include "storage/nvme_device.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+NvmeDevice::NvmeDevice(const Cluster &cluster, int node, int index,
+                       NvmeCacheConfig cfg)
+    : cfg_(cfg)
+{
+    controller_ =
+        cluster.topology().findComponent(ComponentKind::NvmeDrive, node,
+                                         index);
+    media_ = cluster.topology().findComponent(ComponentKind::NvmeMedia,
+                                              node, index);
+    if (controller_ == kNoComponent || media_ == kNoComponent)
+        fatal("node %d has no NVMe drive with index %d", node, index);
+
+    const auto &spec = cluster.spec().node;
+    DSTRAIN_ASSERT(index >= 0 &&
+                       index < static_cast<int>(spec.nvme_drives.size()),
+                   "drive index %d out of spec range", index);
+    media_rate_ =
+        spec.nvme_drives[static_cast<std::size_t>(index)].media_rate;
+    socket_ =
+        spec.nvme_drives[static_cast<std::size_t>(index)].socket;
+}
+
+void
+NvmeDevice::drainTo(SimTime now)
+{
+    DSTRAIN_ASSERT(now >= last_drain_, "drive time went backwards");
+    fill_ = std::max(0.0, fill_ - media_rate_ * (now - last_drain_));
+    last_drain_ = now;
+}
+
+Bytes
+NvmeDevice::absorbWrite(SimTime now, Bytes bytes)
+{
+    DSTRAIN_ASSERT(bytes >= 0.0, "negative write size");
+    drainTo(now);
+    const Bytes burst = std::min(bytes, cfg_.capacity - fill_);
+    fill_ += burst;
+    return burst;
+}
+
+Bytes
+NvmeDevice::cacheFill(SimTime now)
+{
+    drainTo(now);
+    return fill_;
+}
+
+} // namespace dstrain

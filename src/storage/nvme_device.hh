@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-drive NVMe behavior model.
+ *
+ * Paper Sec. V-B3 attributes the "abrupt peak and low utilization"
+ * pattern on the PCIe-NVME links to the drive's internal DRAM cache:
+ * writes land in the cache at near-PCIe speed until it fills, after
+ * which throughput drops to the NAND media rate. dstrain models this
+ * with a write-back cache of fixed capacity draining at the media
+ * rate: each write op is split into a *burst* portion (absorbed by
+ * the cache, limited only by the PCIe x4 link) and a *sustained*
+ * portion that flows through the shared NvmeMedia resource. Reads
+ * stream from NAND at the media rate (the optimizer-state working
+ * sets of ZeRO-Infinity are far larger than the cache, so read hits
+ * are negligible).
+ */
+
+#ifndef DSTRAIN_STORAGE_NVME_DEVICE_HH
+#define DSTRAIN_STORAGE_NVME_DEVICE_HH
+
+#include "hw/cluster.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** Tunables of the drive cache model. */
+struct NvmeCacheConfig {
+    /** Usable write-back cache capacity. */
+    Bytes capacity = 1.5 * units::GB;
+};
+
+/**
+ * Mutable per-drive state (cache fill level). One instance per
+ * physical drive per experiment; owned by the AioEngine.
+ */
+class NvmeDevice
+{
+  public:
+    /**
+     * @param cluster the built cluster (component lookup).
+     * @param node    node index of the drive.
+     * @param index   in-node drive index.
+     * @param cfg     cache tunables.
+     */
+    NvmeDevice(const Cluster &cluster, int node, int index,
+               NvmeCacheConfig cfg);
+
+    /** The drive's controller component (PCIe endpoint). */
+    ComponentId controller() const { return controller_; }
+
+    /** The drive's media component (NAND constraint endpoint). */
+    ComponentId media() const { return media_; }
+
+    /** Sustained media rate (read/write shared). */
+    Bps mediaRate() const { return media_rate_; }
+
+    /** Socket the drive's PCIe lanes attach to. */
+    int socket() const { return socket_; }
+
+    /**
+     * Account a write of @p bytes arriving at time @p now.
+     *
+     * @return the number of bytes absorbed by the DRAM cache (the
+     *         remainder must flow through the media resource).
+     */
+    Bytes absorbWrite(SimTime now, Bytes bytes);
+
+    /** Current cache fill after draining to time @p now (test hook). */
+    Bytes cacheFill(SimTime now);
+
+  private:
+    /** Drain the cache at the media rate up to time @p now. */
+    void drainTo(SimTime now);
+
+    ComponentId controller_ = kNoComponent;
+    ComponentId media_ = kNoComponent;
+    Bps media_rate_ = 0.0;
+    int socket_ = -1;
+    NvmeCacheConfig cfg_;
+    Bytes fill_ = 0.0;
+    SimTime last_drain_ = 0.0;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STORAGE_NVME_DEVICE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of the NVMe placement configurations.
+ */
+
+#include "storage/placement.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+int
+NvmePlacement::volumeForRank(int local_rank) const
+{
+    DSTRAIN_ASSERT(!rank_to_volume.empty(),
+                   "placement %c has no rank mapping", id);
+    return rank_to_volume[static_cast<std::size_t>(local_rank) %
+                          rank_to_volume.size()];
+}
+
+NvmePlacement
+nvmePlacementConfig(char id)
+{
+    NvmePlacement p;
+    p.id = id;
+    switch (id) {
+      case 'A':
+        p.description = "1 drive on CPU1, single volume";
+        p.drives = {NvmeDriveSpec{1}};
+        p.volumes = {VolumeSpec{"nvme0", {0}}};
+        p.rank_to_volume = {0, 0, 0, 0};
+        break;
+      case 'B':
+        p.description = "2 drives on CPU1, RAID0";
+        p.drives = {NvmeDriveSpec{1}, NvmeDriveSpec{1}};
+        p.volumes = {VolumeSpec{"md0", {0, 1}}};
+        p.rank_to_volume = {0, 0, 0, 0};
+        break;
+      case 'C':
+        p.description = "2 drives, one per CPU, RAID0 spanning sockets";
+        p.drives = {NvmeDriveSpec{0}, NvmeDriveSpec{1}};
+        p.volumes = {VolumeSpec{"md0", {0, 1}}};
+        p.rank_to_volume = {0, 0, 0, 0};
+        break;
+      case 'D':
+        p.description = "2 drives, one per CPU, no RAID, local mapping";
+        p.drives = {NvmeDriveSpec{0}, NvmeDriveSpec{1}};
+        p.volumes = {VolumeSpec{"nvme0", {0}}, VolumeSpec{"nvme1", {1}}};
+        // GPUs 0-1 sit on socket 0, GPUs 2-3 on socket 1.
+        p.rank_to_volume = {0, 0, 1, 1};
+        break;
+      case 'E':
+        p.description = "4 drives (2 per CPU), single RAID0 spanning";
+        p.drives = {NvmeDriveSpec{0}, NvmeDriveSpec{0}, NvmeDriveSpec{1},
+                    NvmeDriveSpec{1}};
+        p.volumes = {VolumeSpec{"md0", {0, 1, 2, 3}}};
+        p.rank_to_volume = {0, 0, 0, 0};
+        break;
+      case 'F':
+        p.description = "4 drives, two RAID0 volumes (one per CPU)";
+        p.drives = {NvmeDriveSpec{0}, NvmeDriveSpec{0}, NvmeDriveSpec{1},
+                    NvmeDriveSpec{1}};
+        p.volumes = {VolumeSpec{"md0", {0, 1}}, VolumeSpec{"md1", {2, 3}}};
+        p.rank_to_volume = {0, 0, 1, 1};
+        break;
+      case 'G':
+        p.description = "4 drives, no RAID, one drive per rank (local)";
+        p.drives = {NvmeDriveSpec{0}, NvmeDriveSpec{0}, NvmeDriveSpec{1},
+                    NvmeDriveSpec{1}};
+        p.volumes = {VolumeSpec{"nvme0", {0}}, VolumeSpec{"nvme1", {1}},
+                     VolumeSpec{"nvme2", {2}}, VolumeSpec{"nvme3", {3}}};
+        p.rank_to_volume = {0, 1, 2, 3};
+        break;
+      case 'H':
+        // Extension: every PCIe slot populated (paper Sec. V-E's
+        // future-work scenario).
+        p.description = "8 drives (4 per CPU), four local RAID0 pairs";
+        p.drives = {NvmeDriveSpec{0}, NvmeDriveSpec{0}, NvmeDriveSpec{0},
+                    NvmeDriveSpec{0}, NvmeDriveSpec{1}, NvmeDriveSpec{1},
+                    NvmeDriveSpec{1}, NvmeDriveSpec{1}};
+        p.volumes = {VolumeSpec{"md0", {0, 1}}, VolumeSpec{"md1", {2, 3}},
+                     VolumeSpec{"md2", {4, 5}}, VolumeSpec{"md3", {6, 7}}};
+        p.rank_to_volume = {0, 1, 2, 3};
+        break;
+      default:
+        fatal("unknown NVMe placement configuration '%c' "
+              "(expected 'A'..'H')",
+              id);
+    }
+    return p;
+}
+
+std::vector<NvmePlacement>
+allNvmePlacements()
+{
+    std::vector<NvmePlacement> out;
+    for (char id = 'A'; id <= 'G'; ++id)
+        out.push_back(nvmePlacementConfig(id));
+    return out;
+}
+
+void
+applyPlacement(const NvmePlacement &placement, NodeSpec &spec)
+{
+    spec.nvme_drives = placement.drives;
+}
+
+} // namespace dstrain

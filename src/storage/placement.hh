@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The NVMe drive-placement configurations of paper Fig. 14 /
+ * Table VI (Sec. V-E): how many drives, which socket each attaches
+ * to, how they are grouped into (RAID0) volumes, and which volume
+ * each local GPU rank offloads to. Since ZeRO-Infinity supports only
+ * one offload path, the paper used UNIX soft links to map each rank
+ * to its own volume — here the mapping is explicit.
+ *
+ *   A: 1 drive  (CPU1), one volume, all ranks.
+ *   B: 2 drives (CPU1), RAID0, all ranks.        <- paper default
+ *   C: 2 drives (one per CPU), RAID0 spanning sockets.
+ *   D: 2 drives (one per CPU), no RAID, ranks use the local drive.
+ *   E: 4 drives (2 per CPU), single RAID0 spanning sockets.
+ *   F: 4 drives (2 per CPU), two RAID0 volumes, ranks use local.
+ *   G: 4 drives (2 per CPU), no RAID, one drive per rank (local).
+ *
+ * Extension beyond the paper (its Sec. V-E future-work prediction —
+ * "if all eight slots are populated, the throughput will potentially
+ * be comparable to CPU offload"):
+ *
+ *   H: 8 drives (4 per CPU), four socket-local 2-drive RAID0
+ *      volumes, one volume per rank.
+ */
+
+#ifndef DSTRAIN_STORAGE_PLACEMENT_HH
+#define DSTRAIN_STORAGE_PLACEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/node_builder.hh"
+#include "storage/volume.hh"
+
+namespace dstrain {
+
+/** A full drive-placement configuration. */
+struct NvmePlacement {
+    char id = 'B';
+    std::string description;
+
+    /** Drives to install per node (socket attachments). */
+    std::vector<NvmeDriveSpec> drives;
+
+    /** Volume groupings over those drives. */
+    std::vector<VolumeSpec> volumes;
+
+    /**
+     * Volume index each local GPU rank offloads to
+     * (size == GPUs per node; ranks beyond the list wrap around).
+     */
+    std::vector<int> rank_to_volume;
+
+    /** Volume for a local rank (wrapping). */
+    int volumeForRank(int local_rank) const;
+};
+
+/**
+ * The placement configuration named by @p id ('A' through 'G' from
+ * the paper, plus the 'H' extension). fatal() on unknown ids.
+ */
+NvmePlacement nvmePlacementConfig(char id);
+
+/** The paper's seven configurations A-G, in paper order. */
+std::vector<NvmePlacement> allNvmePlacements();
+
+/** Install the placement's drives into a node spec. */
+void applyPlacement(const NvmePlacement &placement, NodeSpec &spec);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STORAGE_PLACEMENT_HH

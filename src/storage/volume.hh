@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Storage volumes: a single drive or an mdadm-style RAID0 stripe set.
+ *
+ * RAID0 is transparent to the IO issuer (paper Sec. V-B2): a request
+ * is striped evenly across all member drives and completes when the
+ * slowest member finishes. Members on the neighboring socket cost
+ * xGMI traffic — the root cause of the placement effects in paper
+ * Table VI.
+ */
+
+#ifndef DSTRAIN_STORAGE_VOLUME_HH
+#define DSTRAIN_STORAGE_VOLUME_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/aio_engine.hh"
+
+namespace dstrain {
+
+/** Static description of one volume. */
+struct VolumeSpec {
+    std::string name;        ///< e.g. "md0" or "nvme2"
+    std::vector<int> drives; ///< member drive indices within the node
+};
+
+/**
+ * An IO target composed of one or more drives on one node.
+ */
+class StorageVolume
+{
+  public:
+    /** @param engine the AIO engine; @param node the owning node. */
+    StorageVolume(AioEngine &engine, int node, VolumeSpec spec);
+
+    /** The volume description. */
+    const VolumeSpec &spec() const { return spec_; }
+
+    /**
+     * Issue @p io against this volume (striped across members).
+     * io.node must equal the volume's node.
+     */
+    void io(StorageIo io);
+
+    /** Aggregate sustained media rate of the member drives. */
+    Bps aggregateMediaRate();
+
+  private:
+    AioEngine &engine_;
+    int node_;
+    VolumeSpec spec_;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STORAGE_VOLUME_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the DDP plan builder.
+ */
+
+#include "strategies/ddp.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+DdpStrategy::DdpStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.kind == StrategyKind::Ddp, "wrong config kind");
+}
+
+IterationPlan
+DdpStrategy::buildIteration(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const int n = ctx.cluster.spec().totalGpus();
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+    const Bytes grad_bytes = 2.0 * params;  // fp16 gradients
+
+    std::vector<std::vector<int>> fwd;
+    std::vector<std::vector<int>> bwd;
+    buildDataParallelCompute(plan, ctx, fwd, bwd);
+    const int blocks = static_cast<int>(fwd[0].size());
+
+    // Bucketed gradient all-reduce overlapping the backward pass:
+    // bucket k becomes ready once the corresponding backward block
+    // group finishes on *every* rank; buckets all-reduce in order
+    // (NCCL stream semantics), each depending on its predecessor.
+    const int buckets = std::min(ctx.tuning.grad_buckets, blocks);
+    std::vector<int> ar_tasks;
+    int prev_ar = -1;
+    for (int k = 0; k < buckets; ++k) {
+        // Backward blocks [k*blocks/buckets, (k+1)*blocks/buckets).
+        const int b_end = (k + 1) * blocks / buckets;
+        std::vector<int> deps;
+        for (int r = 0; r < n; ++r)
+            deps.push_back(bwd[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(b_end - 1)]);
+        if (prev_ar >= 0)
+            deps.push_back(prev_ar);
+        prev_ar = plan.collective(CollectiveOp::AllReduce,
+                                  CommGroup::worldOf(n),
+                                  grad_bytes / buckets, std::move(deps),
+                                  csprintf("ddp ar bucket %d", k));
+        ar_tasks.push_back(prev_ar);
+    }
+
+    // Local optimizer step on every rank after its gradients are in.
+    for (int r = 0; r < n; ++r) {
+        plan.gpuCompute(r, kGpuOptimizerFlopsPerParam * params,
+                        ComputePhase::Optimizer, {prev_ar},
+                        csprintf("adam r%d", r));
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * PyTorch Distributed Data-Parallel: the model is replicated on
+ * every GPU; gradients are all-reduced in buckets overlapping the
+ * backward pass (paper Sec. II-B, Fig. 5 first timeline); each rank
+ * runs the full Adam step locally.
+ */
+
+#ifndef DSTRAIN_STRATEGIES_DDP_HH
+#define DSTRAIN_STRATEGIES_DDP_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/** See file comment. */
+class DdpStrategy : public Strategy
+{
+  public:
+    explicit DdpStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_DDP_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Implementation of the hybrid ZeRO + tensor-parallel plan builder.
+ */
+
+#include "strategies/hybrid_zero.hh"
+
+#include <algorithm>
+
+#include "model/flops.hh"
+#include "util/logging.hh"
+
+namespace dstrain {
+
+HybridZeroStrategy::HybridZeroStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.isHybridZero(),
+                   "HybridZeroStrategy requires ZeRO-1/2 with TP > 1");
+}
+
+IterationPlan
+HybridZeroStrategy::buildIteration(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const int n = ctx.cluster.spec().totalGpus();
+    const int tp = cfg_.tensor_parallel;
+    const int dp = cfg_.dataParallelSize(n);
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+
+    const std::int64_t tokens_replica =
+        static_cast<std::int64_t>(ctx.batch_per_gpu) * ctx.model.seq_len *
+        tp;
+    const Flops fwd_replica = forwardFlops(ctx.model, tokens_replica);
+    const int blocks = planBlocks(ctx.model, ctx.tuning);
+    const Flops fwd_rank_block = fwd_replica / tp / blocks;
+
+    // Two activation all-reduces per layer per direction within the
+    // TP group; recompute doubles the backward share (see megatron.cc).
+    const Bytes act = static_cast<Bytes>(tokens_replica) *
+                      ctx.model.hidden * 2.0;
+    const Bytes ar_block =
+        2.0 * act * ctx.model.layers / blocks;
+
+    auto tp_group = [&](int g) {
+        CommGroup grp;
+        for (int t = 0; t < tp; ++t)
+            grp.ranks.push_back(g * tp + t);
+        return grp;
+    };
+
+    // ---- per-replica Megatron-style forward/backward ------------------
+    std::vector<int> replica_done(static_cast<std::size_t>(dp), -1);
+    for (int g = 0; g < dp; ++g) {
+        int prev = -1;
+        for (int phase = 0; phase < 2; ++phase) {
+            const bool bwd = phase == 1;
+            for (int b = 0; b < blocks; ++b) {
+                std::vector<int> rank_tasks;
+                for (int t = 0; t < tp; ++t) {
+                    const int r = g * tp + t;
+                    std::vector<int> deps;
+                    if (prev >= 0)
+                        deps.push_back(prev);
+                    rank_tasks.push_back(plan.gpuCompute(
+                        r,
+                        (bwd ? 3.0 : 1.0) * fwd_rank_block,
+                        bwd ? ComputePhase::Backward
+                            : ComputePhase::Forward,
+                        std::move(deps),
+                        csprintf("hyb %s g%d b%d r%d",
+                                 bwd ? "bwd" : "fwd", g, b, r)));
+                }
+                prev = plan.collective(
+                    CollectiveOp::AllReduce, tp_group(g),
+                    (bwd ? 2.0 : 1.0) * ar_block, std::move(rank_tasks),
+                    csprintf("hyb tp-ar g%d b%d", g, b));
+            }
+        }
+        replica_done[static_cast<std::size_t>(g)] = prev;
+    }
+
+    // ---- ZeRO gradient handling across replicas ------------------------
+    // Gradients per rank: 2 P / tp bytes, reduced over the dp ranks
+    // holding the same tensor-parallel position.
+    const CollectiveOp grad_op = cfg_.kind == StrategyKind::Zero1
+                                     ? CollectiveOp::AllReduce
+                                     : CollectiveOp::ReduceScatter;
+    std::vector<int> reductions;
+    if (dp == 1)
+        reductions = replica_done;  // nothing to reduce across
+    for (int t = 0; t < tp && dp > 1; ++t) {
+        CommGroup pos_group;
+        std::vector<int> deps;
+        for (int g = 0; g < dp; ++g) {
+            pos_group.ranks.push_back(g * tp + t);
+            deps.push_back(replica_done[static_cast<std::size_t>(g)]);
+        }
+        reductions.push_back(plan.collective(
+            grad_op, std::move(pos_group), 2.0 * params / tp,
+            std::move(deps), csprintf("hyb grad red t%d", t)));
+    }
+    const int grads_ready = plan.barrier(std::move(reductions),
+                                         "hyb grads ready");
+
+    // ---- sharded optimizer + parameter all-gather ----------------------
+    std::vector<int> opt_tasks;
+    for (int r = 0; r < n; ++r) {
+        opt_tasks.push_back(plan.gpuCompute(
+            r, kGpuOptimizerFlopsPerParam * params / (tp * dp),
+            ComputePhase::Optimizer, {grads_ready},
+            csprintf("adam r%d", r)));
+    }
+    for (int t = 0; t < tp && dp > 1; ++t) {
+        CommGroup pos_group;
+        for (int g = 0; g < dp; ++g)
+            pos_group.ranks.push_back(g * tp + t);
+        plan.collective(CollectiveOp::AllGather, std::move(pos_group),
+                        2.0 * params / tp, opt_tasks,
+                        csprintf("hyb param ag t%d", t));
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Hybrid parallelism: Megatron-style tensor parallelism inside each
+ * model replica with ZeRO stage 1/2 partitioning across the
+ * data-parallel replicas — the combination the DeepSpeed
+ * announcement describes and the paper mentions but does not
+ * evaluate (Sec. II-C, [119]). An extension of this reproduction;
+ * see bench/extension_hybrid for the study.
+ *
+ * Schedule per iteration:
+ *  - every TP group runs the Megatron forward/backward with its two
+ *    activation all-reduces per layer per direction;
+ *  - gradients reduce across the DP replicas per tensor-parallel
+ *    position (all-reduce for stage 1, reduce-scatter for stage 2);
+ *  - each rank updates its optimizer shard (1 / (tp * dp) of the
+ *    model) and the fresh fp16 shards all-gather across replicas.
+ */
+
+#ifndef DSTRAIN_STRATEGIES_HYBRID_ZERO_HH
+#define DSTRAIN_STRATEGIES_HYBRID_ZERO_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/** See file comment. */
+class HybridZeroStrategy : public Strategy
+{
+  public:
+    explicit HybridZeroStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_HYBRID_ZERO_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Implementation of the iteration plan.
+ */
+
+#include "strategies/iteration_plan.hh"
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+const char *
+taskKindName(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::GpuCompute:
+        return "gpu-compute";
+      case TaskKind::Collective:
+        return "collective";
+      case TaskKind::HostTransfer:
+        return "host-transfer";
+      case TaskKind::CpuOptimizer:
+        return "cpu-optimizer";
+      case TaskKind::NvmeIo:
+        return "nvme-io";
+      case TaskKind::Barrier:
+        return "barrier";
+    }
+    panic("unknown TaskKind %d", static_cast<int>(kind));
+}
+
+const char *
+computePhaseName(ComputePhase phase)
+{
+    switch (phase) {
+      case ComputePhase::Forward:
+        return "fwd";
+      case ComputePhase::Backward:
+        return "bwd";
+      case ComputePhase::Optimizer:
+        return "opt";
+      case ComputePhase::Communication:
+        return "comm";
+      case ComputePhase::Io:
+        return "io";
+      case ComputePhase::Idle:
+        return "idle";
+    }
+    panic("unknown ComputePhase %d", static_cast<int>(phase));
+}
+
+int
+IterationPlan::add(PlanTask task)
+{
+    task.id = static_cast<int>(tasks_.size());
+    for (int dep : task.deps) {
+        DSTRAIN_ASSERT(dep >= 0 && dep < task.id,
+                       "task '%s' depends on invalid/future task %d",
+                       task.label.c_str(), dep);
+    }
+    tasks_.push_back(std::move(task));
+    return tasks_.back().id;
+}
+
+Flops
+IterationPlan::totalGpuFlops() const
+{
+    Flops total = 0.0;
+    for (const PlanTask &t : tasks_)
+        if (t.kind == TaskKind::GpuCompute)
+            total += t.flops;
+    return total;
+}
+
+Bytes
+IterationPlan::totalCollectiveBytes() const
+{
+    Bytes total = 0.0;
+    for (const PlanTask &t : tasks_)
+        if (t.kind == TaskKind::Collective)
+            total += t.bytes;
+    return total;
+}
+
+void
+IterationPlan::validate() const
+{
+    // add() already enforces dep < id, which makes cycles impossible;
+    // here we check per-kind field sanity.
+    for (const PlanTask &t : tasks_) {
+        switch (t.kind) {
+          case TaskKind::GpuCompute:
+            DSTRAIN_ASSERT(t.rank >= 0 && t.flops > 0.0,
+                           "bad compute task '%s'", t.label.c_str());
+            break;
+          case TaskKind::Collective:
+            DSTRAIN_ASSERT(t.group.size() >= 2 && t.bytes > 0.0,
+                           "bad collective task '%s'", t.label.c_str());
+            break;
+          case TaskKind::HostTransfer:
+            DSTRAIN_ASSERT(t.rank >= 0 && t.bytes > 0.0,
+                           "bad host transfer '%s'", t.label.c_str());
+            break;
+          case TaskKind::CpuOptimizer:
+            DSTRAIN_ASSERT(t.node >= 0 && t.socket >= 0 &&
+                               t.cpu_params > 0.0,
+                           "bad cpu optimizer task '%s'",
+                           t.label.c_str());
+            break;
+          case TaskKind::NvmeIo:
+            DSTRAIN_ASSERT(t.rank >= 0 && t.volume >= 0 && t.bytes > 0.0,
+                           "bad nvme io task '%s'", t.label.c_str());
+            break;
+          case TaskKind::Barrier:
+            break;
+        }
+    }
+}
+
+int
+IterationPlan::gpuCompute(int rank, Flops flops, ComputePhase phase,
+                          std::vector<int> deps, std::string label)
+{
+    PlanTask t;
+    t.kind = TaskKind::GpuCompute;
+    t.phase = phase;
+    t.rank = rank;
+    t.flops = flops;
+    t.deps = std::move(deps);
+    t.label = std::move(label);
+    return add(std::move(t));
+}
+
+int
+IterationPlan::collective(CollectiveOp op, CommGroup group, Bytes bytes,
+                          std::vector<int> deps, std::string label,
+                          bool pin_channels, SimTime extra_latency,
+                          double bw_factor)
+{
+    PlanTask t;
+    t.kind = TaskKind::Collective;
+    t.extra_latency = extra_latency;
+    t.comm_bw_factor = bw_factor;
+    t.phase = ComputePhase::Communication;
+    t.op = op;
+    t.group = std::move(group);
+    t.bytes = bytes;
+    t.pin_channels = pin_channels;
+    t.deps = std::move(deps);
+    t.label = std::move(label);
+    return add(std::move(t));
+}
+
+int
+IterationPlan::hostTransfer(int rank, Bytes bytes, bool to_host,
+                            std::vector<int> deps, std::string label)
+{
+    PlanTask t;
+    t.kind = TaskKind::HostTransfer;
+    t.phase = ComputePhase::Communication;
+    t.rank = rank;
+    t.bytes = bytes;
+    t.to_host = to_host;
+    t.deps = std::move(deps);
+    t.label = std::move(label);
+    return add(std::move(t));
+}
+
+int
+IterationPlan::cpuOptimizer(int node, int socket, double params,
+                            std::vector<int> deps, std::string label)
+{
+    PlanTask t;
+    t.kind = TaskKind::CpuOptimizer;
+    t.phase = ComputePhase::Optimizer;
+    t.node = node;
+    t.socket = socket;
+    t.cpu_params = params;
+    t.deps = std::move(deps);
+    t.label = std::move(label);
+    return add(std::move(t));
+}
+
+int
+IterationPlan::nvmeIo(int rank, int volume, Bytes bytes, bool write,
+                      std::vector<int> deps, std::string label)
+{
+    PlanTask t;
+    t.kind = TaskKind::NvmeIo;
+    t.phase = ComputePhase::Io;
+    t.rank = rank;
+    t.volume = volume;
+    t.bytes = bytes;
+    t.io_write = write;
+    t.deps = std::move(deps);
+    t.label = std::move(label);
+    return add(std::move(t));
+}
+
+int
+IterationPlan::barrier(std::vector<int> deps, std::string label)
+{
+    PlanTask t;
+    t.kind = TaskKind::Barrier;
+    t.deps = std::move(deps);
+    t.label = std::move(label);
+    return add(std::move(t));
+}
+
+} // namespace dstrain

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Implementation of the Megatron-LM plan builder.
+ */
+
+#include "strategies/megatron.hh"
+
+#include <algorithm>
+
+#include "model/flops.hh"
+#include "util/logging.hh"
+
+namespace dstrain {
+
+MegatronStrategy::MegatronStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.kind == StrategyKind::Megatron,
+                   "wrong config kind");
+}
+
+IterationPlan
+MegatronStrategy::buildIteration(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const int n = ctx.cluster.spec().totalGpus();
+    const int tp = cfg_.tensor_parallel;
+    const int pp = cfg_.pipeline_parallel;
+    const int mp = tp * pp;
+    const int dp = cfg_.dataParallelSize(n);
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+
+    // Per-GPU batch 16 => each model-parallel replica processes
+    // 16 x mp sequences, split into pp micro-batches (GPipe-style).
+    const int microbatches = std::max(1, pp);
+    const std::int64_t tokens_replica =
+        static_cast<std::int64_t>(ctx.batch_per_gpu) * ctx.model.seq_len *
+        mp;
+    const std::int64_t tokens_mb = tokens_replica / microbatches;
+    const Flops fwd_mb = forwardFlops(ctx.model, tokens_mb);
+
+    const int layers_per_stage =
+        std::max(1, ctx.model.layers / std::max(1, pp));
+    // Sub-blocks per (stage, microbatch), bounded by the tuning.
+    const int sub_blocks = std::clamp(
+        ctx.tuning.max_blocks / std::max(1, pp * microbatches), 1,
+        layers_per_stage);
+
+    // Tensor-parallel all-reduce volume: two activation all-reduces
+    // per layer per direction (the f/g operators).
+    const Bytes act_mb = static_cast<Bytes>(tokens_mb) * ctx.model.hidden *
+                         2.0;  // fp16 activations of one micro-batch
+    const Bytes ar_per_subblock =
+        2.0 * act_mb * layers_per_stage / sub_blocks;
+
+    // Per-rank compute per (stage, micro-batch, sub-block).
+    const Flops fwd_rank_sb = fwd_mb / mp / sub_blocks;
+
+    // Rank layout: replica g occupies ranks [g*mp, (g+1)*mp);
+    // pipeline stage s within the replica owns tp consecutive ranks.
+    auto stage_ranks = [&](int g, int s) {
+        CommGroup grp;
+        for (int t = 0; t < tp; ++t)
+            grp.ranks.push_back(g * mp + s * tp + t);
+        return grp;
+    };
+
+    // fwd_done[g][s][m] / bwd_done[g][s][m]: completion task of the
+    // (stage, microbatch) cell, used for pipeline dependencies.
+    const auto idx = [&](int s, int m) {
+        return static_cast<std::size_t>(s) *
+                   static_cast<std::size_t>(microbatches) +
+               static_cast<std::size_t>(m);
+    };
+    std::vector<std::vector<int>> fwd_done(
+        static_cast<std::size_t>(dp),
+        std::vector<int>(static_cast<std::size_t>(pp * microbatches),
+                         -1));
+    std::vector<std::vector<int>> bwd_done = fwd_done;
+
+    for (int g = 0; g < dp; ++g) {
+        // ---- forward pipeline -----------------------------------------
+        for (int s = 0; s < pp; ++s) {
+            for (int m = 0; m < microbatches; ++m) {
+                std::vector<int> cell_deps;
+                if (s > 0)
+                    cell_deps.push_back(fwd_done[g][idx(s - 1, m)]);
+                if (m > 0)
+                    cell_deps.push_back(fwd_done[g][idx(s, m - 1)]);
+
+                int prev = -1;
+                for (int b = 0; b < sub_blocks; ++b) {
+                    std::vector<int> comp_deps = cell_deps;
+                    if (prev >= 0)
+                        comp_deps = {prev};
+                    // The tp ranks of the stage compute in lockstep.
+                    std::vector<int> rank_tasks;
+                    for (int t = 0; t < tp; ++t) {
+                        const int r = g * mp + s * tp + t;
+                        rank_tasks.push_back(plan.gpuCompute(
+                            r, fwd_rank_sb, ComputePhase::Forward,
+                            comp_deps,
+                            csprintf("mlm fwd g%d s%d m%d b%d r%d", g, s,
+                                     m, b, r)));
+                    }
+                    if (tp > 1) {
+                        prev = plan.collective(
+                            CollectiveOp::AllReduce, stage_ranks(g, s),
+                            ar_per_subblock, std::move(rank_tasks),
+                            csprintf("mlm tp-ar fwd g%d s%d m%d b%d", g,
+                                     s, m, b));
+                    } else {
+                        prev = plan.barrier(std::move(rank_tasks),
+                                            "mlm fwd sync");
+                    }
+                }
+                fwd_done[g][idx(s, m)] = prev;
+            }
+        }
+
+        // ---- backward pipeline (reverse stage order) -------------------
+        for (int s = pp - 1; s >= 0; --s) {
+            for (int m = 0; m < microbatches; ++m) {
+                std::vector<int> cell_deps = {
+                    fwd_done[g][idx(pp - 1, microbatches - 1)]};
+                if (s < pp - 1)
+                    cell_deps.push_back(bwd_done[g][idx(s + 1, m)]);
+                if (m > 0)
+                    cell_deps.push_back(bwd_done[g][idx(s, m - 1)]);
+
+                int prev = -1;
+                for (int b = 0; b < sub_blocks; ++b) {
+                    std::vector<int> comp_deps = cell_deps;
+                    if (prev >= 0)
+                        comp_deps = {prev};
+                    std::vector<int> rank_tasks;
+                    for (int t = 0; t < tp; ++t) {
+                        const int r = g * mp + s * tp + t;
+                        rank_tasks.push_back(plan.gpuCompute(
+                            r, 3.0 * fwd_rank_sb, ComputePhase::Backward,
+                            comp_deps,
+                            csprintf("mlm bwd g%d s%d m%d b%d r%d", g, s,
+                                     m, b, r)));
+                    }
+                    if (tp > 1) {
+                        // Recompute re-runs the forward all-reduces,
+                        // so the backward cell carries 2x the volume.
+                        prev = plan.collective(
+                            CollectiveOp::AllReduce, stage_ranks(g, s),
+                            2.0 * ar_per_subblock, std::move(rank_tasks),
+                            csprintf("mlm tp-ar bwd g%d s%d m%d b%d", g,
+                                     s, m, b));
+                    } else {
+                        prev = plan.barrier(std::move(rank_tasks),
+                                            "mlm bwd sync");
+                    }
+                }
+                bwd_done[g][idx(s, m)] = prev;
+            }
+        }
+    }
+
+    // Data-parallel gradient all-reduce across replicas (per shard).
+    std::vector<int> grads_ready;
+    for (int g = 0; g < dp; ++g)
+        grads_ready.push_back(bwd_done[g][idx(0, microbatches - 1)]);
+    int opt_dep = plan.barrier(grads_ready, "mlm grads ready");
+    if (dp > 1) {
+        // One all-reduce per model-parallel position, grouped over the
+        // dp replicas holding the same shard; modeled as mp concurrent
+        // collectives of the shard size.
+        std::vector<int> ars;
+        for (int pos = 0; pos < mp; ++pos) {
+            CommGroup grp;
+            for (int g = 0; g < dp; ++g)
+                grp.ranks.push_back(g * mp + pos);
+            ars.push_back(plan.collective(
+                CollectiveOp::AllReduce, std::move(grp),
+                2.0 * params / mp, {opt_dep},
+                csprintf("mlm dp-ar pos%d", pos)));
+        }
+        opt_dep = plan.barrier(std::move(ars), "mlm dp-ar done");
+    }
+
+    // Local optimizer step over each rank's parameter shard.
+    for (int r = 0; r < n; ++r) {
+        plan.gpuCompute(r, kGpuOptimizerFlopsPerParam * params / mp,
+                        ComputePhase::Optimizer, {opt_dep},
+                        csprintf("adam r%d", r));
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Megatron-LM tensor/pipeline model parallelism (paper Sec. II-B).
+ *
+ * The cluster's GPUs are split into model-parallel groups of
+ * tp x pp consecutive ranks; the remaining factor is data
+ * parallelism. Each transformer layer runs two tensor-parallel
+ * all-reduces of the activation in the forward pass and two in the
+ * backward pass (the f/g conjugate operators of the Megatron paper);
+ * pipeline stages exchange boundary activations point-to-point; data
+ * parallel replicas all-reduce gradients at the end.
+ *
+ * On the paper's dual-node runs the tensor-parallel group spans both
+ * nodes, so the per-layer all-reduces ride RoCE — the cause of the
+ * 0.19x-of-DDP throughput collapse (Sec. IV-C2).
+ */
+
+#ifndef DSTRAIN_STRATEGIES_MEGATRON_HH
+#define DSTRAIN_STRATEGIES_MEGATRON_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/** See file comment. */
+class MegatronStrategy : public Strategy
+{
+  public:
+    explicit MegatronStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_MEGATRON_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Strategy base implementation, factory, and shared plan helpers.
+ */
+
+#include "strategies/strategy.hh"
+
+#include <algorithm>
+
+#include "model/flops.hh"
+#include "strategies/ddp.hh"
+#include "strategies/hybrid_zero.hh"
+#include "strategies/megatron.hh"
+#include "strategies/zero.hh"
+#include "strategies/zero_infinity.hh"
+#include "strategies/zero_offload.hh"
+#include "util/logging.hh"
+
+namespace dstrain {
+
+std::int64_t
+PlanContext::globalTokens() const
+{
+    return static_cast<std::int64_t>(batch_per_gpu) * model.seq_len *
+           cluster.spec().totalGpus();
+}
+
+Strategy::Strategy(StrategyConfig cfg)
+    : cfg_(cfg)
+{
+    validateStrategy(cfg_);
+}
+
+std::unique_ptr<Strategy>
+Strategy::create(const StrategyConfig &cfg)
+{
+    validateStrategy(cfg);
+    switch (cfg.kind) {
+      case StrategyKind::Ddp:
+        return std::make_unique<DdpStrategy>(cfg);
+      case StrategyKind::Megatron:
+        return std::make_unique<MegatronStrategy>(cfg);
+      case StrategyKind::Zero1:
+      case StrategyKind::Zero2:
+      case StrategyKind::Zero3:
+        if (cfg.isHybridZero())
+            return std::make_unique<HybridZeroStrategy>(cfg);
+        if (cfg.offload == OffloadTarget::Cpu)
+            return std::make_unique<ZeroOffloadStrategy>(cfg);
+        if (cfg.offload == OffloadTarget::Nvme)
+            return std::make_unique<ZeroInfinityStrategy>(cfg);
+        return std::make_unique<ZeroStrategy>(cfg);
+    }
+    panic("unknown StrategyKind %d", static_cast<int>(cfg.kind));
+}
+
+int
+planBlocks(const TransformerConfig &model, const PlanTuning &tuning)
+{
+    return std::max(1, std::min(model.layers, tuning.max_blocks));
+}
+
+Flops
+dpForwardFlopsPerRank(const PlanContext &ctx)
+{
+    const std::int64_t tokens_per_rank =
+        static_cast<std::int64_t>(ctx.batch_per_gpu) * ctx.model.seq_len;
+    return forwardFlops(ctx.model, tokens_per_rank);
+}
+
+void
+buildDataParallelCompute(IterationPlan &plan, const PlanContext &ctx,
+                         std::vector<std::vector<int>> &fwd_blocks,
+                         std::vector<std::vector<int>> &bwd_blocks)
+{
+    const int n = ctx.cluster.spec().totalGpus();
+    const int blocks = planBlocks(ctx.model, ctx.tuning);
+    const Flops fwd_rank = dpForwardFlopsPerRank(ctx);
+    const Flops fwd_block = fwd_rank / blocks;
+    const Flops bwd_block = 3.0 * fwd_block;  // recompute + backward
+
+    fwd_blocks.assign(static_cast<std::size_t>(n), {});
+    bwd_blocks.assign(static_cast<std::size_t>(n), {});
+    for (int r = 0; r < n; ++r) {
+        int prev = -1;
+        for (int b = 0; b < blocks; ++b) {
+            std::vector<int> deps;
+            if (prev >= 0)
+                deps.push_back(prev);
+            prev = plan.gpuCompute(r, fwd_block, ComputePhase::Forward,
+                                   std::move(deps),
+                                   csprintf("fwd r%d b%d", r, b));
+            fwd_blocks[static_cast<std::size_t>(r)].push_back(prev);
+        }
+        for (int b = 0; b < blocks; ++b) {
+            std::vector<int> deps = {prev};
+            prev = plan.gpuCompute(r, bwd_block, ComputePhase::Backward,
+                                   std::move(deps),
+                                   csprintf("bwd r%d b%d", r, b));
+            bwd_blocks[static_cast<std::size_t>(r)].push_back(prev);
+        }
+    }
+}
+
+} // namespace dstrain

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Implementation of the ZeRO stage 1-3 plan builders.
+ */
+
+#include "strategies/zero.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+ZeroStrategy::ZeroStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.offload == OffloadTarget::None,
+                   "ZeroStrategy models the no-offload stages");
+}
+
+IterationPlan
+ZeroStrategy::buildIteration(const PlanContext &ctx) const
+{
+    return cfg_.kind == StrategyKind::Zero3 ? buildStage3(ctx)
+                                            : buildStage12(ctx);
+}
+
+IterationPlan
+ZeroStrategy::buildStage12(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const int n = ctx.cluster.spec().totalGpus();
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+    const Bytes grad_bytes = 2.0 * params;
+    const Bytes param_bytes = 2.0 * params;
+
+    std::vector<std::vector<int>> fwd;
+    std::vector<std::vector<int>> bwd;
+    buildDataParallelCompute(plan, ctx, fwd, bwd);
+    const int blocks = static_cast<int>(fwd[0].size());
+
+    // Gradient reduction. Unlike PyTorch DDP, the DeepSpeed release
+    // the paper measured (0.7.x) launches the stage-1/2 reduction
+    // only after the backward pass completes — hence the
+    // peak-and-trough RoCE pattern of paper Fig. 10 and the exposed
+    // communication time behind Fig. 7-b. ZeRO-1 all-reduces
+    // (gradients replicated); ZeRO-2 reduce-scatters.
+    const CollectiveOp grad_op = cfg_.kind == StrategyKind::Zero1
+                                     ? CollectiveOp::AllReduce
+                                     : CollectiveOp::ReduceScatter;
+    const int buckets = std::min(ctx.tuning.grad_buckets, blocks);
+    int prev = -1;
+    for (int k = 0; k < buckets; ++k) {
+        // Overlapped mode gates bucket k on its own backward block
+        // group; the paper-era mode gates on the full backward pass.
+        const int b_end = ctx.tuning.overlap_grad_reduction
+                              ? (k + 1) * blocks / buckets
+                              : blocks;
+        std::vector<int> deps;
+        for (int r = 0; r < n; ++r)
+            deps.push_back(bwd[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(b_end - 1)]);
+        if (prev >= 0)
+            deps.push_back(prev);
+        prev = plan.collective(grad_op, CommGroup::worldOf(n),
+                               grad_bytes / buckets, std::move(deps),
+                               csprintf("zero grad bucket %d", k));
+    }
+
+    // Each rank updates its optimizer shard.
+    std::vector<int> opt_tasks;
+    for (int r = 0; r < n; ++r) {
+        opt_tasks.push_back(plan.gpuCompute(
+            r, kGpuOptimizerFlopsPerParam * params / n,
+            ComputePhase::Optimizer, {prev}, csprintf("adam r%d", r)));
+    }
+
+    // Updated fp16 parameters are all-gathered back to every rank.
+    plan.collective(CollectiveOp::AllGather, CommGroup::worldOf(n),
+                    param_bytes, std::move(opt_tasks),
+                    "zero param all-gather");
+
+    plan.validate();
+    return plan;
+}
+
+IterationPlan
+ZeroStrategy::buildStage3(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const int n = ctx.cluster.spec().totalGpus();
+    const int blocks = planBlocks(ctx.model, ctx.tuning);
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+    const Bytes param_block = 2.0 * params / blocks;
+    const Bytes grad_block = 2.0 * params / blocks;
+    const Flops fwd_block = dpForwardFlopsPerRank(ctx) / blocks;
+    const Flops bwd_block = 3.0 * fwd_block;
+
+    // Forward: all-gather each block's parameters just in time
+    // (prefetched: gathers chain on each other, compute chains on the
+    // gather of its block and the previous compute block).
+    std::vector<int> last_fwd(static_cast<std::size_t>(n), -1);
+    int prev_ag = -1;
+    std::vector<int> fwd_ag;
+    for (int b = 0; b < blocks; ++b) {
+        // Prefetch depth 1: the gather of block b may not start
+        // before block b-1's compute (DeepSpeed's bounded prefetch).
+        std::vector<int> ag_deps;
+        if (prev_ag >= 0)
+            ag_deps.push_back(prev_ag);
+        for (int r = 0; r < n; ++r)
+            if (last_fwd[static_cast<std::size_t>(r)] >= 0)
+                ag_deps.push_back(last_fwd[static_cast<std::size_t>(r)]);
+        prev_ag = plan.collective(CollectiveOp::AllGather,
+                                  CommGroup::worldOf(n), param_block,
+                                  std::move(ag_deps),
+                                  csprintf("z3 fwd ag b%d", b),
+                                  /*pin_channels=*/true,
+                                  kZero3FetchOverhead,
+                                  kZero3GatherBandwidthFactor);
+        fwd_ag.push_back(prev_ag);
+        for (int r = 0; r < n; ++r) {
+            std::vector<int> deps = {prev_ag};
+            if (last_fwd[static_cast<std::size_t>(r)] >= 0)
+                deps.push_back(last_fwd[static_cast<std::size_t>(r)]);
+            last_fwd[static_cast<std::size_t>(r)] = plan.gpuCompute(
+                r, fwd_block, ComputePhase::Forward, std::move(deps),
+                csprintf("fwd r%d b%d", r, b));
+        }
+    }
+
+    // Backward (reverse block order): gather parameters again, run
+    // recompute+backward, reduce-scatter the block's gradients.
+    std::vector<int> last_bwd = last_fwd;
+    int prev_rs = -1;
+    for (int b = blocks - 1; b >= 0; --b) {
+        std::vector<int> ag_deps;
+        if (prev_ag >= 0)
+            ag_deps.push_back(prev_ag);
+        for (int r = 0; r < n; ++r)
+            if (last_bwd[static_cast<std::size_t>(r)] >= 0)
+                ag_deps.push_back(last_bwd[static_cast<std::size_t>(r)]);
+        prev_ag = plan.collective(CollectiveOp::AllGather,
+                                  CommGroup::worldOf(n), param_block,
+                                  std::move(ag_deps),
+                                  csprintf("z3 bwd ag b%d", b),
+                                  /*pin_channels=*/true,
+                                  kZero3FetchOverhead,
+                                  kZero3GatherBandwidthFactor);
+        std::vector<int> block_tasks;
+        for (int r = 0; r < n; ++r) {
+            std::vector<int> deps = {
+                prev_ag, last_bwd[static_cast<std::size_t>(r)]};
+            last_bwd[static_cast<std::size_t>(r)] = plan.gpuCompute(
+                r, bwd_block, ComputePhase::Backward, std::move(deps),
+                csprintf("bwd r%d b%d", r, b));
+            block_tasks.push_back(last_bwd[static_cast<std::size_t>(r)]);
+        }
+        if (prev_rs >= 0)
+            block_tasks.push_back(prev_rs);
+        prev_rs = plan.collective(CollectiveOp::ReduceScatter,
+                                  CommGroup::worldOf(n), grad_block,
+                                  std::move(block_tasks),
+                                  csprintf("z3 rs b%d", b));
+    }
+
+    // Optimizer on each rank's 1/N shard; parameters stay partitioned
+    // (next iteration's gathers pick up the fresh values).
+    for (int r = 0; r < n; ++r) {
+        plan.gpuCompute(r, kGpuOptimizerFlopsPerParam * params / n,
+                        ComputePhase::Optimizer, {prev_rs},
+                        csprintf("adam r%d", r));
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

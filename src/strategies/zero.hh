@@ -1,0 +1,39 @@
+/**
+ * @file
+ * DeepSpeed ZeRO stages 1-3 without offloading (paper Sec. II-C,
+ * Table I):
+ *
+ *  - ZeRO-1: optimizer states partitioned. Gradients are all-reduced
+ *    as in DDP; each rank updates its 1/N optimizer shard and the
+ *    updated fp16 parameters are all-gathered.
+ *  - ZeRO-2: gradients also partitioned: the all-reduce becomes a
+ *    bucketed reduce-scatter overlapping the backward pass.
+ *  - ZeRO-3: parameters also partitioned: each layer block's
+ *    parameters are all-gathered just-in-time in both the forward
+ *    and the backward pass (the +50% communication volume the paper
+ *    quotes), and gradients reduce-scatter per block.
+ */
+
+#ifndef DSTRAIN_STRATEGIES_ZERO_HH
+#define DSTRAIN_STRATEGIES_ZERO_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/** See file comment. */
+class ZeroStrategy : public Strategy
+{
+  public:
+    explicit ZeroStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+
+  private:
+    IterationPlan buildStage12(const PlanContext &ctx) const;
+    IterationPlan buildStage3(const PlanContext &ctx) const;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_ZERO_HH

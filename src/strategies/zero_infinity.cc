@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Implementation of the ZeRO-Infinity plan builder.
+ */
+
+#include "strategies/zero_infinity.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+ZeroInfinityStrategy::ZeroInfinityStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.kind == StrategyKind::Zero3 &&
+                       cfg.offload == OffloadTarget::Nvme,
+                   "ZeroInfinityStrategy requires ZeRO-3 + NVMe");
+}
+
+IterationPlan
+ZeroInfinityStrategy::buildIteration(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const Cluster &cl = ctx.cluster;
+    const int n = cl.spec().totalGpus();
+    const int blocks = planBlocks(ctx.model, ctx.tuning);
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+    const Bytes param_block = 2.0 * params / blocks;
+    const Bytes grad_block = 2.0 * params / blocks;
+    const Flops fwd_block = dpForwardFlopsPerRank(ctx) / blocks;
+
+    const auto volume_of = [&](int r) {
+        return ctx.placement.volumeForRank(cl.localOfRank(r));
+    };
+
+    // ---- forward: (param page-in ->) all-gather -> compute ------------
+    std::vector<int> last(static_cast<std::size_t>(n), -1);
+    int prev_ag = -1;
+    for (int b = 0; b < blocks; ++b) {
+        // Prefetch depth 1, as in ZeroStrategy::buildStage3.
+        std::vector<int> ag_deps;
+        if (prev_ag >= 0)
+            ag_deps.push_back(prev_ag);
+        for (int r = 0; r < n; ++r)
+            if (last[static_cast<std::size_t>(r)] >= 0)
+                ag_deps.push_back(last[static_cast<std::size_t>(r)]);
+        if (cfg_.offload_params) {
+            // Each rank pages its parameter shard for this block in
+            // from NVMe and stages it to the GPU before the gather.
+            std::vector<int> staged;
+            for (int r = 0; r < n; ++r) {
+                const int rd = plan.nvmeIo(
+                    r, volume_of(r), param_block / n, /*write=*/false,
+                    ag_deps, csprintf("param pg-in r%d b%d", r, b));
+                staged.push_back(plan.hostTransfer(
+                    r, param_block / n, /*to_host=*/false, {rd},
+                    csprintf("param h2d r%d b%d", r, b)));
+            }
+            ag_deps = std::move(staged);
+        }
+        prev_ag = plan.collective(CollectiveOp::AllGather,
+                                  CommGroup::worldOf(n), param_block,
+                                  std::move(ag_deps),
+                                  csprintf("zinf fwd ag b%d", b),
+                                  /*pin_channels=*/true,
+                                  kZero3FetchOverhead,
+                                  kZero3GatherBandwidthFactor);
+        for (int r = 0; r < n; ++r) {
+            std::vector<int> deps = {prev_ag};
+            if (last[static_cast<std::size_t>(r)] >= 0)
+                deps.push_back(last[static_cast<std::size_t>(r)]);
+            last[static_cast<std::size_t>(r)] =
+                plan.gpuCompute(r, fwd_block, ComputePhase::Forward,
+                                std::move(deps),
+                                csprintf("fwd r%d b%d", r, b));
+        }
+    }
+
+    // ---- backward: gather again, compute, reduce-scatter, download ----
+    std::vector<std::vector<int>> grad_dl(static_cast<std::size_t>(n));
+    int prev_rs = -1;
+    for (int b = blocks - 1; b >= 0; --b) {
+        std::vector<int> ag_deps = {prev_ag};
+        for (int r = 0; r < n; ++r)
+            ag_deps.push_back(last[static_cast<std::size_t>(r)]);
+        if (cfg_.offload_params) {
+            std::vector<int> staged;
+            for (int r = 0; r < n; ++r) {
+                const int rd = plan.nvmeIo(
+                    r, volume_of(r), param_block / n, /*write=*/false,
+                    ag_deps, csprintf("param pg-in bwd r%d b%d", r, b));
+                staged.push_back(plan.hostTransfer(
+                    r, param_block / n, /*to_host=*/false, {rd},
+                    csprintf("param h2d bwd r%d b%d", r, b)));
+            }
+            ag_deps = std::move(staged);
+        }
+        prev_ag = plan.collective(CollectiveOp::AllGather,
+                                  CommGroup::worldOf(n), param_block,
+                                  std::move(ag_deps),
+                                  csprintf("zinf bwd ag b%d", b),
+                                  /*pin_channels=*/true,
+                                  kZero3FetchOverhead,
+                                  kZero3GatherBandwidthFactor);
+        std::vector<int> block_tasks;
+        for (int r = 0; r < n; ++r) {
+            std::vector<int> deps = {prev_ag,
+                                     last[static_cast<std::size_t>(r)]};
+            last[static_cast<std::size_t>(r)] = plan.gpuCompute(
+                r, 3.0 * fwd_block, ComputePhase::Backward,
+                std::move(deps), csprintf("bwd r%d b%d", r, b));
+            block_tasks.push_back(last[static_cast<std::size_t>(r)]);
+        }
+        if (prev_rs >= 0)
+            block_tasks.push_back(prev_rs);
+        prev_rs = plan.collective(CollectiveOp::ReduceScatter,
+                                  CommGroup::worldOf(n), grad_block,
+                                  std::move(block_tasks),
+                                  csprintf("zinf rs b%d", b));
+        for (int r = 0; r < n; ++r) {
+            grad_dl[static_cast<std::size_t>(r)].push_back(
+                plan.hostTransfer(r, grad_block / n, /*to_host=*/true,
+                                  {prev_rs},
+                                  csprintf("grad dl r%d b%d", r, b)));
+        }
+    }
+
+    // ---- optimizer swap pipeline per rank ------------------------------
+    // The fp32 optimizer shard (12 bytes/param) streams NVMe -> host,
+    // the CPU Adam consumes it chunk by chunk, and the refreshed
+    // state streams back — a read/compute/write pipeline whose depth
+    // is tuning.nvme_chunks.
+    const int chunks = std::max(1, ctx.tuning.nvme_chunks);
+    const Bytes opt_shard = 12.0 * params / n;
+    for (int r = 0; r < n; ++r) {
+        const int node = cl.nodeOfRank(r);
+        const int socket =
+            gpuSocket(cl.spec().node, cl.localOfRank(r));
+        const int vol = volume_of(r);
+
+        int prev_read = -1;
+        int last_adam = -1;
+        for (int c = 0; c < chunks; ++c) {
+            std::vector<int> rd_deps =
+                grad_dl[static_cast<std::size_t>(r)];
+            if (prev_read >= 0)
+                rd_deps = {prev_read};
+            prev_read =
+                plan.nvmeIo(r, vol, opt_shard / chunks, /*write=*/false,
+                            std::move(rd_deps),
+                            csprintf("opt rd r%d c%d", r, c));
+            last_adam = plan.cpuOptimizer(
+                node, socket, params / n / chunks, {prev_read},
+                csprintf("cpu adam r%d c%d", r, c));
+            plan.nvmeIo(r, vol, opt_shard / chunks, /*write=*/true,
+                        {last_adam}, csprintf("opt wr r%d c%d", r, c));
+        }
+
+        // Fresh fp16 parameter shard back to the GPU (and to NVMe
+        // when parameters are offloaded).
+        const int ul = plan.hostTransfer(r, 2.0 * params / n,
+                                         /*to_host=*/false, {last_adam},
+                                         csprintf("param ul r%d", r));
+        if (cfg_.offload_params) {
+            plan.nvmeIo(r, vol, 2.0 * params / n, /*write=*/true,
+                        {last_adam}, csprintf("param pg-out r%d", r));
+        }
+        (void)ul;
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

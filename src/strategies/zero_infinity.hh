@@ -1,0 +1,30 @@
+/**
+ * @file
+ * DeepSpeed ZeRO-Infinity (paper Sec. V-B/V-E): ZeRO-3 with the
+ * optimizer states swapped against NVMe storage, and optionally the
+ * fp16 parameters as well. The optimizer phase becomes a per-rank
+ * read -> CPU-Adam -> write pipeline against the rank's mapped NVMe
+ * volume (paper Fig. 14's soft-link rank mapping), making NVMe
+ * aggregate bandwidth — and the drives' socket placement — the
+ * dominant throughput factor (paper Table VI).
+ */
+
+#ifndef DSTRAIN_STRATEGIES_ZERO_INFINITY_HH
+#define DSTRAIN_STRATEGIES_ZERO_INFINITY_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/** See file comment. */
+class ZeroInfinityStrategy : public Strategy
+{
+  public:
+    explicit ZeroInfinityStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_ZERO_INFINITY_HH

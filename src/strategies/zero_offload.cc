@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Implementation of the ZeRO-Offload plan builders.
+ */
+
+#include "strategies/zero_offload.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+ZeroOffloadStrategy::ZeroOffloadStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.offload == OffloadTarget::Cpu,
+                   "ZeroOffloadStrategy requires CPU offload");
+}
+
+IterationPlan
+ZeroOffloadStrategy::buildIteration(const PlanContext &ctx) const
+{
+    return cfg_.kind == StrategyKind::Zero3 ? buildStage3(ctx)
+                                            : buildStage12(ctx);
+}
+
+IterationPlan
+ZeroOffloadStrategy::buildStage12(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const Cluster &cl = ctx.cluster;
+    const int n = cl.spec().totalGpus();
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+    const Bytes grad_bytes = 2.0 * params;
+    const Bytes shard_grad = grad_bytes / n;
+    const Bytes shard_param = 2.0 * params / n;
+
+    std::vector<std::vector<int>> fwd;
+    std::vector<std::vector<int>> bwd;
+    buildDataParallelCompute(plan, ctx, fwd, bwd);
+    const int blocks = static_cast<int>(fwd[0].size());
+
+    const CollectiveOp grad_op = cfg_.kind == StrategyKind::Zero1
+                                     ? CollectiveOp::AllReduce
+                                     : CollectiveOp::ReduceScatter;
+    const int buckets = std::min(ctx.tuning.grad_buckets, blocks);
+
+    // Gradient reduction + shard download, bucket by bucket, after
+    // the backward pass (see ZeroStrategy::buildStage12). ZeRO-2
+    // pipelines the host downloads against later buckets; ZeRO-1
+    // (which all-reduces full gradients) downloads only after the
+    // full reduction — the reason it trails ZeRO-2 in Fig. 11-a.
+    std::vector<std::vector<int>> rank_downloads(
+        static_cast<std::size_t>(n));
+    int prev_red = -1;
+    std::vector<int> reductions;
+    for (int k = 0; k < buckets; ++k) {
+        const int b_end = ctx.tuning.overlap_grad_reduction
+                              ? (k + 1) * blocks / buckets
+                              : blocks;
+        std::vector<int> deps;
+        for (int r = 0; r < n; ++r)
+            deps.push_back(bwd[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(b_end - 1)]);
+        if (prev_red >= 0)
+            deps.push_back(prev_red);
+        prev_red = plan.collective(grad_op, CommGroup::worldOf(n),
+                                   grad_bytes / buckets, std::move(deps),
+                                   csprintf("zoff grad bucket %d", k));
+        reductions.push_back(prev_red);
+
+        if (cfg_.kind == StrategyKind::Zero2) {
+            for (int r = 0; r < n; ++r) {
+                rank_downloads[static_cast<std::size_t>(r)].push_back(
+                    plan.hostTransfer(
+                        r, shard_grad / buckets, /*to_host=*/true,
+                        {prev_red},
+                        csprintf("grad dl r%d k%d", r, k)));
+            }
+        }
+    }
+    if (cfg_.kind == StrategyKind::Zero1) {
+        for (int r = 0; r < n; ++r) {
+            rank_downloads[static_cast<std::size_t>(r)].push_back(
+                plan.hostTransfer(r, shard_grad, /*to_host=*/true,
+                                  {prev_red},
+                                  csprintf("grad dl r%d", r)));
+        }
+    }
+
+    // CPU Adam per rank shard on the rank's socket, then parameter
+    // upload and the closing all-gather.
+    std::vector<int> uploads;
+    for (int r = 0; r < n; ++r) {
+        const int node = cl.nodeOfRank(r);
+        const int socket =
+            gpuSocket(cl.spec().node, cl.localOfRank(r));
+        const int adam = plan.cpuOptimizer(
+            node, socket, params / n,
+            rank_downloads[static_cast<std::size_t>(r)],
+            csprintf("cpu adam r%d", r));
+        uploads.push_back(plan.hostTransfer(
+            r, shard_param, /*to_host=*/false, {adam},
+            csprintf("param ul r%d", r)));
+    }
+    plan.collective(CollectiveOp::AllGather, CommGroup::worldOf(n),
+                    2.0 * params, std::move(uploads),
+                    "zoff param all-gather");
+
+    plan.validate();
+    return plan;
+}
+
+IterationPlan
+ZeroOffloadStrategy::buildStage3(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const Cluster &cl = ctx.cluster;
+    const int n = cl.spec().totalGpus();
+    const int blocks = planBlocks(ctx.model, ctx.tuning);
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+    const Bytes param_block = 2.0 * params / blocks;
+    const Bytes grad_block = 2.0 * params / blocks;
+    const Flops fwd_block = dpForwardFlopsPerRank(ctx) / blocks;
+
+    // Stage-3 forward/backward with just-in-time parameter gathers
+    // (as in ZeroStrategy), plus per-block gradient-shard downloads.
+    std::vector<int> last(static_cast<std::size_t>(n), -1);
+    int prev_ag = -1;
+    for (int b = 0; b < blocks; ++b) {
+        // Prefetch depth 1, as in ZeroStrategy::buildStage3.
+        std::vector<int> ag_deps;
+        if (prev_ag >= 0)
+            ag_deps.push_back(prev_ag);
+        for (int r = 0; r < n; ++r)
+            if (last[static_cast<std::size_t>(r)] >= 0)
+                ag_deps.push_back(last[static_cast<std::size_t>(r)]);
+        prev_ag = plan.collective(CollectiveOp::AllGather,
+                                  CommGroup::worldOf(n), param_block,
+                                  std::move(ag_deps),
+                                  csprintf("z3off fwd ag b%d", b),
+                                  /*pin_channels=*/true,
+                                  kZero3FetchOverhead,
+                                  kZero3GatherBandwidthFactor);
+        for (int r = 0; r < n; ++r) {
+            std::vector<int> deps = {prev_ag};
+            if (last[static_cast<std::size_t>(r)] >= 0)
+                deps.push_back(last[static_cast<std::size_t>(r)]);
+            last[static_cast<std::size_t>(r)] =
+                plan.gpuCompute(r, fwd_block, ComputePhase::Forward,
+                                std::move(deps),
+                                csprintf("fwd r%d b%d", r, b));
+        }
+    }
+    std::vector<std::vector<int>> downloads(static_cast<std::size_t>(n));
+    int prev_rs = -1;
+    for (int b = blocks - 1; b >= 0; --b) {
+        std::vector<int> ag_deps = {prev_ag};
+        for (int r = 0; r < n; ++r)
+            ag_deps.push_back(last[static_cast<std::size_t>(r)]);
+        prev_ag = plan.collective(CollectiveOp::AllGather,
+                                  CommGroup::worldOf(n), param_block,
+                                  std::move(ag_deps),
+                                  csprintf("z3off bwd ag b%d", b),
+                                  /*pin_channels=*/true,
+                                  kZero3FetchOverhead,
+                                  kZero3GatherBandwidthFactor);
+        std::vector<int> block_tasks;
+        for (int r = 0; r < n; ++r) {
+            std::vector<int> deps = {prev_ag,
+                                     last[static_cast<std::size_t>(r)]};
+            last[static_cast<std::size_t>(r)] = plan.gpuCompute(
+                r, 3.0 * fwd_block, ComputePhase::Backward,
+                std::move(deps), csprintf("bwd r%d b%d", r, b));
+            block_tasks.push_back(last[static_cast<std::size_t>(r)]);
+        }
+        if (prev_rs >= 0)
+            block_tasks.push_back(prev_rs);
+        prev_rs = plan.collective(CollectiveOp::ReduceScatter,
+                                  CommGroup::worldOf(n), grad_block,
+                                  std::move(block_tasks),
+                                  csprintf("z3off rs b%d", b));
+        for (int r = 0; r < n; ++r) {
+            downloads[static_cast<std::size_t>(r)].push_back(
+                plan.hostTransfer(r, grad_block / n, /*to_host=*/true,
+                                  {prev_rs},
+                                  csprintf("grad dl r%d b%d", r, b)));
+        }
+    }
+
+    // Host Adam per shard; updated fp16 shards return to the GPUs
+    // (the next iteration's gathers redistribute them).
+    for (int r = 0; r < n; ++r) {
+        const int node = cl.nodeOfRank(r);
+        const int socket =
+            gpuSocket(cl.spec().node, cl.localOfRank(r));
+        const int adam = plan.cpuOptimizer(
+            node, socket, params / n,
+            downloads[static_cast<std::size_t>(r)],
+            csprintf("cpu adam r%d", r));
+        plan.hostTransfer(r, 2.0 * params / n, /*to_host=*/false,
+                          {adam}, csprintf("param ul r%d", r));
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

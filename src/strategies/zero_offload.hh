@@ -1,0 +1,35 @@
+/**
+ * @file
+ * DeepSpeed ZeRO-Offload (paper Sec. V-A): model states are
+ * partitioned as in the underlying ZeRO stage, but the optimizer
+ * states live in host memory and the Adam step runs on the CPU
+ * (DeepSpeedCPUAdam). Gradient shards stream to the host overlapping
+ * the backward pass; updated fp16 parameters stream back and are
+ * all-gathered. While the GPUs idle during the host step, the DRAM
+ * and PCIe links light up — the bandwidth signature of paper
+ * Fig. 12.
+ */
+
+#ifndef DSTRAIN_STRATEGIES_ZERO_OFFLOAD_HH
+#define DSTRAIN_STRATEGIES_ZERO_OFFLOAD_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/** See file comment. */
+class ZeroOffloadStrategy : public Strategy
+{
+  public:
+    explicit ZeroOffloadStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+
+  private:
+    IterationPlan buildStage12(const PlanContext &ctx) const;
+    IterationPlan buildStage3(const PlanContext &ctx) const;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_ZERO_OFFLOAD_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Implementation of the bandwidth probes.
+ */
+
+#include "telemetry/probe.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+BandwidthSeries
+probeClassBandwidth(const Topology &topo, LinkClass cls, SimTime begin,
+                    SimTime end, SimTime bucket, int node)
+{
+    std::vector<const RateLog *> logs;
+    std::set<int> nodes_with_class;
+    for (const Resource &r : topo.resources()) {
+        if (r.cls != cls)
+            continue;
+        nodes_with_class.insert(r.node);
+        if (node >= 0 && r.node != node)
+            continue;
+        logs.push_back(&r.log);
+    }
+    BandwidthSeries series = bucketizeRateLogs(logs, begin, end, bucket);
+    if (node < 0 && nodes_with_class.size() > 1) {
+        const double scale =
+            1.0 / static_cast<double>(nodes_with_class.size());
+        for (double &v : series.values)
+            v *= scale;
+    }
+    return series;
+}
+
+BandwidthSummary
+summarizeClassBandwidth(const Topology &topo, LinkClass cls,
+                        SimTime begin, SimTime end, SimTime bucket)
+{
+    return probeClassBandwidth(topo, cls, begin, end, bucket).summary();
+}
+
+const std::vector<LinkClass> &
+tableIvClasses()
+{
+    static const std::vector<LinkClass> classes = {
+        LinkClass::Dram,    LinkClass::Xgmi,   LinkClass::PcieGpu,
+        LinkClass::PcieNvme, LinkClass::PcieNic, LinkClass::NvLink,
+        LinkClass::Roce,
+    };
+    return classes;
+}
+
+} // namespace dstrain

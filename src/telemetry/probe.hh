@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bandwidth probes: select the topology resources belonging to one
+ * interconnect class (optionally one node) and produce the
+ * aggregate-bidirectional bandwidth series the paper reports
+ * (Table IV: "aggregate bidirectional per-node bandwidth").
+ */
+
+#ifndef DSTRAIN_TELEMETRY_PROBE_HH
+#define DSTRAIN_TELEMETRY_PROBE_HH
+
+#include "hw/topology.hh"
+#include "telemetry/series.hh"
+
+namespace dstrain {
+
+/** Default sampling bucket (the paper samples at ~0.1-1 s). */
+inline constexpr SimTime kDefaultTelemetryBucket = 0.1;
+
+/**
+ * Bandwidth series for one interconnect class.
+ *
+ * Sums both directions of every matching resource — the paper's
+ * "aggregate bidirectional" convention — and divides by the number
+ * of nodes carrying matching resources to report *per-node* figures.
+ *
+ * @param node restrict to one node (-1 = all nodes, per-node
+ *             averaged).
+ */
+BandwidthSeries
+probeClassBandwidth(const Topology &topo, LinkClass cls, SimTime begin,
+                    SimTime end, SimTime bucket = kDefaultTelemetryBucket,
+                    int node = -1);
+
+/**
+ * Per-node aggregate bidirectional summary for one class — one cell
+ * group of paper Table IV.
+ */
+BandwidthSummary
+summarizeClassBandwidth(const Topology &topo, LinkClass cls,
+                        SimTime begin, SimTime end,
+                        SimTime bucket = kDefaultTelemetryBucket);
+
+/** The seven interconnect classes in paper Table IV column order. */
+const std::vector<LinkClass> &tableIvClasses();
+
+} // namespace dstrain
+
+#endif // DSTRAIN_TELEMETRY_PROBE_HH

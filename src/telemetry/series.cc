@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the bandwidth-series bucketing.
+ */
+
+#include "telemetry/series.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+SampleSeries
+BandwidthSeries::samples() const
+{
+    SampleSeries s;
+    for (double v : values)
+        s.add(v);
+    return s;
+}
+
+BandwidthSummary
+BandwidthSeries::summary() const
+{
+    return samples().summary();
+}
+
+BandwidthSeries
+bucketizeRateLogs(const std::vector<const RateLog *> &logs, SimTime begin,
+                  SimTime end, SimTime bucket)
+{
+    DSTRAIN_ASSERT(end > begin, "empty telemetry window");
+    DSTRAIN_ASSERT(bucket > 0.0, "non-positive bucket width");
+
+    const std::size_t n_buckets = static_cast<std::size_t>(
+        std::ceil((end - begin) / bucket - 1e-9));
+    BandwidthSeries series;
+    series.begin = begin;
+    series.bucket = bucket;
+    series.values.assign(std::max<std::size_t>(n_buckets, 1), 0.0);
+
+    for (const RateLog *log : logs) {
+        for (const RateLog::Segment &seg : log->segments()) {
+            if (seg.end <= begin || seg.begin >= end || seg.rate == 0.0)
+                continue;
+            const SimTime s0 = std::max(seg.begin, begin);
+            const SimTime s1 = std::min(seg.end, end);
+            // Deposit the segment's bytes into overlapping buckets.
+            auto first = static_cast<std::size_t>((s0 - begin) / bucket);
+            auto last = static_cast<std::size_t>((s1 - begin) / bucket);
+            last = std::min(last, series.values.size() - 1);
+            for (std::size_t b = first; b <= last; ++b) {
+                const SimTime b0 = begin + static_cast<double>(b) * bucket;
+                const SimTime b1 = b0 + bucket;
+                const SimTime overlap =
+                    std::max(0.0, std::min(s1, b1) - std::max(s0, b0));
+                series.values[b] += seg.rate * overlap / bucket;
+            }
+        }
+    }
+    return series;
+}
+
+} // namespace dstrain

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of the Table IV-style summaries.
+ */
+
+#include "telemetry/summary.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+BandwidthRow
+measureBandwidthRow(const std::string &config, const Topology &topo,
+                    SimTime begin, SimTime end, SimTime bucket)
+{
+    BandwidthRow row;
+    row.config = config;
+    for (LinkClass cls : tableIvClasses()) {
+        row.per_class.push_back(
+            summarizeClassBandwidth(topo, cls, begin, end, bucket));
+    }
+    return row;
+}
+
+TextTable
+makeBandwidthTable()
+{
+    std::vector<std::string> headers = {"Configuration"};
+    for (LinkClass cls : tableIvClasses()) {
+        headers.push_back(csprintf("%s avg", linkClassName(cls)));
+        headers.push_back(csprintf("%s 90th", linkClassName(cls)));
+        headers.push_back(csprintf("%s peak", linkClassName(cls)));
+    }
+    return TextTable(std::move(headers));
+}
+
+void
+addBandwidthRow(TextTable &table, const BandwidthRow &row)
+{
+    std::vector<std::string> cells = {row.config};
+    for (const BandwidthSummary &s : row.per_class) {
+        cells.push_back(csprintf("%.2f", s.avg / units::GBps));
+        cells.push_back(csprintf("%.2f", s.p90 / units::GBps));
+        cells.push_back(csprintf("%.2f", s.peak / units::GBps));
+    }
+    table.addRow(std::move(cells));
+}
+
+} // namespace dstrain

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table IV-style summary rows: one configuration's (avg, 90th, peak)
+ * per interconnect class, rendered through util/table.
+ */
+
+#ifndef DSTRAIN_TELEMETRY_SUMMARY_HH
+#define DSTRAIN_TELEMETRY_SUMMARY_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/probe.hh"
+#include "util/table.hh"
+
+namespace dstrain {
+
+/** One row of Table IV. */
+struct BandwidthRow {
+    std::string config;
+    std::vector<BandwidthSummary> per_class;  ///< tableIvClasses() order
+};
+
+/** Measure a full row over [begin, end). */
+BandwidthRow
+measureBandwidthRow(const std::string &config, const Topology &topo,
+                    SimTime begin, SimTime end,
+                    SimTime bucket = kDefaultTelemetryBucket);
+
+/** Build the Table IV header (Config + Avg/90th/Peak per class). */
+TextTable makeBandwidthTable();
+
+/** Append a measured row (values in GBps, two significant styles). */
+void addBandwidthRow(TextTable &table, const BandwidthRow &row);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_TELEMETRY_SUMMARY_HH

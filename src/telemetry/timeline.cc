@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Implementation of the ASCII timeline renderer.
+ */
+
+#include "telemetry/timeline.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+char
+phaseGlyph(ComputePhase phase)
+{
+    switch (phase) {
+      case ComputePhase::Forward:
+        return 'F';
+      case ComputePhase::Backward:
+        return 'B';
+      case ComputePhase::Optimizer:
+        return 'O';
+      case ComputePhase::Communication:
+        return 'C';
+      case ComputePhase::Io:
+        return 'I';
+      case ComputePhase::Idle:
+        return '.';
+    }
+    return '?';
+}
+
+namespace {
+
+/** Priority when multiple phases overlap a slot (compute wins). */
+int
+phasePriority(ComputePhase phase)
+{
+    switch (phase) {
+      case ComputePhase::Forward:
+      case ComputePhase::Backward:
+        return 4;
+      case ComputePhase::Optimizer:
+        return 3;
+      case ComputePhase::Io:
+        return 2;
+      case ComputePhase::Communication:
+        return 1;
+      case ComputePhase::Idle:
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::string
+renderTimeline(const std::vector<TaskSpan> &spans, int ranks,
+               SimTime begin, SimTime end, TimelineOptions opts)
+{
+    DSTRAIN_ASSERT(end > begin, "empty timeline window");
+    DSTRAIN_ASSERT(opts.width > 0, "bad timeline width");
+    const SimTime slot = (end - begin) / opts.width;
+
+    const int host_rows = opts.include_host ? 1 : 0;
+    std::vector<std::string> rows(
+        static_cast<std::size_t>(ranks + host_rows),
+        std::string(static_cast<std::size_t>(opts.width), '.'));
+    std::vector<std::vector<int>> prio(
+        rows.size(), std::vector<int>(static_cast<std::size_t>(opts.width),
+                                      0));
+
+    for (const TaskSpan &s : spans) {
+        if (s.end <= begin || s.begin >= end)
+            continue;
+        int row;
+        if (s.kind == TaskKind::CpuOptimizer) {
+            if (!opts.include_host)
+                continue;
+            row = ranks;
+        } else if (s.rank >= 0 && s.rank < ranks) {
+            row = s.rank;
+        } else {
+            continue;
+        }
+        const int p = phasePriority(s.phase);
+        auto first = static_cast<int>((std::max(s.begin, begin) - begin) /
+                                      slot);
+        auto last = static_cast<int>((std::min(s.end, end) - begin) /
+                                     slot);
+        first = std::clamp(first, 0, opts.width - 1);
+        last = std::clamp(last, 0, opts.width - 1);
+        for (int c = first; c <= last; ++c) {
+            if (p > prio[static_cast<std::size_t>(row)]
+                        [static_cast<std::size_t>(c)]) {
+                prio[static_cast<std::size_t>(row)]
+                    [static_cast<std::size_t>(c)] = p;
+                rows[static_cast<std::size_t>(row)]
+                    [static_cast<std::size_t>(c)] = phaseGlyph(s.phase);
+            }
+        }
+    }
+
+    std::string out;
+    for (int r = 0; r < ranks; ++r)
+        out += csprintf("gpu%-2d |%s|\n", r,
+                        rows[static_cast<std::size_t>(r)].c_str());
+    if (opts.include_host)
+        out += csprintf("host  |%s|\n",
+                        rows[static_cast<std::size_t>(ranks)].c_str());
+    out += csprintf("       window %s  (F fwd, B bwd, O opt, C comm, "
+                    "I io, . idle)\n",
+                    formatTime(end - begin).c_str());
+    return out;
+}
+
+} // namespace dstrain

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ASCII timeline rendering of executed task spans — the textual
+ * counterpart of the paper's Fig. 5 nsys timelines. One row per GPU
+ * rank (plus a host row when CPU optimizer work exists); each column
+ * is a time slot colored by the dominant activity:
+ *
+ *   F forward GEMMs       B backward GEMMs     O optimizer
+ *   C communication       I NVMe/storage IO    . idle
+ */
+
+#ifndef DSTRAIN_TELEMETRY_TIMELINE_HH
+#define DSTRAIN_TELEMETRY_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "engine/iteration_result.hh"
+
+namespace dstrain {
+
+/** Rendering options. */
+struct TimelineOptions {
+    int width = 100;        ///< character columns
+    bool include_host = true;
+};
+
+/**
+ * Render the spans within [begin, end) as an ASCII timeline.
+ *
+ * @param spans  executed spans (from IterationResult).
+ * @param ranks  number of GPU rank rows to draw.
+ */
+std::string renderTimeline(const std::vector<TaskSpan> &spans, int ranks,
+                           SimTime begin, SimTime end,
+                           TimelineOptions opts = {});
+
+/** The slot character for a phase. */
+char phaseGlyph(ComputePhase phase);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_TELEMETRY_TIMELINE_HH

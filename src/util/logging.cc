@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the logging facilities.
+ */
+
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace dstrain {
+
+namespace {
+
+LogLevel g_level = LogLevel::Normal;
+
+/** Shared formatting-and-print helper for the message functions. */
+void
+emit(const char *prefix, const char *fmt, va_list args)
+{
+    std::string msg = vcsprintf(fmt, args);
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+std::string
+vcsprintf(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vcsprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level == LogLevel::Silent)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level == LogLevel::Silent)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (g_level != LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("debug: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace dstrain

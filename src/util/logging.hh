@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Logging and error-reporting facilities in the gem5 idiom.
+ *
+ * Four severities are provided, mirroring the discipline described in
+ * the gem5 coding style:
+ *
+ *  - panic():  something happened that should never happen regardless
+ *              of user input, i.e. a bug in dstrain itself. Aborts.
+ *  - fatal():  the run cannot continue because of a user error (bad
+ *              configuration, impossible topology, ...). Exits with
+ *              status 1.
+ *  - warn():   something is modeled approximately or suspiciously;
+ *              the run continues.
+ *  - inform(): plain status output for the user.
+ *
+ * All of them accept printf-style formatting through a small
+ * type-safe std::format-like helper (we avoid <format> to keep
+ * gcc-12 support simple and use a classic vsnprintf wrapper instead;
+ * arguments are forwarded verbatim, so the usual printf caveats
+ * apply and are checked by the compiler via the format attribute).
+ */
+
+#ifndef DSTRAIN_UTIL_LOGGING_HH
+#define DSTRAIN_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dstrain {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel {
+    Silent,  ///< suppress warn()/inform()
+    Normal,  ///< default: everything prints
+    Debug,   ///< additionally print debugLog() messages
+};
+
+/** Set the global log level. Thread-compatible (set before running). */
+void setLogLevel(LogLevel level);
+
+/** Get the current global log level. */
+LogLevel logLevel();
+
+/**
+ * Print an informational message (prefixed "info:") to stderr.
+ * Suppressed when the level is Silent.
+ */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print a warning (prefixed "warn:") to stderr.
+ * Suppressed when the level is Silent.
+ */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (prefixed "debug:"); only at Debug level. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Use for conditions that are the user's fault: inconsistent
+ * experiment configuration, topologies with no route, etc.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort().
+ *
+ * Use for conditions that indicate a bug in dstrain itself.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vcsprintf(const char *fmt, va_list args);
+
+} // namespace dstrain
+
+/**
+ * Assert a dstrain-internal invariant with a formatted message.
+ * Enabled in all build types (invariants in a simulator are cheap
+ * relative to the modeling work and are worth keeping in release).
+ */
+#define DSTRAIN_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dstrain::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                             __FILE__, __LINE__,                           \
+                             ::dstrain::csprintf(__VA_ARGS__).c_str());    \
+        }                                                                  \
+    } while (0)
+
+#endif // DSTRAIN_UTIL_LOGGING_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * dstrain runs must be reproducible: the same configuration must
+ * produce bit-identical results. All stochastic elements (telemetry
+ * jitter, synthetic traffic arrival noise) therefore draw from an
+ * explicitly seeded SplitMix64 generator rather than
+ * std::random_device.
+ */
+
+#ifndef DSTRAIN_UTIL_RNG_HH
+#define DSTRAIN_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace dstrain {
+
+/**
+ * A small, fast, deterministic PRNG (SplitMix64).
+ *
+ * SplitMix64 passes BigCrush for the uses here (jitter and sampling)
+ * and is trivially seedable, which keeps experiment reproduction
+ * exact across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed (default is arbitrary fixed). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be positive. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_UTIL_RNG_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of the statistics helpers.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+double
+SampleSeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleSeries::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSeries::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSeries::percentile(double p) const
+{
+    return percentileOf(samples_, p);
+}
+
+BandwidthSummary
+SampleSeries::summary() const
+{
+    return BandwidthSummary{mean(), percentile(90.0), max()};
+}
+
+double
+percentileOf(const std::vector<double> &values, double p)
+{
+    DSTRAIN_ASSERT(p >= 0.0 && p <= 100.0, "percentile %.2f out of range", p);
+    if (values.empty())
+        return 0.0;
+    std::vector<double> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace dstrain

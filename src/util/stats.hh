@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small statistics helpers: running accumulators and percentile
+ * summaries in the (average, 90th percentile, peak) format the paper
+ * reports throughout Table IV and Table VI.
+ */
+
+#ifndef DSTRAIN_UTIL_STATS_HH
+#define DSTRAIN_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dstrain {
+
+/**
+ * The (avg, 90th percentile, peak) triple used for every bandwidth
+ * summary in the paper.
+ */
+struct BandwidthSummary {
+    double avg = 0.0;   ///< arithmetic mean of the samples
+    double p90 = 0.0;   ///< 90th percentile of the samples
+    double peak = 0.0;  ///< maximum sample
+};
+
+/**
+ * Accumulates scalar samples and produces summary statistics.
+ *
+ * Samples are retained so that exact percentiles can be computed;
+ * the sample counts in this simulator (one per telemetry bucket) are
+ * small enough that this is never a concern.
+ */
+class SampleSeries
+{
+  public:
+    /** Record one sample. */
+    void add(double value) { samples_.push_back(value); }
+
+    /** Number of samples recorded so far. */
+    std::size_t size() const { return samples_.size(); }
+
+    /** True when no samples have been recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Maximum sample; 0 when empty. */
+    double max() const;
+
+    /** Minimum sample; 0 when empty. */
+    double min() const;
+
+    /**
+     * Percentile via linear interpolation between closest ranks.
+     *
+     * @param p percentile in [0, 100].
+     * @return the interpolated percentile; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** The paper's (avg, 90th, peak) summary. */
+    BandwidthSummary summary() const;
+
+    /** Read-only access to raw samples (for plotting/export). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/**
+ * Compute a percentile of an arbitrary vector (convenience wrapper;
+ * does not modify the input).
+ */
+double percentileOf(const std::vector<double> &values, double p);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_UTIL_STATS_HH

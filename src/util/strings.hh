@@ -1,0 +1,41 @@
+/**
+ * @file
+ * String utilities: splitting, joining, padding, case-insensitive
+ * comparison. Nothing here is dstrain-specific; it exists to avoid
+ * pulling heavier dependencies for table/CSV output.
+ */
+
+#ifndef DSTRAIN_UTIL_STRINGS_HH
+#define DSTRAIN_UTIL_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dstrain {
+
+/** Split @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Pad or truncate @p text on the right to exactly @p width chars. */
+std::string padRight(std::string_view text, std::size_t width);
+
+/** Pad or truncate @p text on the left to exactly @p width chars. */
+std::string padLeft(std::string_view text, std::size_t width);
+
+/** Trim ASCII whitespace from both ends. */
+std::string trim(std::string_view text);
+
+/** True when @p text starts with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_UTIL_STRINGS_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Implementation of the table and CSV writers.
+ */
+
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace dstrain {
+
+namespace {
+
+/** Heuristic: a cell that parses as a number is right-aligned. */
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    std::size_t i = 0;
+    if (cell[0] == '-' || cell[0] == '+')
+        i = 1;
+    bool any_digit = false;
+    for (; i < cell.size(); ++i) {
+        const char c = cell[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            any_digit = true;
+        } else if (c != '.' && c != 'e' && c != 'E' && c != '-' &&
+                   c != '+' && c != '%' && c != 'x') {
+            return false;
+        }
+    }
+    return any_digit;
+}
+
+} // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    DSTRAIN_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    DSTRAIN_ASSERT(cells.size() == headers_.size(),
+                   "row has %zu cells, table has %zu columns",
+                   cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::size_t
+TextTable::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows_)
+        if (!row.empty())
+            ++n;
+    return n;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        std::string line = "+";
+        for (std::size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        line += "\n";
+        return line;
+    };
+
+    auto render_row = [&](const std::vector<std::string> &cells,
+                          bool header) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const bool right = !header && looksNumeric(cells[c]);
+            line += " ";
+            line += right ? padLeft(cells[c], widths[c])
+                          : padRight(cells[c], widths[c]);
+            line += " |";
+        }
+        line += "\n";
+        return line;
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += rule();
+    out += render_row(headers_, true);
+    out += rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += rule();
+        else
+            out += render_row(row, false);
+    }
+    out += rule();
+    return out;
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::string out;
+    std::vector<std::string> escaped;
+    escaped.reserve(headers_.size());
+    for (const auto &h : headers_)
+        escaped.push_back(csvEscape(h));
+    out += join(escaped, ",") + "\n";
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue;
+        escaped.clear();
+        for (const auto &cell : row)
+            escaped.push_back(csvEscape(cell));
+        out += join(escaped, ",") + "\n";
+    }
+    return out;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const TextTable &table)
+{
+    return os << table.render();
+}
+
+std::string
+csvEscape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace dstrain

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Plain-text table and CSV writers used by every bench binary to
+ * print paper-style rows. Columns are sized to their widest cell;
+ * numeric cells are right-aligned, text cells left-aligned.
+ */
+
+#ifndef DSTRAIN_UTIL_TABLE_HH
+#define DSTRAIN_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dstrain {
+
+/**
+ * An ASCII table builder.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Config", "TFLOP/s"});
+ *   t.addRow({"DDP", "438"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Optional title printed above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render as CSV (title omitted, separators omitted). */
+    std::string renderCsv() const;
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t rowCount() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    /** Rows; an empty vector marks a separator. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Stream a rendered table. */
+std::ostream &operator<<(std::ostream &os, const TextTable &table);
+
+/** Escape one CSV field (quotes fields containing , " or newline). */
+std::string csvEscape(const std::string &field);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_UTIL_TABLE_HH

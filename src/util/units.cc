@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Formatting helpers for unit types.
+ */
+
+#include "util/units.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+std::string
+formatBytes(Bytes bytes)
+{
+    const double b = std::abs(bytes);
+    if (b >= units::TB)
+        return csprintf("%.2f TB", bytes / units::TB);
+    if (b >= units::GB)
+        return csprintf("%.2f GB", bytes / units::GB);
+    if (b >= units::MB)
+        return csprintf("%.2f MB", bytes / units::MB);
+    if (b >= units::KB)
+        return csprintf("%.2f kB", bytes / units::KB);
+    return csprintf("%.0f B", bytes);
+}
+
+std::string
+formatBandwidth(Bps bw)
+{
+    if (std::abs(bw) >= 0.01 * units::GBps)
+        return csprintf("%.2f GBps", bw / units::GBps);
+    return csprintf("%.2f MBps", bw / units::MBps);
+}
+
+std::string
+formatTime(SimTime t)
+{
+    const double a = std::abs(t);
+    if (a >= 1.0)
+        return csprintf("%.3f s", t);
+    if (a >= units::ms)
+        return csprintf("%.3f ms", t / units::ms);
+    if (a >= units::us)
+        return csprintf("%.3f us", t / units::us);
+    return csprintf("%.1f ns", t / units::ns);
+}
+
+std::string
+formatParams(std::int64_t params)
+{
+    const double p = static_cast<double>(params);
+    if (p >= 1e9)
+        return csprintf("%.1f B", p / 1e9);
+    if (p >= 1e6)
+        return csprintf("%.1f M", p / 1e6);
+    return csprintf("%lld", static_cast<long long>(params));
+}
+
+} // namespace dstrain

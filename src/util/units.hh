@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit types and conversion helpers used throughout dstrain.
+ *
+ * Conventions (chosen to match the paper's reporting):
+ *  - Time is simulated seconds, stored as double (`SimTime`).
+ *  - Data sizes are bytes, stored as double (`Bytes`) because flow
+ *    models hand out fractional bytes per interval; exact integer
+ *    counts (e.g. parameters) use int64_t.
+ *  - Bandwidth is bytes per second (`Bps`). The paper reports GBps =
+ *    1e9 bytes per second (decimal, as link specs always are).
+ *  - Compute rates are FLOP/s, reported as TFLOP/s = 1e12 FLOP/s.
+ */
+
+#ifndef DSTRAIN_UTIL_UNITS_HH
+#define DSTRAIN_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dstrain {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/** A data size in bytes (fractional values appear in fluid models). */
+using Bytes = double;
+
+/** A bandwidth in bytes per second. */
+using Bps = double;
+
+/** A compute rate in floating-point operations per second. */
+using Flops = double;
+
+namespace units {
+
+// --- size literals (decimal, matching link/datasheet conventions) ---
+inline constexpr Bytes KB = 1e3;
+inline constexpr Bytes MB = 1e6;
+inline constexpr Bytes GB = 1e9;
+inline constexpr Bytes TB = 1e12;
+
+// --- size literals (binary, for memory capacities) ---
+inline constexpr Bytes KiB = 1024.0;
+inline constexpr Bytes MiB = 1024.0 * 1024.0;
+inline constexpr Bytes GiB = 1024.0 * 1024.0 * 1024.0;
+
+// --- bandwidth literals ---
+inline constexpr Bps GBps = 1e9;
+inline constexpr Bps MBps = 1e6;
+/** Network line rates quoted in Gbit/s. */
+inline constexpr Bps Gbps = 1e9 / 8.0;
+
+// --- time literals ---
+inline constexpr SimTime us = 1e-6;
+inline constexpr SimTime ms = 1e-3;
+inline constexpr SimTime ns = 1e-9;
+
+// --- compute literals ---
+inline constexpr Flops TFLOPS = 1e12;
+inline constexpr Flops GFLOPS = 1e9;
+
+} // namespace units
+
+/** Format a byte count with a human-friendly decimal suffix. */
+std::string formatBytes(Bytes bytes);
+
+/** Format a bandwidth as "X.XX GBps" (paper convention). */
+std::string formatBandwidth(Bps bw);
+
+/** Format a simulated time with an adaptive unit (ns/us/ms/s). */
+std::string formatTime(SimTime t);
+
+/** Format a parameter count as "X.X B" / "X.X M" (paper convention). */
+std::string formatParams(std::int64_t params);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_UTIL_UNITS_HH

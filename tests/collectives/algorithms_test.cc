@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the topology-aware collective helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/algorithms.hh"
+
+namespace dstrain {
+namespace {
+
+ClusterSpec
+dualSpec()
+{
+    ClusterSpec spec;
+    spec.nodes = 2;
+    return spec;
+}
+
+TEST(AlgorithmsTest, NodeMajorOrderingStable)
+{
+    Cluster cluster(dualSpec());
+    CommGroup shuffled;
+    shuffled.ranks = {5, 0, 7, 2, 4, 1, 6, 3};
+    const CommGroup ordered = orderNodeMajor(shuffled, cluster);
+    // Node-0 ranks first, preserving their relative order.
+    EXPECT_EQ(ordered.ranks,
+              (std::vector<int>{0, 2, 1, 3, 5, 7, 4, 6}));
+}
+
+TEST(AlgorithmsTest, InterNodeHopCounts)
+{
+    Cluster cluster(dualSpec());
+    EXPECT_EQ(interNodeHops(CommGroup::worldOf(8), cluster), 2);
+    CommGroup intra;
+    intra.ranks = {0, 1, 2, 3};
+    EXPECT_EQ(interNodeHops(intra, cluster), 0);
+    CommGroup alternating;
+    alternating.ranks = {0, 4, 1, 5};  // worst case: every hop crosses
+    EXPECT_EQ(interNodeHops(alternating, cluster), 4);
+}
+
+TEST(AlgorithmsTest, BottleneckIsNvlinkIntraNode)
+{
+    Cluster cluster(ClusterSpec{});
+    CommGroup g = CommGroup::worldOf(4);
+    // NVLink pair effective bandwidth.
+    EXPECT_NEAR(ringBottleneckBandwidth(g, cluster), 80e9, 1e6);
+}
+
+TEST(AlgorithmsTest, BottleneckIsRoceAcrossNodes)
+{
+    Cluster cluster(dualSpec());
+    CommGroup g = CommGroup::worldOf(8);
+    // The GPU-to-remote-GPU route: degraded PCIe SerDes hops,
+    // 26.24 GBps * 0.248.
+    EXPECT_NEAR(ringBottleneckBandwidth(g, cluster),
+                32e9 * 0.82 * 0.248, 1e7);
+}
+
+} // namespace
+} // namespace dstrain

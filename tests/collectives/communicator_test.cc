@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the collective engine: completion, traffic volumes on
+ * the fabric, channel pinning, and timing against the analytic ring
+ * formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/volume.hh"
+
+namespace dstrain {
+namespace {
+
+class CollectiveTest : public testing::Test
+{
+  protected:
+    explicit CollectiveTest(int nodes = 1)
+        : cluster_(makeSpec(nodes)), flows_(sim_, cluster_.topology()),
+          tm_(sim_, cluster_, flows_), coll_(tm_)
+    {
+    }
+
+    static ClusterSpec
+    makeSpec(int nodes)
+    {
+        ClusterSpec spec;
+        spec.nodes = nodes;
+        return spec;
+    }
+
+    Bytes
+    fabricBytes(LinkClass cls)
+    {
+        flows_.finalizeLogs();
+        Bytes total = 0.0;
+        for (const Resource &r : cluster_.topology().resources())
+            if (r.cls == cls)
+                total += r.log.totalBytes();
+        return total;
+    }
+
+    Simulation sim_;
+    Cluster cluster_;
+    FlowScheduler flows_;
+    TransferManager tm_;
+    CollectiveEngine coll_;
+};
+
+class DualNodeCollectiveTest : public CollectiveTest
+{
+  protected:
+    DualNodeCollectiveTest() : CollectiveTest(2) {}
+};
+
+TEST_F(CollectiveTest, WorldOfBuildsContiguousRanks)
+{
+    const CommGroup g = CommGroup::worldOf(4);
+    EXPECT_EQ(g.size(), 4);
+    EXPECT_EQ(g.ranks, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(CollectiveTest, AllReduceCompletesWithRightVolume)
+{
+    const Bytes payload = 4e9;
+    bool done = false;
+    coll_.allReduce(CommGroup::worldOf(4), payload,
+                    [&] { done = true; });
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(coll_.completedCount(), 1u);
+    // Ring all-reduce total fabric traffic: 2 (N-1) S.
+    EXPECT_NEAR(fabricBytes(LinkClass::NvLink), 6.0 * payload,
+                payload * 1e-6);
+}
+
+TEST_F(CollectiveTest, ReduceScatterAndAllGatherVolumes)
+{
+    const Bytes payload = 4e9;
+    coll_.reduceScatter(CommGroup::worldOf(4), payload, nullptr);
+    sim_.run();
+    EXPECT_NEAR(fabricBytes(LinkClass::NvLink), 3.0 * payload,
+                payload * 1e-6);
+}
+
+TEST_F(CollectiveTest, AllReduceTimeMatchesAnalyticRing)
+{
+    const Bytes payload = 8e9;
+    coll_.allReduce(CommGroup::worldOf(4), payload, nullptr);
+    sim_.run();
+    // NVLink pair effective: 100 GBps * 0.8.
+    const SimTime ideal = ringCollectiveIdealTime(
+        CollectiveOp::AllReduce, 4, payload, 80e9);
+    EXPECT_NEAR(sim_.now(), ideal, ideal * 0.02);
+}
+
+TEST_F(CollectiveTest, BroadcastCompletes)
+{
+    bool done = false;
+    coll_.broadcast(CommGroup::worldOf(4), 2, 1e9, [&] { done = true; });
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(fabricBytes(LinkClass::NvLink), 3e9, 1e4);
+}
+
+TEST_F(CollectiveTest, ReduceCompletes)
+{
+    bool done = false;
+    coll_.reduce(CommGroup::worldOf(4), 0, 1e9, [&] { done = true; });
+    sim_.run();
+    EXPECT_TRUE(done);
+}
+
+TEST_F(CollectiveTest, PointToPoint)
+{
+    bool done = false;
+    coll_.pointToPoint(0, 3, 1e9, [&] { done = true; });
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(fabricBytes(LinkClass::NvLink), 1e9, 1e3);
+}
+
+TEST_F(CollectiveTest, SubgroupOnlyTouchesItsLinks)
+{
+    CommGroup pair;
+    pair.ranks = {0, 1};
+    coll_.allReduce(pair, 1e9, nullptr);
+    sim_.run();
+    flows_.finalizeLogs();
+    for (const Resource &r : cluster_.topology().resources()) {
+        if (r.cls == LinkClass::NvLink &&
+            r.label.find("nvlink0-1") == std::string::npos) {
+            EXPECT_DOUBLE_EQ(r.log.totalBytes(), 0.0) << r.label;
+        }
+    }
+}
+
+TEST_F(DualNodeCollectiveTest, SpanningGroupUsesRoce)
+{
+    coll_.allReduce(CommGroup::worldOf(8), 1e9, nullptr);
+    sim_.run();
+    EXPECT_GT(fabricBytes(LinkClass::Roce), 1e9);
+}
+
+TEST_F(DualNodeCollectiveTest, PinnedChannelsTouchBothNicsAndXgmi)
+{
+    CollectiveOptions opts;
+    opts.channels = 2;
+    coll_.allReduce(CommGroup::worldOf(8), 4e9, nullptr, opts);
+    sim_.run();
+    flows_.finalizeLogs();
+    // Channel 1 pins to NIC1: socket-0 GPUs must cross xGMI.
+    Bytes xgmi = 0.0;
+    int nics_used = 0;
+    for (const Resource &r : cluster_.topology().resources()) {
+        if (r.cls == LinkClass::Xgmi)
+            xgmi += r.log.totalBytes();
+        if (r.cls == LinkClass::Roce && r.log.totalBytes() > 0)
+            ++nics_used;
+    }
+    EXPECT_GT(xgmi, 0.0);
+    EXPECT_EQ(nics_used, 8);  // all NIC links in both directions
+}
+
+TEST_F(DualNodeCollectiveTest, UnpinnedAvoidsXgmi)
+{
+    CollectiveOptions opts;
+    opts.pin_channels_to_nics = false;
+    coll_.allReduce(CommGroup::worldOf(8), 4e9, nullptr, opts);
+    sim_.run();
+    EXPECT_DOUBLE_EQ(fabricBytes(LinkClass::Xgmi), 0.0);
+}
+
+TEST_F(CollectiveTest, BandwidthFactorSlowsCollective)
+{
+    coll_.allReduce(CommGroup::worldOf(4), 4e9, nullptr);
+    sim_.run();
+    const SimTime fast = sim_.now();
+
+    Simulation sim2;
+    Cluster cluster2(makeSpec(1));
+    FlowScheduler flows2(sim2, cluster2.topology());
+    TransferManager tm2(sim2, cluster2, flows2);
+    CollectiveEngine coll2(tm2);
+    CollectiveOptions opts;
+    opts.bandwidth_factor = 0.5;
+    coll2.allReduce(CommGroup::worldOf(4), 4e9, nullptr, opts);
+    sim2.run();
+    EXPECT_NEAR(sim2.now(), 2.0 * fast, fast * 0.05);
+}
+
+TEST_F(CollectiveTest, DeathOnSingletonGroup)
+{
+    CommGroup solo;
+    solo.ranks = {0};
+    EXPECT_DEATH(coll_.allReduce(solo, 1.0, nullptr), ">= 2");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the closed-form collective volume/time formulas,
+ * including the ZeRO paper's communication-volume claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/volume.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(VolumeTest, AllReduceClassicFormula)
+{
+    // 2 (N-1)/N per rank.
+    EXPECT_DOUBLE_EQ(
+        collectiveSendVolumePerRank(CollectiveOp::AllReduce, 4, 100.0),
+        150.0);
+    EXPECT_DOUBLE_EQ(
+        collectiveTotalVolume(CollectiveOp::AllReduce, 4, 100.0),
+        600.0);
+}
+
+TEST(VolumeTest, ReduceScatterAndAllGatherHalveAllReduce)
+{
+    for (int n : {2, 4, 8, 16}) {
+        const Bytes ar = collectiveSendVolumePerRank(
+            CollectiveOp::AllReduce, n, 64.0);
+        const Bytes rs = collectiveSendVolumePerRank(
+            CollectiveOp::ReduceScatter, n, 64.0);
+        const Bytes ag = collectiveSendVolumePerRank(
+            CollectiveOp::AllGather, n, 64.0);
+        EXPECT_DOUBLE_EQ(rs + ag, ar);
+        EXPECT_DOUBLE_EQ(rs, ag);
+    }
+}
+
+TEST(VolumeTest, ZeroStageVolumeClaims)
+{
+    // Paper Sec. II-C: ZeRO-1/2 keep DDP's volume; ZeRO-3 adds 50%.
+    const int n = 8;
+    const Bytes grads = 1.0;
+    const Bytes params = 1.0;
+    const Bytes ddp =
+        collectiveSendVolumePerRank(CollectiveOp::AllReduce, n, grads);
+    const Bytes zero2 =
+        collectiveSendVolumePerRank(CollectiveOp::ReduceScatter, n,
+                                    grads) +
+        collectiveSendVolumePerRank(CollectiveOp::AllGather, n, params);
+    // ZeRO-3: gather params twice (fwd+bwd) + reduce-scatter grads.
+    const Bytes zero3 =
+        2.0 * collectiveSendVolumePerRank(CollectiveOp::AllGather, n,
+                                          params) +
+        collectiveSendVolumePerRank(CollectiveOp::ReduceScatter, n,
+                                    grads);
+    EXPECT_DOUBLE_EQ(zero2, ddp);
+    EXPECT_DOUBLE_EQ(zero3, 1.5 * ddp);
+}
+
+TEST(VolumeTest, RingIdealTimes)
+{
+    const Bps bw = 100.0;
+    EXPECT_DOUBLE_EQ(ringCollectiveIdealTime(CollectiveOp::AllGather, 4,
+                                             400.0, bw),
+                     3.0);
+    EXPECT_DOUBLE_EQ(ringCollectiveIdealTime(CollectiveOp::AllReduce, 4,
+                                             400.0, bw),
+                     6.0);
+    // Broadcast pipeline with 8 slices over 4 ranks.
+    EXPECT_DOUBLE_EQ(ringCollectiveIdealTime(CollectiveOp::Broadcast, 4,
+                                             800.0, bw),
+                     10.0);
+}
+
+TEST(VolumeDeathTest, TooFewRanks)
+{
+    EXPECT_DEATH(
+        collectiveSendVolumePerRank(CollectiveOp::AllReduce, 1, 1.0),
+        ">= 2");
+}
+
+/** Parameterized: volumes scale linearly in bytes. */
+class VolumeLinearity : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(VolumeLinearity, LinearInBytes)
+{
+    const int n = GetParam();
+    for (int op = 0; op < 5; ++op) {
+        const auto c = static_cast<CollectiveOp>(op);
+        const Bytes v1 = collectiveSendVolumePerRank(c, n, 10.0);
+        const Bytes v2 = collectiveSendVolumePerRank(c, n, 20.0);
+        EXPECT_DOUBLE_EQ(v2, 2.0 * v1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, VolumeLinearity,
+                         testing::Values(2, 3, 4, 8, 16));
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the energy-model extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/energy.hh"
+#include "core/presets.hh"
+
+namespace dstrain {
+namespace {
+
+std::pair<ExperimentReport, ExperimentConfig>
+runOne(int nodes, const StrategyConfig &s, double billions)
+{
+    ExperimentConfig cfg = paperExperiment(nodes, s, billions);
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    Experiment exp(cfg);
+    return {exp.run(), cfg};
+}
+
+TEST(EnergyTest, BreakdownSumsAndPowerIsPlausible)
+{
+    auto [report, cfg] = runOne(1, StrategyConfig::ddp(), 1.4);
+    const EnergyReport e = estimateEnergy(report, cfg);
+    EXPECT_NEAR(e.gpu_joules + e.cpu_joules + e.storage_joules +
+                    e.platform_joules,
+                e.joules_per_iteration, 1e-6);
+    // One XE8545 idles above ~0.7 kW and peaks below ~2.6 kW.
+    EXPECT_GT(e.avg_power_watts, 700.0);
+    EXPECT_LT(e.avg_power_watts, 2600.0);
+    EXPECT_GT(e.tokens_per_joule, 0.0);
+    EXPECT_GT(e.gpu_busy_fraction, 0.5);  // DDP keeps GPUs busy
+    EXPECT_LE(e.gpu_busy_fraction, 1.0);
+}
+
+TEST(EnergyTest, OffloadDropsGpuBusyAndTokensPerJoule)
+{
+    auto [plain, plain_cfg] =
+        runOne(1, StrategyConfig::zero(2), 5.2);
+    auto [off, off_cfg] =
+        runOne(1, StrategyConfig::zeroOffloadCpu(2), 5.2);
+    const EnergyReport pe = estimateEnergy(plain, plain_cfg);
+    const EnergyReport oe = estimateEnergy(off, off_cfg);
+    EXPECT_LT(oe.gpu_busy_fraction, pe.gpu_busy_fraction);
+    EXPECT_LT(oe.tokens_per_joule, pe.tokens_per_joule);
+    EXPECT_GT(oe.cpu_busy_fraction, pe.cpu_busy_fraction);
+}
+
+TEST(EnergyTest, TwoNodesDrawRoughlyTwice)
+{
+    auto [one, one_cfg] = runOne(1, StrategyConfig::ddp(), 1.4);
+    auto [two, two_cfg] = runOne(2, StrategyConfig::ddp(), 1.4);
+    const double p1 = estimateEnergy(one, one_cfg).avg_power_watts;
+    const double p2 = estimateEnergy(two, two_cfg).avg_power_watts;
+    EXPECT_GT(p2, 1.6 * p1);
+    EXPECT_LT(p2, 2.4 * p1);
+}
+
+TEST(EnergyTest, PowerModelKnobsMatter)
+{
+    auto [report, cfg] = runOne(1, StrategyConfig::ddp(), 1.4);
+    PowerModel hungry;
+    hungry.gpu_busy = 800.0;
+    EXPECT_GT(estimateEnergy(report, cfg, hungry).joules_per_iteration,
+              estimateEnergy(report, cfg).joules_per_iteration);
+}
+
+TEST(EnergyTest, SummaryLine)
+{
+    auto [report, cfg] = runOne(1, StrategyConfig::ddp(), 1.4);
+    const std::string line =
+        summarizeEnergy(estimateEnergy(report, cfg));
+    EXPECT_NE(line.find("kJ/iter"), std::string::npos);
+    EXPECT_NE(line.find("tokens/J"), std::string::npos);
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the paper-configuration presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(PresetsTest, Xe8545Defaults)
+{
+    const ClusterSpec spec = xe8545Cluster(2);
+    EXPECT_EQ(spec.nodes, 2);
+    EXPECT_EQ(spec.node.gpus, 4);
+    EXPECT_DOUBLE_EQ(spec.node.gpu_memory, 40.0 * units::GiB);
+    EXPECT_DOUBLE_EQ(spec.node.gpu_peak_fp16, 312e12);
+    EXPECT_EQ(spec.totalGpus(), 8);
+}
+
+TEST(PresetsTest, PaperMegatronDegrees)
+{
+    EXPECT_EQ(paperMegatron(1).modelParallelSize(), 4);
+    EXPECT_EQ(paperMegatron(2).modelParallelSize(), 8);
+}
+
+TEST(PresetsTest, LineupsMatchThePaperFigures)
+{
+    EXPECT_EQ(comparisonLineup(1).size(), 5u);
+    EXPECT_EQ(comparisonLineup(2).size(), 5u);
+    EXPECT_EQ(consolidationLineup().size(), 4u);
+    EXPECT_EQ(largestModelLineup().size(), 3u);
+    EXPECT_EQ(sensitivityLineup().size(), 8u);
+    for (const StrategyConfig &s : sensitivityLineup())
+        validateStrategy(s);
+}
+
+TEST(PresetsTest, PaperExperimentWiresThrough)
+{
+    const ExperimentConfig cfg =
+        paperExperiment(2, StrategyConfig::zero(3), 11.4);
+    EXPECT_EQ(cfg.cluster.nodes, 2);
+    EXPECT_EQ(cfg.strategy.kind, StrategyKind::Zero3);
+    EXPECT_DOUBLE_EQ(cfg.model_billions, 11.4);
+    EXPECT_EQ(cfg.batch_per_gpu, 16);
+}
+
+} // namespace
+} // namespace dstrain

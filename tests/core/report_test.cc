@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the report-rendering helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace dstrain {
+namespace {
+
+ExperimentReport
+fakeReport()
+{
+    ExperimentReport r;
+    r.strategy = StrategyConfig::zero(2);
+    r.model = ladderEntryFor(5.2);
+    r.iteration_time = 1.234;
+    r.tflops = 524.0;
+    r.footprint.gpu_per_gpu = 38.1e9;
+    r.footprint.cpu_per_node = 22e9;
+    r.composition = composeMemory("ZeRO-2", r.footprint, 4, 1);
+    r.bandwidth.config = "ZeRO-2";
+    r.bandwidth.per_class.resize(tableIvClasses().size());
+    return r;
+}
+
+TEST(ReportTest, SummaryLineContents)
+{
+    const std::string line = summarizeReport(fakeReport());
+    EXPECT_NE(line.find("ZeRO-2"), std::string::npos);
+    EXPECT_NE(line.find("5.2"), std::string::npos);
+    EXPECT_NE(line.find("524.0"), std::string::npos);
+}
+
+TEST(ReportTest, ComparisonTableOneRowPerReport)
+{
+    const TextTable t = comparisonTable({fakeReport(), fakeReport()});
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_NE(t.render().find("38.1"), std::string::npos);
+}
+
+TEST(ReportTest, CompositionTableShares)
+{
+    const TextTable t = compositionTable({fakeReport()});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("GB"), std::string::npos);
+    EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+TEST(ReportTest, BarChartScalesToMax)
+{
+    const std::string chart =
+        barChart({"a", "b"}, {50.0, 100.0}, "u", 10);
+    // "b" gets the full 10 hashes; "a" gets 5.
+    EXPECT_NE(chart.find("##########"), std::string::npos);
+    EXPECT_NE(chart.find("#####"), std::string::npos);
+    EXPECT_NE(chart.find("100.0 u"), std::string::npos);
+}
+
+TEST(ReportTest, BarChartHandlesZeros)
+{
+    const std::string chart = barChart({"z"}, {0.0}, "u", 10);
+    EXPECT_NE(chart.find("0.0 u"), std::string::npos);
+}
+
+TEST(SparklineTest, ScalesAndDownsamples)
+{
+    std::vector<double> v(100, 0.0);
+    for (std::size_t i = 50; i < 100; ++i)
+        v[i] = 10.0;
+    const std::string line = sparkline(v, 10);
+    ASSERT_EQ(line.size(), 10u);
+    EXPECT_EQ(line.substr(0, 5), "     ");
+    EXPECT_EQ(line.substr(5, 5), "@@@@@");
+}
+
+TEST(SparklineTest, EmptyAndFlatInputs)
+{
+    EXPECT_EQ(sparkline({}, 10), "");
+    const std::string flat = sparkline({5.0, 5.0, 5.0}, 3);
+    EXPECT_EQ(flat, "@@@");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tests for the iteration-result helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/iteration_result.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(IterationResultTest, WindowAccounting)
+{
+    IterationResult r;
+    r.iteration_ends = {1.0, 2.0, 3.0, 4.0};
+    r.measured_begin = 1.0;
+    r.measured_end = 4.0;
+    r.flops_per_iteration = 3e12;
+    EXPECT_EQ(r.measuredIterations(), 3);
+    EXPECT_DOUBLE_EQ(r.avgIterationTime(), 1.0);
+    EXPECT_DOUBLE_EQ(r.achievedTflops(), 3.0);
+}
+
+TEST(IterationResultTest, NoWarmup)
+{
+    IterationResult r;
+    r.iteration_ends = {2.0, 4.0};
+    r.measured_begin = 0.0;
+    r.measured_end = 4.0;
+    r.flops_per_iteration = 4e12;
+    EXPECT_EQ(r.measuredIterations(), 2);
+    EXPECT_DOUBLE_EQ(r.avgIterationTime(), 2.0);
+    EXPECT_DOUBLE_EQ(r.achievedTflops(), 2.0);
+}
+
+TEST(IterationResultDeathTest, EmptyWindowIsFatal)
+{
+    IterationResult r;
+    r.measured_begin = 1.0;
+    r.measured_end = 1.0;
+    EXPECT_DEATH(r.avgIterationTime(), "no measured iterations");
+}
+
+} // namespace
+} // namespace dstrain

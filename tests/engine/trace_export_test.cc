@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the Chrome-trace exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "engine/trace_export.hh"
+
+namespace dstrain {
+namespace {
+
+TaskSpan
+span(int rank, TaskKind kind, ComputePhase phase, SimTime b, SimTime e,
+     const std::string &label)
+{
+    TaskSpan s;
+    s.rank = rank;
+    s.kind = kind;
+    s.phase = phase;
+    s.begin = b;
+    s.end = e;
+    s.label = label;
+    return s;
+}
+
+TEST(JsonEscapeTest, SpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TraceExportTest, EmitsEventsAndThreadNames)
+{
+    std::vector<TaskSpan> spans = {
+        span(0, TaskKind::GpuCompute, ComputePhase::Forward, 0.0, 0.5,
+             "fwd r0"),
+        span(-1, TaskKind::CpuOptimizer, ComputePhase::Optimizer, 0.5,
+             1.0, "cpu adam"),
+    };
+    const std::string json = renderChromeTrace(spans);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"fwd r0\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"fwd\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"gpu0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"host\""), std::string::npos);
+    // 0.5 s -> 500000 us duration.
+    EXPECT_NE(json.find("\"dur\":500000.000"), std::string::npos);
+}
+
+TEST(TraceExportTest, WindowClipsSpans)
+{
+    std::vector<TaskSpan> spans = {
+        span(0, TaskKind::GpuCompute, ComputePhase::Forward, 0.0, 0.5,
+             "early"),
+        span(0, TaskKind::GpuCompute, ComputePhase::Forward, 2.0, 2.5,
+             "late"),
+    };
+    TraceOptions opts;
+    opts.begin = 1.0;
+    opts.end = 3.0;
+    const std::string json = renderChromeTrace(spans, opts);
+    EXPECT_EQ(json.find("early"), std::string::npos);
+    EXPECT_NE(json.find("late"), std::string::npos);
+}
+
+TEST(TraceExportTest, WritesFile)
+{
+    const std::string path = testing::TempDir() + "dstrain_trace.json";
+    std::vector<TaskSpan> spans = {
+        span(1, TaskKind::GpuCompute, ComputePhase::Backward, 0.0, 1.0,
+             "bwd"),
+    };
+    ASSERT_TRUE(writeChromeTrace(path, spans));
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good());
+    std::string contents((std::istreambuf_iterator<char>(file)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("bwd"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, BadPathWarnsAndReturnsFalse)
+{
+    EXPECT_FALSE(
+        writeChromeTrace("/nonexistent-dir/trace.json", {}));
+}
+
+} // namespace
+} // namespace dstrain

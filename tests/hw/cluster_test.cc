@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the cluster builder against the paper's Table II/III
+ * hardware inventory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(ClusterTest, SingleNodeInventory)
+{
+    Cluster cluster(ClusterSpec{});
+    const Topology &topo = cluster.topology();
+    EXPECT_EQ(topo.componentsOfKind(ComponentKind::CpuIod).size(), 2u);
+    EXPECT_EQ(topo.componentsOfKind(ComponentKind::DramPool).size(),
+              2u);
+    EXPECT_EQ(topo.componentsOfKind(ComponentKind::Gpu).size(), 4u);
+    EXPECT_EQ(topo.componentsOfKind(ComponentKind::Nic).size(), 2u);
+    EXPECT_EQ(topo.componentsOfKind(ComponentKind::NvmeDrive).size(),
+              2u);  // the paper's 2 scratch drives
+    EXPECT_EQ(cluster.ethernetSwitch(), kNoComponent);
+}
+
+TEST(ClusterTest, DualNodeAddsSwitchAndRoce)
+{
+    ClusterSpec spec;
+    spec.nodes = 2;
+    Cluster cluster(spec);
+    EXPECT_NE(cluster.ethernetSwitch(), kNoComponent);
+    int roce = 0;
+    for (const Resource &r : cluster.topology().resources())
+        if (r.cls == LinkClass::Roce)
+            ++roce;
+    // 2 nodes x 2 NICs x 2 directions.
+    EXPECT_EQ(roce, 8);
+}
+
+TEST(ClusterTest, RankMapping)
+{
+    ClusterSpec spec;
+    spec.nodes = 2;
+    Cluster cluster(spec);
+    EXPECT_EQ(cluster.spec().totalGpus(), 8);
+    EXPECT_EQ(cluster.nodeOfRank(0), 0);
+    EXPECT_EQ(cluster.nodeOfRank(7), 1);
+    EXPECT_EQ(cluster.localOfRank(6), 2);
+    for (int r = 0; r < 8; ++r)
+        EXPECT_EQ(cluster.rankOfGpu(cluster.gpuByRank(r)), r);
+}
+
+TEST(ClusterTest, GpuSocketsSplitPerPaperFig2)
+{
+    NodeSpec spec;
+    EXPECT_EQ(gpuSocket(spec, 0), 0);
+    EXPECT_EQ(gpuSocket(spec, 1), 0);
+    EXPECT_EQ(gpuSocket(spec, 2), 1);
+    EXPECT_EQ(gpuSocket(spec, 3), 1);
+}
+
+TEST(ClusterTest, NvlinkMeshIsComplete)
+{
+    Cluster cluster(ClusterSpec{});
+    int nvlink = 0;
+    for (const Resource &r : cluster.topology().resources())
+        if (r.cls == LinkClass::NvLink)
+            ++nvlink;
+    // C(4,2)=6 pairs x 2 directions.
+    EXPECT_EQ(nvlink, 12);
+    // Each pair: 4 links x 25 GBps per direction.
+    for (const Resource &r : cluster.topology().resources()) {
+        if (r.cls == LinkClass::NvLink) {
+            EXPECT_DOUBLE_EQ(r.capacity, 100e9);
+        }
+    }
+}
+
+TEST(ClusterTest, TableIiiCapacities)
+{
+    Cluster cluster(ClusterSpec{});
+    double dram = 0.0;
+    double xgmi_dir = 0.0;
+    for (const Resource &r : cluster.topology().resources()) {
+        if (r.cls == LinkClass::Dram && r.socket == 0)
+            dram = r.capacity;
+        if (r.cls == LinkClass::Xgmi)
+            xgmi_dir = r.capacity;
+    }
+    EXPECT_DOUBLE_EQ(dram, 8 * 25.6e9);   // 8 channels per socket
+    EXPECT_DOUBLE_EQ(xgmi_dir, 3 * 36e9); // 3 IFIS links per dir
+}
+
+TEST(ClusterTest, CustomDrivePlacementRespected)
+{
+    ClusterSpec spec;
+    spec.node.nvme_drives = {NvmeDriveSpec{0}, NvmeDriveSpec{0},
+                             NvmeDriveSpec{1}, NvmeDriveSpec{1}};
+    Cluster cluster(spec);
+    const auto drives =
+        cluster.topology().componentsOfKind(ComponentKind::NvmeDrive);
+    ASSERT_EQ(drives.size(), 4u);
+    EXPECT_EQ(cluster.topology().component(drives[0]).socket, 0);
+    EXPECT_EQ(cluster.topology().component(drives[3]).socket, 1);
+}
+
+TEST(ClusterDeathTest, BadRankRejected)
+{
+    Cluster cluster(ClusterSpec{});
+    EXPECT_DEATH(cluster.gpuByRank(4), "bad gpu rank");
+    EXPECT_DEATH(cluster.node(1), "bad node");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for link primitives: class names/efficiencies and the
+ * RateLog piecewise-constant history.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/link.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(LinkClassTest, NamesMatchPaperColumns)
+{
+    EXPECT_STREQ(linkClassName(LinkClass::Dram), "DRAM");
+    EXPECT_STREQ(linkClassName(LinkClass::Xgmi), "xGMI");
+    EXPECT_STREQ(linkClassName(LinkClass::PcieGpu), "PCIe-GPU");
+    EXPECT_STREQ(linkClassName(LinkClass::PcieNvme), "PCIe-NVME");
+    EXPECT_STREQ(linkClassName(LinkClass::PcieNic), "PCIe-NIC");
+    EXPECT_STREQ(linkClassName(LinkClass::NvLink), "NVLink");
+    EXPECT_STREQ(linkClassName(LinkClass::Roce), "RoCE");
+}
+
+TEST(LinkClassTest, EfficienciesInUnitInterval)
+{
+    for (int i = 0; i < kNumLinkClasses; ++i) {
+        const auto cls = static_cast<LinkClass>(i);
+        const double eff = linkClassEfficiency(cls);
+        EXPECT_GT(eff, 0.0) << linkClassName(cls);
+        EXPECT_LE(eff, 1.0) << linkClassName(cls);
+    }
+    // RoCE calibrated to the paper's 93% stress result.
+    EXPECT_DOUBLE_EQ(linkClassEfficiency(LinkClass::Roce), 0.93);
+}
+
+TEST(RateLogTest, RecordsSegments)
+{
+    RateLog log;
+    log.setRate(0.0, 10.0);
+    log.setRate(2.0, 20.0);
+    log.finalize(5.0);
+    ASSERT_EQ(log.segments().size(), 2u);
+    EXPECT_DOUBLE_EQ(log.segments()[0].begin, 0.0);
+    EXPECT_DOUBLE_EQ(log.segments()[0].end, 2.0);
+    EXPECT_DOUBLE_EQ(log.segments()[0].rate, 10.0);
+    EXPECT_DOUBLE_EQ(log.segments()[1].rate, 20.0);
+    EXPECT_DOUBLE_EQ(log.totalBytes(), 10.0 * 2.0 + 20.0 * 3.0);
+}
+
+TEST(RateLogTest, NoopOnUnchangedRate)
+{
+    RateLog log;
+    log.setRate(0.0, 5.0);
+    log.setRate(1.0, 5.0);  // no-op
+    log.finalize(2.0);
+    EXPECT_EQ(log.segments().size(), 1u);
+}
+
+TEST(RateLogTest, ZeroRateSegmentsAreDroppedFromInitial)
+{
+    RateLog log;
+    // Rate stays 0 until t=3, then 7.
+    log.setRate(3.0, 7.0);
+    log.finalize(4.0);
+    // The initial zero-rate stretch becomes a closed 0-rate segment.
+    ASSERT_EQ(log.segments().size(), 2u);
+    EXPECT_DOUBLE_EQ(log.segments()[0].rate, 0.0);
+    EXPECT_DOUBLE_EQ(log.totalBytes(), 7.0);
+}
+
+TEST(RateLogTest, FinalizeIdempotentAtSameTime)
+{
+    RateLog log;
+    log.setRate(0.0, 1.0);
+    log.finalize(2.0);
+    log.finalize(2.0);
+    EXPECT_EQ(log.segments().size(), 1u);
+}
+
+TEST(RateLogTest, DropBeforeTruncates)
+{
+    RateLog log;
+    log.setRate(0.0, 10.0);
+    log.setRate(2.0, 20.0);
+    log.finalize(4.0);
+    log.dropBefore(2.0);
+    ASSERT_EQ(log.segments().size(), 1u);
+    EXPECT_DOUBLE_EQ(log.segments()[0].begin, 2.0);
+
+    log.clear();
+    EXPECT_TRUE(log.segments().empty());
+    EXPECT_DOUBLE_EQ(log.currentRate(), 0.0);
+}
+
+TEST(RateLogTest, DropBeforeClipsStraddlingSegment)
+{
+    RateLog log;
+    log.setRate(0.0, 10.0);
+    log.finalize(4.0);
+    log.dropBefore(1.0);
+    ASSERT_EQ(log.segments().size(), 1u);
+    EXPECT_DOUBLE_EQ(log.segments()[0].begin, 1.0);
+    EXPECT_DOUBLE_EQ(log.totalBytes(), 30.0);
+}
+
+} // namespace
+} // namespace dstrain

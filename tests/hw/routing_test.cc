@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for route computation over the XE8545 topology: path shapes,
+ * SerDes-crossing detection, rate caps and waypoint routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.hh"
+
+namespace dstrain {
+namespace {
+
+class RoutingTest : public testing::Test
+{
+  protected:
+    RoutingTest()
+        : cluster_(makeSpec())
+    {
+    }
+
+    static ClusterSpec
+    makeSpec()
+    {
+        ClusterSpec spec;
+        spec.nodes = 2;
+        return spec;
+    }
+
+    Cluster cluster_;
+};
+
+TEST_F(RoutingTest, GpuPeersUseDirectNvlink)
+{
+    const Route &r = cluster_.router().route(cluster_.gpuByRank(0),
+                                             cluster_.gpuByRank(1));
+    ASSERT_EQ(r.hops.size(), 1u);
+    EXPECT_EQ(cluster_.topology()
+                  .resource(cluster_.topology()
+                                .halfLink(r.hops[0])
+                                .resource)
+                  .cls,
+              LinkClass::NvLink);
+    EXPECT_TRUE(r.crossings.empty());
+    EXPECT_DOUBLE_EQ(r.serdes_factor, 1.0);
+}
+
+TEST_F(RoutingTest, GpuToRemoteGpuCrossesFabric)
+{
+    // Rank 0 (node 0) to rank 4 (node 1, local index 0).
+    const Route &r = cluster_.router().route(cluster_.gpuByRank(0),
+                                             cluster_.gpuByRank(4));
+    // gpu -> cpu -> nic -> switch -> nic -> cpu -> gpu = 6 hops.
+    EXPECT_EQ(r.hops.size(), 6u);
+    // Both IODs cross PCIe-to-PCIe (GPUDirect on both ends).
+    EXPECT_EQ(r.crossings.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.serdes_factor, 0.248);
+}
+
+TEST_F(RoutingTest, DramToLocalNvmeIsCrossingFree)
+{
+    // Default drives attach to socket 1.
+    const NodeHandles &n0 = cluster_.node(0);
+    const Route &r =
+        cluster_.router().route(n0.drams[1], n0.nvmes[0]);
+    EXPECT_EQ(r.hops.size(), 2u);  // dram -> cpu -> drive
+    EXPECT_TRUE(r.crossings.empty());
+}
+
+TEST_F(RoutingTest, DramToRemoteSocketNvmeCrossesOnce)
+{
+    const NodeHandles &n0 = cluster_.node(0);
+    const Route &r =
+        cluster_.router().route(n0.drams[0], n0.nvmes[0]);
+    EXPECT_EQ(r.hops.size(), 3u);  // dram -> cpu0 -> cpu1 -> drive
+    ASSERT_EQ(r.crossings.size(), 1u);
+    EXPECT_EQ(r.crossings[0].ingress, SerdesSide::Xgmi);
+    EXPECT_EQ(r.crossings[0].egress, SerdesSide::Pcie);
+    // Cap: degraded PCIe x4 (8 * 0.82 * 0.448) ~ 2.94 GBps.
+    EXPECT_NEAR(r.rate_cap, 8e9 * 0.82 * 0.448, 1e6);
+}
+
+TEST_F(RoutingTest, MediaRouteEndsBehindController)
+{
+    const NodeHandles &n0 = cluster_.node(0);
+    const Route &r =
+        cluster_.router().route(n0.drams[1], n0.nvme_medias[0]);
+    EXPECT_EQ(r.hops.size(), 3u);  // dram -> cpu -> drive -> media
+    // The media hop is the bottleneck (3.3 GBps < PCIe x4).
+    EXPECT_NEAR(r.rate_cap, 3.3e9, 1e6);
+}
+
+TEST_F(RoutingTest, RouteViaPinsTheNic)
+{
+    const NodeHandles &n0 = cluster_.node(0);
+    const NodeHandles &n1 = cluster_.node(1);
+    // GPU 0 sits on socket 0; pin its egress to NIC 1 (socket 1).
+    Route r = cluster_.router().routeVia(n0.gpus[0], n0.nics[1],
+                                         n1.gpus[0]);
+    // gpu -> cpu0 -> cpu1 -> nic1 -> sw -> nic -> cpu -> gpu = 7 hops
+    EXPECT_EQ(r.hops.size(), 7u);
+    EXPECT_GE(r.crossings.size(), 3u);
+    EXPECT_DOUBLE_EQ(r.serdes_factor, 0.2);
+}
+
+TEST_F(RoutingTest, RouteVia2PinsBothNics)
+{
+    const NodeHandles &n0 = cluster_.node(0);
+    const NodeHandles &n1 = cluster_.node(1);
+    Route r = cluster_.router().routeVia2(n0.drams[0], n0.nics[1],
+                                          n1.nics[1], n1.drams[0]);
+    // Two xGMI-involving crossings, one per node.
+    EXPECT_EQ(r.crossings.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.serdes_factor, 0.224);
+}
+
+TEST_F(RoutingTest, RoutesAreCachedAndStable)
+{
+    const Route &a = cluster_.router().route(cluster_.gpuByRank(0),
+                                             cluster_.gpuByRank(5));
+    const Route &b = cluster_.router().route(cluster_.gpuByRank(0),
+                                             cluster_.gpuByRank(5));
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.hops, b.hops);
+}
+
+TEST_F(RoutingTest, LatencyIsSumOfHops)
+{
+    const Route &r = cluster_.router().route(cluster_.gpuByRank(0),
+                                             cluster_.gpuByRank(1));
+    EXPECT_NEAR(r.latency, 700e-9, 1e-12);  // one NVLink hop
+}
+
+TEST(RoutingAblationTest, SerdesAblationLiftsTheCaps)
+{
+    ClusterSpec spec;
+    spec.nodes = 2;
+    spec.node.model_serdes_contention = false;
+    Cluster ideal(spec);
+    const Route &r = ideal.router().route(ideal.gpuByRank(0),
+                                          ideal.gpuByRank(4));
+    // Crossings are still reported, but the cap is the plain
+    // bottleneck (the RoCE hop).
+    EXPECT_EQ(r.crossings.size(), 2u);
+    EXPECT_NEAR(r.rate_cap, 25e9 * 0.93, 1e6);
+}
+
+TEST(RoutingDeathTest, SelfRouteRejected)
+{
+    Cluster cluster(ClusterSpec{});
+    EXPECT_DEATH(
+        cluster.router().route(cluster.gpuByRank(0),
+                               cluster.gpuByRank(0)),
+        "itself");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the SerDes contention model — the calibration table that
+ * reproduces paper Fig. 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/serdes.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(SerdesTest, NoCrossingsNoDegradation)
+{
+    EXPECT_DOUBLE_EQ(serdesDegradation({}), 1.0);
+}
+
+TEST(SerdesTest, SingleCrossingFactors)
+{
+    EXPECT_DOUBLE_EQ(serdesSingleCrossingFactor(SerdesSide::Pcie,
+                                                SerdesSide::Pcie),
+                     0.495);
+    EXPECT_DOUBLE_EQ(serdesSingleCrossingFactor(SerdesSide::Xgmi,
+                                                SerdesSide::Pcie),
+                     0.448);
+    EXPECT_DOUBLE_EQ(serdesSingleCrossingFactor(SerdesSide::Pcie,
+                                                SerdesSide::Xgmi),
+                     0.448);
+    EXPECT_DOUBLE_EQ(serdesSingleCrossingFactor(SerdesSide::Xgmi,
+                                                SerdesSide::Xgmi),
+                     0.47);
+}
+
+TEST(SerdesTest, TwoCrossingCalibration)
+{
+    // Same-socket GPUDirect: both ends PCIe-PCIe -> 52% of RoCE line
+    // via 26.2 GBps effective PCIe: 0.248 * 26.2 = 6.5 per flow.
+    const std::vector<SerdesCrossing> gpu_same = {
+        {SerdesSide::Pcie, SerdesSide::Pcie},
+        {SerdesSide::Pcie, SerdesSide::Pcie},
+    };
+    EXPECT_DOUBLE_EQ(serdesDegradation(gpu_same), 0.248);
+
+    // Any xGMI leg in a two-crossing path costs more (47%).
+    const std::vector<SerdesCrossing> cpu_cross = {
+        {SerdesSide::Xgmi, SerdesSide::Pcie},
+        {SerdesSide::Pcie, SerdesSide::Xgmi},
+    };
+    EXPECT_DOUBLE_EQ(serdesDegradation(cpu_cross), 0.224);
+}
+
+TEST(SerdesTest, ManyCrossingsFlatFloor)
+{
+    const std::vector<SerdesCrossing> gpu_cross = {
+        {SerdesSide::Pcie, SerdesSide::Xgmi},
+        {SerdesSide::Xgmi, SerdesSide::Pcie},
+        {SerdesSide::Pcie, SerdesSide::Xgmi},
+        {SerdesSide::Xgmi, SerdesSide::Pcie},
+    };
+    EXPECT_DOUBLE_EQ(serdesDegradation(gpu_cross), 0.2);
+}
+
+TEST(SerdesTest, DegradationMonotoneInCrossingCount)
+{
+    std::vector<SerdesCrossing> crossings;
+    double prev = serdesDegradation(crossings);
+    for (int i = 0; i < 5; ++i) {
+        crossings.push_back({SerdesSide::Pcie, SerdesSide::Pcie});
+        const double cur = serdesDegradation(crossings);
+        EXPECT_LE(cur, prev) << "crossings=" << crossings.size();
+        EXPECT_GT(cur, 0.0);
+        prev = cur;
+    }
+}
+
+} // namespace
+} // namespace dstrain

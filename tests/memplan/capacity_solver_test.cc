@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the capacity solver — including the headline
+ * reproduction of paper Fig. 6's achieved model sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "memplan/capacity_solver.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(CapacitySolverTest, PaperFig6SingleNode)
+{
+    const ClusterSpec cluster = xe8545Cluster(1);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::ddp(), cluster, 16).entry.billions,
+        1.4);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(paperMegatron(1), cluster, 16).entry.billions,
+        5.5);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zero(1), cluster, 16)
+            .entry.billions,
+        4.4);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zero(2), cluster, 16)
+            .entry.billions,
+        5.2);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zero(3), cluster, 16)
+            .entry.billions,
+        6.6);
+}
+
+TEST(CapacitySolverTest, PaperFig6DualNode)
+{
+    const ClusterSpec cluster = xe8545Cluster(2);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::ddp(), cluster, 16).entry.billions,
+        1.4);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(paperMegatron(2), cluster, 16).entry.billions,
+        11.4);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zero(1), cluster, 16)
+            .entry.billions,
+        6.4);
+    // Known deviation: the paper reports 8.5 for dual-node ZeRO-2;
+    // the memory model lands one rung lower (see EXPERIMENTS.md).
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zero(2), cluster, 16)
+            .entry.billions,
+        7.8);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zero(3), cluster, 16)
+            .entry.billions,
+        13.5);
+}
+
+TEST(CapacitySolverTest, PaperFig13Offload)
+{
+    const ClusterSpec cluster = xe8545Cluster(1);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zeroOffloadCpu(1), cluster, 16)
+            .entry.billions,
+        8.9);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zeroOffloadCpu(2), cluster, 16)
+            .entry.billions,
+        14.2);
+    EXPECT_DOUBLE_EQ(
+        solveMaxModel(StrategyConfig::zeroInfinityNvme(true), cluster,
+                      16)
+            .entry.billions,
+        33.3);
+}
+
+TEST(CapacitySolverTest, FitsClusterConsistentWithSolve)
+{
+    const ClusterSpec cluster = xe8545Cluster(1);
+    const CapacityResult r =
+        solveMaxModel(StrategyConfig::zero(2), cluster, 16);
+    EXPECT_TRUE(fitsCluster(TransformerConfig::gpt2Like(r.entry.layers),
+                            StrategyConfig::zero(2), cluster, 16));
+    EXPECT_FALSE(
+        fitsCluster(TransformerConfig::gpt2Like(r.max_layers + 1),
+                    StrategyConfig::zero(2), cluster, 16));
+}
+
+TEST(CapacitySolverTest, MoreGpuMemoryFitsMore)
+{
+    ClusterSpec small = xe8545Cluster(1);
+    ClusterSpec big = xe8545Cluster(1);
+    big.node.gpu_memory = 80.0 * units::GiB;
+    EXPECT_GT(
+        solveMaxModel(StrategyConfig::ddp(), big, 16).entry.billions,
+        solveMaxModel(StrategyConfig::ddp(), small, 16).entry.billions);
+}
+
+TEST(CapacitySolverTest, BiggerBatchFitsLess)
+{
+    const ClusterSpec cluster = xe8545Cluster(1);
+    const auto small_batch =
+        solveMaxModel(StrategyConfig::zero(3), cluster, 16);
+    const auto big_batch =
+        solveMaxModel(StrategyConfig::zero(3), cluster, 256);
+    EXPECT_LE(big_batch.max_layers, small_batch.max_layers);
+}
+
+TEST(CapacitySolverTest, HostMemoryCapsOffload)
+{
+    ClusterSpec cluster = xe8545Cluster(1);
+    cluster.node.cpu_memory = 128.0 * units::GiB;
+    const auto capped =
+        solveMaxModel(StrategyConfig::zeroOffloadCpu(2), cluster, 16);
+    EXPECT_LT(capped.entry.billions, 14.2);
+}
+
+TEST(CapacitySolverDeathTest, ImpossibleClusterIsFatal)
+{
+    ClusterSpec cluster = xe8545Cluster(1);
+    cluster.node.gpu_memory = 1.0 * units::GiB;
+    EXPECT_EXIT(solveMaxModel(StrategyConfig::ddp(), cluster, 16),
+                testing::ExitedWithCode(1), "cannot fit");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the memory-composition reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memplan/composition.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(CompositionTest, AggregatesOverCluster)
+{
+    MemoryFootprint f;
+    f.gpu_per_gpu = 30e9;
+    f.cpu_per_node = 300e9;
+    f.nvme_per_node = 100e9;
+    const MemoryComposition c = composeMemory("test", f, 8, 2);
+    EXPECT_EQ(c.label, "test");
+    EXPECT_DOUBLE_EQ(c.gpu, 240e9);
+    EXPECT_DOUBLE_EQ(c.cpu, 600e9);
+    EXPECT_DOUBLE_EQ(c.nvme, 200e9);
+    EXPECT_DOUBLE_EQ(c.total(), 1040e9);
+}
+
+TEST(CompositionTest, SharesSumToOne)
+{
+    MemoryFootprint f;
+    f.gpu_per_gpu = 10e9;
+    f.cpu_per_node = 50e9;
+    f.nvme_per_node = 15e9;
+    const MemoryComposition c = composeMemory("x", f, 4, 1);
+    EXPECT_NEAR(c.gpuShare() + c.cpuShare() + c.nvmeShare(), 1.0,
+                1e-12);
+}
+
+TEST(CompositionTest, EmptyCompositionHasZeroShares)
+{
+    const MemoryComposition c;
+    EXPECT_DOUBLE_EQ(c.gpuShare(), 0.0);
+    EXPECT_DOUBLE_EQ(c.total(), 0.0);
+}
+
+TEST(CompositionTest, CellFormat)
+{
+    EXPECT_EQ(compositionCell(127e9, 0.265), "127 GB (26.5%)");
+}
+
+} // namespace
+} // namespace dstrain

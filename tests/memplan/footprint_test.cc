@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the per-strategy memory footprints: partitioning
+ * arithmetic, offload placement, and monotonicity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memplan/footprint.hh"
+
+namespace dstrain {
+namespace {
+
+const MemoryCalibration kCal;
+
+MemoryFootprint
+fp(const StrategyConfig &s, int layers, int gpus = 4, int nodes = 1)
+{
+    return computeFootprint(TransformerConfig::gpt2Like(layers), s,
+                            gpus, nodes, 16, kCal);
+}
+
+TEST(FootprintTest, DdpHoldsEverythingPerGpu)
+{
+    const auto cfg = TransformerConfig::gpt2Like(26);
+    const double p = static_cast<double>(cfg.parameterCount());
+    const MemoryFootprint f = fp(StrategyConfig::ddp(), 26);
+    // 16 bytes of states + 2 bytes of bucket + activations.
+    EXPECT_GT(f.gpu_per_gpu, 18.0 * p);
+    EXPECT_LT(f.gpu_per_gpu, 19.0 * p);
+    EXPECT_DOUBLE_EQ(f.nvme_per_node, 0.0);
+}
+
+TEST(FootprintTest, ZeroStagesShrinkPerGpuBytes)
+{
+    const int layers = 56;  // 2.9B
+    const Bytes ddp = fp(StrategyConfig::ddp(), layers).gpu_per_gpu;
+    const Bytes z1 = fp(StrategyConfig::zero(1), layers).gpu_per_gpu;
+    const Bytes z2 = fp(StrategyConfig::zero(2), layers).gpu_per_gpu;
+    const Bytes z3 = fp(StrategyConfig::zero(3), layers).gpu_per_gpu;
+    EXPECT_GT(ddp, z1);
+    EXPECT_GT(z1, z2);
+    EXPECT_GT(z2, z3);
+}
+
+TEST(FootprintTest, ZeroScalesWithDataParallelDegree)
+{
+    const int layers = 56;
+    const Bytes n4 =
+        fp(StrategyConfig::zero(3), layers, 4, 1).gpu_per_gpu;
+    const Bytes n8 =
+        fp(StrategyConfig::zero(3), layers, 8, 2).gpu_per_gpu;
+    EXPECT_GT(n4, n8);
+}
+
+TEST(FootprintTest, MegatronDividesStatesByModelParallel)
+{
+    const int layers = 56;
+    const auto p = static_cast<double>(
+        TransformerConfig::gpt2Like(layers).parameterCount());
+    const Bytes mp4 =
+        fp(StrategyConfig::megatron(4, 1), layers).gpu_per_gpu;
+    // States: 16 P / 4 = 4 bytes/param plus the (heavy, calibrated)
+    // Megatron activations.
+    EXPECT_GT(mp4, 4.0 * p);
+    EXPECT_LT(mp4, 8.0 * p);
+}
+
+TEST(FootprintTest, CpuOffloadMovesOptimizerToHost)
+{
+    const int layers = 56;
+    const MemoryFootprint plain = fp(StrategyConfig::zero(2), layers);
+    const MemoryFootprint off =
+        fp(StrategyConfig::zeroOffloadCpu(2), layers);
+    EXPECT_LT(off.gpu_per_gpu, plain.gpu_per_gpu);
+    EXPECT_GT(off.cpu_per_node, plain.cpu_per_node);
+    EXPECT_DOUBLE_EQ(off.nvme_per_node, 0.0);
+}
+
+TEST(FootprintTest, NvmeOffloadUsesAllThreeTiers)
+{
+    const int layers = 225;  // 11.4B
+    const MemoryFootprint f =
+        fp(StrategyConfig::zeroInfinityNvme(true), layers);
+    EXPECT_GT(f.gpu_per_gpu, 0.0);
+    EXPECT_GT(f.cpu_per_node, 0.0);
+    EXPECT_GT(f.nvme_per_node, 0.0);
+    // NVMe holds roughly the optimizer partition (+params).
+    const auto p = static_cast<double>(
+        TransformerConfig::gpt2Like(layers).parameterCount());
+    EXPECT_GT(f.nvme_per_node, 10.0 * p);
+}
+
+TEST(FootprintTest, AggregateHelpers)
+{
+    MemoryFootprint f;
+    f.gpu_per_gpu = 10.0;
+    f.cpu_per_node = 100.0;
+    f.nvme_per_node = 1000.0;
+    EXPECT_DOUBLE_EQ(f.gpuTotal(4), 40.0);
+    EXPECT_DOUBLE_EQ(f.cpuTotal(2), 200.0);
+    EXPECT_DOUBLE_EQ(f.grandTotal(4, 2), 40.0 + 200.0 + 2000.0);
+}
+
+TEST(FootprintTest, GpuBudgetSubtractsOverheads)
+{
+    EXPECT_NEAR(kCal.gpuBudget(40.0 * units::GiB), 39.7e9, 0.1e9);
+}
+
+/** Property: footprints grow monotonically with depth. */
+class FootprintMonotone : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(FootprintMonotone, GrowsWithLayers)
+{
+    const auto lineup = std::vector<StrategyConfig>{
+        StrategyConfig::ddp(),
+        StrategyConfig::megatron(4, 1),
+        StrategyConfig::zero(1),
+        StrategyConfig::zero(2),
+        StrategyConfig::zero(3),
+        StrategyConfig::zeroOffloadCpu(2),
+        StrategyConfig::zeroInfinityNvme(true),
+    };
+    const StrategyConfig &s =
+        lineup[static_cast<std::size_t>(GetParam())];
+    Bytes prev_gpu = 0.0;
+    Bytes prev_total = 0.0;
+    for (int layers : {10, 20, 40, 80, 160, 320}) {
+        const MemoryFootprint f = fp(s, layers);
+        EXPECT_GE(f.gpu_per_gpu, prev_gpu) << layers;
+        const Bytes total = f.grandTotal(4, 1);
+        EXPECT_GE(total, prev_total) << layers;
+        prev_gpu = f.gpu_per_gpu;
+        prev_total = total;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, FootprintMonotone,
+                         testing::Range(0, 7));
+
+} // namespace
+} // namespace dstrain

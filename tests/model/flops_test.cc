@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the FLOP accounting against the 2*P*T rule of thumb and
+ * the DeepSpeed profiler convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/flops.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(FlopsTest, ForwardApproximatelyTwoPT)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(26);
+    const std::int64_t tokens = 4096;
+    const Flops fwd = forwardFlops(cfg, tokens);
+    const double two_pt =
+        2.0 * static_cast<double>(cfg.parameterCount()) * tokens;
+    // The matmul count tracks 2*P*T within ~10% (embeddings don't
+    // matmul; attention adds the s*h term).
+    EXPECT_NEAR(fwd / two_pt, 1.0, 0.1);
+}
+
+TEST(FlopsTest, IterationMultipliers)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(12);
+    const Flops fwd = forwardFlops(cfg, 1000);
+    EXPECT_DOUBLE_EQ(iterationFlops(cfg, 1000, false), 3.0 * fwd);
+    EXPECT_DOUBLE_EQ(iterationFlops(cfg, 1000, true), 4.0 * fwd);
+}
+
+TEST(FlopsTest, LinearInTokens)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(12);
+    EXPECT_DOUBLE_EQ(forwardFlops(cfg, 2000),
+                     2.0 * forwardFlops(cfg, 1000));
+}
+
+TEST(FlopsTest, AchievedTflopsConvention)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(26);
+    const std::int64_t tokens = 16384;
+    const SimTime iter = 0.419;
+    // DDP @1.4B at the paper's numbers lands near 438 TFLOP/s.
+    EXPECT_NEAR(achievedTflops(cfg, tokens, iter), 438.0, 25.0);
+}
+
+TEST(FlopsDeathTest, RejectsBadInputs)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(1);
+    EXPECT_DEATH(forwardFlops(cfg, 0), "positive token");
+    EXPECT_DEATH(achievedTflops(cfg, 100, 0.0), "iteration time");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for the model-state and activation memory primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/memory.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(ModelStateTest, SixteenBytesPerParam)
+{
+    const ModelStateBytes m = modelStateBytes(1'000'000'000);
+    EXPECT_DOUBLE_EQ(m.fp16_params, 2e9);
+    EXPECT_DOUBLE_EQ(m.fp16_grads, 2e9);
+    EXPECT_DOUBLE_EQ(m.fp32_optimizer, 12e9);
+    EXPECT_DOUBLE_EQ(m.total(), 16e9);
+}
+
+TEST(ModelStateDeathTest, RejectsNonPositive)
+{
+    EXPECT_DEATH(modelStateBytes(0), "parameter count");
+}
+
+TEST(ActivationTest, BoundaryBytesFormula)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(1);
+    // fp16 boundary: 2 bytes * batch * seq * hidden.
+    EXPECT_DOUBLE_EQ(activationBytesPerLayer(cfg, 16, 1.0),
+                     2.0 * 16 * 256 * 2048);
+    EXPECT_DOUBLE_EQ(activationBytesPerLayer(cfg, 16, 2.0),
+                     2.0 * activationBytesPerLayer(cfg, 16, 1.0));
+}
+
+TEST(ActivationTest, LinearInBatch)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(1);
+    EXPECT_DOUBLE_EQ(activationBytesPerLayer(cfg, 32, 2.0),
+                     2.0 * activationBytesPerLayer(cfg, 16, 2.0));
+}
+
+TEST(ActivationDeathTest, RejectsBadArgs)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(1);
+    EXPECT_DEATH(activationBytesPerLayer(cfg, 0, 2.0), "batch");
+    EXPECT_DEATH(activationBytesPerLayer(cfg, 16, 0.0), "workspace");
+}
+
+} // namespace
+} // namespace dstrain

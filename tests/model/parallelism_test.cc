@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the strategy configuration and its Table I validation
+ * rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/parallelism.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(StrategyConfigTest, FactoriesAndNames)
+{
+    EXPECT_EQ(StrategyConfig::ddp().displayName(), "DDP");
+    EXPECT_EQ(StrategyConfig::zero(2).displayName(), "ZeRO-2");
+    EXPECT_EQ(StrategyConfig::zeroOffloadCpu(3).displayName(),
+              "ZeRO-3 (CPU)");
+    EXPECT_EQ(StrategyConfig::zeroInfinityNvme(false).displayName(),
+              "ZeRO-3 (NVME opt)");
+    EXPECT_EQ(StrategyConfig::zeroInfinityNvme(true).displayName(),
+              "ZeRO-3 (NVME opt+param)");
+    EXPECT_EQ(StrategyConfig::megatron(4, 2).displayName(),
+              "Megatron-LM (TP=4,PP=2)");
+}
+
+TEST(StrategyConfigTest, ModelParallelSizes)
+{
+    EXPECT_EQ(StrategyConfig::ddp().modelParallelSize(), 1);
+    EXPECT_EQ(StrategyConfig::megatron(4, 2).modelParallelSize(), 8);
+    EXPECT_EQ(StrategyConfig::megatron(4, 1).dataParallelSize(8), 2);
+    EXPECT_EQ(StrategyConfig::zero(3).dataParallelSize(8), 8);
+}
+
+TEST(StrategyConfigDeathTest, BadDegreeSplit)
+{
+    EXPECT_DEATH(StrategyConfig::megatron(3, 1).dataParallelSize(8),
+                 "divisible");
+}
+
+TEST(ValidateStrategyTest, TableOneRules)
+{
+    // Legal: every ZeRO stage with CPU offload; ZeRO-3 with NVMe.
+    validateStrategy(StrategyConfig::zeroOffloadCpu(1));
+    validateStrategy(StrategyConfig::zeroOffloadCpu(2));
+    validateStrategy(StrategyConfig::zeroInfinityNvme(true));
+    validateStrategy(StrategyConfig::megatron(8, 1));
+    SUCCEED();
+}
+
+TEST(ValidateStrategyDeathTest, IllegalCombinations)
+{
+    StrategyConfig ddp_offload = StrategyConfig::ddp();
+    ddp_offload.offload = OffloadTarget::Cpu;
+    EXPECT_EXIT(validateStrategy(ddp_offload),
+                testing::ExitedWithCode(1), "does not support");
+
+    StrategyConfig z1_nvme = StrategyConfig::zero(1);
+    z1_nvme.offload = OffloadTarget::Nvme;
+    EXPECT_EXIT(validateStrategy(z1_nvme), testing::ExitedWithCode(1),
+                "requires ZeRO-3");
+
+    StrategyConfig params_no_target = StrategyConfig::zero(3);
+    params_no_target.offload_params = true;
+    EXPECT_EXIT(validateStrategy(params_no_target),
+                testing::ExitedWithCode(1), "offload target");
+
+    StrategyConfig tp_on_ddp = StrategyConfig::ddp();
+    tp_on_ddp.tensor_parallel = 2;
+    EXPECT_EXIT(validateStrategy(tp_on_ddp),
+                testing::ExitedWithCode(1), "Megatron-LM or hybrid");
+}
+
+TEST(StrategyConfigDeathTest, BadStageIsFatal)
+{
+    EXPECT_EXIT(StrategyConfig::zero(4), testing::ExitedWithCode(1),
+                "stage");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the paper's model-size ladder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/size_ladder.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(SizeLadderTest, AscendingAndAccurate)
+{
+    const auto &ladder = paperSizeLadder();
+    ASSERT_GE(ladder.size(), 15u);
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        EXPECT_GT(ladder[i].billions, ladder[i - 1].billions);
+        EXPECT_GT(ladder[i].layers, ladder[i - 1].layers);
+    }
+    for (const LadderEntry &e : ladder) {
+        // Each rung realizes its nominal size within 5%.
+        EXPECT_NEAR(static_cast<double>(e.params), e.billions * 1e9,
+                    0.05 * e.billions * 1e9)
+            << e.billions;
+    }
+}
+
+TEST(SizeLadderTest, ContainsThePaperHeadlineSizes)
+{
+    for (double b : {1.4, 5.5, 6.6, 11.4, 13.5, 14.2, 33.3}) {
+        const LadderEntry &e = ladderEntryFor(b);
+        EXPECT_DOUBLE_EQ(e.billions, b);
+    }
+}
+
+TEST(SizeLadderTest, NearestSnapping)
+{
+    EXPECT_DOUBLE_EQ(ladderEntryFor(1.5).billions, 1.4);
+    EXPECT_DOUBLE_EQ(ladderEntryFor(33.0).billions, 33.3);
+}
+
+TEST(SizeLadderTest, LargestAtMost)
+{
+    const LadderEntry &at_26 = largestLadderEntryAtMost(26);
+    EXPECT_DOUBLE_EQ(at_26.billions, 1.4);
+    const LadderEntry &at_1000 = largestLadderEntryAtMost(1000);
+    EXPECT_DOUBLE_EQ(at_1000.billions, 33.3);
+    // Between rungs: snap down.
+    const LadderEntry &e = largestLadderEntryAtMost(
+        ladderEntryFor(5.2).layers + 1);
+    EXPECT_DOUBLE_EQ(e.billions, 5.2);
+}
+
+TEST(SizeLadderTest, ConfigForBillions)
+{
+    const TransformerConfig cfg = configForBillions(1.4);
+    EXPECT_EQ(cfg.layers, ladderEntryFor(1.4).layers);
+}
+
+TEST(SizeLadderTest, Labels)
+{
+    EXPECT_EQ(ladderLabel(ladderEntryFor(1.4)), "1.4B");
+}
+
+TEST(SizeLadderDeathTest, OffLadderIsFatal)
+{
+    EXPECT_EXIT(ladderEntryFor(500.0), testing::ExitedWithCode(1),
+                "no ladder entry");
+    EXPECT_EXIT(largestLadderEntryAtMost(1), testing::ExitedWithCode(1),
+                "smallest rung");
+}
+
+} // namespace
+} // namespace dstrain

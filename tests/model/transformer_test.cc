@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the transformer parameter accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/transformer.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(TransformerTest, PaperArchitectureDefaults)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(24);
+    EXPECT_EQ(cfg.layers, 24);
+    EXPECT_EQ(cfg.hidden, 2048);
+    EXPECT_EQ(cfg.heads, 16);
+    EXPECT_EQ(cfg.seq_len, 256);
+    EXPECT_EQ(cfg.max_pos, 1024);
+    EXPECT_EQ(cfg.vocab, 50257);
+}
+
+TEST(TransformerTest, LayerParameterFormula)
+{
+    const TransformerConfig cfg = TransformerConfig::gpt2Like(1);
+    const std::int64_t h = 2048;
+    EXPECT_EQ(cfg.layerParameterCount(), 12 * h * h + 13 * h);
+    EXPECT_EQ(cfg.embeddingParameterCount(),
+              50257 * h + 1024 * h + 2 * h);
+}
+
+TEST(TransformerTest, TotalIsLinearInLayers)
+{
+    const auto one = TransformerConfig::gpt2Like(1).parameterCount();
+    const auto two = TransformerConfig::gpt2Like(2).parameterCount();
+    const auto ten = TransformerConfig::gpt2Like(10).parameterCount();
+    const std::int64_t per_layer = two - one;
+    EXPECT_EQ(ten, one + 9 * per_layer);
+}
+
+TEST(TransformerTest, PaperSizesRealizable)
+{
+    // 26 layers is ~1.4 B parameters (the paper's DDP maximum).
+    const auto p = TransformerConfig::gpt2Like(26).parameterCount();
+    EXPECT_NEAR(static_cast<double>(p), 1.4e9, 0.05e9);
+}
+
+TEST(LayersForTargetTest, InvertsParameterCount)
+{
+    for (int layers : {1, 5, 26, 107, 659}) {
+        const auto params =
+            TransformerConfig::gpt2Like(layers).parameterCount();
+        EXPECT_EQ(layersForParameterTarget(params), layers);
+    }
+}
+
+TEST(LayersForTargetTest, RoundsToNearest)
+{
+    const auto p26 = TransformerConfig::gpt2Like(26).parameterCount();
+    EXPECT_EQ(layersForParameterTarget(p26 + 1000), 26);
+}
+
+TEST(TransformerDeathTest, RejectsNonPositiveLayers)
+{
+    EXPECT_DEATH(TransformerConfig::gpt2Like(0), "at least one layer");
+}
+
+TEST(LayersForTargetDeathTest, RejectsTinyTargets)
+{
+    EXPECT_EXIT(layersForParameterTarget(1000),
+                testing::KilledBySignal(SIGABRT), "below");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the max-min fair flow scheduler: single-flow timing,
+ * fair sharing, per-flow caps, extra resources, and conservation
+ * properties under randomized workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.hh"
+#include "net/flow_scheduler.hh"
+#include "util/rng.hh"
+
+namespace dstrain {
+namespace {
+
+/** Fixture: a single-node cluster and a scheduler. */
+class FlowSchedulerTest : public testing::Test
+{
+  protected:
+    FlowSchedulerTest()
+        : cluster_(ClusterSpec{}), flows_(sim_, cluster_.topology())
+    {
+    }
+
+    Route
+    gpuRoute(int a, int b)
+    {
+        return cluster_.router().route(cluster_.gpuByRank(a),
+                                       cluster_.gpuByRank(b));
+    }
+
+    Simulation sim_;
+    Cluster cluster_;
+    FlowScheduler flows_;
+};
+
+TEST_F(FlowSchedulerTest, SingleFlowFinishesAtCapRate)
+{
+    // NVLink pair: 100 GBps * 0.8 efficiency = 80 GBps.
+    bool done = false;
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 80e9;
+    spec.on_complete = [&] { done = true; };
+    flows_.start(std::move(spec));
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(sim_.now(), 1.0, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, TwoFlowsShareFairly)
+{
+    int done = 0;
+    for (int i = 0; i < 2; ++i) {
+        FlowSpec spec;
+        spec.route = gpuRoute(0, 1);
+        spec.bytes = 40e9;
+        spec.on_complete = [&] { ++done; };
+        flows_.start(std::move(spec));
+    }
+    sim_.run();
+    EXPECT_EQ(done, 2);
+    // 80 GB total over an 80 GBps link shared: 1 second.
+    EXPECT_NEAR(sim_.now(), 1.0, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, ShorterFlowFreesCapacity)
+{
+    // Flow A: 20 GB, flow B: 60 GB on the same 80 GBps link.
+    // Shared at 40 each: A done at 0.5 s; B then runs at 80:
+    // remaining 40 GB -> finishes at 1.0 s.
+    SimTime a_done = 0.0;
+    SimTime b_done = 0.0;
+    FlowSpec a;
+    a.route = gpuRoute(0, 1);
+    a.bytes = 20e9;
+    a.on_complete = [&] { a_done = sim_.now(); };
+    flows_.start(std::move(a));
+    FlowSpec b;
+    b.route = gpuRoute(0, 1);
+    b.bytes = 60e9;
+    b.on_complete = [&] { b_done = sim_.now(); };
+    flows_.start(std::move(b));
+    sim_.run();
+    EXPECT_NEAR(a_done, 0.5, 1e-6);
+    EXPECT_NEAR(b_done, 1.0, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, RateCapHonored)
+{
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 10e9;
+    spec.rate_cap = 10e9;  // cap below the 80 GBps link
+    flows_.start(std::move(spec));
+    sim_.run();
+    EXPECT_NEAR(sim_.now(), 1.0, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, ZeroByteFlowCompletesAsync)
+{
+    bool done = false;
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 0.0;
+    spec.on_complete = [&] { done = true; };
+    flows_.start(std::move(spec));
+    EXPECT_FALSE(done);  // not synchronous
+    sim_.run();
+    EXPECT_TRUE(done);
+}
+
+TEST_F(FlowSchedulerTest, IndependentLinksDoNotContend)
+{
+    // 0->1 and 2->3 use different NVLink pairs.
+    FlowSpec a;
+    a.route = gpuRoute(0, 1);
+    a.bytes = 80e9;
+    flows_.start(std::move(a));
+    FlowSpec b;
+    b.route = gpuRoute(2, 3);
+    b.bytes = 80e9;
+    flows_.start(std::move(b));
+    sim_.run();
+    EXPECT_NEAR(sim_.now(), 1.0, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, ExtraResourceConstrains)
+{
+    // Two flows on disjoint links but sharing one extra resource.
+    ResourceId shared = cluster_.topology().addResource(
+        LinkClass::IodXbar, 40e9, "test-xbar", 0, -1);
+    for (int pair = 0; pair < 2; ++pair) {
+        FlowSpec spec;
+        spec.route = gpuRoute(pair * 2, pair * 2 + 1);
+        spec.bytes = 20e9;
+        spec.extra_resources = {shared};
+        flows_.start(std::move(spec));
+    }
+    sim_.run();
+    // 40 GB total through a 40 GBps pool: 1 second.
+    EXPECT_NEAR(sim_.now(), 1.0, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, RateLogsRecordTraffic)
+{
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 8e9;
+    flows_.start(std::move(spec));
+    sim_.run();
+    flows_.finalizeLogs();
+
+    Bytes total = 0.0;
+    for (const Resource &r : cluster_.topology().resources())
+        if (r.cls == LinkClass::NvLink)
+            total += r.log.totalBytes();
+    EXPECT_NEAR(total, 8e9, 1e3);
+}
+
+/** Property: total bytes logged == total bytes injected. */
+class FlowConservationProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(FlowConservationProperty, BytesConserved)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Simulation sim;
+    Cluster cluster(ClusterSpec{});
+    FlowScheduler flows(sim, cluster.topology());
+
+    // Random single-hop NVLink flows; each contributes its bytes to
+    // exactly one resource.
+    Bytes injected = 0.0;
+    const int n = 20;
+    int completed = 0;
+    for (int i = 0; i < n; ++i) {
+        const int a = static_cast<int>(rng.below(4));
+        int b = static_cast<int>(rng.below(4));
+        if (b == a)
+            b = (a + 1) % 4;
+        FlowSpec spec;
+        spec.route = cluster.router().route(cluster.gpuByRank(a),
+                                            cluster.gpuByRank(b));
+        spec.bytes = rng.uniform(1e6, 5e9);
+        injected += spec.bytes;
+        spec.on_complete = [&completed] { ++completed; };
+        flows.start(std::move(spec));
+    }
+    sim.run();
+    flows.finalizeLogs();
+    EXPECT_EQ(completed, n);
+
+    Bytes logged = 0.0;
+    for (const Resource &r : cluster.topology().resources())
+        logged += r.log.totalBytes();
+    EXPECT_NEAR(logged, injected, injected * 1e-6 + n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowConservationProperty,
+                         testing::Range(1, 13));
+
+} // namespace
+} // namespace dstrain

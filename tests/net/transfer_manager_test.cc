@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the transfer manager: latency handling, via-pinning,
+ * rate factors and accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/transfer_manager.hh"
+
+namespace dstrain {
+namespace {
+
+class TransferManagerTest : public testing::Test
+{
+  protected:
+    TransferManagerTest()
+        : cluster_(makeSpec()), flows_(sim_, cluster_.topology()),
+          tm_(sim_, cluster_, flows_)
+    {
+    }
+
+    static ClusterSpec
+    makeSpec()
+    {
+        ClusterSpec spec;
+        spec.nodes = 2;
+        return spec;
+    }
+
+    Simulation sim_;
+    Cluster cluster_;
+    FlowScheduler flows_;
+    TransferManager tm_;
+};
+
+TEST_F(TransferManagerTest, CompletesAndCounts)
+{
+    bool done = false;
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(1), 1e9,
+              [&] { done = true; });
+    EXPECT_EQ(tm_.startedCount(), 1u);
+    EXPECT_EQ(tm_.inFlight(), 1u);
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(tm_.completedCount(), 1u);
+    EXPECT_EQ(tm_.inFlight(), 0u);
+}
+
+TEST_F(TransferManagerTest, LatencyDelaysFlowStart)
+{
+    // 1 byte over NVLink: duration ~ link latency + transfer time.
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(1), 2.0,
+              nullptr);
+    sim_.run();
+    EXPECT_GE(sim_.now(), 700e-9);  // the NVLink hop latency
+}
+
+TEST_F(TransferManagerTest, RateFactorSlowsTransfer)
+{
+    // NVLink effective 80 GBps; factor 0.5 -> 40 GBps.
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(1), 40e9,
+              nullptr, TransferOptions{});
+    sim_.run();
+    const SimTime full_speed = sim_.now();
+
+    Simulation sim2;
+    Cluster cluster2(makeSpec());
+    FlowScheduler flows2(sim2, cluster2.topology());
+    TransferManager tm2(sim2, cluster2, flows2);
+    TransferOptions opts;
+    opts.rate_factor = 0.5;
+    tm2.start(cluster2.gpuByRank(0), cluster2.gpuByRank(1), 40e9,
+              nullptr, std::move(opts));
+    sim2.run();
+    EXPECT_NEAR(sim2.now(), 2.0 * full_speed, 1e-3);
+}
+
+TEST_F(TransferManagerTest, ViaChangesThePath)
+{
+    // Pin node-0 GPU0's egress through NIC1 (the cross-socket NIC):
+    // xGMI must carry traffic.
+    TransferOptions opts;
+    opts.via = cluster_.node(0).nics[1];
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(4), 1e9,
+              nullptr, std::move(opts));
+    sim_.run();
+    flows_.finalizeLogs();
+    Bytes xgmi = 0.0;
+    for (const Resource &r : cluster_.topology().resources())
+        if (r.cls == LinkClass::Xgmi)
+            xgmi += r.log.totalBytes();
+    EXPECT_NEAR(xgmi, 1e9, 1e6);
+}
+
+TEST_F(TransferManagerTest, DefaultPathAvoidsXgmi)
+{
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(4), 1e9,
+              nullptr);
+    sim_.run();
+    flows_.finalizeLogs();
+    for (const Resource &r : cluster_.topology().resources()) {
+        if (r.cls == LinkClass::Xgmi) {
+            EXPECT_DOUBLE_EQ(r.log.totalBytes(), 0.0);
+        }
+    }
+}
+
+TEST_F(TransferManagerTest, DeathOnSelfTransfer)
+{
+    EXPECT_DEATH(tm_.start(cluster_.gpuByRank(0),
+                           cluster_.gpuByRank(0), 1.0, nullptr),
+                 "itself");
+}
+
+TEST_F(TransferManagerTest, DeathOnBadRateFactor)
+{
+    TransferOptions opts;
+    opts.rate_factor = 1.5;
+    EXPECT_DEATH(tm_.start(cluster_.gpuByRank(0),
+                           cluster_.gpuByRank(1), 1.0, nullptr,
+                           std::move(opts)),
+                 "rate factor");
+}
+
+} // namespace
+} // namespace dstrain

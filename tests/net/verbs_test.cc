@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the RDMA verbs latency model against the paper's Fig. 3
+ * envelopes, with a parameterized sweep over ops and message sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/stress_test.hh"
+#include "net/verbs.hh"
+
+namespace dstrain {
+namespace {
+
+const NodeSpec kSpec;
+
+TEST(VerbsTest, OpNames)
+{
+    EXPECT_STREQ(verbsOpName(VerbsOp::Send), "SEND");
+    EXPECT_STREQ(verbsOpName(VerbsOp::RdmaRead), "RDMA READ");
+    EXPECT_STREQ(verbsOpName(VerbsOp::RdmaWrite), "RDMA WRITE");
+}
+
+TEST(VerbsTest, PaperEnvelopeBelow64k)
+{
+    for (VerbsOp op :
+         {VerbsOp::Send, VerbsOp::RdmaRead, VerbsOp::RdmaWrite}) {
+        for (Bytes size = 2.0; size < 64.0 * units::KiB; size *= 2.0) {
+            EXPECT_LT(verbsLatency(op, size,
+                                   SocketPlacement::SameSocket, kSpec),
+                      6e-6);
+            EXPECT_LT(verbsLatency(op, size,
+                                   SocketPlacement::CrossSocket,
+                                   kSpec),
+                      40e-6);
+        }
+    }
+}
+
+TEST(VerbsTest, ReadSlowerThanWriteAtSmallSizes)
+{
+    const Bytes size = 256.0;
+    EXPECT_GT(
+        verbsLatency(VerbsOp::RdmaRead, size,
+                     SocketPlacement::SameSocket, kSpec),
+        verbsLatency(VerbsOp::RdmaWrite, size,
+                     SocketPlacement::SameSocket, kSpec));
+}
+
+TEST(VerbsTest, CrossSocketRoughlySevenTimesSlowerSmall)
+{
+    const double ratio =
+        verbsLatency(VerbsOp::Send, 2.0,
+                     SocketPlacement::CrossSocket, kSpec) /
+        verbsLatency(VerbsOp::Send, 2.0, SocketPlacement::SameSocket,
+                     kSpec);
+    EXPECT_NEAR(ratio, 7.0, 0.2);
+}
+
+TEST(VerbsTest, StreamBandwidthMatchesStressCalibration)
+{
+    EXPECT_NEAR(verbsStreamBandwidth(SocketPlacement::SameSocket,
+                                     false, kSpec),
+                0.93 * 25e9, 1e6);
+    EXPECT_NEAR(verbsStreamBandwidth(SocketPlacement::CrossSocket,
+                                     false, kSpec),
+                32e9 * 0.82 * 0.224, 1e6);
+}
+
+/** Parameterized: latency is monotone in message size. */
+class VerbsMonotoneProperty
+    : public testing::TestWithParam<std::tuple<int, bool>>
+{
+};
+
+TEST_P(VerbsMonotoneProperty, LatencyMonotoneInSize)
+{
+    const auto op = static_cast<VerbsOp>(std::get<0>(GetParam()));
+    const auto placement = std::get<1>(GetParam())
+                               ? SocketPlacement::CrossSocket
+                               : SocketPlacement::SameSocket;
+    SimTime prev = verbsLatency(op, 1.0, placement, kSpec);
+    for (Bytes size = 2.0; size <= 8.0 * units::MiB; size *= 2.0) {
+        const SimTime cur = verbsLatency(op, size, placement, kSpec);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndPlacements, VerbsMonotoneProperty,
+    testing::Combine(testing::Values(0, 1, 2), testing::Bool()));
+
+// --- the Fig. 4 stress results, asserted as a regression test -------
+
+TEST(StressTest, ReproducesPaperFractions)
+{
+    struct Case {
+        bool gpu_direct;
+        bool cross_socket;
+        double paper;
+    };
+    const Case cases[] = {
+        {false, false, 0.93},
+        {false, true, 0.47},
+        {true, false, 0.52},
+        {true, true, 0.42},
+    };
+    for (const Case &c : cases) {
+        StressConfig cfg;
+        cfg.gpu_direct = c.gpu_direct;
+        cfg.cross_socket = c.cross_socket;
+        cfg.duration = 1.0;
+        const StressResult r = runRoceStressTest(cfg);
+        EXPECT_NEAR(r.roceFraction(), c.paper, 0.02)
+            << "gpu_direct=" << c.gpu_direct
+            << " cross=" << c.cross_socket;
+    }
+}
+
+TEST(StressTest, GpuDirectBypassesDram)
+{
+    StressConfig cfg;
+    cfg.gpu_direct = true;
+    cfg.duration = 0.5;
+    const StressResult r = runRoceStressTest(cfg);
+    EXPECT_LT(r.dram.avg, 1e9);
+    EXPECT_GT(r.pcie_gpu.avg, 1e9);
+}
+
+TEST(StressTest, CrossSocketLightsUpXgmi)
+{
+    StressConfig same;
+    same.duration = 0.5;
+    StressConfig cross = same;
+    cross.cross_socket = true;
+    EXPECT_LT(runRoceStressTest(same).xgmi.avg, 1e9);
+    EXPECT_GT(runRoceStressTest(cross).xgmi.avg, 10e9);
+}
+
+} // namespace
+} // namespace dstrain

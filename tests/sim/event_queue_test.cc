@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the discrete-event queue: ordering, FIFO tie-breaking,
+ * cancellation semantics, runUntil, and a determinism property
+ * sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "util/rng.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    EXPECT_DOUBLE_EQ(q.run(), 3.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoForEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ClockAdvancesDuringRun)
+{
+    EventQueue q;
+    SimTime seen = -1.0;
+    q.schedule(5.0, [&] { seen = q.now(); });
+    q.run();
+    EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow)
+{
+    EventQueue q;
+    SimTime fired_at = -1.0;
+    q.schedule(2.0, [&] {
+        q.scheduleAfter(3.0, [&] { fired_at = q.now(); });
+    });
+    q.run();
+    EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(1.0, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, DoubleCancelAndStaleCancelAreNoops)
+{
+    EventQueue q;
+    EventId id = q.schedule(1.0, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    q.run();
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueueTest, CancelExecutedEventIsRejected)
+{
+    EventQueue q;
+    EventId id = q.schedule(1.0, [] {});
+    q.run();
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    EventId a = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.executedCount(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAndAdvancesClock)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(5.0, [&] { order.push_back(5); });
+    q.runUntil(3.0);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(EventQueueTest, StepRunsExactlyOne)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1.0, [&] { ++count; });
+    q.schedule(2.0, [&] { ++count; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueDeathTest, PastSchedulingRejected)
+{
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(1.0, [] {}), "past");
+}
+
+/** Property: random schedules execute in nondecreasing time order. */
+class EventOrderProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventOrderProperty, NondecreasingExecution)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    EventQueue q;
+    std::vector<SimTime> fired;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const SimTime when = rng.uniform(0.0, 100.0);
+        q.schedule(when, [&fired, &q] { fired.push_back(q.now()); });
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderProperty,
+                         testing::Range(1, 11));
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the async-IO engine: reads ride the media constraint,
+ * writes burst into the cache, cross-socket IO consumes xGMI and
+ * the IOD crossbar.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/aio_engine.hh"
+
+namespace dstrain {
+namespace {
+
+class AioEngineTest : public testing::Test
+{
+  protected:
+    AioEngineTest()
+        : cluster_(ClusterSpec{}), flows_(sim_, cluster_.topology()),
+          tm_(sim_, cluster_, flows_), aio_(tm_)
+    {
+    }
+
+    Bytes
+    classBytes(LinkClass cls)
+    {
+        flows_.finalizeLogs();
+        Bytes total = 0.0;
+        for (const Resource &r : cluster_.topology().resources())
+            if (r.cls == cls)
+                total += r.log.totalBytes();
+        return total;
+    }
+
+    StorageIo
+    io(bool write, Bytes bytes, int socket)
+    {
+        StorageIo req;
+        req.write = write;
+        req.bytes = bytes;
+        req.node = 0;
+        req.socket = socket;
+        req.tag = "test-io";
+        return req;
+    }
+
+    Simulation sim_;
+    Cluster cluster_;
+    FlowScheduler flows_;
+    TransferManager tm_;
+    AioEngine aio_;
+};
+
+TEST_F(AioEngineTest, ReadRunsAtMediaRate)
+{
+    // 6.6 GB read from a 3.3 GBps media: ~2 s.
+    bool done = false;
+    auto req = io(false, 6.6e9, 1);
+    req.on_done = [&] { done = true; };
+    aio_.submit(0, std::move(req));
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(sim_.now(), 2.0, 0.01);
+    EXPECT_EQ(aio_.completedCount(), 1u);
+}
+
+TEST_F(AioEngineTest, SmallWriteBurstsAtPcieRate)
+{
+    // 1 GB write fits the cache: runs at PCIe x4 (6.56 GBps) speed,
+    // far faster than media.
+    auto req = io(true, 1e9, 1);
+    aio_.submit(0, std::move(req));
+    sim_.run();
+    EXPECT_LT(sim_.now(), 0.25);
+    EXPECT_NEAR(classBytes(LinkClass::NvmeMedia), 0.0, 1.0);
+}
+
+TEST_F(AioEngineTest, LargeWriteSplitsCacheAndMedia)
+{
+    // 10 GB write: 1.5 GB burst + 8.5 GB sustained through media.
+    auto req = io(true, 10e9, 1);
+    aio_.submit(0, std::move(req));
+    sim_.run();
+    EXPECT_NEAR(classBytes(LinkClass::NvmeMedia), 8.5e9, 1e6);
+    // Sustained part at 3.3 GBps dominates: ~2.6 s.
+    EXPECT_NEAR(sim_.now(), 8.5 / 3.3, 0.1);
+}
+
+TEST_F(AioEngineTest, LocalIoAvoidsXgmiAndXbar)
+{
+    auto req = io(false, 2e9, 1);  // drives live on socket 1
+    aio_.submit(0, std::move(req));
+    sim_.run();
+    EXPECT_DOUBLE_EQ(classBytes(LinkClass::Xgmi), 0.0);
+    EXPECT_DOUBLE_EQ(classBytes(LinkClass::IodXbar), 0.0);
+}
+
+TEST_F(AioEngineTest, CrossSocketIoConsumesXgmiAndXbar)
+{
+    auto req = io(false, 2e9, 0);  // issue from socket 0
+    aio_.submit(0, std::move(req));
+    sim_.run();
+    EXPECT_NEAR(classBytes(LinkClass::Xgmi), 2e9, 1e5);
+    EXPECT_NEAR(classBytes(LinkClass::IodXbar), 2e9, 1e5);
+}
+
+TEST_F(AioEngineTest, ConcurrentIosShareMedia)
+{
+    int done = 0;
+    for (int i = 0; i < 2; ++i) {
+        auto req = io(false, 3.3e9, 1);
+        req.on_done = [&] { ++done; };
+        aio_.submit(0, std::move(req));
+    }
+    sim_.run();
+    EXPECT_EQ(done, 2);
+    // 6.6 GB total through one 3.3 GBps media: ~2 s.
+    EXPECT_NEAR(sim_.now(), 2.0, 0.01);
+}
+
+TEST_F(AioEngineTest, SubmitLatencyApplied)
+{
+    auto req = io(false, 1.0, 1);  // tiny IO: latency dominates
+    aio_.submit(0, std::move(req));
+    sim_.run();
+    EXPECT_GE(sim_.now(), aio_.config().submit_latency);
+}
+
+TEST_F(AioEngineTest, DeviceRegistryReusesState)
+{
+    NvmeDevice &a = aio_.device(0, 0);
+    NvmeDevice &b = aio_.device(0, 0);
+    EXPECT_EQ(&a, &b);
+    NvmeDevice &c = aio_.device(0, 1);
+    EXPECT_NE(&a, &c);
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the NVMe drive model: cache absorption/drain behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/nvme_device.hh"
+
+namespace dstrain {
+namespace {
+
+class NvmeDeviceTest : public testing::Test
+{
+  protected:
+    NvmeDeviceTest() : cluster_(ClusterSpec{}) {}
+
+    Cluster cluster_;
+};
+
+TEST_F(NvmeDeviceTest, ResolvesComponentsAndRates)
+{
+    NvmeDevice dev(cluster_, 0, 0, NvmeCacheConfig{});
+    EXPECT_NE(dev.controller(), kNoComponent);
+    EXPECT_NE(dev.media(), kNoComponent);
+    EXPECT_DOUBLE_EQ(dev.mediaRate(), 3.3e9);
+    EXPECT_EQ(dev.socket(), 1);  // paper default: scratch on CPU1
+}
+
+TEST_F(NvmeDeviceTest, SmallWritesFullyAbsorbed)
+{
+    NvmeDevice dev(cluster_, 0, 0, NvmeCacheConfig{});
+    const Bytes burst = dev.absorbWrite(0.0, 1e9);
+    EXPECT_DOUBLE_EQ(burst, 1e9);
+    EXPECT_DOUBLE_EQ(dev.cacheFill(0.0), 1e9);
+}
+
+TEST_F(NvmeDeviceTest, LargeWritesOverflowToMedia)
+{
+    NvmeCacheConfig cfg;
+    cfg.capacity = 1.5e9;
+    NvmeDevice dev(cluster_, 0, 0, cfg);
+    const Bytes burst = dev.absorbWrite(0.0, 10e9);
+    EXPECT_DOUBLE_EQ(burst, 1.5e9);  // cache-sized burst only
+}
+
+TEST_F(NvmeDeviceTest, CacheDrainsAtMediaRate)
+{
+    NvmeCacheConfig cfg;
+    cfg.capacity = 1.5e9;
+    NvmeDevice dev(cluster_, 0, 0, cfg);
+    dev.absorbWrite(0.0, 1.5e9);
+    EXPECT_DOUBLE_EQ(dev.cacheFill(0.0), 1.5e9);
+    // After 0.2 s at 3.3 GBps the cache drained 0.66 GB.
+    EXPECT_NEAR(dev.cacheFill(0.2), 1.5e9 - 0.66e9, 1e3);
+    // Fully drained (and clamped) after enough time.
+    EXPECT_DOUBLE_EQ(dev.cacheFill(10.0), 0.0);
+}
+
+TEST_F(NvmeDeviceTest, BackToBackWritesSeeLessCache)
+{
+    NvmeCacheConfig cfg;
+    cfg.capacity = 1.5e9;
+    NvmeDevice dev(cluster_, 0, 0, cfg);
+    EXPECT_DOUBLE_EQ(dev.absorbWrite(0.0, 1.0e9), 1.0e9);
+    // Immediately after, only 0.5 GB of cache remains.
+    EXPECT_DOUBLE_EQ(dev.absorbWrite(0.0, 1.0e9), 0.5e9);
+}
+
+TEST_F(NvmeDeviceTest, UnknownDriveIsFatal)
+{
+    EXPECT_EXIT(NvmeDevice(cluster_, 0, 9, NvmeCacheConfig{}),
+                testing::ExitedWithCode(1), "no NVMe drive");
+}
+
+} // namespace
+} // namespace dstrain

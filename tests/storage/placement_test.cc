@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the paper's NVMe placement configurations A-G
+ * (Fig. 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/placement.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(PlacementTest, AllSevenExist)
+{
+    const auto all = allNvmePlacements();
+    ASSERT_EQ(all.size(), 7u);
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].id, static_cast<char>('A' + i));
+}
+
+TEST(PlacementTest, DriveCountsMatchFig14)
+{
+    EXPECT_EQ(nvmePlacementConfig('A').drives.size(), 1u);
+    EXPECT_EQ(nvmePlacementConfig('B').drives.size(), 2u);
+    EXPECT_EQ(nvmePlacementConfig('C').drives.size(), 2u);
+    EXPECT_EQ(nvmePlacementConfig('D').drives.size(), 2u);
+    EXPECT_EQ(nvmePlacementConfig('E').drives.size(), 4u);
+    EXPECT_EQ(nvmePlacementConfig('F').drives.size(), 4u);
+    EXPECT_EQ(nvmePlacementConfig('G').drives.size(), 4u);
+}
+
+TEST(PlacementTest, VolumeGroupings)
+{
+    EXPECT_EQ(nvmePlacementConfig('B').volumes.size(), 1u);
+    EXPECT_EQ(nvmePlacementConfig('D').volumes.size(), 2u);
+    EXPECT_EQ(nvmePlacementConfig('E').volumes.size(), 1u);
+    EXPECT_EQ(nvmePlacementConfig('F').volumes.size(), 2u);
+    EXPECT_EQ(nvmePlacementConfig('G').volumes.size(), 4u);
+    // E's single RAID0 spans all four drives.
+    EXPECT_EQ(nvmePlacementConfig('E').volumes[0].drives.size(), 4u);
+}
+
+TEST(PlacementTest, SocketSpans)
+{
+    auto spans_sockets = [](const NvmePlacement &p,
+                            const VolumeSpec &v) {
+        int first = p.drives[static_cast<std::size_t>(
+                                 v.drives.front())]
+                        .socket;
+        for (int d : v.drives)
+            if (p.drives[static_cast<std::size_t>(d)].socket != first)
+                return true;
+        return false;
+    };
+    const auto b = nvmePlacementConfig('B');
+    EXPECT_FALSE(spans_sockets(b, b.volumes[0]));
+    const auto c = nvmePlacementConfig('C');
+    EXPECT_TRUE(spans_sockets(c, c.volumes[0]));
+    const auto e = nvmePlacementConfig('E');
+    EXPECT_TRUE(spans_sockets(e, e.volumes[0]));
+    const auto f = nvmePlacementConfig('F');
+    EXPECT_FALSE(spans_sockets(f, f.volumes[0]));
+    EXPECT_FALSE(spans_sockets(f, f.volumes[1]));
+}
+
+TEST(PlacementTest, RankMappingLocality)
+{
+    // D/F/G map each rank to a volume on its own socket.
+    for (char id : {'D', 'F'}) {
+        const auto p = nvmePlacementConfig(id);
+        EXPECT_EQ(p.volumeForRank(0), 0) << id;
+        EXPECT_EQ(p.volumeForRank(1), 0) << id;
+        EXPECT_EQ(p.volumeForRank(2), 1) << id;
+        EXPECT_EQ(p.volumeForRank(3), 1) << id;
+    }
+    const auto g = nvmePlacementConfig('G');
+    for (int r = 0; r < 4; ++r)
+        EXPECT_EQ(g.volumeForRank(r), r);
+    // Wrap-around for hypothetical extra local ranks.
+    EXPECT_EQ(g.volumeForRank(5), 1);
+}
+
+TEST(PlacementTest, ApplyInstallsDrives)
+{
+    NodeSpec spec;
+    applyPlacement(nvmePlacementConfig('G'), spec);
+    ASSERT_EQ(spec.nvme_drives.size(), 4u);
+    EXPECT_EQ(spec.nvme_drives[0].socket, 0);
+    EXPECT_EQ(spec.nvme_drives[3].socket, 1);
+}
+
+TEST(PlacementTest, ExtensionHEightLocalDrives)
+{
+    const auto h = nvmePlacementConfig('H');
+    ASSERT_EQ(h.drives.size(), 8u);
+    ASSERT_EQ(h.volumes.size(), 4u);
+    for (const VolumeSpec &v : h.volumes) {
+        ASSERT_EQ(v.drives.size(), 2u);
+        // Each RAID0 pair is socket-local.
+        EXPECT_EQ(h.drives[static_cast<std::size_t>(v.drives[0])].socket,
+                  h.drives[static_cast<std::size_t>(v.drives[1])].socket);
+    }
+    // H is an extension: not part of the paper's A-G sweep.
+    for (const NvmePlacement &p : allNvmePlacements())
+        EXPECT_NE(p.id, 'H');
+}
+
+TEST(PlacementDeathTest, UnknownIdIsFatal)
+{
+    EXPECT_EXIT(nvmePlacementConfig('Z'), testing::ExitedWithCode(1),
+                "unknown NVMe placement");
+}
+
+} // namespace
+} // namespace dstrain

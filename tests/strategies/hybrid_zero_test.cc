@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the hybrid ZeRO + tensor-parallel extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "model/flops.hh"
+#include "memplan/capacity_solver.hh"
+#include "strategies/hybrid_zero.hh"
+
+namespace dstrain {
+namespace {
+
+class HybridZeroTest : public testing::Test
+{
+  protected:
+    HybridZeroTest() : cluster_(ClusterSpec{}) {}
+
+    IterationPlan
+    build(int stage, int tp, int layers = 26)
+    {
+        PlanContext ctx{cluster_, TransformerConfig::gpt2Like(layers),
+                        16, nvmePlacementConfig('B'), PlanTuning{}};
+        return Strategy::create(StrategyConfig::hybridZero(stage, tp))
+            ->buildIteration(ctx);
+    }
+
+    Cluster cluster_;
+};
+
+TEST_F(HybridZeroTest, ConfigIdentity)
+{
+    const StrategyConfig c = StrategyConfig::hybridZero(2, 2);
+    EXPECT_TRUE(c.isHybridZero());
+    EXPECT_EQ(c.modelParallelSize(), 2);
+    EXPECT_EQ(c.dataParallelSize(4), 2);
+    EXPECT_EQ(c.displayName(), "ZeRO-2 +TP=2");
+    validateStrategy(c);
+    EXPECT_FALSE(StrategyConfig::zero(2).isHybridZero());
+    EXPECT_FALSE(StrategyConfig::megatron(2, 1).isHybridZero());
+}
+
+TEST_F(HybridZeroTest, IllegalVariantsFatal)
+{
+    EXPECT_DEATH(StrategyConfig::hybridZero(3, 2), "stages 1 and 2");
+    StrategyConfig c = StrategyConfig::hybridZero(2, 2);
+    c.offload = OffloadTarget::Cpu;
+    EXPECT_EXIT(validateStrategy(c), testing::ExitedWithCode(1),
+                "offloading");
+}
+
+TEST_F(HybridZeroTest, PlanMixesTpAndDpCollectives)
+{
+    const IterationPlan plan = build(2, 2);  // tp=2, dp=2 on 4 GPUs
+    int tp_ars = 0;
+    int dp_reductions = 0;
+    int dp_gathers = 0;
+    for (const PlanTask &t : plan.tasks()) {
+        if (t.kind != TaskKind::Collective)
+            continue;
+        ASSERT_EQ(t.group.size(), 2);
+        if (t.op == CollectiveOp::AllReduce &&
+            t.label.find("tp-ar") != std::string::npos) {
+            ++tp_ars;
+            // TP groups are consecutive ranks.
+            EXPECT_EQ(t.group.ranks[1], t.group.ranks[0] + 1);
+        }
+        if (t.op == CollectiveOp::ReduceScatter) {
+            ++dp_reductions;
+            // DP position groups are strided by tp.
+            EXPECT_EQ(t.group.ranks[1], t.group.ranks[0] + 2);
+        }
+        if (t.op == CollectiveOp::AllGather)
+            ++dp_gathers;
+    }
+    EXPECT_GT(tp_ars, 0);
+    EXPECT_EQ(dp_reductions, 2);  // one per TP position
+    EXPECT_EQ(dp_gathers, 2);
+}
+
+TEST_F(HybridZeroTest, Stage1AllReducesAcrossReplicas)
+{
+    const IterationPlan plan = build(1, 2);
+    bool found = false;
+    for (const PlanTask &t : plan.tasks()) {
+        if (t.kind == TaskKind::Collective &&
+            t.label.find("grad red") != std::string::npos) {
+            EXPECT_EQ(t.op, CollectiveOp::AllReduce);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(HybridZeroTest, FullTpDegenerateCaseHasNoDpCollectives)
+{
+    const IterationPlan plan = build(2, 4);  // dp = 1
+    for (const PlanTask &t : plan.tasks()) {
+        if (t.kind == TaskKind::Collective) {
+            EXPECT_NE(t.label.find("tp-ar"), std::string::npos)
+                << t.label;
+        }
+    }
+    plan.validate();
+}
+
+TEST_F(HybridZeroTest, ExecutedFlopsMatchConvention)
+{
+    const IterationPlan plan = build(2, 2);
+    // 2 replicas x (16 x 2) sequences each = global tokens 16384.
+    const auto cfg = TransformerConfig::gpt2Like(26);
+    const Flops fwd = forwardFlops(cfg, 16384);
+    const double p = static_cast<double>(cfg.parameterCount());
+    EXPECT_NEAR(plan.totalGpuFlops(),
+                4.0 * fwd + kGpuOptimizerFlopsPerParam * p,
+                plan.totalGpuFlops() * 1e-9);
+}
+
+TEST_F(HybridZeroTest, CapacitySitsBetweenZeroAndMegatron)
+{
+    const ClusterSpec cluster = xe8545Cluster(1);
+    const double z2 =
+        solveMaxModel(StrategyConfig::zero(2), cluster, 16)
+            .entry.billions;
+    const double hybrid =
+        solveMaxModel(StrategyConfig::hybridZero(2, 4), cluster, 16)
+            .entry.billions;
+    // Splitting the states 4 ways fits more than plain ZeRO-2.
+    EXPECT_GT(hybrid, z2);
+}
+
+TEST_F(HybridZeroTest, RunsEndToEnd)
+{
+    ExperimentConfig cfg =
+        paperExperiment(1, StrategyConfig::hybridZero(2, 2), 1.4);
+    cfg.iterations = 2;
+    cfg.warmup = 1;
+    Experiment exp(std::move(cfg));
+    const ExperimentReport r = exp.run();
+    EXPECT_GT(r.tflops, 10.0);
+}
+
+} // namespace
+} // namespace dstrain

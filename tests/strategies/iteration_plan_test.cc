@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the iteration-plan task graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "strategies/iteration_plan.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(IterationPlanTest, BuildersAssignSequentialIds)
+{
+    IterationPlan plan;
+    const int a =
+        plan.gpuCompute(0, 100.0, ComputePhase::Forward, {}, "a");
+    const int b = plan.gpuCompute(0, 100.0, ComputePhase::Backward,
+                                  {a}, "b");
+    const int c = plan.barrier({a, b}, "c");
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(c, 2);
+    EXPECT_EQ(plan.size(), 3u);
+    plan.validate();
+}
+
+TEST(IterationPlanTest, FlopAndByteTotals)
+{
+    IterationPlan plan;
+    plan.gpuCompute(0, 100.0, ComputePhase::Forward, {}, "f");
+    plan.gpuCompute(1, 200.0, ComputePhase::Backward, {}, "b");
+    plan.collective(CollectiveOp::AllReduce, CommGroup::worldOf(4),
+                    50.0, {}, "ar");
+    plan.hostTransfer(0, 10.0, true, {}, "ht");
+    EXPECT_DOUBLE_EQ(plan.totalGpuFlops(), 300.0);
+    EXPECT_DOUBLE_EQ(plan.totalCollectiveBytes(), 50.0);
+}
+
+TEST(IterationPlanTest, ModelLayersDefaultAndOverride)
+{
+    IterationPlan plan;
+    EXPECT_EQ(plan.modelLayers(), 24);
+    plan.setModelLayers(107);
+    EXPECT_EQ(plan.modelLayers(), 107);
+}
+
+TEST(IterationPlanDeathTest, ForwardDependencyRejected)
+{
+    IterationPlan plan;
+    PlanTask t;
+    t.kind = TaskKind::Barrier;
+    t.deps = {5};  // future task
+    EXPECT_DEATH(plan.add(std::move(t)), "invalid/future");
+}
+
+TEST(IterationPlanDeathTest, ValidateCatchesBadFields)
+{
+    IterationPlan plan;
+    PlanTask t;
+    t.kind = TaskKind::GpuCompute;
+    t.rank = -1;  // invalid
+    t.flops = 1.0;
+    plan.add(std::move(t));
+    EXPECT_DEATH(plan.validate(), "bad compute task");
+}
+
+TEST(IterationPlanTest, KindAndPhaseNames)
+{
+    EXPECT_STREQ(taskKindName(TaskKind::GpuCompute), "gpu-compute");
+    EXPECT_STREQ(taskKindName(TaskKind::NvmeIo), "nvme-io");
+    EXPECT_STREQ(computePhaseName(ComputePhase::Forward), "fwd");
+    EXPECT_STREQ(computePhaseName(ComputePhase::Io), "io");
+}
+
+TEST(IterationPlanTest, CollectiveCarriesTuning)
+{
+    IterationPlan plan;
+    const int id = plan.collective(
+        CollectiveOp::AllGather, CommGroup::worldOf(2), 10.0, {}, "ag",
+        /*pin_channels=*/false, /*extra_latency=*/2e-3,
+        /*bw_factor=*/0.3);
+    const PlanTask &t = plan.tasks()[static_cast<std::size_t>(id)];
+    EXPECT_FALSE(t.pin_channels);
+    EXPECT_DOUBLE_EQ(t.extra_latency, 2e-3);
+    EXPECT_DOUBLE_EQ(t.comm_bw_factor, 0.3);
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the rate-log bucketing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/series.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(SeriesTest, ConstantRateFillsBuckets)
+{
+    RateLog log;
+    log.setRate(0.0, 10.0);
+    log.finalize(1.0);
+    const BandwidthSeries s =
+        bucketizeRateLogs({&log}, 0.0, 1.0, 0.25);
+    ASSERT_EQ(s.values.size(), 4u);
+    for (double v : s.values)
+        EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(SeriesTest, PartialOverlapWeighted)
+{
+    RateLog log;
+    log.setRate(0.0, 0.0);
+    log.setRate(0.5, 20.0);  // active only in the second half
+    log.finalize(1.0);
+    const BandwidthSeries s = bucketizeRateLogs({&log}, 0.0, 1.0, 1.0);
+    ASSERT_EQ(s.values.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.values[0], 10.0);  // time-weighted average
+}
+
+TEST(SeriesTest, MultipleLogsSum)
+{
+    RateLog a;
+    a.setRate(0.0, 3.0);
+    a.finalize(1.0);
+    RateLog b;
+    b.setRate(0.0, 4.0);
+    b.finalize(1.0);
+    const BandwidthSeries s =
+        bucketizeRateLogs({&a, &b}, 0.0, 1.0, 0.5);
+    for (double v : s.values)
+        EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(SeriesTest, WindowClipsHistory)
+{
+    RateLog log;
+    log.setRate(0.0, 8.0);
+    log.finalize(10.0);
+    const BandwidthSeries s =
+        bucketizeRateLogs({&log}, 4.0, 6.0, 1.0);
+    ASSERT_EQ(s.values.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.values[0], 8.0);
+    EXPECT_DOUBLE_EQ(s.values[1], 8.0);
+}
+
+TEST(SeriesTest, SummaryMatchesSamples)
+{
+    RateLog log;
+    log.setRate(0.0, 10.0);
+    log.setRate(1.0, 30.0);
+    log.finalize(2.0);
+    const BandwidthSeries s =
+        bucketizeRateLogs({&log}, 0.0, 2.0, 1.0);
+    const BandwidthSummary sum = s.summary();
+    EXPECT_DOUBLE_EQ(sum.avg, 20.0);
+    EXPECT_DOUBLE_EQ(sum.peak, 30.0);
+}
+
+TEST(SeriesTest, BytesConservedAcrossBucketSizes)
+{
+    RateLog log;
+    log.setRate(0.0, 5.0);
+    log.setRate(0.7, 15.0);
+    log.setRate(1.3, 2.0);
+    log.finalize(3.0);
+    for (SimTime bucket : {0.1, 0.25, 0.5, 1.0}) {
+        const BandwidthSeries s =
+            bucketizeRateLogs({&log}, 0.0, 3.0, bucket);
+        double integrated = 0.0;
+        for (double v : s.values)
+            integrated += v * bucket;
+        EXPECT_NEAR(integrated, log.totalBytes(), 1e-9) << bucket;
+    }
+}
+
+TEST(SeriesDeathTest, BadWindowRejected)
+{
+    RateLog log;
+    EXPECT_DEATH(bucketizeRateLogs({&log}, 1.0, 1.0, 0.1),
+                 "empty telemetry window");
+    EXPECT_DEATH(bucketizeRateLogs({&log}, 0.0, 1.0, 0.0), "bucket");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the ASCII timeline renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/timeline.hh"
+
+namespace dstrain {
+namespace {
+
+TaskSpan
+span(int rank, TaskKind kind, ComputePhase phase, SimTime b, SimTime e)
+{
+    TaskSpan s;
+    s.rank = rank;
+    s.kind = kind;
+    s.phase = phase;
+    s.begin = b;
+    s.end = e;
+    return s;
+}
+
+TEST(TimelineTest, Glyphs)
+{
+    EXPECT_EQ(phaseGlyph(ComputePhase::Forward), 'F');
+    EXPECT_EQ(phaseGlyph(ComputePhase::Backward), 'B');
+    EXPECT_EQ(phaseGlyph(ComputePhase::Optimizer), 'O');
+    EXPECT_EQ(phaseGlyph(ComputePhase::Communication), 'C');
+    EXPECT_EQ(phaseGlyph(ComputePhase::Io), 'I');
+    EXPECT_EQ(phaseGlyph(ComputePhase::Idle), '.');
+}
+
+TEST(TimelineTest, RendersRowsPerRankPlusHost)
+{
+    std::vector<TaskSpan> spans = {
+        span(0, TaskKind::GpuCompute, ComputePhase::Forward, 0.0, 0.5),
+        span(1, TaskKind::GpuCompute, ComputePhase::Backward, 0.5,
+             1.0),
+        span(-1, TaskKind::CpuOptimizer, ComputePhase::Optimizer, 0.0,
+             1.0),
+    };
+    TimelineOptions opts;
+    opts.width = 10;
+    const std::string out = renderTimeline(spans, 2, 0.0, 1.0, opts);
+    // gpu0 forward in the first half, gpu1 backward in the second.
+    EXPECT_NE(out.find("gpu0  |FFFFF"), std::string::npos);
+    EXPECT_NE(out.find("BBBBB|"), std::string::npos);
+    EXPECT_NE(out.find("host  |OOOOOOOOOO|"), std::string::npos);
+}
+
+TEST(TimelineTest, ComputeWinsOverCommInOverlap)
+{
+    std::vector<TaskSpan> spans = {
+        span(0, TaskKind::Collective, ComputePhase::Communication, 0.0,
+             1.0),
+        span(0, TaskKind::GpuCompute, ComputePhase::Forward, 0.0, 1.0),
+    };
+    TimelineOptions opts;
+    opts.width = 4;
+    const std::string out = renderTimeline(spans, 1, 0.0, 1.0, opts);
+    EXPECT_NE(out.find("|FFFF|"), std::string::npos);
+}
+
+TEST(TimelineTest, SpansOutsideWindowIgnored)
+{
+    std::vector<TaskSpan> spans = {
+        span(0, TaskKind::GpuCompute, ComputePhase::Forward, 2.0, 3.0),
+    };
+    TimelineOptions opts;
+    opts.width = 4;
+    opts.include_host = false;
+    const std::string out = renderTimeline(spans, 1, 0.0, 1.0, opts);
+    EXPECT_NE(out.find("|....|"), std::string::npos);
+}
+
+TEST(TimelineDeathTest, BadWindowRejected)
+{
+    EXPECT_DEATH(renderTimeline({}, 1, 1.0, 1.0), "empty timeline");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the logging/formatting facilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(CsprintfTest, FormatsLikePrintf)
+{
+    EXPECT_EQ(csprintf("plain"), "plain");
+    EXPECT_EQ(csprintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(csprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(csprintf("%s-%c", "abc", 'x'), "abc-x");
+}
+
+TEST(CsprintfTest, HandlesLongStrings)
+{
+    const std::string big(10000, 'y');
+    EXPECT_EQ(csprintf("%s", big.c_str()).size(), big.size());
+}
+
+TEST(CsprintfTest, EmptyFormat)
+{
+    EXPECT_EQ(csprintf("%s", ""), "");
+}
+
+TEST(LogLevelTest, RoundTrips)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(original);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional test panic %d", 42), "panic");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("intentional test fatal"),
+                testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(LoggingDeathTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(DSTRAIN_ASSERT(1 == 2, "math broke: %d", 7),
+                 "assertion");
+}
+
+TEST(LoggingTest, AssertMacroPassesOnTrue)
+{
+    DSTRAIN_ASSERT(2 + 2 == 4, "never printed");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespected)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, BelowBounded)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+} // namespace
+} // namespace dstrain

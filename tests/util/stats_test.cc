@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the statistics helpers, including a parameterized sweep
+ * over percentile values (property: monotone in p, bounded by
+ * min/max).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(SampleSeriesTest, EmptyIsAllZero)
+{
+    SampleSeries s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SampleSeriesTest, SingleSample)
+{
+    SampleSeries s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(s.min(), 7.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(SampleSeriesTest, KnownValues)
+{
+    SampleSeries s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(90), 4.6);
+    EXPECT_DOUBLE_EQ(s.summary().peak, 5.0);
+}
+
+TEST(SampleSeriesTest, OrderInvariant)
+{
+    SampleSeries a;
+    SampleSeries b;
+    for (double v : {5.0, 1.0, 4.0, 2.0, 3.0})
+        a.add(v);
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        b.add(v);
+    EXPECT_DOUBLE_EQ(a.percentile(90), b.percentile(90));
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(PercentileDeathTest, RejectsOutOfRange)
+{
+    std::vector<double> v = {1.0};
+    EXPECT_DEATH(percentileOf(v, -1.0), "out of range");
+    EXPECT_DEATH(percentileOf(v, 101.0), "out of range");
+}
+
+/** Property sweep: percentile is monotone and bounded. */
+class PercentileProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PercentileProperty, MonotoneAndBounded)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    SampleSeries s;
+    const int n = 1 + static_cast<int>(rng.below(200));
+    for (int i = 0; i < n; ++i)
+        s.add(rng.uniform(-50.0, 50.0));
+
+    double prev = s.percentile(0.0);
+    EXPECT_DOUBLE_EQ(prev, s.min());
+    for (double p = 5.0; p <= 100.0; p += 5.0) {
+        const double cur = s.percentile(p);
+        EXPECT_GE(cur, prev) << "p=" << p;
+        prev = cur;
+    }
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), s.max());
+    EXPECT_GE(s.mean(), s.min());
+    EXPECT_LE(s.mean(), s.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
+                         testing::Range(1, 21));
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(SplitTest, BasicAndEdgeCases)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split(",x,", ','),
+              (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit)
+{
+    const std::vector<std::string> parts = {"one", "two", "three"};
+    EXPECT_EQ(join(parts, "-"), "one-two-three");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(PadTest, RightAndLeft)
+{
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("abcdef", 3), "abc");
+    EXPECT_EQ(padLeft("abcdef", 3), "abc");
+    EXPECT_EQ(padRight("", 2), "  ");
+}
+
+TEST(TrimTest, Whitespace)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("\t\nx\r "), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(StartsWithTest, Prefixes)
+{
+    EXPECT_TRUE(startsWith("dstrain", "ds"));
+    EXPECT_TRUE(startsWith("dstrain", ""));
+    EXPECT_FALSE(startsWith("ds", "dstrain"));
+    EXPECT_FALSE(startsWith("dstrain", "tr"));
+}
+
+TEST(ToLowerTest, Ascii)
+{
+    EXPECT_EQ(toLower("ZeRO-3"), "zero-3");
+    EXPECT_EQ(toLower(""), "");
+}
+
+} // namespace
+} // namespace dstrain

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the table and CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows)
+{
+    TextTable t({"Config", "TFLOP/s"});
+    t.addRow({"DDP", "438"});
+    t.addRow({"ZeRO-2", "524"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Config"), std::string::npos);
+    EXPECT_NE(out.find("DDP"), std::string::npos);
+    EXPECT_NE(out.find("524"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTableTest, NumericCellsRightAligned)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"x", "5"});
+    t.addRow({"longer-name", "12345"});
+    const std::string out = t.render();
+    // "5" must be right-aligned in its 5-wide column: "|     5 |".
+    EXPECT_NE(out.find("|     5 |"), std::string::npos);
+    // text stays left-aligned.
+    EXPECT_NE(out.find("| x "), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorDoesNotCountAsRow)
+{
+    TextTable t({"A"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTableDeathTest, RowArityChecked)
+{
+    TextTable t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TextTableTest, CsvEscaping)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+
+    TextTable t({"Name", "Note"});
+    t.addRow({"x", "a,b"});
+    const std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "Name,Note\nx,\"a,b\"\n");
+}
+
+TEST(TextTableTest, TitlePrinted)
+{
+    TextTable t({"A"});
+    t.setTitle("My Table");
+    t.addRow({"1"});
+    EXPECT_EQ(t.render().rfind("My Table", 0), 0u);
+}
+
+} // namespace
+} // namespace dstrain

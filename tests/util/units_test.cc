@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for unit conversions and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+namespace dstrain {
+namespace {
+
+TEST(UnitsTest, DecimalSizes)
+{
+    EXPECT_DOUBLE_EQ(units::KB, 1e3);
+    EXPECT_DOUBLE_EQ(units::GB, 1e9);
+    EXPECT_DOUBLE_EQ(units::GiB, 1073741824.0);
+    EXPECT_DOUBLE_EQ(units::Gbps, 125e6);
+}
+
+TEST(FormatBytesTest, PicksSuffix)
+{
+    EXPECT_EQ(formatBytes(500), "500 B");
+    EXPECT_EQ(formatBytes(2.5 * units::KB), "2.50 kB");
+    EXPECT_EQ(formatBytes(3.0 * units::MB), "3.00 MB");
+    EXPECT_EQ(formatBytes(40.0 * units::GB), "40.00 GB");
+    EXPECT_EQ(formatBytes(3.2 * units::TB), "3.20 TB");
+}
+
+TEST(FormatBandwidthTest, GbpsAndMbps)
+{
+    EXPECT_EQ(formatBandwidth(25.0 * units::GBps), "25.00 GBps");
+    EXPECT_EQ(formatBandwidth(5.0 * units::MBps), "5.00 MBps");
+}
+
+TEST(FormatTimeTest, AdaptiveUnits)
+{
+    EXPECT_EQ(formatTime(2.5), "2.500 s");
+    EXPECT_EQ(formatTime(1.5e-3), "1.500 ms");
+    EXPECT_EQ(formatTime(42e-6), "42.000 us");
+    EXPECT_EQ(formatTime(90e-9), "90.0 ns");
+}
+
+TEST(FormatParamsTest, BillionsAndMillions)
+{
+    EXPECT_EQ(formatParams(1400000000), "1.4 B");
+    EXPECT_EQ(formatParams(94000000), "94.0 M");
+    EXPECT_EQ(formatParams(123), "123");
+}
+
+} // namespace
+} // namespace dstrain

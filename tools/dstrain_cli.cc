@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The dstrain command-line tool: run one simulated training
+ * experiment from flags and print (or export) the paper-style
+ * metrics. The scriptable face of the library.
+ *
+ *   dstrain --nodes 2 --strategy zero3 --model 6.6
+ *   dstrain --strategy zero2-cpu --model 11.4 --energy
+ *   dstrain --strategy zero3-nvme --placement G --trace out.json
+ *   dstrain --strategy megatron --tp 4 --csv
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/energy.hh"
+#include "core/presets.hh"
+#include "core/report.hh"
+#include "telemetry/timeline.hh"
+#include "engine/trace_export.hh"
+#include "util/args.hh"
+
+namespace dstrain {
+namespace {
+
+/** Map the CLI strategy name to a configuration. */
+std::optional<StrategyConfig>
+parseStrategy(const std::string &name, int tp, int pp)
+{
+    if (name == "ddp")
+        return StrategyConfig::ddp();
+    if (name == "megatron")
+        return StrategyConfig::megatron(tp > 0 ? tp : 4,
+                                        pp > 0 ? pp : 1);
+    if (name == "zero1")
+        return tp > 1 ? StrategyConfig::hybridZero(1, tp)
+                      : StrategyConfig::zero(1);
+    if (name == "zero2")
+        return tp > 1 ? StrategyConfig::hybridZero(2, tp)
+                      : StrategyConfig::zero(2);
+    if (name == "zero3")
+        return StrategyConfig::zero(3);
+    if (name == "zero1-cpu")
+        return StrategyConfig::zeroOffloadCpu(1);
+    if (name == "zero2-cpu")
+        return StrategyConfig::zeroOffloadCpu(2);
+    if (name == "zero3-cpu")
+        return StrategyConfig::zeroOffloadCpu(3);
+    if (name == "zero3-nvme")
+        return StrategyConfig::zeroInfinityNvme(false);
+    if (name == "zero3-nvme-params")
+        return StrategyConfig::zeroInfinityNvme(true);
+    return std::nullopt;
+}
+
+int
+runCli(int argc, const char *const *argv)
+{
+    ArgParser args(
+        "dstrain",
+        "simulate distributed LLM training on an XE8545-class cluster");
+    args.addOption("nodes", "1", "number of compute nodes");
+    args.addOption(
+        "strategy", "zero3",
+        "ddp | megatron | zero1 | zero2 | zero3 | zero1-cpu | "
+        "zero2-cpu | zero3-cpu | zero3-nvme | zero3-nvme-params");
+    args.addOption("model", "0",
+                   "model size in billions (0 = largest that fits)");
+    args.addOption("tp", "0", "tensor-parallel degree (megatron/hybrid)");
+    args.addOption("pp", "0", "pipeline-parallel degree (megatron)");
+    args.addOption("batch", "16", "per-GPU batch size");
+    args.addOption("iterations", "4", "iterations to simulate");
+    args.addOption("placement", "B",
+                   "NVMe drive placement (A-G paper, H extension)");
+    args.addOption("trace", "",
+                   "write a chrome://tracing JSON of the final "
+                   "iteration to this path");
+    args.addFlag("csv", "emit the bandwidth row as CSV");
+    args.addFlag("energy", "print the energy-model estimate");
+    args.addFlag("timeline", "print the ASCII iteration timeline");
+    args.addFlag("no-serdes",
+                 "disable the IOD SerDes contention model (ablation)");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const auto strategy = parseStrategy(args.get("strategy"),
+                                        args.getInt("tp"),
+                                        args.getInt("pp"));
+    if (!strategy) {
+        std::fprintf(stderr, "dstrain: unknown strategy '%s'\n%s",
+                     args.get("strategy").c_str(),
+                     args.helpText().c_str());
+        return 1;
+    }
+
+    ExperimentConfig cfg = paperExperiment(
+        args.getInt("nodes"), *strategy, args.getDouble("model"));
+    cfg.batch_per_gpu = args.getInt("batch");
+    cfg.iterations = std::max(2, args.getInt("iterations"));
+    cfg.placement = nvmePlacementConfig(args.get("placement")[0]);
+    cfg.cluster.node.model_serdes_contention =
+        !args.getFlag("no-serdes");
+
+    Experiment experiment(std::move(cfg));
+    const ExperimentReport report = experiment.run();
+    const ExperimentConfig &used = experiment.config();
+
+    std::cout << summarizeReport(report) << "\n\n"
+              << compositionTable({report}) << "\n";
+
+    if (args.getFlag("csv")) {
+        TextTable bw = makeBandwidthTable();
+        addBandwidthRow(bw, report.bandwidth);
+        std::cout << bw.renderCsv();
+    } else {
+        TextTable bw = makeBandwidthTable();
+        addBandwidthRow(bw, report.bandwidth);
+        bw.setTitle(
+            "Aggregate bidirectional per-node bandwidth (GBps):");
+        std::cout << bw;
+    }
+
+    const auto &ends = report.execution.iteration_ends;
+    const SimTime last_begin = ends[ends.size() - 2];
+    if (args.getFlag("timeline")) {
+        std::cout << "\n"
+                  << renderTimeline(report.execution.spans,
+                                    used.cluster.totalGpus(),
+                                    last_begin,
+                                    report.execution.measured_end);
+    }
+    if (args.getFlag("energy")) {
+        std::cout << "\nEnergy: "
+                  << summarizeEnergy(estimateEnergy(report, used))
+                  << "\n";
+    }
+    if (!args.get("trace").empty()) {
+        TraceOptions topts;
+        topts.begin = last_begin;
+        topts.end = report.execution.measured_end;
+        if (writeChromeTrace(args.get("trace"),
+                             report.execution.spans, topts)) {
+            std::cout << "\ntrace written to " << args.get("trace")
+                      << " (open in chrome://tracing)\n";
+        }
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace dstrain
+
+int
+main(int argc, char **argv)
+{
+    return dstrain::runCli(argc, argv);
+}
