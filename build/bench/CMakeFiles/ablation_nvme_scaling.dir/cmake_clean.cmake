@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvme_scaling.dir/ablation_nvme_scaling.cc.o"
+  "CMakeFiles/ablation_nvme_scaling.dir/ablation_nvme_scaling.cc.o.d"
+  "ablation_nvme_scaling"
+  "ablation_nvme_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvme_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

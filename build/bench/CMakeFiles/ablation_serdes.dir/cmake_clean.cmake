@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_serdes.dir/ablation_serdes.cc.o"
+  "CMakeFiles/ablation_serdes.dir/ablation_serdes.cc.o.d"
+  "ablation_serdes"
+  "ablation_serdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_serdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

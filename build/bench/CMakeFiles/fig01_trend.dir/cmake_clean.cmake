@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_trend.dir/fig01_trend.cc.o"
+  "CMakeFiles/fig01_trend.dir/fig01_trend.cc.o.d"
+  "fig01_trend"
+  "fig01_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_stress_test.dir/fig04_stress_test.cc.o"
+  "CMakeFiles/fig04_stress_test.dir/fig04_stress_test.cc.o.d"
+  "fig04_stress_test"
+  "fig04_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

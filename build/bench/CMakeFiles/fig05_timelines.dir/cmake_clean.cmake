@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_timelines.dir/fig05_timelines.cc.o"
+  "CMakeFiles/fig05_timelines.dir/fig05_timelines.cc.o.d"
+  "fig05_timelines"
+  "fig05_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

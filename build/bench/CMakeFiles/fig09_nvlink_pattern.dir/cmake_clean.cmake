@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nvlink_pattern.dir/fig09_nvlink_pattern.cc.o"
+  "CMakeFiles/fig09_nvlink_pattern.dir/fig09_nvlink_pattern.cc.o.d"
+  "fig09_nvlink_pattern"
+  "fig09_nvlink_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nvlink_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dualnode_patterns.dir/fig10_dualnode_patterns.cc.o"
+  "CMakeFiles/fig10_dualnode_patterns.dir/fig10_dualnode_patterns.cc.o.d"
+  "fig10_dualnode_patterns"
+  "fig10_dualnode_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dualnode_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_consolidation.dir/fig11_consolidation.cc.o"
+  "CMakeFiles/fig11_consolidation.dir/fig11_consolidation.cc.o.d"
+  "fig11_consolidation"
+  "fig11_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

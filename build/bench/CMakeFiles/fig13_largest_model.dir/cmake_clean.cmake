@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_largest_model.dir/fig13_largest_model.cc.o"
+  "CMakeFiles/fig13_largest_model.dir/fig13_largest_model.cc.o.d"
+  "fig13_largest_model"
+  "fig13_largest_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_largest_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

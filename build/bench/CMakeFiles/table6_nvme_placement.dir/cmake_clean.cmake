@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_nvme_placement.dir/table6_nvme_placement.cc.o"
+  "CMakeFiles/table6_nvme_placement.dir/table6_nvme_placement.cc.o.d"
+  "table6_nvme_placement"
+  "table6_nvme_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_nvme_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

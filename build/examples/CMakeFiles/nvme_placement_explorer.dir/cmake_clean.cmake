@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvme_placement_explorer.dir/nvme_placement_explorer.cpp.o"
+  "CMakeFiles/nvme_placement_explorer.dir/nvme_placement_explorer.cpp.o.d"
+  "nvme_placement_explorer"
+  "nvme_placement_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvme_placement_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

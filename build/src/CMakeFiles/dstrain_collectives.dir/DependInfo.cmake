@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/algorithms.cc" "src/CMakeFiles/dstrain_collectives.dir/collectives/algorithms.cc.o" "gcc" "src/CMakeFiles/dstrain_collectives.dir/collectives/algorithms.cc.o.d"
+  "/root/repo/src/collectives/communicator.cc" "src/CMakeFiles/dstrain_collectives.dir/collectives/communicator.cc.o" "gcc" "src/CMakeFiles/dstrain_collectives.dir/collectives/communicator.cc.o.d"
+  "/root/repo/src/collectives/volume.cc" "src/CMakeFiles/dstrain_collectives.dir/collectives/volume.cc.o" "gcc" "src/CMakeFiles/dstrain_collectives.dir/collectives/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

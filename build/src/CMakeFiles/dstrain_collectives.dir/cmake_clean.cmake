@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_collectives.dir/collectives/algorithms.cc.o"
+  "CMakeFiles/dstrain_collectives.dir/collectives/algorithms.cc.o.d"
+  "CMakeFiles/dstrain_collectives.dir/collectives/communicator.cc.o"
+  "CMakeFiles/dstrain_collectives.dir/collectives/communicator.cc.o.d"
+  "CMakeFiles/dstrain_collectives.dir/collectives/volume.cc.o"
+  "CMakeFiles/dstrain_collectives.dir/collectives/volume.cc.o.d"
+  "libdstrain_collectives.a"
+  "libdstrain_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_core.dir/core/energy.cc.o"
+  "CMakeFiles/dstrain_core.dir/core/energy.cc.o.d"
+  "CMakeFiles/dstrain_core.dir/core/experiment.cc.o"
+  "CMakeFiles/dstrain_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/dstrain_core.dir/core/presets.cc.o"
+  "CMakeFiles/dstrain_core.dir/core/presets.cc.o.d"
+  "CMakeFiles/dstrain_core.dir/core/report.cc.o"
+  "CMakeFiles/dstrain_core.dir/core/report.cc.o.d"
+  "libdstrain_core.a"
+  "libdstrain_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

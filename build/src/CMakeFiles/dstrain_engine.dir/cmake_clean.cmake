@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_engine.dir/engine/executor.cc.o"
+  "CMakeFiles/dstrain_engine.dir/engine/executor.cc.o.d"
+  "CMakeFiles/dstrain_engine.dir/engine/iteration_result.cc.o"
+  "CMakeFiles/dstrain_engine.dir/engine/iteration_result.cc.o.d"
+  "CMakeFiles/dstrain_engine.dir/engine/trace_export.cc.o"
+  "CMakeFiles/dstrain_engine.dir/engine/trace_export.cc.o.d"
+  "libdstrain_engine.a"
+  "libdstrain_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

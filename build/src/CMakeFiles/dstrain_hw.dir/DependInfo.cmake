@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cc" "src/CMakeFiles/dstrain_hw.dir/hw/cluster.cc.o" "gcc" "src/CMakeFiles/dstrain_hw.dir/hw/cluster.cc.o.d"
+  "/root/repo/src/hw/link.cc" "src/CMakeFiles/dstrain_hw.dir/hw/link.cc.o" "gcc" "src/CMakeFiles/dstrain_hw.dir/hw/link.cc.o.d"
+  "/root/repo/src/hw/node_builder.cc" "src/CMakeFiles/dstrain_hw.dir/hw/node_builder.cc.o" "gcc" "src/CMakeFiles/dstrain_hw.dir/hw/node_builder.cc.o.d"
+  "/root/repo/src/hw/routing.cc" "src/CMakeFiles/dstrain_hw.dir/hw/routing.cc.o" "gcc" "src/CMakeFiles/dstrain_hw.dir/hw/routing.cc.o.d"
+  "/root/repo/src/hw/serdes.cc" "src/CMakeFiles/dstrain_hw.dir/hw/serdes.cc.o" "gcc" "src/CMakeFiles/dstrain_hw.dir/hw/serdes.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/CMakeFiles/dstrain_hw.dir/hw/topology.cc.o" "gcc" "src/CMakeFiles/dstrain_hw.dir/hw/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

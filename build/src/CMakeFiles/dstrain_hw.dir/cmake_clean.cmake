@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_hw.dir/hw/cluster.cc.o"
+  "CMakeFiles/dstrain_hw.dir/hw/cluster.cc.o.d"
+  "CMakeFiles/dstrain_hw.dir/hw/link.cc.o"
+  "CMakeFiles/dstrain_hw.dir/hw/link.cc.o.d"
+  "CMakeFiles/dstrain_hw.dir/hw/node_builder.cc.o"
+  "CMakeFiles/dstrain_hw.dir/hw/node_builder.cc.o.d"
+  "CMakeFiles/dstrain_hw.dir/hw/routing.cc.o"
+  "CMakeFiles/dstrain_hw.dir/hw/routing.cc.o.d"
+  "CMakeFiles/dstrain_hw.dir/hw/serdes.cc.o"
+  "CMakeFiles/dstrain_hw.dir/hw/serdes.cc.o.d"
+  "CMakeFiles/dstrain_hw.dir/hw/topology.cc.o"
+  "CMakeFiles/dstrain_hw.dir/hw/topology.cc.o.d"
+  "libdstrain_hw.a"
+  "libdstrain_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memplan/capacity_solver.cc" "src/CMakeFiles/dstrain_memplan.dir/memplan/capacity_solver.cc.o" "gcc" "src/CMakeFiles/dstrain_memplan.dir/memplan/capacity_solver.cc.o.d"
+  "/root/repo/src/memplan/composition.cc" "src/CMakeFiles/dstrain_memplan.dir/memplan/composition.cc.o" "gcc" "src/CMakeFiles/dstrain_memplan.dir/memplan/composition.cc.o.d"
+  "/root/repo/src/memplan/footprint.cc" "src/CMakeFiles/dstrain_memplan.dir/memplan/footprint.cc.o" "gcc" "src/CMakeFiles/dstrain_memplan.dir/memplan/footprint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

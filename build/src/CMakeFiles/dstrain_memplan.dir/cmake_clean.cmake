@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_memplan.dir/memplan/capacity_solver.cc.o"
+  "CMakeFiles/dstrain_memplan.dir/memplan/capacity_solver.cc.o.d"
+  "CMakeFiles/dstrain_memplan.dir/memplan/composition.cc.o"
+  "CMakeFiles/dstrain_memplan.dir/memplan/composition.cc.o.d"
+  "CMakeFiles/dstrain_memplan.dir/memplan/footprint.cc.o"
+  "CMakeFiles/dstrain_memplan.dir/memplan/footprint.cc.o.d"
+  "libdstrain_memplan.a"
+  "libdstrain_memplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_memplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/flops.cc" "src/CMakeFiles/dstrain_model.dir/model/flops.cc.o" "gcc" "src/CMakeFiles/dstrain_model.dir/model/flops.cc.o.d"
+  "/root/repo/src/model/memory.cc" "src/CMakeFiles/dstrain_model.dir/model/memory.cc.o" "gcc" "src/CMakeFiles/dstrain_model.dir/model/memory.cc.o.d"
+  "/root/repo/src/model/parallelism.cc" "src/CMakeFiles/dstrain_model.dir/model/parallelism.cc.o" "gcc" "src/CMakeFiles/dstrain_model.dir/model/parallelism.cc.o.d"
+  "/root/repo/src/model/size_ladder.cc" "src/CMakeFiles/dstrain_model.dir/model/size_ladder.cc.o" "gcc" "src/CMakeFiles/dstrain_model.dir/model/size_ladder.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/CMakeFiles/dstrain_model.dir/model/transformer.cc.o" "gcc" "src/CMakeFiles/dstrain_model.dir/model/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_model.dir/model/flops.cc.o"
+  "CMakeFiles/dstrain_model.dir/model/flops.cc.o.d"
+  "CMakeFiles/dstrain_model.dir/model/memory.cc.o"
+  "CMakeFiles/dstrain_model.dir/model/memory.cc.o.d"
+  "CMakeFiles/dstrain_model.dir/model/parallelism.cc.o"
+  "CMakeFiles/dstrain_model.dir/model/parallelism.cc.o.d"
+  "CMakeFiles/dstrain_model.dir/model/size_ladder.cc.o"
+  "CMakeFiles/dstrain_model.dir/model/size_ladder.cc.o.d"
+  "CMakeFiles/dstrain_model.dir/model/transformer.cc.o"
+  "CMakeFiles/dstrain_model.dir/model/transformer.cc.o.d"
+  "libdstrain_model.a"
+  "libdstrain_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

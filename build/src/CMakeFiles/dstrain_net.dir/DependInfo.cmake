@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow.cc" "src/CMakeFiles/dstrain_net.dir/net/flow.cc.o" "gcc" "src/CMakeFiles/dstrain_net.dir/net/flow.cc.o.d"
+  "/root/repo/src/net/flow_scheduler.cc" "src/CMakeFiles/dstrain_net.dir/net/flow_scheduler.cc.o" "gcc" "src/CMakeFiles/dstrain_net.dir/net/flow_scheduler.cc.o.d"
+  "/root/repo/src/net/stress_test.cc" "src/CMakeFiles/dstrain_net.dir/net/stress_test.cc.o" "gcc" "src/CMakeFiles/dstrain_net.dir/net/stress_test.cc.o.d"
+  "/root/repo/src/net/transfer_manager.cc" "src/CMakeFiles/dstrain_net.dir/net/transfer_manager.cc.o" "gcc" "src/CMakeFiles/dstrain_net.dir/net/transfer_manager.cc.o.d"
+  "/root/repo/src/net/verbs.cc" "src/CMakeFiles/dstrain_net.dir/net/verbs.cc.o" "gcc" "src/CMakeFiles/dstrain_net.dir/net/verbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

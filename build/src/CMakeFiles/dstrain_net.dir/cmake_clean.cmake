@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_net.dir/net/flow.cc.o"
+  "CMakeFiles/dstrain_net.dir/net/flow.cc.o.d"
+  "CMakeFiles/dstrain_net.dir/net/flow_scheduler.cc.o"
+  "CMakeFiles/dstrain_net.dir/net/flow_scheduler.cc.o.d"
+  "CMakeFiles/dstrain_net.dir/net/stress_test.cc.o"
+  "CMakeFiles/dstrain_net.dir/net/stress_test.cc.o.d"
+  "CMakeFiles/dstrain_net.dir/net/transfer_manager.cc.o"
+  "CMakeFiles/dstrain_net.dir/net/transfer_manager.cc.o.d"
+  "CMakeFiles/dstrain_net.dir/net/verbs.cc.o"
+  "CMakeFiles/dstrain_net.dir/net/verbs.cc.o.d"
+  "libdstrain_net.a"
+  "libdstrain_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/dstrain_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/dstrain_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/dstrain_sim.dir/sim/simulation.cc.o.d"
+  "libdstrain_sim.a"
+  "libdstrain_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

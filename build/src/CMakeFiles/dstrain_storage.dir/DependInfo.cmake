@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/aio_engine.cc" "src/CMakeFiles/dstrain_storage.dir/storage/aio_engine.cc.o" "gcc" "src/CMakeFiles/dstrain_storage.dir/storage/aio_engine.cc.o.d"
+  "/root/repo/src/storage/nvme_device.cc" "src/CMakeFiles/dstrain_storage.dir/storage/nvme_device.cc.o" "gcc" "src/CMakeFiles/dstrain_storage.dir/storage/nvme_device.cc.o.d"
+  "/root/repo/src/storage/placement.cc" "src/CMakeFiles/dstrain_storage.dir/storage/placement.cc.o" "gcc" "src/CMakeFiles/dstrain_storage.dir/storage/placement.cc.o.d"
+  "/root/repo/src/storage/volume.cc" "src/CMakeFiles/dstrain_storage.dir/storage/volume.cc.o" "gcc" "src/CMakeFiles/dstrain_storage.dir/storage/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

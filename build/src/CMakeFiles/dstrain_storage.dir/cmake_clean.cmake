@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_storage.dir/storage/aio_engine.cc.o"
+  "CMakeFiles/dstrain_storage.dir/storage/aio_engine.cc.o.d"
+  "CMakeFiles/dstrain_storage.dir/storage/nvme_device.cc.o"
+  "CMakeFiles/dstrain_storage.dir/storage/nvme_device.cc.o.d"
+  "CMakeFiles/dstrain_storage.dir/storage/placement.cc.o"
+  "CMakeFiles/dstrain_storage.dir/storage/placement.cc.o.d"
+  "CMakeFiles/dstrain_storage.dir/storage/volume.cc.o"
+  "CMakeFiles/dstrain_storage.dir/storage/volume.cc.o.d"
+  "libdstrain_storage.a"
+  "libdstrain_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

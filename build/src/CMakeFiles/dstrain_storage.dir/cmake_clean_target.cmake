@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdstrain_storage.a"
+)

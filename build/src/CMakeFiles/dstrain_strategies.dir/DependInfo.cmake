@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategies/ddp.cc" "src/CMakeFiles/dstrain_strategies.dir/strategies/ddp.cc.o" "gcc" "src/CMakeFiles/dstrain_strategies.dir/strategies/ddp.cc.o.d"
+  "/root/repo/src/strategies/hybrid_zero.cc" "src/CMakeFiles/dstrain_strategies.dir/strategies/hybrid_zero.cc.o" "gcc" "src/CMakeFiles/dstrain_strategies.dir/strategies/hybrid_zero.cc.o.d"
+  "/root/repo/src/strategies/iteration_plan.cc" "src/CMakeFiles/dstrain_strategies.dir/strategies/iteration_plan.cc.o" "gcc" "src/CMakeFiles/dstrain_strategies.dir/strategies/iteration_plan.cc.o.d"
+  "/root/repo/src/strategies/megatron.cc" "src/CMakeFiles/dstrain_strategies.dir/strategies/megatron.cc.o" "gcc" "src/CMakeFiles/dstrain_strategies.dir/strategies/megatron.cc.o.d"
+  "/root/repo/src/strategies/strategy.cc" "src/CMakeFiles/dstrain_strategies.dir/strategies/strategy.cc.o" "gcc" "src/CMakeFiles/dstrain_strategies.dir/strategies/strategy.cc.o.d"
+  "/root/repo/src/strategies/zero.cc" "src/CMakeFiles/dstrain_strategies.dir/strategies/zero.cc.o" "gcc" "src/CMakeFiles/dstrain_strategies.dir/strategies/zero.cc.o.d"
+  "/root/repo/src/strategies/zero_infinity.cc" "src/CMakeFiles/dstrain_strategies.dir/strategies/zero_infinity.cc.o" "gcc" "src/CMakeFiles/dstrain_strategies.dir/strategies/zero_infinity.cc.o.d"
+  "/root/repo/src/strategies/zero_offload.cc" "src/CMakeFiles/dstrain_strategies.dir/strategies/zero_offload.cc.o" "gcc" "src/CMakeFiles/dstrain_strategies.dir/strategies/zero_offload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_memplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_strategies.dir/strategies/ddp.cc.o"
+  "CMakeFiles/dstrain_strategies.dir/strategies/ddp.cc.o.d"
+  "CMakeFiles/dstrain_strategies.dir/strategies/hybrid_zero.cc.o"
+  "CMakeFiles/dstrain_strategies.dir/strategies/hybrid_zero.cc.o.d"
+  "CMakeFiles/dstrain_strategies.dir/strategies/iteration_plan.cc.o"
+  "CMakeFiles/dstrain_strategies.dir/strategies/iteration_plan.cc.o.d"
+  "CMakeFiles/dstrain_strategies.dir/strategies/megatron.cc.o"
+  "CMakeFiles/dstrain_strategies.dir/strategies/megatron.cc.o.d"
+  "CMakeFiles/dstrain_strategies.dir/strategies/strategy.cc.o"
+  "CMakeFiles/dstrain_strategies.dir/strategies/strategy.cc.o.d"
+  "CMakeFiles/dstrain_strategies.dir/strategies/zero.cc.o"
+  "CMakeFiles/dstrain_strategies.dir/strategies/zero.cc.o.d"
+  "CMakeFiles/dstrain_strategies.dir/strategies/zero_infinity.cc.o"
+  "CMakeFiles/dstrain_strategies.dir/strategies/zero_infinity.cc.o.d"
+  "CMakeFiles/dstrain_strategies.dir/strategies/zero_offload.cc.o"
+  "CMakeFiles/dstrain_strategies.dir/strategies/zero_offload.cc.o.d"
+  "libdstrain_strategies.a"
+  "libdstrain_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

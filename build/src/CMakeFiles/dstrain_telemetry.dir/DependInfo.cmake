@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/probe.cc" "src/CMakeFiles/dstrain_telemetry.dir/telemetry/probe.cc.o" "gcc" "src/CMakeFiles/dstrain_telemetry.dir/telemetry/probe.cc.o.d"
+  "/root/repo/src/telemetry/series.cc" "src/CMakeFiles/dstrain_telemetry.dir/telemetry/series.cc.o" "gcc" "src/CMakeFiles/dstrain_telemetry.dir/telemetry/series.cc.o.d"
+  "/root/repo/src/telemetry/summary.cc" "src/CMakeFiles/dstrain_telemetry.dir/telemetry/summary.cc.o" "gcc" "src/CMakeFiles/dstrain_telemetry.dir/telemetry/summary.cc.o.d"
+  "/root/repo/src/telemetry/timeline.cc" "src/CMakeFiles/dstrain_telemetry.dir/telemetry/timeline.cc.o" "gcc" "src/CMakeFiles/dstrain_telemetry.dir/telemetry/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

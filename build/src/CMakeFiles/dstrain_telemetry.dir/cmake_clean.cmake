@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_telemetry.dir/telemetry/probe.cc.o"
+  "CMakeFiles/dstrain_telemetry.dir/telemetry/probe.cc.o.d"
+  "CMakeFiles/dstrain_telemetry.dir/telemetry/series.cc.o"
+  "CMakeFiles/dstrain_telemetry.dir/telemetry/series.cc.o.d"
+  "CMakeFiles/dstrain_telemetry.dir/telemetry/summary.cc.o"
+  "CMakeFiles/dstrain_telemetry.dir/telemetry/summary.cc.o.d"
+  "CMakeFiles/dstrain_telemetry.dir/telemetry/timeline.cc.o"
+  "CMakeFiles/dstrain_telemetry.dir/telemetry/timeline.cc.o.d"
+  "libdstrain_telemetry.a"
+  "libdstrain_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

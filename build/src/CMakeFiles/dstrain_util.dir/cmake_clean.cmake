@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_util.dir/util/args.cc.o"
+  "CMakeFiles/dstrain_util.dir/util/args.cc.o.d"
+  "CMakeFiles/dstrain_util.dir/util/logging.cc.o"
+  "CMakeFiles/dstrain_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/dstrain_util.dir/util/stats.cc.o"
+  "CMakeFiles/dstrain_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/dstrain_util.dir/util/strings.cc.o"
+  "CMakeFiles/dstrain_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/dstrain_util.dir/util/table.cc.o"
+  "CMakeFiles/dstrain_util.dir/util/table.cc.o.d"
+  "CMakeFiles/dstrain_util.dir/util/units.cc.o"
+  "CMakeFiles/dstrain_util.dir/util/units.cc.o.d"
+  "libdstrain_util.a"
+  "libdstrain_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives.dir/collectives/algorithms_test.cc.o"
+  "CMakeFiles/test_collectives.dir/collectives/algorithms_test.cc.o.d"
+  "CMakeFiles/test_collectives.dir/collectives/communicator_test.cc.o"
+  "CMakeFiles/test_collectives.dir/collectives/communicator_test.cc.o.d"
+  "CMakeFiles/test_collectives.dir/collectives/scaling_test.cc.o"
+  "CMakeFiles/test_collectives.dir/collectives/scaling_test.cc.o.d"
+  "CMakeFiles/test_collectives.dir/collectives/volume_test.cc.o"
+  "CMakeFiles/test_collectives.dir/collectives/volume_test.cc.o.d"
+  "test_collectives"
+  "test_collectives.pdb"
+  "test_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/cluster_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/cluster_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/link_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/link_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/routing_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/routing_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/serdes_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/serdes_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/topology_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/topology_test.cc.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memplan.dir/memplan/capacity_solver_test.cc.o"
+  "CMakeFiles/test_memplan.dir/memplan/capacity_solver_test.cc.o.d"
+  "CMakeFiles/test_memplan.dir/memplan/composition_test.cc.o"
+  "CMakeFiles/test_memplan.dir/memplan/composition_test.cc.o.d"
+  "CMakeFiles/test_memplan.dir/memplan/footprint_test.cc.o"
+  "CMakeFiles/test_memplan.dir/memplan/footprint_test.cc.o.d"
+  "test_memplan"
+  "test_memplan.pdb"
+  "test_memplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

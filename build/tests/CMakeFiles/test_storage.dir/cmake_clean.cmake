@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage.dir/storage/aio_engine_test.cc.o"
+  "CMakeFiles/test_storage.dir/storage/aio_engine_test.cc.o.d"
+  "CMakeFiles/test_storage.dir/storage/nvme_device_test.cc.o"
+  "CMakeFiles/test_storage.dir/storage/nvme_device_test.cc.o.d"
+  "CMakeFiles/test_storage.dir/storage/placement_test.cc.o"
+  "CMakeFiles/test_storage.dir/storage/placement_test.cc.o.d"
+  "CMakeFiles/test_storage.dir/storage/volume_test.cc.o"
+  "CMakeFiles/test_storage.dir/storage/volume_test.cc.o.d"
+  "test_storage"
+  "test_storage.pdb"
+  "test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

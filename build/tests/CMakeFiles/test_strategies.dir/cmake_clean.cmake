@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategies.dir/strategies/ddp_test.cc.o"
+  "CMakeFiles/test_strategies.dir/strategies/ddp_test.cc.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/hybrid_zero_test.cc.o"
+  "CMakeFiles/test_strategies.dir/strategies/hybrid_zero_test.cc.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/iteration_plan_test.cc.o"
+  "CMakeFiles/test_strategies.dir/strategies/iteration_plan_test.cc.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/megatron_test.cc.o"
+  "CMakeFiles/test_strategies.dir/strategies/megatron_test.cc.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/zero_infinity_test.cc.o"
+  "CMakeFiles/test_strategies.dir/strategies/zero_infinity_test.cc.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/zero_offload_test.cc.o"
+  "CMakeFiles/test_strategies.dir/strategies/zero_offload_test.cc.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/zero_test.cc.o"
+  "CMakeFiles/test_strategies.dir/strategies/zero_test.cc.o.d"
+  "test_strategies"
+  "test_strategies.pdb"
+  "test_strategies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/args_test.cc" "tests/CMakeFiles/test_util.dir/util/args_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/args_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/test_util.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/test_util.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/test_util.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/strings_test.cc" "tests/CMakeFiles/test_util.dir/util/strings_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/strings_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/test_util.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cc.o.d"
+  "/root/repo/tests/util/units_test.cc" "tests/CMakeFiles/test_util.dir/util/units_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dstrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_memplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dstrain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstrain_cli.dir/dstrain_cli.cc.o"
+  "CMakeFiles/dstrain_cli.dir/dstrain_cli.cc.o.d"
+  "dstrain"
+  "dstrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstrain_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
