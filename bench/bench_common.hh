@@ -8,6 +8,8 @@
 #ifndef DSTRAIN_BENCH_BENCH_COMMON_HH
 #define DSTRAIN_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +19,84 @@
 #include "util/logging.hh"
 
 namespace dstrain::bench {
+
+/** Wall-clock stopwatch for bench timing. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Minimal JSON object builder for machine-readable bench output
+ * (keys and string values are emitted verbatim — callers pass plain
+ * identifiers, not arbitrary text needing escapes).
+ */
+class JsonObject
+{
+  public:
+    JsonObject &
+    add(const std::string &key, double value)
+    {
+        return addRaw(key, csprintf("%.6g", value));
+    }
+
+    JsonObject &
+    add(const std::string &key, std::uint64_t value)
+    {
+        return addRaw(key,
+                      csprintf("%llu",
+                               static_cast<unsigned long long>(value)));
+    }
+
+    JsonObject &
+    add(const std::string &key, int value)
+    {
+        return addRaw(key, csprintf("%d", value));
+    }
+
+    JsonObject &
+    add(const std::string &key, bool value)
+    {
+        return addRaw(key, value ? "true" : "false");
+    }
+
+    JsonObject &
+    add(const std::string &key, const std::string &value)
+    {
+        return addRaw(key, "\"" + value + "\"");
+    }
+
+    /** Nest a pre-rendered JSON value (object, array, number). */
+    JsonObject &
+    addRaw(const std::string &key, const std::string &json)
+    {
+        if (!body_.empty())
+            body_ += ",";
+        body_ += "\"" + key + "\":" + json;
+        return *this;
+    }
+
+    std::string str() const { return "{" + body_ + "}"; }
+
+  private:
+    std::string body_;
+};
 
 /** Standard iteration settings for the reproduction runs. */
 inline void

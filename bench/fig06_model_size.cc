@@ -2,7 +2,11 @@
  * @file
  * Paper Fig. 6: achieved model size (billions of parameters) for
  * DDP, Megatron-LM and ZeRO-1/2/3 in single-node (a) and dual-node
- * (b) training, via the capacity solver.
+ * (b) training. Every configuration is simulated end-to-end (the
+ * capacity solver resolves the size, the executor confirms it runs),
+ * with the points dispatched through the parallel SweepRunner:
+ *
+ *   ./fig06_model_size [--jobs N]
  */
 
 #include <iostream>
@@ -10,13 +14,21 @@
 #include <string>
 
 #include "bench_common.hh"
-#include "memplan/capacity_solver.hh"
+#include "core/sweep_runner.hh"
+#include "util/args.hh"
 
 using namespace dstrain;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("fig06_model_size",
+                   "achieved model size, single- and dual-node");
+    args.addOption("jobs", "1",
+                   "worker threads (0 = one per hardware thread)");
+    if (!args.parse(argc, argv))
+        return 1;
+
     bench::banner("Fig. 6 — achieved model size (B parameters)");
 
     const std::map<std::string, double> paper_single = {
@@ -28,31 +40,53 @@ main()
         {"ZeRO-2", 8.5}, {"ZeRO-3", 13.5},
     };
 
+    // One sweep over both node counts; results come back in config
+    // order regardless of the job count.
+    std::vector<ExperimentConfig> configs;
+    for (int nodes : {1, 2}) {
+        for (const StrategyConfig &s : comparisonLineup(nodes)) {
+            ExperimentConfig cfg = paperExperiment(nodes, s);
+            bench::applyRunSettings(cfg);
+            configs.push_back(std::move(cfg));
+        }
+    }
+
+    SweepRunner runner(args.getInt("jobs"));
+    bench::Stopwatch watch;
+    const std::vector<ExperimentReport> reports =
+        runner.run(std::move(configs));
+    const double sweep_secs = watch.seconds();
+
+    std::size_t next = 0;
     for (int nodes : {1, 2}) {
         const auto &paper = nodes == 1 ? paper_single : paper_dual;
         std::cout << "\n--- " << (nodes == 1 ? "Single" : "Dual")
                   << " node ---\n";
         TextTable table({"Configuration", "Achieved size (B)",
                          "Paper (B)", "Max layers",
-                         "GPU bytes/GPU (GB)"});
+                         "GPU bytes/GPU (GB)", "TFLOP/s"});
         std::vector<std::string> labels;
         std::vector<double> sizes;
         for (const StrategyConfig &s : comparisonLineup(nodes)) {
-            const CapacityResult r =
-                solveMaxModel(s, xe8545Cluster(nodes), 16);
+            const ExperimentReport &r = reports[next++];
             const std::string kind_name = strategyKindName(s.kind);
             table.addRow({
                 s.displayName(),
-                csprintf("%.1f", r.entry.billions),
+                csprintf("%.1f", r.model.billions),
                 csprintf("%.1f", paper.at(kind_name)),
-                csprintf("%d", r.max_layers),
-                csprintf("%.1f", r.footprint.gpu_per_gpu / units::GB),
+                csprintf("%d", r.model.layers),
+                csprintf("%.1f",
+                         r.footprint.gpu_per_gpu / units::GB),
+                csprintf("%.0f", r.tflops),
             });
             labels.push_back(s.displayName());
-            sizes.push_back(r.entry.billions);
+            sizes.push_back(r.model.billions);
         }
         std::cout << table << "\n"
                   << barChart(labels, sizes, "B params");
     }
+    std::cout << csprintf("\nsweep: %zu points, %d job(s), %.2f s "
+                          "wall-clock\n",
+                          reports.size(), runner.jobs(), sweep_secs);
     return 0;
 }

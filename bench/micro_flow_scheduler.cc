@@ -1,0 +1,175 @@
+/**
+ * @file
+ * JSON-emitting micro-benchmark of the simulator hot paths: the
+ * flow scheduler's water-filling (dense contended scenario), the
+ * event queue's schedule/cancel/pop churn, and the SweepRunner's
+ * jobs=1 vs jobs=N wall-clock on a small experiment sweep (with a
+ * byte-identity check of the two result sets).
+ *
+ * Output is one JSON object per line so the bench trajectory can be
+ * recorded and diffed across revisions:
+ *
+ *   ./micro_flow_scheduler [--jobs N] [--waves W] [--per-wave F]
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/sweep_runner.hh"
+#include "net/flow_scheduler.hh"
+#include "util/args.hh"
+
+using namespace dstrain;
+
+namespace {
+
+/**
+ * Dense-flow scenario: waves of contending flows across the
+ * dual-node cluster, so completions and admissions constantly
+ * overlap and the scheduler mixes full recomputes with the
+ * incremental paths.
+ */
+bench::JsonObject
+denseFlowScenario(int waves, int per_wave)
+{
+    bench::Stopwatch watch;
+    Simulation sim;
+    Cluster cluster(xe8545Cluster(2));
+    FlowScheduler sched(sim, cluster.topology());
+
+    int done = 0;
+    for (int w = 0; w < waves; ++w) {
+        sim.events().schedule(w * 0.01, [&, w] {
+            for (int i = 0; i < per_wave; ++i) {
+                FlowSpec spec;
+                const int src = (i + w) % 8;
+                int dst = (i * 3 + w) % 8;
+                if (dst == src)
+                    dst = (dst + 1) % 8;
+                spec.route = cluster.router().route(
+                    cluster.gpuByRank(src), cluster.gpuByRank(dst));
+                spec.bytes = 1e8 + 1e6 * i;
+                spec.on_complete = [&done] { ++done; };
+                sched.start(std::move(spec));
+            }
+        });
+    }
+    sim.run();
+    const double secs = watch.seconds();
+    const FlowScheduler::Stats &stats = sched.stats();
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("dense_flows"))
+        .add("flows", done)
+        .add("events", sim.events().executedCount())
+        .add("wall_seconds", secs)
+        .add("events_per_sec", sim.events().executedCount() / secs)
+        .add("recomputes", stats.recomputes)
+        .add("recomputes_per_sec", stats.recomputes / secs)
+        .add("fast_starts", stats.fast_starts)
+        .add("fast_finishes", stats.fast_finishes);
+    return json;
+}
+
+/** Event-queue churn: schedule bursts, cancel half, pop the rest. */
+bench::JsonObject
+eventQueueChurn()
+{
+    constexpr int kRounds = 200;
+    constexpr int kBurst = 2000;
+    bench::Stopwatch watch;
+    EventQueue q;
+    std::uint64_t ops = 0;
+    int fired = 0;
+    for (int r = 0; r < kRounds; ++r) {
+        EventId ids[kBurst];
+        const SimTime base = q.now();
+        for (int i = 0; i < kBurst; ++i) {
+            ids[i] = q.schedule(base + 1e-6 * (i % 97 + 1),
+                                [&fired] { ++fired; });
+        }
+        for (int i = 0; i < kBurst; i += 2)
+            q.cancel(ids[i]);
+        q.run();
+        ops += 2 * kBurst + kBurst / 2;  // schedule + pop + cancel
+    }
+    const double secs = watch.seconds();
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("event_queue_churn"))
+        .add("ops", ops)
+        .add("executed", q.executedCount())
+        .add("wall_seconds", secs)
+        .add("ops_per_sec", ops / secs);
+    return json;
+}
+
+/** The sweep used for the jobs=1 vs jobs=N comparison. */
+std::vector<ExperimentConfig>
+sweepPoints()
+{
+    std::vector<ExperimentConfig> configs;
+    for (const StrategyConfig &s : comparisonLineup(1)) {
+        ExperimentConfig cfg = paperExperiment(1, s);
+        bench::applyRunSettings(cfg, 3);
+        configs.push_back(std::move(cfg));
+    }
+    return configs;
+}
+
+bench::JsonObject
+sweepComparison(int jobs)
+{
+    bench::Stopwatch watch;
+    const std::vector<ExperimentReport> serial =
+        SweepRunner(1).run(sweepPoints());
+    const double serial_secs = watch.seconds();
+
+    watch.reset();
+    const std::vector<ExperimentReport> parallel =
+        SweepRunner(jobs).run(sweepPoints());
+    const double parallel_secs = watch.seconds();
+
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+        identical = reportFingerprint(serial[i]) ==
+                    reportFingerprint(parallel[i]);
+    }
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("sweep_jobs"))
+        .add("points", static_cast<std::uint64_t>(serial.size()))
+        .add("jobs", jobs)
+        .add("jobs1_wall_seconds", serial_secs)
+        .add("jobsN_wall_seconds", parallel_secs)
+        .add("speedup", serial_secs / parallel_secs)
+        .add("reports_identical", identical);
+    return json;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("micro_flow_scheduler",
+                   "hot-path micro-benchmarks (JSON per line)");
+    args.addOption("jobs", "0",
+                   "sweep worker threads (0 = one per hardware "
+                   "thread)");
+    args.addOption("waves", "60", "dense-flow scenario waves");
+    args.addOption("per-wave", "64", "flows per wave");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    setLogLevel(LogLevel::Silent);  // keep stdout pure JSON
+    std::cout << denseFlowScenario(args.getInt("waves"),
+                                   args.getInt("per-wave"))
+                     .str()
+              << "\n";
+    std::cout << eventQueueChurn().str() << "\n";
+    std::cout << sweepComparison(SweepRunner(args.getInt("jobs")).jobs())
+                     .str()
+              << "\n";
+    return 0;
+}

@@ -4,19 +4,30 @@
  * utilization (average, 90th percentile, peak) on every interconnect
  * class, for all six sections of the table: single-node, dual-node,
  * CPU-offload consolidation, ZeRO-Infinity with 1x and 2x NVMe, and
- * the largest-model offload configurations.
+ * the largest-model offload configurations. All rows run as one
+ * sweep through the parallel SweepRunner:
+ *
+ *   ./table4_bandwidth [--jobs N]
  */
 
 #include <iostream>
 
 #include "bench_common.hh"
+#include "core/sweep_runner.hh"
+#include "util/args.hh"
 
 using namespace dstrain;
 
 namespace {
 
+/** The whole table, flattened: section boundaries plus sweep points. */
+struct Row {
+    std::string section;  ///< non-empty: a section header row
+    std::string name;     ///< configuration label for sweep points
+};
+
 void
-section(TextTable &table, const std::string &title)
+addSection(TextTable &table, const std::string &title)
 {
     table.addSeparator();
     std::vector<std::string> row = {"-- " + title + " --"};
@@ -25,68 +36,91 @@ section(TextTable &table, const std::string &title)
     table.addSeparator();
 }
 
-void
-runRow(TextTable &table, ExperimentConfig cfg, const std::string &name)
-{
-    dstrain::bench::applyRunSettings(cfg, 4);
-    Experiment exp(std::move(cfg));
-    ExperimentReport r = exp.run();
-    BandwidthRow row = r.bandwidth;
-    row.config = name;
-    addBandwidthRow(table, row);
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("table4_bandwidth",
+                   "Table IV bandwidth utilization rows");
+    args.addOption("jobs", "1",
+                   "worker threads (0 = one per hardware thread)");
+    if (!args.parse(argc, argv))
+        return 1;
+
     bench::banner("Table IV — bandwidth utilization "
                   "(avg / 90th / peak, GBps, per node)");
 
-    TextTable table = makeBandwidthTable();
+    std::vector<Row> rows;
+    std::vector<ExperimentConfig> configs;
+    auto section = [&](const std::string &title) {
+        rows.push_back(Row{title, ""});
+    };
+    auto point = [&](ExperimentConfig cfg, const std::string &name) {
+        bench::applyRunSettings(cfg, 4);
+        rows.push_back(Row{"", name});
+        configs.push_back(std::move(cfg));
+    };
 
-    section(table, "Single node (Sec. IV-E1)");
+    section("Single node (Sec. IV-E1)");
     for (const StrategyConfig &s : comparisonLineup(1))
-        runRow(table, paperExperiment(1, s), s.displayName());
+        point(paperExperiment(1, s), s.displayName());
 
-    section(table, "Dual nodes (Sec. IV-E2)");
+    section("Dual nodes (Sec. IV-E2)");
     for (const StrategyConfig &s : comparisonLineup(2))
-        runRow(table, paperExperiment(2, s), s.displayName());
+        point(paperExperiment(2, s), s.displayName());
 
-    section(table, "Consolidate with ZeRO-Offload (Sec. V-A)");
-    runRow(table,
-           paperExperiment(1, StrategyConfig::zeroOffloadCpu(2), 11.4),
-           "ZeRO-2 (CPU)");
-    runRow(table,
-           paperExperiment(1, StrategyConfig::zeroOffloadCpu(3), 11.4),
-           "ZeRO-3 (CPU)");
+    section("Consolidate with ZeRO-Offload (Sec. V-A)");
+    point(paperExperiment(1, StrategyConfig::zeroOffloadCpu(2), 11.4),
+          "ZeRO-2 (CPU)");
+    point(paperExperiment(1, StrategyConfig::zeroOffloadCpu(3), 11.4),
+          "ZeRO-3 (CPU)");
 
     for (char placement : {'A', 'B'}) {
-        section(table, csprintf("ZeRO-Infinity (%dx NVMe) (Sec. V-B)",
-                                placement == 'A' ? 1 : 2));
+        section(csprintf("ZeRO-Infinity (%dx NVMe) (Sec. V-B)",
+                         placement == 'A' ? 1 : 2));
         for (bool params_too : {false, true}) {
             ExperimentConfig cfg = paperExperiment(
                 1, StrategyConfig::zeroInfinityNvme(params_too), 11.4);
             cfg.placement = nvmePlacementConfig(placement);
-            runRow(table, std::move(cfg),
-                   params_too ? "Optimizer & Parameter" : "Optimizer");
+            point(std::move(cfg),
+                  params_too ? "Optimizer & Parameter" : "Optimizer");
         }
     }
 
-    section(table, "Largest single-node model (Sec. V-C)");
-    runRow(table, paperExperiment(1, StrategyConfig::zeroOffloadCpu(1)),
-           "ZeRO-1 (CPU)");
-    runRow(table, paperExperiment(1, StrategyConfig::zeroOffloadCpu(2)),
-           "ZeRO-2 (CPU)");
-    runRow(table,
-           paperExperiment(1, StrategyConfig::zeroInfinityNvme(true)),
-           "ZeRO-3 (2x NVMe)");
+    section("Largest single-node model (Sec. V-C)");
+    point(paperExperiment(1, StrategyConfig::zeroOffloadCpu(1)),
+          "ZeRO-1 (CPU)");
+    point(paperExperiment(1, StrategyConfig::zeroOffloadCpu(2)),
+          "ZeRO-2 (CPU)");
+    point(paperExperiment(1, StrategyConfig::zeroInfinityNvme(true)),
+          "ZeRO-3 (2x NVMe)");
+
+    SweepRunner runner(args.getInt("jobs"));
+    bench::Stopwatch watch;
+    const std::vector<ExperimentReport> reports =
+        runner.run(std::move(configs));
+    const double sweep_secs = watch.seconds();
+
+    TextTable table = makeBandwidthTable();
+    std::size_t next = 0;
+    for (const Row &row : rows) {
+        if (!row.section.empty()) {
+            addSection(table, row.section);
+            continue;
+        }
+        BandwidthRow bw = reports[next++].bandwidth;
+        bw.config = row.name;
+        addBandwidthRow(table, bw);
+    }
 
     std::cout << table << "\n"
               << "Shapes to compare with the paper's Table IV: NVLink "
                  "dominates single-node;\nPCIe/RoCE/xGMI wake up "
                  "dual-node; DRAM+xGMI carry CPU offload; PCIe-NVME\n"
-                 "bursts appear only for ZeRO-Infinity.\n";
+                 "bursts appear only for ZeRO-Infinity.\n"
+              << csprintf("\nsweep: %zu points, %d job(s), %.2f s "
+                          "wall-clock\n",
+                          reports.size(), runner.jobs(), sweep_secs);
     return 0;
 }

@@ -123,4 +123,36 @@ sparkline(const std::vector<double> &values, int width)
     return out;
 }
 
+std::string
+reportFingerprint(const ExperimentReport &report)
+{
+    std::string out;
+    out += report.strategy.displayName();
+    out += csprintf("|model=%a/%d/%lld", report.model.billions,
+                    report.model.layers,
+                    static_cast<long long>(report.model.params));
+    out += csprintf("|iter=%a|tflops=%a", report.iteration_time,
+                    report.tflops);
+    out += csprintf("|fp=%a/%a/%a", report.footprint.gpu_per_gpu,
+                    report.footprint.cpu_per_node,
+                    report.footprint.nvme_per_node);
+    out += csprintf("|mem=%a/%a/%a", report.composition.gpu,
+                    report.composition.cpu, report.composition.nvme);
+    out += "|bw=";
+    for (const BandwidthSummary &s : report.bandwidth.per_class)
+        out += csprintf("%a/%a/%a;", s.avg, s.p90, s.peak);
+    out += csprintf("|win=%a..%a|flops=%a",
+                    report.execution.measured_begin,
+                    report.execution.measured_end,
+                    report.execution.flops_per_iteration);
+    out += "|ends=";
+    for (SimTime t : report.execution.iteration_ends)
+        out += csprintf("%a;", t);
+    out += csprintf("|spans=%zu", report.execution.spans.size());
+    for (const TaskSpan &s : report.execution.spans)
+        out += csprintf("%d/%d/%a/%a;", s.task_id, s.rank, s.begin,
+                        s.end);
+    return out;
+}
+
 } // namespace dstrain

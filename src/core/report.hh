@@ -42,6 +42,15 @@ std::string barChart(const std::vector<std::string> &labels,
  */
 std::string sparkline(const std::vector<double> &values, int width = 80);
 
+/**
+ * A bit-exact serialization of every numeric field of a report
+ * (floats rendered with the hex "%a" format, so two fingerprints
+ * compare equal iff the reports are bit-identical). Used by the
+ * determinism regression tests and the sweep benches to assert that
+ * SweepRunner output is independent of the job count.
+ */
+std::string reportFingerprint(const ExperimentReport &report);
+
 } // namespace dstrain
 
 #endif // DSTRAIN_CORE_REPORT_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of the parallel sweep runner.
+ */
+
+#include "core/sweep_runner.hh"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace dstrain {
+
+SweepRunner::SweepRunner(int jobs)
+{
+    if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    jobs_ = jobs;
+}
+
+std::vector<ExperimentReport>
+SweepRunner::run(std::vector<ExperimentConfig> configs,
+                 const Progress &progress) const
+{
+    const std::size_t total = configs.size();
+    std::vector<ExperimentReport> reports(total);
+
+    if (jobs_ == 1 || total <= 1) {
+        // Inline: no threads, same claim order, same results.
+        for (std::size_t i = 0; i < total; ++i) {
+            reports[i] = runExperiment(std::move(configs[i]));
+            if (progress)
+                progress(i + 1, total, i);
+        }
+        return reports;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::size_t done = 0;  // guarded by progress_mutex
+    std::mutex progress_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                return;
+            reports[i] = runExperiment(std::move(configs[i]));
+            // Count inside the lock so `done` is monotonic from the
+            // callback's point of view.
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            ++done;
+            if (progress)
+                progress(done, total, i);
+        }
+    };
+
+    const std::size_t nthreads =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), total);
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+    return reports;
+}
+
+} // namespace dstrain

@@ -1,6 +1,24 @@
 /**
  * @file
  * Implementation of the max-min fair flow scheduler.
+ *
+ * Two invariants drive the incremental paths (see DESIGN.md
+ * "Performance architecture"):
+ *
+ *  - A new flow whose crossed resources all keep slack for its full
+ *    cap (and whose only saturating resources carry no other flow)
+ *    can be admitted at min(cap, min private capacity) without
+ *    changing any existing rate: no resource crossed by another flow
+ *    becomes saturated, so no existing flow's bottleneck moves.
+ *
+ *  - A finishing flow whose saturated resources carry no surviving
+ *    flow can be removed without a recompute: capacity freed on an
+ *    unsaturated (or now-idle) resource cannot unfreeze anyone,
+ *    because every surviving flow is bottlenecked at its own cap or
+ *    at a resource that stays saturated.
+ *
+ * Everything else falls back to a full water-filling pass over flat,
+ * reusable per-resource arrays.
  */
 
 #include "net/flow_scheduler.hh"
@@ -25,6 +43,7 @@ constexpr double kSaturationFraction = 1e-9;
 FlowScheduler::FlowScheduler(Simulation &sim, Topology &topo)
     : sim_(sim), topo_(topo)
 {
+    ensureResourceArrays();
 }
 
 FlowScheduler::~FlowScheduler()
@@ -32,6 +51,32 @@ FlowScheduler::~FlowScheduler()
     if (!flows_.empty())
         warn("FlowScheduler destroyed with %zu active flows",
              flows_.size());
+}
+
+void
+FlowScheduler::ensureResourceArrays()
+{
+    const std::size_t n = topo_.resourceCount();
+    if (eff_cap_.size() == n)
+        return;
+    const std::size_t old = eff_cap_.size();
+    eff_cap_.resize(n);
+    total_rate_.resize(n, 0.0);
+    nflows_.resize(n, 0);
+    residual_.resize(n, 0.0);
+    crossing_.resize(n, 0);
+    in_active_.resize(n, 0);
+    for (std::size_t i = old; i < n; ++i) {
+        const Resource &r = topo_.resource(static_cast<ResourceId>(i));
+        eff_cap_[i] = r.capacity * linkClassEfficiency(r.cls);
+    }
+}
+
+bool
+FlowScheduler::saturated(ResourceId rid) const
+{
+    return eff_cap_[rid] - total_rate_[rid] <=
+           eff_cap_[rid] * kSaturationFraction;
 }
 
 FlowId
@@ -45,7 +90,9 @@ FlowScheduler::start(FlowSpec spec)
     FlowId id = next_id_++;
     if (spec.bytes <= kByteEpsilon) {
         // Degenerate transfer: complete via a zero-delay event so the
-        // caller's state machine always advances asynchronously.
+        // caller's state machine always advances asynchronously. The
+        // flow is never registered: isActive(id) is false and
+        // currentRate(id) is 0, the same as any finished flow.
         if (spec.on_complete)
             sim_.events().scheduleAfter(0.0, std::move(spec.on_complete));
         return id;
@@ -77,9 +124,60 @@ FlowScheduler::start(FlowSpec spec)
     }
 
     settle();
+    ensureResourceArrays();
+    for (ResourceId rid : f.resources)
+        nflows_[rid] += 1;
+    if (tryFastStart(f)) {
+        ++stats_.fast_starts;
+        flows_.emplace(id, std::move(f));
+        return id;
+    }
     flows_.emplace(id, std::move(f));
     recompute();
     return id;
+}
+
+bool
+FlowScheduler::tryFastStart(Flow &f)
+{
+    // Pass 1: the admitted rate — the cap, further limited by
+    // resources this flow has to itself (which it may saturate).
+    double rate = f.cap;
+    for (ResourceId rid : f.resources) {
+        if (nflows_[rid] == 1)  // counting this flow
+            rate = std::min(rate, eff_cap_[rid]);
+    }
+    // Pass 2: every shared resource must keep slack for the full
+    // admitted rate, i.e. stay strictly unsaturated afterwards.
+    for (ResourceId rid : f.resources) {
+        if (nflows_[rid] == 1)
+            continue;
+        const double slack_after =
+            eff_cap_[rid] - total_rate_[rid] - rate;
+        if (slack_after <= eff_cap_[rid] * kSaturationFraction)
+            return false;
+    }
+
+    const SimTime now = sim_.now();
+    f.rate = rate;
+    for (ResourceId rid : f.resources) {
+        total_rate_[rid] += rate;
+        topo_.resource(rid).log.setRate(now, total_rate_[rid]);
+        auto it =
+            std::lower_bound(touched_.begin(), touched_.end(), rid);
+        if (it == touched_.end() || *it != rid)
+            touched_.insert(it, rid);
+    }
+
+    const SimTime done_at = now + f.remaining / f.rate;
+    if (completion_event_ == 0 || done_at < completion_time_) {
+        if (completion_event_ != 0)
+            sim_.events().cancel(completion_event_);
+        completion_time_ = done_at;
+        completion_event_ = sim_.events().schedule(
+            done_at, [this] { onCompletionEvent(); });
+    }
+    return true;
 }
 
 Bps
@@ -87,6 +185,12 @@ FlowScheduler::currentRate(FlowId id) const
 {
     auto it = flows_.find(id);
     return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+bool
+FlowScheduler::isActive(FlowId id) const
+{
+    return flows_.find(id) != flows_.end();
 }
 
 void
@@ -109,88 +213,94 @@ void
 FlowScheduler::recompute()
 {
     const SimTime now = sim_.now();
+    ensureResourceArrays();
+    ++stats_.recomputes;
 
     // --- water-filling ---------------------------------------------------
-    // residual effective capacity per touched resource
-    std::unordered_map<ResourceId, double> residual;
-    std::unordered_map<ResourceId, int> crossing;
-    std::vector<Flow *> unfrozen;
-    unfrozen.reserve(flows_.size());
+    // Residual effective capacity and crossing count per touched
+    // resource, in flat arrays; crossing_ returns to all-zero when
+    // every flow freezes, so no explicit clear is needed.
+    unfrozen_.clear();
+    active_resources_.clear();
     for (auto &[id, f] : flows_) {
         f.rate = 0.0;
-        unfrozen.push_back(&f);
+        unfrozen_.push_back(&f);
         for (ResourceId rid : f.resources) {
-            const Resource &r = topo_.resource(rid);
-            residual.emplace(rid,
-                             r.capacity * linkClassEfficiency(r.cls));
-            crossing[rid] += 1;
+            if (crossing_[rid]++ == 0) {
+                residual_[rid] = eff_cap_[rid];
+                active_resources_.push_back(rid);
+            }
         }
     }
 
-    while (!unfrozen.empty()) {
+    while (!unfrozen_.empty()) {
         // Limiting increment from resources...
         double inc = std::numeric_limits<double>::max();
-        for (const auto &[rid, res_left] : residual) {
-            int n = crossing[rid];
+        for (ResourceId rid : active_resources_) {
+            const int n = crossing_[rid];
             if (n > 0)
-                inc = std::min(inc, res_left / n);
+                inc = std::min(inc, residual_[rid] / n);
         }
         // ...and from per-flow caps.
-        for (Flow *f : unfrozen)
+        for (Flow *f : unfrozen_)
             inc = std::min(inc, f->cap - f->rate);
         DSTRAIN_ASSERT(inc >= 0.0, "negative water-filling increment");
 
-        for (Flow *f : unfrozen)
+        for (Flow *f : unfrozen_)
             f->rate += inc;
-        for (auto &[rid, res_left] : residual)
-            res_left -= inc * crossing[rid];
+        for (ResourceId rid : active_resources_)
+            residual_[rid] -= inc * crossing_[rid];
 
         // Freeze flows at their cap or crossing a saturated resource.
         auto frozen = [&](Flow *f) {
             if (f->rate >= f->cap * (1.0 - kSaturationFraction))
                 return true;
             for (ResourceId rid : f->resources) {
-                const Resource &r = topo_.resource(rid);
-                double eff = r.capacity * linkClassEfficiency(r.cls);
-                if (residual[rid] <= eff * kSaturationFraction)
+                if (residual_[rid] <=
+                    eff_cap_[rid] * kSaturationFraction) {
                     return true;
+                }
             }
             return false;
         };
-        std::vector<Flow *> still;
-        still.reserve(unfrozen.size());
+        still_.clear();
         bool any_frozen = false;
-        for (Flow *f : unfrozen) {
+        for (Flow *f : unfrozen_) {
             if (frozen(f)) {
                 any_frozen = true;
                 for (ResourceId rid : f->resources)
-                    crossing[rid] -= 1;
+                    crossing_[rid] -= 1;
             } else {
-                still.push_back(f);
+                still_.push_back(f);
             }
         }
-        DSTRAIN_ASSERT(any_frozen || still.empty(),
+        DSTRAIN_ASSERT(any_frozen || still_.empty(),
                        "water-filling failed to make progress");
-        unfrozen.swap(still);
+        unfrozen_.swap(still_);
     }
 
     // --- update telemetry logs -------------------------------------------
-    std::unordered_map<ResourceId, double> totals;
+    for (ResourceId rid : active_resources_)
+        total_rate_[rid] = 0.0;
     for (const auto &[id, f] : flows_)
         for (ResourceId rid : f.resources)
-            totals[rid] += f.rate;
+            total_rate_[rid] += f.rate;
 
+    std::sort(active_resources_.begin(), active_resources_.end());
+    for (ResourceId rid : active_resources_)
+        in_active_[rid] = 1;
     // Zero out resources that had traffic before but no longer do.
     for (ResourceId rid : touched_) {
-        if (totals.find(rid) == totals.end())
+        if (!in_active_[rid]) {
             topo_.resource(rid).log.setRate(now, 0.0);
+            total_rate_[rid] = 0.0;
+        }
     }
-    touched_.clear();
-    for (const auto &[rid, total] : totals) {
-        topo_.resource(rid).log.setRate(now, total);
-        touched_.push_back(rid);
+    touched_.assign(active_resources_.begin(), active_resources_.end());
+    for (ResourceId rid : touched_) {
+        topo_.resource(rid).log.setRate(now, total_rate_[rid]);
+        in_active_[rid] = 0;
     }
-    std::sort(touched_.begin(), touched_.end());
 
     scheduleNextCompletion();
 }
@@ -211,8 +321,9 @@ FlowScheduler::scheduleNextCompletion()
                        f.tag.c_str());
         best = std::min(best, f.remaining / f.rate);
     }
-    completion_event_ = sim_.events().scheduleAfter(
-        best, [this] { onCompletionEvent(); });
+    completion_time_ = sim_.now() + best;
+    completion_event_ = sim_.events().schedule(
+        completion_time_, [this] { onCompletionEvent(); });
 }
 
 void
@@ -223,19 +334,69 @@ FlowScheduler::onCompletionEvent()
 
     // Collect finished flows first so callbacks observe a consistent
     // scheduler state (finished flows removed, rates recomputed).
-    std::vector<std::function<void()>> callbacks;
+    // Reuse the member buffers but operate on moved-out locals so a
+    // callback that re-enters the scheduler can't alias them.
+    std::vector<Flow> finished = std::move(finished_);
+    std::vector<std::function<void()>> callbacks = std::move(callbacks_);
+    finished.clear();
+    callbacks.clear();
+
     for (auto it = flows_.begin(); it != flows_.end();) {
         if (it->second.remaining <= kByteEpsilon) {
-            if (it->second.on_complete)
-                callbacks.push_back(std::move(it->second.on_complete));
+            finished.push_back(std::move(it->second));
             it = flows_.erase(it);
         } else {
             ++it;
         }
     }
-    recompute();
+
+    // A full recompute is needed only when a finisher frees capacity
+    // on a saturated resource some surviving flow still crosses.
+    bool need_full = false;
+    for (const Flow &f : finished)
+        for (ResourceId rid : f.resources)
+            nflows_[rid] -= 1;
+    for (const Flow &f : finished) {
+        for (ResourceId rid : f.resources) {
+            if (nflows_[rid] > 0 && saturated(rid)) {
+                need_full = true;
+                break;
+            }
+        }
+        if (need_full)
+            break;
+    }
+
+    if (need_full) {
+        for (Flow &f : finished)
+            if (f.on_complete)
+                callbacks.push_back(std::move(f.on_complete));
+        recompute();
+    } else {
+        const SimTime now = sim_.now();
+        for (Flow &f : finished) {
+            ++stats_.fast_finishes;
+            for (ResourceId rid : f.resources) {
+                total_rate_[rid] -= f.rate;
+                // Snap float dust so idle resources read exactly 0.
+                if (nflows_[rid] == 0 || total_rate_[rid] < 0.0)
+                    total_rate_[rid] = 0.0;
+                topo_.resource(rid).log.setRate(now, total_rate_[rid]);
+            }
+            if (f.on_complete)
+                callbacks.push_back(std::move(f.on_complete));
+        }
+        scheduleNextCompletion();
+    }
+
     for (auto &cb : callbacks)
         cb();
+
+    // Return the buffers (and their capacity) for the next event.
+    finished.clear();
+    callbacks.clear();
+    finished_ = std::move(finished);
+    callbacks_ = std::move(callbacks);
 }
 
 void

@@ -12,6 +12,13 @@
  * efficiency (linkClassEfficiency); per-flow caps additionally carry
  * the route's SerDes degradation, so the stress tests of paper
  * Sec. III-C reproduce directly from this scheduler.
+ *
+ * Performance: the water-filling pass works on flat, reusable
+ * per-resource scratch arrays indexed by ResourceId (no hashing, no
+ * per-recompute allocation once warm), and flow arrivals/departures
+ * that touch only unsaturated resources take an O(route length)
+ * incremental path that skips the full recompute entirely (see
+ * DESIGN.md "Performance architecture" for the invariant).
  */
 
 #ifndef DSTRAIN_NET_FLOW_SCHEDULER_HH
@@ -37,6 +44,13 @@ namespace dstrain {
 class FlowScheduler
 {
   public:
+    /** Scheduler work counters (for the micro-benchmarks and tests). */
+    struct Stats {
+        std::uint64_t recomputes = 0;     ///< full water-filling passes
+        std::uint64_t fast_starts = 0;    ///< starts admitted incrementally
+        std::uint64_t fast_finishes = 0;  ///< completions handled incrementally
+    };
+
     /** @param sim the simulation context; @param topo the network. */
     FlowScheduler(Simulation &sim, Topology &topo);
 
@@ -48,7 +62,10 @@ class FlowScheduler
     /**
      * Start a flow now. Zero-byte flows invoke on_complete via a
      * zero-delay event (never synchronously, to keep callback
-     * ordering deterministic).
+     * ordering deterministic); the returned id refers to a flow that
+     * is already finished, so isActive() reports false and
+     * currentRate() reports 0 for it, exactly as for any other
+     * completed flow.
      * @return the flow id.
      */
     FlowId start(FlowSpec spec);
@@ -56,14 +73,28 @@ class FlowScheduler
     /** Number of currently active flows. */
     std::size_t activeCount() const { return flows_.size(); }
 
-    /** Current rate of an active flow; 0 if unknown/finished. */
+    /**
+     * Current rate of an active flow; 0 if unknown/finished. Use
+     * isActive() to distinguish "finished or never existed" from a
+     * momentarily-zero rate.
+     */
     Bps currentRate(FlowId id) const;
+
+    /**
+     * Is @p id a currently active (started, not yet completed) flow?
+     * False for finished flows, zero-byte degenerate transfers, and
+     * ids this scheduler never issued.
+     */
+    bool isActive(FlowId id) const;
 
     /**
      * Close all rate logs at the current time (call at end of the
      * measurement window before reading telemetry).
      */
     void finalizeLogs();
+
+    /** Work counters since construction. */
+    const Stats &stats() const { return stats_; }
 
   private:
     /** Integrate current rates from last_settle_ to now. */
@@ -72,20 +103,49 @@ class FlowScheduler
     /** Run water-filling, update logs, reschedule completion. */
     void recompute();
 
+    /**
+     * Try to admit @p f without a full recompute: succeeds when every
+     * resource it crosses retains slack for the flow's full cap, so
+     * the flow runs at its cap and no existing rate changes.
+     */
+    bool tryFastStart(Flow &f);
+
     /** Completion event handler. */
     void onCompletionEvent();
 
     /** Schedule (or reschedule) the next completion event. */
     void scheduleNextCompletion();
 
+    /** Grow the per-resource scratch arrays to the topology's size. */
+    void ensureResourceArrays();
+
+    /** Is the resource at (or beyond) its saturation threshold? */
+    bool saturated(ResourceId rid) const;
+
     Simulation &sim_;
     Topology &topo_;
     std::unordered_map<FlowId, Flow> flows_;
-    std::vector<ResourceId> touched_;  ///< resources with nonzero rate
     FlowId next_id_ = 1;
     SimTime last_settle_ = 0.0;
     EventId completion_event_ = 0;
-    bool in_completion_ = false;  ///< suppress recompute re-entrancy
+    SimTime completion_time_ = 0.0;  ///< when completion_event_ fires
+    Stats stats_;
+
+    // --- flat per-resource state (indexed by ResourceId) -----------------
+    std::vector<double> eff_cap_;     ///< capacity * class efficiency
+    std::vector<double> total_rate_;  ///< current aggregate rate
+    std::vector<int> nflows_;         ///< active flows crossing
+    std::vector<double> residual_;    ///< water-filling scratch
+    std::vector<int> crossing_;       ///< water-filling scratch
+    std::vector<char> in_active_;     ///< membership scratch
+
+    // --- reusable scratch buffers ----------------------------------------
+    std::vector<ResourceId> active_resources_;  ///< crossed by any flow
+    std::vector<ResourceId> touched_;  ///< resources with a nonzero log rate
+    std::vector<Flow *> unfrozen_;
+    std::vector<Flow *> still_;
+    std::vector<std::function<void()>> callbacks_;
+    std::vector<Flow> finished_;
 };
 
 } // namespace dstrain

@@ -16,9 +16,20 @@ EventQueue::schedule(SimTime when, Callback cb)
                    "cannot schedule in the past (when=%g, now=%g)",
                    when, now_);
     DSTRAIN_ASSERT(cb != nullptr, "null event callback");
-    EventId id = next_id_++;
-    heap_.push(Entry{when, id, std::move(cb)});
-    pending_.insert(id);
+
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    slots_[slot].live = true;
+    slots_[slot].cb = std::move(cb);
+    const EventId id = encodeId(slots_[slot].gen, slot);
+    heap_.push(Entry{when, next_seq_++, id});
+    ++live_;
     return id;
 }
 
@@ -32,14 +43,42 @@ EventQueue::scheduleAfter(SimTime delay, Callback cb)
 bool
 EventQueue::cancel(EventId id)
 {
-    return pending_.erase(id) > 0;
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= slots_.size())
+        return false;
+    Slot &s = slots_[slot];
+    if (s.gen != genOf(id) || !s.live)
+        return false;
+    s.live = false;
+    s.cb = nullptr;  // release captured state eagerly
+    --live_;
+    return true;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    ++slots_[slot].gen;
+    slots_[slot].live = false;
+    slots_[slot].cb = nullptr;
+    free_slots_.push_back(slot);
 }
 
 void
 EventQueue::skimCancelled()
 {
-    while (!heap_.empty() && pending_.count(heap_.top().id) == 0)
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        const std::uint32_t slot = slotOf(top.id);
+        const Slot &s = slots_[slot];
+        if (s.gen == genOf(top.id) && s.live)
+            break;
+        // Cancelled (generation still matches) or stale: recycle the
+        // slot only if this entry still owns it.
+        if (s.gen == genOf(top.id))
+            releaseSlot(slot);
         heap_.pop();
+    }
 }
 
 void
@@ -47,13 +86,18 @@ EventQueue::popAndRun()
 {
     skimCancelled();
     DSTRAIN_ASSERT(!heap_.empty(), "popAndRun on empty queue");
-    Entry top = heap_.top();
+    const Entry top = heap_.top();
     heap_.pop();
-    pending_.erase(top.id);
+    // The callback lives in the slot; move it out, then release the
+    // slot before invoking so a cancel() of this id from inside the
+    // callback is correctly rejected as "already executed".
+    Callback cb = std::move(slots_[slotOf(top.id)].cb);
+    releaseSlot(slotOf(top.id));
+    --live_;
     DSTRAIN_ASSERT(top.when >= now_, "time went backwards");
     now_ = top.when;
     ++executed_;
-    top.cb();
+    cb();
 }
 
 bool

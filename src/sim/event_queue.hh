@@ -14,7 +14,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "util/units.hh"
@@ -29,8 +28,16 @@ using EventId = std::uint64_t;
  * tie-breaking and O(log n) scheduling.
  *
  * Cancellation is lazy: a cancelled event's heap entry remains and is
- * skipped on pop. The set of pending ids is tracked explicitly, so
- * cancelling an executed or unknown id is a safe no-op.
+ * skipped on pop. Liveness is tracked through a slot/generation
+ * scheme instead of a hash set: an EventId encodes (slot index,
+ * generation); a slot is released (generation bumped) when its entry
+ * leaves the heap, so cancelling an executed, already-cancelled, or
+ * unknown id is an O(1) safe no-op and the schedule/cancel/pop hot
+ * paths perform no hashing and no per-event allocation beyond the
+ * heap entry itself (slots are recycled through a free list).
+ *
+ * EventId 0 is never issued, so callers may use 0 as a "no pending
+ * event" sentinel; cancel(0) is always a no-op returning false.
  */
 class EventQueue
 {
@@ -65,10 +72,10 @@ class EventQueue
     bool cancel(EventId id);
 
     /** True when no live events remain. */
-    bool empty() const { return pending_.empty(); }
+    bool empty() const { return live_ == 0; }
 
     /** Number of live (non-cancelled, pending) events. */
-    std::size_t size() const { return pending_.size(); }
+    std::size_t size() const { return live_; }
 
     /**
      * Execute events until the queue drains.
@@ -95,8 +102,8 @@ class EventQueue
   private:
     struct Entry {
         SimTime when;
-        EventId id;
-        Callback cb;
+        std::uint64_t seq;  ///< FIFO tie-break for equal times
+        EventId id;         ///< encodeId(generation, slot)
     };
 
     struct Later {
@@ -105,9 +112,41 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            return a.id > b.id;
+            return a.seq > b.seq;
         }
     };
+
+    /**
+     * Liveness record for one event slot. The callback lives here,
+     * not in the heap entry, so heap operations shuffle only small
+     * trivially-copyable entries and popping never has to move from
+     * the priority_queue's const top().
+     */
+    struct Slot {
+        Callback cb;            ///< pending callback (null once released)
+        std::uint32_t gen = 0;  ///< bumped when the entry leaves the heap
+        bool live = false;      ///< pending and not cancelled
+    };
+
+    // Ids are biased by +1 so that id 0 is never issued (callers use
+    // 0 as a "no pending event" sentinel). slotOf(0) deliberately
+    // decodes to 0xFFFFFFFF, an out-of-range slot that cancel()
+    // rejects.
+    static EventId encodeId(std::uint32_t gen, std::uint32_t slot)
+    {
+        return ((static_cast<EventId>(gen) << 32) | slot) + 1;
+    }
+    static std::uint32_t slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id - 1);
+    }
+    static std::uint32_t genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>((id - 1) >> 32);
+    }
+
+    /** Bump the generation and recycle the slot. */
+    void releaseSlot(std::uint32_t slot);
 
     /** Pop and run the earliest live event; caller checked non-empty. */
     void popAndRun();
@@ -116,9 +155,11 @@ class EventQueue
     void skimCancelled();
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> pending_;  ///< live event ids
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
+    std::size_t live_ = 0;
     SimTime now_ = 0.0;
-    EventId next_id_ = 1;
+    std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
 };
 

@@ -159,6 +159,103 @@ TEST_F(FlowSchedulerTest, RateLogsRecordTraffic)
     EXPECT_NEAR(total, 8e9, 1e3);
 }
 
+TEST_F(FlowSchedulerTest, IsActiveTracksFlowLifetime)
+{
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 80e9;
+    const FlowId id = flows_.start(std::move(spec));
+    EXPECT_TRUE(flows_.isActive(id));
+    EXPECT_GT(flows_.currentRate(id), 0.0);
+    sim_.run();
+    EXPECT_FALSE(flows_.isActive(id));
+    EXPECT_DOUBLE_EQ(flows_.currentRate(id), 0.0);
+    EXPECT_FALSE(flows_.isActive(id + 1000));  // never issued
+}
+
+TEST_F(FlowSchedulerTest, ZeroByteFlowIsNeverActive)
+{
+    // A degenerate transfer returns a valid id that behaves exactly
+    // like a finished flow: inactive, rate 0.
+    bool done = false;
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 0.0;
+    spec.on_complete = [&] { done = true; };
+    const FlowId id = flows_.start(std::move(spec));
+    EXPECT_FALSE(flows_.isActive(id));
+    EXPECT_DOUBLE_EQ(flows_.currentRate(id), 0.0);
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(flows_.isActive(id));
+}
+
+TEST_F(FlowSchedulerTest, UncontendedStartsTakeTheFastPath)
+{
+    // Flows on disjoint links never contend: after the first full
+    // recompute no further ones are needed, and finishes are
+    // incremental too.
+    FlowSpec a;
+    a.route = gpuRoute(0, 1);
+    a.bytes = 80e9;
+    flows_.start(std::move(a));
+    FlowSpec b;
+    b.route = gpuRoute(2, 3);
+    b.bytes = 40e9;
+    flows_.start(std::move(b));
+    EXPECT_EQ(flows_.stats().recomputes, 0u);
+    EXPECT_EQ(flows_.stats().fast_starts, 2u);
+    sim_.run();
+    EXPECT_EQ(flows_.stats().recomputes, 0u);
+    EXPECT_EQ(flows_.stats().fast_finishes, 2u);
+    EXPECT_NEAR(sim_.now(), 1.0, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, ContendedStartForcesRecompute)
+{
+    // A second flow on the same saturated link must trigger a full
+    // water-filling pass and halve both rates.
+    FlowSpec a;
+    a.route = gpuRoute(0, 1);
+    a.bytes = 80e9;
+    const FlowId ida = flows_.start(std::move(a));
+    FlowSpec b;
+    b.route = gpuRoute(0, 1);
+    b.bytes = 80e9;
+    const FlowId idb = flows_.start(std::move(b));
+    EXPECT_EQ(flows_.stats().fast_starts, 1u);  // only the first
+    EXPECT_GE(flows_.stats().recomputes, 1u);
+    EXPECT_NEAR(flows_.currentRate(ida), 40e9, 1e3);
+    EXPECT_NEAR(flows_.currentRate(idb), 40e9, 1e3);
+    sim_.run();
+}
+
+TEST_F(FlowSchedulerTest, FastAndSlowPathsAgreeOnRates)
+{
+    // Start a capped flow below the link capacity (fast path), then
+    // force a recompute with a contended flow elsewhere on the same
+    // link: the capped flow's rate must be unchanged by the full
+    // pass, i.e. the incremental admission matched water-filling.
+    FlowSpec capped;
+    capped.route = gpuRoute(0, 1);
+    capped.bytes = 10e9;
+    capped.rate_cap = 8e9;
+    const FlowId id = flows_.start(std::move(capped));
+    EXPECT_EQ(flows_.stats().fast_starts, 1u);
+    const Bps fast_rate = flows_.currentRate(id);
+    EXPECT_NEAR(fast_rate, 8e9, 1.0);
+
+    FlowSpec big;
+    big.route = gpuRoute(0, 1);
+    big.bytes = 80e9;
+    flows_.start(std::move(big));  // forces full recompute
+    EXPECT_GE(flows_.stats().recomputes, 1u);
+    // 80 GBps link, fair share 40/40 but capped flow frozen at 8;
+    // the big flow takes the rest.
+    EXPECT_NEAR(flows_.currentRate(id), 8e9, 1.0);
+    sim_.run();
+}
+
 /** Property: total bytes logged == total bytes injected. */
 class FlowConservationProperty : public testing::TestWithParam<int>
 {

@@ -57,6 +57,22 @@ TEST(EventQueueTest, ScheduleAfterUsesNow)
     EXPECT_DOUBLE_EQ(fired_at, 5.0);
 }
 
+TEST(EventQueueTest, EventIdZeroIsNeverIssued)
+{
+    // FlowScheduler (and other callers) use EventId 0 as a "no
+    // pending event" sentinel; the very first id issued by a fresh
+    // queue — and every id after slot recycling — must be nonzero.
+    EventQueue q;
+    const EventId first = q.schedule(1.0, [] {});
+    EXPECT_NE(first, 0u);
+    q.run();
+    for (int i = 0; i < 4; ++i) {
+        const EventId id = q.schedule(2.0 + i, [] {});  // reuses slot 0
+        EXPECT_NE(id, 0u);
+        q.run();
+    }
+}
+
 TEST(EventQueueTest, CancelPreventsExecution)
 {
     EventQueue q;
@@ -124,6 +140,130 @@ TEST(EventQueueTest, StepRunsExactlyOne)
     EXPECT_TRUE(q.step());
     EXPECT_FALSE(q.step());
 }
+
+TEST(EventQueueTest, CancelAfterExecuteWithReusedSlots)
+{
+    // After an event executes, its slot is recycled; a stale cancel
+    // with the old id must not kill the slot's new occupant.
+    EventQueue q;
+    EventId first = q.schedule(1.0, [] {});
+    q.run();
+    bool ran = false;
+    q.schedule(2.0, [&] { ran = true; });  // likely reuses the slot
+    EXPECT_FALSE(q.cancel(first));         // stale id: generation moved
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceThenReuseSlot)
+{
+    EventQueue q;
+    EventId id = q.schedule(1.0, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    int count = 0;
+    q.schedule(1.0, [&] { ++count; });
+    EXPECT_FALSE(q.cancel(id));  // still stale after new schedules
+    q.run();
+    EXPECT_EQ(count, 1);
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, InterleavedScheduleCancelAtEqualTimestamps)
+{
+    // Ten events at the same time; cancel every other one, then
+    // schedule more at the same timestamp. Survivors must run in
+    // exact insertion order.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10; ++i)
+        ids.push_back(q.schedule(1.0, [&order, i] {
+            order.push_back(i);
+        }));
+    for (int i = 0; i < 10; i += 2)
+        EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    for (int i = 10; i < 14; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    EXPECT_EQ(q.size(), 9u);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9, 10, 11, 12, 13}));
+}
+
+TEST(EventQueueTest, CancelOwnIdInsideCallbackIsRejected)
+{
+    EventQueue q;
+    EventId id = 0;
+    bool cancelled = false;
+    id = q.schedule(1.0, [&] { cancelled = q.cancel(id); });
+    q.run();
+    EXPECT_FALSE(cancelled);  // already executing == executed
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelFromCallbackAtSameTimestamp)
+{
+    // An event cancelling a later event scheduled at the same time.
+    EventQueue q;
+    bool victim_ran = false;
+    EventId victim = 0;
+    q.schedule(1.0, [&] { EXPECT_TRUE(q.cancel(victim)); });
+    victim = q.schedule(1.0, [&] { victim_ran = true; });
+    q.run();
+    EXPECT_FALSE(victim_ran);
+    EXPECT_EQ(q.executedCount(), 1u);
+}
+
+TEST(EventQueueTest, UnknownSlotAndForeignGenerationRejected)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(0));
+    EXPECT_FALSE(q.cancel(12345));                  // unknown slot
+    EventId id = q.schedule(1.0, [] {});
+    EXPECT_FALSE(q.cancel(id + (1ull << 32)));      // wrong generation
+    EXPECT_TRUE(q.cancel(id));
+}
+
+/** Property: random interleaved schedule/cancel stays consistent. */
+class EventChurnProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventChurnProperty, LiveCountMatchesExecutions)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    EventQueue q;
+    std::vector<EventId> pending;
+    int fired = 0;
+    int expected = 0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        if (!pending.empty() && rng.below(3) == 0) {
+            const std::size_t pick = rng.below(pending.size());
+            if (q.cancel(pending[pick]))
+                --expected;
+            pending.erase(pending.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+        } else {
+            const SimTime when = q.now() + rng.uniform(0.0, 10.0);
+            pending.push_back(
+                q.schedule(when, [&fired] { ++fired; }));
+            ++expected;
+        }
+        if (rng.below(10) == 0) {
+            while (q.step()) {
+            }
+            pending.clear();
+        }
+    }
+    q.run();
+    EXPECT_EQ(fired, expected);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventChurnProperty,
+                         testing::Range(1, 9));
 
 TEST(EventQueueDeathTest, PastSchedulingRejected)
 {

@@ -8,17 +8,26 @@
  *   dstrain --strategy zero2-cpu --model 11.4 --energy
  *   dstrain --strategy zero3-nvme --placement G --trace out.json
  *   dstrain --strategy megatron --tp 4 --csv
+ *
+ * The `sweep` subcommand runs a whole family of configurations
+ * through the parallel SweepRunner:
+ *
+ *   dstrain sweep --nodes 1,2 --strategies zero1,zero2,zero3 --jobs 4
+ *   dstrain sweep --strategies all --jobs 8 --csv
  */
 
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 
 #include "core/energy.hh"
 #include "core/presets.hh"
 #include "core/report.hh"
+#include "core/sweep_runner.hh"
 #include "telemetry/timeline.hh"
 #include "engine/trace_export.hh"
 #include "util/args.hh"
+#include "util/logging.hh"
 
 namespace dstrain {
 namespace {
@@ -51,6 +60,117 @@ parseStrategy(const std::string &name, int tp, int pp)
     if (name == "zero3-nvme-params")
         return StrategyConfig::zeroInfinityNvme(true);
     return std::nullopt;
+}
+
+/** Split a comma-separated list, skipping empty items. */
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> items;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            items.push_back(item);
+    return items;
+}
+
+/** The default `sweep` lineup: every named single-degree strategy. */
+const char *const kAllStrategies =
+    "ddp,megatron,zero1,zero2,zero3,zero1-cpu,zero2-cpu,zero3-cpu,"
+    "zero3-nvme,zero3-nvme-params";
+
+int
+runSweep(int argc, const char *const *argv)
+{
+    ArgParser args(
+        "dstrain sweep",
+        "run a family of experiments through the parallel sweep "
+        "runner");
+    args.addOption("nodes", "1", "comma-separated node counts");
+    args.addOption(
+        "strategies", "ddp,megatron,zero1,zero2,zero3",
+        "comma-separated strategy names (see the single-run help), "
+        "or 'all'");
+    args.addOption("model", "0",
+                   "model size in billions (0 = largest that fits)");
+    args.addOption("batch", "16", "per-GPU batch size");
+    args.addOption("iterations", "4", "iterations to simulate");
+    args.addOption("jobs", "0",
+                   "worker threads (0 = one per hardware thread)");
+    args.addFlag("csv", "emit the bandwidth rows as CSV");
+    args.addFlag("quiet", "suppress the progress ticker");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    std::string strategy_csv = args.get("strategies");
+    if (strategy_csv == "all")
+        strategy_csv = kAllStrategies;
+
+    std::vector<ExperimentConfig> configs;
+    std::vector<std::string> names;
+    for (const std::string &nodes_str : splitList(args.get("nodes"))) {
+        const int nodes = std::atoi(nodes_str.c_str());
+        if (nodes < 1) {
+            std::fprintf(stderr, "dstrain: bad node count '%s'\n",
+                         nodes_str.c_str());
+            return 1;
+        }
+        for (const std::string &name : splitList(strategy_csv)) {
+            const auto strategy = parseStrategy(name, 0, 0);
+            if (!strategy) {
+                std::fprintf(stderr,
+                             "dstrain: unknown strategy '%s'\n%s",
+                             name.c_str(), args.helpText().c_str());
+                return 1;
+            }
+            ExperimentConfig cfg = paperExperiment(
+                nodes, *strategy, args.getDouble("model"));
+            cfg.batch_per_gpu = args.getInt("batch");
+            // Executor needs at least one measured (post-warmup)
+            // iteration.
+            cfg.iterations =
+                std::max(cfg.warmup + 1, args.getInt("iterations"));
+            names.push_back(csprintf("%dn %s", nodes,
+                                     strategy->displayName().c_str()));
+            configs.push_back(std::move(cfg));
+        }
+    }
+    if (configs.empty()) {
+        std::fprintf(stderr, "dstrain: empty sweep\n");
+        return 1;
+    }
+
+    const bool quiet = args.getFlag("quiet");
+    SweepRunner runner(args.getInt("jobs"));
+    inform("sweep: %zu points on %d worker(s)", configs.size(),
+           runner.jobs());
+    const std::vector<ExperimentReport> reports = runner.run(
+        std::move(configs),
+        [&](std::size_t done, std::size_t total, std::size_t index) {
+            if (!quiet) {
+                inform("sweep: [%zu/%zu] %s", done, total,
+                       names[index].c_str());
+            }
+        });
+
+    std::cout << comparisonTable(reports) << "\n"
+              << compositionTable(reports) << "\n";
+
+    TextTable bw = makeBandwidthTable();
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        BandwidthRow row = reports[i].bandwidth;
+        row.config = names[i];
+        addBandwidthRow(bw, row);
+    }
+    if (args.getFlag("csv")) {
+        std::cout << bw.renderCsv();
+    } else {
+        bw.setTitle(
+            "Aggregate bidirectional per-node bandwidth (GBps):");
+        std::cout << bw;
+    }
+    return 0;
 }
 
 int
@@ -96,7 +216,8 @@ runCli(int argc, const char *const *argv)
     ExperimentConfig cfg = paperExperiment(
         args.getInt("nodes"), *strategy, args.getDouble("model"));
     cfg.batch_per_gpu = args.getInt("batch");
-    cfg.iterations = std::max(2, args.getInt("iterations"));
+    // Executor needs at least one measured (post-warmup) iteration.
+    cfg.iterations = std::max(cfg.warmup + 1, args.getInt("iterations"));
     cfg.placement = nvmePlacementConfig(args.get("placement")[0]);
     cfg.cluster.node.model_serdes_contention =
         !args.getFlag("no-serdes");
@@ -153,5 +274,7 @@ runCli(int argc, const char *const *argv)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::string(argv[1]) == "sweep")
+        return dstrain::runSweep(argc - 1, argv + 1);
     return dstrain::runCli(argc, argv);
 }
