@@ -30,6 +30,9 @@ main()
     for (const StrategyConfig &s : comparisonLineup(1)) {
         ExperimentConfig cfg = paperExperiment(1, s);
         bench::applyRunSettings(cfg, /*iterations=*/10, /*warmup=*/2);
+        // The per-iteration sparkline re-probes with an ad-hoc bucket
+        // width, which needs the full segment history.
+        cfg.telemetry.retain_segments = true;
         Experiment exp(std::move(cfg));
         const ExperimentReport r = exp.run();
 

@@ -24,6 +24,9 @@ main()
     for (const StrategyConfig &s : comparisonLineup(2)) {
         ExperimentConfig cfg = paperExperiment(2, s);
         bench::applyRunSettings(cfg, /*iterations=*/8, /*warmup=*/2);
+        // The per-iteration sparklines re-probe with an ad-hoc bucket
+        // width, which needs the full segment history.
+        cfg.telemetry.retain_segments = true;
         Experiment exp(std::move(cfg));
         const ExperimentReport r = exp.run();
 

@@ -38,6 +38,9 @@ main()
         ExperimentConfig cfg = paperExperiment(1, c.strategy, 11.4);
         cfg.placement = nvmePlacementConfig(c.placement);
         bench::applyRunSettings(cfg, /*iterations=*/6, /*warmup=*/2);
+        // The per-iteration sparklines re-probe with an ad-hoc bucket
+        // width, which needs the full segment history.
+        cfg.telemetry.retain_segments = true;
         Experiment exp(std::move(cfg));
         const ExperimentReport r = exp.run();
 

@@ -67,7 +67,8 @@ denseFlowScenario(int waves, int per_wave)
         .add("recomputes", stats.recomputes)
         .add("recomputes_per_sec", stats.recomputes / secs)
         .add("fast_starts", stats.fast_starts)
-        .add("fast_finishes", stats.fast_finishes);
+        .add("fast_finishes", stats.fast_finishes)
+        .add("rate_updates", stats.rate_updates);
     return json;
 }
 

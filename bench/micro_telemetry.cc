@@ -1,0 +1,203 @@
+/**
+ * @file
+ * JSON-emitting micro-benchmark of the telemetry engine: dense rate
+ * churn over a Table IV-class topology, recorded two ways —
+ *
+ *  - legacy: full segment retention, end-of-run segment sweep
+ *    (bucketizeRateLogs via probeAllClasses);
+ *  - streaming: online bucket accumulators, no retention, warm-up
+ *    truncation at the measurement boundary.
+ *
+ * Reports per mode the churn and probe wall times, segments/buckets
+ * retained and telemetry memory, plus a bitwise identity check of
+ * the two probes. Each density runs the same window with 4x the rate
+ * changes, so probe-time scaling with segment count is visible
+ * directly.
+ *
+ *   ./micro_telemetry [--resources N] [--changes C] [--bucket B]
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "telemetry/probe.hh"
+#include "util/args.hh"
+
+using namespace dstrain;
+
+namespace {
+
+/** Deterministic uniform [0,1) generator (no std::random churn). */
+struct Lcg {
+    std::uint64_t state;
+
+    double
+    next()
+    {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>((state >> 11) & 0xffffff) /
+               static_cast<double>(0x1000000);
+    }
+};
+
+/** @p per_class resources of every Table IV class across two nodes. */
+Topology
+buildTopology(int per_class)
+{
+    Topology topo;
+    for (int i = 0; i < per_class; ++i) {
+        int cls_i = 0;
+        for (LinkClass cls : tableIvClasses()) {
+            topo.addResource(cls, 100e9,
+                             csprintf("r%d.c%d", i, cls_i++), i % 2, 0);
+        }
+    }
+    return topo;
+}
+
+struct ModeResult {
+    double churn_seconds = 0.0;
+    double probe_seconds = 0.0;
+    TelemetryStats stats;
+    std::vector<BandwidthSeries> series;
+};
+
+/**
+ * Run the dense-churn scenario in one mode. Both modes replay the
+ * identical rate sequence (same LCG seed); the streaming mode
+ * truncates warm-up history and arms the accumulators at the
+ * measurement boundary, exactly like Executor::beginMeasurement.
+ */
+ModeResult
+runMode(bool streaming, int per_class, int changes, SimTime dt,
+        SimTime bucket, int warm_changes, int probe_reps)
+{
+    Topology topo = buildTopology(per_class);
+    if (streaming)
+        topo.setRetainSegments(false);
+
+    const SimTime warm_t = warm_changes * dt;
+    const SimTime end_t = changes * dt;
+    Lcg rng{12345};
+
+    ModeResult result;
+    bench::Stopwatch watch;
+    for (int s = 0; s < changes; ++s) {
+        if (s == warm_changes && streaming) {
+            topo.dropLogsBefore(warm_t);
+            topo.armStreams(warm_t, bucket);
+        }
+        const SimTime t = s * dt;
+        for (Resource &r : topo.resources()) {
+            // ~30% idle so rate-0 gaps interleave with activity.
+            const double u = rng.next();
+            r.log.setRate(t, u < 0.3 ? 0.0 : u * 80e9);
+        }
+    }
+    topo.finalizeLogs(end_t);
+    result.churn_seconds = watch.seconds();
+    result.stats = topo.telemetryStats();
+
+    watch.reset();
+    for (int rep = 0; rep < probe_reps; ++rep)
+        result.series = probeAllClasses(topo, warm_t, end_t, bucket);
+    result.probe_seconds = watch.seconds() / probe_reps;
+    return result;
+}
+
+bool
+identicalSeries(const std::vector<BandwidthSeries> &a,
+                const std::vector<BandwidthSeries> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].begin != b[i].begin || a[i].bucket != b[i].bucket ||
+            a[i].values != b[i].values)
+            return false;
+    }
+    return true;
+}
+
+bench::JsonObject
+modeJson(const char *density, const char *mode, int resources,
+         int changes, const ModeResult &r)
+{
+    bench::JsonObject json;
+    json.add("scenario", std::string("telemetry_churn"))
+        .add("density", std::string(density))
+        .add("mode", std::string(mode))
+        .add("resources", resources)
+        .add("rate_changes", changes)
+        .add("segments_retained", r.stats.segments_retained)
+        .add("stream_buckets", r.stats.stream_buckets)
+        .add("buckets_touched", r.stats.buckets_touched)
+        .add("memory_bytes", r.stats.memory_bytes)
+        .add("churn_wall_seconds", r.churn_seconds)
+        .add("probe_wall_seconds", r.probe_seconds);
+    return json;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("micro_telemetry",
+                   "telemetry-engine micro-benchmarks (JSON per line)");
+    args.addOption("resources", "8",
+                   "resources per Table IV class (7 classes)");
+    args.addOption("changes", "20000",
+                   "rate-change sweeps over the 5 s run");
+    args.addOption("bucket", "0.01", "probe bucket width (seconds)");
+    args.addOption("probe-reps", "5", "probe repetitions to average");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    setLogLevel(LogLevel::Silent);  // keep stdout pure JSON
+
+    const int per_class = args.getInt("resources");
+    const int base_changes = args.getInt("changes");
+    const SimTime bucket = args.getDouble("bucket");
+    const int reps = args.getInt("probe-reps");
+    const int n_resources = per_class * 7;
+    const SimTime duration = 5.0;
+
+    // The 4x density packs four times the rate changes into the same
+    // window: identical buckets, 4x segments — any probe-time growth
+    // between densities is pure segment-count scaling.
+    const struct {
+        const char *name;
+        int factor;
+    } densities[] = {{"base", 1}, {"4x", 4}};
+
+    for (const auto &d : densities) {
+        const int changes = base_changes * d.factor;
+        const SimTime dt = duration / changes;
+        const int warm = changes / 10;
+
+        const ModeResult legacy = runMode(
+            false, per_class, changes, dt, bucket, warm, reps);
+        const ModeResult streaming = runMode(
+            true, per_class, changes, dt, bucket, warm, reps);
+
+        std::cout << modeJson(d.name, "legacy", n_resources, changes,
+                              legacy)
+                         .str()
+                  << "\n";
+        bench::JsonObject stream_json = modeJson(
+            d.name, "streaming", n_resources, changes, streaming);
+        stream_json
+            .add("identical_to_legacy",
+                 identicalSeries(legacy.series, streaming.series))
+            .add("memory_ratio",
+                 static_cast<double>(legacy.stats.memory_bytes) /
+                     static_cast<double>(streaming.stats.memory_bytes))
+            .add("probe_speedup",
+                 legacy.probe_seconds / streaming.probe_seconds);
+        std::cout << stream_json.str() << "\n";
+    }
+    return 0;
+}

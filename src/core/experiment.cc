@@ -46,6 +46,7 @@ Experiment::Experiment(ExperimentConfig cfg)
                                            *tm_, *coll_, *aio_,
                                            cfg_.engine_cal);
     executor_->configureStorage(cfg_.placement);
+    executor_->configureTelemetry(cfg_.telemetry);
 }
 
 Experiment::~Experiment() = default;
@@ -82,7 +83,9 @@ Experiment::run()
 
     report.bandwidth = measureBandwidthRow(
         cfg_.strategy.displayName(), cluster_->topology(),
-        report.execution.measured_begin, report.execution.measured_end);
+        report.execution.measured_begin, report.execution.measured_end,
+        cfg_.telemetry.bucket);
+    report.telemetry = cluster_->topology().telemetryStats();
     return report;
 }
 

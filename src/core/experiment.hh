@@ -57,6 +57,13 @@ struct ExperimentConfig {
     MemoryCalibration memory_cal;
     EngineCalibration engine_cal;
 
+    /**
+     * Telemetry collection mode (streaming by default). Benches that
+     * re-probe with ad-hoc windows or bucket widths after run() must
+     * set telemetry.retain_segments.
+     */
+    TelemetryConfig telemetry;
+
     std::uint64_t seed = 1;
 };
 
@@ -70,6 +77,7 @@ struct ExperimentReport {
     MemoryComposition composition;
     BandwidthRow bandwidth;         ///< Table IV row
     IterationResult execution;      ///< raw timings + spans
+    TelemetryStats telemetry;       ///< telemetry-engine counters
 };
 
 /**

@@ -18,6 +18,12 @@ namespace dstrain {
 std::string summarizeReport(const ExperimentReport &report);
 
 /**
+ * One-line summary of the telemetry-engine counters ("telemetry: 420
+ * stream buckets, 0 segments retained, 18432 deposits, 12.4 KiB").
+ */
+std::string summarizeTelemetry(const TelemetryStats &stats);
+
+/**
  * A comparison table over several reports: model size, throughput,
  * iteration time, memory totals.
  */

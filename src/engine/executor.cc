@@ -67,6 +67,20 @@ Executor::configureStorage(const NvmePlacement &placement)
 }
 
 void
+Executor::beginMeasurement(SimTime t)
+{
+    Topology &topo = cluster_.topology();
+    // A legacy (non-streaming) run needs the segments it would sweep,
+    // so it implies retention regardless of the retain flag.
+    const bool retained =
+        telemetry_.retain_segments || !telemetry_.streaming;
+    if (!retained && t > 0.0)
+        topo.dropLogsBefore(t);
+    if (telemetry_.streaming)
+        topo.armStreams(t, telemetry_.bucket);
+}
+
+void
 Executor::onTaskDone(RunState &st, int task_id)
 {
     const PlanTask &t = st.plan->tasks()[static_cast<std::size_t>(task_id)];
@@ -275,12 +289,20 @@ Executor::run(const IterationPlan &plan, int iterations, int warmup)
     auto result = std::make_shared<IterationResult>();
     result->flops_per_iteration = plan.totalGpuFlops();
 
+    // Apply the run's telemetry mode before any rate is logged: with
+    // retention off the logs keep only streamed buckets and the O(1)
+    // byte counters, bounding telemetry memory for the whole run.
+    cluster_.topology().setRetainSegments(
+        telemetry_.retain_segments || !telemetry_.streaming);
+    if (warmup == 0)
+        beginMeasurement(0.0);  // the measurement window is the run
+
     auto state = std::make_shared<RunState>();
     auto iter_index = std::make_shared<int>(0);
     auto start_next = std::make_shared<std::function<void()>>();
 
     *start_next = [this, &plan, result, state, iter_index, start_next,
-                   iterations]() {
+                   iterations, warmup]() {
         if (*iter_index >= iterations)
             return;
         RunState &st = *state;
@@ -293,9 +315,16 @@ Executor::run(const IterationPlan &plan, int iterations, int warmup)
         st.remaining = static_cast<int>(n);
         st.record_spans = (*iter_index == iterations - 1);
         st.spans = &result->spans;
-        st.on_done = [this, result, state, iter_index, start_next]() {
+        st.on_done = [this, result, state, iter_index, start_next,
+                      warmup]() {
             result->iteration_ends.push_back(sim_.now());
             ++*iter_index;
+            // The measurement window opens exactly where
+            // measured_begin will land: the end of the last warm-up
+            // iteration. Truncate warm-up telemetry and arm the
+            // streaming grid there.
+            if (warmup > 0 && *iter_index == warmup)
+                beginMeasurement(sim_.now());
             // Defer the next iteration to a fresh event so the
             // current iteration's callbacks fully unwind first.
             sim_.events().scheduleAfter(0.0,

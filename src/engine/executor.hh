@@ -20,6 +20,7 @@
 #include "storage/placement.hh"
 #include "storage/volume.hh"
 #include "strategies/strategy.hh"
+#include "telemetry/probe.hh"
 
 namespace dstrain {
 
@@ -101,6 +102,19 @@ class Executor
     void configureStorage(const NvmePlacement &placement);
 
     /**
+     * Configure how runs collect bandwidth telemetry (streaming
+     * accumulators vs retained segments; see TelemetryConfig).
+     * Applies to subsequent run() calls.
+     */
+    void configureTelemetry(const TelemetryConfig &telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
+    /** The telemetry configuration in use. */
+    const TelemetryConfig &telemetry() const { return telemetry_; }
+
+    /**
      * Run @p plan @p iterations times back to back, excluding the
      * first @p warmup iterations from the measurement window.
      * Runs the simulation to completion (synchronous).
@@ -126,6 +140,13 @@ class Executor
     /** Actually run a CPU optimizer task (front of a socket queue). */
     void dispatchCpu(RunState &st, int node, int socket);
 
+    /**
+     * The measurement window opens at @p t: truncate warm-up rate-log
+     * history (unless retained) and arm the streaming accumulators on
+     * the measurement grid.
+     */
+    void beginMeasurement(SimTime t);
+
     Simulation &sim_;
     Cluster &cluster_;
     FlowScheduler &flows_;
@@ -133,6 +154,7 @@ class Executor
     CollectiveEngine &coll_;
     AioEngine &aio_;
     EngineCalibration cal_;
+    TelemetryConfig telemetry_;
 
     NvmePlacement placement_ = nvmePlacementConfig('B');
     /** volumes_[node][volume index] */

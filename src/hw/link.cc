@@ -67,13 +67,55 @@ linkClassEfficiency(LinkClass cls)
 }
 
 void
+RateLog::fold(SimTime s_begin, SimTime s_end, Bps rate)
+{
+    if (rate == 0.0 || s_end <= stream_begin_)
+        return;
+    // Mirrors the segment integrator in bucketizeRateLogs() exactly
+    // (same clip, same index arithmetic, same deposit expression) so
+    // streamed buckets are bit-identical to a post-hoc segment sweep
+    // over the same history.
+    const SimTime s0 = std::max(s_begin, stream_begin_);
+    const SimTime s1 = s_end;
+    const auto first =
+        static_cast<std::size_t>((s0 - stream_begin_) / stream_bucket_);
+    const auto last =
+        static_cast<std::size_t>((s1 - stream_begin_) / stream_bucket_);
+    if (last >= stream_values_.size())
+        stream_values_.resize(last + 1, 0.0);
+    for (std::size_t b = first; b <= last; ++b) {
+        const SimTime b0 =
+            stream_begin_ + static_cast<double>(b) * stream_bucket_;
+        const SimTime b1 = b0 + stream_bucket_;
+        const SimTime overlap =
+            std::max(0.0, std::min(s1, b1) - std::max(s0, b0));
+        stream_values_[b] += rate * overlap / stream_bucket_;
+        ++buckets_touched_;
+    }
+}
+
+void
+RateLog::close(SimTime t)
+{
+    // Caller guarantees t > open_since_.
+    total_bytes_ += current_rate_ * (t - open_since_);
+    if (stream_armed_) {
+        fold(open_since_, t, current_rate_);
+        stream_end_ = t;
+    }
+    if (retain_segments_)
+        segments_.push_back(Segment{open_since_, t, current_rate_});
+    open_since_ = t;
+}
+
+void
 RateLog::setRate(SimTime t, Bps rate)
 {
     DSTRAIN_ASSERT(t >= open_since_, "rate log time went backwards");
     if (rate == current_rate_)
         return;
     if (t > open_since_)
-        segments_.push_back(Segment{open_since_, t, current_rate_});
+        close(t);
     open_since_ = t;
     current_rate_ = rate;
 }
@@ -83,36 +125,60 @@ RateLog::finalize(SimTime t)
 {
     DSTRAIN_ASSERT(t >= open_since_, "finalize before last change");
     if (t > open_since_)
-        segments_.push_back(Segment{open_since_, t, current_rate_});
+        close(t);
     open_since_ = t;
 }
 
-Bytes
-RateLog::totalBytes() const
+void
+RateLog::armStream(SimTime begin, SimTime bucket)
 {
-    Bytes total = 0.0;
-    for (const Segment &s : segments_)
-        total += s.rate * (s.end - s.begin);
-    return total;
+    DSTRAIN_ASSERT(bucket > 0.0, "non-positive stream bucket");
+    stream_armed_ = true;
+    stream_begin_ = begin;
+    stream_bucket_ = bucket;
+    stream_end_ = begin;
+    stream_values_.clear();
 }
 
 void
 RateLog::clear()
 {
     segments_.clear();
+    stream_values_.clear();
     open_since_ = 0.0;
     current_rate_ = 0.0;
+    total_bytes_ = 0.0;
+    stream_begin_ = 0.0;
+    stream_bucket_ = 0.0;
+    stream_end_ = 0.0;
+    buckets_touched_ = 0;
+    stream_armed_ = false;
+    // retain_segments_ is configuration, not history: it survives.
 }
 
 void
 RateLog::dropBefore(SimTime t)
 {
+    if (!retain_segments_) {
+        // No stored history: all closed intervals end at or before
+        // open_since_. Dropping into the open interval would lose
+        // bytes the counter can no longer attribute, so forbid it.
+        DSTRAIN_ASSERT(t >= open_since_,
+                       "dropBefore into the open interval of an "
+                       "unretained rate log");
+        open_since_ = std::max(open_since_, t);
+        total_bytes_ = 0.0;
+        return;
+    }
     auto keep = std::remove_if(segments_.begin(), segments_.end(),
                                [t](const Segment &s) { return s.end <= t; });
     segments_.erase(keep, segments_.end());
     for (Segment &s : segments_)
         s.begin = std::max(s.begin, t);
     open_since_ = std::max(open_since_, t);
+    total_bytes_ = 0.0;
+    for (const Segment &s : segments_)
+        total_bytes_ += s.rate * (s.end - s.begin);
 }
 
 } // namespace dstrain

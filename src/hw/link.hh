@@ -8,14 +8,17 @@
  * each physical interconnect *direction* as a `Resource` with a fixed
  * capacity; half-duplex interconnects (DRAM) use a single shared
  * resource for both directions. Flows consume resource capacity and
- * the per-resource `RateLog` records the piecewise-constant aggregate
- * rate history that telemetry later buckets into the paper's
- * avg/90th/peak summaries.
+ * the per-resource `RateLog` records the aggregate rate history that
+ * telemetry turns into the paper's avg/90th/peak summaries — either
+ * online (streaming bucket accumulators) or from retained
+ * piecewise-constant segments.
  */
 
 #ifndef DSTRAIN_HW_LINK_HH
 #define DSTRAIN_HW_LINK_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,12 +62,28 @@ enum class PortKind {
 };
 
 /**
- * Piecewise-constant rate history of one resource.
+ * Aggregate-rate history of one resource.
  *
  * The flow scheduler calls setRate() whenever the aggregate rate on
- * the resource changes; closed segments accumulate and the open
- * segment is tracked separately. finalize() closes the open segment
- * at end-of-run so integration and bucketing see the full history.
+ * the resource changes. Each rate change closes one constant-rate
+ * interval, which is consumed two independent ways:
+ *
+ *  - **Streaming** (the default telemetry path): once armStream()
+ *    has been called, every closed interval is folded into a
+ *    per-bucket accumulator on the grid `begin + k * bucket` in O(1)
+ *    amortized time, carrying partial-bucket overlap exactly. The
+ *    fold mirrors the segment integrator in bucketizeRateLogs()
+ *    operation for operation, so streamed series are bit-identical
+ *    to a segment sweep over the same history (DESIGN.md §6.4).
+ *  - **Retention** (opt-in, on by default for bare logs): closed
+ *    intervals are stored as Segments so arbitrary windows and
+ *    bucket widths can be re-integrated after the fact. Runs that
+ *    only need the standard telemetry grid disable retention
+ *    (TelemetryConfig::retain_segments) and keep O(buckets) memory
+ *    instead of O(rate changes).
+ *
+ * finalize() closes the open interval at end-of-run so both paths
+ * see the full history.
  */
 class RateLog
 {
@@ -85,25 +104,113 @@ class RateLog
     /** Close the open segment at @p t (idempotent for same t). */
     void finalize(SimTime t);
 
-    /** Closed segments, in time order. */
+    /** Retained closed segments, in time order (see retention). */
     const std::vector<Segment> &segments() const { return segments_; }
 
-    /** Total bytes transferred across all closed segments. */
-    Bytes totalBytes() const;
+    /** Total bytes across all closed history (O(1) running sum). */
+    Bytes totalBytes() const { return total_bytes_; }
 
-    /** Forget all history (segments and open state). */
+    /** Forget all history (segments, buckets, and open state). */
     void clear();
 
     /**
-     * Drop closed segments that end at or before @p t (history
-     * truncation between warm-up and measurement windows).
+     * Drop closed history that ends at or before @p t (history
+     * truncation between warm-up and measurement windows). With
+     * retention on, straddling segments are clipped to begin at
+     * @p t; without retention there is nothing stored, so only the
+     * byte counter resets to the post-@p t window.
      */
     void dropBefore(SimTime t);
 
+    // --- segment retention ----------------------------------------------
+
+    /**
+     * Keep closed segments? Defaults to true so directly-driven logs
+     * (unit tests, ad-hoc probes) behave like a full history.
+     * Configure before recording: toggling mid-history leaves
+     * previously retained segments in place but stops (or starts)
+     * retention for future closes.
+     */
+    void setRetainSegments(bool retain) { retain_segments_ = retain; }
+
+    /** Whether closed segments are being retained. */
+    bool retainSegments() const { return retain_segments_; }
+
+    // --- streaming bucket accumulator -------------------------------------
+
+    /**
+     * Arm the online accumulator on the grid `begin + k * bucket`.
+     * Rate changes closed after arming fold into per-bucket sums;
+     * history closed before arming (or before @p begin) is excluded,
+     * exactly like a segment sweep clipped at @p begin. Re-arming
+     * resets the accumulated buckets.
+     */
+    void armStream(SimTime begin, SimTime bucket);
+
+    /** Is the streaming accumulator armed? */
+    bool streamArmed() const { return stream_armed_; }
+
+    /** Grid origin of the armed accumulator. */
+    SimTime streamBegin() const { return stream_begin_; }
+
+    /** Bucket width of the armed accumulator. */
+    SimTime streamBucket() const { return stream_bucket_; }
+
+    /** Time the accumulator has folded history up to. */
+    SimTime streamEnd() const { return stream_end_; }
+
+    /**
+     * Per-bucket average-rate sums (same unit as a BandwidthSeries
+     * value). The array grows lazily with activity; buckets past the
+     * last deposit are implicitly zero.
+     */
+    const std::vector<double> &streamValues() const
+    {
+        return stream_values_;
+    }
+
+    /**
+     * Can a series over [@p begin, @p end) at @p bucket be read
+     * straight from the streamed buckets? Requires an exact grid
+     * match and that no folded history extends past @p end (a
+     * segment sweep would clip there; the accumulator does not).
+     */
+    bool streamCovers(SimTime begin, SimTime end, SimTime bucket) const
+    {
+        return stream_armed_ && stream_begin_ == begin &&
+               stream_bucket_ == bucket && stream_end_ <= end;
+    }
+
+    // --- observability ----------------------------------------------------
+
+    /** Bucket deposits performed by the accumulator so far. */
+    std::uint64_t bucketsTouched() const { return buckets_touched_; }
+
+    /** Heap bytes held by this log (segments + stream buckets). */
+    std::size_t memoryBytes() const
+    {
+        return segments_.capacity() * sizeof(Segment) +
+               stream_values_.capacity() * sizeof(double);
+    }
+
   private:
+    /** Close the open interval at @p t (fold / count / retain). */
+    void close(SimTime t);
+
+    /** Fold one closed interval into the armed bucket accumulator. */
+    void fold(SimTime s_begin, SimTime s_end, Bps rate);
+
     std::vector<Segment> segments_;
+    std::vector<double> stream_values_;
     SimTime open_since_ = 0.0;
     Bps current_rate_ = 0.0;
+    Bytes total_bytes_ = 0.0;
+    SimTime stream_begin_ = 0.0;
+    SimTime stream_bucket_ = 0.0;
+    SimTime stream_end_ = 0.0;
+    std::uint64_t buckets_touched_ = 0;
+    bool retain_segments_ = true;
+    bool stream_armed_ = false;
 };
 
 /** Identifies one capacity resource inside a Topology. */

@@ -14,6 +14,7 @@
 #ifndef DSTRAIN_HW_TOPOLOGY_HH
 #define DSTRAIN_HW_TOPOLOGY_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,17 @@
 #include "util/units.hh"
 
 namespace dstrain {
+
+/**
+ * Aggregate observability counters of the telemetry engine across a
+ * topology's rate logs, in the spirit of FlowScheduler::Stats.
+ */
+struct TelemetryStats {
+    std::uint64_t segments_retained = 0;  ///< closed segments held
+    std::uint64_t stream_buckets = 0;     ///< streaming buckets in use
+    std::uint64_t buckets_touched = 0;    ///< bucket deposits performed
+    std::uint64_t memory_bytes = 0;       ///< heap bytes of log state
+};
 
 /** Identifies a component (graph vertex) inside a Topology. */
 using ComponentId = int;
@@ -160,6 +172,18 @@ class Topology
 
     /** Drop all rate-log history before @p t (warm-up truncation). */
     void dropLogsBefore(SimTime t);
+
+    /** Toggle segment retention on every resource rate log. */
+    void setRetainSegments(bool retain);
+
+    /**
+     * Arm every resource's streaming accumulator on the grid
+     * `begin + k * bucket` (see RateLog::armStream).
+     */
+    void armStreams(SimTime begin, SimTime bucket);
+
+    /** Aggregate telemetry counters across all resource logs. */
+    TelemetryStats telemetryStats() const;
 
   private:
     std::vector<Component> components_;

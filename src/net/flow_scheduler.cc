@@ -163,6 +163,7 @@ FlowScheduler::tryFastStart(Flow &f)
     for (ResourceId rid : f.resources) {
         total_rate_[rid] += rate;
         topo_.resource(rid).log.setRate(now, total_rate_[rid]);
+        ++stats_.rate_updates;
         auto it =
             std::lower_bound(touched_.begin(), touched_.end(), rid);
         if (it == touched_.end() || *it != rid)
@@ -293,12 +294,14 @@ FlowScheduler::recompute()
     for (ResourceId rid : touched_) {
         if (!in_active_[rid]) {
             topo_.resource(rid).log.setRate(now, 0.0);
+            ++stats_.rate_updates;
             total_rate_[rid] = 0.0;
         }
     }
     touched_.assign(active_resources_.begin(), active_resources_.end());
     for (ResourceId rid : touched_) {
         topo_.resource(rid).log.setRate(now, total_rate_[rid]);
+        ++stats_.rate_updates;
         in_active_[rid] = 0;
     }
 
@@ -382,6 +385,7 @@ FlowScheduler::onCompletionEvent()
                 if (nflows_[rid] == 0 || total_rate_[rid] < 0.0)
                     total_rate_[rid] = 0.0;
                 topo_.resource(rid).log.setRate(now, total_rate_[rid]);
+                ++stats_.rate_updates;
             }
             if (f.on_complete)
                 callbacks.push_back(std::move(f.on_complete));

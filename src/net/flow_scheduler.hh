@@ -49,6 +49,7 @@ class FlowScheduler
         std::uint64_t recomputes = 0;     ///< full water-filling passes
         std::uint64_t fast_starts = 0;    ///< starts admitted incrementally
         std::uint64_t fast_finishes = 0;  ///< completions handled incrementally
+        std::uint64_t rate_updates = 0;   ///< per-resource rate notifications
     };
 
     /** @param sim the simulation context; @param topo the network. */

@@ -5,34 +5,139 @@
 
 #include "telemetry/probe.hh"
 
-#include <set>
+#include <algorithm>
+#include <cstdint>
 
 #include "util/logging.hh"
 
 namespace dstrain {
+namespace {
+
+/** Nodes handled without heap allocation by the per-probe flat set. */
+constexpr std::size_t kMaxInlineNodes = 64;
+
+/**
+ * Assemble the series for one class's logs: from the streamed bucket
+ * arrays when every log covers the requested window/grid, otherwise
+ * by the legacy segment sweep. A sweep over a log that carried
+ * traffic but retained no segments would silently read as idle, so
+ * that combination panics instead.
+ */
+BandwidthSeries
+seriesForLogs(const std::vector<const RateLog *> &logs, SimTime begin,
+              SimTime end, SimTime bucket)
+{
+    bool streamed = !logs.empty();
+    for (const RateLog *log : logs) {
+        if (!log->streamCovers(begin, end, bucket)) {
+            streamed = false;
+            break;
+        }
+    }
+    if (streamed)
+        return sumStreamedBuckets(logs, begin, end, bucket);
+    for (const RateLog *log : logs) {
+        DSTRAIN_ASSERT(
+            log->retainSegments() || log->totalBytes() == 0.0,
+            "probe window/bucket does not match the streamed grid and "
+            "segments were not retained; enable "
+            "TelemetryConfig::retain_segments for ad-hoc probes");
+    }
+    return bucketizeRateLogs(logs, begin, end, bucket);
+}
+
+} // namespace
 
 BandwidthSeries
 probeClassBandwidth(const Topology &topo, LinkClass cls, SimTime begin,
                     SimTime end, SimTime bucket, int node)
 {
+    // Counted flat presence array instead of a per-call std::set:
+    // slot 0 is the switch (node -1), slots 1..N the nodes.
+    const std::size_t node_slots =
+        static_cast<std::size_t>(topo.nodeCount()) + 1;
+    std::uint8_t seen_inline[kMaxInlineNodes] = {};
+    std::vector<std::uint8_t> seen_heap;
+    std::uint8_t *node_seen = seen_inline;
+    if (node_slots > kMaxInlineNodes) {
+        seen_heap.assign(node_slots, 0);
+        node_seen = seen_heap.data();
+    }
+
     std::vector<const RateLog *> logs;
-    std::set<int> nodes_with_class;
+    int nodes_with_class = 0;
     for (const Resource &r : topo.resources()) {
         if (r.cls != cls)
             continue;
-        nodes_with_class.insert(r.node);
+        std::uint8_t &seen =
+            node_seen[static_cast<std::size_t>(r.node + 1)];
+        if (!seen) {
+            seen = 1;
+            ++nodes_with_class;
+        }
         if (node >= 0 && r.node != node)
             continue;
         logs.push_back(&r.log);
     }
-    BandwidthSeries series = bucketizeRateLogs(logs, begin, end, bucket);
-    if (node < 0 && nodes_with_class.size() > 1) {
-        const double scale =
-            1.0 / static_cast<double>(nodes_with_class.size());
+    BandwidthSeries series = seriesForLogs(logs, begin, end, bucket);
+    if (node < 0 && nodes_with_class > 1) {
+        const double scale = 1.0 / static_cast<double>(nodes_with_class);
         for (double &v : series.values)
             v *= scale;
     }
     return series;
+}
+
+std::vector<BandwidthSeries>
+probeAllClasses(const Topology &topo, SimTime begin, SimTime end,
+                SimTime bucket, int node)
+{
+    const std::vector<LinkClass> &classes = tableIvClasses();
+    const std::size_t n_cls = classes.size();
+
+    // Dense class -> output-slot map so the resource walk is a flat
+    // lookup (classes outside Table IV map to -1 and are skipped).
+    int slot_of[kNumLinkClasses];
+    std::fill(std::begin(slot_of), std::end(slot_of), -1);
+    for (std::size_t i = 0; i < n_cls; ++i)
+        slot_of[static_cast<int>(classes[i])] = static_cast<int>(i);
+
+    const std::size_t node_slots =
+        static_cast<std::size_t>(topo.nodeCount()) + 1;
+    std::vector<std::uint8_t> node_seen(n_cls * node_slots, 0);
+    std::vector<int> nodes_with_class(n_cls, 0);
+    std::vector<std::vector<const RateLog *>> logs(n_cls);
+
+    for (const Resource &r : topo.resources()) {
+        const int slot = slot_of[static_cast<int>(r.cls)];
+        if (slot < 0)
+            continue;
+        const std::size_t cls_i = static_cast<std::size_t>(slot);
+        std::uint8_t &seen = node_seen[cls_i * node_slots +
+                                       static_cast<std::size_t>(r.node + 1)];
+        if (!seen) {
+            seen = 1;
+            ++nodes_with_class[cls_i];
+        }
+        if (node >= 0 && r.node != node)
+            continue;
+        logs[cls_i].push_back(&r.log);
+    }
+
+    std::vector<BandwidthSeries> out;
+    out.reserve(n_cls);
+    for (std::size_t i = 0; i < n_cls; ++i) {
+        BandwidthSeries series =
+            seriesForLogs(logs[i], begin, end, bucket);
+        if (node < 0 && nodes_with_class[i] > 1) {
+            const double scale =
+                1.0 / static_cast<double>(nodes_with_class[i]);
+            for (double &v : series.values)
+                v *= scale;
+        }
+        out.push_back(std::move(series));
+    }
+    return out;
 }
 
 BandwidthSummary

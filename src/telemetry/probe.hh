@@ -18,6 +18,26 @@ namespace dstrain {
 inline constexpr SimTime kDefaultTelemetryBucket = 0.1;
 
 /**
+ * How an engine run collects bandwidth telemetry.
+ *
+ * The default is the streaming engine: every rate log folds its
+ * history online into buckets of `bucket` width starting at the
+ * measurement window, warm-up history is truncated when measurement
+ * begins, and no segments are retained — O(buckets) memory per
+ * resource regardless of rate-change density. Set `retain_segments`
+ * to keep the full piecewise-constant history as well (needed to
+ * re-probe with ad-hoc windows or bucket widths after the run, e.g.
+ * the figure benches' per-iteration series). Setting `streaming` to
+ * false falls back to the legacy end-of-run segment sweep (implies
+ * retention).
+ */
+struct TelemetryConfig {
+    SimTime bucket = kDefaultTelemetryBucket;  ///< sampling bucket width
+    bool streaming = true;        ///< arm online bucket accumulators
+    bool retain_segments = false; ///< also keep full segment history
+};
+
+/**
  * Bandwidth series for one interconnect class.
  *
  * Sums both directions of every matching resource — the paper's
@@ -31,6 +51,17 @@ BandwidthSeries
 probeClassBandwidth(const Topology &topo, LinkClass cls, SimTime begin,
                     SimTime end, SimTime bucket = kDefaultTelemetryBucket,
                     int node = -1);
+
+/**
+ * Single-pass multi-class probe: walk topo.resources() once and
+ * produce the series of every Table IV class together, in
+ * tableIvClasses() order. Equivalent to (and bit-identical with)
+ * calling probeClassBandwidth() once per class, at one seventh of the
+ * resource-walk cost.
+ */
+std::vector<BandwidthSeries>
+probeAllClasses(const Topology &topo, SimTime begin, SimTime end,
+                SimTime bucket = kDefaultTelemetryBucket, int node = -1);
 
 /**
  * Per-node aggregate bidirectional summary for one class — one cell

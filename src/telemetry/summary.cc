@@ -16,10 +16,10 @@ measureBandwidthRow(const std::string &config, const Topology &topo,
 {
     BandwidthRow row;
     row.config = config;
-    for (LinkClass cls : tableIvClasses()) {
-        row.per_class.push_back(
-            summarizeClassBandwidth(topo, cls, begin, end, bucket));
-    }
+    // One walk of topo.resources() for all seven classes.
+    for (const BandwidthSeries &series :
+         probeAllClasses(topo, begin, end, bucket))
+        row.per_class.push_back(series.summary());
     return row;
 }
 

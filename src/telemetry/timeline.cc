@@ -6,6 +6,7 @@
 #include "telemetry/timeline.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
 #include "util/units.hh"
@@ -88,10 +89,15 @@ renderTimeline(const std::vector<TaskSpan> &spans, int ranks,
         const int p = phasePriority(s.phase);
         auto first = static_cast<int>((std::max(s.begin, begin) - begin) /
                                       slot);
-        auto last = static_cast<int>((std::min(s.end, end) - begin) /
-                                     slot);
+        // Slots are half-open: a span ending exactly on a slot
+        // boundary must not paint the slot that starts there.
+        auto last = static_cast<int>(std::ceil(
+                        (std::min(s.end, end) - begin) / slot)) -
+                    1;
         first = std::clamp(first, 0, opts.width - 1);
         last = std::clamp(last, 0, opts.width - 1);
+        if (last < first)
+            continue;
         for (int c = first; c <= last; ++c) {
             if (p > prio[static_cast<std::size_t>(row)]
                         [static_cast<std::size_t>(c)]) {

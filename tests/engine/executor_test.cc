@@ -200,6 +200,29 @@ TEST_F(ExecutorTest, DeterministicAcrossRuns)
     EXPECT_DOUBLE_EQ(run_once(), run_once());
 }
 
+TEST_F(ExecutorTest, StreamingRunRetainsNoSegments)
+{
+    IterationPlan plan;
+    plan.hostTransfer(0, 26.24e9, true, {}, "d2h");
+    exec_.run(plan, 3, 1);
+    const TelemetryStats stats = cluster_.topology().telemetryStats();
+    EXPECT_EQ(stats.segments_retained, 0u);
+    EXPECT_GT(stats.buckets_touched, 0u);
+    EXPECT_GT(stats.stream_buckets, 0u);
+}
+
+TEST_F(ExecutorTest, RetainSegmentsConfigKeepsHistory)
+{
+    TelemetryConfig telemetry;
+    telemetry.retain_segments = true;
+    exec_.configureTelemetry(telemetry);
+    IterationPlan plan;
+    plan.hostTransfer(0, 26.24e9, true, {}, "d2h");
+    exec_.run(plan, 3, 1);
+    const TelemetryStats stats = cluster_.topology().telemetryStats();
+    EXPECT_GT(stats.segments_retained, 0u);
+}
+
 TEST_F(ExecutorTest, DeathOnBadIterationCounts)
 {
     IterationPlan plan;

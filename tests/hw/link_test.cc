@@ -104,5 +104,83 @@ TEST(RateLogTest, DropBeforeClipsStraddlingSegment)
     EXPECT_DOUBLE_EQ(log.totalBytes(), 30.0);
 }
 
+TEST(RateLogTest, StreamedBucketsAccumulateOnline)
+{
+    RateLog log;
+    log.setRetainSegments(false);
+    log.armStream(0.0, 0.5);
+    log.setRate(0.0, 10.0);
+    log.setRate(1.0, 0.0);
+    log.finalize(2.0);
+
+    EXPECT_TRUE(log.segments().empty());
+    EXPECT_TRUE(log.streamArmed());
+    EXPECT_DOUBLE_EQ(log.streamEnd(), 2.0);
+    ASSERT_GE(log.streamValues().size(), 2u);
+    // Rate 10 fills buckets [0,0.5) and [0.5,1.0) completely.
+    EXPECT_DOUBLE_EQ(log.streamValues()[0], 10.0);
+    EXPECT_DOUBLE_EQ(log.streamValues()[1], 10.0);
+    for (std::size_t b = 2; b < log.streamValues().size(); ++b)
+        EXPECT_DOUBLE_EQ(log.streamValues()[b], 0.0);
+    EXPECT_DOUBLE_EQ(log.totalBytes(), 10.0);
+    EXPECT_GT(log.bucketsTouched(), 0u);
+}
+
+TEST(RateLogTest, UnretainedDropBeforeResetsBytes)
+{
+    RateLog log;
+    log.setRetainSegments(false);
+    log.setRate(0.0, 10.0);
+    log.setRate(2.0, 4.0);  // closes [0,2) @ 10
+    log.dropBefore(2.0);
+    EXPECT_DOUBLE_EQ(log.totalBytes(), 0.0);
+    log.finalize(3.0);
+    EXPECT_DOUBLE_EQ(log.totalBytes(), 4.0);
+    EXPECT_TRUE(log.segments().empty());
+}
+
+TEST(RateLogTest, MemoryBytesTracksRetention)
+{
+    RateLog retained;
+    RateLog streamed;
+    streamed.setRetainSegments(false);
+    streamed.armStream(0.0, 0.1);
+    for (int i = 0; i < 100; ++i) {
+        const SimTime t = i * 0.01;
+        const Bps rate = (i % 3 == 0) ? 0.0 : 1e9 + i;
+        retained.setRate(t, rate);
+        streamed.setRate(t, rate);
+    }
+    retained.finalize(1.0);
+    streamed.finalize(1.0);
+
+    EXPECT_TRUE(streamed.segments().empty());
+    EXPECT_FALSE(retained.segments().empty());
+    EXPECT_GT(retained.memoryBytes(), streamed.memoryBytes());
+}
+
+TEST(RateLogTest, RearmResetsStreamState)
+{
+    RateLog log;
+    log.setRetainSegments(false);
+    log.armStream(0.0, 0.5);
+    log.setRate(0.0, 8.0);
+    log.setRate(1.0, 0.0);
+    // Truncate the warm-up and re-arm on the measurement boundary.
+    log.dropBefore(1.0);
+    log.armStream(1.0, 0.5);
+    log.setRate(1.5, 6.0);
+    log.finalize(2.0);
+
+    EXPECT_DOUBLE_EQ(log.streamBegin(), 1.0);
+    EXPECT_DOUBLE_EQ(log.streamEnd(), 2.0);
+    ASSERT_GE(log.streamValues().size(), 2u);
+    EXPECT_DOUBLE_EQ(log.streamValues()[0], 0.0);
+    EXPECT_DOUBLE_EQ(log.streamValues()[1], 6.0);
+    for (std::size_t b = 2; b < log.streamValues().size(); ++b)
+        EXPECT_DOUBLE_EQ(log.streamValues()[b], 0.0);
+    EXPECT_DOUBLE_EQ(log.totalBytes(), 3.0);
+}
+
 } // namespace
 } // namespace dstrain

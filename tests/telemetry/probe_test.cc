@@ -87,5 +87,80 @@ TEST(ProbeTest, QuietClassesReadZero)
     EXPECT_DOUBLE_EQ(dram.peak, 0.0);
 }
 
+/** Start the AggregatesBothDirections flow pattern on @p cluster. */
+void
+runOppositeNvLinkFlows(Simulation &sim, Cluster &cluster,
+                       FlowScheduler &flows)
+{
+    for (int dir = 0; dir < 2; ++dir) {
+        FlowSpec spec;
+        spec.route = cluster.router().route(
+            cluster.gpuByRank(dir), cluster.gpuByRank(1 - dir));
+        spec.bytes = 80e9;
+        flows.start(std::move(spec));
+    }
+    sim.run();
+    flows.finalizeLogs();
+}
+
+TEST(ProbeTest, ProbeAllClassesMatchesPerClassProbes)
+{
+    Simulation sim;
+    Cluster cluster{ClusterSpec{}};
+    FlowScheduler flows(sim, cluster.topology());
+    runOppositeNvLinkFlows(sim, cluster, flows);
+
+    const std::vector<BandwidthSeries> all = probeAllClasses(
+        cluster.topology(), 0.0, sim.now(), 0.1);
+    const auto &classes = tableIvClasses();
+    ASSERT_EQ(all.size(), classes.size());
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+        const BandwidthSeries one = probeClassBandwidth(
+            cluster.topology(), classes[c], 0.0, sim.now(), 0.1);
+        ASSERT_EQ(all[c].values.size(), one.values.size())
+            << linkClassName(classes[c]);
+        for (std::size_t b = 0; b < one.values.size(); ++b) {
+            EXPECT_EQ(all[c].values[b], one.values[b])
+                << linkClassName(classes[c]) << " bucket " << b;
+        }
+    }
+}
+
+TEST(ProbeTest, StreamedProbeMatchesSegmentSweep)
+{
+    // Two identical simulations: A streams into online buckets with
+    // retention off; B keeps segments and sweeps them at probe time.
+    // The published series must be bitwise identical.
+    Simulation sim_a;
+    Cluster cluster_a{ClusterSpec{}};
+    cluster_a.topology().setRetainSegments(false);
+    cluster_a.topology().armStreams(0.0, 0.1);
+    FlowScheduler flows_a(sim_a, cluster_a.topology());
+    runOppositeNvLinkFlows(sim_a, cluster_a, flows_a);
+
+    Simulation sim_b;
+    Cluster cluster_b{ClusterSpec{}};
+    FlowScheduler flows_b(sim_b, cluster_b.topology());
+    runOppositeNvLinkFlows(sim_b, cluster_b, flows_b);
+    ASSERT_EQ(sim_a.now(), sim_b.now());
+
+    const std::vector<BandwidthSeries> streamed = probeAllClasses(
+        cluster_a.topology(), 0.0, sim_a.now(), 0.1);
+    const std::vector<BandwidthSeries> swept = probeAllClasses(
+        cluster_b.topology(), 0.0, sim_b.now(), 0.1);
+    ASSERT_EQ(streamed.size(), swept.size());
+    for (std::size_t c = 0; c < swept.size(); ++c) {
+        ASSERT_EQ(streamed[c].values.size(), swept[c].values.size());
+        for (std::size_t b = 0; b < swept[c].values.size(); ++b)
+            EXPECT_EQ(streamed[c].values[b], swept[c].values[b]);
+    }
+
+    const TelemetryStats stats = cluster_a.topology().telemetryStats();
+    EXPECT_EQ(stats.segments_retained, 0u);
+    EXPECT_GT(stats.buckets_touched, 0u);
+    EXPECT_GT(cluster_b.topology().telemetryStats().segments_retained,
+              0u);
+}
+
 } // namespace
 } // namespace dstrain

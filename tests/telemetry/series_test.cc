@@ -89,6 +89,126 @@ TEST(SeriesTest, BytesConservedAcrossBucketSizes)
     }
 }
 
+/** One rate change in the oracle replay below. */
+struct Change {
+    SimTime t;
+    Bps rate;
+};
+
+/**
+ * Replay the same rate sequence into a retained log (legacy segment
+ * sweep) and a streamed log (online accumulator armed on the probe
+ * grid), then demand the two series be bitwise identical. This is
+ * the oracle for the streaming engine's exact partial-bucket carry.
+ */
+void
+expectStreamMatchesSweep(const std::vector<Change> &changes,
+                         SimTime finalize_at, SimTime begin,
+                         SimTime end, SimTime bucket)
+{
+    RateLog retained;
+    RateLog streamed;
+    streamed.setRetainSegments(false);
+    streamed.armStream(begin, bucket);
+    for (const Change &c : changes) {
+        retained.setRate(c.t, c.rate);
+        streamed.setRate(c.t, c.rate);
+    }
+    retained.finalize(finalize_at);
+    streamed.finalize(finalize_at);
+    ASSERT_TRUE(streamed.streamCovers(begin, end, bucket));
+
+    const BandwidthSeries sweep =
+        bucketizeRateLogs({&retained}, begin, end, bucket);
+    const BandwidthSeries stream =
+        sumStreamedBuckets({&streamed}, begin, end, bucket);
+    ASSERT_EQ(stream.values.size(), sweep.values.size());
+    for (std::size_t b = 0; b < sweep.values.size(); ++b)
+        EXPECT_EQ(stream.values[b], sweep.values[b]) << b;
+}
+
+TEST(StreamSeriesTest, SegmentStraddlingWindowStart)
+{
+    // History begins before the armed window; legacy clips the
+    // straddling segment, streaming clips in fold(). Note the
+    // streamed log is armed at 0.35 but the rate opened at 0.0 —
+    // legacy sees the full segment and clips it to the window.
+    expectStreamMatchesSweep({{0.0, 5.0}, {0.8, 2.0}}, 1.15, 0.35,
+                             1.15, 0.2);
+}
+
+TEST(StreamSeriesTest, SegmentEndingExactlyAtWindowEnd)
+{
+    expectStreamMatchesSweep({{0.0, 4.0}, {0.5, 9.0}}, 1.0, 0.0, 1.0,
+                             0.25);
+}
+
+TEST(StreamSeriesTest, RateZeroGapsSkipped)
+{
+    expectStreamMatchesSweep(
+        {{0.0, 10.0}, {0.3, 0.0}, {0.55, 6.0}, {0.8, 0.0}}, 1.2, 0.0,
+        1.2, 0.1);
+}
+
+TEST(StreamSeriesTest, BucketNotDividingWindow)
+{
+    // 1.0 / 0.3 is not integral: the last bucket is partial on the
+    // grid, and ceil() decides the bucket count in both paths.
+    expectStreamMatchesSweep({{0.0, 7.0}, {0.45, 12.0}}, 1.0, 0.0,
+                             1.0, 0.3);
+}
+
+TEST(StreamSeriesTest, MidBucketPartialCarry)
+{
+    // Several changes inside one bucket exercise the exact
+    // partial-bucket carry (each change deposits its fraction).
+    expectStreamMatchesSweep(
+        {{0.0, 3.0}, {0.12, 8.0}, {0.31, 1.0}, {0.33, 20.0}}, 0.5,
+        0.0, 0.5, 0.5);
+}
+
+TEST(StreamSeriesTest, MultiLogSumsBitIdentical)
+{
+    RateLog ra, rb, sa, sb;
+    for (RateLog *log : {&sa, &sb}) {
+        log->setRetainSegments(false);
+        log->armStream(0.0, 0.25);
+    }
+    for (RateLog *log : {&ra, &sa}) {
+        log->setRate(0.0, 3.125);
+        log->setRate(0.4, 11.5);
+        log->finalize(1.0);
+    }
+    for (RateLog *log : {&rb, &sb}) {
+        log->setRate(0.1, 0.7);
+        log->setRate(0.6, 0.0);
+        log->finalize(1.0);
+    }
+    const BandwidthSeries sweep =
+        bucketizeRateLogs({&ra, &rb}, 0.0, 1.0, 0.25);
+    const BandwidthSeries stream =
+        sumStreamedBuckets({&sa, &sb}, 0.0, 1.0, 0.25);
+    ASSERT_EQ(stream.values.size(), sweep.values.size());
+    for (std::size_t b = 0; b < sweep.values.size(); ++b)
+        EXPECT_EQ(stream.values[b], sweep.values[b]) << b;
+}
+
+TEST(StreamSeriesTest, StreamCoverageGuard)
+{
+    RateLog log;
+    log.setRetainSegments(false);
+    log.armStream(0.0, 0.1);
+    log.setRate(0.0, 5.0);
+    log.finalize(2.0);
+    EXPECT_TRUE(log.streamCovers(0.0, 2.0, 0.1));
+    // History extends past the requested end: the accumulator folded
+    // [1,2) into the grid, so a [0,1) probe cannot reuse it.
+    EXPECT_FALSE(log.streamCovers(0.0, 1.0, 0.1));
+    // Mismatched grid (different bucket or origin).
+    EXPECT_FALSE(log.streamCovers(0.0, 2.0, 0.2));
+    EXPECT_FALSE(log.streamCovers(0.1, 2.0, 0.1));
+}
+
 TEST(SeriesDeathTest, BadWindowRejected)
 {
     RateLog log;

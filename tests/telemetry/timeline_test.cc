@@ -75,6 +75,21 @@ TEST(TimelineTest, SpansOutsideWindowIgnored)
     EXPECT_NE(out.find("|....|"), std::string::npos);
 }
 
+TEST(TimelineTest, SpanEndingOnSlotBoundaryPaintsOneSlot)
+{
+    // A span exactly one slot wide, ending exactly on a slot
+    // boundary: it must paint only its own slot, not also the slot
+    // that starts at its end time.
+    std::vector<TaskSpan> spans = {
+        span(0, TaskKind::GpuCompute, ComputePhase::Forward, 1.0, 2.0),
+    };
+    TimelineOptions opts;
+    opts.width = 4;
+    opts.include_host = false;
+    const std::string out = renderTimeline(spans, 1, 0.0, 4.0, opts);
+    EXPECT_NE(out.find("|.F..|"), std::string::npos) << out;
+}
+
 TEST(TimelineDeathTest, BadWindowRejected)
 {
     EXPECT_DEATH(renderTimeline({}, 1, 1.0, 1.0), "empty timeline");

@@ -195,6 +195,13 @@ runCli(int argc, const char *const *argv)
     args.addOption("trace", "",
                    "write a chrome://tracing JSON of the final "
                    "iteration to this path");
+    args.addOption("bucket", "0.1",
+                   "telemetry sampling bucket in seconds");
+    args.addFlag("retain-segments",
+                 "keep the full rate-log history instead of the "
+                 "streaming bucket accumulators (more memory)");
+    args.addFlag("telemetry-stats",
+                 "print the telemetry-engine counters");
     args.addFlag("csv", "emit the bandwidth row as CSV");
     args.addFlag("energy", "print the energy-model estimate");
     args.addFlag("timeline", "print the ASCII iteration timeline");
@@ -221,6 +228,12 @@ runCli(int argc, const char *const *argv)
     cfg.placement = nvmePlacementConfig(args.get("placement")[0]);
     cfg.cluster.node.model_serdes_contention =
         !args.getFlag("no-serdes");
+    if (args.getDouble("bucket") <= 0.0) {
+        std::fprintf(stderr, "dstrain: --bucket must be positive\n");
+        return 1;
+    }
+    cfg.telemetry.bucket = args.getDouble("bucket");
+    cfg.telemetry.retain_segments = args.getFlag("retain-segments");
 
     Experiment experiment(std::move(cfg));
     const ExperimentReport report = experiment.run();
@@ -240,6 +253,9 @@ runCli(int argc, const char *const *argv)
             "Aggregate bidirectional per-node bandwidth (GBps):");
         std::cout << bw;
     }
+
+    if (args.getFlag("telemetry-stats"))
+        std::cout << "\n" << summarizeTelemetry(report.telemetry) << "\n";
 
     const auto &ends = report.execution.iteration_ends;
     const SimTime last_begin = ends[ends.size() - 2];
