@@ -58,17 +58,17 @@ CollectiveEngine::spansNodes(const CommGroup &group) const
     return false;
 }
 
-std::pair<ComponentId, ComponentId>
+std::vector<ComponentId>
 CollectiveEngine::viaNics(int src_rank, int dst_rank, int channel,
                           bool pin) const
 {
     Cluster &cl = tm_.cluster();
     if (!pin)
-        return {kNoComponent, kNoComponent};
+        return {};
     const int src_node = cl.nodeOfRank(src_rank);
     const int dst_node = cl.nodeOfRank(dst_rank);
     if (src_node == dst_node)
-        return {kNoComponent, kNoComponent};  // intra-node: NVLink
+        return {};  // intra-node: NVLink
     const auto &src_nics = cl.node(src_node).nics;
     const auto &dst_nics = cl.node(dst_node).nics;
     DSTRAIN_ASSERT(!src_nics.empty() && !dst_nics.empty(),
@@ -125,7 +125,7 @@ CollectiveEngine::runRounds(const CommGroup &group,
         for (const Hop &hop : round) {
             Cluster &cl = st->eng->tm_.cluster();
             TransferOptions opts;
-            std::tie(opts.via, opts.via2) = st->eng->viaNics(
+            opts.waypoints = st->eng->viaNics(
                 hop.src_rank, hop.dst_rank, st->channel, st->pin);
             opts.rate_factor = st->bw_factor;
             opts.tag = st->tag;

@@ -150,11 +150,11 @@ class CollectiveEngine
     bool spansNodes(const CommGroup &group) const;
 
     /**
-     * Resolve the pinned egress/ingress NICs for a hop (the src
-     * node's and dst node's NIC of the channel), or kNoComponent
-     * for intra-node hops / unpinned collectives.
+     * Resolve the pinned route waypoints for a hop: the src node's
+     * and dst node's NIC of the channel. Empty for intra-node hops
+     * and unpinned collectives (shortest path).
      */
-    std::pair<ComponentId, ComponentId>
+    std::vector<ComponentId>
     viaNics(int src_rank, int dst_rank, int channel, bool pin) const;
 
     TransferManager &tm_;

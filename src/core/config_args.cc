@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Implementation of the shared flag-to-config plumbing.
+ */
+
+#include "core/config_args.hh"
+
+#include <algorithm>
+
+#include "core/presets.hh"
+#include "util/logging.hh"
+
+namespace dstrain {
+
+std::optional<StrategyConfig>
+parseStrategyName(const std::string &name, int tp, int pp)
+{
+    if (name == "ddp")
+        return StrategyConfig::ddp();
+    if (name == "megatron")
+        return StrategyConfig::megatron(tp > 0 ? tp : 4,
+                                        pp > 0 ? pp : 1);
+    if (name == "zero1")
+        return tp > 1 ? StrategyConfig::hybridZero(1, tp)
+                      : StrategyConfig::zero(1);
+    if (name == "zero2")
+        return tp > 1 ? StrategyConfig::hybridZero(2, tp)
+                      : StrategyConfig::zero(2);
+    if (name == "zero3")
+        return StrategyConfig::zero(3);
+    if (name == "zero1-cpu")
+        return StrategyConfig::zeroOffloadCpu(1);
+    if (name == "zero2-cpu")
+        return StrategyConfig::zeroOffloadCpu(2);
+    if (name == "zero3-cpu")
+        return StrategyConfig::zeroOffloadCpu(3);
+    if (name == "zero3-nvme")
+        return StrategyConfig::zeroInfinityNvme(false);
+    if (name == "zero3-nvme-params")
+        return StrategyConfig::zeroInfinityNvme(true);
+    return std::nullopt;
+}
+
+const char *
+strategyNameHelp()
+{
+    return "ddp | megatron | zero1 | zero2 | zero3 | zero1-cpu | "
+           "zero2-cpu | zero3-cpu | zero3-nvme | zero3-nvme-params";
+}
+
+void
+addExperimentOptions(ArgParser &args)
+{
+    args.addOption("nodes", "1", "number of compute nodes");
+    args.addOption("strategy", "zero3", strategyNameHelp());
+    args.addOption("model", "0",
+                   "model size in billions (0 = largest that fits)");
+    args.addOption("tp", "0",
+                   "tensor-parallel degree (megatron/hybrid)");
+    args.addOption("pp", "0", "pipeline-parallel degree (megatron)");
+    args.addOption("batch", "16", "per-GPU batch size");
+    args.addOption("iterations", "4", "iterations to simulate");
+    args.addOption("placement", "B",
+                   "NVMe drive placement (A-G paper, H extension)");
+    args.addOption("bucket", "0.1",
+                   "telemetry sampling bucket in seconds");
+    args.addOption(
+        "faults", "",
+        "comma-separated fault spec "
+        "<kind>@<begin>[+<duration>]:<target>[:<fraction>], e.g. "
+        "'degrade@1+0.5:roce:0.4,straggler@0+2:rank3:0.6'");
+    args.addFlag("retain-segments",
+                 "keep the full rate-log history instead of the "
+                 "streaming bucket accumulators (more memory)");
+    args.addFlag("no-serdes",
+                 "disable the IOD SerDes contention model (ablation)");
+}
+
+ParsedExperiment
+experimentFromArgs(const ArgParser &args)
+{
+    ParsedExperiment out;
+
+    const auto strategy = parseStrategyName(
+        args.get("strategy"), args.getInt("tp"), args.getInt("pp"));
+    if (!strategy) {
+        out.errors.push_back(
+            {"strategy",
+             csprintf("unknown strategy '%s' (expected %s)",
+                      args.get("strategy").c_str(),
+                      strategyNameHelp())});
+        return out;
+    }
+
+    out.config = paperExperiment(args.getInt("nodes"), *strategy,
+                                 args.getDouble("model"));
+    out.config.batch_per_gpu = args.getInt("batch");
+    // Executor needs at least one measured (post-warmup) iteration.
+    out.config.iterations =
+        std::max(out.config.warmup + 1, args.getInt("iterations"));
+
+    const std::string placement = args.get("placement");
+    if (placement.size() != 1 || placement[0] < 'A' ||
+        placement[0] > 'H') {
+        out.errors.push_back(
+            {"placement", csprintf("'%s' is not a placement letter "
+                                   "(A-G paper, H extension)",
+                                   placement.c_str())});
+    } else {
+        out.config.placement = nvmePlacementConfig(placement[0]);
+    }
+
+    out.config.cluster.node.model_serdes_contention =
+        !args.getFlag("no-serdes");
+    out.config.telemetry.bucket = args.getDouble("bucket");
+    out.config.telemetry.retain_segments =
+        args.getFlag("retain-segments");
+
+    if (!args.get("faults").empty())
+        out.config.faults =
+            parseFaultSpec(args.get("faults"), &out.errors);
+
+    // Structural validation last; skip anything already reported
+    // (parseFaultSpec runs the plan's own validate()).
+    for (ConfigError &e : out.config.validate()) {
+        const bool dup = std::any_of(
+            out.errors.begin(), out.errors.end(),
+            [&](const ConfigError &have) {
+                return have.field == e.field &&
+                       have.message == e.message;
+            });
+        if (!dup)
+            out.errors.push_back(std::move(e));
+    }
+    return out;
+}
+
+} // namespace dstrain

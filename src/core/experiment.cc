@@ -10,6 +10,75 @@
 
 namespace dstrain {
 
+namespace {
+
+/**
+ * Per-fault iteration-time delta: mean length of measured iterations
+ * overlapping the fault window over the mean of clean ones.
+ */
+void
+fillIterationSlowdowns(const IterationResult &ex,
+                       std::vector<FaultImpact> &faults)
+{
+    for (FaultImpact &im : faults) {
+        const SimTime f0 = im.applied_at;
+        const SimTime f1 =
+            im.restored ? im.restored_at : ex.measured_end;
+        double dirty_sum = 0.0;
+        double clean_sum = 0.0;
+        int dirty_n = 0;
+        int clean_n = 0;
+        SimTime begin = 0.0;
+        for (SimTime end : ex.iteration_ends) {
+            const SimTime start = begin;
+            begin = end;
+            if (start < ex.measured_begin)
+                continue;  // warm-up iteration
+            if (start < f1 && end > f0) {
+                dirty_sum += end - start;
+                ++dirty_n;
+            } else {
+                clean_sum += end - start;
+                ++clean_n;
+            }
+        }
+        if (dirty_n > 0 && clean_n > 0) {
+            im.iteration_slowdown =
+                (dirty_sum / dirty_n) / (clean_sum / clean_n);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<ConfigError>
+ExperimentConfig::validate() const
+{
+    std::vector<ConfigError> errors;
+    if (cluster.nodes < 1)
+        errors.push_back({"cluster.nodes", "must be >= 1"});
+    if (cluster.node.gpus < 1)
+        errors.push_back({"cluster.node.gpus", "must be >= 1"});
+    if (model_billions < 0.0)
+        errors.push_back(
+            {"model_billions", "must be >= 0 (0 = largest that fits)"});
+    if (batch_per_gpu < 1)
+        errors.push_back({"batch_per_gpu", "must be >= 1"});
+    if (iterations < 1)
+        errors.push_back({"iterations", "must be >= 1"});
+    if (warmup < 0)
+        errors.push_back({"warmup", "must be >= 0"});
+    else if (iterations >= 1 && warmup >= iterations)
+        errors.push_back(
+            {"warmup", csprintf("must be < iterations (%d >= %d)",
+                                warmup, iterations)});
+    if (telemetry.bucket <= 0.0)
+        errors.push_back({"telemetry.bucket", "must be positive"});
+    for (ConfigError &e : faults.validate())
+        errors.push_back(std::move(e));
+    return errors;
+}
+
 Experiment::Experiment(ExperimentConfig cfg)
     : cfg_(std::move(cfg))
 {
@@ -47,6 +116,11 @@ Experiment::Experiment(ExperimentConfig cfg)
                                            cfg_.engine_cal);
     executor_->configureStorage(cfg_.placement);
     executor_->configureTelemetry(cfg_.telemetry);
+    if (!cfg_.faults.empty()) {
+        injector_ = std::make_unique<FaultInjector>(
+            *sim_, *cluster_, *flows_, *tm_, *executor_, *aio_,
+            cfg_.faults);
+    }
 }
 
 Experiment::~Experiment() = default;
@@ -57,6 +131,11 @@ Experiment::run()
     DSTRAIN_ASSERT(!ran_, "Experiment::run() called twice");
     ran_ = true;
 
+    const std::vector<ConfigError> errors = cfg_.validate();
+    if (!errors.empty())
+        panic("invalid experiment config:\n%s",
+              formatConfigErrors(errors).c_str());
+
     const TransformerConfig model_cfg =
         TransformerConfig::gpt2Like(model_.layers);
 
@@ -65,6 +144,9 @@ Experiment::run()
     std::unique_ptr<Strategy> strategy =
         Strategy::create(cfg_.strategy);
     IterationPlan plan = strategy->buildIteration(ctx);
+
+    if (injector_)
+        injector_->arm();
 
     ExperimentReport report;
     report.strategy = cfg_.strategy;
@@ -86,6 +168,13 @@ Experiment::run()
         report.execution.measured_begin, report.execution.measured_end,
         cfg_.telemetry.bucket);
     report.telemetry = cluster_->topology().telemetryStats();
+
+    if (injector_) {
+        injector_->finalize(report.execution.measured_begin,
+                            report.execution.measured_end);
+        report.faults = injector_->impacts();
+        fillIterationSlowdowns(report.execution, report.faults);
+    }
     return report;
 }
 

@@ -22,9 +22,11 @@
 #include <memory>
 
 #include "engine/executor.hh"
+#include "fault/fault_injector.hh"
 #include "memplan/capacity_solver.hh"
 #include "memplan/composition.hh"
 #include "telemetry/summary.hh"
+#include "util/config_error.hh"
 
 namespace dstrain {
 
@@ -64,7 +66,21 @@ struct ExperimentConfig {
      */
     TelemetryConfig telemetry;
 
+    /**
+     * Faults to inject during the run (empty = none; an empty plan
+     * produces bit-identical reports to a plain run). See
+     * fault/fault_plan.hh and the README quickstart.
+     */
+    FaultPlan faults;
+
     std::uint64_t seed = 1;
+
+    /**
+     * Check every field for structural validity; empty result = OK.
+     * Experiment::run() panics on a non-empty result; the CLI prints
+     * each error and exits instead.
+     */
+    std::vector<ConfigError> validate() const;
 };
 
 /** The metrics one run produces. */
@@ -78,6 +94,9 @@ struct ExperimentReport {
     BandwidthRow bandwidth;         ///< Table IV row
     IterationResult execution;      ///< raw timings + spans
     TelemetryStats telemetry;       ///< telemetry-engine counters
+
+    /** Per-fault impact deltas (empty when no faults configured). */
+    std::vector<FaultImpact> faults;
 };
 
 /**
@@ -105,6 +124,12 @@ class Experiment
     /** The resolved model (after ladder snap / capacity solve). */
     const LadderEntry &model() const { return model_; }
 
+    /** The flow scheduler (post-run stats inspection). */
+    FlowScheduler &flows() { return *flows_; }
+
+    /** The transfer manager (post-run reroute counters). */
+    TransferManager &transfers() { return *tm_; }
+
   private:
     ExperimentConfig cfg_;
     LadderEntry model_;
@@ -115,6 +140,7 @@ class Experiment
     std::unique_ptr<CollectiveEngine> coll_;
     std::unique_ptr<AioEngine> aio_;
     std::unique_ptr<Executor> executor_;
+    std::unique_ptr<FaultInjector> injector_;
     bool ran_ = false;
 };
 

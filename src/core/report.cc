@@ -135,6 +135,36 @@ sparkline(const std::vector<double> &values, int width)
     return out;
 }
 
+TextTable
+faultImpactTable(const ExperimentReport &report)
+{
+    TextTable table({"Fault", "Link", "Nominal", "Faulted",
+                     "Avg before", "Avg during", "Avg after",
+                     "Iter slowdown"});
+    for (const FaultImpact &im : report.faults) {
+        for (std::size_t k = 0; k < im.links.size(); ++k) {
+            const LinkImpact &li = im.links[k];
+            table.addRow({
+                k == 0 ? im.event.str() : "",
+                li.label,
+                formatBandwidth(li.nominal),
+                formatBandwidth(li.faulted),
+                formatBandwidth(li.avg_before),
+                formatBandwidth(li.avg_during),
+                formatBandwidth(li.avg_after),
+                k == 0 ? csprintf("%.2fx", im.iteration_slowdown) : "",
+            });
+        }
+        // Stragglers / NVMe latency faults may touch no links at all;
+        // still show the slowdown row.
+        if (im.links.empty()) {
+            table.addRow({im.event.str(), "-", "-", "-", "-", "-", "-",
+                          csprintf("%.2fx", im.iteration_slowdown)});
+        }
+    }
+    return table;
+}
+
 std::string
 reportFingerprint(const ExperimentReport &report)
 {
@@ -164,6 +194,22 @@ reportFingerprint(const ExperimentReport &report)
     for (const TaskSpan &s : report.execution.spans)
         out += csprintf("%d/%d/%a/%a;", s.task_id, s.rank, s.begin,
                         s.end);
+    // Only faulted runs carry this section, so a run with an empty
+    // FaultPlan fingerprints identically to a plain run.
+    if (!report.faults.empty()) {
+        out += csprintf("|faults=%zu", report.faults.size());
+        for (const FaultImpact &im : report.faults) {
+            out += csprintf("%s/%a/%a/%d/%a:", im.event.str().c_str(),
+                            im.applied_at, im.restored_at,
+                            im.restored ? 1 : 0,
+                            im.iteration_slowdown);
+            for (const LinkImpact &li : im.links)
+                out += csprintf("%s=%a/%a/%a/%a/%a,", li.label.c_str(),
+                                li.nominal, li.faulted, li.avg_before,
+                                li.avg_during, li.avg_after);
+            out += ";";
+        }
+    }
     return out;
 }
 

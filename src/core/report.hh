@@ -49,6 +49,13 @@ std::string barChart(const std::vector<std::string> &labels,
 std::string sparkline(const std::vector<double> &values, int width = 80);
 
 /**
+ * A per-fault impact table: affected links with nominal vs faulted
+ * capacity, before/during/after average bandwidth, and the measured
+ * iteration-time slowdown. Empty table when the report has no faults.
+ */
+TextTable faultImpactTable(const ExperimentReport &report);
+
+/**
  * A bit-exact serialization of every numeric field of a report
  * (floats rendered with the hex "%a" format, so two fingerprints
  * compare equal iff the reports are bit-identical). Used by the

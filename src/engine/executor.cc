@@ -122,13 +122,39 @@ Executor::dispatchGpu(RunState &st, int rank)
     const PlanTask &t = st.plan->tasks()[static_cast<std::size_t>(task_id)];
     const Flops peak = cluster_.spec().node.gpu_peak_fp16;
     const double eff = cal_.gemmEfficiency(st.plan->modelLayers());
-    const SimTime duration = t.flops / (peak * eff);
+    const SimTime duration =
+        t.flops / (peak * eff * gpuSpeedFactor(rank));
     st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
     sim_.events().scheduleAfter(duration, [this, &st, task_id, rank] {
         st.gpu_busy[rank] = false;
         onTaskDone(st, task_id);
         dispatchGpu(st, rank);
     });
+}
+
+void
+Executor::setGpuSpeedFactor(int rank, double factor)
+{
+    DSTRAIN_ASSERT(rank >= 0 && rank < cluster_.spec().totalGpus(),
+                   "bad straggler rank %d", rank);
+    DSTRAIN_ASSERT(factor > 0.0 && factor <= 1.0,
+                   "bad GPU speed factor %g", factor);
+    if (gpu_speed_.empty()) {
+        gpu_speed_.assign(
+            static_cast<std::size_t>(cluster_.spec().totalGpus()), 1.0);
+    }
+    gpu_speed_[static_cast<std::size_t>(rank)] = factor;
+}
+
+double
+Executor::gpuSpeedFactor(int rank) const
+{
+    if (gpu_speed_.empty())
+        return 1.0;
+    DSTRAIN_ASSERT(rank >= 0 &&
+                       static_cast<std::size_t>(rank) < gpu_speed_.size(),
+                   "bad GPU rank %d", rank);
+    return gpu_speed_[static_cast<std::size_t>(rank)];
 }
 
 void

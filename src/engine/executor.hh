@@ -125,6 +125,17 @@ class Executor
     /** The calibration in use. */
     const EngineCalibration &calibration() const { return cal_; }
 
+    /**
+     * Scale GPU @p rank's compute speed by @p factor in (0, 1]: the
+     * fault injector's straggler model. A factor of 0.5 makes every
+     * kernel block on that rank take twice as long. 1.0 = healthy.
+     * Takes effect for subsequently dispatched compute tasks.
+     */
+    void setGpuSpeedFactor(int rank, double factor);
+
+    /** Current compute-speed factor of GPU @p rank. */
+    double gpuSpeedFactor(int rank) const;
+
   private:
     struct RunState;
 
@@ -155,6 +166,9 @@ class Executor
     AioEngine &aio_;
     EngineCalibration cal_;
     TelemetryConfig telemetry_;
+
+    /** Per-rank straggler factors; empty = all healthy. */
+    std::vector<double> gpu_speed_;
 
     NvmePlacement placement_ = nvmePlacementConfig('B');
     /** volumes_[node][volume index] */

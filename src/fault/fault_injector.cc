@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Implementation of the fault injector.
+ */
+
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace dstrain {
+
+namespace {
+
+/** Map a spec spelling to the LinkClass it targets. */
+bool
+classForTarget(std::string_view name, LinkClass *out)
+{
+    if (name == "roce")
+        *out = LinkClass::Roce;
+    else if (name == "nvlink")
+        *out = LinkClass::NvLink;
+    else if (name == "pcie-gpu")
+        *out = LinkClass::PcieGpu;
+    else if (name == "pcie-nic")
+        *out = LinkClass::PcieNic;
+    else if (name == "pcie-nvme")
+        *out = LinkClass::PcieNvme;
+    else if (name == "xgmi")
+        *out = LinkClass::Xgmi;
+    else if (name == "dram")
+        *out = LinkClass::Dram;
+    else if (name == "nvme-media")
+        *out = LinkClass::NvmeMedia;
+    else if (name == "iod")
+        *out = LinkClass::IodXbar;
+    else
+        return false;
+    return true;
+}
+
+/** Parse the integer suffix of "<prefix><k>"; fatal on mismatch. */
+int
+indexOf(const std::string &text, const std::string &prefix)
+{
+    DSTRAIN_ASSERT(startsWith(text, prefix) &&
+                       text.size() > prefix.size(),
+                   "bad fault target '%s'", text.c_str());
+    return std::atoi(text.c_str() + prefix.size());
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(Simulation &sim, Cluster &cluster,
+                             FlowScheduler &flows, TransferManager &tm,
+                             Executor &executor, AioEngine &aio,
+                             FaultPlan plan)
+    : sim_(sim), cluster_(cluster), flows_(flows), tm_(tm),
+      executor_(executor), aio_(aio), plan_(std::move(plan))
+{
+    active_.resize(cluster_.topology().resourceCount());
+    gpu_active_.resize(
+        static_cast<std::size_t>(cluster_.spec().totalGpus()));
+}
+
+FaultInjector::Resolved
+FaultInjector::resolve(const FaultEvent &ev) const
+{
+    const Topology &topo = cluster_.topology();
+    Resolved r;
+    switch (ev.kind) {
+      case FaultKind::LinkDegrade:
+      case FaultKind::LinkFlap: {
+        const auto parts = split(ev.target, '/');
+        LinkClass cls;
+        if (parts.empty() || !classForTarget(parts[0], &cls))
+            fatal("fault target '%s': unknown link class",
+                  ev.target.c_str());
+        const int node =
+            parts.size() == 2 ? indexOf(parts[1], "n") : -1;
+        for (const Resource &res : topo.resources())
+            if (res.cls == cls && (node < 0 || res.node == node))
+                r.rids.push_back(res.id);
+        if (r.rids.empty())
+            fatal("fault target '%s' matches no link in this cluster",
+                  ev.target.c_str());
+        return r;
+      }
+      case FaultKind::NicFailover: {
+        const auto parts = split(ev.target, '.');
+        DSTRAIN_ASSERT(parts.size() == 2, "bad NIC target '%s'",
+                       ev.target.c_str());
+        const int node = indexOf(parts[0], "n");
+        const int nic = indexOf(parts[1], "nic");
+        const ComponentId id =
+            topo.findComponent(ComponentKind::Nic, node, nic);
+        if (id == kNoComponent)
+            fatal("fault target '%s': no such NIC", ev.target.c_str());
+        // Every link direction touching the NIC dies with it: the
+        // PCIe attach and the RoCE uplink.
+        for (std::size_t h = 0; h < topo.halfLinkCount(); ++h) {
+            const HalfLink &hl =
+                topo.halfLink(static_cast<HalfLinkId>(h));
+            if (hl.from != id && hl.to != id)
+                continue;
+            if (std::find(r.rids.begin(), r.rids.end(), hl.resource) ==
+                r.rids.end()) {
+                r.rids.push_back(hl.resource);
+            }
+        }
+        DSTRAIN_ASSERT(!r.rids.empty(), "NIC '%s' has no links",
+                       ev.target.c_str());
+        return r;
+      }
+      case FaultKind::GpuStraggler: {
+        r.rank = indexOf(ev.target, "rank");
+        if (r.rank < 0 || r.rank >= cluster_.spec().totalGpus())
+            fatal("fault target '%s': no such rank (cluster has %d)",
+                  ev.target.c_str(), cluster_.spec().totalGpus());
+        return r;
+      }
+      case FaultKind::NvmeDegrade: {
+        const int node = indexOf(ev.target, "n");
+        if (node < 0 || node >= cluster_.nodeCount())
+            fatal("fault target '%s': no such node", ev.target.c_str());
+        r.nvme_node = node;
+        for (const Resource &res : topo.resources()) {
+            if (res.node == node && (res.cls == LinkClass::PcieNvme ||
+                                     res.cls == LinkClass::NvmeMedia)) {
+                r.rids.push_back(res.id);
+            }
+        }
+        if (r.rids.empty())
+            fatal("fault target '%s': node has no NVMe links",
+                  ev.target.c_str());
+        return r;
+      }
+    }
+    fatal("unknown FaultKind %d", static_cast<int>(ev.kind));
+}
+
+void
+FaultInjector::arm()
+{
+    DSTRAIN_ASSERT(!armed_, "FaultInjector armed twice");
+    armed_ = true;
+    const std::vector<ConfigError> errors = plan_.validate();
+    if (!errors.empty())
+        fatal("invalid fault plan:\n%s",
+              formatConfigErrors(errors).c_str());
+
+    tm_.configureRetry(plan_.retry);
+    resolved_.reserve(plan_.events.size());
+    impacts_.resize(plan_.events.size());
+    snaps_.resize(plan_.events.size());
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent &ev = plan_.events[i];
+        resolved_.push_back(resolve(ev));
+        impacts_[i].event = ev;
+        sim_.events().schedule(ev.begin, [this, i] { apply(i); });
+        if (ev.duration > 0.0) {
+            sim_.events().schedule(ev.begin + ev.duration,
+                                   [this, i] { restore(i); });
+        }
+    }
+}
+
+void
+FaultInjector::apply(std::size_t i)
+{
+    const FaultEvent &ev = plan_.events[i];
+    const Resolved &r = resolved_[i];
+    const SimTime now = sim_.now();
+    const double fraction =
+        (ev.kind == FaultKind::LinkFlap ||
+         ev.kind == FaultKind::NicFailover)
+            ? 0.0
+            : ev.fraction;
+
+    impacts_[i].applied_at = now;
+    const Topology &topo = cluster_.topology();
+    for (ResourceId rid : r.rids) {
+        Snapshot s;
+        s.rid = rid;
+        s.at_apply = topo.resource(rid).log.bytesThrough(now);
+        snaps_[i].push_back(s);
+        pushFraction(rid, fraction);
+    }
+    // Record the capacities that resulted (overlap-aware).
+    for (std::size_t k = 0; k < r.rids.size(); ++k) {
+        const Resource &res = topo.resource(r.rids[k]);
+        LinkImpact li;
+        li.label = res.label;
+        li.nominal = res.nominal_capacity;
+        li.faulted = res.capacity;
+        impacts_[i].links.push_back(std::move(li));
+    }
+
+    if (r.rank >= 0) {
+        gpu_active_[static_cast<std::size_t>(r.rank)].push_back(
+            ev.fraction);
+        updateGpu(r.rank);
+    }
+    if (r.nvme_node >= 0) {
+        nvme_active_.push_back(ev.fraction);
+        updateNvmeLatency();
+    }
+    if (!r.rids.empty())
+        tm_.notifyCapacityChange();
+
+    inform("fault: %s at t=%s", ev.str().c_str(),
+           formatTime(now).c_str());
+}
+
+void
+FaultInjector::restore(std::size_t i)
+{
+    const FaultEvent &ev = plan_.events[i];
+    const Resolved &r = resolved_[i];
+    const SimTime now = sim_.now();
+    const double fraction =
+        (ev.kind == FaultKind::LinkFlap ||
+         ev.kind == FaultKind::NicFailover)
+            ? 0.0
+            : ev.fraction;
+
+    impacts_[i].restored_at = now;
+    impacts_[i].restored = true;
+    const Topology &topo = cluster_.topology();
+    for (Snapshot &s : snaps_[i])
+        s.at_restore = topo.resource(s.rid).log.bytesThrough(now);
+    for (ResourceId rid : r.rids)
+        popFraction(rid, fraction);
+
+    if (r.rank >= 0) {
+        auto &v = gpu_active_[static_cast<std::size_t>(r.rank)];
+        v.erase(std::find(v.begin(), v.end(), ev.fraction));
+        updateGpu(r.rank);
+    }
+    if (r.nvme_node >= 0) {
+        nvme_active_.erase(std::find(nvme_active_.begin(),
+                                     nvme_active_.end(), ev.fraction));
+        updateNvmeLatency();
+    }
+    if (!r.rids.empty())
+        tm_.notifyCapacityChange();
+
+    inform("fault cleared: %s at t=%s", ev.str().c_str(),
+           formatTime(now).c_str());
+}
+
+void
+FaultInjector::pushFraction(ResourceId rid, double fraction)
+{
+    active_[static_cast<std::size_t>(rid)].push_back(fraction);
+    updateCapacity(rid);
+}
+
+void
+FaultInjector::popFraction(ResourceId rid, double fraction)
+{
+    auto &v = active_[static_cast<std::size_t>(rid)];
+    auto it = std::find(v.begin(), v.end(), fraction);
+    DSTRAIN_ASSERT(it != v.end(), "restore without matching apply");
+    v.erase(it);
+    updateCapacity(rid);
+}
+
+void
+FaultInjector::updateCapacity(ResourceId rid)
+{
+    double fraction = 1.0;
+    for (double f : active_[static_cast<std::size_t>(rid)])
+        fraction = std::min(fraction, f);
+    const Resource &res = cluster_.topology().resource(rid);
+    flows_.setCapacity(rid, res.nominal_capacity * fraction);
+}
+
+void
+FaultInjector::updateGpu(int rank)
+{
+    double fraction = 1.0;
+    for (double f : gpu_active_[static_cast<std::size_t>(rank)])
+        fraction = std::min(fraction, f);
+    executor_.setGpuSpeedFactor(rank, fraction);
+}
+
+void
+FaultInjector::updateNvmeLatency()
+{
+    double fraction = 1.0;
+    for (double f : nvme_active_)
+        fraction = std::min(fraction, f);
+    aio_.setLatencyFactor(1.0 / fraction);
+}
+
+void
+FaultInjector::finalize(SimTime measured_begin, SimTime measured_end)
+{
+    const Topology &topo = cluster_.topology();
+    for (std::size_t i = 0; i < impacts_.size(); ++i) {
+        FaultImpact &im = impacts_[i];
+        // Warm-up truncation resets the byte counters at the
+        // measurement boundary, so baselines taken before it are
+        // meaningless: report averages only for in-window faults.
+        if (im.applied_at < measured_begin ||
+            im.applied_at >= measured_end) {
+            continue;
+        }
+        const SimTime t0 = im.applied_at;
+        const SimTime t1 = im.restored
+                               ? std::min(im.restored_at, measured_end)
+                               : measured_end;
+        for (std::size_t k = 0; k < snaps_[i].size(); ++k) {
+            const Snapshot &s = snaps_[i][k];
+            LinkImpact &li = im.links[k];
+            const Bytes total = topo.resource(s.rid).log.totalBytes();
+            if (t0 > measured_begin)
+                li.avg_before = s.at_apply / (t0 - measured_begin);
+            const Bytes during_end =
+                im.restored ? s.at_restore : total;
+            if (t1 > t0)
+                li.avg_during = (during_end - s.at_apply) / (t1 - t0);
+            if (im.restored && im.restored_at < measured_end) {
+                li.avg_after = (total - s.at_restore) /
+                               (measured_end - im.restored_at);
+            }
+        }
+    }
+}
+
+} // namespace dstrain

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * FaultPlan: a deterministic, declarative schedule of hardware faults
+ * to inject into a run.
+ *
+ * Real multi-node training jobs see links that degrade or flap, NICs
+ * that die mid-collective, GPUs that throttle, and NVMe stacks that
+ * slow down. dstrain models each as a timed mutation of the affected
+ * resource capacities (or compute/latency factors): the FaultInjector
+ * schedules one apply and one restore event per FaultEvent on the
+ * simulation's event queue, so a plan is bit-reproducible — the same
+ * seed and plan always produce the same report, serially or under the
+ * parallel sweep runner.
+ *
+ * Plans come from code (ExperimentConfig::faults) or from the CLI's
+ * `--faults` spec string; see parseFaultSpec() for the grammar.
+ */
+
+#ifndef DSTRAIN_FAULT_FAULT_PLAN_HH
+#define DSTRAIN_FAULT_FAULT_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "net/transfer_manager.hh"
+#include "util/config_error.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/** The fault taxonomy. */
+enum class FaultKind {
+    /**
+     * A link class runs at `fraction` of nominal bandwidth for the
+     * window (cable errors, congestion from a neighboring job).
+     * Target: a link-class name (`roce`, `nvlink`, `pcie-gpu`,
+     * `pcie-nic`, `pcie-nvme`, `xgmi`, `dram`), optionally scoped to
+     * one node with `/n<k>`.
+     */
+    LinkDegrade,
+
+    /**
+     * The links go fully down (capacity 0) and come back at the end
+     * of the window. Same targets as LinkDegrade. In-flight flows
+     * stall; with retries enabled the transfer manager reroutes them.
+     */
+    LinkFlap,
+
+    /**
+     * One NIC dies: its PCIe attach and its RoCE links drop to zero
+     * for the window. Target: `n<k>.nic<j>`. Traffic pinned through
+     * the dead NIC fails over to the node's alternate NIC.
+     */
+    NicFailover,
+
+    /**
+     * A straggler GPU: rank `rank<k>` computes at `fraction` of its
+     * normal speed for the window (thermal throttling, ECC retries).
+     */
+    GpuStraggler,
+
+    /**
+     * Node `n<k>`'s NVMe subsystem degrades: PCIe-NVMe and media
+     * capacities scale by `fraction` and the aio submission latency
+     * scales by 1/`fraction` for the window.
+     */
+    NvmeDegrade,
+};
+
+/** Spec spelling of a kind (`degrade`, `flap`, `nicdown`, ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent {
+    FaultKind kind = FaultKind::LinkDegrade;
+
+    /** When the fault hits, in simulated seconds from run start. */
+    SimTime begin = 0.0;
+
+    /** Window length; 0 = the rest of the run (never restored). */
+    SimTime duration = 0.0;
+
+    /** What is hit; grammar depends on `kind` (see FaultKind docs). */
+    std::string target;
+
+    /**
+     * Remaining fraction of nominal capacity/speed during the window
+     * (LinkDegrade, GpuStraggler, NvmeDegrade). Ignored for LinkFlap
+     * and NicFailover, which always drop to zero.
+     */
+    double fraction = 0.5;
+
+    /** Round-trippable spec form, e.g. "degrade@1+0.5:roce:0.4". */
+    std::string str() const;
+};
+
+/** A full fault schedule plus the recovery policy it implies. */
+struct FaultPlan {
+    std::vector<FaultEvent> events;
+
+    /**
+     * Stranded-flow recovery installed on the TransferManager when
+     * the plan is non-empty. Enabled by default: a plan that downs
+     * links without recovery would deadlock the run.
+     */
+    RetryPolicy retry{true};
+
+    /** No faults scheduled? (An empty plan changes nothing.) */
+    bool empty() const { return events.empty(); }
+
+    /** Structural checks; empty result = valid. */
+    std::vector<ConfigError> validate() const;
+
+    /** The comma-joined spec form of all events. */
+    std::string str() const;
+};
+
+/**
+ * Parse a CLI fault spec: comma-separated events of the form
+ *
+ *   <kind>@<begin>[+<duration>]:<target>[:<fraction>]
+ *
+ * where <kind> is `degrade`, `flap`, `nicdown`, `straggler` or
+ * `nvme`; times are simulated seconds; a missing duration means the
+ * rest of the run. Examples:
+ *
+ *   degrade@1+0.5:roce:0.4      RoCE at 40% for 0.5 s starting at 1 s
+ *   flap@2+0.2:roce/n1          node 1's RoCE links down for 200 ms
+ *   nicdown@1+1:n0.nic1         node 0's NIC 1 dead for 1 s
+ *   straggler@0+2:rank3:0.6     rank 3 at 60% speed for 2 s
+ *   nvme@1:n0:0.5               node 0's NVMe at half speed onwards
+ *
+ * Problems are appended to @p errors (with the offending event as the
+ * field); the returned plan contains the events that did parse.
+ */
+FaultPlan parseFaultSpec(const std::string &spec,
+                         std::vector<ConfigError> *errors);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_FAULT_FAULT_PLAN_HH

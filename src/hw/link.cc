@@ -101,7 +101,12 @@ RateLog::close(SimTime t)
     total_bytes_ += current_rate_ * (t - open_since_);
     if (stream_armed_) {
         fold(open_since_, t, current_rate_);
-        stream_end_ = t;
+        // A trailing zero-rate interval deposits nothing, so it does
+        // not advance the folded-history mark. This keeps
+        // streamCovers() true when idle fault-restore events extend
+        // the simulated clock past the measurement window.
+        if (current_rate_ != 0.0)
+            stream_end_ = t;
     }
     if (retain_segments_)
         segments_.push_back(Segment{open_since_, t, current_rate_});

@@ -17,6 +17,7 @@
 #ifndef DSTRAIN_HW_LINK_HH
 #define DSTRAIN_HW_LINK_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -109,6 +110,19 @@ class RateLog
 
     /** Total bytes across all closed history (O(1) running sum). */
     Bytes totalBytes() const { return total_bytes_; }
+
+    /**
+     * Total bytes carried through time @p t: the closed history plus
+     * the open interval's contribution up to @p t. O(1) and exact for
+     * any @p t at or after the last rate change; used by the fault
+     * injector to compute before/during/after window averages without
+     * retained segments.
+     */
+    Bytes bytesThrough(SimTime t) const
+    {
+        return total_bytes_ +
+               current_rate_ * std::max(0.0, t - open_since_);
+    }
 
     /** Forget all history (segments, buckets, and open state). */
     void clear();
@@ -226,7 +240,18 @@ inline constexpr ResourceId kNoResource = -1;
 struct Resource {
     ResourceId id = kNoResource;
     LinkClass cls = LinkClass::Dram;
-    Bps capacity = 0.0;   ///< theoretical capacity of this direction
+
+    /**
+     * Current theoretical capacity of this direction. Equals
+     * `nominal_capacity` on a healthy link; the fault injector lowers
+     * it mid-run through FlowScheduler::setCapacity (never directly,
+     * so the scheduler's effective-capacity array stays in sync).
+     */
+    Bps capacity = 0.0;
+
+    /** As-built capacity (what `capacity` returns to after a fault). */
+    Bps nominal_capacity = 0.0;
+
     std::string label;    ///< e.g. "n0.pcie-gpu0.fwd"
     int node = -1;        ///< owning node index, -1 for the switch
     int socket = -1;      ///< owning socket within node, -1 if n/a

@@ -83,26 +83,33 @@ Router::route(ComponentId src, ComponentId dst) const
 }
 
 Route
+Router::routeThrough(ComponentId src,
+                     const std::vector<ComponentId> &waypoints,
+                     ComponentId dst) const
+{
+    std::vector<HalfLinkId> hops;
+    ComponentId cur = src;
+    for (ComponentId wp : waypoints) {
+        const Route &seg = route(cur, wp);
+        hops.insert(hops.end(), seg.hops.begin(), seg.hops.end());
+        cur = wp;
+    }
+    const Route &last = route(cur, dst);
+    hops.insert(hops.end(), last.hops.begin(), last.hops.end());
+    return finishRoute(std::move(hops));
+}
+
+Route
 Router::routeVia(ComponentId src, ComponentId via, ComponentId dst) const
 {
-    const Route &a = route(src, via);
-    const Route &b = route(via, dst);
-    std::vector<HalfLinkId> hops = a.hops;
-    hops.insert(hops.end(), b.hops.begin(), b.hops.end());
-    return finishRoute(std::move(hops));
+    return routeThrough(src, {via}, dst);
 }
 
 Route
 Router::routeVia2(ComponentId src, ComponentId via_a, ComponentId via_b,
                   ComponentId dst) const
 {
-    const Route &a = route(src, via_a);
-    const Route &b = route(via_a, via_b);
-    const Route &c = route(via_b, dst);
-    std::vector<HalfLinkId> hops = a.hops;
-    hops.insert(hops.end(), b.hops.begin(), b.hops.end());
-    hops.insert(hops.end(), c.hops.begin(), c.hops.end());
-    return finishRoute(std::move(hops));
+    return routeThrough(src, {via_a, via_b}, dst);
 }
 
 Route
@@ -166,7 +173,14 @@ Router::finishRoute(std::vector<HalfLinkId> hops) const
         const HalfLink &hl = topo_.halfLink(r.hops[i]);
         r.latency += hl.latency;
         const Resource &res = topo_.resource(hl.resource);
-        const Bps effective = res.capacity * linkClassEfficiency(res.cls);
+        // Route caps model the *uncontended protocol* limit of the
+        // path, so they are computed from the as-built capacity: a
+        // fault is contention, enforced by the flow scheduler's live
+        // effective-capacity array, not by the per-flow cap (which
+        // would otherwise pin a flow to the degraded rate for its
+        // whole life, even after the fault clears).
+        const Bps effective =
+            res.nominal_capacity * linkClassEfficiency(res.cls);
         min_effective = std::min(min_effective, effective);
         SerdesSide side;
         if (usesSerdes(res.cls, &side))

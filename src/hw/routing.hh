@@ -78,14 +78,21 @@ class Router
     const Route &route(ComponentId src, ComponentId dst) const;
 
     /**
-     * As route(), but forces the path through component @p via
-     * (route(src, via) + route(via, dst)). Used for NIC pinning in
-     * multi-channel collectives.
+     * As route(), but forces the path through every component of
+     * @p waypoints, in order (the concatenation of the cached
+     * shortest-path segments between consecutive stops). Used for NIC
+     * pinning in multi-channel collectives and for fault reroutes.
+     * An empty waypoint list is a plain route(src, dst).
      */
+    Route routeThrough(ComponentId src,
+                       const std::vector<ComponentId> &waypoints,
+                       ComponentId dst) const;
+
+    /** routeThrough() with a single waypoint. */
     Route routeVia(ComponentId src, ComponentId via,
                    ComponentId dst) const;
 
-    /** As routeVia(), but through two waypoints in order. */
+    /** routeThrough() with two waypoints. */
     Route routeVia2(ComponentId src, ComponentId via_a,
                     ComponentId via_b, ComponentId dst) const;
 

@@ -56,6 +56,7 @@ Topology::addResource(LinkClass cls, Bps capacity, std::string label,
     r.id = id;
     r.cls = cls;
     r.capacity = capacity;
+    r.nominal_capacity = capacity;
     r.label = std::move(label);
     r.node = node;
     r.socket = socket;

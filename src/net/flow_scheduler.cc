@@ -147,6 +147,10 @@ FlowScheduler::tryFastStart(Flow &f)
         if (nflows_[rid] == 1)  // counting this flow
             rate = std::min(rate, eff_cap_[rid]);
     }
+    // A private resource faulted to zero capacity admits nothing:
+    // fall through to water-filling, which parks the flow at rate 0.
+    if (rate <= 0.0)
+        return false;
     // Pass 2: every shared resource must keep slack for the full
     // admitted rate, i.e. stay strictly unsaturated afterwards.
     for (ResourceId rid : f.resources) {
@@ -192,6 +196,64 @@ bool
 FlowScheduler::isActive(FlowId id) const
 {
     return flows_.find(id) != flows_.end();
+}
+
+void
+FlowScheduler::setCapacity(ResourceId rid, Bps capacity)
+{
+    DSTRAIN_ASSERT(capacity >= 0.0, "negative capacity for resource %d",
+                   rid);
+    ensureResourceArrays();
+    DSTRAIN_ASSERT(rid >= 0 &&
+                       static_cast<std::size_t>(rid) < eff_cap_.size(),
+                   "bad resource id %d", rid);
+    Resource &r = topo_.resource(rid);
+    const double new_eff = capacity * linkClassEfficiency(r.cls);
+    r.capacity = capacity;
+    if (new_eff == eff_cap_[rid])
+        return;
+    ++stats_.capacity_updates;
+
+    // Fast path: with no crossing flows — or with the resource
+    // strictly unsaturated under both the old and the new capacity —
+    // every flow's bottleneck stays where it is, so no rate changes
+    // and neither a recompute nor a log write is needed.
+    const bool slack_before = !saturated(rid);
+    eff_cap_[rid] = new_eff;
+    const bool slack_after = new_eff > 0.0 && !saturated(rid);
+    if (nflows_[rid] == 0 || (slack_before && slack_after)) {
+        ++stats_.fast_capacity_updates;
+        return;
+    }
+
+    settle();
+    recompute();
+}
+
+bool
+FlowScheduler::cancel(FlowId id, Bytes *remaining)
+{
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return false;
+    settle();
+    if (remaining)
+        *remaining = it->second.remaining;
+    for (ResourceId rid : it->second.resources)
+        nflows_[rid] -= 1;
+    flows_.erase(it);
+    ++stats_.cancels;
+    recompute();
+    return true;
+}
+
+bool
+FlowScheduler::stalledByFault(const Flow &f) const
+{
+    for (ResourceId rid : f.resources)
+        if (eff_cap_[rid] <= 0.0)
+            return true;
+    return false;
 }
 
 void
@@ -320,10 +382,19 @@ FlowScheduler::scheduleNextCompletion()
 
     SimTime best = std::numeric_limits<SimTime>::max();
     for (const auto &[id, f] : flows_) {
-        DSTRAIN_ASSERT(f.rate > 0.0, "active flow '%s' got zero rate",
-                       f.tag.c_str());
+        if (f.rate <= 0.0) {
+            // Water-filling assigns rate 0 only to flows stranded on
+            // a link faulted to zero capacity: they have no finish
+            // time and resume when setCapacity() restores the link.
+            DSTRAIN_ASSERT(stalledByFault(f),
+                           "active flow '%s' got zero rate",
+                           f.tag.c_str());
+            continue;
+        }
         best = std::min(best, f.remaining / f.rate);
     }
+    if (best == std::numeric_limits<SimTime>::max())
+        return;  // everything stalled: nothing to schedule
     completion_time_ = sim_.now() + best;
     completion_event_ = sim_.events().schedule(
         completion_time_, [this] { onCompletionEvent(); });

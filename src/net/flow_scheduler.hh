@@ -50,6 +50,9 @@ class FlowScheduler
         std::uint64_t fast_starts = 0;    ///< starts admitted incrementally
         std::uint64_t fast_finishes = 0;  ///< completions handled incrementally
         std::uint64_t rate_updates = 0;   ///< per-resource rate notifications
+        std::uint64_t capacity_updates = 0;  ///< setCapacity() effective calls
+        std::uint64_t fast_capacity_updates = 0;  ///< ... without a recompute
+        std::uint64_t cancels = 0;        ///< flows removed via cancel()
     };
 
     /** @param sim the simulation context; @param topo the network. */
@@ -89,6 +92,31 @@ class FlowScheduler
     bool isActive(FlowId id) const;
 
     /**
+     * Change a resource's capacity mid-run (the fault-injection
+     * path). Updates the topology's Resource::capacity and the
+     * scheduler's effective-capacity array together, then re-runs
+     * water-filling for the affected flows — with a fast path: when
+     * the resource carries no flows, or stays strictly unsaturated
+     * under both the old and the new capacity, no rate can change and
+     * the update is O(1) with no recompute and no log writes.
+     *
+     * A capacity of 0 models a downed link: crossing flows stall at
+     * rate zero (their telemetry logs record the dropout exactly) and
+     * resume automatically when capacity is restored. Stalled flows
+     * have no completion event; a plan that downs a route forever
+     * without rerouting will deadlock by design.
+     */
+    void setCapacity(ResourceId rid, Bps capacity);
+
+    /**
+     * Remove an active flow without invoking its completion callback
+     * (the transfer-manager reroute path). Remaining un-transferred
+     * bytes are written to @p remaining when non-null.
+     * @return true if the flow was active and is now gone.
+     */
+    bool cancel(FlowId id, Bytes *remaining = nullptr);
+
+    /**
      * Close all rate logs at the current time (call at end of the
      * measurement window before reading telemetry).
      */
@@ -122,6 +150,9 @@ class FlowScheduler
 
     /** Is the resource at (or beyond) its saturation threshold? */
     bool saturated(ResourceId rid) const;
+
+    /** Does @p f cross a resource faulted to zero capacity? */
+    bool stalledByFault(const Flow &f) const;
 
     Simulation &sim_;
     Topology &topo_;

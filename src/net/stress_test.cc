@@ -30,8 +30,7 @@ sustainStream(TransferManager &tm, ComponentId src, ComponentId dst,
     // often enough for the fair-share model.
     const Bytes chunk = 256e6;
     TransferOptions opts;
-    opts.via = via;
-    opts.via2 = via2;
+    opts.waypoints = {via, via2};
     opts.tag = tag;
     tm.start(src, dst, chunk,
              [&tm, src, dst, via, via2, deadline, tag] {

@@ -12,6 +12,22 @@
 
 namespace dstrain {
 
+namespace {
+
+/** Per-attempt flow cap: caller's cap merged with the route cap. */
+Bps
+attemptRateCap(Bps explicit_cap, double rate_factor, const Route &route)
+{
+    Bps rate_cap = explicit_cap;
+    if (rate_factor < 1.0) {
+        const Bps scaled = route.rate_cap * rate_factor;
+        rate_cap = rate_cap > 0.0 ? std::min(rate_cap, scaled) : scaled;
+    }
+    return rate_cap;
+}
+
+} // namespace
+
 TransferManager::TransferManager(Simulation &sim, Cluster &cluster,
                                  FlowScheduler &flows)
     : sim_(sim), cluster_(cluster), flows_(flows)
@@ -24,27 +40,36 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
 {
     DSTRAIN_ASSERT(src != dst, "transfer from component %d to itself",
                    src);
-    Route route;
-    if (opts.via == kNoComponent) {
-        DSTRAIN_ASSERT(opts.via2 == kNoComponent,
-                       "via2 requires via");
-        route = cluster_.router().route(src, dst);
-    } else if (opts.via2 == kNoComponent) {
-        route = cluster_.router().routeVia(src, opts.via, dst);
-    } else {
-        route = cluster_.router().routeVia2(src, opts.via, opts.via2,
-                                            dst);
-    }
-
-    ++started_;
     DSTRAIN_ASSERT(opts.rate_factor > 0.0 && opts.rate_factor <= 1.0,
                    "bad rate factor %g", opts.rate_factor);
-    Bps rate_cap = opts.rate_cap;
-    if (opts.rate_factor < 1.0) {
-        const Bps scaled = route.rate_cap * opts.rate_factor;
-        rate_cap = rate_cap > 0.0 ? std::min(rate_cap, scaled) : scaled;
-    }
+    Route route =
+        cluster_.router().routeThrough(src, opts.waypoints, dst);
     const SimTime latency = route.latency;
+    ++started_;
+
+    if (retry_.enabled) {
+        // Retryable path: keep the full request so a stranded flow
+        // can be cancelled, rerouted and relaunched with whatever
+        // bytes remain. The route is re-resolved at every launch.
+        const std::uint64_t xid = next_xfer_++;
+        Pending p;
+        p.src = src;
+        p.dst = dst;
+        p.waypoints = std::move(opts.waypoints);
+        p.remaining = bytes;
+        p.rate_cap = opts.rate_cap;
+        p.rate_factor = opts.rate_factor;
+        p.extra_resources = std::move(opts.extra_resources);
+        p.tag = std::move(opts.tag);
+        p.on_done = std::move(on_done);
+        pending_.emplace(xid, std::move(p));
+        sim_.events().scheduleAfter(
+            latency, [this, xid] { launchPending(xid); });
+        return;
+    }
+
+    const Bps rate_cap =
+        attemptRateCap(opts.rate_cap, opts.rate_factor, route);
     auto launch = [this, route = std::move(route), bytes,
                    on_done = std::move(on_done), rate_cap,
                    extra = std::move(opts.extra_resources),
@@ -64,6 +89,114 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
     };
 
     sim_.events().scheduleAfter(latency, std::move(launch));
+}
+
+void
+TransferManager::launchPending(std::uint64_t xid)
+{
+    auto it = pending_.find(xid);
+    if (it == pending_.end())
+        return;  // completed while a relaunch was queued
+    Pending &p = it->second;
+    Route route =
+        cluster_.router().routeThrough(p.src, p.waypoints, p.dst);
+    const Bps rate_cap = attemptRateCap(p.rate_cap, p.rate_factor, route);
+
+    FlowSpec spec;
+    spec.route = std::move(route);
+    spec.bytes = p.remaining;
+    spec.rate_cap = rate_cap;
+    spec.extra_resources = p.extra_resources;
+    spec.tag = p.tag;
+    spec.on_complete = [this, xid] {
+        auto done_it = pending_.find(xid);
+        DSTRAIN_ASSERT(done_it != pending_.end(),
+                       "completion for unknown transfer");
+        std::function<void()> done = std::move(done_it->second.on_done);
+        pending_.erase(done_it);
+        ++completed_;
+        if (done)
+            done();
+    };
+    p.flow = flows_.start(std::move(spec));
+
+    // Launched straight into a fault (e.g. the alternate NIC is down
+    // too): arm another stranded-flow scan so the bounded retry loop
+    // keeps making progress without further capacity changes.
+    if (flows_.isActive(p.flow) && flows_.currentRate(p.flow) <= 0.0)
+        notifyCapacityChange();
+}
+
+void
+TransferManager::notifyCapacityChange()
+{
+    if (!retry_.enabled || check_scheduled_)
+        return;
+    check_scheduled_ = true;
+    sim_.events().scheduleAfter(retry_.detect_delay, [this] {
+        check_scheduled_ = false;
+        checkStranded();
+    });
+}
+
+void
+TransferManager::checkStranded()
+{
+    for (auto &[xid, p] : pending_) {
+        if (p.flow == 0 || !flows_.isActive(p.flow))
+            continue;  // not yet launched, or between attempts
+        if (flows_.currentRate(p.flow) > 0.0)
+            continue;  // moving (possibly resumed by a restore)
+        if (p.attempts >= retry_.max_retries)
+            continue;  // parked: resumes when capacity returns
+        Bytes remaining = 0.0;
+        flows_.cancel(p.flow, &remaining);
+        p.flow = 0;
+        p.remaining = remaining;
+        p.attempts += 1;
+        p.waypoints = alternateWaypoints(p.src, p.dst, p.waypoints);
+        ++reroutes_;
+        const SimTime delay =
+            retry_.backoff *
+            static_cast<double>(1u << (p.attempts - 1));
+        const std::uint64_t id = xid;
+        sim_.events().scheduleAfter(
+            delay, [this, id] { launchPending(id); });
+    }
+}
+
+std::vector<ComponentId>
+TransferManager::alternateWaypoints(
+    ComponentId src, ComponentId dst,
+    const std::vector<ComponentId> &current) const
+{
+    const Topology &topo = cluster_.topology();
+    Route failed = cluster_.router().routeThrough(src, current, dst);
+    std::vector<ComponentId> next;
+    bool swapped = false;
+    for (HalfLinkId hid : failed.hops) {
+        const ComponentId to = topo.halfLink(hid).to;
+        if (to == dst)
+            continue;
+        const Component &c = topo.component(to);
+        if (c.kind != ComponentKind::Nic)
+            continue;
+        const std::vector<ComponentId> nics =
+            topo.componentsOfKind(ComponentKind::Nic, c.node);
+        if (nics.size() < 2) {
+            next.push_back(to);
+            continue;
+        }
+        const auto pos = std::find(nics.begin(), nics.end(), to);
+        DSTRAIN_ASSERT(pos != nics.end(), "NIC not on its own node");
+        const std::size_t i =
+            static_cast<std::size_t>(pos - nics.begin());
+        next.push_back(nics[(i + 1) % nics.size()]);
+        swapped = true;
+    }
+    // No NIC to fail over to (an intra-node fault): retry as-is and
+    // let backoff absorb transient flaps.
+    return swapped ? next : current;
 }
 
 } // namespace dstrain

@@ -7,6 +7,12 @@
  * the manager resolves the route, applies the route latency as a
  * start delay, starts the flow, and invokes the completion callback.
  * Collectives, offload staging and NVMe IO are all built from this.
+ *
+ * With a RetryPolicy enabled (the fault-injection path), the manager
+ * additionally tracks every in-flight transfer and recovers flows
+ * stranded on a downed route: a stalled flow is cancelled, rerouted
+ * through the node's alternate NIC, and relaunched with the remaining
+ * bytes under bounded exponential backoff (DESIGN.md "Fault model").
  */
 
 #ifndef DSTRAIN_NET_TRANSFER_MANAGER_HH
@@ -14,7 +20,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "hw/cluster.hh"
 #include "net/flow_scheduler.hh"
@@ -25,14 +33,11 @@ namespace dstrain {
 /** Options for TransferManager::start(). */
 struct TransferOptions {
     /**
-     * Force the route through this component (e.g. pin traffic to a
-     * specific NIC for multi-channel collectives). kNoComponent =
-     * shortest path.
+     * Force the route through these components, in order (e.g. pin
+     * traffic to a local/remote NIC pair for multi-channel
+     * collectives). Empty = shortest path.
      */
-    ComponentId via = kNoComponent;
-
-    /** Optional second waypoint (after `via`), e.g. the remote NIC. */
-    ComponentId via2 = kNoComponent;
+    std::vector<ComponentId> waypoints;
 
     /** Extra per-flow rate cap (0 = none); see FlowSpec::rate_cap. */
     Bps rate_cap = 0.0;
@@ -49,6 +54,48 @@ struct TransferOptions {
 
     /** Debug label. */
     std::string tag;
+
+    /** @deprecated Old single-waypoint field; use `waypoints`. */
+    [[deprecated("set waypoints instead of via")]]
+    TransferOptions &setVia(ComponentId c)
+    {
+        waypoints.push_back(c);
+        return *this;
+    }
+
+    /** @deprecated Old second-waypoint field; use `waypoints`. */
+    [[deprecated("set waypoints instead of via2")]]
+    TransferOptions &setVia2(ComponentId c)
+    {
+        waypoints.push_back(c);
+        return *this;
+    }
+};
+
+/**
+ * Recovery policy for transfers stranded by a link fault. Disabled by
+ * default: without faults there is nothing to recover from and the
+ * manager keeps zero per-transfer state.
+ */
+struct RetryPolicy {
+    /** Master switch; the fault injector enables it. */
+    bool enabled = false;
+
+    /**
+     * How long a flow must sit at rate zero before it is declared
+     * stranded (models failure-detection time, e.g. RoCE CNP/timeout).
+     */
+    SimTime detect_delay = 1e-3;
+
+    /** Base reroute backoff; doubles on every further attempt. */
+    SimTime backoff = 2e-3;
+
+    /**
+     * Reroute attempts per transfer before it is parked: a parked
+     * flow stays registered at rate zero and resumes on the original
+     * path when the fault clears.
+     */
+    int max_retries = 3;
 };
 
 /**
@@ -72,6 +119,19 @@ class TransferManager
                std::function<void()> on_done,
                TransferOptions opts = {});
 
+    /** Install the stranded-flow recovery policy (fault injection). */
+    void configureRetry(const RetryPolicy &policy) { retry_ = policy; }
+
+    /** The active recovery policy. */
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
+    /**
+     * Fault-injector notification that some resource capacity just
+     * changed. Schedules (coalesced) a stranded-flow scan after the
+     * policy's detect_delay. No-op while retries are disabled.
+     */
+    void notifyCapacityChange();
+
     /** Number of transfers started since construction. */
     std::uint64_t startedCount() const { return started_; }
 
@@ -80,6 +140,9 @@ class TransferManager
 
     /** Transfers in flight (started, not yet completed). */
     std::uint64_t inFlight() const { return started_ - completed_; }
+
+    /** Reroute attempts performed since construction. */
+    std::uint64_t rerouteCount() const { return reroutes_; }
 
     /** The underlying flow scheduler. */
     FlowScheduler &flows() { return flows_; }
@@ -91,11 +154,48 @@ class TransferManager
     Simulation &sim() { return sim_; }
 
   private:
+    /** In-flight bookkeeping for one retryable transfer. */
+    struct Pending {
+        ComponentId src = kNoComponent;
+        ComponentId dst = kNoComponent;
+        std::vector<ComponentId> waypoints;
+        Bytes remaining = 0.0;        ///< bytes left to move
+        Bps rate_cap = 0.0;           ///< caller's explicit cap
+        double rate_factor = 1.0;
+        std::vector<ResourceId> extra_resources;
+        std::string tag;
+        std::function<void()> on_done;
+        FlowId flow = 0;              ///< 0 = not currently flowing
+        int attempts = 0;             ///< reroutes performed so far
+    };
+
+    /** Resolve the route and start the flow for transfer @p xid. */
+    void launchPending(std::uint64_t xid);
+
+    /** Scan for stranded flows and reroute them (bounded). */
+    void checkStranded();
+
+    /**
+     * Waypoints for the next attempt: each intermediate NIC on the
+     * current route swapped for the next NIC of the same node. When
+     * no alternate NIC exists the current waypoints are returned
+     * (plain retry on the same path).
+     */
+    std::vector<ComponentId> alternateWaypoints(
+        ComponentId src, ComponentId dst,
+        const std::vector<ComponentId> &current) const;
+
     Simulation &sim_;
     Cluster &cluster_;
     FlowScheduler &flows_;
     std::uint64_t started_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t reroutes_ = 0;
+    RetryPolicy retry_;
+    /** Ordered by transfer id so recovery scans are deterministic. */
+    std::map<std::uint64_t, Pending> pending_;
+    std::uint64_t next_xfer_ = 1;
+    bool check_scheduled_ = false;
 };
 
 } // namespace dstrain

@@ -90,7 +90,15 @@ AioEngine::submit(int drive_index, StorageIo io)
             });
         }
     };
-    sim.events().scheduleAfter(cfg_.submit_latency, std::move(launch));
+    sim.events().scheduleAfter(cfg_.submit_latency * latency_factor_,
+                               std::move(launch));
+}
+
+void
+AioEngine::setLatencyFactor(double factor)
+{
+    DSTRAIN_ASSERT(factor >= 1.0, "latency factor %g < 1", factor);
+    latency_factor_ = factor;
 }
 
 } // namespace dstrain

@@ -67,9 +67,20 @@ class AioEngine
     /** The engine's configuration. */
     const AioConfig &config() const { return cfg_; }
 
+    /**
+     * Multiplier on the per-op submission latency (>= 1.0), used by
+     * the fault injector to model a misbehaving NVMe software stack
+     * during a degradation window. 1.0 = healthy.
+     */
+    void setLatencyFactor(double factor);
+
+    /** The current submission-latency multiplier. */
+    double latencyFactor() const { return latency_factor_; }
+
   private:
     TransferManager &tm_;
     AioConfig cfg_;
+    double latency_factor_ = 1.0;
     std::map<std::pair<int, int>, std::unique_ptr<NvmeDevice>> devices_;
     std::uint64_t completed_ = 0;
 };

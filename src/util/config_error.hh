@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ConfigError: the vocabulary type every validate() in the public API
+ * returns. A validation pass collects all problems instead of
+ * panicking on the first one, so CLI users see every bad flag at
+ * once and library users can decide how to react.
+ */
+
+#ifndef DSTRAIN_UTIL_CONFIG_ERROR_HH
+#define DSTRAIN_UTIL_CONFIG_ERROR_HH
+
+#include <string>
+#include <vector>
+
+namespace dstrain {
+
+/** One configuration problem, attributed to the offending field. */
+struct ConfigError {
+    std::string field;    ///< dotted path, e.g. "telemetry.bucket"
+    std::string message;  ///< human-readable description
+};
+
+/** Render "field: message" lines joined by newlines. */
+inline std::string
+formatConfigErrors(const std::vector<ConfigError> &errors)
+{
+    std::string out;
+    for (const ConfigError &e : errors) {
+        if (!out.empty())
+            out += '\n';
+        out += e.field + ": " + e.message;
+    }
+    return out;
+}
+
+} // namespace dstrain
+
+#endif // DSTRAIN_UTIL_CONFIG_ERROR_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the shared flag-to-ExperimentConfig plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config_args.hh"
+
+namespace dstrain {
+namespace {
+
+/** An ArgParser with the experiment options, already parsed. */
+ArgParser
+parsedArgs(std::vector<const char *> argv)
+{
+    ArgParser args("dstrain", "test");
+    addExperimentOptions(args);
+    argv.insert(argv.begin(), "dstrain");
+    EXPECT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data()));
+    return args;
+}
+
+TEST(ConfigArgsTest, DefaultsProduceValidConfig)
+{
+    const ArgParser args = parsedArgs({});
+    const ParsedExperiment parsed = experimentFromArgs(args);
+    ASSERT_TRUE(parsed.ok()) << formatConfigErrors(parsed.errors);
+    EXPECT_EQ(parsed.config.cluster.nodes, 1);
+    EXPECT_TRUE(parsed.config.faults.empty());
+    EXPECT_TRUE(parsed.config.validate().empty());
+}
+
+TEST(ConfigArgsTest, FlagsReachTheConfig)
+{
+    const ArgParser args = parsedArgs(
+        {"--nodes", "2", "--strategy", "zero2-cpu", "--batch", "8",
+         "--bucket", "0.2", "--placement", "G", "--retain-segments"});
+    const ParsedExperiment parsed = experimentFromArgs(args);
+    ASSERT_TRUE(parsed.ok()) << formatConfigErrors(parsed.errors);
+    EXPECT_EQ(parsed.config.cluster.nodes, 2);
+    EXPECT_EQ(parsed.config.batch_per_gpu, 8);
+    EXPECT_DOUBLE_EQ(parsed.config.telemetry.bucket, 0.2);
+    EXPECT_TRUE(parsed.config.telemetry.retain_segments);
+    EXPECT_EQ(parsed.config.placement.id, 'G');
+}
+
+TEST(ConfigArgsTest, FaultSpecIsParsed)
+{
+    const ArgParser args = parsedArgs(
+        {"--faults", "degrade@1+0.5:roce:0.4,straggler@2:rank3:0.7"});
+    const ParsedExperiment parsed = experimentFromArgs(args);
+    ASSERT_TRUE(parsed.ok()) << formatConfigErrors(parsed.errors);
+    ASSERT_EQ(parsed.config.faults.events.size(), 2u);
+    EXPECT_EQ(parsed.config.faults.events[0].kind,
+              FaultKind::LinkDegrade);
+    EXPECT_EQ(parsed.config.faults.events[1].target, "rank3");
+}
+
+TEST(ConfigArgsTest, ErrorsAreCollectedNotFatal)
+{
+    const ArgParser args =
+        parsedArgs({"--placement", "Z", "--bucket", "0",
+                    "--faults", "degrade@1:bogus-class:0.5"});
+    const ParsedExperiment parsed = experimentFromArgs(args);
+    EXPECT_FALSE(parsed.ok());
+    // One error per problem, each naming its field.
+    EXPECT_GE(parsed.errors.size(), 3u);
+    bool placement = false, bucket = false, fault = false;
+    for (const ConfigError &e : parsed.errors) {
+        placement |= e.field == "placement";
+        bucket |= e.field == "telemetry.bucket";
+        fault |= e.field.rfind("faults", 0) == 0;
+    }
+    EXPECT_TRUE(placement);
+    EXPECT_TRUE(bucket);
+    EXPECT_TRUE(fault);
+}
+
+TEST(ConfigArgsTest, UnknownStrategyIsAnError)
+{
+    const ArgParser args = parsedArgs({"--strategy", "zero9"});
+    const ParsedExperiment parsed = experimentFromArgs(args);
+    ASSERT_EQ(parsed.errors.size(), 1u);
+    EXPECT_EQ(parsed.errors[0].field, "strategy");
+}
+
+TEST(ConfigArgsTest, StrategyNamesRoundTrip)
+{
+    for (const char *name :
+         {"ddp", "megatron", "zero1", "zero2", "zero3", "zero1-cpu",
+          "zero2-cpu", "zero3-cpu", "zero3-nvme", "zero3-nvme-params"}) {
+        EXPECT_TRUE(parseStrategyName(name).has_value()) << name;
+    }
+    EXPECT_FALSE(parseStrategyName("fsdp").has_value());
+}
+
+} // namespace
+} // namespace dstrain

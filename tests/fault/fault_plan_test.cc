@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for FaultPlan parsing, validation and rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hh"
+
+namespace dstrain {
+namespace {
+
+FaultPlan
+parseOk(const std::string &spec)
+{
+    std::vector<ConfigError> errors;
+    FaultPlan plan = parseFaultSpec(spec, &errors);
+    EXPECT_TRUE(errors.empty())
+        << spec << ": " << formatConfigErrors(errors);
+    return plan;
+}
+
+std::vector<ConfigError>
+parseBad(const std::string &spec)
+{
+    std::vector<ConfigError> errors;
+    parseFaultSpec(spec, &errors);
+    EXPECT_FALSE(errors.empty()) << spec << " parsed unexpectedly";
+    return errors;
+}
+
+TEST(FaultPlanTest, ParsesEveryKind)
+{
+    const FaultPlan plan = parseOk(
+        "degrade@1+0.5:roce:0.4,flap@2+0.2:roce/n1,"
+        "nicdown@1+1:n0.nic1,straggler@0+2:rank3:0.6,nvme@1:n0:0.5");
+    ASSERT_EQ(plan.events.size(), 5u);
+    EXPECT_EQ(plan.events[0].kind, FaultKind::LinkDegrade);
+    EXPECT_EQ(plan.events[1].kind, FaultKind::LinkFlap);
+    EXPECT_EQ(plan.events[2].kind, FaultKind::NicFailover);
+    EXPECT_EQ(plan.events[3].kind, FaultKind::GpuStraggler);
+    EXPECT_EQ(plan.events[4].kind, FaultKind::NvmeDegrade);
+
+    EXPECT_DOUBLE_EQ(plan.events[0].begin, 1.0);
+    EXPECT_DOUBLE_EQ(plan.events[0].duration, 0.5);
+    EXPECT_DOUBLE_EQ(plan.events[0].fraction, 0.4);
+    EXPECT_EQ(plan.events[1].target, "roce/n1");
+    EXPECT_DOUBLE_EQ(plan.events[4].duration, 0.0);  // rest of run
+}
+
+TEST(FaultPlanTest, StrRoundTrips)
+{
+    const std::string spec =
+        "degrade@1+0.5:roce:0.4,nicdown@1+1:n0.nic1,"
+        "straggler@0+2:rank3:0.6";
+    const FaultPlan plan = parseOk(spec);
+    EXPECT_EQ(plan.str(), spec);
+
+    // Parsing the rendering again reproduces the same plan.
+    const FaultPlan again = parseOk(plan.str());
+    ASSERT_EQ(again.events.size(), plan.events.size());
+    for (std::size_t i = 0; i < plan.events.size(); ++i)
+        EXPECT_EQ(again.events[i].str(), plan.events[i].str());
+}
+
+TEST(FaultPlanTest, DefaultsWhenOmitted)
+{
+    const FaultPlan plan = parseOk("degrade@3:nvlink");
+    ASSERT_EQ(plan.events.size(), 1u);
+    EXPECT_DOUBLE_EQ(plan.events[0].begin, 3.0);
+    EXPECT_DOUBLE_EQ(plan.events[0].duration, 0.0);
+    EXPECT_DOUBLE_EQ(plan.events[0].fraction, 0.5);
+    EXPECT_TRUE(plan.retry.enabled);
+}
+
+TEST(FaultPlanTest, EmptySpecIsEmptyPlan)
+{
+    EXPECT_TRUE(parseOk("").empty());
+    EXPECT_TRUE(parseOk(" , ,").empty());
+    EXPECT_FALSE(parseOk("degrade@1:roce").empty());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs)
+{
+    parseBad("degrade");                       // missing @
+    parseBad("degrade@1");                     // missing target
+    parseBad("meteor@1:roce");                 // unknown kind
+    parseBad("degrade@x:roce");                // bad begin
+    parseBad("degrade@1+y:roce");              // bad duration
+    parseBad("degrade@1:roce:2.0");            // fraction > 1
+    parseBad("degrade@1:roce:0");              // fraction 0
+    parseBad("degrade@1:warp-core:0.5");       // unknown class
+    parseBad("flap@1:roce:0.5");               // flap takes no fraction
+    parseBad("nicdown@1:nic1");                // missing node scope
+    parseBad("straggler@1:gpu3:0.5");          // rank<k> expected
+    parseBad("degrade@1:roce:0.5:extra");      // too many fields
+}
+
+TEST(FaultPlanTest, ErrorsNameTheOffendingItem)
+{
+    const auto errors = parseBad("degrade@1:roce:0.4,meteor@1:roce");
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].field, "faults['meteor@1:roce']");
+    EXPECT_NE(errors[0].message.find("unknown kind"),
+              std::string::npos);
+}
+
+TEST(FaultPlanTest, ValidateChecksRangesAndRetry)
+{
+    FaultPlan plan;
+    FaultEvent ev;
+    ev.kind = FaultKind::LinkDegrade;
+    ev.begin = -1.0;
+    ev.target = "roce";
+    plan.events.push_back(ev);
+    plan.retry.detect_delay = 0.0;
+    const auto errors = plan.validate();
+    ASSERT_EQ(errors.size(), 2u);
+    EXPECT_EQ(errors[0].field, "faults.events[0]");
+    EXPECT_EQ(errors[1].field, "faults.retry.detect_delay");
+
+    // Retry parameters are irrelevant (and unchecked) with no events.
+    FaultPlan empty;
+    empty.retry.backoff = -1.0;
+    EXPECT_TRUE(empty.validate().empty());
+}
+
+} // namespace
+} // namespace dstrain

@@ -115,7 +115,12 @@ TEST(RateLogTest, StreamedBucketsAccumulateOnline)
 
     EXPECT_TRUE(log.segments().empty());
     EXPECT_TRUE(log.streamArmed());
-    EXPECT_DOUBLE_EQ(log.streamEnd(), 2.0);
+    // The trailing idle interval [1,2) deposits nothing, so the
+    // folded-history mark stays at the last nonzero-rate close: a
+    // window ending anywhere at or after 1.0 is fully covered.
+    EXPECT_DOUBLE_EQ(log.streamEnd(), 1.0);
+    EXPECT_TRUE(log.streamCovers(0.0, 1.0, 0.5));
+    EXPECT_TRUE(log.streamCovers(0.0, 2.0, 0.5));
     ASSERT_GE(log.streamValues().size(), 2u);
     // Rate 10 fills buckets [0,0.5) and [0.5,1.0) completely.
     EXPECT_DOUBLE_EQ(log.streamValues()[0], 10.0);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "hw/cluster.hh"
 #include "net/flow_scheduler.hh"
 #include "util/rng.hh"
@@ -298,6 +300,121 @@ TEST_P(FlowConservationProperty, BytesConserved)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowConservationProperty,
                          testing::Range(1, 13));
+
+/** The distinct resources a route crosses. */
+std::vector<ResourceId>
+routeResources(const Topology &topo, const Route &route)
+{
+    std::vector<ResourceId> rids;
+    for (HalfLinkId h : route.hops) {
+        const ResourceId rid = topo.halfLink(h).resource;
+        if (std::find(rids.begin(), rids.end(), rid) == rids.end())
+            rids.push_back(rid);
+    }
+    return rids;
+}
+
+TEST_F(FlowSchedulerTest, SetCapacityDegradesActiveFlow)
+{
+    // 80 GB on the 80 GBps NVLink pair; halve every route resource at
+    // t=0.5 s: 40 GB done, the rest at 40 GBps -> finish at 1.5 s.
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 80e9;
+    const std::vector<ResourceId> rids =
+        routeResources(cluster_.topology(), spec.route);
+    bool done = false;
+    spec.on_complete = [&] { done = true; };
+    flows_.start(std::move(spec));
+    sim_.events().schedule(0.5, [&] {
+        for (ResourceId rid : rids) {
+            const Resource &r = cluster_.topology().resource(rid);
+            flows_.setCapacity(rid, r.nominal_capacity * 0.5);
+        }
+    });
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(sim_.now(), 1.5, 1e-6);
+    EXPECT_GE(flows_.stats().capacity_updates, rids.size());
+}
+
+TEST_F(FlowSchedulerTest, ZeroCapacityStallsThenResumes)
+{
+    // A downed link freezes the flow at rate 0 (no completion event);
+    // restoring the capacity resumes it with no bytes lost.
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 80e9;
+    const std::vector<ResourceId> rids =
+        routeResources(cluster_.topology(), spec.route);
+    bool done = false;
+    spec.on_complete = [&] { done = true; };
+    const FlowId id = flows_.start(std::move(spec));
+    sim_.events().schedule(0.5, [&] {
+        for (ResourceId rid : rids)
+            flows_.setCapacity(rid, 0.0);
+    });
+    sim_.events().schedule(0.75, [&] {
+        EXPECT_TRUE(flows_.isActive(id));
+        EXPECT_DOUBLE_EQ(flows_.currentRate(id), 0.0);
+        EXPECT_FALSE(done);
+    });
+    sim_.events().schedule(1.0, [&] {
+        for (ResourceId rid : rids) {
+            const Resource &r = cluster_.topology().resource(rid);
+            flows_.setCapacity(rid, r.nominal_capacity);
+        }
+    });
+    sim_.run();
+    // 40 GB before the outage, 40 GB after it: 0.5 + 0.5 + 0.5 s.
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(sim_.now(), 1.5, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, SlackToSlackCapacityChangeIsFast)
+{
+    // A capped flow leaves the link unsaturated; trimming capacity
+    // while it stays unsaturated must not trigger a re-waterfill.
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 10e9;
+    spec.rate_cap = 10e9;
+    const std::vector<ResourceId> rids =
+        routeResources(cluster_.topology(), spec.route);
+    flows_.start(std::move(spec));
+    sim_.events().schedule(0.1, [&] {
+        const std::uint64_t before = flows_.stats().recomputes;
+        for (ResourceId rid : rids) {
+            const Resource &r = cluster_.topology().resource(rid);
+            flows_.setCapacity(rid, r.nominal_capacity * 0.9);
+        }
+        EXPECT_EQ(flows_.stats().recomputes, before);
+        EXPECT_EQ(flows_.stats().fast_capacity_updates, rids.size());
+    });
+    sim_.run();
+    // The cap still binds: unchanged finish time.
+    EXPECT_NEAR(sim_.now(), 1.0, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, CancelReturnsRemainingBytes)
+{
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 80e9;
+    bool completed = false;
+    spec.on_complete = [&] { completed = true; };
+    const FlowId id = flows_.start(std::move(spec));
+    sim_.events().schedule(0.5, [&] {
+        Bytes remaining = 0.0;
+        EXPECT_TRUE(flows_.cancel(id, &remaining));
+        EXPECT_NEAR(remaining, 40e9, 1e3);
+        EXPECT_EQ(flows_.activeCount(), 0u);
+        EXPECT_FALSE(flows_.cancel(id));  // already gone
+    });
+    sim_.run();
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(flows_.stats().cancels, 1u);
+}
 
 } // namespace
 } // namespace dstrain

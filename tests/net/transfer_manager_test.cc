@@ -81,7 +81,7 @@ TEST_F(TransferManagerTest, ViaChangesThePath)
     // Pin node-0 GPU0's egress through NIC1 (the cross-socket NIC):
     // xGMI must carry traffic.
     TransferOptions opts;
-    opts.via = cluster_.node(0).nics[1];
+    opts.waypoints = {cluster_.node(0).nics[1]};
     tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(4), 1e9,
               nullptr, std::move(opts));
     sim_.run();
@@ -104,6 +104,107 @@ TEST_F(TransferManagerTest, DefaultPathAvoidsXgmi)
             EXPECT_DOUBLE_EQ(r.log.totalBytes(), 0.0);
         }
     }
+}
+
+class TransferRetryTest : public TransferManagerTest
+{
+  protected:
+    /** Scale every link direction touching one NIC (0 = down). */
+    void
+    setNicCapacityFactor(int node, int nic, double factor)
+    {
+        const ComponentId id = cluster_.node(node).nics[nic];
+        Topology &topo = cluster_.topology();
+        for (std::size_t h = 0; h < topo.halfLinkCount(); ++h) {
+            const HalfLink &hl =
+                topo.halfLink(static_cast<HalfLinkId>(h));
+            if (hl.from != id && hl.to != id)
+                continue;
+            const Resource &r = topo.resource(hl.resource);
+            flows_.setCapacity(hl.resource,
+                               r.nominal_capacity * factor);
+        }
+    }
+};
+
+TEST_F(TransferRetryTest, ReroutesAroundDownedNic)
+{
+    RetryPolicy policy;
+    policy.enabled = true;
+    tm_.configureRetry(policy);
+
+    // Pin the inter-node transfer through n0.nic0, then kill that NIC
+    // mid-flight: the manager must cancel the stranded flow and
+    // relaunch the remaining bytes through n0.nic1.
+    TransferOptions opts;
+    opts.waypoints = {cluster_.node(0).nics[0]};
+    bool done = false;
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(4), 10e9,
+              [&] { done = true; }, std::move(opts));
+    sim_.events().schedule(0.05, [&] {
+        setNicCapacityFactor(0, 0, 0.0);
+        tm_.notifyCapacityChange();
+    });
+    sim_.run();
+
+    EXPECT_TRUE(done);
+    EXPECT_EQ(tm_.rerouteCount(), 1u);
+    EXPECT_EQ(tm_.inFlight(), 0u);
+    EXPECT_EQ(flows_.activeCount(), 0u);
+
+    // The relaunched flow really moved through the alternate NIC.
+    flows_.finalizeLogs();
+    const ComponentId nic1 = cluster_.node(0).nics[1];
+    Bytes through_nic1 = 0.0;
+    Topology &topo = cluster_.topology();
+    for (std::size_t h = 0; h < topo.halfLinkCount(); ++h) {
+        const HalfLink &hl = topo.halfLink(static_cast<HalfLinkId>(h));
+        if (hl.from == nic1 || hl.to == nic1)
+            through_nic1 += topo.resource(hl.resource).log.totalBytes();
+    }
+    EXPECT_GT(through_nic1, 0.0);
+}
+
+TEST_F(TransferRetryTest, ParkedTransferResumesOnRestore)
+{
+    // With zero retries allowed the stranded transfer is parked at
+    // rate zero; restoring the link lets it finish on its own.
+    RetryPolicy policy;
+    policy.enabled = true;
+    policy.max_retries = 0;
+    tm_.configureRetry(policy);
+
+    TransferOptions opts;
+    opts.waypoints = {cluster_.node(0).nics[0]};
+    bool done = false;
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(4), 10e9,
+              [&] { done = true; }, std::move(opts));
+    sim_.events().schedule(0.05, [&] {
+        setNicCapacityFactor(0, 0, 0.0);
+        tm_.notifyCapacityChange();
+    });
+    sim_.events().schedule(0.3, [&] {
+        EXPECT_FALSE(done);  // still parked
+        setNicCapacityFactor(0, 0, 1.0);
+    });
+    sim_.run();
+
+    EXPECT_TRUE(done);
+    EXPECT_EQ(tm_.rerouteCount(), 0u);
+    EXPECT_EQ(tm_.inFlight(), 0u);
+}
+
+TEST_F(TransferRetryTest, RetryDisabledKeepsZeroPendingState)
+{
+    // The default (no faults) configuration must not grow
+    // per-transfer bookkeeping: notifyCapacityChange is a no-op.
+    bool done = false;
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(1), 1e9,
+              [&] { done = true; });
+    tm_.notifyCapacityChange();
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(tm_.rerouteCount(), 0u);
 }
 
 TEST_F(TransferManagerTest, DeathOnSelfTransfer)

@@ -8,22 +8,32 @@
  *   dstrain --strategy zero2-cpu --model 11.4 --energy
  *   dstrain --strategy zero3-nvme --placement G --trace out.json
  *   dstrain --strategy megatron --tp 4 --csv
+ *   dstrain --nodes 2 --faults 'degrade@2+1:roce:0.25'
  *
  * The `sweep` subcommand runs a whole family of configurations
  * through the parallel SweepRunner:
  *
  *   dstrain sweep --nodes 1,2 --strategies zero1,zero2,zero3 --jobs 4
  *   dstrain sweep --strategies all --jobs 8 --csv
+ *
+ * The `faults` subcommand is a guided demo of the fault-injection
+ * subsystem: it runs the same experiment clean and faulted and
+ * prints the per-link impact table plus the RoCE rate sparkline.
+ *
+ *   dstrain faults
+ *   dstrain faults --spec 'flap@2+0.3:roce/n1' --nodes 2
  */
 
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 
+#include "core/config_args.hh"
 #include "core/energy.hh"
 #include "core/presets.hh"
 #include "core/report.hh"
 #include "core/sweep_runner.hh"
+#include "telemetry/probe.hh"
 #include "telemetry/timeline.hh"
 #include "engine/trace_export.hh"
 #include "util/args.hh"
@@ -32,34 +42,12 @@
 namespace dstrain {
 namespace {
 
-/** Map the CLI strategy name to a configuration. */
-std::optional<StrategyConfig>
-parseStrategy(const std::string &name, int tp, int pp)
+/** Print each config error on its own line to stderr. */
+void
+printConfigErrors(const std::vector<ConfigError> &errors)
 {
-    if (name == "ddp")
-        return StrategyConfig::ddp();
-    if (name == "megatron")
-        return StrategyConfig::megatron(tp > 0 ? tp : 4,
-                                        pp > 0 ? pp : 1);
-    if (name == "zero1")
-        return tp > 1 ? StrategyConfig::hybridZero(1, tp)
-                      : StrategyConfig::zero(1);
-    if (name == "zero2")
-        return tp > 1 ? StrategyConfig::hybridZero(2, tp)
-                      : StrategyConfig::zero(2);
-    if (name == "zero3")
-        return StrategyConfig::zero(3);
-    if (name == "zero1-cpu")
-        return StrategyConfig::zeroOffloadCpu(1);
-    if (name == "zero2-cpu")
-        return StrategyConfig::zeroOffloadCpu(2);
-    if (name == "zero3-cpu")
-        return StrategyConfig::zeroOffloadCpu(3);
-    if (name == "zero3-nvme")
-        return StrategyConfig::zeroInfinityNvme(false);
-    if (name == "zero3-nvme-params")
-        return StrategyConfig::zeroInfinityNvme(true);
-    return std::nullopt;
+    std::fprintf(stderr, "dstrain: invalid configuration:\n%s\n",
+                 formatConfigErrors(errors).c_str());
 }
 
 /** Split a comma-separated list, skipping empty items. */
@@ -96,6 +84,9 @@ runSweep(int argc, const char *const *argv)
                    "model size in billions (0 = largest that fits)");
     args.addOption("batch", "16", "per-GPU batch size");
     args.addOption("iterations", "4", "iterations to simulate");
+    args.addOption(
+        "faults", "",
+        "fault spec applied to every sweep point (see dstrain --help)");
     args.addOption("jobs", "0",
                    "worker threads (0 = one per hardware thread)");
     args.addFlag("csv", "emit the bandwidth rows as CSV");
@@ -107,6 +98,16 @@ runSweep(int argc, const char *const *argv)
     if (strategy_csv == "all")
         strategy_csv = kAllStrategies;
 
+    FaultPlan faults;
+    if (!args.get("faults").empty()) {
+        std::vector<ConfigError> errors;
+        faults = parseFaultSpec(args.get("faults"), &errors);
+        if (!errors.empty()) {
+            printConfigErrors(errors);
+            return 1;
+        }
+    }
+
     std::vector<ExperimentConfig> configs;
     std::vector<std::string> names;
     for (const std::string &nodes_str : splitList(args.get("nodes"))) {
@@ -117,7 +118,7 @@ runSweep(int argc, const char *const *argv)
             return 1;
         }
         for (const std::string &name : splitList(strategy_csv)) {
-            const auto strategy = parseStrategy(name, 0, 0);
+            const auto strategy = parseStrategyName(name);
             if (!strategy) {
                 std::fprintf(stderr,
                              "dstrain: unknown strategy '%s'\n%s",
@@ -131,6 +132,7 @@ runSweep(int argc, const char *const *argv)
             // iteration.
             cfg.iterations =
                 std::max(cfg.warmup + 1, args.getInt("iterations"));
+            cfg.faults = faults;
             names.push_back(csprintf("%dn %s", nodes,
                                      strategy->displayName().c_str()));
             configs.push_back(std::move(cfg));
@@ -174,45 +176,25 @@ runSweep(int argc, const char *const *argv)
 }
 
 int
-runCli(int argc, const char *const *argv)
+runFaultsDemo(int argc, const char *const *argv)
 {
     ArgParser args(
-        "dstrain",
-        "simulate distributed LLM training on an XE8545-class cluster");
-    args.addOption("nodes", "1", "number of compute nodes");
-    args.addOption(
-        "strategy", "zero3",
-        "ddp | megatron | zero1 | zero2 | zero3 | zero1-cpu | "
-        "zero2-cpu | zero3-cpu | zero3-nvme | zero3-nvme-params");
+        "dstrain faults",
+        "fault-injection demo: run the same experiment clean and "
+        "faulted, print the per-link impact");
+    args.addOption("nodes", "2", "number of compute nodes");
+    args.addOption("strategy", "zero3", strategyNameHelp());
     args.addOption("model", "0",
                    "model size in billions (0 = largest that fits)");
-    args.addOption("tp", "0", "tensor-parallel degree (megatron/hybrid)");
-    args.addOption("pp", "0", "pipeline-parallel degree (megatron)");
-    args.addOption("batch", "16", "per-GPU batch size");
-    args.addOption("iterations", "4", "iterations to simulate");
-    args.addOption("placement", "B",
-                   "NVMe drive placement (A-G paper, H extension)");
-    args.addOption("trace", "",
-                   "write a chrome://tracing JSON of the final "
-                   "iteration to this path");
-    args.addOption("bucket", "0.1",
-                   "telemetry sampling bucket in seconds");
-    args.addFlag("retain-segments",
-                 "keep the full rate-log history instead of the "
-                 "streaming bucket accumulators (more memory)");
-    args.addFlag("telemetry-stats",
-                 "print the telemetry-engine counters");
-    args.addFlag("csv", "emit the bandwidth row as CSV");
-    args.addFlag("energy", "print the energy-model estimate");
-    args.addFlag("timeline", "print the ASCII iteration timeline");
-    args.addFlag("no-serdes",
-                 "disable the IOD SerDes contention model (ablation)");
+    args.addOption("iterations", "6", "iterations to simulate");
+    args.addOption(
+        "spec", "degrade@2+1.5:roce:0.25",
+        "fault spec <kind>@<begin>[+<duration>]:<target>[:<fraction>]; "
+        "kinds: degrade, flap, nicdown, straggler, nvme");
     if (!args.parse(argc, argv))
         return 1;
 
-    const auto strategy = parseStrategy(args.get("strategy"),
-                                        args.getInt("tp"),
-                                        args.getInt("pp"));
+    const auto strategy = parseStrategyName(args.get("strategy"));
     if (!strategy) {
         std::fprintf(stderr, "dstrain: unknown strategy '%s'\n%s",
                      args.get("strategy").c_str(),
@@ -220,22 +202,88 @@ runCli(int argc, const char *const *argv)
         return 1;
     }
 
-    ExperimentConfig cfg = paperExperiment(
-        args.getInt("nodes"), *strategy, args.getDouble("model"));
-    cfg.batch_per_gpu = args.getInt("batch");
-    // Executor needs at least one measured (post-warmup) iteration.
-    cfg.iterations = std::max(cfg.warmup + 1, args.getInt("iterations"));
-    cfg.placement = nvmePlacementConfig(args.get("placement")[0]);
-    cfg.cluster.node.model_serdes_contention =
-        !args.getFlag("no-serdes");
-    if (args.getDouble("bucket") <= 0.0) {
-        std::fprintf(stderr, "dstrain: --bucket must be positive\n");
+    std::vector<ConfigError> errors;
+    FaultPlan plan = parseFaultSpec(args.get("spec"), &errors);
+    if (!errors.empty()) {
+        printConfigErrors(errors);
         return 1;
     }
-    cfg.telemetry.bucket = args.getDouble("bucket");
-    cfg.telemetry.retain_segments = args.getFlag("retain-segments");
 
-    Experiment experiment(std::move(cfg));
+    ExperimentConfig cfg = paperExperiment(
+        args.getInt("nodes"), *strategy, args.getDouble("model"));
+    cfg.iterations = std::max(cfg.warmup + 1, args.getInt("iterations"));
+    // Retain segments so we can draw the rate sparkline afterwards.
+    cfg.telemetry.retain_segments = true;
+
+    inform("faults: clean run...");
+    const ExperimentReport clean = runExperiment(cfg);
+
+    // Fault begin times are absolute simulation seconds; unless the
+    // user pinned a spec, aim the default fault at the middle of the
+    // measured window the clean run just revealed.
+    if (!args.provided("spec")) {
+        const SimTime b = clean.execution.measured_begin;
+        const SimTime w = clean.execution.measured_end - b;
+        plan.events[0].begin = b + 0.3 * w;
+        plan.events[0].duration = 0.3 * w;
+    }
+
+    inform("faults: faulted run (%s)...", plan.str().c_str());
+    cfg.faults = plan;
+    Experiment faulted(std::move(cfg));
+    const ExperimentReport report = faulted.run();
+
+    std::cout << "\nclean:   " << summarizeReport(clean)
+              << "\nfaulted: " << summarizeReport(report) << "\n\n";
+
+    TextTable impact = faultImpactTable(report);
+    impact.setTitle("Per-fault impact:");
+    std::cout << impact << "\n";
+
+    // The Fig. 4-style view: per-node RoCE rate over the measured
+    // window, so the degraded stretch is visible at a glance.
+    const SimTime begin = report.execution.measured_begin;
+    const SimTime end = report.execution.measured_end;
+    for (int n = 0; n < faulted.cluster().nodeCount(); ++n) {
+        const BandwidthSeries series = probeClassBandwidth(
+            faulted.cluster().topology(), LinkClass::Roce, begin, end,
+            faulted.config().telemetry.bucket, n);
+        std::cout << csprintf("n%d roce |", n)
+                  << sparkline(series.values) << "|\n";
+    }
+    std::cout << csprintf(
+        "          %s .. %s (reroutes: %llu)\n",
+        formatTime(begin).c_str(), formatTime(end).c_str(),
+        static_cast<unsigned long long>(
+            faulted.transfers().rerouteCount()));
+    return 0;
+}
+
+int
+runCli(int argc, const char *const *argv)
+{
+    ArgParser args(
+        "dstrain",
+        "simulate distributed LLM training on an XE8545-class cluster");
+    addExperimentOptions(args);
+    args.addOption("trace", "",
+                   "write a chrome://tracing JSON of the final "
+                   "iteration to this path");
+    args.addFlag("telemetry-stats",
+                 "print the telemetry-engine counters");
+    args.addFlag("csv", "emit the bandwidth row as CSV");
+    args.addFlag("energy", "print the energy-model estimate");
+    args.addFlag("timeline", "print the ASCII iteration timeline");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    ParsedExperiment parsed = experimentFromArgs(args);
+    if (!parsed.ok()) {
+        printConfigErrors(parsed.errors);
+        return 1;
+    }
+
+    Experiment experiment(std::move(parsed.config));
     const ExperimentReport report = experiment.run();
     const ExperimentConfig &used = experiment.config();
 
@@ -252,6 +300,12 @@ runCli(int argc, const char *const *argv)
         bw.setTitle(
             "Aggregate bidirectional per-node bandwidth (GBps):");
         std::cout << bw;
+    }
+
+    if (!report.faults.empty()) {
+        TextTable impact = faultImpactTable(report);
+        impact.setTitle("Per-fault impact:");
+        std::cout << "\n" << impact;
     }
 
     if (args.getFlag("telemetry-stats"))
@@ -292,5 +346,7 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::string(argv[1]) == "sweep")
         return dstrain::runSweep(argc - 1, argv + 1);
+    if (argc > 1 && std::string(argv[1]) == "faults")
+        return dstrain::runFaultsDemo(argc - 1, argv + 1);
     return dstrain::runCli(argc, argv);
 }
