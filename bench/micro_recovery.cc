@@ -1,0 +1,239 @@
+/**
+ * @file
+ * JSON-emitting micro-benchmark of the checkpoint/recovery subsystem:
+ * checkpoint overhead (with a no-op fingerprint-identity check), a
+ * nodedown-recovery experiment end to end (reproducibility plus
+ * serial-vs-parallel sweep determinism), and a checkpoint-interval
+ * sweep locating the goodput-optimal interval next to the Young/Daly
+ * estimate.
+ *
+ * Output is one JSON object per line so the bench trajectory can be
+ * recorded and diffed across revisions:
+ *
+ *   ./micro_recovery [--iterations N] [--points P] [--jobs N]
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/sweep_runner.hh"
+#include "recovery/checkpoint.hh"
+#include "util/args.hh"
+
+using namespace dstrain;
+
+namespace {
+
+/** The dual-node ZeRO-3 configuration all scenarios share. */
+ExperimentConfig
+baseConfig(int iterations)
+{
+    ExperimentConfig cfg =
+        paperExperiment(2, StrategyConfig::zero(3), 6.6);
+    bench::applyRunSettings(cfg, iterations);
+    return cfg;
+}
+
+/**
+ * Checkpoint cost: a clean run against a checkpointed run, plus the
+ * subsystem's no-op guarantee — a disabled policy with no hard
+ * faults must leave the report fingerprint bit-identical.
+ */
+bench::JsonObject
+checkpointOverheadScenario(int iterations)
+{
+    bench::Stopwatch watch;
+    const ExperimentReport plain = runExperiment(baseConfig(iterations));
+
+    ExperimentConfig noop = baseConfig(iterations);
+    noop.recovery.policy = RecoveryPolicyKind::Elastic;
+    noop.recovery.detect_delay = 0.111;  // must not matter
+    const ExperimentReport idle = runExperiment(std::move(noop));
+
+    ExperimentConfig ckpt = baseConfig(iterations);
+    ckpt.recovery.checkpoint.every_iterations = 2;
+    const ExperimentReport checked = runExperiment(std::move(ckpt));
+    const double secs = watch.seconds();
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("checkpoint_overhead"))
+        .add("iterations", iterations)
+        .add("wall_seconds", secs)
+        .add("noop_fingerprint_identical",
+             reportFingerprint(plain) == reportFingerprint(idle))
+        .add("checkpoints", checked.recovery.checkpoints)
+        .add("checkpoint_bytes", checked.recovery.checkpoint_bytes)
+        .add("checkpoint_overhead", checked.recovery.checkpoint_overhead)
+        .add("goodput_tflops", checked.recovery.goodput_tflops)
+        .add("throughput_tflops", checked.recovery.throughput_tflops)
+        .add("goodput_le_throughput",
+             checked.recovery.goodput_tflops <=
+                 checked.recovery.throughput_tflops + 1e-9);
+    return json;
+}
+
+/** Checkpointed config with a nodedown at @p begin seconds. */
+ExperimentConfig
+faultedConfig(int iterations, double begin)
+{
+    ExperimentConfig cfg = baseConfig(iterations);
+    cfg.recovery.checkpoint.every_iterations = 2;
+    std::vector<ConfigError> errors;
+    cfg.faults =
+        parseFaultSpec(csprintf("nodedown@%g:n1", begin), &errors);
+    DSTRAIN_ASSERT(errors.empty(), "bench fault spec invalid");
+    return cfg;
+}
+
+/**
+ * End-to-end nodedown recovery: same-seed reproducibility and
+ * serial-vs-parallel sweep determinism with the recovery machinery
+ * active, plus the goodput accounting of the first run.
+ */
+bench::JsonObject
+nodedownRecoveryScenario(int iterations, int points, int jobs)
+{
+    // Aim the fault mid-window using a clean run's measured span.
+    const ExperimentReport clean = runExperiment(baseConfig(iterations));
+    const double mid = clean.execution.measured_begin +
+                       0.5 * (clean.execution.measured_end -
+                              clean.execution.measured_begin);
+
+    bench::Stopwatch watch;
+    const ExperimentReport first =
+        runExperiment(faultedConfig(iterations, mid));
+    const double secs = watch.seconds();
+    const ExperimentReport second =
+        runExperiment(faultedConfig(iterations, mid));
+
+    std::vector<ExperimentConfig> sweep;
+    for (int i = 0; i < points; ++i)
+        sweep.push_back(faultedConfig(iterations, mid + 0.5 * i));
+    const std::vector<ExperimentReport> serial =
+        SweepRunner(1).run(sweep);
+    const std::vector<ExperimentReport> parallel =
+        SweepRunner(jobs).run(sweep);
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+        identical = reportFingerprint(serial[i]) ==
+                    reportFingerprint(parallel[i]);
+    }
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("nodedown_recovery"))
+        .add("iterations", iterations)
+        .add("wall_seconds", secs)
+        .add("reproducible", reportFingerprint(first) ==
+                                 reportFingerprint(second))
+        .add("sweep_points", static_cast<std::uint64_t>(serial.size()))
+        .add("sweep_jobs", jobs)
+        .add("sweep_identical", identical)
+        .add("recoveries", first.recovery.recoveries)
+        .add("lost_iterations", first.recovery.lost_iterations)
+        .add("time_to_recover", first.recovery.time_to_recover)
+        .add("goodput_tflops", first.recovery.goodput_tflops)
+        .add("throughput_tflops", first.recovery.throughput_tflops)
+        .add("goodput_le_throughput",
+             first.recovery.goodput_tflops <=
+                 first.recovery.throughput_tflops + 1e-9);
+    return json;
+}
+
+/**
+ * Checkpoint-interval sweep under a fixed nodedown: where does
+ * simulated goodput peak, and how close is the Young/Daly estimate
+ * tau = sqrt(2 * delta * MTBF) computed from the simulated
+ * checkpoint cost?
+ */
+bench::JsonObject
+optimalIntervalScenario(int iterations, int jobs)
+{
+    const ExperimentReport clean = runExperiment(baseConfig(iterations));
+    const double mid = clean.execution.measured_begin +
+                       0.5 * (clean.execution.measured_end -
+                              clean.execution.measured_begin);
+
+    const int ks[] = {1, 2, 3, 4};
+    std::vector<ExperimentConfig> sweep;
+    for (int k : ks) {
+        ExperimentConfig cfg = faultedConfig(iterations, mid);
+        cfg.recovery.checkpoint.every_iterations = k;
+        sweep.push_back(std::move(cfg));
+    }
+    bench::Stopwatch watch;
+    const std::vector<ExperimentReport> reports =
+        SweepRunner(jobs).run(sweep);
+    const double secs = watch.seconds();
+
+    int best_k = 0;
+    double best_goodput = -1.0;
+    std::string curve;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const RecoveryReport &rc = reports[i].recovery;
+        if (rc.goodput_tflops > best_goodput) {
+            best_goodput = rc.goodput_tflops;
+            best_k = ks[i];
+        }
+        if (!curve.empty())
+            curve += ",";
+        curve += csprintf("{\"every_iterations\":%d,\"goodput\":%.6g,"
+                          "\"overhead\":%.6g}",
+                          ks[i], rc.goodput_tflops,
+                          rc.checkpoint_overhead);
+    }
+
+    // Young/Daly from the simulated per-checkpoint cost: delta is the
+    // mean checkpoint stall, MTBF the single injected failure over
+    // the measured span.
+    const RecoveryReport &densest = reports[0].recovery;
+    const double delta =
+        densest.checkpoints > 0
+            ? densest.checkpoint_time / densest.checkpoints
+            : 0.0;
+    const double span = clean.execution.measured_end -
+                        clean.execution.measured_begin;
+    const double tau =
+        delta > 0.0 ? youngDalyInterval(delta, span) : 0.0;
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("optimal_interval"))
+        .add("wall_seconds", secs)
+        .add("best_every_iterations", best_k)
+        .add("best_goodput_tflops", best_goodput)
+        .add("young_daly_delta", delta)
+        .add("young_daly_mtbf", span)
+        .add("young_daly_interval", tau)
+        .add("iteration_time", clean.iteration_time)
+        .addRaw("curve", "[" + curve + "]");
+    return json;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("micro_recovery",
+                   "checkpoint/recovery micro-benchmarks (JSON per "
+                   "line)");
+    args.addOption("iterations", "6", "training iterations per run");
+    args.addOption("points", "3", "nodedown sweep points");
+    args.addOption("jobs", "0",
+                   "sweep worker threads (0 = one per hardware "
+                   "thread)");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    setLogLevel(LogLevel::Silent);  // keep stdout pure JSON
+    const int iterations = args.getInt("iterations");
+    const int jobs = SweepRunner(args.getInt("jobs")).jobs();
+    std::cout << checkpointOverheadScenario(iterations).str() << "\n";
+    std::cout << nodedownRecoveryScenario(iterations,
+                                          args.getInt("points"), jobs)
+                     .str()
+              << "\n";
+    std::cout << optimalIntervalScenario(iterations, jobs).str()
+              << "\n";
+    return 0;
+}

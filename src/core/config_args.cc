@@ -69,6 +69,12 @@ addExperimentOptions(ArgParser &args)
         "comma-separated fault spec "
         "<kind>@<begin>[+<duration>]:<target>[:<fraction>], e.g. "
         "'degrade@1+0.5:roce:0.4,straggler@0+2:rank3:0.6'");
+    args.addOption(
+        "checkpoint", "off",
+        "checkpoint policy: '<seconds>[s]' interval, '<k>i' "
+        "every-k-iterations, or 'off'");
+    args.addOption("recovery", "restart",
+                   "hard-fault recovery policy: restart | elastic");
     args.addFlag("retain-segments",
                  "keep the full rate-log history instead of the "
                  "streaming bucket accumulators (more memory)");
@@ -119,6 +125,17 @@ experimentFromArgs(const ArgParser &args)
     if (!args.get("faults").empty())
         out.config.faults =
             parseFaultSpec(args.get("faults"), &out.errors);
+
+    out.config.recovery.checkpoint =
+        parseCheckpointSpec(args.get("checkpoint"), &out.errors);
+    if (!parseRecoveryPolicy(args.get("recovery"),
+                             &out.config.recovery.policy)) {
+        out.errors.push_back(
+            {"recovery",
+             csprintf("unknown recovery policy '%s' (expected "
+                      "restart | elastic)",
+                      args.get("recovery").c_str())});
+    }
 
     // Structural validation last; skip anything already reported
     // (parseFaultSpec runs the plan's own validate()).

@@ -39,7 +39,8 @@ const char *strategyNameHelp();
 /**
  * Declare the experiment-defining options (--nodes, --strategy,
  * --model, --tp, --pp, --batch, --iterations, --placement, --bucket,
- * --faults, --retain-segments, --no-serdes) on @p args. Output-side
+ * --faults, --checkpoint, --recovery, --retain-segments, --no-serdes)
+ * on @p args. Output-side
  * flags (--csv, --trace, ...) remain each subcommand's own business.
  */
 void addExperimentOptions(ArgParser &args);

@@ -76,6 +76,8 @@ ExperimentConfig::validate() const
         errors.push_back({"telemetry.bucket", "must be positive"});
     for (ConfigError &e : faults.validate())
         errors.push_back(std::move(e));
+    for (ConfigError &e : recovery.validate(faults, cluster.nodes))
+        errors.push_back(std::move(e));
     return errors;
 }
 
@@ -86,8 +88,12 @@ Experiment::Experiment(ExperimentConfig cfg)
 
     // NVMe strategies must train against the configured placement's
     // drives; install them into the node spec before building.
-    if (cfg_.strategy.offload == OffloadTarget::Nvme)
+    // Checkpoints write to the same volumes, so a checkpoint policy
+    // also needs the drives installed.
+    if (cfg_.strategy.offload == OffloadTarget::Nvme ||
+        cfg_.recovery.checkpoint.enabled()) {
         applyPlacement(cfg_.placement, cfg_.cluster.node);
+    }
 
     // Resolve the model size.
     if (cfg_.model_billions > 0.0) {
@@ -121,6 +127,13 @@ Experiment::Experiment(ExperimentConfig cfg)
             *sim_, *cluster_, *flows_, *tm_, *executor_, *aio_,
             cfg_.faults);
     }
+    if (cfg_.recovery.checkpoint.enabled() ||
+        hasHardFaults(cfg_.faults)) {
+        rm_ = std::make_unique<RecoveryManager>(*sim_, *cluster_, *tm_,
+                                                *executor_, cfg_.recovery);
+        if (injector_)
+            rm_->attachInjector(*injector_);
+    }
 }
 
 Experiment::~Experiment() = default;
@@ -147,12 +160,52 @@ Experiment::run()
 
     if (injector_)
         injector_->arm();
+    if (rm_) {
+        rm_->arm(cfg_.strategy, model_.params);
+        if (cfg_.recovery.policy == RecoveryPolicyKind::Elastic) {
+            // Elastic re-plan: build the same strategy's iteration on
+            // a cluster shrunk to the surviving nodes and map its
+            // logical ranks/nodes onto the physical survivors.
+            auto alive = std::make_shared<std::vector<bool>>(
+                static_cast<std::size_t>(cfg_.cluster.nodes), true);
+            rm_->setReplanner(
+                [this, model_cfg, alive](
+                    int dead_node, std::vector<int> *rank_map,
+                    std::vector<int> *node_map) -> const IterationPlan * {
+                    (*alive)[static_cast<std::size_t>(dead_node)] = false;
+                    ClusterSpec degraded = cfg_.cluster;
+                    degraded.nodes = 0;
+                    for (const bool a : *alive)
+                        degraded.nodes += a ? 1 : 0;
+                    degraded_cluster_ =
+                        std::make_unique<Cluster>(degraded);
+                    PlanContext dctx{*degraded_cluster_, model_cfg,
+                                     cfg_.batch_per_gpu, cfg_.placement,
+                                     cfg_.tuning};
+                    degraded_plan_ = std::make_unique<IterationPlan>(
+                        Strategy::create(cfg_.strategy)
+                            ->buildIteration(dctx));
+                    rank_map->clear();
+                    node_map->clear();
+                    const int gpus = cfg_.cluster.node.gpus;
+                    for (int n = 0; n < cfg_.cluster.nodes; ++n) {
+                        if (!(*alive)[static_cast<std::size_t>(n)])
+                            continue;
+                        node_map->push_back(n);
+                        for (int l = 0; l < gpus; ++l)
+                            rank_map->push_back(n * gpus + l);
+                    }
+                    return degraded_plan_.get();
+                });
+        }
+    }
 
     ExperimentReport report;
     report.strategy = cfg_.strategy;
     report.model = model_;
     report.execution =
         executor_->run(plan, cfg_.iterations, cfg_.warmup);
+    tm_->verifyConservation();
     report.iteration_time = report.execution.avgIterationTime();
     report.tflops = report.execution.achievedTflops();
 
@@ -175,6 +228,8 @@ Experiment::run()
         report.faults = injector_->impacts();
         fillIterationSlowdowns(report.execution, report.faults);
     }
+    if (rm_)
+        report.recovery = rm_->buildReport(report.execution);
     return report;
 }
 

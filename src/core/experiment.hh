@@ -25,6 +25,7 @@
 #include "fault/fault_injector.hh"
 #include "memplan/capacity_solver.hh"
 #include "memplan/composition.hh"
+#include "recovery/recovery_manager.hh"
 #include "telemetry/summary.hh"
 #include "util/config_error.hh"
 
@@ -73,6 +74,16 @@ struct ExperimentConfig {
      */
     FaultPlan faults;
 
+    /**
+     * Checkpoint policy and hard-failure recovery. A disabled
+     * checkpoint policy with no hard faults is a guaranteed no-op
+     * (bit-identical reports to a plain run). Hard faults (gpudown /
+     * nodedown) in `faults` require either a checkpoint policy or
+     * acceptance of a full from-scratch replay. See
+     * recovery/recovery_manager.hh and DESIGN.md "Recovery model".
+     */
+    RecoveryConfig recovery;
+
     std::uint64_t seed = 1;
 
     /**
@@ -97,6 +108,10 @@ struct ExperimentReport {
 
     /** Per-fault impact deltas (empty when no faults configured). */
     std::vector<FaultImpact> faults;
+
+    /** Goodput/recovery accounting (inactive when no checkpoint
+     * policy and no hard faults are configured). */
+    RecoveryReport recovery;
 };
 
 /**
@@ -130,6 +145,9 @@ class Experiment
     /** The transfer manager (post-run reroute counters). */
     TransferManager &transfers() { return *tm_; }
 
+    /** The recovery manager (null without checkpoints/hard faults). */
+    RecoveryManager *recovery() { return rm_.get(); }
+
   private:
     ExperimentConfig cfg_;
     LadderEntry model_;
@@ -141,6 +159,11 @@ class Experiment
     std::unique_ptr<AioEngine> aio_;
     std::unique_ptr<Executor> executor_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<RecoveryManager> rm_;
+    /** Elastic recovery's degraded planning context + plan: built by
+     * the replan callback, kept alive for the rest of the run. */
+    std::unique_ptr<Cluster> degraded_cluster_;
+    std::unique_ptr<IterationPlan> degraded_plan_;
     bool ran_ = false;
 };
 

@@ -166,6 +166,53 @@ faultImpactTable(const ExperimentReport &report)
 }
 
 std::string
+summarizeRecovery(const RecoveryReport &recovery)
+{
+    if (!recovery.active)
+        return "";
+    return csprintf(
+        "goodput %.1f of %.1f TFLOP/s, %d ckpt%s (%.1f%% overhead), "
+        "%d recover%s, %d iter%s lost",
+        recovery.goodput_tflops, recovery.throughput_tflops,
+        recovery.checkpoints, recovery.checkpoints == 1 ? "" : "s",
+        recovery.checkpoint_overhead * 100.0, recovery.recoveries,
+        recovery.recoveries == 1 ? "y" : "ies",
+        recovery.lost_iterations,
+        recovery.lost_iterations == 1 ? "" : "s");
+}
+
+TextTable
+recoveryTable(const std::vector<ExperimentReport> &reports)
+{
+    TextTable table({"Configuration", "Goodput (TFLOP/s)",
+                     "Throughput (TFLOP/s)", "Ckpts",
+                     "Ckpt overhead", "Recoveries", "Lost (s)",
+                     "Lost iters", "TTR (s)"});
+    for (const ExperimentReport &r : reports) {
+        const RecoveryReport &rc = r.recovery;
+        if (!rc.active) {
+            table.addRow({r.strategy.displayName(),
+                          csprintf("%.1f", r.tflops),
+                          csprintf("%.1f", r.tflops), "-", "-", "-",
+                          "-", "-", "-"});
+            continue;
+        }
+        table.addRow({
+            r.strategy.displayName(),
+            csprintf("%.1f", rc.goodput_tflops),
+            csprintf("%.1f", rc.throughput_tflops),
+            csprintf("%d", rc.checkpoints),
+            csprintf("%.2f%%", rc.checkpoint_overhead * 100.0),
+            csprintf("%d", rc.recoveries),
+            csprintf("%.3f", rc.lost_time),
+            csprintf("%d", rc.lost_iterations),
+            csprintf("%.3f", rc.time_to_recover),
+        });
+    }
+    return table;
+}
+
+std::string
 reportFingerprint(const ExperimentReport &report)
 {
     std::string out;
@@ -209,6 +256,19 @@ reportFingerprint(const ExperimentReport &report)
                                 li.avg_during, li.avg_after);
             out += ";";
         }
+    }
+    // Likewise gated: a disabled checkpoint policy with no hard
+    // faults never constructs a RecoveryManager, so plain runs are
+    // unaffected.
+    if (report.recovery.active) {
+        const RecoveryReport &rc = report.recovery;
+        out += csprintf("|recovery=%d/%a/%a/%d/%a/%a/%d/%a/%a/%a/%a",
+                        rc.checkpoints, rc.checkpoint_bytes,
+                        rc.checkpoint_time, rc.recoveries,
+                        rc.recovery_time, rc.lost_time,
+                        rc.lost_iterations, rc.time_to_recover,
+                        rc.goodput_tflops, rc.throughput_tflops,
+                        rc.checkpoint_overhead);
     }
     return out;
 }

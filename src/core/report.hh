@@ -56,6 +56,21 @@ std::string sparkline(const std::vector<double> &values, int width = 80);
 TextTable faultImpactTable(const ExperimentReport &report);
 
 /**
+ * One-line goodput summary of a recovered run ("goodput 312.4 of
+ * 356.1 TFLOP/s, 3 ckpts (1.2% overhead), 1 recovery, 2 iters
+ * lost"). Empty string when the report has no recovery section.
+ */
+std::string summarizeRecovery(const RecoveryReport &recovery);
+
+/**
+ * A goodput/recovery comparison table over several reports:
+ * goodput vs throughput, checkpoint count/overhead, recoveries,
+ * lost work, time-to-recover. Reports without an active recovery
+ * section render as dashes.
+ */
+TextTable recoveryTable(const std::vector<ExperimentReport> &reports);
+
+/**
  * A bit-exact serialization of every numeric field of a report
  * (floats rendered with the hex "%a" format, so two fingerprints
  * compare equal iff the reports are bit-identical). Used by the

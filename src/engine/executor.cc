@@ -69,6 +69,8 @@ Executor::configureStorage(const NvmePlacement &placement)
 void
 Executor::beginMeasurement(SimTime t)
 {
+    measurement_started_ = true;
+    result_->measured_begin = t;
     Topology &topo = cluster_.topology();
     // A legacy (non-streaming) run needs the segments it would sweep,
     // so it implies retention regardless of the retain flag.
@@ -123,13 +125,16 @@ Executor::dispatchGpu(RunState &st, int rank)
     const Flops peak = cluster_.spec().node.gpu_peak_fp16;
     const double eff = cal_.gemmEfficiency(st.plan->modelLayers());
     const SimTime duration =
-        t.flops / (peak * eff * gpuSpeedFactor(rank));
+        t.flops / (peak * eff * gpuSpeedFactor(mapRank(rank)));
     st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
-    sim_.events().scheduleAfter(duration, [this, &st, task_id, rank] {
-        st.gpu_busy[rank] = false;
-        onTaskDone(st, task_id);
-        dispatchGpu(st, rank);
-    });
+    sim_.events().scheduleAfter(
+        duration, [this, &st, task_id, rank, gen = gen_] {
+            if (gen != gen_)
+                return;  // the attempt was aborted mid-kernel
+            st.gpu_busy[rank] = false;
+            onTaskDone(st, task_id);
+            dispatchGpu(st, rank);
+        });
 }
 
 void
@@ -180,10 +185,12 @@ Executor::dispatchCpu(RunState &st, int node, int socket)
     TransferOptions opts;
     opts.rate_cap = dram_traffic / duration;
     opts.tag = t.label;
-    const NodeHandles &nh = cluster_.node(node);
+    const NodeHandles &nh = cluster_.node(mapNode(node));
     tm_.start(nh.drams[static_cast<std::size_t>(socket)],
               nh.cpus[static_cast<std::size_t>(socket)], dram_traffic,
-              [this, &st, task_id, key] {
+              [this, &st, task_id, key, gen = gen_] {
+                  if (gen != gen_)
+                      return;
                   st.cpu_busy[key] = false;
                   onTaskDone(st, task_id);
                   dispatchCpu(st, key.first, key.second);
@@ -199,7 +206,10 @@ Executor::startTask(RunState &st, int task_id)
       case TaskKind::Barrier: {
         st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
         sim_.events().scheduleAfter(
-            0.0, [this, &st, task_id] { onTaskDone(st, task_id); });
+            0.0, [this, &st, task_id, gen = gen_] {
+                if (gen == gen_)
+                    onTaskDone(st, task_id);
+            });
         break;
       }
       case TaskKind::GpuCompute: {
@@ -213,41 +223,48 @@ Executor::startTask(RunState &st, int task_id)
             cal_.collective_launch +
                 st.plan->tasks()[static_cast<std::size_t>(task_id)]
                     .extra_latency,
-            [this, &st, task_id] {
+            [this, &st, task_id, gen = gen_] {
+                if (gen != gen_)
+                    return;
                 const PlanTask &task =
                     st.plan->tasks()[static_cast<std::size_t>(task_id)];
+                // Elastic recovery runs a re-planned group on the
+                // surviving physical ranks.
+                CommGroup group = task.group;
+                for (int &r : group.ranks)
+                    r = mapRank(r);
                 CollectiveOptions opts;
                 opts.pin_channels_to_nics = task.pin_channels;
                 opts.bandwidth_factor = task.comm_bw_factor;
                 bool spans = false;
                 const int node0 =
-                    cluster_.nodeOfRank(task.group.ranks.front());
-                for (int r : task.group.ranks)
+                    cluster_.nodeOfRank(group.ranks.front());
+                for (int r : group.ranks)
                     spans = spans || cluster_.nodeOfRank(r) != node0;
                 if (spans)
                     opts.bandwidth_factor = cal_.internode_comm_factor;
                 opts.tag = task.label;
-                auto done = [this, &st, task_id] {
-                    onTaskDone(st, task_id);
+                auto done = [this, &st, task_id, gen] {
+                    if (gen == gen_)
+                        onTaskDone(st, task_id);
                 };
                 switch (task.op) {
                   case CollectiveOp::AllReduce:
-                    coll_.allReduce(task.group, task.bytes, done, opts);
+                    coll_.allReduce(group, task.bytes, done, opts);
                     break;
                   case CollectiveOp::ReduceScatter:
-                    coll_.reduceScatter(task.group, task.bytes, done,
-                                        opts);
+                    coll_.reduceScatter(group, task.bytes, done, opts);
                     break;
                   case CollectiveOp::AllGather:
-                    coll_.allGather(task.group, task.bytes, done, opts);
+                    coll_.allGather(group, task.bytes, done, opts);
                     break;
                   case CollectiveOp::Broadcast:
-                    coll_.broadcast(task.group, task.root, task.bytes,
-                                    done, opts);
+                    coll_.broadcast(group, mapRank(task.root),
+                                    task.bytes, done, opts);
                     break;
                   case CollectiveOp::Reduce:
-                    coll_.reduce(task.group, task.root, task.bytes, done,
-                                 opts);
+                    coll_.reduce(group, mapRank(task.root), task.bytes,
+                                 done, opts);
                     break;
                 }
             });
@@ -255,18 +272,22 @@ Executor::startTask(RunState &st, int task_id)
       }
       case TaskKind::HostTransfer: {
         st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
-        const int node = cluster_.nodeOfRank(t.rank);
+        const int rank = mapRank(t.rank);
+        const int node = cluster_.nodeOfRank(rank);
         const int socket =
-            gpuSocket(cluster_.spec().node, cluster_.localOfRank(t.rank));
+            gpuSocket(cluster_.spec().node, cluster_.localOfRank(rank));
         const NodeHandles &nh = cluster_.node(node);
-        const ComponentId gpu = cluster_.gpuByRank(t.rank);
+        const ComponentId gpu = cluster_.gpuByRank(rank);
         const ComponentId dram =
             nh.drams[static_cast<std::size_t>(socket)];
         TransferOptions opts;
         opts.tag = t.label;
         tm_.start(t.to_host ? gpu : dram, t.to_host ? dram : gpu,
                   t.bytes,
-                  [this, &st, task_id] { onTaskDone(st, task_id); },
+                  [this, &st, task_id, gen = gen_] {
+                      if (gen == gen_)
+                          onTaskDone(st, task_id);
+                  },
                   std::move(opts));
         break;
       }
@@ -277,30 +298,189 @@ Executor::startTask(RunState &st, int task_id)
       }
       case TaskKind::NvmeIo: {
         st.start_time[static_cast<std::size_t>(task_id)] = sim_.now();
-        const int node = cluster_.nodeOfRank(t.rank);
+        const int rank = mapRank(t.rank);
+        const int node = cluster_.nodeOfRank(rank);
         const int socket =
-            gpuSocket(cluster_.spec().node, cluster_.localOfRank(t.rank));
-        DSTRAIN_ASSERT(node < static_cast<int>(volumes_.size()) &&
-                           t.volume < static_cast<int>(
-                                          volumes_[static_cast<
-                                              std::size_t>(node)]
-                                              .size()),
-                       "NvmeIo task '%s' has no volume %d on node %d "
-                       "(configureStorage not called?)",
-                       t.label.c_str(), t.volume, node);
-        StorageIo io;
-        io.write = t.io_write;
-        io.bytes = t.bytes;
-        io.node = node;
-        io.socket = socket;
-        io.tag = t.label;
-        io.on_done = [this, &st, task_id] { onTaskDone(st, task_id); };
-        volumes_[static_cast<std::size_t>(node)]
-                [static_cast<std::size_t>(t.volume)]
-                    ->io(std::move(io));
+            gpuSocket(cluster_.spec().node, cluster_.localOfRank(rank));
+        nodeStorageIo(node, socket, t.volume, t.io_write, t.bytes,
+                      t.label, [this, &st, task_id, gen = gen_] {
+                          if (gen == gen_)
+                              onTaskDone(st, task_id);
+                      });
         break;
       }
     }
+}
+
+void
+Executor::startIteration()
+{
+    if (iter_index_ >= iterations_)
+        return;
+    const IterationPlan &plan = activePlan();
+    RunState &st = *state_;
+    st = RunState{};
+    st.plan = &plan;
+    const std::size_t n = plan.size();
+    st.pending_deps.assign(n, 0);
+    st.dependents.assign(n, {});
+    st.start_time.assign(n, 0.0);
+    st.remaining = static_cast<int>(n);
+    st.record_spans = (iter_index_ == iterations_ - 1);
+    st.spans = &result_->spans;
+    // A replay of the final iteration after an abort re-records its
+    // timeline from scratch.
+    if (st.record_spans)
+        st.spans->clear();
+    st.on_done = [this, gen = gen_] {
+        if (gen == gen_)
+            onIterationDone();
+    };
+    for (const PlanTask &t : plan.tasks()) {
+        st.pending_deps[static_cast<std::size_t>(t.id)] =
+            static_cast<int>(t.deps.size());
+        for (int dep : t.deps)
+            st.dependents[static_cast<std::size_t>(dep)].push_back(t.id);
+    }
+    // The fixed per-iteration framework overhead delays the first
+    // tasks of the iteration.
+    sim_.events().scheduleAfter(
+        cal_.iteration_fixed, [this, gen = gen_] {
+            if (gen != gen_)
+                return;
+            RunState &s2 = *state_;
+            for (const PlanTask &t : s2.plan->tasks())
+                if (t.deps.empty())
+                    startTask(s2, t.id);
+        });
+}
+
+void
+Executor::onIterationDone()
+{
+    result_->iteration_ends.push_back(sim_.now());
+    result_->iteration_flops.push_back(activePlan().totalGpuFlops());
+    ++iter_index_;
+    // The measurement window opens exactly where measured_begin
+    // lands: the end of the last warm-up iteration. The flag keeps a
+    // replay that re-crosses the warm-up boundary from truncating the
+    // telemetry a second time.
+    if (warmup_ > 0 && iter_index_ == warmup_ && !measurement_started_)
+        beginMeasurement(sim_.now());
+    // The boundary hook (checkpoint scheduler) may hold the run; it
+    // resumes via resumeRun(). Never called after the final iteration.
+    if (iteration_hook_ && iter_index_ < iterations_ &&
+        iteration_hook_(iter_index_, sim_.now())) {
+        paused_ = true;
+        return;
+    }
+    scheduleNextIteration();
+}
+
+void
+Executor::scheduleNextIteration()
+{
+    // Defer to a fresh event so the current callbacks fully unwind.
+    sim_.events().scheduleAfter(0.0, [this, gen = gen_] {
+        if (gen == gen_)
+            startIteration();
+    });
+}
+
+void
+Executor::resumeRun()
+{
+    DSTRAIN_ASSERT(paused_, "resumeRun() without a held run");
+    paused_ = false;
+    scheduleNextIteration();
+}
+
+void
+Executor::abortRun(int resume_iter)
+{
+    DSTRAIN_ASSERT(resume_iter >= 0 && resume_iter <= iter_index_,
+                   "cannot resume at iteration %d (%d committed)",
+                   resume_iter, iter_index_);
+    // Invalidate every scheduled continuation of the current attempt
+    // first, then tear down in-flight work top-down: transfers (which
+    // records delivered/aborted bytes per pending transfer), then any
+    // remaining flows (executor-owned DRAM flows and non-retry
+    // traffic), then queued storage IO. Collective continuations live
+    // inside the transfer manager's pending callbacks, so clearing it
+    // drains the collectives too.
+    ++gen_;
+    tm_.abortAll();
+    flows_.cancelAll();
+    aio_.abortAll();
+    // Rewind the iteration clock to the last committed boundary; the
+    // lost iterations re-run (replay) after recovery resumes us.
+    result_->iteration_ends.resize(static_cast<std::size_t>(resume_iter));
+    result_->iteration_flops.resize(
+        static_cast<std::size_t>(resume_iter));
+    iter_index_ = resume_iter;
+    paused_ = true;
+}
+
+void
+Executor::setPlanOverride(const IterationPlan *plan,
+                          std::vector<int> rank_map,
+                          std::vector<int> node_map)
+{
+    if (plan != nullptr)
+        plan->validate();
+    plan_override_ = plan;
+    rank_map_ = std::move(rank_map);
+    node_map_ = std::move(node_map);
+}
+
+SimTime
+Executor::iterationEndTime(int i) const
+{
+    DSTRAIN_ASSERT(result_ != nullptr && i >= 0 &&
+                       static_cast<std::size_t>(i) <
+                           result_->iteration_ends.size(),
+                   "no committed iteration %d", i);
+    return result_->iteration_ends[static_cast<std::size_t>(i)];
+}
+
+void
+Executor::rankStorageIo(int plan_rank, bool write, Bytes bytes,
+                        const std::string &tag,
+                        std::function<void()> on_done)
+{
+    const int rank = mapRank(plan_rank);
+    const int node = cluster_.nodeOfRank(rank);
+    const int local = cluster_.localOfRank(rank);
+    const int socket = gpuSocket(cluster_.spec().node, local);
+    nodeStorageIo(node, socket, placement_.volumeForRank(local), write,
+                  bytes, tag, std::move(on_done));
+}
+
+void
+Executor::nodeStorageIo(int node, int socket, int volume, bool write,
+                        Bytes bytes, const std::string &tag,
+                        std::function<void()> on_done)
+{
+    DSTRAIN_ASSERT(node >= 0 &&
+                       node < static_cast<int>(volumes_.size()) &&
+                       volume >= 0 &&
+                       volume < static_cast<int>(
+                                    volumes_[static_cast<std::size_t>(
+                                                 node)]
+                                        .size()),
+                   "IO '%s' has no volume %d on node %d "
+                   "(configureStorage not called?)",
+                   tag.c_str(), volume, node);
+    StorageIo io;
+    io.write = write;
+    io.bytes = bytes;
+    io.node = node;
+    io.socket = socket;
+    io.tag = tag;
+    io.on_done = std::move(on_done);
+    volumes_[static_cast<std::size_t>(node)]
+            [static_cast<std::size_t>(volume)]
+                ->io(std::move(io));
 }
 
 IterationResult
@@ -312,8 +492,22 @@ Executor::run(const IterationPlan &plan, int iterations, int warmup)
                    iterations, warmup);
     plan.validate();
 
-    auto result = std::make_shared<IterationResult>();
-    result->flops_per_iteration = plan.totalGpuFlops();
+    // Reset the run context (executors are reused across runs); the
+    // generation bump turns any event left over from a previous run
+    // into a no-op.
+    ++gen_;
+    run_plan_ = &plan;
+    plan_override_ = nullptr;
+    rank_map_.clear();
+    node_map_.clear();
+    iterations_ = iterations;
+    warmup_ = warmup;
+    iter_index_ = 0;
+    paused_ = false;
+    measurement_started_ = false;
+    result_ = std::make_shared<IterationResult>();
+    result_->flops_per_iteration = plan.totalGpuFlops();
+    state_ = std::make_shared<RunState>();
 
     // Apply the run's telemetry mode before any rate is logged: with
     // retention off the logs keep only streamed buckets and the O(1)
@@ -323,77 +517,26 @@ Executor::run(const IterationPlan &plan, int iterations, int warmup)
     if (warmup == 0)
         beginMeasurement(0.0);  // the measurement window is the run
 
-    auto state = std::make_shared<RunState>();
-    auto iter_index = std::make_shared<int>(0);
-    auto start_next = std::make_shared<std::function<void()>>();
-
-    *start_next = [this, &plan, result, state, iter_index, start_next,
-                   iterations, warmup]() {
-        if (*iter_index >= iterations)
-            return;
-        RunState &st = *state;
-        st = RunState{};
-        st.plan = &plan;
-        const std::size_t n = plan.size();
-        st.pending_deps.assign(n, 0);
-        st.dependents.assign(n, {});
-        st.start_time.assign(n, 0.0);
-        st.remaining = static_cast<int>(n);
-        st.record_spans = (*iter_index == iterations - 1);
-        st.spans = &result->spans;
-        st.on_done = [this, result, state, iter_index, start_next,
-                      warmup]() {
-            result->iteration_ends.push_back(sim_.now());
-            ++*iter_index;
-            // The measurement window opens exactly where
-            // measured_begin will land: the end of the last warm-up
-            // iteration. Truncate warm-up telemetry and arm the
-            // streaming grid there.
-            if (warmup > 0 && *iter_index == warmup)
-                beginMeasurement(sim_.now());
-            // Defer the next iteration to a fresh event so the
-            // current iteration's callbacks fully unwind first.
-            sim_.events().scheduleAfter(0.0,
-                                        [start_next] { (*start_next)(); });
-        };
-        for (const PlanTask &t : plan.tasks()) {
-            st.pending_deps[static_cast<std::size_t>(t.id)] =
-                static_cast<int>(t.deps.size());
-            for (int dep : t.deps)
-                st.dependents[static_cast<std::size_t>(dep)].push_back(
-                    t.id);
-        }
-        // The fixed per-iteration framework overhead delays the
-        // first tasks of the iteration.
-        sim_.events().scheduleAfter(cal_.iteration_fixed,
-                                    [this, state] {
-            RunState &s2 = *state;
-            for (const PlanTask &t : s2.plan->tasks())
-                if (t.deps.empty())
-                    startTask(s2, t.id);
-        });
-    };
-
-    (*start_next)();
+    startIteration();
     sim_.run();
     sim_.checkEventLimit();
-    *start_next = nullptr;  // break the self-reference cycle
 
-    if (state->remaining != 0) {
-        panic("plan execution deadlocked with %d tasks outstanding",
-              state->remaining);
+    if (paused_) {
+        panic("run drained while held at iteration %d "
+              "(recovery never resumed it)",
+              iter_index_);
     }
-    DSTRAIN_ASSERT(static_cast<int>(result->iteration_ends.size()) ==
+    if (state_->remaining != 0) {
+        panic("plan execution deadlocked with %d tasks outstanding",
+              state_->remaining);
+    }
+    DSTRAIN_ASSERT(static_cast<int>(result_->iteration_ends.size()) ==
                        iterations,
                    "iteration count mismatch");
 
-    result->measured_begin =
-        warmup == 0 ? 0.0
-                    : result->iteration_ends[static_cast<std::size_t>(
-                          warmup - 1)];
-    result->measured_end = result->iteration_ends.back();
+    result_->measured_end = result_->iteration_ends.back();
     flows_.finalizeLogs();
-    return *result;
+    return *result_;
 }
 
 } // namespace dstrain

@@ -10,9 +10,12 @@
 #ifndef DSTRAIN_ENGINE_EXECUTOR_HH
 #define DSTRAIN_ENGINE_EXECUTOR_HH
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "collectives/communicator.hh"
@@ -122,6 +125,73 @@ class Executor
     IterationResult run(const IterationPlan &plan, int iterations,
                         int warmup = 1);
 
+    /**
+     * Called at each iteration boundary (after iteration @p completed
+     * iterations have finished; never after the final one) with the
+     * boundary time. Return true to *hold* the run: no further
+     * iteration starts until resumeRun() — the checkpoint-write path.
+     * Install before run(); cleared by nothing (reused across runs).
+     */
+    using IterationHook = std::function<bool(int, SimTime)>;
+
+    /** Install the boundary hook (the RecoveryManager). */
+    void setIterationHook(IterationHook hook)
+    {
+        iteration_hook_ = std::move(hook);
+    }
+
+    /**
+     * Continue a run held by the iteration hook or rewound by
+     * abortRun(). Schedules the next iteration on a fresh event.
+     */
+    void resumeRun();
+
+    /**
+     * Hard-failure abort: invalidate every scheduled continuation of
+     * the current attempt, abort all in-flight transfers (delivered
+     * vs aborted bytes land in TransferManager::stats()), cancel all
+     * flows and pending IO, and rewind the iteration clock so the run
+     * resumes from iteration @p resume_iter (the last committed
+     * checkpoint boundary). The run stays held until resumeRun().
+     */
+    void abortRun(int resume_iter);
+
+    /**
+     * Execute subsequent iterations from @p plan instead of the run's
+     * original plan, mapping the override plan's logical ranks and
+     * nodes onto surviving physical ones (elastic recovery after a
+     * node loss). @p plan must outlive the run; empty maps = identity.
+     * Pass nullptr to clear.
+     */
+    void setPlanOverride(const IterationPlan *plan,
+                         std::vector<int> rank_map,
+                         std::vector<int> node_map);
+
+    /** Iterations fully committed so far in the current run. */
+    int completedIterations() const { return iter_index_; }
+
+    /** End time of committed iteration @p i of the current run. */
+    SimTime iterationEndTime(int i) const;
+
+    /**
+     * Issue a storage IO on behalf of logical rank @p plan_rank
+     * against its placement volume (the checkpoint read/write path —
+     * checkpoint traffic competes for the same simulated drives and
+     * PCIe lanes as offload traffic). Physical node/socket/volume are
+     * derived through the active rank map.
+     */
+    void rankStorageIo(int plan_rank, bool write, Bytes bytes,
+                       const std::string &tag,
+                       std::function<void()> on_done);
+
+    /** Issue a storage IO against an explicit node/socket/volume. */
+    void nodeStorageIo(int node, int socket, int volume, bool write,
+                       Bytes bytes, const std::string &tag,
+                       std::function<void()> on_done);
+
+    /** The NVMe placement configured via configureStorage(). */
+    const NvmePlacement &placement() const { return placement_; }
+
     /** The calibration in use. */
     const EngineCalibration &calibration() const { return cal_; }
 
@@ -158,6 +228,37 @@ class Executor
      */
     void beginMeasurement(SimTime t);
 
+    /** The plan iterations currently execute from. */
+    const IterationPlan &activePlan() const
+    {
+        return plan_override_ != nullptr ? *plan_override_ : *run_plan_;
+    }
+
+    /** Logical plan rank -> physical rank (identity without a map). */
+    int mapRank(int plan_rank) const
+    {
+        return rank_map_.empty()
+                   ? plan_rank
+                   : rank_map_[static_cast<std::size_t>(plan_rank)];
+    }
+
+    /** Logical plan node -> physical node (identity without a map). */
+    int mapNode(int plan_node) const
+    {
+        return node_map_.empty()
+                   ? plan_node
+                   : node_map_[static_cast<std::size_t>(plan_node)];
+    }
+
+    /** Set up and launch iteration iter_index_ of the current run. */
+    void startIteration();
+
+    /** Iteration-boundary bookkeeping: hook, measurement, next iter. */
+    void onIterationDone();
+
+    /** Defer startIteration() to a fresh event (callbacks unwind). */
+    void scheduleNextIteration();
+
     Simulation &sim_;
     Cluster &cluster_;
     FlowScheduler &flows_;
@@ -173,6 +274,27 @@ class Executor
     NvmePlacement placement_ = nvmePlacementConfig('B');
     /** volumes_[node][volume index] */
     std::vector<std::vector<std::unique_ptr<StorageVolume>>> volumes_;
+
+    // --- run context (reset by run(), mutated by abort/resume) -----------
+    const IterationPlan *run_plan_ = nullptr;   ///< run()'s plan
+    const IterationPlan *plan_override_ = nullptr;  ///< elastic re-plan
+    std::vector<int> rank_map_;  ///< plan rank -> physical rank
+    std::vector<int> node_map_;  ///< plan node -> physical node
+    int iterations_ = 0;
+    int warmup_ = 0;
+    int iter_index_ = 0;         ///< iterations committed so far
+    bool paused_ = false;        ///< held by the hook or an abort
+    bool measurement_started_ = false;
+    /**
+     * Attempt generation: bumped by abortRun() (and each run()); every
+     * executor-scheduled event captures it and becomes a no-op when
+     * stale, so an aborted iteration's in-flight continuations cannot
+     * corrupt the replay.
+     */
+    std::uint64_t gen_ = 0;
+    IterationHook iteration_hook_;
+    std::shared_ptr<IterationResult> result_;
+    std::shared_ptr<RunState> state_;
 };
 
 } // namespace dstrain

@@ -39,6 +39,14 @@ struct IterationResult {
     /** Executed GPU FLOPs per iteration (from the plan). */
     Flops flops_per_iteration = 0.0;
 
+    /**
+     * Committed GPU FLOPs of each iteration, parallel to
+     * iteration_ends. Differs from flops_per_iteration * n only when
+     * elastic recovery swaps in a re-planned (degraded) iteration
+     * mid-run; the goodput accounting sums this vector.
+     */
+    std::vector<Flops> iteration_flops;
+
     /** Spans of the final iteration (timeline source). */
     std::vector<TaskSpan> spans;
 

@@ -137,6 +137,39 @@ FaultInjector::resolve(const FaultEvent &ev) const
                   ev.target.c_str());
         return r;
       }
+      case FaultKind::GpuDown: {
+        r.rank = indexOf(ev.target, "rank");
+        if (r.rank < 0 || r.rank >= cluster_.spec().totalGpus())
+            fatal("fault target '%s': no such rank (cluster has %d)",
+                  ev.target.c_str(), cluster_.spec().totalGpus());
+        // The dead GPU's attach links (NVLink + PCIe) go to zero:
+        // anything still talking to it stalls until the abort sweeps
+        // it away.
+        const ComponentId gpu = cluster_.gpuByRank(r.rank);
+        for (std::size_t h = 0; h < topo.halfLinkCount(); ++h) {
+            const HalfLink &hl =
+                topo.halfLink(static_cast<HalfLinkId>(h));
+            if (hl.from != gpu && hl.to != gpu)
+                continue;
+            if (std::find(r.rids.begin(), r.rids.end(), hl.resource) ==
+                r.rids.end()) {
+                r.rids.push_back(hl.resource);
+            }
+        }
+        DSTRAIN_ASSERT(!r.rids.empty(), "rank %d has no links", r.rank);
+        return r;
+      }
+      case FaultKind::NodeDown: {
+        r.node = indexOf(ev.target, "n");
+        if (r.node < 0 || r.node >= cluster_.nodeCount())
+            fatal("fault target '%s': no such node", ev.target.c_str());
+        for (const Resource &res : topo.resources())
+            if (res.node == r.node)
+                r.rids.push_back(res.id);
+        DSTRAIN_ASSERT(!r.rids.empty(), "node %d has no resources",
+                       r.node);
+        return r;
+      }
     }
     fatal("unknown FaultKind %d", static_cast<int>(ev.kind));
 }
@@ -175,7 +208,7 @@ FaultInjector::apply(std::size_t i)
     const SimTime now = sim_.now();
     const double fraction =
         (ev.kind == FaultKind::LinkFlap ||
-         ev.kind == FaultKind::NicFailover)
+         ev.kind == FaultKind::NicFailover || isHardFault(ev.kind))
             ? 0.0
             : ev.fraction;
 
@@ -196,6 +229,21 @@ FaultInjector::apply(std::size_t i)
         li.nominal = res.nominal_capacity;
         li.faulted = res.capacity;
         impacts_[i].links.push_back(std::move(li));
+    }
+
+    if (isHardFault(ev.kind)) {
+        // Hard failure: no restore is scheduled and no stranded-flow
+        // scan runs — the recovery manager aborts the whole iteration
+        // and drives the rest.
+        inform("hard fault: %s at t=%s", ev.str().c_str(),
+               formatTime(now).c_str());
+        if (!hard_handler_) {
+            fatal("hard fault '%s' but no recovery is configured "
+                  "(enable a checkpoint policy)",
+                  ev.str().c_str());
+        }
+        hard_handler_(i);
+        return;
     }
 
     if (r.rank >= 0) {
@@ -248,6 +296,28 @@ FaultInjector::restore(std::size_t i)
         tm_.notifyCapacityChange();
 
     inform("fault cleared: %s at t=%s", ev.str().c_str(),
+           formatTime(now).c_str());
+}
+
+void
+FaultInjector::restoreHard(std::size_t i)
+{
+    const FaultEvent &ev = plan_.events[i];
+    DSTRAIN_ASSERT(isHardFault(ev.kind),
+                   "restoreHard on soft fault '%s'", ev.str().c_str());
+    DSTRAIN_ASSERT(!impacts_[i].restored, "hard fault restored twice");
+    const Resolved &r = resolved_[i];
+    const SimTime now = sim_.now();
+
+    impacts_[i].restored_at = now;
+    impacts_[i].restored = true;
+    const Topology &topo = cluster_.topology();
+    for (Snapshot &s : snaps_[i])
+        s.at_restore = topo.resource(s.rid).log.bytesThrough(now);
+    for (ResourceId rid : r.rids)
+        popFraction(rid, 0.0);
+
+    inform("hardware replaced: %s healthy at t=%s", ev.target.c_str(),
            formatTime(now).c_str());
 }
 

@@ -61,6 +61,14 @@ struct FaultImpact {
 class FaultInjector
 {
   public:
+    /** A resolved event: which resources / rank / node it touches. */
+    struct Resolved {
+        std::vector<ResourceId> rids;  ///< capacity-scaled resources
+        int rank = -1;                 ///< straggler/gpudown rank (or -1)
+        int nvme_node = -1;            ///< NVMe-degraded node (or -1)
+        int node = -1;                 ///< nodedown node (or -1)
+    };
+
     /** All references must outlive the injector. */
     FaultInjector(Simulation &sim, Cluster &cluster, FlowScheduler &flows,
                   TransferManager &tm, Executor &executor, AioEngine &aio,
@@ -91,14 +99,30 @@ class FaultInjector
     /** The plan being executed. */
     const FaultPlan &plan() const { return plan_; }
 
-  private:
-    /** A resolved event: which resources / rank / node it touches. */
-    struct Resolved {
-        std::vector<ResourceId> rids;  ///< capacity-scaled resources
-        int rank = -1;                 ///< straggler rank (or -1)
-        int nvme_node = -1;            ///< NVMe-degraded node (or -1)
-    };
+    /** The resolution of event @p i (valid after arm()). */
+    const Resolved &resolved(std::size_t i) const { return resolved_[i]; }
 
+    /**
+     * Install the hard-fault sink. Applying a gpudown/nodedown event
+     * zeroes the affected resources and hands the event index to this
+     * handler (the RecoveryManager) instead of scheduling a restore;
+     * applying a hard fault without a handler is fatal() — the run
+     * could only deadlock.
+     */
+    void setHardFaultHandler(std::function<void(std::size_t)> handler)
+    {
+        hard_handler_ = std::move(handler);
+    }
+
+    /**
+     * Bring event @p i's resources back to nominal (respecting other
+     * overlapping faults). The restart-recovery path calls this when
+     * the replacement hardware joins; elastic recovery never does —
+     * a dead node's links stay down.
+     */
+    void restoreHard(std::size_t i);
+
+  private:
     /** Byte-counter baselines of one affected resource. */
     struct Snapshot {
         ResourceId rid = kNoResource;
@@ -141,6 +165,9 @@ class FaultInjector
     std::vector<std::vector<double>> gpu_active_;
     /** Active NVMe fractions (latency factor = 1 / min). */
     std::vector<double> nvme_active_;
+
+    /** Sink for applied hard faults (the RecoveryManager). */
+    std::function<void(std::size_t)> hard_handler_;
 
     bool armed_ = false;
 };

@@ -5,6 +5,7 @@
 
 #include "fault/fault_plan.hh"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -84,6 +85,14 @@ targetSyntaxError(FaultKind kind, const std::string &target)
         if (!parseIndexed(target, "n", &idx))
             return "expected n<k>";
         return "";
+      case FaultKind::GpuDown:
+        if (!parseIndexed(target, "rank", &idx))
+            return "expected rank<k>";
+        return "";
+      case FaultKind::NodeDown:
+        if (!parseIndexed(target, "n", &idx))
+            return "expected n<k>";
+        return "";
     }
     return "unknown fault kind";
 }
@@ -111,12 +120,18 @@ parseKind(std::string_view name, FaultKind *out)
         *out = FaultKind::GpuStraggler;
     else if (name == "nvme")
         *out = FaultKind::NvmeDegrade;
+    else if (name == "gpudown")
+        *out = FaultKind::GpuDown;
+    else if (name == "nodedown")
+        *out = FaultKind::NodeDown;
     else
         return false;
     return true;
 }
 
-/** Parse a nonnegative double; returns false on any mismatch. */
+/** Parse a finite nonnegative double; returns false on any mismatch.
+ * Rejecting non-finite values matters: a NaN fraction would slip
+ * through the (0, 1] range checks (every comparison is false). */
 bool
 parseNumber(const std::string &text, double *out)
 {
@@ -124,7 +139,7 @@ parseNumber(const std::string &text, double *out)
         return false;
     char *end = nullptr;
     const double v = std::strtod(text.c_str(), &end);
-    if (end == nullptr || *end != '\0' || v < 0.0)
+    if (end == nullptr || *end != '\0' || !std::isfinite(v) || v < 0.0)
         return false;
     *out = v;
     return true;
@@ -146,8 +161,27 @@ faultKindName(FaultKind kind)
         return "straggler";
       case FaultKind::NvmeDegrade:
         return "nvme";
+      case FaultKind::GpuDown:
+        return "gpudown";
+      case FaultKind::NodeDown:
+        return "nodedown";
     }
     panic("unknown FaultKind %d", static_cast<int>(kind));
+}
+
+bool
+isHardFault(FaultKind kind)
+{
+    return kind == FaultKind::GpuDown || kind == FaultKind::NodeDown;
+}
+
+bool
+hasHardFaults(const FaultPlan &plan)
+{
+    for (const FaultEvent &ev : plan.events)
+        if (isHardFault(ev.kind))
+            return true;
+    return false;
 }
 
 std::string
@@ -173,6 +207,12 @@ FaultPlan::validate() const
             errors.push_back({field, "begin time must be >= 0"});
         if (ev.duration < 0.0)
             errors.push_back({field, "duration must be >= 0"});
+        if (isHardFault(ev.kind) && ev.duration > 0.0) {
+            errors.push_back(
+                {field, csprintf("%s is permanent and takes no "
+                                 "'+<duration>'",
+                                 faultKindName(ev.kind))});
+        }
         if (usesFraction(ev.kind) &&
             (ev.fraction <= 0.0 || ev.fraction > 1.0)) {
             errors.push_back(
@@ -212,11 +252,29 @@ parseFaultSpec(const std::string &spec, std::vector<ConfigError> *errors)
 {
     DSTRAIN_ASSERT(errors != nullptr, "parseFaultSpec needs an error sink");
     FaultPlan plan;
-    for (const std::string &raw : split(spec, ',')) {
+    std::size_t pos = 0;
+    std::size_t ordinal = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string raw = spec.substr(pos, comma - pos);
+        // Character offset of the trimmed item within the spec, so an
+        // error in a long comma-joined spec is locatable.
+        const std::size_t lead = raw.find_first_not_of(" \t\r\n");
+        const std::size_t offset =
+            pos + (lead == std::string::npos ? 0 : lead);
+        pos = comma + 1;
         const std::string item = trim(raw);
-        if (item.empty())
+        if (item.empty()) {
+            if (pos > spec.size())
+                break;
             continue;
-        const std::string field = "faults['" + item + "']";
+        }
+        const std::size_t idx = ordinal++;
+        const std::string field =
+            csprintf("faults[%zu] at char %zu ('%s')", idx, offset,
+                     item.c_str());
 
         // <kind>@<begin>[+<duration>]:<target>[:<fraction>]
         const auto at = item.find('@');
@@ -229,7 +287,7 @@ parseFaultSpec(const std::string &spec, std::vector<ConfigError> *errors)
             errors->push_back(
                 {field, "unknown kind '" + item.substr(0, at) +
                             "' (degrade, flap, nicdown, straggler, "
-                            "nvme)"});
+                            "nvme, gpudown, nodedown)"});
             continue;
         }
         const auto colon = item.find(':', at);
@@ -249,7 +307,8 @@ parseFaultSpec(const std::string &spec, std::vector<ConfigError> *errors)
             errors->push_back({field, "bad begin time '" + when + "'"});
             continue;
         }
-        if (!dur.empty() && !parseNumber(dur, &ev.duration)) {
+        if (plus != std::string::npos &&
+            !parseNumber(dur, &ev.duration)) {
             errors->push_back({field, "bad duration '" + dur + "'"});
             continue;
         }

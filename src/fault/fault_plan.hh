@@ -65,7 +65,27 @@ enum class FaultKind {
      * scales by 1/`fraction` for the window.
      */
     NvmeDegrade,
+
+    /**
+     * Hard failure: the GPU serving rank `rank<k>` dies at `begin`
+     * and stays dead — its attach links drop to zero, the in-flight
+     * iteration is aborted and the RecoveryManager takes over
+     * (checkpoint restore + replay). Takes no duration and no
+     * fraction; without a recovery policy the run is fatal.
+     */
+    GpuDown,
+
+    /**
+     * Hard failure: node `n<k>` dies wholesale — every resource it
+     * owns drops to zero. Recovery either replaces the node
+     * (`restart`) or re-shards state across the survivors
+     * (`elastic`). Takes no duration and no fraction.
+     */
+    NodeDown,
 };
+
+/** Is @p kind a hard (permanent, recovery-driving) failure? */
+bool isHardFault(FaultKind kind);
 
 /** Spec spelling of a kind (`degrade`, `flap`, `nicdown`, ...). */
 const char *faultKindName(FaultKind kind);
@@ -115,23 +135,31 @@ struct FaultPlan {
     std::string str() const;
 };
 
+/** Does the plan schedule any hard (gpudown/nodedown) fault? */
+bool hasHardFaults(const FaultPlan &plan);
+
 /**
  * Parse a CLI fault spec: comma-separated events of the form
  *
  *   <kind>@<begin>[+<duration>]:<target>[:<fraction>]
  *
- * where <kind> is `degrade`, `flap`, `nicdown`, `straggler` or
- * `nvme`; times are simulated seconds; a missing duration means the
- * rest of the run. Examples:
+ * where <kind> is `degrade`, `flap`, `nicdown`, `straggler`, `nvme`,
+ * `gpudown` or `nodedown`; times are simulated seconds; a missing
+ * duration means the rest of the run (and the hard kinds gpudown /
+ * nodedown reject a duration — they are permanent). Examples:
  *
  *   degrade@1+0.5:roce:0.4      RoCE at 40% for 0.5 s starting at 1 s
  *   flap@2+0.2:roce/n1          node 1's RoCE links down for 200 ms
  *   nicdown@1+1:n0.nic1         node 0's NIC 1 dead for 1 s
  *   straggler@0+2:rank3:0.6     rank 3 at 60% speed for 2 s
  *   nvme@1:n0:0.5               node 0's NVMe at half speed onwards
+ *   gpudown@3:rank2             rank 2's GPU dies at 3 s
+ *   nodedown@3:n1               node 1 dies at 3 s
  *
- * Problems are appended to @p errors (with the offending event as the
- * field); the returned plan contains the events that did parse.
+ * Problems are appended to @p errors; each error's field names the
+ * event's ordinal, its character offset in @p spec, and the offending
+ * item text, so a bad item in a long spec is locatable. The returned
+ * plan contains the events that did parse.
  */
 FaultPlan parseFaultSpec(const std::string &spec,
                          std::vector<ConfigError> *errors);

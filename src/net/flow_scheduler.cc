@@ -247,6 +247,25 @@ FlowScheduler::cancel(FlowId id, Bytes *remaining)
     return true;
 }
 
+std::size_t
+FlowScheduler::cancelAll()
+{
+    if (flows_.empty())
+        return 0;
+    settle();
+    const std::size_t n = flows_.size();
+    for (const auto &[id, f] : flows_)
+        for (ResourceId rid : f.resources)
+            nflows_[rid] -= 1;
+    flows_.clear();
+    stats_.cancels += n;
+    // One recompute over the (now empty) flow set: every previously
+    // touched resource logs a rate of exactly zero, in sorted id
+    // order, so the abort instant is bit-reproducible.
+    recompute();
+    return n;
+}
+
 bool
 FlowScheduler::stalledByFault(const Flow &f) const
 {

@@ -117,6 +117,15 @@ class FlowScheduler
     bool cancel(FlowId id, Bytes *remaining = nullptr);
 
     /**
+     * Remove every active flow at once without invoking completion
+     * callbacks (the hard-failure abort path). Per-resource rates and
+     * telemetry logs drop to zero deterministically via one final
+     * recompute; pending completion events are cancelled.
+     * @return the number of flows removed.
+     */
+    std::size_t cancelAll();
+
+    /**
      * Close all rate logs at the current time (call at end of the
      * measurement window before reading telemetry).
      */

@@ -26,6 +26,18 @@ attemptRateCap(Bps explicit_cap, double rate_factor, const Route &route)
     return rate_cap;
 }
 
+/**
+ * Delivery tolerance: the scheduler completes a flow with up to one
+ * byte (its completion epsilon) outstanding, each relaunch can leave
+ * another, and long transfers accumulate float dust proportional to
+ * their size.
+ */
+Bytes
+deliveryTolerance(Bytes requested, int attempts)
+{
+    return 2.0 * (attempts + 1) + 1e-9 * requested;
+}
+
 } // namespace
 
 TransferManager::TransferManager(Simulation &sim, Cluster &cluster,
@@ -45,7 +57,8 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
     Route route =
         cluster_.router().routeThrough(src, opts.waypoints, dst);
     const SimTime latency = route.latency;
-    ++started_;
+    ++stats_.started;
+    stats_.bytes_requested += bytes;
 
     if (retry_.enabled) {
         // Retryable path: keep the full request so a stranded flow
@@ -56,6 +69,7 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
         p.src = src;
         p.dst = dst;
         p.waypoints = std::move(opts.waypoints);
+        p.requested = bytes;
         p.remaining = bytes;
         p.rate_cap = opts.rate_cap;
         p.rate_factor = opts.rate_factor;
@@ -73,15 +87,22 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
     auto launch = [this, route = std::move(route), bytes,
                    on_done = std::move(on_done), rate_cap,
                    extra = std::move(opts.extra_resources),
-                   tag = std::move(opts.tag)]() mutable {
+                   tag = std::move(opts.tag),
+                   epoch = epoch_]() mutable {
+        if (epoch != epoch_)
+            return;  // aborted before the latency elapsed
         FlowSpec spec;
         spec.route = std::move(route);
         spec.bytes = bytes;
         spec.rate_cap = rate_cap;
         spec.extra_resources = std::move(extra);
+        std::string done_tag = tag;
         spec.tag = std::move(tag);
-        spec.on_complete = [this, on_done = std::move(on_done)] {
-            ++completed_;
+        spec.on_complete = [this, bytes, on_done = std::move(on_done),
+                            done_tag = std::move(done_tag), epoch] {
+            if (epoch != epoch_)
+                return;  // abortAll() accounted this one in aggregate
+            accountDelivery(bytes, 0.0, 0, done_tag);
             if (on_done)
                 on_done();
         };
@@ -89,6 +110,19 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
     };
 
     sim_.events().scheduleAfter(latency, std::move(launch));
+}
+
+void
+TransferManager::accountDelivery(Bytes requested, Bytes undelivered,
+                                 int attempts, const std::string &tag)
+{
+    ++stats_.completed;
+    stats_.bytes_delivered += requested - undelivered;
+    if (undelivered > deliveryTolerance(requested, attempts)) {
+        ++stats_.conservation_violations;
+        warn("transfer '%s' completed %g bytes short of %g requested",
+             tag.c_str(), undelivered, requested);
+    }
 }
 
 void
@@ -108,13 +142,26 @@ TransferManager::launchPending(std::uint64_t xid)
     spec.rate_cap = rate_cap;
     spec.extra_resources = p.extra_resources;
     spec.tag = p.tag;
-    spec.on_complete = [this, xid] {
+    spec.on_complete = [this, xid, epoch = epoch_] {
         auto done_it = pending_.find(xid);
-        DSTRAIN_ASSERT(done_it != pending_.end(),
-                       "completion for unknown transfer");
-        std::function<void()> done = std::move(done_it->second.on_done);
+        if (done_it == pending_.end()) {
+            // A zero-byte completion scheduled before an abortAll()
+            // lands after it; anything else is a bookkeeping bug.
+            DSTRAIN_ASSERT(epoch != epoch_,
+                           "completion for unknown transfer");
+            return;
+        }
+        Pending &done_p = done_it->second;
+        // The completed attempt delivered its whole launch size, so
+        // cumulative delivery must equal the original request; any
+        // shortfall beyond the scheduler's completion epsilon means a
+        // cancel/relaunch lost bytes.
+        done_p.delivered += done_p.remaining;
+        accountDelivery(done_p.requested,
+                        done_p.requested - done_p.delivered,
+                        done_p.attempts, done_p.tag);
+        std::function<void()> done = std::move(done_p.on_done);
         pending_.erase(done_it);
-        ++completed_;
         if (done)
             done();
     };
@@ -152,10 +199,11 @@ TransferManager::checkStranded()
         Bytes remaining = 0.0;
         flows_.cancel(p.flow, &remaining);
         p.flow = 0;
+        p.delivered += p.remaining - remaining;
         p.remaining = remaining;
         p.attempts += 1;
         p.waypoints = alternateWaypoints(p.src, p.dst, p.waypoints);
-        ++reroutes_;
+        ++stats_.reroutes;
         const SimTime delay =
             retry_.backoff *
             static_cast<double>(1u << (p.attempts - 1));
@@ -163,6 +211,75 @@ TransferManager::checkStranded()
         sim_.events().scheduleAfter(
             delay, [this, id] { launchPending(id); });
     }
+}
+
+std::size_t
+TransferManager::abortAll()
+{
+    // Iterate in xid order (pending_ is an ordered map) so the flow
+    // cancellations — and therefore the scheduler's telemetry log
+    // writes — land deterministically.
+    std::size_t n = 0;
+    for (auto &[xid, p] : pending_) {
+        Bytes remaining = p.remaining;
+        if (p.flow != 0 && flows_.isActive(p.flow)) {
+            flows_.cancel(p.flow, &remaining);
+            p.flow = 0;
+        }
+        p.delivered += p.remaining - remaining;
+        ++stats_.aborted;
+        stats_.bytes_aborted += remaining;
+        stats_.bytes_delivered += p.delivered;
+        ++n;
+    }
+    pending_.clear();
+    // Invalidate latency-delayed launches and zero-byte completions
+    // scheduled before the abort; they check the epoch and bail.
+    ++epoch_;
+    // Non-retry transfers keep no per-transfer state (by design: the
+    // fault-free hot path has zero bookkeeping), so account whatever
+    // is still in flight in aggregate. Their latency-delayed launches
+    // and completion callbacks die on the epoch bump, and the owner
+    // kills their active flows via FlowScheduler::cancelAll(), so
+    // every byte not delivered by now — including partial progress of
+    // a cancelled flow — is discarded.
+    const std::uint64_t untracked =
+        stats_.started - stats_.completed - stats_.aborted;
+    if (untracked > 0) {
+        stats_.aborted += untracked;
+        stats_.bytes_aborted =
+            stats_.bytes_requested - stats_.bytes_delivered;
+        n += untracked;
+    }
+    return n;
+}
+
+void
+TransferManager::verifyConservation() const
+{
+    DSTRAIN_ASSERT(pending_.empty(),
+                   "%zu transfers still pending at conservation check",
+                   pending_.size());
+    DSTRAIN_ASSERT(stats_.started == stats_.completed + stats_.aborted,
+                   "transfer count leak: %llu started, %llu completed, "
+                   "%llu aborted",
+                   static_cast<unsigned long long>(stats_.started),
+                   static_cast<unsigned long long>(stats_.completed),
+                   static_cast<unsigned long long>(stats_.aborted));
+    DSTRAIN_ASSERT(stats_.conservation_violations == 0,
+                   "%llu transfers delivered short of their request",
+                   static_cast<unsigned long long>(
+                       stats_.conservation_violations));
+    const Bytes balance = stats_.bytes_requested - stats_.bytes_delivered -
+                          stats_.bytes_aborted;
+    const Bytes tolerance =
+        deliveryTolerance(stats_.bytes_requested,
+                          static_cast<int>(stats_.reroutes));
+    DSTRAIN_ASSERT(balance <= tolerance && balance >= -tolerance,
+                   "byte-conservation violation: requested %g != "
+                   "delivered %g + aborted %g",
+                   stats_.bytes_requested, stats_.bytes_delivered,
+                   stats_.bytes_aborted);
 }
 
 std::vector<ComponentId>

@@ -54,22 +54,6 @@ struct TransferOptions {
 
     /** Debug label. */
     std::string tag;
-
-    /** @deprecated Old single-waypoint field; use `waypoints`. */
-    [[deprecated("set waypoints instead of via")]]
-    TransferOptions &setVia(ComponentId c)
-    {
-        waypoints.push_back(c);
-        return *this;
-    }
-
-    /** @deprecated Old second-waypoint field; use `waypoints`. */
-    [[deprecated("set waypoints instead of via2")]]
-    TransferOptions &setVia2(ComponentId c)
-    {
-        waypoints.push_back(c);
-        return *this;
-    }
 };
 
 /**
@@ -104,6 +88,27 @@ struct RetryPolicy {
 class TransferManager
 {
   public:
+    /**
+     * Byte-accounting and work counters. The conservation invariant
+     * checked after every run (see verifyConservation()) is
+     *
+     *   bytes_requested == bytes_delivered + bytes_aborted
+     *
+     * across every cancel/reroute/park-resume path, within a small
+     * completion-epsilon tolerance per transfer.
+     */
+    struct Stats {
+        std::uint64_t started = 0;    ///< transfers started
+        std::uint64_t completed = 0;  ///< transfers fully delivered
+        std::uint64_t aborted = 0;    ///< transfers killed by abortAll()
+        std::uint64_t reroutes = 0;   ///< stranded-flow reroute attempts
+        Bytes bytes_requested = 0.0;  ///< total bytes asked for
+        Bytes bytes_delivered = 0.0;  ///< bytes that actually landed
+        Bytes bytes_aborted = 0.0;    ///< bytes discarded by abortAll()
+        /** Transfers whose delivered bytes missed the requested. */
+        std::uint64_t conservation_violations = 0;
+    };
+
     /** All references must outlive the manager. */
     TransferManager(Simulation &sim, Cluster &cluster,
                     FlowScheduler &flows);
@@ -132,17 +137,42 @@ class TransferManager
      */
     void notifyCapacityChange();
 
+    /**
+     * Abort every in-flight transfer: cancel the underlying flows
+     * without completion callbacks, drop the retry bookkeeping, and
+     * advance the abort epoch so latency-delayed launches and
+     * stranded-flow scans scheduled before the abort become no-ops.
+     * The hard-failure recovery path; aborted bytes are accounted in
+     * stats().bytes_aborted.
+     * @return the number of transfers aborted.
+     */
+    std::size_t abortAll();
+
+    /**
+     * Check the per-transfer byte-conservation invariant after a run
+     * has drained: every started transfer completed or aborted, and
+     * requested == delivered + aborted bytes within tolerance.
+     * DSTRAIN_ASSERTs (all build types) on violation.
+     */
+    void verifyConservation() const;
+
+    /** Byte-accounting and work counters since construction. */
+    const Stats &stats() const { return stats_; }
+
     /** Number of transfers started since construction. */
-    std::uint64_t startedCount() const { return started_; }
+    std::uint64_t startedCount() const { return stats_.started; }
 
     /** Number of transfers completed since construction. */
-    std::uint64_t completedCount() const { return completed_; }
+    std::uint64_t completedCount() const { return stats_.completed; }
 
-    /** Transfers in flight (started, not yet completed). */
-    std::uint64_t inFlight() const { return started_ - completed_; }
+    /** Transfers in flight (started, not completed or aborted). */
+    std::uint64_t inFlight() const
+    {
+        return stats_.started - stats_.completed - stats_.aborted;
+    }
 
     /** Reroute attempts performed since construction. */
-    std::uint64_t rerouteCount() const { return reroutes_; }
+    std::uint64_t rerouteCount() const { return stats_.reroutes; }
 
     /** The underlying flow scheduler. */
     FlowScheduler &flows() { return flows_; }
@@ -159,7 +189,9 @@ class TransferManager
         ComponentId src = kNoComponent;
         ComponentId dst = kNoComponent;
         std::vector<ComponentId> waypoints;
+        Bytes requested = 0.0;        ///< original transfer size
         Bytes remaining = 0.0;        ///< bytes left to move
+        Bytes delivered = 0.0;        ///< landed by earlier attempts
         Bps rate_cap = 0.0;           ///< caller's explicit cap
         double rate_factor = 1.0;
         std::vector<ResourceId> extra_resources;
@@ -168,6 +200,10 @@ class TransferManager
         FlowId flow = 0;              ///< 0 = not currently flowing
         int attempts = 0;             ///< reroutes performed so far
     };
+
+    /** Record a completed delivery and check byte conservation. */
+    void accountDelivery(Bytes requested, Bytes undelivered,
+                         int attempts, const std::string &tag);
 
     /** Resolve the route and start the flow for transfer @p xid. */
     void launchPending(std::uint64_t xid);
@@ -188,13 +224,13 @@ class TransferManager
     Simulation &sim_;
     Cluster &cluster_;
     FlowScheduler &flows_;
-    std::uint64_t started_ = 0;
-    std::uint64_t completed_ = 0;
-    std::uint64_t reroutes_ = 0;
+    Stats stats_;
     RetryPolicy retry_;
     /** Ordered by transfer id so recovery scans are deterministic. */
     std::map<std::uint64_t, Pending> pending_;
     std::uint64_t next_xfer_ = 1;
+    /** Bumped by abortAll(); stale scheduled work checks it. */
+    std::uint64_t epoch_ = 0;
     bool check_scheduled_ = false;
 };
 

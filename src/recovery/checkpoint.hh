@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Checkpoint policy and checkpoint sizing.
+ *
+ * A checkpoint persists the strategy's *persistent* training state —
+ * fp16 parameters plus the fp32 optimizer partition — to the node-local
+ * NVMe volumes, through the same simulated drives and PCIe lanes the
+ * paper characterizes. What each rank writes follows the ZeRO
+ * partitioning arithmetic (model/memory.hh): DDP writes one full copy
+ * from rank 0, Megatron one copy sharded across the first data-parallel
+ * replica's model-parallel ranks, ZeRO-1/2 shard the optimizer across
+ * all ranks but keep parameters per model-parallel group, and ZeRO-3
+ * shards everything. See DESIGN.md "Recovery model".
+ */
+
+#ifndef DSTRAIN_RECOVERY_CHECKPOINT_HH
+#define DSTRAIN_RECOVERY_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/parallelism.hh"
+#include "util/config_error.hh"
+#include "util/units.hh"
+
+namespace dstrain {
+
+/**
+ * When to write checkpoints. At most one of the two triggers may be
+ * set; both zero (the default) disables checkpointing entirely and is
+ * guaranteed not to perturb a run in any way.
+ */
+struct CheckpointPolicy {
+    /** Write when at least this much sim time passed since the last
+     * committed checkpoint (0 = off). Evaluated at iteration
+     * boundaries, so the effective period is rounded up to whole
+     * iterations. */
+    SimTime interval = 0.0;
+
+    /** Write every this many iterations (0 = off). */
+    int every_iterations = 0;
+
+    /** Is any trigger configured? */
+    bool enabled() const
+    {
+        return interval > 0.0 || every_iterations > 0;
+    }
+
+    /** Structural checks; empty result = valid. */
+    std::vector<ConfigError> validate() const;
+
+    /** Round-trippable spec form: "2.5s", "3i", or "off". */
+    std::string str() const;
+};
+
+/**
+ * Parse a CLI checkpoint spec: "<seconds>" or "<seconds>s" for an
+ * interval policy (e.g. "2.5" or "2.5s"), "<k>i" for an
+ * every-k-iterations policy (e.g. "3i"), or "off". Problems are
+ * appended to @p errors; the returned policy is disabled on error.
+ */
+CheckpointPolicy parseCheckpointSpec(const std::string &spec,
+                                     std::vector<ConfigError> *errors);
+
+/**
+ * Bytes rank @p rank persists per checkpoint: its share of the fp16
+ * parameters plus the fp32 optimizer state (2 + 12 bytes/param,
+ * partitioned per the strategy as described in the file header).
+ * @p total_gpus is the current world size (elastic recovery shrinks
+ * it). Ranks holding no persistent shard return 0.
+ */
+Bytes checkpointShardBytes(const StrategyConfig &strategy,
+                           std::int64_t params, int total_gpus,
+                           int rank);
+
+/** Aggregate checkpoint bytes across all @p total_gpus ranks. */
+Bytes checkpointTotalBytes(const StrategyConfig &strategy,
+                           std::int64_t params, int total_gpus);
+
+/**
+ * The Young/Daly first-order optimal checkpoint interval
+ * sqrt(2 * delta * MTBF) for a per-checkpoint cost @p delta and mean
+ * time between failures @p mtbf (both > 0).
+ */
+SimTime youngDalyInterval(SimTime delta, SimTime mtbf);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_RECOVERY_CHECKPOINT_HH

@@ -39,7 +39,10 @@ AioEngine::submit(int drive_index, StorageIo io)
                                  .drams[static_cast<std::size_t>(io.socket)];
 
     Simulation &sim = tm_.sim();
-    auto launch = [this, &dev, dram, io = std::move(io)]() mutable {
+    auto launch = [this, &dev, dram, io = std::move(io),
+                   epoch = epoch_]() mutable {
+        if (epoch != epoch_)
+            return;  // aborted before the submit latency elapsed
         const SimTime now = tm_.sim().now();
 
         Bytes burst = 0.0;
@@ -83,11 +86,14 @@ AioEngine::submit(int drive_index, StorageIo io)
         }
         if (*remaining == 0) {
             // Zero-byte IO: complete asynchronously.
-            tm_.sim().events().scheduleAfter(0.0, [this, on_done] {
-                ++completed_;
-                if (*on_done)
-                    (*on_done)();
-            });
+            tm_.sim().events().scheduleAfter(
+                0.0, [this, on_done, epoch] {
+                    if (epoch != epoch_)
+                        return;
+                    ++completed_;
+                    if (*on_done)
+                        (*on_done)();
+                });
         }
     };
     sim.events().scheduleAfter(cfg_.submit_latency * latency_factor_,

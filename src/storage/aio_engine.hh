@@ -77,12 +77,23 @@ class AioEngine
     /** The current submission-latency multiplier. */
     double latencyFactor() const { return latency_factor_; }
 
+    /**
+     * Invalidate every submitted-but-not-yet-launched IO and every
+     * zero-byte completion still in the event queue (the hard-failure
+     * abort path). IOs whose flows are already running are aborted by
+     * the owning TransferManager's abortAll(); this only stops new
+     * storage traffic from materializing afterwards.
+     */
+    void abortAll() { ++epoch_; }
+
   private:
     TransferManager &tm_;
     AioConfig cfg_;
     double latency_factor_ = 1.0;
     std::map<std::pair<int, int>, std::unique_ptr<NvmeDevice>> devices_;
     std::uint64_t completed_ = 0;
+    /** Bumped by abortAll(); stale scheduled work checks it. */
+    std::uint64_t epoch_ = 0;
 };
 
 } // namespace dstrain

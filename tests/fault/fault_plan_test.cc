@@ -100,9 +100,73 @@ TEST(FaultPlanTest, ErrorsNameTheOffendingItem)
 {
     const auto errors = parseBad("degrade@1:roce:0.4,meteor@1:roce");
     ASSERT_EQ(errors.size(), 1u);
-    EXPECT_EQ(errors[0].field, "faults['meteor@1:roce']");
+    EXPECT_EQ(errors[0].field, "faults[1] at char 19 ('meteor@1:roce')");
     EXPECT_NE(errors[0].message.find("unknown kind"),
               std::string::npos);
+}
+
+TEST(FaultPlanTest, ErrorPositionSkipsLeadingWhitespace)
+{
+    // The reported character offset points at the item itself, not
+    // the separator/whitespace before it.
+    const auto errors = parseBad("degrade@1:roce,  meteor@2:roce");
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].field, "faults[1] at char 17 ('meteor@2:roce')");
+
+    const auto first = parseBad("meteor@1:roce");
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].field, "faults[0] at char 0 ('meteor@1:roce')");
+}
+
+TEST(FaultPlanTest, MalformedSpecsNeverCrashAndNeverSkip)
+{
+    // Every malformed item must surface as a ConfigError — never a
+    // crash, never a silently dropped event.
+    const char *const bad[] = {
+        "@", ":", "@@", "degrade@@1:roce", "degrade@1::",
+        "degrade@1+:roce", "degrade@1:roce:", "degrade@1:roce:nan",
+        "degrade@1:roce:inf", "degrade@1e999:roce", "nodedown@1:n",
+        "gpudown@1:rank", "gpudown@1:rankx", "nodedown@1:nx",
+        "@1:roce", "degrade@:roce", "+1@2:roce",
+    };
+    for (const char *spec : bad) {
+        std::vector<ConfigError> errors;
+        parseFaultSpec(spec, &errors);
+        EXPECT_FALSE(errors.empty())
+            << "'" << spec << "' parsed without error";
+    }
+}
+
+TEST(FaultPlanTest, ParsesHardFaults)
+{
+    const FaultPlan plan = parseOk("gpudown@3:rank2,nodedown@4:n1");
+    ASSERT_EQ(plan.events.size(), 2u);
+    EXPECT_EQ(plan.events[0].kind, FaultKind::GpuDown);
+    EXPECT_EQ(plan.events[0].target, "rank2");
+    EXPECT_EQ(plan.events[1].kind, FaultKind::NodeDown);
+    EXPECT_EQ(plan.events[1].target, "n1");
+    EXPECT_TRUE(isHardFault(FaultKind::GpuDown));
+    EXPECT_TRUE(isHardFault(FaultKind::NodeDown));
+    EXPECT_FALSE(isHardFault(FaultKind::LinkDegrade));
+    EXPECT_TRUE(hasHardFaults(plan));
+    EXPECT_FALSE(hasHardFaults(parseOk("degrade@1:roce")));
+
+    // Hard-fault specs round-trip through str().
+    const FaultPlan again = parseOk(plan.str());
+    ASSERT_EQ(again.events.size(), 2u);
+    EXPECT_EQ(again.events[0].str(), plan.events[0].str());
+}
+
+TEST(FaultPlanTest, HardFaultsRejectDurationAndFraction)
+{
+    // Permanent failures take no window or fraction.
+    parseBad("gpudown@3+1:rank2");
+    parseBad("nodedown@3+1:n1");
+    parseBad("gpudown@3:rank2:0.5");
+    parseBad("nodedown@3:n1:0.5");
+    // Target grammar: rank<k> for gpudown, n<k> for nodedown.
+    parseBad("gpudown@3:n1");
+    parseBad("nodedown@3:rank2");
 }
 
 TEST(FaultPlanTest, ValidateChecksRangesAndRetry)

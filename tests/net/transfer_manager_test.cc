@@ -207,6 +207,53 @@ TEST_F(TransferRetryTest, RetryDisabledKeepsZeroPendingState)
     EXPECT_EQ(tm_.rerouteCount(), 0u);
 }
 
+TEST_F(TransferManagerTest, AbortAllAccountsEveryByte)
+{
+    // Byte conservation across the hard-failure abort path:
+    // requested == delivered + aborted, and every started transfer
+    // ends up completed or aborted — never lost.
+    int completions = 0;
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(1), 10e9,
+              [&] { ++completions; });
+    tm_.start(cluster_.gpuByRank(1), cluster_.gpuByRank(0), 80e12,
+              [&] { ++completions; });
+    sim_.events().schedule(1.0, [&] {
+        // The 10 GB transfer finished long ago; the 80 TB one is
+        // still in flight and gets the axe. Mirror the production
+        // abort pairing: the owner cancels the scheduler's flows
+        // right after the manager gives up on them.
+        EXPECT_EQ(tm_.abortAll(), 1u);
+        flows_.cancelAll();
+    });
+    sim_.run();
+    EXPECT_EQ(completions, 1);
+
+    const TransferManager::Stats &stats = tm_.stats();
+    EXPECT_EQ(stats.started, 2u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.aborted, 1u);
+    EXPECT_EQ(stats.conservation_violations, 0u);
+    EXPECT_NEAR(stats.bytes_requested, 80e12 + 10e9, 1.0);
+    EXPECT_NEAR(stats.bytes_delivered + stats.bytes_aborted,
+                stats.bytes_requested, 1e3);
+    EXPECT_GT(stats.bytes_aborted, 0.0);
+    tm_.verifyConservation();  // must not assert
+}
+
+TEST_F(TransferManagerTest, AbortAllInvalidatesDelayedLaunches)
+{
+    // A transfer still inside its latency delay has no flow yet; the
+    // abort must still account it and the stale launch event must
+    // become a no-op rather than resurrect it.
+    tm_.start(cluster_.gpuByRank(0), cluster_.gpuByRank(1), 1e9,
+              [] { FAIL() << "aborted transfer completed"; });
+    EXPECT_EQ(tm_.abortAll(), 1u);  // before any event ran
+    sim_.run();
+    EXPECT_EQ(tm_.stats().aborted, 1u);
+    EXPECT_NEAR(tm_.stats().bytes_aborted, 1e9, 1.0);
+    tm_.verifyConservation();
+}
+
 TEST_F(TransferManagerTest, DeathOnSelfTransfer)
 {
     EXPECT_DEATH(tm_.start(cluster_.gpuByRank(0),

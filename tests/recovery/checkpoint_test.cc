@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the checkpoint policy spec and sizing arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "recovery/checkpoint.hh"
+
+namespace dstrain {
+namespace {
+
+CheckpointPolicy
+parsePolicyOk(const std::string &spec)
+{
+    std::vector<ConfigError> errors;
+    const CheckpointPolicy policy = parseCheckpointSpec(spec, &errors);
+    EXPECT_TRUE(errors.empty())
+        << spec << ": " << formatConfigErrors(errors);
+    return policy;
+}
+
+TEST(CheckpointPolicyTest, ParsesIntervalAndIterationSpecs)
+{
+    const CheckpointPolicy secs = parsePolicyOk("2.5s");
+    EXPECT_DOUBLE_EQ(secs.interval, 2.5);
+    EXPECT_EQ(secs.every_iterations, 0);
+    EXPECT_TRUE(secs.enabled());
+
+    const CheckpointPolicy bare = parsePolicyOk("1.5");
+    EXPECT_DOUBLE_EQ(bare.interval, 1.5);
+
+    const CheckpointPolicy iters = parsePolicyOk("3i");
+    EXPECT_EQ(iters.every_iterations, 3);
+    EXPECT_DOUBLE_EQ(iters.interval, 0.0);
+    EXPECT_TRUE(iters.enabled());
+
+    EXPECT_FALSE(parsePolicyOk("off").enabled());
+    EXPECT_FALSE(parsePolicyOk("").enabled());
+    EXPECT_FALSE(parsePolicyOk("  off  ").enabled());
+}
+
+TEST(CheckpointPolicyTest, StrRoundTrips)
+{
+    EXPECT_EQ(parsePolicyOk("2.5s").str(), "2.5s");
+    EXPECT_EQ(parsePolicyOk("3i").str(), "3i");
+    EXPECT_EQ(parsePolicyOk("off").str(), "off");
+    EXPECT_EQ(parsePolicyOk(parsePolicyOk("4i").str()).str(), "4i");
+}
+
+TEST(CheckpointPolicyTest, RejectsMalformedSpecs)
+{
+    const char *const bad[] = {
+        "x", "-1", "0", "0i", "0s", "2.5i", "2.5si", "s", "i",
+        "1.5x", "nan", "inf", "--2",
+    };
+    for (const char *spec : bad) {
+        std::vector<ConfigError> errors;
+        const CheckpointPolicy policy =
+            parseCheckpointSpec(spec, &errors);
+        EXPECT_FALSE(errors.empty())
+            << "'" << spec << "' parsed without error";
+        EXPECT_FALSE(policy.enabled())
+            << "'" << spec << "' yielded an enabled policy";
+    }
+}
+
+TEST(CheckpointPolicyTest, ValidateRejectsConflictsAndRanges)
+{
+    CheckpointPolicy both;
+    both.interval = 1.0;
+    both.every_iterations = 2;
+    EXPECT_FALSE(both.validate().empty());
+
+    CheckpointPolicy negative;
+    negative.interval = -1.0;
+    EXPECT_FALSE(negative.validate().empty());
+
+    EXPECT_TRUE(CheckpointPolicy{}.validate().empty());
+}
+
+TEST(CheckpointSizingTest, EveryStrategyPersistsFourteenBytesPerParam)
+{
+    // fp16 params (2 B) + fp32 optimizer (12 B): whatever the
+    // partitioning, the aggregate must be 14 B/param.
+    const std::int64_t params = 1'000'000'000;
+    const Bytes expect = 14.0 * 1e9;
+    const StrategyConfig strategies[] = {
+        StrategyConfig::ddp(),          StrategyConfig::megatron(4, 1),
+        StrategyConfig::zero(1),        StrategyConfig::zero(2),
+        StrategyConfig::zero(3),        StrategyConfig::zeroOffloadCpu(2),
+        StrategyConfig::zeroInfinityNvme(true),
+    };
+    for (const StrategyConfig &s : strategies) {
+        EXPECT_NEAR(checkpointTotalBytes(s, params, 8), expect, 1.0)
+            << s.displayName();
+    }
+}
+
+TEST(CheckpointSizingTest, ShardDistributionFollowsPartitioning)
+{
+    const std::int64_t params = 1'000'000'000;
+    const double p = 1e9;
+
+    // DDP: rank 0 writes everything, the replicas nothing.
+    EXPECT_NEAR(checkpointShardBytes(StrategyConfig::ddp(), params, 8, 0),
+                14.0 * p, 1.0);
+    EXPECT_DOUBLE_EQ(
+        checkpointShardBytes(StrategyConfig::ddp(), params, 8, 7), 0.0);
+
+    // Megatron tp=4: the first replica's 4 ranks split one copy.
+    const StrategyConfig mt = StrategyConfig::megatron(4, 1);
+    EXPECT_NEAR(checkpointShardBytes(mt, params, 8, 0), 14.0 * p / 4,
+                1.0);
+    EXPECT_DOUBLE_EQ(checkpointShardBytes(mt, params, 8, 5), 0.0);
+
+    // ZeRO-1: optimizer sharded over all 8, params whole on rank 0.
+    const StrategyConfig z1 = StrategyConfig::zero(1);
+    EXPECT_NEAR(checkpointShardBytes(z1, params, 8, 0),
+                12.0 * p / 8 + 2.0 * p, 1.0);
+    EXPECT_NEAR(checkpointShardBytes(z1, params, 8, 3), 12.0 * p / 8,
+                1.0);
+
+    // ZeRO-3: everything equally sharded.
+    const StrategyConfig z3 = StrategyConfig::zero(3);
+    for (int r = 0; r < 8; ++r) {
+        EXPECT_NEAR(checkpointShardBytes(z3, params, 8, r),
+                    14.0 * p / 8, 1.0);
+    }
+}
+
+TEST(CheckpointSizingTest, YoungDalyInterval)
+{
+    // tau = sqrt(2 * delta * MTBF).
+    EXPECT_DOUBLE_EQ(youngDalyInterval(30.0, 86400.0),
+                     std::sqrt(2.0 * 30.0 * 86400.0));
+    EXPECT_DOUBLE_EQ(youngDalyInterval(0.5, 2.0), std::sqrt(2.0));
+    // Longer MTBF -> longer interval (monotone).
+    EXPECT_LT(youngDalyInterval(30.0, 3600.0),
+              youngDalyInterval(30.0, 86400.0));
+}
+
+} // namespace
+} // namespace dstrain

@@ -22,6 +22,13 @@
  *
  *   dstrain faults
  *   dstrain faults --spec 'flap@2+0.3:roce/n1' --nodes 2
+ *
+ * The `recovery` subcommand demos checkpoint/restore under hard
+ * failures: the same experiment clean, checkpointed, and
+ * checkpointed with a nodedown, with the goodput table.
+ *
+ *   dstrain recovery
+ *   dstrain recovery --checkpoint 2i --policy elastic
  */
 
 #include <cstdio>
@@ -260,6 +267,93 @@ runFaultsDemo(int argc, const char *const *argv)
 }
 
 int
+runRecoveryDemo(int argc, const char *const *argv)
+{
+    ArgParser args(
+        "dstrain recovery",
+        "checkpoint/restore demo: run the same experiment clean, "
+        "checkpointed, and checkpointed under a hard failure; print "
+        "the goodput/recovery table");
+    args.addOption("nodes", "2", "number of compute nodes");
+    args.addOption("strategy", "zero3", strategyNameHelp());
+    args.addOption("model", "0",
+                   "model size in billions (0 = largest that fits)");
+    args.addOption("iterations", "8", "iterations to simulate");
+    args.addOption("checkpoint", "2i",
+                   "checkpoint policy: '<seconds>[s]', '<k>i'");
+    args.addOption("policy", "restart",
+                   "recovery policy: restart | elastic");
+    args.addOption(
+        "fault", "nodedown@0:n1",
+        "hard-fault spec (aimed at mid-window unless provided)");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const auto strategy = parseStrategyName(args.get("strategy"));
+    if (!strategy) {
+        std::fprintf(stderr, "dstrain: unknown strategy '%s'\n%s",
+                     args.get("strategy").c_str(),
+                     args.helpText().c_str());
+        return 1;
+    }
+
+    std::vector<ConfigError> errors;
+    const CheckpointPolicy ckpt =
+        parseCheckpointSpec(args.get("checkpoint"), &errors);
+    RecoveryPolicyKind policy = RecoveryPolicyKind::Restart;
+    if (!parseRecoveryPolicy(args.get("policy"), &policy)) {
+        errors.push_back(
+            {"policy", csprintf("unknown recovery policy '%s'",
+                                args.get("policy").c_str())});
+    }
+    FaultPlan plan = parseFaultSpec(args.get("fault"), &errors);
+    if (!errors.empty()) {
+        printConfigErrors(errors);
+        return 1;
+    }
+
+    ExperimentConfig cfg = paperExperiment(
+        args.getInt("nodes"), *strategy, args.getDouble("model"));
+    cfg.iterations = std::max(cfg.warmup + 1, args.getInt("iterations"));
+
+    inform("recovery: clean run...");
+    const ExperimentReport clean = runExperiment(cfg);
+
+    inform("recovery: checkpointed run (policy %s)...",
+           ckpt.str().c_str());
+    ExperimentConfig ckpt_cfg = cfg;
+    ckpt_cfg.recovery.checkpoint = ckpt;
+    const ExperimentReport checkpointed = runExperiment(ckpt_cfg);
+
+    // Aim the default fault at the middle of the measured window the
+    // clean run just revealed (begin times are absolute seconds).
+    if (!args.provided("fault")) {
+        const SimTime b = clean.execution.measured_begin;
+        plan.events[0].begin =
+            b + 0.5 * (clean.execution.measured_end - b);
+    }
+
+    inform("recovery: faulted run (%s, %s policy)...",
+           plan.str().c_str(), recoveryPolicyName(policy));
+    ExperimentConfig fault_cfg = cfg;
+    fault_cfg.recovery.checkpoint = ckpt;
+    fault_cfg.recovery.policy = policy;
+    fault_cfg.faults = plan;
+    const ExperimentReport recovered = runExperiment(fault_cfg);
+
+    std::cout << "\nclean:        " << summarizeReport(clean)
+              << "\ncheckpointed: " << summarizeReport(checkpointed)
+              << "\nrecovered:    " << summarizeReport(recovered)
+              << "\n\n";
+    TextTable table = recoveryTable({clean, checkpointed, recovered});
+    table.setTitle("Goodput under failures:");
+    std::cout << table << "\n"
+              << "recovered:    " << summarizeRecovery(recovered.recovery)
+              << "\n";
+    return 0;
+}
+
+int
 runCli(int argc, const char *const *argv)
 {
     ArgParser args(
@@ -308,6 +402,11 @@ runCli(int argc, const char *const *argv)
         std::cout << "\n" << impact;
     }
 
+    if (report.recovery.active) {
+        std::cout << "\nrecovery: " << summarizeRecovery(report.recovery)
+                  << "\n";
+    }
+
     if (args.getFlag("telemetry-stats"))
         std::cout << "\n" << summarizeTelemetry(report.telemetry) << "\n";
 
@@ -348,5 +447,7 @@ main(int argc, char **argv)
         return dstrain::runSweep(argc - 1, argv + 1);
     if (argc > 1 && std::string(argv[1]) == "faults")
         return dstrain::runFaultsDemo(argc - 1, argv + 1);
+    if (argc > 1 && std::string(argv[1]) == "recovery")
+        return dstrain::runRecoveryDemo(argc - 1, argv + 1);
     return dstrain::runCli(argc, argv);
 }
