@@ -72,6 +72,68 @@ denseFlowScenario(int waves, int per_wave)
     return json;
 }
 
+/**
+ * Dense spine-leaf scenario: a 96-node leaf-spine fabric whose
+ * topology holds O(10^3) directed links (24x16 trunks plus two host
+ * uplinks per node, each duplex), with waves of cross-leaf flows
+ * spread over the trunks by per-flow ECMP. Tracks events/sec on a
+ * link set two orders of magnitude denser than the dual-node
+ * scenario, so regressions in the water-filling's per-link work show
+ * up here first.
+ */
+bench::JsonObject
+spineLeafScenario(int waves, int per_wave)
+{
+    bench::Stopwatch watch;
+    Simulation sim;
+    ClusterSpec spec = xe8545Cluster(96);
+    spec.fabric.kind = FabricKind::SpineLeaf;
+    spec.fabric.leaves = 24;
+    spec.fabric.spines = 16;
+    const int world = spec.totalGpus();
+    Cluster cluster(std::move(spec));
+    FlowScheduler sched(sim, cluster.topology());
+    int done = 0;
+    for (int w = 0; w < waves; ++w) {
+        sim.events().schedule(w * 0.01, [&, w] {
+            for (int i = 0; i < per_wave; ++i) {
+                FlowSpec spec;
+                const int src = (i * 7 + w) % world;
+                // Jump half the world so src and dst land on
+                // different leaves and the flow crosses the spines.
+                int dst = (src + world / 2 + i) % world;
+                if (dst == src)
+                    dst = (dst + 1) % world;
+                spec.route = cluster.router().routeForFlow(
+                    cluster.gpuByRank(src), cluster.gpuByRank(dst),
+                    static_cast<std::uint64_t>(i));
+                spec.bytes = 1e8 + 1e6 * i;
+                spec.on_complete = [&done] { ++done; };
+                sched.start(std::move(spec));
+            }
+        });
+    }
+    sim.run();
+    const double secs = watch.seconds();
+    const FlowScheduler::Stats &stats = sched.stats();
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("spine_leaf_dense"))
+        .add("links", cluster.topology().halfLinkCount())
+        .add("switches",
+             static_cast<std::uint64_t>(cluster.switches().size()))
+        .add("flows", done)
+        .add("events", sim.events().executedCount())
+        .add("wall_seconds", secs)
+        .add("events_per_sec", sim.events().executedCount() / secs)
+        .add("recomputes", stats.recomputes)
+        .add("recomputes_per_sec", stats.recomputes / secs)
+        .add("fast_starts", stats.fast_starts)
+        .add("fast_finishes", stats.fast_finishes)
+        .add("rate_updates", stats.rate_updates);
+    return json;
+}
+
 /** Event-queue churn: schedule bursts, cancel half, pop the rest. */
 bench::JsonObject
 eventQueueChurn()
@@ -165,6 +227,10 @@ main(int argc, char **argv)
 
     setLogLevel(LogLevel::Silent);  // keep stdout pure JSON
     std::cout << denseFlowScenario(args.getInt("waves"),
+                                   args.getInt("per-wave"))
+                     .str()
+              << "\n";
+    std::cout << spineLeafScenario(args.getInt("waves"),
                                    args.getInt("per-wave"))
                      .str()
               << "\n";

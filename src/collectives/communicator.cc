@@ -128,6 +128,9 @@ CollectiveEngine::runRounds(const CommGroup &group,
             opts.waypoints = st->eng->viaNics(
                 hop.src_rank, hop.dst_rank, st->channel, st->pin);
             opts.rate_factor = st->bw_factor;
+            // On multipath fabrics, ECMP spreads the channels over
+            // the equal-cost trunks (deterministically).
+            opts.flow_key = static_cast<std::uint64_t>(st->channel);
             opts.tag = st->tag;
             st->eng->tm_.start(
                 cl.gpuByRank(hop.src_rank), cl.gpuByRank(hop.dst_rank),

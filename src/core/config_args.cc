@@ -52,6 +52,16 @@ void
 addExperimentOptions(ArgParser &args)
 {
     args.addOption("nodes", "1", "number of compute nodes");
+    args.addOption(
+        "fabric", "single",
+        "fabric spec: single | fat-tree[:k=<k>[,oversub=<f>]] | rail "
+        "| spine-leaf[:leaves=<L>,spines=<S>] (common keys: "
+        "ecmp=on|off, seed=<n>, paths=<n>)");
+    args.addOption(
+        "nodes-spec", "",
+        "heterogeneous node groups "
+        "'<count>:gpus=<g>,nics=<n>[,roce=<Gbps>][,gpu-mem=<GiB>]"
+        "[;...]' (overrides --nodes)");
     args.addOption("strategy", "zero3", strategyNameHelp());
     args.addOption("model", "0",
                    "model size in billions (0 = largest that fits)");
@@ -114,6 +124,14 @@ experimentFromArgs(const ArgParser &args)
                                    placement.c_str())});
     } else {
         out.config.placement = nvmePlacementConfig(placement[0]);
+    }
+
+    out.config.cluster.fabric =
+        parseFabricSpec(args.get("fabric"), &out.errors);
+    if (!args.get("nodes-spec").empty()) {
+        out.config.cluster.groups = parseNodesSpec(
+            args.get("nodes-spec"), out.config.cluster.node,
+            &out.errors);
     }
 
     out.config.cluster.node.model_serdes_contention =

@@ -27,11 +27,17 @@ estimateEnergy(const ExperimentReport &report,
     DSTRAIN_ASSERT(window > 0.0, "empty final iteration");
 
     const int gpus = cfg.cluster.totalGpus();
-    const int sockets = cfg.cluster.nodes * cfg.cluster.node.sockets;
-    const int drives =
-        cfg.cluster.nodes *
-        static_cast<int>(cfg.cluster.node.nvme_drives.size());
-    const int nics = cfg.cluster.nodes * cfg.cluster.node.sockets;
+    // Per-node sums so heterogeneous groups are billed for their own
+    // hardware.
+    int sockets = 0;
+    int drives = 0;
+    int nics = 0;
+    for (int n = 0; n < cfg.cluster.nodeCount(); ++n) {
+        const NodeSpec &node = cfg.cluster.nodeSpecOf(n);
+        sockets += node.sockets;
+        drives += static_cast<int>(node.nvme_drives.size());
+        nics += node.nics;
+    }
 
     // Busy time per GPU rank (compute spans only; NCCL kernels are
     // folded into the busy-idle delta they overlap) and per socket.
@@ -85,7 +91,7 @@ estimateEnergy(const ExperimentReport &report,
         power.nvme_idle * window * drives +
         (power.nvme_active - power.nvme_idle) * storage_active;
     out.platform_joules = (power.nic * nics +
-                           power.node_base * cfg.cluster.nodes) *
+                           power.node_base * cfg.cluster.nodeCount()) *
                           window;
 
     out.joules_per_iteration = out.gpu_joules + out.cpu_joules +

@@ -49,16 +49,58 @@ fillIterationSlowdowns(const IterationResult &ex,
     }
 }
 
+/**
+ * The spec of the cluster shrunk to the surviving nodes (the elastic
+ * recovery path). Group-aware: a dead node shrinks the group that
+ * owned it, so the survivors keep their own hardware.
+ */
+ClusterSpec
+degradedSpec(const ClusterSpec &full, const std::vector<bool> &alive)
+{
+    ClusterSpec degraded = full;
+    if (degraded.groups.empty()) {
+        degraded.nodes = 0;
+        for (const bool a : alive)
+            degraded.nodes += a ? 1 : 0;
+        return degraded;
+    }
+    for (std::size_t n = 0; n < alive.size(); ++n) {
+        if (alive[n])
+            continue;
+        // Walk the dead node to its owning group in the *full* spec
+        // (indices there are stable) and shrink the degraded copy.
+        int rest = static_cast<int>(n);
+        for (std::size_t gi = 0; gi < full.groups.size(); ++gi) {
+            if (rest < full.groups[gi].count) {
+                degraded.groups[gi].count -= 1;
+                break;
+            }
+            rest -= full.groups[gi].count;
+        }
+    }
+    return degraded;
+}
+
 } // namespace
 
 std::vector<ConfigError>
 ExperimentConfig::validate() const
 {
     std::vector<ConfigError> errors;
-    if (cluster.nodes < 1)
+    if (cluster.nodeCount() < 1)
         errors.push_back({"cluster.nodes", "must be >= 1"});
-    if (cluster.node.gpus < 1)
+    if (cluster.groups.empty() && cluster.node.gpus < 1)
         errors.push_back({"cluster.node.gpus", "must be >= 1"});
+    for (std::size_t i = 0; i < cluster.groups.size(); ++i) {
+        const NodeGroup &g = cluster.groups[i];
+        if (g.count < 1 || g.node.gpus < 1 || g.node.nics < 1) {
+            errors.push_back(
+                {csprintf("cluster.groups[%zu]", i),
+                 "needs count >= 1, gpus >= 1 and nics >= 1"});
+        }
+    }
+    for (ConfigError &e : cluster.fabric.validate())
+        errors.push_back(std::move(e));
     if (model_billions < 0.0)
         errors.push_back(
             {"model_billions", "must be >= 0 (0 = largest that fits)"});
@@ -76,7 +118,7 @@ ExperimentConfig::validate() const
         errors.push_back({"telemetry.bucket", "must be positive"});
     for (ConfigError &e : faults.validate())
         errors.push_back(std::move(e));
-    for (ConfigError &e : recovery.validate(faults, cluster.nodes))
+    for (ConfigError &e : recovery.validate(faults, cluster.nodeCount()))
         errors.push_back(std::move(e));
     return errors;
 }
@@ -93,6 +135,8 @@ Experiment::Experiment(ExperimentConfig cfg)
     if (cfg_.strategy.offload == OffloadTarget::Nvme ||
         cfg_.recovery.checkpoint.enabled()) {
         applyPlacement(cfg_.placement, cfg_.cluster.node);
+        for (NodeGroup &g : cfg_.cluster.groups)
+            applyPlacement(cfg_.placement, g.node);
     }
 
     // Resolve the model size.
@@ -167,18 +211,15 @@ Experiment::run()
             // a cluster shrunk to the surviving nodes and map its
             // logical ranks/nodes onto the physical survivors.
             auto alive = std::make_shared<std::vector<bool>>(
-                static_cast<std::size_t>(cfg_.cluster.nodes), true);
+                static_cast<std::size_t>(cfg_.cluster.nodeCount()),
+                true);
             rm_->setReplanner(
                 [this, model_cfg, alive](
                     int dead_node, std::vector<int> *rank_map,
                     std::vector<int> *node_map) -> const IterationPlan * {
                     (*alive)[static_cast<std::size_t>(dead_node)] = false;
-                    ClusterSpec degraded = cfg_.cluster;
-                    degraded.nodes = 0;
-                    for (const bool a : *alive)
-                        degraded.nodes += a ? 1 : 0;
-                    degraded_cluster_ =
-                        std::make_unique<Cluster>(degraded);
+                    degraded_cluster_ = std::make_unique<Cluster>(
+                        degradedSpec(cfg_.cluster, *alive));
                     PlanContext dctx{*degraded_cluster_, model_cfg,
                                      cfg_.batch_per_gpu, cfg_.placement,
                                      cfg_.tuning};
@@ -187,13 +228,14 @@ Experiment::run()
                             ->buildIteration(dctx));
                     rank_map->clear();
                     node_map->clear();
-                    const int gpus = cfg_.cluster.node.gpus;
-                    for (int n = 0; n < cfg_.cluster.nodes; ++n) {
+                    for (int n = 0; n < cluster_->nodeCount(); ++n) {
                         if (!(*alive)[static_cast<std::size_t>(n)])
                             continue;
                         node_map->push_back(n);
-                        for (int l = 0; l < gpus; ++l)
-                            rank_map->push_back(n * gpus + l);
+                        for (int l = 0; l < cluster_->gpusOfNode(n);
+                             ++l) {
+                            rank_map->push_back(cluster_->rankOf(n, l));
+                        }
                     }
                     return degraded_plan_.get();
                 });
@@ -210,11 +252,11 @@ Experiment::run()
     report.tflops = report.execution.achievedTflops();
 
     report.footprint = computeFootprint(
-        model_cfg, cfg_.strategy, cfg_.cluster.totalGpus(),
-        cfg_.cluster.nodes, cfg_.batch_per_gpu, cfg_.memory_cal);
+        model_cfg, cfg_.strategy, cfg_.cluster, cfg_.batch_per_gpu,
+        cfg_.memory_cal);
     report.composition = composeMemory(
         cfg_.strategy.displayName(), report.footprint,
-        cfg_.cluster.totalGpus(), cfg_.cluster.nodes);
+        cfg_.cluster.totalGpus(), cfg_.cluster.nodeCount());
 
     report.bandwidth = measureBandwidthRow(
         cfg_.strategy.displayName(), cluster_->topology(),

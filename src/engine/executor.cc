@@ -122,7 +122,9 @@ Executor::dispatchGpu(RunState &st, int rank)
     st.gpu_busy[rank] = true;
 
     const PlanTask &t = st.plan->tasks()[static_cast<std::size_t>(task_id)];
-    const Flops peak = cluster_.spec().node.gpu_peak_fp16;
+    const Flops peak =
+        cluster_.nodeSpec(cluster_.nodeOfRank(mapRank(rank)))
+            .gpu_peak_fp16;
     const double eff = cal_.gemmEfficiency(st.plan->modelLayers());
     const SimTime duration =
         t.flops / (peak * eff * gpuSpeedFactor(mapRank(rank)));
@@ -275,7 +277,7 @@ Executor::startTask(RunState &st, int task_id)
         const int rank = mapRank(t.rank);
         const int node = cluster_.nodeOfRank(rank);
         const int socket =
-            gpuSocket(cluster_.spec().node, cluster_.localOfRank(rank));
+            gpuSocket(cluster_.nodeSpec(node), cluster_.localOfRank(rank));
         const NodeHandles &nh = cluster_.node(node);
         const ComponentId gpu = cluster_.gpuByRank(rank);
         const ComponentId dram =
@@ -301,7 +303,7 @@ Executor::startTask(RunState &st, int task_id)
         const int rank = mapRank(t.rank);
         const int node = cluster_.nodeOfRank(rank);
         const int socket =
-            gpuSocket(cluster_.spec().node, cluster_.localOfRank(rank));
+            gpuSocket(cluster_.nodeSpec(node), cluster_.localOfRank(rank));
         nodeStorageIo(node, socket, t.volume, t.io_write, t.bytes,
                       t.label, [this, &st, task_id, gen = gen_] {
                           if (gen == gen_)
@@ -451,7 +453,7 @@ Executor::rankStorageIo(int plan_rank, bool write, Bytes bytes,
     const int rank = mapRank(plan_rank);
     const int node = cluster_.nodeOfRank(rank);
     const int local = cluster_.localOfRank(rank);
-    const int socket = gpuSocket(cluster_.spec().node, local);
+    const int socket = gpuSocket(cluster_.nodeSpec(node), local);
     nodeStorageIo(node, socket, placement_.volumeForRank(local), write,
                   bytes, tag, std::move(on_done));
 }

@@ -51,6 +51,27 @@ indexOf(const std::string &text, const std::string &prefix)
     return std::atoi(text.c_str() + prefix.size());
 }
 
+/** Non-fatal "<prefix><k>" parse (digits only after the prefix). */
+bool
+tryIndexed(const std::string &text, std::string_view prefix, int *out)
+{
+    if (!startsWith(text, prefix) || text.size() <= prefix.size())
+        return false;
+    for (std::size_t i = prefix.size(); i < text.size(); ++i)
+        if (text[i] < '0' || text[i] > '9')
+            return false;
+    *out = std::atoi(text.c_str() + prefix.size());
+    return true;
+}
+
+/** The target namespaces, listed in every resolution error. */
+constexpr const char *kTargetNamespaces =
+    "valid target namespaces: rank<k> (GPU ranks), n<k> (nodes), "
+    "n<k>.nic<j> (NICs), a link class (roce, nvlink, pcie-gpu, "
+    "pcie-nic, pcie-nvme, xgmi, dram, nvme-media, iod) optionally "
+    "scoped /n<k> or /rack<k>, rail<r> (NIC r's RoCE uplinks on "
+    "every node), sw<j> (every link of switch j)";
+
 } // namespace
 
 FaultInjector::FaultInjector(Simulation &sim, Cluster &cluster,
@@ -73,19 +94,89 @@ FaultInjector::resolve(const FaultEvent &ev) const
     switch (ev.kind) {
       case FaultKind::LinkDegrade:
       case FaultKind::LinkFlap: {
+        int idx = 0;
+        if (tryIndexed(ev.target, "rail", &idx)) {
+            // Rail r: the RoCE uplinks of NIC r on every node (on a
+            // rail-optimized fabric that is exactly the rail switch's
+            // edge set; on any other fabric it is the same NIC slot
+            // across the cluster).
+            for (std::size_t h = 0; h < topo.halfLinkCount(); ++h) {
+                const HalfLink &hl =
+                    topo.halfLink(static_cast<HalfLinkId>(h));
+                if (hl.cls != LinkClass::Roce)
+                    continue;
+                const Component &from = topo.component(hl.from);
+                const Component &to = topo.component(hl.to);
+                const bool hit =
+                    (from.kind == ComponentKind::Nic &&
+                     from.index == idx) ||
+                    (to.kind == ComponentKind::Nic && to.index == idx);
+                if (hit && std::find(r.rids.begin(), r.rids.end(),
+                                     hl.resource) == r.rids.end()) {
+                    r.rids.push_back(hl.resource);
+                }
+            }
+            if (r.rids.empty())
+                fatal("fault target '%s': no NIC with index %d on any "
+                      "node (%s)",
+                      ev.target.c_str(), idx, kTargetNamespaces);
+            return r;
+        }
+        if (tryIndexed(ev.target, "sw", &idx)) {
+            // Switch j: every link touching it, trunks included.
+            const ComponentId id =
+                topo.findComponent(ComponentKind::Switch, -1, idx);
+            if (id == kNoComponent)
+                fatal("fault target '%s': no such switch (%s)",
+                      ev.target.c_str(), kTargetNamespaces);
+            for (std::size_t h = 0; h < topo.halfLinkCount(); ++h) {
+                const HalfLink &hl =
+                    topo.halfLink(static_cast<HalfLinkId>(h));
+                if (hl.from != id && hl.to != id)
+                    continue;
+                if (std::find(r.rids.begin(), r.rids.end(),
+                              hl.resource) == r.rids.end()) {
+                    r.rids.push_back(hl.resource);
+                }
+            }
+            DSTRAIN_ASSERT(!r.rids.empty(), "switch '%s' has no links",
+                           ev.target.c_str());
+            return r;
+        }
         const auto parts = split(ev.target, '/');
         LinkClass cls;
         if (parts.empty() || !classForTarget(parts[0], &cls))
-            fatal("fault target '%s': unknown link class",
-                  ev.target.c_str());
-        const int node =
-            parts.size() == 2 ? indexOf(parts[1], "n") : -1;
-        for (const Resource &res : topo.resources())
-            if (res.cls == cls && (node < 0 || res.node == node))
-                r.rids.push_back(res.id);
+            fatal("fault target '%s': unknown link class (%s)",
+                  ev.target.c_str(), kTargetNamespaces);
+        int node = -1;
+        int rack = -1;
+        if (parts.size() == 2 && !tryIndexed(parts[1], "n", &node) &&
+            !tryIndexed(parts[1], "rack", &rack)) {
+            fatal("fault target '%s': bad scope '%s' (%s)",
+                  ev.target.c_str(), parts[1].c_str(),
+                  kTargetNamespaces);
+        }
+        if (rack >= 0 && rack >= cluster_.fabric().rackCount())
+            fatal("fault target '%s': no such rack (cluster has %d)",
+                  ev.target.c_str(), cluster_.fabric().rackCount());
+        for (const Resource &res : topo.resources()) {
+            if (res.cls != cls)
+                continue;
+            if (node >= 0 && res.node != node)
+                continue;
+            // Rack scope: the fabric generator labels every node with
+            // its rack; trunk resources (node -1) belong to no rack.
+            if (rack >= 0 &&
+                (res.node < 0 ||
+                 cluster_.rackOfNode(res.node) != rack)) {
+                continue;
+            }
+            r.rids.push_back(res.id);
+        }
         if (r.rids.empty())
-            fatal("fault target '%s' matches no link in this cluster",
-                  ev.target.c_str());
+            fatal("fault target '%s' matches no link in this cluster "
+                  "(%s)",
+                  ev.target.c_str(), kTargetNamespaces);
         return r;
       }
       case FaultKind::NicFailover: {
@@ -97,7 +188,8 @@ FaultInjector::resolve(const FaultEvent &ev) const
         const ComponentId id =
             topo.findComponent(ComponentKind::Nic, node, nic);
         if (id == kNoComponent)
-            fatal("fault target '%s': no such NIC", ev.target.c_str());
+            fatal("fault target '%s': no such NIC (%s)",
+                  ev.target.c_str(), kTargetNamespaces);
         // Every link direction touching the NIC dies with it: the
         // PCIe attach and the RoCE uplink.
         for (std::size_t h = 0; h < topo.halfLinkCount(); ++h) {
@@ -117,14 +209,19 @@ FaultInjector::resolve(const FaultEvent &ev) const
       case FaultKind::GpuStraggler: {
         r.rank = indexOf(ev.target, "rank");
         if (r.rank < 0 || r.rank >= cluster_.spec().totalGpus())
-            fatal("fault target '%s': no such rank (cluster has %d)",
-                  ev.target.c_str(), cluster_.spec().totalGpus());
+            fatal("fault target '%s': no such rank (cluster has %d; "
+                  "%s)",
+                  ev.target.c_str(), cluster_.spec().totalGpus(),
+                  kTargetNamespaces);
         return r;
       }
       case FaultKind::NvmeDegrade: {
         const int node = indexOf(ev.target, "n");
         if (node < 0 || node >= cluster_.nodeCount())
-            fatal("fault target '%s': no such node", ev.target.c_str());
+            fatal("fault target '%s': no such node (cluster has %d; "
+                  "%s)",
+                  ev.target.c_str(), cluster_.nodeCount(),
+                  kTargetNamespaces);
         r.nvme_node = node;
         for (const Resource &res : topo.resources()) {
             if (res.node == node && (res.cls == LinkClass::PcieNvme ||
@@ -140,8 +237,10 @@ FaultInjector::resolve(const FaultEvent &ev) const
       case FaultKind::GpuDown: {
         r.rank = indexOf(ev.target, "rank");
         if (r.rank < 0 || r.rank >= cluster_.spec().totalGpus())
-            fatal("fault target '%s': no such rank (cluster has %d)",
-                  ev.target.c_str(), cluster_.spec().totalGpus());
+            fatal("fault target '%s': no such rank (cluster has %d; "
+                  "%s)",
+                  ev.target.c_str(), cluster_.spec().totalGpus(),
+                  kTargetNamespaces);
         // The dead GPU's attach links (NVLink + PCIe) go to zero:
         // anything still talking to it stalls until the abort sweeps
         // it away.
@@ -162,7 +261,10 @@ FaultInjector::resolve(const FaultEvent &ev) const
       case FaultKind::NodeDown: {
         r.node = indexOf(ev.target, "n");
         if (r.node < 0 || r.node >= cluster_.nodeCount())
-            fatal("fault target '%s': no such node", ev.target.c_str());
+            fatal("fault target '%s': no such node (cluster has %d; "
+                  "%s)",
+                  ev.target.c_str(), cluster_.nodeCount(),
+                  kTargetNamespaces);
         for (const Resource &res : topo.resources())
             if (res.node == r.node)
                 r.rids.push_back(res.id);

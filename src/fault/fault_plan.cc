@@ -56,16 +56,25 @@ targetSyntaxError(FaultKind kind, const std::string &target)
     switch (kind) {
       case FaultKind::LinkDegrade:
       case FaultKind::LinkFlap: {
-        // <class>[/n<k>]
+        // <class>[/n<k>|/rack<k>] | rail<r> | sw<j>
+        if (parseIndexed(target, "rail", &idx) ||
+            parseIndexed(target, "sw", &idx)) {
+            return "";
+        }
         const auto parts = split(target, '/');
         if (parts.empty() || parts.size() > 2 ||
             !isClassTarget(parts[0])) {
             return "expected a link class "
                    "(roce, nvlink, pcie-gpu, pcie-nic, pcie-nvme, "
-                   "xgmi, dram, nvme-media, iod), optionally '/n<k>'";
+                   "xgmi, dram, nvme-media, iod) optionally scoped "
+                   "'/n<k>' or '/rack<k>', a rail 'rail<r>', or a "
+                   "switch 'sw<j>'";
         }
-        if (parts.size() == 2 && !parseIndexed(parts[1], "n", &idx))
-            return "bad node scope '" + parts[1] + "' (expected n<k>)";
+        if (parts.size() == 2 && !parseIndexed(parts[1], "n", &idx) &&
+            !parseIndexed(parts[1], "rack", &idx)) {
+            return "bad scope '" + parts[1] +
+                   "' (expected n<k> or rack<k>)";
+        }
         return "";
       }
       case FaultKind::NicFailover: {

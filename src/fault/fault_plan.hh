@@ -33,9 +33,16 @@ enum class FaultKind {
     /**
      * A link class runs at `fraction` of nominal bandwidth for the
      * window (cable errors, congestion from a neighboring job).
-     * Target: a link-class name (`roce`, `nvlink`, `pcie-gpu`,
-     * `pcie-nic`, `pcie-nvme`, `xgmi`, `dram`), optionally scoped to
-     * one node with `/n<k>`.
+     * Target namespaces:
+     *   - a link-class name (`roce`, `nvlink`, `pcie-gpu`,
+     *     `pcie-nic`, `pcie-nvme`, `xgmi`, `dram`, `nvme-media`,
+     *     `iod`), optionally scoped to one node with `/n<k>` or to
+     *     one rack with `/rack<k>` (failure domains come from the
+     *     fabric generator; see hw/fabric.hh);
+     *   - `rail<r>`: the RoCE uplinks of NIC `r` on every node (a
+     *     rail-optimized fabric loses a whole rail switch this way);
+     *   - `sw<j>`: every link touching switch `j` — uplinks and
+     *     inter-switch trunks alike.
      */
     LinkDegrade,
 
@@ -150,6 +157,9 @@ bool hasHardFaults(const FaultPlan &plan);
  *
  *   degrade@1+0.5:roce:0.4      RoCE at 40% for 0.5 s starting at 1 s
  *   flap@2+0.2:roce/n1          node 1's RoCE links down for 200 ms
+ *   degrade@1+1:rail1:0.3       rail 1 (every node's NIC 1) at 30%
+ *   flap@2+0.5:sw3              everything on switch 3 down for 0.5 s
+ *   degrade@1:roce/rack0:0.5    rack 0's RoCE at half speed onwards
  *   nicdown@1+1:n0.nic1         node 0's NIC 1 dead for 1 s
  *   straggler@0+2:rank3:0.6     rank 3 at 60% speed for 2 s
  *   nvme@1:n0:0.5               node 0's NVMe at half speed onwards

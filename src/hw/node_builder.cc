@@ -27,6 +27,7 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
                    "the XE8545 model requires exactly 2 sockets (got %d)",
                    spec.sockets);
     DSTRAIN_ASSERT(spec.gpus >= 1, "need at least one GPU per node");
+    DSTRAIN_ASSERT(spec.nics >= 1, "need at least one NIC per node");
 
     NodeHandles h;
     const std::string prefix = csprintf("n%d.", node);
@@ -86,16 +87,19 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
         }
     }
 
-    // NICs: one per socket on PCIe link #2.
-    for (int s = 0; s < spec.sockets; ++s) {
+    // NICs on PCIe link #2, round-robined across sockets (the
+    // default, 2 NICs x 2 sockets, is the XE8545's one-per-socket
+    // layout).
+    for (int i = 0; i < spec.nics; ++i) {
+        const int s = i % spec.sockets;
         ComponentId nic = topo.addComponent(
-            ComponentKind::Nic, prefix + csprintf("nic%d", s), node, s, s);
+            ComponentKind::Nic, prefix + csprintf("nic%d", i), node, s, i);
         h.nics.push_back(nic);
         topo.addDuplexLink(LinkClass::PcieNic, spec.pcie_x16,
                            h.cpus[static_cast<std::size_t>(s)], nic,
                            PortKind::SerDes, PortKind::Device,
                            spec.pcie_latency,
-                           prefix + csprintf("pcie-nic%d", s));
+                           prefix + csprintf("pcie-nic%d", i));
     }
 
     // The shared IOD crossbar path consumed by cross-socket storage

@@ -54,6 +54,7 @@ struct NodeSpec {
     Bps pcie_x4 = 8.0 * units::GBps;        ///< PCIe 4.0 x4 (NVMe)
     Bps nvlink_per_link = 25.0 * units::GBps;
     int nvlink_links_per_pair = 4;
+    int nics = 2;                           ///< NICs (round-robin sockets)
     Bps roce_per_dir = 25.0 * units::GBps;  ///< 200 Gbps per NIC
 
     // --- hop latencies --------------------------------------------------
@@ -94,7 +95,7 @@ struct NodeHandles {
     std::vector<ComponentId> cpus;    ///< one per socket
     std::vector<ComponentId> drams;   ///< one per socket
     std::vector<ComponentId> gpus;
-    std::vector<ComponentId> nics;    ///< one per socket
+    std::vector<ComponentId> nics;    ///< in NIC-index order
     std::vector<ComponentId> nvmes;   ///< drive controllers
     std::vector<ComponentId> nvme_medias;  ///< media behind each drive
 

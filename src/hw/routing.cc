@@ -1,6 +1,7 @@
 /**
  * @file
- * Implementation of route computation (BFS with transit filtering).
+ * Implementation of route computation: BFS with transit filtering,
+ * plus equal-cost shortest-path enumeration for deterministic ECMP.
  */
 
 #include "hw/routing.hh"
@@ -51,29 +52,40 @@ usesSerdes(LinkClass cls, SerdesSide *side)
     }
 }
 
+/** SplitMix64 finalizer: the ECMP path-selection hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
 } // namespace
 
-Router::Router(const Topology &topo, bool model_serdes)
-    : topo_(topo), model_serdes_(model_serdes)
+Router::Router(const Topology &topo, bool model_serdes, EcmpConfig ecmp)
+    : topo_(topo), model_serdes_(model_serdes), ecmp_(ecmp)
 {
-    const std::size_t n = topo_.componentCount();
-    cache_.resize(n * n);
-    cached_.resize(n * n, false);
 }
 
 const Route &
 Router::route(ComponentId src, ComponentId dst) const
 {
     DSTRAIN_ASSERT(src != dst, "route from component %d to itself", src);
-    const std::size_t n = topo_.componentCount();
-    const std::size_t key =
-        static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst);
-    DSTRAIN_ASSERT(key < cache_.size(), "component id out of range");
-    if (!cached_[key]) {
-        cache_[key] = computeRoute(src, dst);
-        cached_[key] = true;
-    }
-    const Route &r = cache_[key];
+    DSTRAIN_ASSERT(src >= 0 && dst >= 0 &&
+                       static_cast<std::size_t>(src) <
+                           topo_.componentCount() &&
+                       static_cast<std::size_t>(dst) <
+                           topo_.componentCount(),
+                   "component id out of range");
+    const std::uint64_t key = cacheKey(src, dst);
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+        it = cache_.emplace(key, computeRoute(src, dst)).first;
+    const Route &r = it->second;
     if (!r.valid()) {
         fatal("no route from %s to %s in this topology",
               topo_.component(src).name.c_str(),
@@ -82,19 +94,46 @@ Router::route(ComponentId src, ComponentId dst) const
     return r;
 }
 
+const std::vector<Route> &
+Router::equalCostRoutes(ComponentId src, ComponentId dst) const
+{
+    const std::uint64_t key = cacheKey(src, dst);
+    auto it = ecmp_cache_.find(key);
+    if (it == ecmp_cache_.end())
+        it = ecmp_cache_.emplace(key, computeEqualCost(src, dst)).first;
+    return it->second;
+}
+
+const Route &
+Router::routeForFlow(ComponentId src, ComponentId dst,
+                     std::uint64_t flow_key) const
+{
+    if (!ecmp_.enabled)
+        return route(src, dst);
+    const std::vector<Route> &paths = equalCostRoutes(src, dst);
+    // A unique shortest path is returned through the plain cache, so
+    // single-path fabrics behave (and fingerprint) exactly like the
+    // pre-ECMP router.
+    if (paths.size() <= 1)
+        return route(src, dst);
+    const std::uint64_t h =
+        mix64(mix64(cacheKey(src, dst) ^ ecmp_.seed) + flow_key);
+    return paths[static_cast<std::size_t>(h % paths.size())];
+}
+
 Route
 Router::routeThrough(ComponentId src,
                      const std::vector<ComponentId> &waypoints,
-                     ComponentId dst) const
+                     ComponentId dst, std::uint64_t flow_key) const
 {
     std::vector<HalfLinkId> hops;
     ComponentId cur = src;
     for (ComponentId wp : waypoints) {
-        const Route &seg = route(cur, wp);
+        const Route &seg = routeForFlow(cur, wp, flow_key);
         hops.insert(hops.end(), seg.hops.begin(), seg.hops.end());
         cur = wp;
     }
-    const Route &last = route(cur, dst);
+    const Route &last = routeForFlow(cur, dst, flow_key);
     hops.insert(hops.end(), last.hops.begin(), last.hops.end());
     return finishRoute(std::move(hops));
 }
@@ -157,6 +196,84 @@ Router::computeRoute(ComponentId src, ComponentId dst) const
     }
     std::reverse(hops.begin(), hops.end());
     return finishRoute(std::move(hops));
+}
+
+std::vector<Route>
+Router::computeEqualCost(ComponentId src, ComponentId dst) const
+{
+    // Establish reachability (fatal otherwise) and the shortest
+    // length through the plain cache first.
+    const Route &first = route(src, dst);
+
+    // BFS level assignment over the transit-filtered graph: dist[v]
+    // is the shortest hop count src -> v. The union of edges with
+    // dist[to] == dist[from] + 1 is the shortest-path DAG.
+    const std::size_t n = topo_.componentCount();
+    constexpr int kUnreached = std::numeric_limits<int>::max();
+    std::vector<int> dist(n, kUnreached);
+    std::deque<ComponentId> queue;
+    dist[static_cast<std::size_t>(src)] = 0;
+    queue.push_back(src);
+    while (!queue.empty()) {
+        ComponentId cur = queue.front();
+        queue.pop_front();
+        if (cur == dst)
+            continue;  // paths end at dst; never transit through it
+        for (HalfLinkId hid : topo_.outgoing(cur)) {
+            const HalfLink &hl = topo_.halfLink(hid);
+            ComponentId next = hl.to;
+            if (next != dst && !isTransit(topo_.component(next).kind))
+                continue;
+            if (dist[static_cast<std::size_t>(next)] != kUnreached)
+                continue;
+            dist[static_cast<std::size_t>(next)] =
+                dist[static_cast<std::size_t>(cur)] + 1;
+            queue.push_back(next);
+        }
+    }
+    const int target = dist[static_cast<std::size_t>(dst)];
+    DSTRAIN_ASSERT(target != kUnreached, "BFS disagrees with route()");
+
+    // Depth-first enumeration of the DAG in adjacency order, capped
+    // at max_paths. Depth is bounded by the shortest-path length, so
+    // plain recursion is safe.
+    std::vector<Route> paths;
+    std::vector<HalfLinkId> hops;
+    const std::size_t cap = static_cast<std::size_t>(
+        std::max(1, ecmp_.max_paths));
+    auto dfs = [&](auto &&self, ComponentId cur) -> void {
+        if (paths.size() >= cap)
+            return;
+        if (cur == dst) {
+            paths.push_back(finishRoute(hops));
+            return;
+        }
+        const int d = dist[static_cast<std::size_t>(cur)];
+        for (HalfLinkId hid : topo_.outgoing(cur)) {
+            const HalfLink &hl = topo_.halfLink(hid);
+            ComponentId next = hl.to;
+            if (next != dst && !isTransit(topo_.component(next).kind))
+                continue;
+            if (dist[static_cast<std::size_t>(next)] != d + 1 ||
+                dist[static_cast<std::size_t>(next)] > target) {
+                continue;
+            }
+            hops.push_back(hid);
+            self(self, next);
+            hops.pop_back();
+            if (paths.size() >= cap)
+                return;
+        }
+    };
+    dfs(dfs, src);
+    DSTRAIN_ASSERT(!paths.empty(), "DAG enumeration found no path");
+    if (paths.size() == 1) {
+        // The unique shortest path must be the BFS one; keeping the
+        // exact object aligned keeps routeForFlow bit-identical.
+        DSTRAIN_ASSERT(paths.front().hops == first.hops,
+                       "unique path disagrees with BFS route");
+    }
+    return paths;
 }
 
 Route

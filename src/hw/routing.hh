@@ -3,12 +3,21 @@
  * Route computation over the topology graph.
  *
  * Routes are shortest paths (by hop count, deterministic id
- * tie-break) where only CPU IODs, NICs and the switch may act as
+ * tie-break) where only CPU IODs, NICs and switches may act as
  * transit vertices — GPUs, DRAM pools and NVMe drives are endpoints
  * only. This reproduces the paths real traffic takes on the XE8545:
  * GPU peers talk over direct NVLink, GPU-to-remote traffic goes
  * GPU -> PCIe -> CPU -> PCIe -> NIC -> switch -> ... (GPUDirect RDMA:
  * no DRAM hop), and cross-socket NIC access crosses the xGMI links.
+ *
+ * Multi-stage fabrics (fat-tree, spine-leaf; see hw/fabric.hh) offer
+ * several equal-cost shortest paths between a pair of endpoints. The
+ * router enumerates them and picks one per flow with deterministic
+ * ECMP: a hash of (src, dst, flow key, seed) — the same endpoints,
+ * key and seed always select the same path, so runs stay
+ * bit-reproducible. On a fabric with exactly one shortest path
+ * (notably the default single switch) ECMP degenerates to the plain
+ * route and changes nothing.
  *
  * Each computed route carries the SerDes-crossing analysis of
  * hw/serdes.hh and a resulting per-flow rate cap.
@@ -17,6 +26,8 @@
 #ifndef DSTRAIN_HW_ROUTING_HH
 #define DSTRAIN_HW_ROUTING_HH
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "hw/serdes.hh"
@@ -51,6 +62,13 @@ struct Route {
     bool valid() const { return !hops.empty(); }
 };
 
+/** ECMP behavior of a Router (defaults match hw/fabric.hh). */
+struct EcmpConfig {
+    bool enabled = true;          ///< spread over equal-cost paths
+    std::uint64_t seed = 1;       ///< mixed into the selection hash
+    int max_paths = 8;            ///< paths enumerated per pair
+};
+
 /**
  * Computes and caches routes over a fixed topology.
  *
@@ -64,11 +82,14 @@ class Router
      * @param topo the built topology.
      * @param model_serdes apply the SerDes degradation to route caps
      *        (crossings are still *reported* either way).
+     * @param ecmp equal-cost multipath behavior.
      */
-    explicit Router(const Topology &topo, bool model_serdes = true);
+    explicit Router(const Topology &topo, bool model_serdes = true,
+                    EcmpConfig ecmp = EcmpConfig{});
 
     /**
-     * Shortest route from @p src to @p dst.
+     * Shortest route from @p src to @p dst (the BFS-first path, no
+     * ECMP spreading).
      *
      * @param src source component (traffic origin).
      * @param dst destination component.
@@ -78,15 +99,34 @@ class Router
     const Route &route(ComponentId src, ComponentId dst) const;
 
     /**
-     * As route(), but forces the path through every component of
-     * @p waypoints, in order (the concatenation of the cached
-     * shortest-path segments between consecutive stops). Used for NIC
-     * pinning in multi-channel collectives and for fault reroutes.
-     * An empty waypoint list is a plain route(src, dst).
+     * Every equal-cost shortest path from @p src to @p dst, in
+     * deterministic (adjacency-order DFS) order, capped at the
+     * configured max_paths. When exactly one shortest path exists it
+     * is the plain route().
+     */
+    const std::vector<Route> &equalCostRoutes(ComponentId src,
+                                              ComponentId dst) const;
+
+    /**
+     * The route a flow keyed @p flow_key takes from @p src to
+     * @p dst: the plain route() when ECMP is off or only one
+     * shortest path exists, otherwise the equal-cost path selected
+     * by hashing (src, dst, flow_key, seed).
+     */
+    const Route &routeForFlow(ComponentId src, ComponentId dst,
+                              std::uint64_t flow_key) const;
+
+    /**
+     * As routeForFlow(), but forces the path through every component
+     * of @p waypoints, in order (the concatenation of the per-segment
+     * selections). Used for NIC pinning in multi-channel collectives
+     * and for fault reroutes. An empty waypoint list is a plain
+     * routeForFlow(src, dst, flow_key).
      */
     Route routeThrough(ComponentId src,
                        const std::vector<ComponentId> &waypoints,
-                       ComponentId dst) const;
+                       ComponentId dst,
+                       std::uint64_t flow_key = 0) const;
 
     /** routeThrough() with a single waypoint. */
     Route routeVia(ComponentId src, ComponentId via,
@@ -96,17 +136,38 @@ class Router
     Route routeVia2(ComponentId src, ComponentId via_a,
                     ComponentId via_b, ComponentId dst) const;
 
+    const EcmpConfig &ecmp() const { return ecmp_; }
+
   private:
     Route computeRoute(ComponentId src, ComponentId dst) const;
+
+    /** Enumerate the shortest-path DAG into explicit paths. */
+    std::vector<Route> computeEqualCost(ComponentId src,
+                                        ComponentId dst) const;
 
     /** Analyze crossings/latency/cap of a hop sequence. */
     Route finishRoute(std::vector<HalfLinkId> hops) const;
 
+    static std::uint64_t cacheKey(ComponentId src, ComponentId dst)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(src))
+                << 32) |
+               static_cast<std::uint32_t>(dst);
+    }
+
     const Topology &topo_;
     bool model_serdes_ = true;
-    /** Dense cache indexed [src * n + dst]; empty Route = not yet. */
-    mutable std::vector<Route> cache_;
-    mutable std::vector<bool> cached_;
+    EcmpConfig ecmp_;
+    /**
+     * Sparse route caches. Node-based maps keep returned references
+     * stable across later insertions; sparseness matters because a
+     * generated fabric can reach thousands of components, where a
+     * dense n^2 table would dwarf the topology itself.
+     */
+    mutable std::unordered_map<std::uint64_t, Route> cache_;
+    mutable std::unordered_map<std::uint64_t, std::vector<Route>>
+        ecmp_cache_;
 };
 
 } // namespace dstrain

@@ -16,19 +16,24 @@ fitsCluster(const TransformerConfig &cfg, const StrategyConfig &strategy,
 {
     validateStrategy(strategy);
     const MemoryFootprint fp =
-        computeFootprint(cfg, strategy, cluster.totalGpus(),
-                         cluster.nodes, batch_per_gpu, cal);
+        computeFootprint(cfg, strategy, cluster, batch_per_gpu, cal);
 
-    if (fp.gpu_per_gpu > cal.gpuBudget(cluster.node.gpu_memory))
-        return false;
-    if (fp.cpu_per_node > cluster.node.cpu_memory)
-        return false;
-    if (fp.nvme_per_node > 0.0) {
-        Bytes scratch = 0.0;
-        for (const NvmeDriveSpec &d : cluster.node.nvme_drives)
-            scratch += d.capacity;
-        if (fp.nvme_per_node > scratch)
+    // Heterogeneous clusters are judged by their weakest node: the
+    // per-node footprint is uniform across ranks, so the smallest
+    // budget binds (conservative for nodes with more headroom).
+    for (int n = 0; n < cluster.nodeCount(); ++n) {
+        const NodeSpec &node = cluster.nodeSpecOf(n);
+        if (fp.gpu_per_gpu > cal.gpuBudget(node.gpu_memory))
             return false;
+        if (fp.cpu_per_node > node.cpu_memory)
+            return false;
+        if (fp.nvme_per_node > 0.0) {
+            Bytes scratch = 0.0;
+            for (const NvmeDriveSpec &d : node.nvme_drives)
+                scratch += d.capacity;
+            if (fp.nvme_per_node > scratch)
+                return false;
+        }
     }
     return true;
 }
@@ -69,7 +74,7 @@ solveMaxModel(const StrategyConfig &strategy, const ClusterSpec &cluster,
     result.entry = largestLadderEntryAtMost(lo);
     result.footprint = computeFootprint(
         TransformerConfig::gpt2Like(result.entry.layers), strategy,
-        cluster.totalGpus(), cluster.nodes, batch_per_gpu, cal);
+        cluster, batch_per_gpu, cal);
     return result;
 }
 

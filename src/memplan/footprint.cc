@@ -30,21 +30,18 @@ megatronActivations(const TransformerConfig &cfg, int batch_per_gpu,
            activationBytesPerLayer(cfg, batch_per_gpu, mult);
 }
 
-} // namespace
-
+/** The shared core; @p gpus_per_node sizes the per-node CPU share. */
 MemoryFootprint
-computeFootprint(const TransformerConfig &cfg,
-                 const StrategyConfig &strategy, int total_gpus,
-                 int nodes, int batch_per_gpu,
-                 const MemoryCalibration &cal)
+computeFootprintShaped(const TransformerConfig &cfg,
+                       const StrategyConfig &strategy, int total_gpus,
+                       int nodes, int gpus_per_node, int batch_per_gpu,
+                       const MemoryCalibration &cal)
 {
-    DSTRAIN_ASSERT(total_gpus >= 1 && nodes >= 1 &&
-                       total_gpus % nodes == 0,
+    DSTRAIN_ASSERT(total_gpus >= 1 && nodes >= 1 && gpus_per_node >= 1,
                    "bad cluster shape: %d GPUs on %d nodes", total_gpus,
                    nodes);
     const double p = static_cast<double>(cfg.parameterCount());
     const int n = total_gpus;
-    const int gpus_per_node = total_gpus / nodes;
     const ModelStateBytes states = modelStateBytes(cfg.parameterCount());
 
     MemoryFootprint fp;
@@ -161,6 +158,37 @@ computeFootprint(const TransformerConfig &cfg,
 
     DSTRAIN_ASSERT(fp.gpu_per_gpu > 0.0, "footprint came out empty");
     return fp;
+}
+
+} // namespace
+
+MemoryFootprint
+computeFootprint(const TransformerConfig &cfg,
+                 const StrategyConfig &strategy, int total_gpus,
+                 int nodes, int batch_per_gpu,
+                 const MemoryCalibration &cal)
+{
+    DSTRAIN_ASSERT(total_gpus >= 1 && nodes >= 1 &&
+                       total_gpus % nodes == 0,
+                   "bad cluster shape: %d GPUs on %d nodes", total_gpus,
+                   nodes);
+    return computeFootprintShaped(cfg, strategy, total_gpus, nodes,
+                                  total_gpus / nodes, batch_per_gpu,
+                                  cal);
+}
+
+MemoryFootprint
+computeFootprint(const TransformerConfig &cfg,
+                 const StrategyConfig &strategy,
+                 const ClusterSpec &cluster, int batch_per_gpu,
+                 const MemoryCalibration &cal)
+{
+    int widest = 0;
+    for (int node = 0; node < cluster.nodeCount(); ++node)
+        widest = std::max(widest, cluster.nodeSpecOf(node).gpus);
+    return computeFootprintShaped(cfg, strategy, cluster.totalGpus(),
+                                  cluster.nodeCount(), widest,
+                                  batch_per_gpu, cal);
 }
 
 } // namespace dstrain

@@ -172,6 +172,19 @@ computeFootprint(const TransformerConfig &cfg,
                  int nodes, int batch_per_gpu,
                  const MemoryCalibration &cal = {});
 
+/**
+ * As above, but shaped by @p cluster: heterogeneous groups are
+ * allowed, and the per-node CPU footprint is sized for the node with
+ * the most GPUs (the conservative bound the capacity solver checks
+ * against every node's budget). On a homogeneous cluster this is
+ * exactly the int-shaped overload.
+ */
+MemoryFootprint
+computeFootprint(const TransformerConfig &cfg,
+                 const StrategyConfig &strategy,
+                 const ClusterSpec &cluster, int batch_per_gpu,
+                 const MemoryCalibration &cal = {});
+
 } // namespace dstrain
 
 #endif // DSTRAIN_MEMPLAN_FOOTPRINT_HH

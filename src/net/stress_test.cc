@@ -108,8 +108,9 @@ runRoceStressTest(const StressConfig &cfg)
                                               cfg.bucket);
     result.roce = summarizeClassBandwidth(topo, LinkClass::Roce, warmup,
                                           deadline, cfg.bucket);
-    // Two NICs per node, both directions.
-    result.roce_theoretical = 2.0 * 2.0 * spec.node.roce_per_dir;
+    // Every NIC on a node, both directions.
+    result.roce_theoretical = static_cast<double>(spec.node.nics) * 2.0 *
+                              spec.node.roce_per_dir;
     return result;
 }
 

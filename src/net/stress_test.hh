@@ -51,7 +51,8 @@ struct StressResult {
 };
 
 /**
- * Run the stress test on a fresh two-node XE8545 cluster.
+ * Run the stress test on a fresh two-node cluster built from the
+ * default node template (paper Sec. III-C used two XE8545 nodes).
  *
  * Four bidirectional streams (two per socket for CPU mode, one per
  * GPU for GPUDirect mode) saturate the fabric for cfg.duration.

@@ -54,8 +54,8 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
                    src);
     DSTRAIN_ASSERT(opts.rate_factor > 0.0 && opts.rate_factor <= 1.0,
                    "bad rate factor %g", opts.rate_factor);
-    Route route =
-        cluster_.router().routeThrough(src, opts.waypoints, dst);
+    Route route = cluster_.router().routeThrough(src, opts.waypoints,
+                                                 dst, opts.flow_key);
     const SimTime latency = route.latency;
     ++stats_.started;
     stats_.bytes_requested += bytes;
@@ -74,6 +74,7 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
         p.rate_cap = opts.rate_cap;
         p.rate_factor = opts.rate_factor;
         p.extra_resources = std::move(opts.extra_resources);
+        p.flow_key = opts.flow_key;
         p.tag = std::move(opts.tag);
         p.on_done = std::move(on_done);
         pending_.emplace(xid, std::move(p));
@@ -132,8 +133,8 @@ TransferManager::launchPending(std::uint64_t xid)
     if (it == pending_.end())
         return;  // completed while a relaunch was queued
     Pending &p = it->second;
-    Route route =
-        cluster_.router().routeThrough(p.src, p.waypoints, p.dst);
+    Route route = cluster_.router().routeThrough(p.src, p.waypoints,
+                                                 p.dst, p.flow_key);
     const Bps rate_cap = attemptRateCap(p.rate_cap, p.rate_factor, route);
 
     FlowSpec spec;
@@ -202,7 +203,8 @@ TransferManager::checkStranded()
         p.delivered += p.remaining - remaining;
         p.remaining = remaining;
         p.attempts += 1;
-        p.waypoints = alternateWaypoints(p.src, p.dst, p.waypoints);
+        p.waypoints =
+            alternateWaypoints(p.src, p.dst, p.waypoints, p.flow_key);
         ++stats_.reroutes;
         const SimTime delay =
             retry_.backoff *
@@ -285,10 +287,12 @@ TransferManager::verifyConservation() const
 std::vector<ComponentId>
 TransferManager::alternateWaypoints(
     ComponentId src, ComponentId dst,
-    const std::vector<ComponentId> &current) const
+    const std::vector<ComponentId> &current,
+    std::uint64_t flow_key) const
 {
     const Topology &topo = cluster_.topology();
-    Route failed = cluster_.router().routeThrough(src, current, dst);
+    Route failed =
+        cluster_.router().routeThrough(src, current, dst, flow_key);
     std::vector<ComponentId> next;
     bool swapped = false;
     for (HalfLinkId hid : failed.hops) {

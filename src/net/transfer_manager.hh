@@ -52,6 +52,14 @@ struct TransferOptions {
     /** Extra shared resources; see FlowSpec::extra_resources. */
     std::vector<ResourceId> extra_resources;
 
+    /**
+     * ECMP flow key: flows with different keys between the same
+     * endpoints may take different equal-cost paths on multipath
+     * fabrics (collectives pass the channel index). Deterministic:
+     * the same key always selects the same path.
+     */
+    std::uint64_t flow_key = 0;
+
     /** Debug label. */
     std::string tag;
 };
@@ -195,6 +203,7 @@ class TransferManager
         Bps rate_cap = 0.0;           ///< caller's explicit cap
         double rate_factor = 1.0;
         std::vector<ResourceId> extra_resources;
+        std::uint64_t flow_key = 0;   ///< ECMP key of every attempt
         std::string tag;
         std::function<void()> on_done;
         FlowId flow = 0;              ///< 0 = not currently flowing
@@ -219,7 +228,8 @@ class TransferManager
      */
     std::vector<ComponentId> alternateWaypoints(
         ComponentId src, ComponentId dst,
-        const std::vector<ComponentId> &current) const;
+        const std::vector<ComponentId> &current,
+        std::uint64_t flow_key) const;
 
     Simulation &sim_;
     Cluster &cluster_;

@@ -106,7 +106,7 @@ RecoveryManager::arm(const StrategyConfig &strategy, std::int64_t params)
     strategy_ = strategy;
     params_ = params;
     world_ = cluster_.spec().totalGpus();
-    node_alive_.assign(static_cast<std::size_t>(cluster_.spec().nodes),
+    node_alive_.assign(static_cast<std::size_t>(cluster_.nodeCount()),
                        true);
     executor_.setIterationHook(
         [this](int iter, SimTime now) { return onBoundary(iter, now); });
@@ -121,7 +121,7 @@ RecoveryManager::shardBytes(int rank) const
 int
 RecoveryManager::nextAliveNode(int node) const
 {
-    const int n = cluster_.spec().nodes;
+    const int n = cluster_.nodeCount();
     for (int step = 1; step < n; ++step) {
         const int candidate = (node + step) % n;
         if (node_alive_[static_cast<std::size_t>(candidate)])
@@ -252,7 +252,6 @@ RecoveryManager::issueRestoreReads(int dead_node,
         if (--*remaining == 0)
             (*shared_done)();
     };
-    const NodeSpec &node_spec = cluster_.spec().node;
     for (int r = 0; r < world_; ++r) {
         const Bytes shard = shardBytes(r);
         if (shard <= 0.0)
@@ -269,7 +268,7 @@ RecoveryManager::issueRestoreReads(int dead_node,
         // the next node's checkpoint mirror and ship it over the
         // fabric. The read's join token passes to the ship.
         const int local = cluster_.localOfRank(phys);
-        const int socket = gpuSocket(node_spec, local);
+        const int socket = gpuSocket(cluster_.nodeSpec(node), local);
         const int volume = executor_.placement().volumeForRank(local);
         const int mirror = nextAliveNode(dead_node);
         executor_.nodeStorageIo(
@@ -309,7 +308,7 @@ RecoveryManager::beginElastic(std::size_t event_index, SimTime fault_time)
                 rank_map_ = rank_map;
                 executor_.setPlanOverride(plan, std::move(rank_map),
                                           std::move(node_map));
-                world_ -= cluster_.spec().node.gpus;
+                world_ -= cluster_.gpusOfNode(dead_node);
                 DSTRAIN_ASSERT(world_ > 0, "no survivors to continue on");
                 finishRecovery(fault_time);
             };
@@ -320,7 +319,6 @@ RecoveryManager::beginElastic(std::size_t event_index, SimTime fault_time)
                     (*finish)();
             };
 
-            const NodeSpec &node_spec = cluster_.spec().node;
             int survivors = 0;
             for (const bool alive : node_alive_)
                 survivors += alive ? 1 : 0;
@@ -341,7 +339,8 @@ RecoveryManager::beginElastic(std::size_t event_index, SimTime fault_time)
                     continue;
                 }
                 const int local = cluster_.localOfRank(phys);
-                const int socket = gpuSocket(node_spec, local);
+                const int socket =
+                    gpuSocket(cluster_.nodeSpec(node), local);
                 const int volume =
                     executor_.placement().volumeForRank(local);
                 const int mirror = nextAliveNode(dead_node);
@@ -355,7 +354,7 @@ RecoveryManager::beginElastic(std::size_t event_index, SimTime fault_time)
                         const std::size_t s =
                             static_cast<std::size_t>(socket);
                         const Bytes share = shard / survivors;
-                        const int n = cluster_.spec().nodes;
+                        const int n = cluster_.nodeCount();
                         for (int t = 0; t < n; ++t) {
                             if (t == mirror ||
                                 !node_alive_[static_cast<std::size_t>(t)])

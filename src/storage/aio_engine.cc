@@ -66,6 +66,9 @@ AioEngine::submit(int drive_index, StorageIo io)
 
         TransferOptions opts;
         opts.tag = io.tag;
+        // model_serdes_contention is a whole-experiment ablation
+        // toggle, so the template spec is authoritative even on
+        // heterogeneous clusters.
         if (dev.socket() != io.socket &&
             tm_.cluster().spec().node.model_serdes_contention) {
             // Cross-socket storage stream: consumes the shared IOD

@@ -23,7 +23,7 @@ NvmeDevice::NvmeDevice(const Cluster &cluster, int node, int index,
     if (controller_ == kNoComponent || media_ == kNoComponent)
         fatal("node %d has no NVMe drive with index %d", node, index);
 
-    const auto &spec = cluster.spec().node;
+    const auto &spec = cluster.nodeSpec(node);
     DSTRAIN_ASSERT(index >= 0 &&
                        index < static_cast<int>(spec.nvme_drives.size()),
                    "drive index %d out of spec range", index);

@@ -139,7 +139,7 @@ ZeroInfinityStrategy::buildIteration(const PlanContext &ctx) const
     for (int r = 0; r < n; ++r) {
         const int node = cl.nodeOfRank(r);
         const int socket =
-            gpuSocket(cl.spec().node, cl.localOfRank(r));
+            gpuSocket(cl.nodeSpec(node), cl.localOfRank(r));
         const int vol = volume_of(r);
 
         int prev_read = -1;

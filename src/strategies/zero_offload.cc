@@ -97,7 +97,7 @@ ZeroOffloadStrategy::buildStage12(const PlanContext &ctx) const
     for (int r = 0; r < n; ++r) {
         const int node = cl.nodeOfRank(r);
         const int socket =
-            gpuSocket(cl.spec().node, cl.localOfRank(r));
+            gpuSocket(cl.nodeSpec(node), cl.localOfRank(r));
         const int adam = plan.cpuOptimizer(
             node, socket, params / n,
             rank_downloads[static_cast<std::size_t>(r)],
@@ -198,7 +198,7 @@ ZeroOffloadStrategy::buildStage3(const PlanContext &ctx) const
     for (int r = 0; r < n; ++r) {
         const int node = cl.nodeOfRank(r);
         const int socket =
-            gpuSocket(cl.spec().node, cl.localOfRank(r));
+            gpuSocket(cl.nodeSpec(node), cl.localOfRank(r));
         const int adam = plan.cpuOptimizer(
             node, socket, params / n,
             downloads[static_cast<std::size_t>(r)],

@@ -24,7 +24,7 @@ namespace dstrain {
  *
  * @code
  *   ArgParser args("dstrain", "simulate distributed LLM training");
- *   args.addOption("nodes", "1", "number of XE8545 nodes");
+ *   args.addOption("nodes", "1", "number of compute nodes");
  *   args.addFlag("csv", "emit CSV instead of tables");
  *   if (!args.parse(argc, argv)) return 1;   // help or error printed
  *   int nodes = args.getInt("nodes");

@@ -57,6 +57,35 @@ TEST(ConfigArgsTest, FaultSpecIsParsed)
     EXPECT_EQ(parsed.config.faults.events[1].target, "rank3");
 }
 
+TEST(ConfigArgsTest, FabricFlagIsParsed)
+{
+    const ArgParser args = parsedArgs(
+        {"--nodes", "8", "--fabric", "fat-tree:k=8,oversub=2"});
+    const ParsedExperiment parsed = experimentFromArgs(args);
+    ASSERT_TRUE(parsed.ok()) << formatConfigErrors(parsed.errors);
+    EXPECT_EQ(parsed.config.cluster.fabric.kind, FabricKind::FatTree);
+    EXPECT_EQ(parsed.config.cluster.fabric.fat_tree_k, 8);
+    EXPECT_DOUBLE_EQ(parsed.config.cluster.fabric.oversubscription,
+                     2.0);
+
+    const ArgParser bad = parsedArgs({"--fabric", "torus"});
+    EXPECT_FALSE(experimentFromArgs(bad).ok());
+}
+
+TEST(ConfigArgsTest, NodesSpecBuildsGroups)
+{
+    const ArgParser args = parsedArgs(
+        {"--nodes-spec", "2:gpus=4,nics=2;1:gpus=8,nics=4"});
+    const ParsedExperiment parsed = experimentFromArgs(args);
+    ASSERT_TRUE(parsed.ok()) << formatConfigErrors(parsed.errors);
+    ASSERT_EQ(parsed.config.cluster.groups.size(), 2u);
+    EXPECT_EQ(parsed.config.cluster.nodeCount(), 3);
+    EXPECT_EQ(parsed.config.cluster.totalGpus(), 16);
+
+    const ArgParser bad = parsedArgs({"--nodes-spec", "2:frobs=1"});
+    EXPECT_FALSE(experimentFromArgs(bad).ok());
+}
+
 TEST(ConfigArgsTest, ErrorsAreCollectedNotFatal)
 {
     const ArgParser args =

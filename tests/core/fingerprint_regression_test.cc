@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bit-identity regression oracle for the fabric refactor: the default
+ * single-switch fabric must reproduce the exact reports the seeded
+ * presets produced before the cluster builder was generalized.
+ *
+ * Each golden value is the FNV-1a-64 hash of reportFingerprint() for
+ * one preset run (3 iterations, 1 warmup), captured on the
+ * pre-refactor tree. A mismatch means the refactor changed simulated
+ * behavior — event order, link capacities, routing, anything — on the
+ * default topology, which it must never do.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/presets.hh"
+#include "core/report.hh"
+
+namespace dstrain {
+namespace {
+
+/** FNV-1a-64 of the report fingerprint (matches the capture tool). */
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+runHash(int nodes, const StrategyConfig &strategy, double billions)
+{
+    ExperimentConfig cfg = paperExperiment(nodes, strategy, billions);
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    const ExperimentReport report = runExperiment(std::move(cfg));
+    return fnv1a64(reportFingerprint(report));
+}
+
+TEST(FingerprintRegression, SingleNodeLineup)
+{
+    EXPECT_EQ(runHash(1, StrategyConfig::ddp(), 0.0),
+              0xdfff91522c6d7b5full);
+    EXPECT_EQ(runHash(1, paperMegatron(1), 0.0), 0x3ab98365ca0ec6b1ull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zero(1), 0.0),
+              0xff8b3880f5ea455eull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zero(2), 0.0),
+              0x2d50256a449d56e5ull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zero(3), 0.0),
+              0x9dd372e8dbae9ea5ull);
+}
+
+TEST(FingerprintRegression, DualNodeLineup)
+{
+    EXPECT_EQ(runHash(2, StrategyConfig::ddp(), 0.0),
+              0x0b7a72c8312a4dbeull);
+    EXPECT_EQ(runHash(2, paperMegatron(2), 0.0), 0x2a38f9b3622d8434ull);
+    EXPECT_EQ(runHash(2, StrategyConfig::zero(1), 0.0),
+              0x048a684eb2d7ce7aull);
+    EXPECT_EQ(runHash(2, StrategyConfig::zero(2), 0.0),
+              0x12e8a1145cc02716ull);
+    EXPECT_EQ(runHash(2, StrategyConfig::zero(3), 0.0),
+              0x250b601e5ae1fffdull);
+}
+
+TEST(FingerprintRegression, OffloadLineup)
+{
+    EXPECT_EQ(runHash(1, StrategyConfig::zeroOffloadCpu(2), 11.4),
+              0x814423b0ae56f9f4ull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zeroOffloadCpu(3), 11.4),
+              0x46410df434ac1935ull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zeroInfinityNvme(false), 11.4),
+              0x467b3fae12558dadull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zeroInfinityNvme(true), 11.4),
+              0x40904dd8ac2996c9ull);
+}
+
+TEST(FingerprintRegression, EcmpOffMatchesEcmpOnSingleSwitch)
+{
+    // Every route on the single-switch fabric has exactly one
+    // shortest path, so disabling ECMP must change nothing.
+    ExperimentConfig cfg =
+        paperExperiment(2, StrategyConfig::ddp(), 0.0);
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    cfg.cluster.fabric.ecmp = false;
+    const ExperimentReport report = runExperiment(std::move(cfg));
+    EXPECT_EQ(fnv1a64(reportFingerprint(report)),
+              0x0b7a72c8312a4dbeull);
+}
+
+} // namespace
+} // namespace dstrain

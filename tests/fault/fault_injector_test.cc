@@ -182,6 +182,43 @@ TEST_F(FaultInjectorTest, UnresolvableTargetDiesLoudly)
                  "n5.nic0");
 }
 
+TEST_F(FaultInjectorTest, FabricTargetsResolveOnTheDefaultCluster)
+{
+    // rail1 on the default two-node cluster: NIC 1's duplex uplink on
+    // each node = 4 directed RoCE resources.
+    const ExperimentReport rail =
+        runExperiment(faultedConfig("degrade@1+1:rail1:0.5"));
+    ASSERT_EQ(rail.faults.size(), 1u);
+    EXPECT_EQ(rail.faults[0].links.size(), 4u);
+
+    // sw0 is the only switch: everything RoCE hangs off it (2 nodes x
+    // 2 NICs x 2 directions).
+    const ExperimentReport sw =
+        runExperiment(faultedConfig("degrade@1+1:sw0:0.5"));
+    ASSERT_EQ(sw.faults.size(), 1u);
+    EXPECT_EQ(sw.faults[0].links.size(), 8u);
+
+    // The flat fabric has one rack holding both nodes, so the rack
+    // scope covers the same links as the bare class.
+    const ExperimentReport rack =
+        runExperiment(faultedConfig("degrade@1+1:roce/rack0:0.5"));
+    ASSERT_EQ(rack.faults.size(), 1u);
+    EXPECT_EQ(rack.faults[0].links.size(), 8u);
+}
+
+TEST_F(FaultInjectorTest, FabricTargetErrorsTeachTheNamespaces)
+{
+    EXPECT_DEATH(runExperiment(faultedConfig("degrade@1+1:rail7:0.5")),
+                 "valid target namespaces");
+    EXPECT_DEATH(runExperiment(faultedConfig("flap@1+1:sw9")),
+                 "valid target namespaces");
+    // An out-of-range rack gets the precise bound, not the generic
+    // namespace listing.
+    EXPECT_DEATH(
+        runExperiment(faultedConfig("degrade@1+1:roce/rack3:0.5")),
+        "no such rack");
+}
+
 TEST_F(FaultInjectorTest, InvalidPlanFailsValidation)
 {
     ExperimentConfig cfg = baseConfig();

@@ -169,6 +169,30 @@ TEST(FaultPlanTest, HardFaultsRejectDurationAndFraction)
     parseBad("nodedown@3:rank2");
 }
 
+TEST(FaultPlanTest, FabricTargetNamespacesParse)
+{
+    const FaultPlan plan = parseOk(
+        "degrade@1+1:rail1:0.3,flap@2+0.5:sw3,"
+        "degrade@1:roce/rack0:0.5");
+    ASSERT_EQ(plan.events.size(), 3u);
+    EXPECT_EQ(plan.events[0].target, "rail1");
+    EXPECT_EQ(plan.events[1].target, "sw3");
+    EXPECT_EQ(plan.events[2].target, "roce/rack0");
+}
+
+TEST(FaultPlanTest, FabricTargetNamespacesRejectBadSpellings)
+{
+    parseBad("degrade@1:rail:0.5");       // missing rail index
+    parseBad("degrade@1:roce/sw0:0.5");   // switch is not a scope
+    parseBad("flap@1:rack0");             // rack alone is no namespace
+    const auto errors = parseBad("degrade@1:bogus:0.5");
+    // The message teaches the namespaces (satellite of the fabric
+    // refactor: no bare "unknown target").
+    EXPECT_NE(errors[0].message.find("rail<r>"), std::string::npos);
+    EXPECT_NE(errors[0].message.find("sw<j>"), std::string::npos);
+    EXPECT_NE(errors[0].message.find("rack<k>"), std::string::npos);
+}
+
 TEST(FaultPlanTest, ValidateChecksRangesAndRetry)
 {
     FaultPlan plan;

@@ -106,6 +106,76 @@ TEST(ClusterTest, CustomDrivePlacementRespected)
     EXPECT_EQ(cluster.topology().component(drives[3]).socket, 1);
 }
 
+TEST(ClusterGroupsTest, HeterogeneousGroupsBuildAndIndex)
+{
+    ClusterSpec spec;
+    NodeGroup small;
+    small.count = 2;
+    small.node.gpus = 2;
+    NodeGroup big;
+    big.count = 1;
+    big.node.gpus = 4;
+    spec.groups = {small, big};
+
+    Cluster cluster(spec);
+    EXPECT_EQ(cluster.nodeCount(), 3);
+    EXPECT_EQ(cluster.spec().totalGpus(), 8);
+    EXPECT_EQ(cluster.gpusOfNode(0), 2);
+    EXPECT_EQ(cluster.gpusOfNode(2), 4);
+    EXPECT_EQ(cluster.nodeSpec(2).gpus, 4);
+
+    // Rank tables: node-major with per-node widths.
+    EXPECT_EQ(cluster.nodeOfRank(0), 0);
+    EXPECT_EQ(cluster.nodeOfRank(3), 1);
+    EXPECT_EQ(cluster.nodeOfRank(4), 2);
+    EXPECT_EQ(cluster.localOfRank(7), 3);
+    EXPECT_EQ(cluster.rankOf(2, 3), 7);
+    EXPECT_EQ(cluster.rankOf(1, 1), 3);
+    for (int r = 0; r < 8; ++r) {
+        EXPECT_EQ(cluster.rankOf(cluster.nodeOfRank(r),
+                                 cluster.localOfRank(r)),
+                  r);
+        EXPECT_EQ(cluster.rankOfGpu(cluster.gpuByRank(r)), r);
+    }
+}
+
+TEST(ClusterGroupsTest, PerGroupNicCountsReachTheFabric)
+{
+    ClusterSpec spec;
+    NodeGroup dense;
+    dense.count = 1;
+    dense.node.nics = 4;
+    dense.node.sockets = 2;
+    NodeGroup plain;
+    plain.count = 1;  // node defaults: 2 NICs
+    spec.groups = {dense, plain};
+    Cluster cluster(spec);
+    EXPECT_EQ(cluster.node(0).nics.size(), 4u);
+    EXPECT_EQ(cluster.node(1).nics.size(), 2u);
+}
+
+TEST(ClusterGroupsTest, ParseNodesSpec)
+{
+    std::vector<ConfigError> errors;
+    NodeSpec base;
+    const auto groups = parseNodesSpec(
+        "2:gpus=4,nics=2;1:gpus=8,nics=4,roce=50", base, &errors);
+    ASSERT_TRUE(errors.empty()) << formatConfigErrors(errors);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].count, 2);
+    EXPECT_EQ(groups[0].node.gpus, 4);
+    EXPECT_EQ(groups[1].count, 1);
+    EXPECT_EQ(groups[1].node.gpus, 8);
+    EXPECT_EQ(groups[1].node.nics, 4);
+    EXPECT_DOUBLE_EQ(groups[1].node.roce_per_dir, 50 * units::GBps);
+
+    parseNodesSpec("0:gpus=4", base, &errors);
+    EXPECT_FALSE(errors.empty());
+    errors.clear();
+    parseNodesSpec("2:frobs=4", base, &errors);
+    EXPECT_FALSE(errors.empty());
+}
+
 TEST(ClusterDeathTest, BadRankRejected)
 {
     Cluster cluster(ClusterSpec{});

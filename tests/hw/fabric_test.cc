@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the fabric generators: shapes, switch counts, failure
+ * domain labels, spec parsing and the single-switch default.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.hh"
+
+namespace dstrain {
+namespace {
+
+ClusterSpec
+specWithFabric(int nodes, FabricSpec fabric)
+{
+    ClusterSpec spec;
+    spec.nodes = nodes;
+    spec.fabric = fabric;
+    return spec;
+}
+
+TEST(FabricTest, SingleSwitchDefault)
+{
+    const Cluster cluster(specWithFabric(2, FabricSpec{}));
+    ASSERT_EQ(cluster.switches().size(), 1u);
+    EXPECT_EQ(cluster.fabric().rackCount(), 1);
+    EXPECT_EQ(cluster.rackOfNode(0), 0);
+    EXPECT_EQ(cluster.rackOfNode(1), 0);
+    EXPECT_EQ(cluster.fabric().rails, 0);
+    EXPECT_EQ(cluster.topology().component(cluster.ethernetSwitch()).name,
+              "sw0");
+}
+
+TEST(FabricTest, SingleNodeBuildsNoSwitch)
+{
+    const Cluster cluster(specWithFabric(1, FabricSpec{}));
+    EXPECT_TRUE(cluster.switches().empty());
+    EXPECT_EQ(cluster.ethernetSwitch(), kNoComponent);
+}
+
+TEST(FabricTest, FatTreeShape)
+{
+    FabricSpec fabric;
+    fabric.kind = FabricKind::FatTree;
+    fabric.fat_tree_k = 4;
+    // k=4, oversub=1: 2 hosts per edge; 8 nodes -> 4 edges -> 2 pods
+    // (2 edges each) -> 4 cores.
+    const Cluster cluster(specWithFabric(8, fabric));
+    // 2 pods x (2 edge + 2 agg) + 4 cores = 12 switches.
+    EXPECT_EQ(cluster.switches().size(), 12u);
+    EXPECT_EQ(cluster.fabric().rackCount(), 4);
+    EXPECT_EQ(cluster.rackOfNode(0), 0);
+    EXPECT_EQ(cluster.rackOfNode(1), 0);
+    EXPECT_EQ(cluster.rackOfNode(2), 1);
+    EXPECT_EQ(cluster.rackOfNode(7), 3);
+}
+
+TEST(FabricTest, FatTreeSinglePodSkipsCores)
+{
+    FabricSpec fabric;
+    fabric.kind = FabricKind::FatTree;
+    fabric.fat_tree_k = 4;
+    // 4 nodes -> 2 edges -> 1 pod: 2 edge + 2 agg, no cores.
+    const Cluster cluster(specWithFabric(4, fabric));
+    EXPECT_EQ(cluster.switches().size(), 4u);
+    EXPECT_EQ(cluster.fabric().rackCount(), 2);
+}
+
+TEST(FabricTest, FatTreeOversubscriptionPacksMoreHostsPerEdge)
+{
+    FabricSpec fabric;
+    fabric.kind = FabricKind::FatTree;
+    fabric.fat_tree_k = 4;
+    fabric.oversubscription = 2.0;  // 4 hosts per edge
+    const Cluster cluster(specWithFabric(8, fabric));
+    // 8 nodes -> 2 edges -> 1 pod: no cores.
+    EXPECT_EQ(cluster.switches().size(), 4u);
+    EXPECT_EQ(cluster.fabric().rackCount(), 2);
+    EXPECT_EQ(cluster.rackOfNode(3), 0);
+    EXPECT_EQ(cluster.rackOfNode(4), 1);
+}
+
+TEST(FabricTest, RailFabricOneSwitchPerNicIndex)
+{
+    FabricSpec fabric;
+    fabric.kind = FabricKind::Rail;
+    const Cluster cluster(specWithFabric(4, fabric));
+    // Default nodes carry 2 NICs -> 2 rail switches.
+    EXPECT_EQ(cluster.switches().size(), 2u);
+    EXPECT_EQ(cluster.fabric().rails, 2);
+    EXPECT_EQ(cluster.fabric().rackCount(), 1);
+}
+
+TEST(FabricTest, SpineLeafShape)
+{
+    FabricSpec fabric;
+    fabric.kind = FabricKind::SpineLeaf;
+    fabric.leaves = 2;
+    fabric.spines = 3;
+    const Cluster cluster(specWithFabric(4, fabric));
+    EXPECT_EQ(cluster.switches().size(), 5u);
+    // Nodes block-assigned to leaves; the leaf is the rack.
+    EXPECT_EQ(cluster.fabric().rackCount(), 2);
+    EXPECT_EQ(cluster.rackOfNode(0), 0);
+    EXPECT_EQ(cluster.rackOfNode(1), 0);
+    EXPECT_EQ(cluster.rackOfNode(2), 1);
+    EXPECT_EQ(cluster.rackOfNode(3), 1);
+}
+
+TEST(FabricTest, GeneratedFabricRunsTraffic)
+{
+    // A trunked fabric still routes host to host: GPU on node 0 to
+    // GPU on node 7 crosses edge -> agg (-> core -> agg) -> edge.
+    FabricSpec fabric;
+    fabric.kind = FabricKind::FatTree;
+    fabric.fat_tree_k = 4;
+    const Cluster cluster(specWithFabric(8, fabric));
+    const Route &r = cluster.router().route(cluster.gpuByRank(0),
+                                            cluster.gpuByRank(28));
+    // gpu-cpu-nic + edge/agg/core/agg/edge + nic-cpu-gpu = 10 hops.
+    EXPECT_EQ(r.hops.size(), 10u);
+    EXPECT_GT(r.rate_cap, 0.0);
+}
+
+TEST(FabricParseTest, RoundTrips)
+{
+    std::vector<ConfigError> errors;
+    const FabricSpec ft =
+        parseFabricSpec("fat-tree:k=8,oversub=2", &errors);
+    EXPECT_TRUE(errors.empty());
+    EXPECT_EQ(ft.kind, FabricKind::FatTree);
+    EXPECT_EQ(ft.fat_tree_k, 8);
+    EXPECT_DOUBLE_EQ(ft.oversubscription, 2.0);
+
+    const FabricSpec sl =
+        parseFabricSpec("spine-leaf:leaves=4,spines=2", &errors);
+    EXPECT_TRUE(errors.empty());
+    EXPECT_EQ(sl.kind, FabricKind::SpineLeaf);
+    EXPECT_EQ(sl.leaves, 4);
+    EXPECT_EQ(sl.spines, 2);
+
+    EXPECT_EQ(parseFabricSpec("single", &errors).kind,
+              FabricKind::SingleSwitch);
+    EXPECT_EQ(parseFabricSpec("rail", &errors).kind, FabricKind::Rail);
+    EXPECT_TRUE(errors.empty());
+}
+
+TEST(FabricParseTest, EcmpKeys)
+{
+    std::vector<ConfigError> errors;
+    const FabricSpec spec =
+        parseFabricSpec("fat-tree:k=4,ecmp=off,seed=7,paths=4",
+                        &errors);
+    EXPECT_TRUE(errors.empty());
+    EXPECT_FALSE(spec.ecmp);
+    EXPECT_EQ(spec.ecmp_seed, 7u);
+    EXPECT_EQ(spec.max_paths, 4);
+}
+
+TEST(FabricParseTest, RejectsBadSpecs)
+{
+    std::vector<ConfigError> errors;
+    parseFabricSpec("torus", &errors);
+    ASSERT_FALSE(errors.empty());
+    errors.clear();
+
+    parseFabricSpec("fat-tree:k=3", &errors);  // odd radix
+    EXPECT_FALSE(errors.empty());
+    errors.clear();
+
+    parseFabricSpec("single:k=4", &errors);  // key of another kind
+    EXPECT_FALSE(errors.empty());
+    errors.clear();
+
+    parseFabricSpec("spine-leaf:leaves=0", &errors);
+    EXPECT_FALSE(errors.empty());
+}
+
+TEST(FabricParseTest, SpecStringRoundTripsThroughStr)
+{
+    std::vector<ConfigError> errors;
+    const FabricSpec spec =
+        parseFabricSpec("fat-tree:k=8,oversub=2", &errors);
+    ASSERT_TRUE(errors.empty());
+    const FabricSpec again = parseFabricSpec(spec.str(), &errors);
+    EXPECT_TRUE(errors.empty());
+    EXPECT_EQ(again.kind, spec.kind);
+    EXPECT_EQ(again.fat_tree_k, spec.fat_tree_k);
+    EXPECT_DOUBLE_EQ(again.oversubscription, spec.oversubscription);
+}
+
+} // namespace
+} // namespace dstrain

@@ -145,6 +145,103 @@ TEST(RoutingAblationTest, SerdesAblationLiftsTheCaps)
     EXPECT_NEAR(r.rate_cap, 25e9 * 0.93, 1e6);
 }
 
+TEST(EcmpTest, SingleSwitchHasUniquePathsAndMatchesPlainRoute)
+{
+    ClusterSpec spec;
+    spec.nodes = 2;
+    Cluster cluster(spec);
+    const ComponentId src = cluster.gpuByRank(0);
+    const ComponentId dst = cluster.gpuByRank(4);
+    const auto &paths = cluster.router().equalCostRoutes(src, dst);
+    ASSERT_EQ(paths.size(), 1u);
+    // Degenerate ECMP must return the plain route's cache entry —
+    // the bit-identity guarantee for the default fabric.
+    for (std::uint64_t key = 0; key < 8; ++key) {
+        EXPECT_EQ(&cluster.router().routeForFlow(src, dst, key),
+                  &cluster.router().route(src, dst));
+    }
+}
+
+TEST(EcmpTest, SpineLeafEnumeratesOnePathPerSpine)
+{
+    ClusterSpec spec;
+    spec.nodes = 4;
+    spec.fabric.kind = FabricKind::SpineLeaf;
+    spec.fabric.leaves = 2;
+    spec.fabric.spines = 4;
+    Cluster cluster(spec);
+    // Ranks 0 and 12 live on nodes 0 and 3 — different leaves, so
+    // every spine offers one equal-cost path.
+    const ComponentId src = cluster.gpuByRank(0);
+    const ComponentId dst = cluster.gpuByRank(12);
+    const auto &paths = cluster.router().equalCostRoutes(src, dst);
+    EXPECT_EQ(paths.size(), 4u);
+    for (const Route &r : paths)
+        EXPECT_EQ(r.hops.size(),
+                  cluster.router().route(src, dst).hops.size());
+
+    // Same-leaf traffic has a unique path through the shared leaf.
+    EXPECT_EQ(cluster.router()
+                  .equalCostRoutes(cluster.gpuByRank(0),
+                                   cluster.gpuByRank(4))
+                  .size(),
+              1u);
+}
+
+TEST(EcmpTest, SelectionIsDeterministicAndKeyed)
+{
+    ClusterSpec spec;
+    spec.nodes = 4;
+    spec.fabric.kind = FabricKind::SpineLeaf;
+    spec.fabric.leaves = 2;
+    spec.fabric.spines = 4;
+    Cluster a(spec);
+    Cluster b(spec);
+    const int src_rank = 0;
+    const int dst_rank = 12;
+    bool spread = false;
+    for (std::uint64_t key = 0; key < 16; ++key) {
+        const Route &ra = a.router().routeForFlow(
+            a.gpuByRank(src_rank), a.gpuByRank(dst_rank), key);
+        const Route &rb = b.router().routeForFlow(
+            b.gpuByRank(src_rank), b.gpuByRank(dst_rank), key);
+        // Identical clusters pick identical paths for the same key.
+        ASSERT_EQ(ra.hops.size(), rb.hops.size());
+        for (std::size_t h = 0; h < ra.hops.size(); ++h)
+            EXPECT_EQ(ra.hops[h], rb.hops[h]);
+        // Repeat calls are stable.
+        EXPECT_EQ(&ra, &a.router().routeForFlow(a.gpuByRank(src_rank),
+                                                a.gpuByRank(dst_rank),
+                                                key));
+        if (ra.hops != a.router()
+                           .routeForFlow(a.gpuByRank(src_rank),
+                                         a.gpuByRank(dst_rank), 0)
+                           .hops) {
+            spread = true;
+        }
+    }
+    // 16 keys over 4 equal-cost paths: the hash must not collapse
+    // every flow onto one spine.
+    EXPECT_TRUE(spread);
+}
+
+TEST(EcmpTest, DisabledEcmpFallsBackToPlainRoutes)
+{
+    ClusterSpec spec;
+    spec.nodes = 4;
+    spec.fabric.kind = FabricKind::SpineLeaf;
+    spec.fabric.leaves = 2;
+    spec.fabric.spines = 4;
+    spec.fabric.ecmp = false;
+    Cluster cluster(spec);
+    const ComponentId src = cluster.gpuByRank(0);
+    const ComponentId dst = cluster.gpuByRank(12);
+    for (std::uint64_t key = 0; key < 8; ++key) {
+        EXPECT_EQ(&cluster.router().routeForFlow(src, dst, key),
+                  &cluster.router().route(src, dst));
+    }
+}
+
 TEST(RoutingDeathTest, SelfRouteRejected)
 {
     Cluster cluster(ClusterSpec{});

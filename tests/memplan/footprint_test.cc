@@ -31,6 +31,42 @@ TEST(FootprintTest, DdpHoldsEverythingPerGpu)
     EXPECT_DOUBLE_EQ(f.nvme_per_node, 0.0);
 }
 
+TEST(FootprintTest, HeterogeneousClusterSizedByWidestNode)
+{
+    // 2x4-GPU + 1x8-GPU nodes: 16 GPUs on 3 nodes does not divide
+    // evenly, so the shape must come from the cluster spec — and the
+    // per-node CPU share is sized for the 8-GPU node (the bound the
+    // capacity solver checks against every node's budget).
+    ClusterSpec cluster;
+    NodeGroup small;
+    small.count = 2;
+    small.node.gpus = 4;
+    NodeGroup big;
+    big.count = 1;
+    big.node.gpus = 8;
+    cluster.groups = {small, big};
+    ASSERT_EQ(cluster.totalGpus(), 16);
+
+    const auto cfg = TransformerConfig::gpt2Like(26);
+    const MemoryFootprint het = computeFootprint(
+        cfg, StrategyConfig::zero(3), cluster, 16, kCal);
+    ClusterSpec uniform;
+    uniform.nodes = 2;
+    uniform.node.gpus = 8;
+    const MemoryFootprint wide = computeFootprint(
+        cfg, StrategyConfig::zero(3), uniform, 16, kCal);
+    // Same world size is not required for the CPU share: it tracks
+    // the widest node's rank count.
+    EXPECT_DOUBLE_EQ(het.cpu_per_node, wide.cpu_per_node);
+
+    // Homogeneous spec: both overloads agree exactly.
+    const MemoryFootprint by_ints = computeFootprint(
+        cfg, StrategyConfig::zero(3), 16, 2, 16, kCal);
+    EXPECT_DOUBLE_EQ(wide.gpu_per_gpu, by_ints.gpu_per_gpu);
+    EXPECT_DOUBLE_EQ(wide.cpu_per_node, by_ints.cpu_per_node);
+    EXPECT_DOUBLE_EQ(wide.nvme_per_node, by_ints.nvme_per_node);
+}
+
 TEST(FootprintTest, ZeroStagesShrinkPerGpuBytes)
 {
     const int layers = 56;  // 2.9B

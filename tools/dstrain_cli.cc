@@ -358,7 +358,8 @@ runCli(int argc, const char *const *argv)
 {
     ArgParser args(
         "dstrain",
-        "simulate distributed LLM training on an XE8545-class cluster");
+        "simulate distributed LLM training on a configurable GPU "
+        "cluster (default: XE8545 nodes behind one switch)");
     addExperimentOptions(args);
     args.addOption("trace", "",
                    "write a chrome://tracing JSON of the final "
