@@ -1,18 +1,22 @@
 /**
  * @file
  * JSON-emitting micro-benchmark of the simulator hot paths: the
- * flow scheduler's water-filling (dense contended scenario), the
- * event queue's schedule/cancel/pop churn, and the SweepRunner's
- * jobs=1 vs jobs=N wall-clock on a small experiment sweep (with a
- * byte-identity check of the two result sets).
+ * flow scheduler's fair-share solving (dense contended scenarios
+ * under both the region-scoped and the global solver), the event
+ * queue's schedule/cancel/pop churn, and the SweepRunner's jobs=1 vs
+ * jobs=N wall-clock on a small experiment sweep (with a byte-identity
+ * check of the two result sets).
  *
  * Output is one JSON object per line so the bench trajectory can be
  * recorded and diffed across revisions:
  *
  *   ./micro_flow_scheduler [--jobs N] [--waves W] [--per-wave F]
+ *                          [--big-waves W] [--big-per-wave F]
+ *                          [--skip-sweep]
  */
 
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hh"
 #include "core/sweep_runner.hh"
@@ -23,6 +27,39 @@ using namespace dstrain;
 
 namespace {
 
+const char *
+solverName(FlowSolverMode mode)
+{
+    return mode == FlowSolverMode::Region ? "region" : "global";
+}
+
+/** Region-solver telemetry shared by every scheduler scenario. */
+void
+addSolverStats(bench::JsonObject &json, const FlowScheduler &sched)
+{
+    const FlowScheduler::Stats &stats = sched.stats();
+    json.add("solver", std::string(solverName(sched.solverMode())))
+        .add("recomputes", stats.recomputes)
+        .add("fast_starts", stats.fast_starts)
+        .add("fast_finishes", stats.fast_finishes)
+        .add("rate_updates", stats.rate_updates)
+        .add("region_solves", stats.region_solves)
+        .add("region_peak", stats.region_peak)
+        .add("region_avg_flows",
+             stats.region_solves
+                 ? static_cast<double>(stats.region_flows) /
+                       static_cast<double>(stats.region_solves)
+                 : 0.0);
+    // Histogram bucket k counts region solves with [2^k, 2^(k+1))
+    // flows; rendered as a JSON array aligned with bucket index.
+    std::ostringstream hist;
+    hist << "[";
+    for (std::size_t k = 0; k < FlowScheduler::kRegionHistBuckets; ++k)
+        hist << (k ? "," : "") << stats.region_hist[k];
+    hist << "]";
+    json.addRaw("region_hist", hist.str());
+}
+
 /**
  * Dense-flow scenario: waves of contending flows across the
  * dual-node cluster, so completions and admissions constantly
@@ -30,12 +67,12 @@ namespace {
  * incremental paths.
  */
 bench::JsonObject
-denseFlowScenario(int waves, int per_wave)
+denseFlowScenario(int waves, int per_wave, FlowSolverMode mode)
 {
     bench::Stopwatch watch;
     Simulation sim;
     Cluster cluster(xe8545Cluster(2));
-    FlowScheduler sched(sim, cluster.topology());
+    FlowScheduler sched(sim, cluster.topology(), mode);
 
     int done = 0;
     for (int w = 0; w < waves; ++w) {
@@ -56,19 +93,14 @@ denseFlowScenario(int waves, int per_wave)
     }
     sim.run();
     const double secs = watch.seconds();
-    const FlowScheduler::Stats &stats = sched.stats();
 
     bench::JsonObject json;
     json.add("scenario", std::string("dense_flows"))
         .add("flows", done)
         .add("events", sim.events().executedCount())
         .add("wall_seconds", secs)
-        .add("events_per_sec", sim.events().executedCount() / secs)
-        .add("recomputes", stats.recomputes)
-        .add("recomputes_per_sec", stats.recomputes / secs)
-        .add("fast_starts", stats.fast_starts)
-        .add("fast_finishes", stats.fast_finishes)
-        .add("rate_updates", stats.rate_updates);
+        .add("events_per_sec", sim.events().executedCount() / secs);
+    addSolverStats(json, sched);
     return json;
 }
 
@@ -78,11 +110,11 @@ denseFlowScenario(int waves, int per_wave)
  * uplinks per node, each duplex), with waves of cross-leaf flows
  * spread over the trunks by per-flow ECMP. Tracks events/sec on a
  * link set two orders of magnitude denser than the dual-node
- * scenario, so regressions in the water-filling's per-link work show
- * up here first.
+ * scenario; the region solver's win over the global pass shows up
+ * here first.
  */
 bench::JsonObject
-spineLeafScenario(int waves, int per_wave)
+spineLeafScenario(int waves, int per_wave, FlowSolverMode mode)
 {
     bench::Stopwatch watch;
     Simulation sim;
@@ -92,7 +124,7 @@ spineLeafScenario(int waves, int per_wave)
     spec.fabric.spines = 16;
     const int world = spec.totalGpus();
     Cluster cluster(std::move(spec));
-    FlowScheduler sched(sim, cluster.topology());
+    FlowScheduler sched(sim, cluster.topology(), mode);
     int done = 0;
     for (int w = 0; w < waves; ++w) {
         sim.events().schedule(w * 0.01, [&, w] {
@@ -115,7 +147,6 @@ spineLeafScenario(int waves, int per_wave)
     }
     sim.run();
     const double secs = watch.seconds();
-    const FlowScheduler::Stats &stats = sched.stats();
 
     bench::JsonObject json;
     json.add("scenario", std::string("spine_leaf_dense"))
@@ -125,12 +156,64 @@ spineLeafScenario(int waves, int per_wave)
         .add("flows", done)
         .add("events", sim.events().executedCount())
         .add("wall_seconds", secs)
-        .add("events_per_sec", sim.events().executedCount() / secs)
-        .add("recomputes", stats.recomputes)
-        .add("recomputes_per_sec", stats.recomputes / secs)
-        .add("fast_starts", stats.fast_starts)
-        .add("fast_finishes", stats.fast_finishes)
-        .add("rate_updates", stats.rate_updates);
+        .add("events_per_sec", sim.events().executedCount() / secs);
+    addSolverStats(json, sched);
+    return json;
+}
+
+/**
+ * O(10^4)-link fat-tree scenario: 256 XE8545 nodes on a k=16 fat
+ * tree (4 pods, 32 edge + 32 agg + 64 core switches, >10^4 directed
+ * links), with waves of cross-pod flows ECMP-spread over the core.
+ * Intractable under the global solver at this size — every event
+ * would re-waterfill a thousand flows — so this scenario is the
+ * region solver's existence proof: per-event cost tracks the region
+ * (a few flows around two edge switches), not the cluster.
+ */
+bench::JsonObject
+fatTree10kScenario(int waves, int per_wave, FlowSolverMode mode)
+{
+    bench::Stopwatch watch;
+    Simulation sim;
+    ClusterSpec spec = xe8545Cluster(256);
+    spec.fabric.kind = FabricKind::FatTree;
+    spec.fabric.fat_tree_k = 16;
+    const int world = spec.totalGpus();
+    Cluster cluster(std::move(spec));
+    FlowScheduler sched(sim, cluster.topology(), mode);
+    int done = 0;
+    for (int w = 0; w < waves; ++w) {
+        sim.events().schedule(w * 0.01, [&, w] {
+            for (int i = 0; i < per_wave; ++i) {
+                FlowSpec spec;
+                const int src = (i * 13 + w * 7) % world;
+                // Jump half the world: src and dst land in different
+                // pods, so the flow crosses edge, agg and core tiers.
+                int dst = (src + world / 2 + i) % world;
+                if (dst == src)
+                    dst = (dst + 1) % world;
+                spec.route = cluster.router().routeForFlow(
+                    cluster.gpuByRank(src), cluster.gpuByRank(dst),
+                    static_cast<std::uint64_t>(i * 31 + w));
+                spec.bytes = 1e8 + 1e6 * i;
+                spec.on_complete = [&done] { ++done; };
+                sched.start(std::move(spec));
+            }
+        });
+    }
+    sim.run();
+    const double secs = watch.seconds();
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("fat_tree_10k"))
+        .add("links", cluster.topology().halfLinkCount())
+        .add("switches",
+             static_cast<std::uint64_t>(cluster.switches().size()))
+        .add("flows", done)
+        .add("events", sim.events().executedCount())
+        .add("wall_seconds", secs)
+        .add("events_per_sec", sim.events().executedCount() / secs);
+    addSolverStats(json, sched);
     return json;
 }
 
@@ -222,21 +305,40 @@ main(int argc, char **argv)
                    "thread)");
     args.addOption("waves", "60", "dense-flow scenario waves");
     args.addOption("per-wave", "64", "flows per wave");
+    args.addOption("big-waves", "12", "fat_tree_10k scenario waves");
+    args.addOption("big-per-wave", "24",
+                   "fat_tree_10k flows per wave");
+    args.addFlag("skip-sweep",
+                 "skip the SweepRunner jobs comparison (slowest "
+                 "scenario; sanitizer smoke runs)");
     if (!args.parse(argc, argv))
         return 1;
 
     setLogLevel(LogLevel::Silent);  // keep stdout pure JSON
-    std::cout << denseFlowScenario(args.getInt("waves"),
-                                   args.getInt("per-wave"))
-                     .str()
-              << "\n";
-    std::cout << spineLeafScenario(args.getInt("waves"),
-                                   args.getInt("per-wave"))
+    const int waves = args.getInt("waves");
+    const int per_wave = args.getInt("per-wave");
+    // Region (the default) and Global on the same workloads: the
+    // events/sec ratio in the JSONL is the solver speedup.
+    for (FlowSolverMode mode :
+         {FlowSolverMode::Region, FlowSolverMode::Global}) {
+        std::cout << denseFlowScenario(waves, per_wave, mode).str()
+                  << "\n";
+        std::cout << spineLeafScenario(waves, per_wave, mode).str()
+                  << "\n";
+    }
+    // The O(10^4)-link scenario runs region-only: the global pass at
+    // this scale is exactly the cost this PR removes.
+    std::cout << fatTree10kScenario(args.getInt("big-waves"),
+                                    args.getInt("big-per-wave"),
+                                    FlowSolverMode::Region)
                      .str()
               << "\n";
     std::cout << eventQueueChurn().str() << "\n";
-    std::cout << sweepComparison(SweepRunner(args.getInt("jobs")).jobs())
-                     .str()
-              << "\n";
+    if (!args.getFlag("skip-sweep")) {
+        std::cout << sweepComparison(
+                         SweepRunner(args.getInt("jobs")).jobs())
+                         .str()
+                  << "\n";
+    }
     return 0;
 }

@@ -85,6 +85,12 @@ addExperimentOptions(ArgParser &args)
         "every-k-iterations, or 'off'");
     args.addOption("recovery", "restart",
                    "hard-fault recovery policy: restart | elastic");
+    args.addOption("flow-solver", "region",
+                   "fair-share solver: region (scoped incremental) | "
+                   "global (full-pass oracle)");
+    args.addFlag("verify-fair-share",
+                 "run the global oracle after every scheduler event "
+                 "and abort on any bitwise rate divergence (slow)");
     args.addFlag("retain-segments",
                  "keep the full rate-log history instead of the "
                  "streaming bucket accumulators (more memory)");
@@ -139,6 +145,19 @@ experimentFromArgs(const ArgParser &args)
     out.config.telemetry.bucket = args.getDouble("bucket");
     out.config.telemetry.retain_segments =
         args.getFlag("retain-segments");
+
+    const std::string solver = args.get("flow-solver");
+    if (solver == "region") {
+        out.config.flow_solver = FlowSolverMode::Region;
+    } else if (solver == "global") {
+        out.config.flow_solver = FlowSolverMode::Global;
+    } else {
+        out.errors.push_back(
+            {"flow-solver",
+             csprintf("unknown solver '%s' (expected region | global)",
+                      solver.c_str())});
+    }
+    out.config.verify_fair_share = args.getFlag("verify-fair-share");
 
     if (!args.get("faults").empty())
         out.config.faults =

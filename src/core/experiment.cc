@@ -157,7 +157,9 @@ Experiment::Experiment(ExperimentConfig cfg)
 
     sim_ = std::make_unique<Simulation>(cfg_.seed);
     cluster_ = std::make_unique<Cluster>(cfg_.cluster);
-    flows_ = std::make_unique<FlowScheduler>(*sim_, cluster_->topology());
+    flows_ = std::make_unique<FlowScheduler>(*sim_, cluster_->topology(),
+                                             cfg_.flow_solver,
+                                             cfg_.verify_fair_share);
     tm_ = std::make_unique<TransferManager>(*sim_, *cluster_, *flows_);
     coll_ = std::make_unique<CollectiveEngine>(*tm_);
     aio_ = std::make_unique<AioEngine>(*tm_);

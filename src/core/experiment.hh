@@ -23,6 +23,7 @@
 
 #include "engine/executor.hh"
 #include "fault/fault_injector.hh"
+#include "net/flow_scheduler.hh"
 #include "memplan/capacity_solver.hh"
 #include "memplan/composition.hh"
 #include "recovery/recovery_manager.hh"
@@ -85,6 +86,21 @@ struct ExperimentConfig {
     RecoveryConfig recovery;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Fair-share solver mode. Region (the default) re-solves only the
+     * contention region an event touches; Global runs the full
+     * water-filling oracle on every event. Both are bit-identical;
+     * Global exists as the reference and for perf comparison.
+     */
+    FlowSolverMode flow_solver = FlowSolverMode::Region;
+
+    /**
+     * Debug cross-check: run the global oracle after every scheduler
+     * event and fatal() if any flow's rate differs bitwise from the
+     * region solver's. Slow; use for fuzzing and CI smoke, not runs.
+     */
+    bool verify_fair_share = false;
 
     /**
      * Check every field for structural validity; empty result = OK.

@@ -323,6 +323,10 @@ FaultInjector::apply(std::size_t i)
         snaps_[i].push_back(s);
         pushFraction(rid, fraction);
     }
+    // One batched capacity update — and thus at most one fair-share
+    // solve — for the whole failure domain (a switch or rail fault
+    // can scale hundreds of links in one event).
+    updateCapacities(r.rids);
     // Record the capacities that resulted (overlap-aware).
     for (std::size_t k = 0; k < r.rids.size(); ++k) {
         const Resource &res = topo.resource(r.rids[k]);
@@ -383,6 +387,7 @@ FaultInjector::restore(std::size_t i)
         s.at_restore = topo.resource(s.rid).log.bytesThrough(now);
     for (ResourceId rid : r.rids)
         popFraction(rid, fraction);
+    updateCapacities(r.rids);
 
     if (r.rank >= 0) {
         auto &v = gpu_active_[static_cast<std::size_t>(r.rank)];
@@ -418,6 +423,7 @@ FaultInjector::restoreHard(std::size_t i)
         s.at_restore = topo.resource(s.rid).log.bytesThrough(now);
     for (ResourceId rid : r.rids)
         popFraction(rid, 0.0);
+    updateCapacities(r.rids);
 
     inform("hardware replaced: %s healthy at t=%s", ev.target.c_str(),
            formatTime(now).c_str());
@@ -427,7 +433,6 @@ void
 FaultInjector::pushFraction(ResourceId rid, double fraction)
 {
     active_[static_cast<std::size_t>(rid)].push_back(fraction);
-    updateCapacity(rid);
 }
 
 void
@@ -437,17 +442,27 @@ FaultInjector::popFraction(ResourceId rid, double fraction)
     auto it = std::find(v.begin(), v.end(), fraction);
     DSTRAIN_ASSERT(it != v.end(), "restore without matching apply");
     v.erase(it);
-    updateCapacity(rid);
 }
 
 void
-FaultInjector::updateCapacity(ResourceId rid)
+FaultInjector::updateCapacities(const std::vector<ResourceId> &rids)
 {
-    double fraction = 1.0;
-    for (double f : active_[static_cast<std::size_t>(rid)])
-        fraction = std::min(fraction, f);
-    const Resource &res = cluster_.topology().resource(rid);
-    flows_.setCapacity(rid, res.nominal_capacity * fraction);
+    if (rids.empty())
+        return;
+    // Re-derive each target capacity from the active fault fractions
+    // (min across overlapping windows), then hand the whole set to
+    // the scheduler as one batch: one capacity_updates count, one
+    // fair-share solve.
+    cap_batch_.clear();
+    const Topology &topo = cluster_.topology();
+    for (ResourceId rid : rids) {
+        double fraction = 1.0;
+        for (double f : active_[static_cast<std::size_t>(rid)])
+            fraction = std::min(fraction, f);
+        cap_batch_.emplace_back(
+            rid, topo.resource(rid).nominal_capacity * fraction);
+    }
+    flows_.setCapacities(cap_batch_);
 }
 
 void

@@ -21,6 +21,7 @@
 #ifndef DSTRAIN_FAULT_FAULT_INJECTOR_HH
 #define DSTRAIN_FAULT_FAULT_INJECTOR_HH
 
+#include <utility>
 #include <vector>
 
 #include "engine/executor.hh"
@@ -136,12 +137,18 @@ class FaultInjector
     void apply(std::size_t i);
     void restore(std::size_t i);
 
-    /** (De)activate @p fraction on a resource; min across overlaps. */
+    /** (De)activate @p fraction on a resource (bookkeeping only; the
+     * capacity takes effect via updateCapacities()). */
     void pushFraction(ResourceId rid, double fraction);
     void popFraction(ResourceId rid, double fraction);
 
-    /** Re-derive and set a resource's capacity from active faults. */
-    void updateCapacity(ResourceId rid);
+    /**
+     * Re-derive the capacities of @p rids from their active fault
+     * fractions and apply them as one FlowScheduler::setCapacities()
+     * batch — a multi-link fault event triggers one solve, not one
+     * per link.
+     */
+    void updateCapacities(const std::vector<ResourceId> &rids);
 
     /** Re-derive a rank's straggler factor / the aio latency factor. */
     void updateGpu(int rank);
@@ -165,6 +172,9 @@ class FaultInjector
     std::vector<std::vector<double>> gpu_active_;
     /** Active NVMe fractions (latency factor = 1 / min). */
     std::vector<double> nvme_active_;
+
+    /** Reusable batch buffer for updateCapacities(). */
+    std::vector<std::pair<ResourceId, Bps>> cap_batch_;
 
     /** Sink for applied hard faults (the RecoveryManager). */
     std::function<void(std::size_t)> hard_handler_;

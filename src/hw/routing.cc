@@ -151,45 +151,98 @@ Router::routeVia2(ComponentId src, ComponentId via_a, ComponentId via_b,
     return routeThrough(src, {via_a, via_b}, dst);
 }
 
-Route
-Router::computeRoute(ComponentId src, ComponentId dst) const
+const Router::SourceTree &
+Router::sourceTree(ComponentId src) const
 {
+    auto it = tree_cache_.find(src);
+    if (it != tree_cache_.end())
+        return it->second;
+
     // Plain BFS: hop count metric, deterministic order because
     // adjacency lists are in insertion order and the queue is FIFO.
+    // Non-transit components get their first-visit edge and level
+    // recorded but are never enqueued — a per-destination BFS enters
+    // its (non-transit) dst the same way, so the tree serves every
+    // destination at once, bit-identically.
     const std::size_t n = topo_.componentCount();
-    std::vector<HalfLinkId> via(n, -1);
-    std::vector<bool> seen(n, false);
+    SourceTree tree;
+    tree.via.assign(n, -1);
+    tree.dist.assign(n, std::numeric_limits<int>::max());
     std::deque<ComponentId> queue;
 
-    seen[static_cast<std::size_t>(src)] = true;
+    tree.dist[static_cast<std::size_t>(src)] = 0;
     queue.push_back(src);
-    bool found = false;
-    while (!queue.empty() && !found) {
+    while (!queue.empty()) {
         ComponentId cur = queue.front();
         queue.pop_front();
         for (HalfLinkId hid : topo_.outgoing(cur)) {
             const HalfLink &hl = topo_.halfLink(hid);
             ComponentId next = hl.to;
-            if (seen[static_cast<std::size_t>(next)])
+            if (tree.dist[static_cast<std::size_t>(next)] !=
+                std::numeric_limits<int>::max()) {
                 continue;
-            if (next != dst && !isTransit(topo_.component(next).kind))
-                continue;
-            seen[static_cast<std::size_t>(next)] = true;
-            via[static_cast<std::size_t>(next)] = hid;
-            if (next == dst) {
-                found = true;
-                break;
             }
-            queue.push_back(next);
+            tree.dist[static_cast<std::size_t>(next)] =
+                tree.dist[static_cast<std::size_t>(cur)] + 1;
+            tree.via[static_cast<std::size_t>(next)] = hid;
+            if (isTransit(topo_.component(next).kind))
+                queue.push_back(next);
+        }
+    }
+    return tree_cache_.emplace(src, std::move(tree)).first->second;
+}
+
+const std::vector<int> &
+Router::distToDst(ComponentId dst) const
+{
+    auto it = rev_dist_cache_.find(dst);
+    if (it != rev_dist_cache_.end())
+        return it->second;
+
+    const std::size_t n = topo_.componentCount();
+    if (incoming_.empty()) {
+        incoming_.resize(n);
+        for (std::size_t i = 0; i < topo_.halfLinkCount(); ++i) {
+            const HalfLinkId hid = static_cast<HalfLinkId>(i);
+            incoming_[static_cast<std::size_t>(topo_.halfLink(hid).to)]
+                .push_back(hid);
         }
     }
 
-    if (!found)
+    // BFS from dst over reversed edges; interior nodes must be
+    // transit, mirroring the forward traversal's filter.
+    std::vector<int> dist(n, std::numeric_limits<int>::max());
+    std::deque<ComponentId> queue;
+    dist[static_cast<std::size_t>(dst)] = 0;
+    queue.push_back(dst);
+    while (!queue.empty()) {
+        ComponentId cur = queue.front();
+        queue.pop_front();
+        for (HalfLinkId hid : incoming_[static_cast<std::size_t>(cur)]) {
+            ComponentId prev = topo_.halfLink(hid).from;
+            if (dist[static_cast<std::size_t>(prev)] !=
+                std::numeric_limits<int>::max()) {
+                continue;
+            }
+            dist[static_cast<std::size_t>(prev)] =
+                dist[static_cast<std::size_t>(cur)] + 1;
+            if (isTransit(topo_.component(prev).kind))
+                queue.push_back(prev);
+        }
+    }
+    return rev_dist_cache_.emplace(dst, std::move(dist)).first->second;
+}
+
+Route
+Router::computeRoute(ComponentId src, ComponentId dst) const
+{
+    const SourceTree &tree = sourceTree(src);
+    if (tree.via[static_cast<std::size_t>(dst)] < 0)
         return Route{};
 
     std::vector<HalfLinkId> hops;
     for (ComponentId cur = dst; cur != src;) {
-        HalfLinkId hid = via[static_cast<std::size_t>(cur)];
+        HalfLinkId hid = tree.via[static_cast<std::size_t>(cur)];
         DSTRAIN_ASSERT(hid >= 0, "broken BFS back-pointer");
         hops.push_back(hid);
         cur = topo_.halfLink(hid).from;
@@ -205,32 +258,14 @@ Router::computeEqualCost(ComponentId src, ComponentId dst) const
     // length through the plain cache first.
     const Route &first = route(src, dst);
 
-    // BFS level assignment over the transit-filtered graph: dist[v]
-    // is the shortest hop count src -> v. The union of edges with
-    // dist[to] == dist[from] + 1 is the shortest-path DAG.
-    const std::size_t n = topo_.componentCount();
+    // The shortest-path DAG: the union of edges with
+    // dist[to] == dist[from] + 1, taken from the per-source tree.
+    // Levels strictly increase along any shortest path, so paths
+    // routed *through* dst would need dist > target and are excluded
+    // by the level checks below — no per-destination BFS needed.
     constexpr int kUnreached = std::numeric_limits<int>::max();
-    std::vector<int> dist(n, kUnreached);
-    std::deque<ComponentId> queue;
-    dist[static_cast<std::size_t>(src)] = 0;
-    queue.push_back(src);
-    while (!queue.empty()) {
-        ComponentId cur = queue.front();
-        queue.pop_front();
-        if (cur == dst)
-            continue;  // paths end at dst; never transit through it
-        for (HalfLinkId hid : topo_.outgoing(cur)) {
-            const HalfLink &hl = topo_.halfLink(hid);
-            ComponentId next = hl.to;
-            if (next != dst && !isTransit(topo_.component(next).kind))
-                continue;
-            if (dist[static_cast<std::size_t>(next)] != kUnreached)
-                continue;
-            dist[static_cast<std::size_t>(next)] =
-                dist[static_cast<std::size_t>(cur)] + 1;
-            queue.push_back(next);
-        }
-    }
+    const std::vector<int> &dist = sourceTree(src).dist;
+    const std::vector<int> &rev = distToDst(dst);
     const int target = dist[static_cast<std::size_t>(dst)];
     DSTRAIN_ASSERT(target != kUnreached, "BFS disagrees with route()");
 
@@ -254,8 +289,16 @@ Router::computeEqualCost(ComponentId src, ComponentId dst) const
             ComponentId next = hl.to;
             if (next != dst && !isTransit(topo_.component(next).kind))
                 continue;
-            if (dist[static_cast<std::size_t>(next)] != d + 1 ||
-                dist[static_cast<std::size_t>(next)] > target) {
+            if (dist[static_cast<std::size_t>(next)] != d + 1)
+                continue;
+            // On-a-shortest-path prune: descending into a DAG level
+            // is not enough — from a spine every leaf sits at d + 1,
+            // and without this check the DFS walks whole subtrees
+            // that can never reach dst. The prune drops exactly the
+            // path-less branches, so the surviving paths (and their
+            // DFS order, which ECMP hashes index into) are unchanged.
+            if (rev[static_cast<std::size_t>(next)] == kUnreached ||
+                d + 1 + rev[static_cast<std::size_t>(next)] != target) {
                 continue;
             }
             hops.push_back(hid);

@@ -139,6 +139,35 @@ class Router
     const EcmpConfig &ecmp() const { return ecmp_; }
 
   private:
+    /**
+     * The BFS shortest-path tree from one source, shared by every
+     * destination: first-visit in-edge (via) and hop count (dist)
+     * per component. Non-transit components are recorded when first
+     * reached but never expanded — exactly how a per-destination BFS
+     * treats them — so the via-chain and the level assignment for
+     * any dst are bit-identical to a dedicated BFS toward that dst.
+     * Computing it once per *source* instead of once per (src, dst)
+     * pair is what keeps route-cache misses cheap on generated
+     * fabrics, where a wave of flows touches thousands of distinct
+     * pairs but only a few hundred sources.
+     */
+    struct SourceTree {
+        std::vector<HalfLinkId> via;
+        std::vector<int> dist;
+    };
+
+    const SourceTree &sourceTree(ComponentId src) const;
+
+    /**
+     * Hop count from every component *to* @p dst over transit-only
+     * interior nodes (BFS from dst across reversed edges). Combined
+     * with sourceTree(src).dist it prunes the equal-cost DFS to the
+     * exact src->dst shortest-path DAG: v lies on a shortest path iff
+     * dist[v] + distTo[v] == dist[dst]. Cached per destination for
+     * the same reason sourceTree() is cached per source.
+     */
+    const std::vector<int> &distToDst(ComponentId dst) const;
+
     Route computeRoute(ComponentId src, ComponentId dst) const;
 
     /** Enumerate the shortest-path DAG into explicit paths. */
@@ -168,6 +197,12 @@ class Router
     mutable std::unordered_map<std::uint64_t, Route> cache_;
     mutable std::unordered_map<std::uint64_t, std::vector<Route>>
         ecmp_cache_;
+    mutable std::unordered_map<ComponentId, SourceTree> tree_cache_;
+    mutable std::unordered_map<ComponentId, std::vector<int>>
+        rev_dist_cache_;
+    /** Reverse adjacency (in-edges per component), built on first
+     *  distToDst() call — the topology is immutable under a Router. */
+    mutable std::vector<std::vector<HalfLinkId>> incoming_;
 };
 
 } // namespace dstrain

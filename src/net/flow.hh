@@ -57,6 +57,9 @@ struct FlowSpec {
 struct Flow {
     FlowId id = 0;
     std::vector<ResourceId> resources;  ///< deduplicated route resources
+    /** Scheduler bookkeeping: this flow's index inside each crossed
+     * resource's crossing-flow list, parallel to `resources`. */
+    std::vector<std::uint32_t> res_pos;
     Bytes remaining = 0.0;
     Bps rate = 0.0;       ///< current assigned rate
     Bps cap = 0.0;        ///< min(route cap, spec cap)

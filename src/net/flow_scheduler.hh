@@ -13,19 +13,37 @@
  * the route's SerDes degradation, so the stress tests of paper
  * Sec. III-C reproduce directly from this scheduler.
  *
- * Performance: the water-filling pass works on flat, reusable
- * per-resource scratch arrays indexed by ResourceId (no hashing, no
- * per-recompute allocation once warm), and flow arrivals/departures
- * that touch only unsaturated resources take an O(route length)
- * incremental path that skips the full recompute entirely (see
- * DESIGN.md "Performance architecture" for the invariant).
+ * Performance: two solver modes share the same arithmetic (see
+ * DESIGN.md "Performance architecture" for the invariants):
+ *
+ *  - FlowSolverMode::Region (the default) re-solves, on each event,
+ *    only the contention region of the affected flows — the connected
+ *    component of the flow/resource sharing graph — while every flow
+ *    outside it keeps its frozen rate. Because max-min rates of one
+ *    component are independent of every other component, the scoped
+ *    solve is exact (bit-identical to a global pass), and per-event
+ *    cost scales with the region, not the cluster.
+ *
+ *  - FlowSolverMode::Global runs the full water-filling pass over all
+ *    active flows on every event: the bit-exact oracle the region
+ *    solver is verified against (`--verify-fair-share` runs both on
+ *    every event and asserts identical rates).
+ *
+ * Either way the water-filling works on flat, reusable per-resource
+ * scratch arrays indexed by ResourceId (no hashing, no per-recompute
+ * allocation once warm); flows live in a dense slot map with an
+ * intrusive active list in ascending-id order; and flow
+ * arrivals/departures that touch only unsaturated resources take an
+ * O(route length) incremental path that skips any solve entirely.
  */
 
 #ifndef DSTRAIN_NET_FLOW_SCHEDULER_HH
 #define DSTRAIN_NET_FLOW_SCHEDULER_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "hw/topology.hh"
@@ -34,6 +52,12 @@
 #include "sim/simulation.hh"
 
 namespace dstrain {
+
+/** Which fair-share solver runs on scheduler events. */
+enum class FlowSolverMode {
+    Region,  ///< re-solve only the affected contention region (default)
+    Global,  ///< full water-filling pass every event (the oracle)
+};
 
 /**
  * The fluid-model network scheduler.
@@ -44,19 +68,36 @@ namespace dstrain {
 class FlowScheduler
 {
   public:
+    /** Log2 buckets in the region-size histogram. */
+    static constexpr std::size_t kRegionHistBuckets = 16;
+
     /** Scheduler work counters (for the micro-benchmarks and tests). */
     struct Stats {
-        std::uint64_t recomputes = 0;     ///< full water-filling passes
+        std::uint64_t recomputes = 0;     ///< water-filling solves (any scope)
         std::uint64_t fast_starts = 0;    ///< starts admitted incrementally
         std::uint64_t fast_finishes = 0;  ///< completions handled incrementally
         std::uint64_t rate_updates = 0;   ///< per-resource rate notifications
-        std::uint64_t capacity_updates = 0;  ///< setCapacity() effective calls
+        std::uint64_t capacity_updates = 0;  ///< setCapacity[s]() effective calls
         std::uint64_t fast_capacity_updates = 0;  ///< ... without a recompute
         std::uint64_t cancels = 0;        ///< flows removed via cancel()
+        std::uint64_t region_solves = 0;  ///< solves scoped to a region
+        std::uint64_t region_flows = 0;   ///< total flows across region solves
+        std::uint64_t region_peak = 0;    ///< largest region solved (flows)
+        std::uint64_t verified_solves = 0;  ///< oracle comparisons performed
+        /** Region-size histogram: bucket k counts solves with a region
+         * of [2^k, 2^(k+1)) flows (last bucket is open-ended). */
+        std::array<std::uint64_t, kRegionHistBuckets> region_hist{};
     };
 
-    /** @param sim the simulation context; @param topo the network. */
-    FlowScheduler(Simulation &sim, Topology &topo);
+    /**
+     * @param sim the simulation context; @param topo the network;
+     * @param mode which solver handles events; @param verify_fair_share
+     * run the global oracle after every event and assert that region
+     * rates match it bitwise (slow; debugging).
+     */
+    FlowScheduler(Simulation &sim, Topology &topo,
+                  FlowSolverMode mode = FlowSolverMode::Region,
+                  bool verify_fair_share = false);
 
     FlowScheduler(const FlowScheduler &) = delete;
     FlowScheduler &operator=(const FlowScheduler &) = delete;
@@ -75,7 +116,7 @@ class FlowScheduler
     FlowId start(FlowSpec spec);
 
     /** Number of currently active flows. */
-    std::size_t activeCount() const { return flows_.size(); }
+    std::size_t activeCount() const { return active_count_; }
 
     /**
      * Current rate of an active flow; 0 if unknown/finished. Use
@@ -109,6 +150,18 @@ class FlowScheduler
     void setCapacity(ResourceId rid, Bps capacity);
 
     /**
+     * Apply several capacity changes as one batch with a single solve
+     * (the multi-link fault path: one fault event hitting a failure
+     * domain coalesces into one water-filling pass instead of one per
+     * link). State-equivalent to calling setCapacity() per entry at
+     * the same instant, but counted once in Stats::capacity_updates
+     * and solved once. Entries whose capacity is unchanged are
+     * skipped; if every changed entry meets the fast-path condition
+     * the batch completes without any solve.
+     */
+    void setCapacities(const std::vector<std::pair<ResourceId, Bps>> &updates);
+
+    /**
      * Remove an active flow without invoking its completion callback
      * (the transfer-manager reroute path). Remaining un-transferred
      * bytes are written to @p remaining when non-null.
@@ -119,8 +172,8 @@ class FlowScheduler
     /**
      * Remove every active flow at once without invoking completion
      * callbacks (the hard-failure abort path). Per-resource rates and
-     * telemetry logs drop to zero deterministically via one final
-     * recompute; pending completion events are cancelled.
+     * telemetry logs drop to zero deterministically; pending
+     * completion events are cancelled.
      * @return the number of flows removed.
      */
     std::size_t cancelAll();
@@ -134,11 +187,20 @@ class FlowScheduler
     /** Work counters since construction. */
     const Stats &stats() const { return stats_; }
 
+    /** The solver mode this scheduler was built with. */
+    FlowSolverMode solverMode() const { return mode_; }
+
   private:
+    /** One entry of a resource's crossing-flow list. */
+    struct ResFlow {
+        std::uint32_t slot;  ///< the crossing flow's slot
+        std::uint32_t idx;   ///< index of this resource in its route
+    };
+
     /** Integrate current rates from last_settle_ to now. */
     void settle();
 
-    /** Run water-filling, update logs, reschedule completion. */
+    /** Global water-filling + log update + completion reschedule. */
     void recompute();
 
     /**
@@ -163,14 +225,118 @@ class FlowScheduler
     /** Does @p f cross a resource faulted to zero capacity? */
     bool stalledByFault(const Flow &f) const;
 
+    // --- dense slot map ---------------------------------------------------
+
+    /** Slot of an active flow id, or -1. */
+    std::int32_t slotOf(FlowId id) const
+    {
+        if (id == 0 || id >= next_id_)
+            return -1;
+        return slot_of_id_[static_cast<std::size_t>(id - 1)];
+    }
+
+    /** Place @p f in a slot, link it into the active list and the
+     * per-resource flow lists. @return the slot. */
+    std::uint32_t registerFlow(Flow f);
+
+    /** Detach slot @p slot from the active list, the per-resource
+     * lists and the id map (the Flow itself stays readable). */
+    void detachFlow(std::uint32_t slot);
+
+    /** Reset a detached slot's Flow and return it to the free list. */
+    void releaseSlot(std::uint32_t slot);
+
+    // --- region machinery -------------------------------------------------
+
+    /** Start a new region (bumps the BFS mark epoch). */
+    void beginRegion();
+
+    /** Seed the region with one active flow. */
+    void seedRegionFlow(std::uint32_t slot);
+
+    /** Seed the region with every flow crossing @p rid. */
+    void seedRegionResource(ResourceId rid);
+
+    /**
+     * Close the seeded region over shared resources (BFS), then run
+     * the water-filling pass over it alone and write the region's
+     * rate logs. No-op on an empty seed set.
+     */
+    void solveRegion();
+
+    /**
+     * Partition the seed list in region_flows_ into connected
+     * components of the contention graph, closing each over shared
+     * resources (the ripple closure). components_ receives the
+     * member slots grouped by component in BFS discovery order
+     * (deterministic for a given event history; the fill is
+     * order-insensitive, see fillComponent()); comp_ranges_ receives
+     * each group's start offset. Membership is marked in comp_mark_
+     * at comp_epoch_.
+     */
+    void partitionComponents();
+
+    /**
+     * Progressive filling over components_[begin, end) — one
+     * connected component. Assigns flow rates; collects the
+     * component's resources into comp_resources_ and appends them to
+     * active_resources_. Increment rounds are component-local: this
+     * is the solver's bit-exact definition of fair share (see
+     * DESIGN.md), identical whether a component is re-solved alone
+     * or as part of a full pass.
+     */
+    void fillComponent(std::size_t begin, std::size_t end);
+
+    /** fillComponent() into oracle_rate_, leaving flows untouched. */
+    void oracleFillComponent(std::size_t begin, std::size_t end);
+
+    /**
+     * Zero the telemetry log and total of @p rid if no flow crosses
+     * it anymore (removal paths; epoch-deduplicated within one event).
+     */
+    void zeroIfIdle(ResourceId rid);
+
+    /** Run the global oracle and assert bitwise-equal rates. */
+    void maybeVerify();
+
     Simulation &sim_;
     Topology &topo_;
-    std::unordered_map<FlowId, Flow> flows_;
+    const FlowSolverMode mode_;
+    const bool verify_;
     FlowId next_id_ = 1;
     SimTime last_settle_ = 0.0;
     EventId completion_event_ = 0;
     SimTime completion_time_ = 0.0;  ///< when completion_event_ fires
     Stats stats_;
+
+    // --- dense flow storage ----------------------------------------------
+    std::vector<Flow> slots_;               ///< flow storage (slot-indexed)
+    std::vector<std::uint32_t> free_slots_; ///< reusable slots (LIFO)
+    std::vector<std::int32_t> slot_of_id_;  ///< id-1 -> slot, -1 inactive
+    /** Intrusive doubly-linked active list. Ids are issued
+     * monotonically and always appended at the tail, so iteration
+     * from head_slot_ is in ascending-id order — the canonical,
+     * deterministic flow order of every solver loop. */
+    std::vector<std::int32_t> next_slot_;
+    std::vector<std::int32_t> prev_slot_;
+    std::int32_t head_slot_ = -1;
+    std::int32_t tail_slot_ = -1;
+    std::size_t active_count_ = 0;
+    /**
+     * Legacy-order shim: id -> slot, mirroring the insert/erase
+     * sequence the pre-slot-map `unordered_map<FlowId, Flow>`
+     * container saw. Simultaneous finishers must run their completion
+     * callbacks in that container's iteration order — the order the
+     * golden fingerprint hashes were captured under — and hash-map
+     * iteration order is a pure function of the key insert/erase
+     * history, so replaying the history on this map reproduces it
+     * exactly. Consulted only where order is observable: finisher
+     * collection in onCompletionEvent() and the per-resource totals
+     * accumulation after each solve (floating-point summation order
+     * moves the last bit). The water-fill loops themselves iterate
+     * the intrusive list / components_ (ascending ids).
+     */
+    std::unordered_map<FlowId, std::int32_t> order_;
 
     // --- flat per-resource state (indexed by ResourceId) -----------------
     std::vector<double> eff_cap_;     ///< capacity * class efficiency
@@ -179,14 +345,34 @@ class FlowScheduler
     std::vector<double> residual_;    ///< water-filling scratch
     std::vector<int> crossing_;       ///< water-filling scratch
     std::vector<char> in_active_;     ///< membership scratch
+    std::vector<std::vector<ResFlow>> res_flows_;  ///< crossing flows
+
+    // --- region scratch ---------------------------------------------------
+    std::vector<std::uint64_t> flow_mark_;  ///< seed-dedup mark per slot
+    std::vector<std::uint64_t> res_mark_;   ///< zeroIfIdle mark per resource
+    std::vector<std::uint8_t> res_saturated_;  ///< per-round fill flag
+    std::uint64_t mark_epoch_ = 0;
+    std::vector<std::uint32_t> region_flows_;  ///< current seed list
+
+    // --- component partition (see partitionComponents()) ------------------
+    std::vector<std::uint64_t> comp_mark_;      ///< per slot
+    std::vector<std::uint64_t> res_comp_mark_;  ///< per resource
+    std::uint64_t comp_epoch_ = 0;
+    std::vector<std::uint32_t> components_;  ///< slots grouped by component
+    std::vector<std::size_t> comp_ranges_;   ///< start offset per group
+    std::vector<ResourceId> comp_resources_; ///< one component's resources
 
     // --- reusable scratch buffers ----------------------------------------
     std::vector<ResourceId> active_resources_;  ///< crossed by any flow
-    std::vector<ResourceId> touched_;  ///< resources with a nonzero log rate
+    std::vector<ResourceId> touched_;  ///< nonzero-log resources (Global)
+    std::vector<ResourceId> cap_dirty_;  ///< batch-update seeds
     std::vector<Flow *> unfrozen_;
     std::vector<Flow *> still_;
     std::vector<std::function<void()>> callbacks_;
     std::vector<Flow> finished_;
+    std::vector<double> oracle_rate_;          ///< verify-mode rates
+    std::vector<std::uint32_t> oracle_unfrozen_;
+    std::vector<std::uint32_t> oracle_still_;
 };
 
 } // namespace dstrain

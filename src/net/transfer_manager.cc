@@ -178,6 +178,11 @@ TransferManager::launchPending(std::uint64_t xid)
 void
 TransferManager::notifyCapacityChange()
 {
+    // One notification per fault event, no matter how many links it
+    // scaled: FaultInjector batches the per-link capacity changes
+    // into a single FlowScheduler::setCapacities() call and then
+    // notifies once, and the scheduled-scan flag below coalesces any
+    // overlapping notifications into one stranded-flow sweep.
     if (!retry_.enabled || check_scheduled_)
         return;
     check_scheduled_ = true;

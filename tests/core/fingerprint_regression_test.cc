@@ -1,14 +1,18 @@
 /**
  * @file
- * Bit-identity regression oracle for the fabric refactor: the default
- * single-switch fabric must reproduce the exact reports the seeded
- * presets produced before the cluster builder was generalized.
+ * Bit-identity regression oracle: the seeded presets must reproduce
+ * the exact reports captured on the pre-refactor tree, under BOTH
+ * fair-share solvers.
  *
  * Each golden value is the FNV-1a-64 hash of reportFingerprint() for
- * one preset run (3 iterations, 1 warmup), captured on the
- * pre-refactor tree. A mismatch means the refactor changed simulated
- * behavior — event order, link capacities, routing, anything — on the
- * default topology, which it must never do.
+ * one preset run (3 iterations, 1 warmup), captured before the fabric
+ * generalization and unchanged since. A mismatch means simulated
+ * behavior changed — event order, link capacities, routing, solver
+ * arithmetic, anything — which it must never do. The default-solver
+ * lineups exercise the region-scoped incremental solver (the
+ * default); the GlobalOracle lineups pin the full-pass oracle to the
+ * same hashes, which is the bit-exactness contract between the two
+ * (DESIGN.md "Performance architecture").
  */
 
 #include <gtest/gtest.h>
@@ -35,11 +39,15 @@ fnv1a64(const std::string &s)
 }
 
 std::uint64_t
-runHash(int nodes, const StrategyConfig &strategy, double billions)
+runHash(int nodes, const StrategyConfig &strategy, double billions,
+        FlowSolverMode solver = FlowSolverMode::Region,
+        bool verify = false)
 {
     ExperimentConfig cfg = paperExperiment(nodes, strategy, billions);
     cfg.iterations = 3;
     cfg.warmup = 1;
+    cfg.flow_solver = solver;
+    cfg.verify_fair_share = verify;
     const ExperimentReport report = runExperiment(std::move(cfg));
     return fnv1a64(reportFingerprint(report));
 }
@@ -80,6 +88,62 @@ TEST(FingerprintRegression, OffloadLineup)
               0x467b3fae12558dadull);
     EXPECT_EQ(runHash(1, StrategyConfig::zeroInfinityNvme(true), 11.4),
               0x40904dd8ac2996c9ull);
+}
+
+TEST(FingerprintRegression, GlobalOracleSingleNodeLineup)
+{
+    const auto G = FlowSolverMode::Global;
+    EXPECT_EQ(runHash(1, StrategyConfig::ddp(), 0.0, G),
+              0xdfff91522c6d7b5full);
+    EXPECT_EQ(runHash(1, paperMegatron(1), 0.0, G),
+              0x3ab98365ca0ec6b1ull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zero(1), 0.0, G),
+              0xff8b3880f5ea455eull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zero(2), 0.0, G),
+              0x2d50256a449d56e5ull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zero(3), 0.0, G),
+              0x9dd372e8dbae9ea5ull);
+}
+
+TEST(FingerprintRegression, GlobalOracleDualNodeLineup)
+{
+    const auto G = FlowSolverMode::Global;
+    EXPECT_EQ(runHash(2, StrategyConfig::ddp(), 0.0, G),
+              0x0b7a72c8312a4dbeull);
+    EXPECT_EQ(runHash(2, paperMegatron(2), 0.0, G),
+              0x2a38f9b3622d8434ull);
+    EXPECT_EQ(runHash(2, StrategyConfig::zero(1), 0.0, G),
+              0x048a684eb2d7ce7aull);
+    EXPECT_EQ(runHash(2, StrategyConfig::zero(2), 0.0, G),
+              0x12e8a1145cc02716ull);
+    EXPECT_EQ(runHash(2, StrategyConfig::zero(3), 0.0, G),
+              0x250b601e5ae1fffdull);
+}
+
+TEST(FingerprintRegression, GlobalOracleOffloadLineup)
+{
+    const auto G = FlowSolverMode::Global;
+    EXPECT_EQ(runHash(1, StrategyConfig::zeroOffloadCpu(2), 11.4, G),
+              0x814423b0ae56f9f4ull);
+    EXPECT_EQ(runHash(1, StrategyConfig::zeroOffloadCpu(3), 11.4, G),
+              0x46410df434ac1935ull);
+    EXPECT_EQ(
+        runHash(1, StrategyConfig::zeroInfinityNvme(false), 11.4, G),
+        0x467b3fae12558dadull);
+    EXPECT_EQ(
+        runHash(1, StrategyConfig::zeroInfinityNvme(true), 11.4, G),
+        0x40904dd8ac2996c9ull);
+}
+
+TEST(FingerprintRegression, VerifyModeMatchesAndChecksEveryEvent)
+{
+    // --verify-fair-share runs the global oracle after every scheduler
+    // event and fatal()s on any bitwise divergence: surviving the run
+    // with the golden hash proves the region solver exact end to end
+    // on the busiest dual-node preset.
+    EXPECT_EQ(runHash(2, StrategyConfig::zero(3), 0.0,
+                      FlowSolverMode::Region, true),
+              0x250b601e5ae1fffdull);
 }
 
 TEST(FingerprintRegression, EcmpOffMatchesEcmpOnSingleSwitch)

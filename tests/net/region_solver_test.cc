@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Solver-equivalence fuzz: the region-scoped incremental solver must
+ * produce rates bit-identical to the global water-filling oracle on
+ * randomized interleavings of start / finish / setCapacity /
+ * setCapacities / cancel over generated fabrics.
+ *
+ * Two layers of checking run at once:
+ *
+ *  - Twin lockstep: a Region-mode scheduler and a Global-mode
+ *    scheduler are driven through the same op sequence on identical
+ *    clusters, comparing every flow's rate (EXPECT_EQ on the doubles
+ *    — bitwise for non-NaN values) after every op and every
+ *    completion wave.
+ *
+ *  - Both twins run with verify_fair_share: the scheduler itself
+ *    re-runs the from-scratch per-component oracle after every event
+ *    and fatal()s on any divergence, which also covers the events
+ *    that fire inside runUntil() between our checkpoints. (Verify
+ *    mode disables the start/finish fast paths — an incrementally
+ *    assigned rate equals a fresh fill mathematically but not always
+ *    in the last bit — so the oracle checks region-closure
+ *    correctness, not float dust; see DESIGN.md §6.1.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cluster.hh"
+#include "net/flow_scheduler.hh"
+#include "util/rng.hh"
+
+namespace dstrain {
+namespace {
+
+/** One simulation + cluster + scheduler under a chosen solver. */
+struct Twin {
+    Twin(const ClusterSpec &spec, FlowSolverMode mode, bool verify)
+        : cluster(spec), flows(sim, cluster.topology(), mode, verify)
+    {
+    }
+
+    Simulation sim;
+    Cluster cluster;
+    FlowScheduler flows;
+    int done = 0;
+};
+
+/** Fuzz both solvers through one seeded op sequence. */
+void
+fuzzFabric(const ClusterSpec &spec, std::uint64_t seed, int ops)
+{
+    Twin region(spec, FlowSolverMode::Region, true);
+    Twin global(spec, FlowSolverMode::Global, true);
+    Rng rng(seed);
+
+    // Fault candidates: the fabric's RoCE links (uplinks + trunks) —
+    // the resources multi-link faults scale in real plans.
+    std::vector<ResourceId> roce;
+    std::vector<Bps> nominal;
+    for (const Resource &r : region.cluster.topology().resources()) {
+        if (r.cls == LinkClass::Roce) {
+            roce.push_back(r.id);
+            nominal.push_back(r.nominal_capacity);
+        }
+    }
+    ASSERT_FALSE(roce.empty());
+
+    const int gpus = region.cluster.spec().totalGpus();
+    std::vector<FlowId> ids;  // same ids in both twins
+
+    auto compareRates = [&] {
+        for (FlowId id : ids) {
+            ASSERT_EQ(region.flows.isActive(id),
+                      global.flows.isActive(id))
+                << "activity diverged for flow " << id;
+            ASSERT_EQ(region.flows.currentRate(id),
+                      global.flows.currentRate(id))
+                << "rate diverged for flow " << id;
+        }
+        ASSERT_EQ(region.flows.activeCount(),
+                  global.flows.activeCount());
+        ASSERT_EQ(region.done, global.done);
+    };
+
+    const double fractions[] = {0.0, 0.25, 0.5, 1.0};
+    SimTime t = 0.0;
+    for (int op = 0; op < ops; ++op) {
+        t += rng.uniform(1e-4, 5e-3);
+        region.sim.runUntil(t);
+        global.sim.runUntil(t);
+
+        const std::uint64_t kind = rng.below(10);
+        if (kind < 5) {
+            // Start: a cross-GPU transfer on the ECMP route both
+            // routers resolve identically (same topology, same key).
+            const int a = static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(gpus)));
+            int b = static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(gpus)));
+            if (b == a)
+                b = (a + 1) % gpus;
+            const std::uint64_t key = rng.below(1u << 20);
+            const Bytes bytes =
+                static_cast<double>(1 + rng.below(64)) * 1e8;
+            FlowId rid = 0;
+            FlowId gid = 0;
+            for (Twin *tw : {&region, &global}) {
+                FlowSpec fs;
+                fs.route = tw->cluster.router().routeForFlow(
+                    tw->cluster.gpuByRank(a), tw->cluster.gpuByRank(b),
+                    key);
+                fs.bytes = bytes;
+                fs.on_complete = [tw] { ++tw->done; };
+                (tw == &region ? rid : gid) =
+                    tw->flows.start(std::move(fs));
+            }
+            ASSERT_EQ(rid, gid);
+            ids.push_back(rid);
+        } else if (kind < 7) {
+            // Single-link capacity change.
+            const std::size_t i = rng.below(roce.size());
+            const double f = fractions[rng.below(4)];
+            region.flows.setCapacity(roce[i], nominal[i] * f);
+            global.flows.setCapacity(roce[i], nominal[i] * f);
+        } else if (kind == 7) {
+            // Batched multi-link change (the fault-domain path).
+            std::vector<std::pair<ResourceId, Bps>> batch;
+            const std::size_t n = 1 + rng.below(4);
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::size_t i = rng.below(roce.size());
+                batch.emplace_back(roce[i],
+                                   nominal[i] * fractions[rng.below(4)]);
+            }
+            region.flows.setCapacities(batch);
+            global.flows.setCapacities(batch);
+        } else if (!ids.empty()) {
+            // Cancel a random still-active flow.
+            const FlowId id = ids[rng.below(ids.size())];
+            Bytes rrem = 0.0;
+            Bytes grem = 0.0;
+            const bool rok = region.flows.cancel(id, &rrem);
+            const bool gok = global.flows.cancel(id, &grem);
+            ASSERT_EQ(rok, gok);
+            ASSERT_EQ(rrem, grem) << "cancel remainder diverged";
+        }
+        compareRates();
+    }
+
+    // Restore every link and drain: both twins must finish every
+    // surviving flow at the same instant.
+    for (std::size_t i = 0; i < roce.size(); ++i) {
+        region.flows.setCapacity(roce[i], nominal[i]);
+        global.flows.setCapacity(roce[i], nominal[i]);
+    }
+    compareRates();
+    const SimTime rend = region.sim.run();
+    const SimTime gend = global.sim.run();
+    ASSERT_EQ(rend, gend) << "drain times diverged";
+    ASSERT_EQ(region.done, global.done);
+    ASSERT_EQ(region.flows.activeCount(), 0u);
+
+    // The verify twin really ran its oracle, and the region solver
+    // really ran scoped solves (not silent global fallbacks).
+    EXPECT_GT(region.flows.stats().verified_solves, 0u);
+    EXPECT_GT(region.flows.stats().region_solves, 0u);
+}
+
+ClusterSpec
+fatTreeSpec()
+{
+    ClusterSpec spec;
+    spec.nodes = 16;
+    spec.fabric.kind = FabricKind::FatTree;
+    spec.fabric.fat_tree_k = 4;
+    return spec;
+}
+
+ClusterSpec
+spineLeafSpec()
+{
+    ClusterSpec spec;
+    spec.nodes = 8;
+    spec.fabric.kind = FabricKind::SpineLeaf;
+    spec.fabric.leaves = 4;
+    spec.fabric.spines = 2;
+    return spec;
+}
+
+class RegionSolverFuzz : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(RegionSolverFuzz, FatTreeBitIdenticalToOracle)
+{
+    fuzzFabric(fatTreeSpec(),
+               static_cast<std::uint64_t>(GetParam()), 160);
+}
+
+TEST_P(RegionSolverFuzz, SpineLeafBitIdenticalToOracle)
+{
+    fuzzFabric(spineLeafSpec(),
+               static_cast<std::uint64_t>(GetParam()) + 1000, 160);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionSolverFuzz, testing::Range(1, 7));
+
+} // namespace
+} // namespace dstrain
