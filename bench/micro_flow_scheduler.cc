@@ -49,7 +49,13 @@ addSolverStats(bench::JsonObject &json, const FlowScheduler &sched)
              stats.region_solves
                  ? static_cast<double>(stats.region_flows) /
                        static_cast<double>(stats.region_solves)
-                 : 0.0);
+                 : 0.0)
+        .add("completion_index_updates", stats.completion_index_updates)
+        .add("completion_scans_avoided", stats.completion_scans_avoided)
+        .add("batched_events", stats.batched_events)
+        .add("parallel_component_solves",
+             stats.parallel_component_solves)
+        .add("stalled_parks", stats.stalled_parks);
     // Histogram bucket k counts region solves with [2^k, 2^(k+1))
     // flows; rendered as a JSON array aligned with bucket index.
     std::ostringstream hist;
@@ -77,6 +83,10 @@ denseFlowScenario(int waves, int per_wave, FlowSolverMode mode)
     int done = 0;
     for (int w = 0; w < waves; ++w) {
         sim.events().schedule(w * 0.01, [&, w] {
+            // The wave is one DES event posting per_wave
+            // same-timestamp starts: batch them so the storm closes
+            // one region and solves once instead of per_wave times.
+            FlowScheduler::ScopedBatch batch(sched);
             for (int i = 0; i < per_wave; ++i) {
                 FlowSpec spec;
                 const int src = (i + w) % 8;
@@ -128,6 +138,10 @@ spineLeafScenario(int waves, int per_wave, FlowSolverMode mode)
     int done = 0;
     for (int w = 0; w < waves; ++w) {
         sim.events().schedule(w * 0.01, [&, w] {
+            // The wave is one DES event posting per_wave
+            // same-timestamp starts: batch them so the storm closes
+            // one region and solves once instead of per_wave times.
+            FlowScheduler::ScopedBatch batch(sched);
             for (int i = 0; i < per_wave; ++i) {
                 FlowSpec spec;
                 const int src = (i * 7 + w) % world;
@@ -184,6 +198,10 @@ fatTree10kScenario(int waves, int per_wave, FlowSolverMode mode)
     int done = 0;
     for (int w = 0; w < waves; ++w) {
         sim.events().schedule(w * 0.01, [&, w] {
+            // The wave is one DES event posting per_wave
+            // same-timestamp starts: batch them so the storm closes
+            // one region and solves once instead of per_wave times.
+            FlowScheduler::ScopedBatch batch(sched);
             for (int i = 0; i < per_wave; ++i) {
                 FlowSpec spec;
                 const int src = (i * 13 + w * 7) % world;
@@ -206,6 +224,59 @@ fatTree10kScenario(int waves, int per_wave, FlowSolverMode mode)
 
     bench::JsonObject json;
     json.add("scenario", std::string("fat_tree_10k"))
+        .add("links", cluster.topology().halfLinkCount())
+        .add("switches",
+             static_cast<std::uint64_t>(cluster.switches().size()))
+        .add("flows", done)
+        .add("events", sim.events().executedCount())
+        .add("wall_seconds", secs)
+        .add("events_per_sec", sim.events().executedCount() / secs);
+    addSolverStats(json, sched);
+    return json;
+}
+
+/**
+ * O(10^5)-link fat-tree scenario: 2048 XE8545 nodes on a k=32 fat
+ * tree (8 pods, 128 edge + 128 agg + 256 core switches, ~10^5
+ * directed links). Few, small waves: the scenario exists to prove
+ * the per-event machinery stays sublinear at this link count (and to
+ * complete under sanitizers in CI), not to saturate the fabric.
+ */
+bench::JsonObject
+fatTree100kScenario(int waves, int per_wave, FlowSolverMode mode)
+{
+    bench::Stopwatch watch;
+    Simulation sim;
+    ClusterSpec spec = xe8545Cluster(2048);
+    spec.fabric.kind = FabricKind::FatTree;
+    spec.fabric.fat_tree_k = 32;
+    const int world = spec.totalGpus();
+    Cluster cluster(std::move(spec));
+    FlowScheduler sched(sim, cluster.topology(), mode);
+    int done = 0;
+    for (int w = 0; w < waves; ++w) {
+        sim.events().schedule(w * 0.01, [&, w] {
+            FlowScheduler::ScopedBatch batch(sched);
+            for (int i = 0; i < per_wave; ++i) {
+                FlowSpec spec;
+                const int src = (i * 17 + w * 11) % world;
+                int dst = (src + world / 2 + i) % world;
+                if (dst == src)
+                    dst = (dst + 1) % world;
+                spec.route = cluster.router().routeForFlow(
+                    cluster.gpuByRank(src), cluster.gpuByRank(dst),
+                    static_cast<std::uint64_t>(i * 37 + w));
+                spec.bytes = 1e8 + 1e6 * i;
+                spec.on_complete = [&done] { ++done; };
+                sched.start(std::move(spec));
+            }
+        });
+    }
+    sim.run();
+    const double secs = watch.seconds();
+
+    bench::JsonObject json;
+    json.add("scenario", std::string("fat_tree_100k"))
         .add("links", cluster.topology().halfLinkCount())
         .add("switches",
              static_cast<std::uint64_t>(cluster.switches().size()))
@@ -308,6 +379,11 @@ main(int argc, char **argv)
     args.addOption("big-waves", "12", "fat_tree_10k scenario waves");
     args.addOption("big-per-wave", "24",
                    "fat_tree_10k flows per wave");
+    args.addOption("huge-waves", "6", "fat_tree_100k scenario waves");
+    args.addOption("huge-per-wave", "16",
+                   "fat_tree_100k flows per wave");
+    args.addFlag("skip-100k",
+                 "skip the fat_tree_100k scenario (largest topology)");
     args.addFlag("skip-sweep",
                  "skip the SweepRunner jobs comparison (slowest "
                  "scenario; sanitizer smoke runs)");
@@ -333,6 +409,13 @@ main(int argc, char **argv)
                                     FlowSolverMode::Region)
                      .str()
               << "\n";
+    if (!args.getFlag("skip-100k")) {
+        std::cout << fatTree100kScenario(args.getInt("huge-waves"),
+                                         args.getInt("huge-per-wave"),
+                                         FlowSolverMode::Region)
+                         .str()
+                  << "\n";
+    }
     std::cout << eventQueueChurn().str() << "\n";
     if (!args.getFlag("skip-sweep")) {
         std::cout << sweepComparison(

@@ -91,6 +91,14 @@ addExperimentOptions(ArgParser &args)
     args.addFlag("verify-fair-share",
                  "run the global oracle after every scheduler event "
                  "and abort on any bitwise rate divergence (slow)");
+    args.addFlag("no-completion-index",
+                 "schedule completions with the legacy full scan over "
+                 "active flows instead of the incremental index "
+                 "(bit-identical; A/B perf comparison)");
+    args.addOption("solver-threads", "1",
+                   "threads for parallel fair-share component fills "
+                   "(1 = serial, 0 = hardware threads; any value is "
+                   "bit-identical)");
     args.addFlag("retain-segments",
                  "keep the full rate-log history instead of the "
                  "streaming bucket accumulators (more memory)");
@@ -158,6 +166,9 @@ experimentFromArgs(const ArgParser &args)
                       solver.c_str())});
     }
     out.config.verify_fair_share = args.getFlag("verify-fair-share");
+    out.config.use_completion_index =
+        !args.getFlag("no-completion-index");
+    out.config.solver_threads = args.getInt("solver-threads");
 
     if (!args.get("faults").empty())
         out.config.faults =

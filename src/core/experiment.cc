@@ -7,6 +7,7 @@
 
 #include "model/flops.hh"
 #include "util/logging.hh"
+#include "util/task_pool.hh"
 
 namespace dstrain {
 
@@ -116,6 +117,9 @@ ExperimentConfig::validate() const
                                 warmup, iterations)});
     if (telemetry.bucket <= 0.0)
         errors.push_back({"telemetry.bucket", "must be positive"});
+    if (solver_threads < 0)
+        errors.push_back(
+            {"solver_threads", "must be >= 0 (0 = hardware threads)"});
     for (ConfigError &e : faults.validate())
         errors.push_back(std::move(e));
     for (ConfigError &e : recovery.validate(faults, cluster.nodeCount()))
@@ -157,9 +161,20 @@ Experiment::Experiment(ExperimentConfig cfg)
 
     sim_ = std::make_unique<Simulation>(cfg_.seed);
     cluster_ = std::make_unique<Cluster>(cfg_.cluster);
+    if (cfg_.solver_threads != 1) {
+        // The experiment thread participates as a pool worker, so
+        // N explicit threads means N - 1 spawned ones (0 = one per
+        // hardware thread, TaskPool's own default).
+        pool_ = std::make_unique<TaskPool>(
+            cfg_.solver_threads > 1 ? cfg_.solver_threads - 1 : 0);
+    }
+    FlowSchedulerOptions fopts;
+    fopts.mode = cfg_.flow_solver;
+    fopts.verify_fair_share = cfg_.verify_fair_share;
+    fopts.completion_index = cfg_.use_completion_index;
+    fopts.fill_pool = pool_.get();
     flows_ = std::make_unique<FlowScheduler>(*sim_, cluster_->topology(),
-                                             cfg_.flow_solver,
-                                             cfg_.verify_fair_share);
+                                             fopts);
     tm_ = std::make_unique<TransferManager>(*sim_, *cluster_, *flows_);
     coll_ = std::make_unique<CollectiveEngine>(*tm_);
     aio_ = std::make_unique<AioEngine>(*tm_);
@@ -274,6 +289,7 @@ Experiment::run()
     }
     if (rm_)
         report.recovery = rm_->buildReport(report.execution);
+    report.scheduler = flows_->stats();
     return report;
 }
 

@@ -32,6 +32,8 @@
 
 namespace dstrain {
 
+class TaskPool;
+
 /** Everything that defines one experiment run. */
 struct ExperimentConfig {
     /** The cluster (defaults to one XE8545 node). */
@@ -103,6 +105,24 @@ struct ExperimentConfig {
     bool verify_fair_share = false;
 
     /**
+     * Keep the scheduler's incremental completion-time index (the
+     * default). False restores the legacy full scan over active flows
+     * when scheduling the next completion — bit-identical results,
+     * O(active) per event; exists for A/B perf comparison and as the
+     * fallback escape hatch.
+     */
+    bool use_completion_index = true;
+
+    /**
+     * Worker threads for filling independent fair-share components of
+     * one solve concurrently. 1 (the default) = serial; 0 = one per
+     * hardware thread; N > 1 = exactly N. Results are committed in
+     * canonical component order, so any value is bit-identical to
+     * serial.
+     */
+    int solver_threads = 1;
+
+    /**
      * Check every field for structural validity; empty result = OK.
      * Experiment::run() panics on a non-empty result; the CLI prints
      * each error and exits instead.
@@ -121,6 +141,10 @@ struct ExperimentReport {
     BandwidthRow bandwidth;         ///< Table IV row
     IterationResult execution;      ///< raw timings + spans
     TelemetryStats telemetry;       ///< telemetry-engine counters
+
+    /** Flow-scheduler work counters (solves, fast paths, completion
+     * index, batching; not part of the report fingerprint). */
+    FlowScheduler::Stats scheduler;
 
     /** Per-fault impact deltas (empty when no faults configured). */
     std::vector<FaultImpact> faults;
@@ -167,6 +191,7 @@ class Experiment
   private:
     ExperimentConfig cfg_;
     LadderEntry model_;
+    std::unique_ptr<TaskPool> pool_;  ///< solver_threads != 1 only
     std::unique_ptr<Simulation> sim_;
     std::unique_ptr<Cluster> cluster_;
     std::unique_ptr<FlowScheduler> flows_;

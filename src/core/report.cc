@@ -33,6 +33,34 @@ summarizeTelemetry(const TelemetryStats &stats)
         static_cast<double>(stats.memory_bytes) / 1024.0);
 }
 
+std::string
+summarizeScheduler(const FlowScheduler::Stats &stats)
+{
+    std::string out = csprintf(
+        "scheduler: %llu solves (%llu region, peak %llu flows), "
+        "%llu fast starts, %llu fast finishes, %llu/%llu fast "
+        "capacity updates, %llu cancels, %llu stalled parks",
+        static_cast<unsigned long long>(stats.recomputes),
+        static_cast<unsigned long long>(stats.region_solves),
+        static_cast<unsigned long long>(stats.region_peak),
+        static_cast<unsigned long long>(stats.fast_starts),
+        static_cast<unsigned long long>(stats.fast_finishes),
+        static_cast<unsigned long long>(stats.fast_capacity_updates),
+        static_cast<unsigned long long>(stats.capacity_updates),
+        static_cast<unsigned long long>(stats.cancels),
+        static_cast<unsigned long long>(stats.stalled_parks));
+    out += csprintf(
+        "\nscheduler: %llu index updates, %llu scans avoided, "
+        "%llu batched events, %llu parallel component solves, "
+        "%llu rate updates",
+        static_cast<unsigned long long>(stats.completion_index_updates),
+        static_cast<unsigned long long>(stats.completion_scans_avoided),
+        static_cast<unsigned long long>(stats.batched_events),
+        static_cast<unsigned long long>(stats.parallel_component_solves),
+        static_cast<unsigned long long>(stats.rate_updates));
+    return out;
+}
+
 TextTable
 comparisonTable(const std::vector<ExperimentReport> &reports)
 {

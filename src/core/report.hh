@@ -24,6 +24,13 @@ std::string summarizeReport(const ExperimentReport &report);
 std::string summarizeTelemetry(const TelemetryStats &stats);
 
 /**
+ * Two-line summary of the flow-scheduler work counters: solves and
+ * incremental fast paths on the first line, completion-index /
+ * batching / parallel-fill counters on the second.
+ */
+std::string summarizeScheduler(const FlowScheduler::Stats &stats);
+
+/**
  * A comparison table over several reports: model size, throughput,
  * iteration time, memory totals.
  */

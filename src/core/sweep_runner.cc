@@ -5,9 +5,11 @@
 
 #include "core/sweep_runner.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <mutex>
 #include <thread>
+
+#include "util/task_pool.hh"
 
 namespace dstrain {
 
@@ -37,34 +39,23 @@ SweepRunner::run(std::vector<ExperimentConfig> configs,
         return reports;
     }
 
-    std::atomic<std::size_t> cursor{0};
     std::size_t done = 0;  // guarded by progress_mutex
     std::mutex progress_mutex;
 
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i =
-                cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= total)
-                return;
-            reports[i] = runExperiment(std::move(configs[i]));
-            // Count inside the lock so `done` is monotonic from the
-            // callback's point of view.
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            ++done;
-            if (progress)
-                progress(done, total, i);
-        }
-    };
-
-    const std::size_t nthreads =
+    // The pool's caller thread participates, so jobs_ workers means
+    // jobs_ - 1 spawned threads (never more threads than points).
+    const std::size_t nworkers =
         std::min<std::size_t>(static_cast<std::size_t>(jobs_), total);
-    std::vector<std::thread> threads;
-    threads.reserve(nthreads);
-    for (std::size_t t = 0; t < nthreads; ++t)
-        threads.emplace_back(worker);
-    for (std::thread &t : threads)
-        t.join();
+    TaskPool pool(static_cast<int>(nworkers) - 1);
+    pool.parallelFor(total, [&](std::size_t i, int) {
+        reports[i] = runExperiment(std::move(configs[i]));
+        // Count inside the lock so `done` is monotonic from the
+        // callback's point of view.
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++done;
+        if (progress)
+            progress(done, total, i);
+    });
     return reports;
 }
 

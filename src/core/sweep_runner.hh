@@ -5,7 +5,8 @@
  * Every paper table/figure is produced by sweeping a family of
  * ExperimentConfigs; each Experiment owns its own Simulation, cluster
  * and engines, so the points are embarrassingly parallel. SweepRunner
- * is a bounded thread pool over that structure: configs are claimed
+ * is a bounded worker pool (a per-sweep TaskPool) over that
+ * structure: configs are claimed
  * from an atomic cursor, results land at the index of their config
  * (deterministic ordering regardless of completion order), and an
  * optional progress callback is invoked — serialized — as each point

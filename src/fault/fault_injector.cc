@@ -291,14 +291,46 @@ FaultInjector::arm()
     impacts_.resize(plan_.events.size());
     snaps_.resize(plan_.events.size());
     for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        resolved_.push_back(resolve(plan_.events[i]));
+        impacts_[i].event = plan_.events[i];
+    }
+    // Event-storm coalescing: consecutive soft events firing at the
+    // bitwise-same instant (a correlated failure sweeping several
+    // domains at once) share one DES callback that applies them all
+    // inside a scheduler batch — one region closure, one fair-share
+    // solve for the whole storm instead of one per event. Hard faults
+    // stay solo: their handler aborts the run (cancelAll is not legal
+    // inside a batch) and must observe exactly the pre-fault state.
+    // The group occupies the first member's schedule position, so
+    // same-timestamp FIFO order against other subsystems' events is
+    // unchanged; restores keep their individual events.
+    for (std::size_t i = 0; i < plan_.events.size();) {
         const FaultEvent &ev = plan_.events[i];
-        resolved_.push_back(resolve(ev));
-        impacts_[i].event = ev;
-        sim_.events().schedule(ev.begin, [this, i] { apply(i); });
-        if (ev.duration > 0.0) {
-            sim_.events().schedule(ev.begin + ev.duration,
-                                   [this, i] { restore(i); });
+        std::size_t j = i + 1;
+        if (!isHardFault(ev.kind)) {
+            while (j < plan_.events.size() &&
+                   plan_.events[j].begin == ev.begin &&
+                   !isHardFault(plan_.events[j].kind)) {
+                ++j;
+            }
         }
+        if (j - i == 1) {
+            sim_.events().schedule(ev.begin, [this, i] { apply(i); });
+        } else {
+            sim_.events().schedule(ev.begin, [this, i, j] {
+                FlowScheduler::ScopedBatch batch(flows_);
+                for (std::size_t k = i; k < j; ++k)
+                    apply(k);
+            });
+        }
+        for (std::size_t k = i; k < j; ++k) {
+            if (plan_.events[k].duration > 0.0) {
+                sim_.events().schedule(
+                    plan_.events[k].begin + plan_.events[k].duration,
+                    [this, k] { restore(k); });
+            }
+        }
+        i = j;
     }
 }
 

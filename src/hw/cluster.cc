@@ -135,6 +135,16 @@ Cluster::Cluster(const ClusterSpec &spec)
     for (int n = 0; n < count; ++n) {
         rank_base_.push_back(static_cast<int>(all_gpus_.size()));
         nodes_.push_back(buildNode(topo_, n, spec_.nodeSpecOf(n)));
+        if (n == 0 && count > 1) {
+            // The first node establishes the per-node footprint;
+            // scale it by the node count (25% headroom covers the
+            // fabric tier on top) so the graph arrays are sized once
+            // up front instead of doubling while nodes stream in.
+            const std::size_t nodes = static_cast<std::size_t>(count);
+            topo_.reserve(topo_.componentCount() * nodes * 5 / 4,
+                          topo_.resourceCount() * nodes * 5 / 4,
+                          topo_.halfLinkCount() * nodes * 5 / 4);
+        }
         int local = 0;
         for (ComponentId gpu : nodes_.back().gpus) {
             node_of_rank_.push_back(n);

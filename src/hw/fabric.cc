@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <string>
 
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -31,7 +32,7 @@ addSwitch(Topology &topo, FabricInfo &info)
 {
     const int ordinal = static_cast<int>(info.switches.size());
     const ComponentId id = topo.addComponent(
-        ComponentKind::Switch, csprintf("sw%d", ordinal), -1, -1,
+        ComponentKind::Switch, "sw" + std::to_string(ordinal), -1, -1,
         ordinal);
     info.switches.push_back(id);
     return id;
@@ -46,7 +47,7 @@ uplinkNode(Topology &topo, const FabricHost &host, int n,
         topo.addDuplexLink(LinkClass::Roce, host.roce_per_dir,
                            host.nics[s], sw, PortKind::Device,
                            PortKind::Device, host.roce_latency,
-                           csprintf("n%d.roce-nic%zu", n, s));
+                           "n" + std::to_string(n) + ".roce-nic" + std::to_string(s));
     }
 }
 
@@ -158,7 +159,7 @@ buildFatTree(Topology &topo, const FabricSpec &spec,
                     agg_sw[static_cast<std::size_t>(p)]
                           [static_cast<std::size_t>(a)],
                     PortKind::Device, PortKind::Device, trunk_lat,
-                    csprintf("ft.p%d.e%d-a%d", p, e, a));
+                    "ft.p" + std::to_string(p) + ".e" + std::to_string(e) + "-a" + std::to_string(a));
             }
         }
     }
@@ -172,7 +173,7 @@ buildFatTree(Topology &topo, const FabricSpec &spec,
                           [static_cast<std::size_t>(a)],
                     cores[static_cast<std::size_t>(c)],
                     PortKind::Device, PortKind::Device, trunk_lat,
-                    csprintf("ft.p%d.a%d-c%d", p, a, c));
+                    "ft.p" + std::to_string(p) + ".a" + std::to_string(a) + "-c" + std::to_string(c));
             }
         }
     }
@@ -204,7 +205,7 @@ buildRail(Topology &topo, const std::vector<FabricHost> &hosts)
                                host.nics[r], rail_sw[r],
                                PortKind::Device, PortKind::Device,
                                host.roce_latency,
-                               csprintf("n%zu.roce-nic%zu", n, r));
+                               "n" + std::to_string(n) + ".roce-nic" + std::to_string(r));
         }
     }
     return info;
@@ -246,7 +247,7 @@ buildSpineLeaf(Topology &topo, const FabricSpec &spec,
                                leaf_sw[static_cast<std::size_t>(l)],
                                spine_sw[static_cast<std::size_t>(s)],
                                PortKind::Device, PortKind::Device,
-                               trunk_lat, csprintf("sl.l%d-s%d", l, s));
+                               trunk_lat, "sl.l" + std::to_string(l) + "-s" + std::to_string(s));
         }
     }
     return info;

@@ -38,33 +38,6 @@ linkClassName(LinkClass cls)
     panic("unknown LinkClass %d", static_cast<int>(cls));
 }
 
-double
-linkClassEfficiency(LinkClass cls)
-{
-    // Protocol/encoding efficiency: the achievable fraction of the
-    // quoted line rate under ideal (same-socket, uncontended)
-    // conditions. RoCE is calibrated to the paper's 93% stress-test
-    // result; PCIe/NVLink values follow common microbenchmark
-    // achievable rates; DRAM accounts for refresh/turnaround.
-    switch (cls) {
-      case LinkClass::Dram:
-        return 0.85;
-      case LinkClass::Xgmi:
-        return 0.88;
-      case LinkClass::PcieGpu:
-      case LinkClass::PcieNvme:
-      case LinkClass::PcieNic:
-        return 0.82;
-      case LinkClass::NvLink:
-        return 0.80;
-      case LinkClass::Roce:
-        return 0.93;
-      case LinkClass::NvmeMedia:
-      case LinkClass::IodXbar:
-        return 1.0;  // these capacities are already effective rates
-    }
-    panic("unknown LinkClass %d", static_cast<int>(cls));
-}
 
 void
 RateLog::fold(SimTime s_begin, SimTime s_end, Bps rate)
@@ -111,18 +84,6 @@ RateLog::close(SimTime t)
     if (retain_segments_)
         segments_.push_back(Segment{open_since_, t, current_rate_});
     open_since_ = t;
-}
-
-void
-RateLog::setRate(SimTime t, Bps rate)
-{
-    DSTRAIN_ASSERT(t >= open_since_, "rate log time went backwards");
-    if (rate == current_rate_)
-        return;
-    if (t > open_since_)
-        close(t);
-    open_since_ = t;
-    current_rate_ = rate;
 }
 
 void

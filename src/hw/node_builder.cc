@@ -5,6 +5,8 @@
 
 #include "hw/node_builder.hh"
 
+#include <string>
+
 #include "util/logging.hh"
 
 namespace dstrain {
@@ -30,15 +32,15 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
     DSTRAIN_ASSERT(spec.nics >= 1, "need at least one NIC per node");
 
     NodeHandles h;
-    const std::string prefix = csprintf("n%d.", node);
+    const std::string prefix = "n" + std::to_string(node) + ".";
 
     // CPUs and their DRAM pools.
     for (int s = 0; s < spec.sockets; ++s) {
         ComponentId cpu = topo.addComponent(
-            ComponentKind::CpuIod, prefix + csprintf("cpu%d", s), node, s,
+            ComponentKind::CpuIod, prefix + "cpu" + std::to_string(s), node, s,
             s);
         ComponentId dram = topo.addComponent(
-            ComponentKind::DramPool, prefix + csprintf("dram%d", s), node,
+            ComponentKind::DramPool, prefix + "dram" + std::to_string(s), node,
             s, s);
         h.cpus.push_back(cpu);
         h.drams.push_back(dram);
@@ -51,7 +53,7 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
         topo.addSharedLink(LinkClass::Dram, dram_pool, cpu, dram,
                            PortKind::MemCtrl, PortKind::Device,
                            spec.dram_latency,
-                           prefix + csprintf("dram%d", s));
+                           prefix + "dram" + std::to_string(s));
     }
 
     // xGMI: three IFIS links aggregated into one duplex bundle.
@@ -64,7 +66,7 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
     // GPUs: PCIe x16 to the owning socket + full NVLink mesh.
     for (int g = 0; g < spec.gpus; ++g) {
         ComponentId gpu = topo.addComponent(
-            ComponentKind::Gpu, prefix + csprintf("gpu%d", g), node,
+            ComponentKind::Gpu, prefix + "gpu" + std::to_string(g), node,
             gpuSocket(spec, g), g);
         h.gpus.push_back(gpu);
         topo.addDuplexLink(LinkClass::PcieGpu, spec.pcie_x16,
@@ -72,7 +74,7 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
                                gpuSocket(spec, g))],
                            gpu, PortKind::SerDes, PortKind::Device,
                            spec.pcie_latency,
-                           prefix + csprintf("pcie-gpu%d", g));
+                           prefix + "pcie-gpu" + std::to_string(g));
     }
     const Bps nvlink_pair = spec.nvlink_per_link *
                             static_cast<double>(spec.nvlink_links_per_pair);
@@ -83,7 +85,7 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
                                h.gpus[static_cast<std::size_t>(b)],
                                PortKind::Device, PortKind::Device,
                                spec.nvlink_latency,
-                               prefix + csprintf("nvlink%d-%d", a, b));
+                               prefix + "nvlink" + std::to_string(a) + "-" + std::to_string(b));
         }
     }
 
@@ -93,13 +95,13 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
     for (int i = 0; i < spec.nics; ++i) {
         const int s = i % spec.sockets;
         ComponentId nic = topo.addComponent(
-            ComponentKind::Nic, prefix + csprintf("nic%d", i), node, s, i);
+            ComponentKind::Nic, prefix + "nic" + std::to_string(i), node, s, i);
         h.nics.push_back(nic);
         topo.addDuplexLink(LinkClass::PcieNic, spec.pcie_x16,
                            h.cpus[static_cast<std::size_t>(s)], nic,
                            PortKind::SerDes, PortKind::Device,
                            spec.pcie_latency,
-                           prefix + csprintf("pcie-nic%d", i));
+                           prefix + "pcie-nic" + std::to_string(i));
     }
 
     // The shared IOD crossbar path consumed by cross-socket storage
@@ -114,26 +116,26 @@ buildNode(Topology &topo, int node, const NodeSpec &spec)
         DSTRAIN_ASSERT(ds.socket >= 0 && ds.socket < spec.sockets,
                        "nvme drive %zu on bad socket %d", d, ds.socket);
         ComponentId drive = topo.addComponent(
-            ComponentKind::NvmeDrive, prefix + csprintf("nvme%zu", d),
+            ComponentKind::NvmeDrive, prefix + "nvme" + std::to_string(d),
             node, ds.socket, static_cast<int>(d));
         h.nvmes.push_back(drive);
         topo.addDuplexLink(LinkClass::PcieNvme, spec.pcie_x4,
                            h.cpus[static_cast<std::size_t>(ds.socket)],
                            drive, PortKind::SerDes, PortKind::Device,
                            spec.pcie_latency,
-                           prefix + csprintf("pcie-nvme%zu", d));
+                           prefix + "pcie-nvme" + std::to_string(d));
 
         // The NAND media behind the controller: a half-duplex
         // (read/write shared) constraint. Cache-burst traffic
         // terminates at the controller and bypasses it.
         ComponentId media = topo.addComponent(
             ComponentKind::NvmeMedia,
-            prefix + csprintf("nvme%zu.media", d), node, ds.socket,
+            prefix + "nvme" + std::to_string(d) + ".media", node, ds.socket,
             static_cast<int>(d));
         h.nvme_medias.push_back(media);
         topo.addSharedLink(LinkClass::NvmeMedia, ds.media_rate, drive,
                            media, PortKind::Device, PortKind::Device,
-                           20e-6, prefix + csprintf("nvme%zu.media", d));
+                           20e-6, prefix + "nvme" + std::to_string(d) + ".media");
     }
 
     return h;

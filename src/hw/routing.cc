@@ -7,7 +7,6 @@
 #include "hw/routing.hh"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 
 #include "util/logging.hh"
@@ -94,14 +93,44 @@ Router::route(ComponentId src, ComponentId dst) const
     return r;
 }
 
-const std::vector<Route> &
-Router::equalCostRoutes(ComponentId src, ComponentId dst) const
+Router::EcmpEntry &
+Router::ecmpEntry(ComponentId src, ComponentId dst) const
 {
     const std::uint64_t key = cacheKey(src, dst);
     auto it = ecmp_cache_.find(key);
-    if (it == ecmp_cache_.end())
-        it = ecmp_cache_.emplace(key, computeEqualCost(src, dst)).first;
+    if (it == ecmp_cache_.end()) {
+        EcmpEntry e;
+        e.paths = computeEqualCost(src, dst);
+        e.done.assign(e.paths.size(), 0);
+        it = ecmp_cache_.emplace(key, std::move(e)).first;
+    }
     return it->second;
+}
+
+const Route &
+Router::finishedPath(EcmpEntry &e, std::size_t i) const
+{
+    // In-place finish keeps every previously returned reference
+    // stable: the Route object's address never changes, only its
+    // analysis fields fill in, and that happens before anyone can
+    // hold a reference to path i.
+    if (!e.done[i]) {
+        e.paths[i] = finishRoute(std::move(e.paths[i].hops));
+        e.done[i] = 1;
+    }
+    return e.paths[i];
+}
+
+const std::vector<Route> &
+Router::equalCostRoutes(ComponentId src, ComponentId dst) const
+{
+    // The public list is fully analyzed: external callers may read
+    // any path's latency/cap. Flow routing goes through routeForFlow
+    // below, which finishes only the selected path.
+    EcmpEntry &e = ecmpEntry(src, dst);
+    for (std::size_t i = 0; i < e.paths.size(); ++i)
+        finishedPath(e, i);
+    return e.paths;
 }
 
 const Route &
@@ -110,15 +139,16 @@ Router::routeForFlow(ComponentId src, ComponentId dst,
 {
     if (!ecmp_.enabled)
         return route(src, dst);
-    const std::vector<Route> &paths = equalCostRoutes(src, dst);
+    EcmpEntry &e = ecmpEntry(src, dst);
     // A unique shortest path is returned through the plain cache, so
     // single-path fabrics behave (and fingerprint) exactly like the
     // pre-ECMP router.
-    if (paths.size() <= 1)
+    if (e.paths.size() <= 1)
         return route(src, dst);
     const std::uint64_t h =
         mix64(mix64(cacheKey(src, dst) ^ ecmp_.seed) + flow_key);
-    return paths[static_cast<std::size_t>(h % paths.size())];
+    return finishedPath(
+        e, static_cast<std::size_t>(h % e.paths.size()));
 }
 
 Route
@@ -151,12 +181,75 @@ Router::routeVia2(ComponentId src, ComponentId via_a, ComponentId via_b,
     return routeThrough(src, {via_a, via_b}, dst);
 }
 
-const Router::SourceTree &
-Router::sourceTree(ComponentId src) const
+const Router::Nav &
+Router::nav() const
 {
-    auto it = tree_cache_.find(src);
-    if (it != tree_cache_.end())
-        return it->second;
+    if (!nav_.out_begin.empty())
+        return nav_;
+
+    const std::size_t n = topo_.componentCount();
+    const std::size_t m = topo_.halfLinkCount();
+    Nav nv;
+    nv.transit.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        nv.transit[c] =
+            isTransit(topo_.component(static_cast<ComponentId>(c)).kind)
+                ? 1
+                : 0;
+    }
+    nv.in_begin.assign(n + 1, 0);
+    for (std::size_t h = 0; h < m; ++h) {
+        const HalfLink &hl = topo_.halfLink(static_cast<HalfLinkId>(h));
+        ++nv.in_begin[static_cast<std::size_t>(hl.to) + 1];
+    }
+    // Forward CSR: concatenating the per-component adjacency lists
+    // preserves Topology::outgoing() order exactly. The endpoint
+    // array rides alongside so the BFS/DFS inner loops touch only
+    // sequential memory.
+    nv.out_begin.reserve(n + 1);
+    nv.out_edge.reserve(m);
+    nv.out_to.reserve(m);
+    for (std::size_t c = 0; c < n; ++c) {
+        nv.out_begin.push_back(
+            static_cast<std::uint32_t>(nv.out_edge.size()));
+        for (HalfLinkId hid : topo_.outgoing(static_cast<ComponentId>(c))) {
+            nv.out_edge.push_back(hid);
+            nv.out_to.push_back(topo_.halfLink(hid).to);
+        }
+    }
+    nv.out_begin.push_back(static_cast<std::uint32_t>(nv.out_edge.size()));
+    // Reverse CSR: filling in ascending half-link id order keeps each
+    // in-edge bucket sorted by id, matching the per-`to` push order a
+    // plain reverse-adjacency build would produce.
+    for (std::size_t c = 0; c < n; ++c)
+        nv.in_begin[c + 1] += nv.in_begin[c];
+    nv.in_edge.resize(m);
+    nv.in_from.resize(m);
+    std::vector<std::uint32_t> cursor(nv.in_begin.begin(),
+                                      nv.in_begin.end() - 1);
+    for (std::size_t h = 0; h < m; ++h) {
+        const HalfLink &hl = topo_.halfLink(static_cast<HalfLinkId>(h));
+        const std::uint32_t at =
+            cursor[static_cast<std::size_t>(hl.to)]++;
+        nv.in_edge[at] = static_cast<HalfLinkId>(h);
+        nv.in_from[at] = hl.from;
+    }
+    nav_ = std::move(nv);
+    return nav_;
+}
+
+const Router::SourceTree &
+Router::sourceTree(ComponentId src, ComponentId dst) const
+{
+    SourceTree &tree = tree_scratch_;
+    // A cached tree serves this query when it reached the requested
+    // dst (levels up to dist[dst] are final in any truncated tree) or
+    // when its BFS ran to exhaustion (then "unstamped" really means
+    // "unreachable" for every dst).
+    if (tree_src_ == src &&
+        (tree.complete ||
+         tree.reaches(static_cast<std::size_t>(dst))))
+        return tree;
 
     // Plain BFS: hop count metric, deterministic order because
     // adjacency lists are in insertion order and the queue is FIFO.
@@ -164,32 +257,64 @@ Router::sourceTree(ComponentId src) const
     // recorded but are never enqueued — a per-destination BFS enters
     // its (non-transit) dst the same way, so the tree serves every
     // destination at once, bit-identically.
+    //
+    // The walk stops the instant dst is assigned: FIFO order has
+    // already finalized every level below dist[dst] by then, which is
+    // all the via-chain walk and the equal-cost DAG pruning ever
+    // read (deeper entries only matter through reaches(), where
+    // "never assigned" filters exactly the edges the level checks
+    // would). Stale via/dist entries from earlier builds are fenced
+    // by the epoch stamp instead of cleared, so a rebuild writes only
+    // what it visits.
+    const Nav &nv = nav();
     const std::size_t n = topo_.componentCount();
-    SourceTree tree;
-    tree.via.assign(n, -1);
-    tree.dist.assign(n, std::numeric_limits<int>::max());
-    std::deque<ComponentId> queue;
+    if (tree.stamp.size() != n) {
+        tree.via.resize(n);
+        tree.dist.resize(n);
+        tree.stamp.assign(n, 0);
+        tree.epoch = 0;
+    }
+    if (++tree.epoch == 0) {
+        // Epoch wrapped: old stamps could alias the new epoch, so
+        // restamp from scratch once every 2^32 builds.
+        std::fill(tree.stamp.begin(), tree.stamp.end(), 0u);
+        tree.epoch = 1;
+    }
+    std::vector<ComponentId> &queue = tree_queue_;
+    queue.clear();
 
-    tree.dist[static_cast<std::size_t>(src)] = 0;
-    queue.push_back(src);
-    while (!queue.empty()) {
-        ComponentId cur = queue.front();
-        queue.pop_front();
-        for (HalfLinkId hid : topo_.outgoing(cur)) {
-            const HalfLink &hl = topo_.halfLink(hid);
-            ComponentId next = hl.to;
-            if (tree.dist[static_cast<std::size_t>(next)] !=
-                std::numeric_limits<int>::max()) {
-                continue;
+    const std::size_t s = static_cast<std::size_t>(src);
+    tree.via[s] = -1;
+    tree.dist[s] = 0;
+    tree.stamp[s] = tree.epoch;
+    bool hit = src == dst;
+    if (!hit) {
+        queue.push_back(src);
+        for (std::size_t head = 0; head < queue.size() && !hit;
+             ++head) {
+            const std::size_t cur =
+                static_cast<std::size_t>(queue[head]);
+            const std::uint32_t end = nv.out_begin[cur + 1];
+            for (std::uint32_t k = nv.out_begin[cur]; k < end; ++k) {
+                const std::size_t next =
+                    static_cast<std::size_t>(nv.out_to[k]);
+                if (tree.stamp[next] == tree.epoch)
+                    continue;
+                tree.stamp[next] = tree.epoch;
+                tree.dist[next] = tree.dist[cur] + 1;
+                tree.via[next] = nv.out_edge[k];
+                if (static_cast<ComponentId>(next) == dst) {
+                    hit = true;
+                    break;
+                }
+                if (nv.transit[next])
+                    queue.push_back(static_cast<ComponentId>(next));
             }
-            tree.dist[static_cast<std::size_t>(next)] =
-                tree.dist[static_cast<std::size_t>(cur)] + 1;
-            tree.via[static_cast<std::size_t>(next)] = hid;
-            if (isTransit(topo_.component(next).kind))
-                queue.push_back(next);
         }
     }
-    return tree_cache_.emplace(src, std::move(tree)).first->second;
+    tree.complete = !hit;
+    tree_src_ = src;
+    return tree;
 }
 
 const std::vector<int> &
@@ -199,35 +324,26 @@ Router::distToDst(ComponentId dst) const
     if (it != rev_dist_cache_.end())
         return it->second;
 
-    const std::size_t n = topo_.componentCount();
-    if (incoming_.empty()) {
-        incoming_.resize(n);
-        for (std::size_t i = 0; i < topo_.halfLinkCount(); ++i) {
-            const HalfLinkId hid = static_cast<HalfLinkId>(i);
-            incoming_[static_cast<std::size_t>(topo_.halfLink(hid).to)]
-                .push_back(hid);
-        }
-    }
-
     // BFS from dst over reversed edges; interior nodes must be
     // transit, mirroring the forward traversal's filter.
+    const Nav &nv = nav();
+    const std::size_t n = topo_.componentCount();
     std::vector<int> dist(n, std::numeric_limits<int>::max());
-    std::deque<ComponentId> queue;
+    std::vector<ComponentId> queue;
+    queue.reserve(n);
     dist[static_cast<std::size_t>(dst)] = 0;
     queue.push_back(dst);
-    while (!queue.empty()) {
-        ComponentId cur = queue.front();
-        queue.pop_front();
-        for (HalfLinkId hid : incoming_[static_cast<std::size_t>(cur)]) {
-            ComponentId prev = topo_.halfLink(hid).from;
-            if (dist[static_cast<std::size_t>(prev)] !=
-                std::numeric_limits<int>::max()) {
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const std::size_t cur = static_cast<std::size_t>(queue[head]);
+        const std::uint32_t end = nv.in_begin[cur + 1];
+        for (std::uint32_t k = nv.in_begin[cur]; k < end; ++k) {
+            const std::size_t prev =
+                static_cast<std::size_t>(nv.in_from[k]);
+            if (dist[prev] != std::numeric_limits<int>::max())
                 continue;
-            }
-            dist[static_cast<std::size_t>(prev)] =
-                dist[static_cast<std::size_t>(cur)] + 1;
-            if (isTransit(topo_.component(prev).kind))
-                queue.push_back(prev);
+            dist[prev] = dist[cur] + 1;
+            if (nv.transit[prev])
+                queue.push_back(static_cast<ComponentId>(prev));
         }
     }
     return rev_dist_cache_.emplace(dst, std::move(dist)).first->second;
@@ -236,8 +352,9 @@ Router::distToDst(ComponentId dst) const
 Route
 Router::computeRoute(ComponentId src, ComponentId dst) const
 {
-    const SourceTree &tree = sourceTree(src);
-    if (tree.via[static_cast<std::size_t>(dst)] < 0)
+    const SourceTree &tree = sourceTree(src, dst);
+    if (!tree.reaches(static_cast<std::size_t>(dst)) ||
+        tree.via[static_cast<std::size_t>(dst)] < 0)
         return Route{};
 
     std::vector<HalfLinkId> hops;
@@ -254,66 +371,86 @@ Router::computeRoute(ComponentId src, ComponentId dst) const
 std::vector<Route>
 Router::computeEqualCost(ComponentId src, ComponentId dst) const
 {
-    // Establish reachability (fatal otherwise) and the shortest
-    // length through the plain cache first.
-    const Route &first = route(src, dst);
+    DSTRAIN_ASSERT(src != dst, "route from component %d to itself",
+                   src);
 
-    // The shortest-path DAG: the union of edges with
-    // dist[to] == dist[from] + 1, taken from the per-source tree.
-    // Levels strictly increase along any shortest path, so paths
-    // routed *through* dst would need dist > target and are excluded
-    // by the level checks below — no per-destination BFS needed.
+    // The enumeration runs off the *reverse* tree alone. A node at
+    // DFS depth d sits on a shortest path (invariant maintained by
+    // the prune below), so for an out-edge to `next`:
+    //
+    //   rev[next] == target - (d + 1)
+    //     ==> dist[next] >= d + 1   (triangle inequality: a shorter
+    //         forward path would compose with next's reverse path
+    //         into a sub-target src->dst walk; `next` is transit or
+    //         dst here, so it may sit interior to that composition)
+    //     and dist[next] <= dist[cur] + 1 = d + 1  (edge relaxation;
+    //         cur is transit-or-src, so the forward BFS expands it)
+    //     ==> dist[next] == d + 1 exactly.
+    //
+    // I.e. the old forward-tree level check is implied: the DAG — and
+    // the DFS enumeration order the ECMP hash indexes into, which
+    // follows forward adjacency order — is bit-identical to the
+    // two-tree version, and a route-cache miss on a multi-path pair
+    // costs one BFS (reverse, shared per destination), not two.
     constexpr int kUnreached = std::numeric_limits<int>::max();
-    const std::vector<int> &dist = sourceTree(src).dist;
     const std::vector<int> &rev = distToDst(dst);
-    const int target = dist[static_cast<std::size_t>(dst)];
-    DSTRAIN_ASSERT(target != kUnreached, "BFS disagrees with route()");
+    const int target = rev[static_cast<std::size_t>(src)];
+    if (target == kUnreached) {
+        fatal("no route from %s to %s in this topology",
+              topo_.component(src).name.c_str(),
+              topo_.component(dst).name.c_str());
+    }
 
     // Depth-first enumeration of the DAG in adjacency order, capped
     // at max_paths. Depth is bounded by the shortest-path length, so
     // plain recursion is safe.
+    const Nav &nv = nav();
     std::vector<Route> paths;
     std::vector<HalfLinkId> hops;
     const std::size_t cap = static_cast<std::size_t>(
         std::max(1, ecmp_.max_paths));
-    auto dfs = [&](auto &&self, ComponentId cur) -> void {
+    auto dfs = [&](auto &&self, ComponentId cur, int d) -> void {
         if (paths.size() >= cap)
             return;
         if (cur == dst) {
-            paths.push_back(finishRoute(hops));
+            // Hop list only; the crossing/latency/cap analysis is
+            // deferred to first selection (see EcmpEntry).
+            Route r;
+            r.hops = hops;
+            paths.push_back(std::move(r));
             return;
         }
-        const int d = dist[static_cast<std::size_t>(cur)];
-        for (HalfLinkId hid : topo_.outgoing(cur)) {
-            const HalfLink &hl = topo_.halfLink(hid);
-            ComponentId next = hl.to;
-            if (next != dst && !isTransit(topo_.component(next).kind))
+        const std::uint32_t end =
+            nv.out_begin[static_cast<std::size_t>(cur) + 1];
+        for (std::uint32_t k = nv.out_begin[static_cast<std::size_t>(cur)];
+             k < end; ++k) {
+            const HalfLinkId hid = nv.out_edge[k];
+            ComponentId next = nv.out_to[k];
+            if (next != dst && !nv.transit[static_cast<std::size_t>(next)])
                 continue;
-            if (dist[static_cast<std::size_t>(next)] != d + 1)
-                continue;
-            // On-a-shortest-path prune: descending into a DAG level
-            // is not enough — from a spine every leaf sits at d + 1,
-            // and without this check the DFS walks whole subtrees
-            // that can never reach dst. The prune drops exactly the
-            // path-less branches, so the surviving paths (and their
-            // DFS order, which ECMP hashes index into) are unchanged.
+            // On-a-shortest-path prune: exactly remaining-distance
+            // budget left at next. Descending blindly is not enough —
+            // from a spine every leaf is one hop away, and without
+            // this check the DFS walks whole subtrees that can never
+            // reach dst on budget.
             if (rev[static_cast<std::size_t>(next)] == kUnreached ||
                 d + 1 + rev[static_cast<std::size_t>(next)] != target) {
                 continue;
             }
             hops.push_back(hid);
-            self(self, next);
+            self(self, next, d + 1);
             hops.pop_back();
             if (paths.size() >= cap)
                 return;
         }
     };
-    dfs(dfs, src);
+    dfs(dfs, src, 0);
     DSTRAIN_ASSERT(!paths.empty(), "DAG enumeration found no path");
     if (paths.size() == 1) {
         // The unique shortest path must be the BFS one; keeping the
         // exact object aligned keeps routeForFlow bit-identical.
-        DSTRAIN_ASSERT(paths.front().hops == first.hops,
+        // (Only this branch pays for the forward tree.)
+        DSTRAIN_ASSERT(paths.front().hops == route(src, dst).hops,
                        "unique path disagrees with BFS route");
     }
     return paths;

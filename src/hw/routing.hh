@@ -150,13 +150,67 @@ class Router
      * pair is what keeps route-cache misses cheap on generated
      * fabrics, where a wave of flows touches thousands of distinct
      * pairs but only a few hundred sources.
+     *
+     * Two build shortcuts, both invisible in the outputs:
+     *
+     *   * The BFS stops the moment the requested dst is assigned.
+     *     FIFO order finalizes levels monotonically, so everything a
+     *     reader consults — the via-chain (all at levels below
+     *     dist[dst]) and the equal-cost DAG interior (same bound) —
+     *     already holds its final value; deeper levels are only ever
+     *     read through the reaches() guard, where "unassigned" and
+     *     "assigned but failing the DAG level check" coincide. A
+     *     truncated tree answers any dst it reached; `complete`
+     *     marks trees whose BFS exhausted the queue and therefore
+     *     answer every dst (including "unreachable").
+     *
+     *   * Entries are validity-stamped per build (epoch counter)
+     *     instead of clearing the via/dist arrays each time, saving
+     *     two full-array writes per source on ~10^4-component
+     *     fabrics. via/dist are only meaningful where
+     *     stamp[v] == epoch; readers go through reaches().
      */
     struct SourceTree {
         std::vector<HalfLinkId> via;
         std::vector<int> dist;
+        std::vector<std::uint32_t> stamp;
+        std::uint32_t epoch = 0;
+        bool complete = false;
+
+        bool reaches(std::size_t v) const
+        {
+            return stamp[v] == epoch;
+        }
     };
 
-    const SourceTree &sourceTree(ComponentId src) const;
+    const SourceTree &sourceTree(ComponentId src,
+                                 ComponentId dst) const;
+
+    /**
+     * Dense navigation arrays over the (immutable) topology, built
+     * lazily on the first traversal: CSR adjacency in the exact order
+     * of Topology::outgoing(), reverse CSR adjacency in half-link id
+     * order, flat per-edge endpoint arrays, and a transit bitmap.
+     *
+     * The BFS/DFS hot loops run over these instead of chasing
+     * per-component vectors and looking up kinds through Component
+     * records (whose embedded name strings drag an extra cache line
+     * into every edge visit). Traversal order is exactly the order
+     * the plain accessors produce, so every computed route — and
+     * every ECMP path list the selection hash indexes into — is
+     * bit-identical to the naive walk.
+     */
+    struct Nav {
+        std::vector<std::uint32_t> out_begin;  ///< size n+1, CSR offsets
+        std::vector<HalfLinkId> out_edge;      ///< grouped by `from`
+        std::vector<ComponentId> out_to;       ///< `to` of out_edge[k]
+        std::vector<std::uint32_t> in_begin;   ///< size n+1, CSR offsets
+        std::vector<HalfLinkId> in_edge;       ///< grouped by `to`
+        std::vector<ComponentId> in_from;      ///< `from` of in_edge[k]
+        std::vector<std::uint8_t> transit;     ///< may forward traffic
+    };
+
+    const Nav &nav() const;
 
     /**
      * Hop count from every component *to* @p dst over transit-only
@@ -170,7 +224,27 @@ class Router
 
     Route computeRoute(ComponentId src, ComponentId dst) const;
 
-    /** Enumerate the shortest-path DAG into explicit paths. */
+    /**
+     * One ECMP cache slot: the enumerated equal-cost paths plus a
+     * per-path "analysis ran" flag. Enumeration stores hop lists
+     * only; the crossing/latency/cap analysis (finishRoute) runs
+     * lazily, the first time a path is actually selected — on dense
+     * fabrics a pair enumerates up to max_paths routes but a flow
+     * consumes exactly one, and finishRoute is a pure function of
+     * the hop list, so deferring it changes no route anyone reads.
+     */
+    struct EcmpEntry {
+        std::vector<Route> paths;
+        std::vector<unsigned char> done;
+    };
+
+    EcmpEntry &ecmpEntry(ComponentId src, ComponentId dst) const;
+    const Route &finishedPath(EcmpEntry &e, std::size_t i) const;
+
+    /**
+     * Enumerate the shortest-path DAG into explicit paths (hop
+     * lists only; see EcmpEntry for the deferred analysis).
+     */
     std::vector<Route> computeEqualCost(ComponentId src,
                                         ComponentId dst) const;
 
@@ -195,14 +269,29 @@ class Router
      * dense n^2 table would dwarf the topology itself.
      */
     mutable std::unordered_map<std::uint64_t, Route> cache_;
-    mutable std::unordered_map<std::uint64_t, std::vector<Route>>
-        ecmp_cache_;
-    mutable std::unordered_map<ComponentId, SourceTree> tree_cache_;
+    mutable std::unordered_map<std::uint64_t, EcmpEntry> ecmp_cache_;
+    /**
+     * Single-slot forward-tree scratch. Finished routes are cached
+     * per pair above, so a source tree is only re-read while the
+     * router works through routes from the same source — which
+     * arrive consecutively in every traffic pattern we generate.
+     * Keeping exactly the latest tree (and reusing its buffers)
+     * serves that pattern as well as a per-source map, without
+     * retaining ~2 ints per component per distinct source: on a
+     * generated fabric a wave of flows touches hundreds of sources
+     * once each, and a map burns megabytes of fresh pages per run on
+     * trees that are never read again. Reverse distances stay in a
+     * map (below): destination fan-in is the common shape — many
+     * sources target few destinations, interleaved — so per-dst
+     * reuse is real and the retained vector is half a tree.
+     */
+    mutable SourceTree tree_scratch_;
+    mutable ComponentId tree_src_ = kNoComponent;
+    mutable std::vector<ComponentId> tree_queue_;
     mutable std::unordered_map<ComponentId, std::vector<int>>
         rev_dist_cache_;
-    /** Reverse adjacency (in-edges per component), built on first
-     *  distToDst() call — the topology is immutable under a Router. */
-    mutable std::vector<std::vector<HalfLinkId>> incoming_;
+    /** See Nav; empty out_begin means "not built yet". */
+    mutable Nav nav_;
 };
 
 } // namespace dstrain

@@ -111,46 +111,6 @@ Topology::addSharedLink(LinkClass cls, Bps shared, ComponentId a,
     return res;
 }
 
-const Component &
-Topology::component(ComponentId id) const
-{
-    DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(components_.size()),
-                   "bad component id %d", id);
-    return components_[static_cast<std::size_t>(id)];
-}
-
-const HalfLink &
-Topology::halfLink(HalfLinkId id) const
-{
-    DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(half_links_.size()),
-                   "bad half-link id %d", id);
-    return half_links_[static_cast<std::size_t>(id)];
-}
-
-const Resource &
-Topology::resource(ResourceId id) const
-{
-    DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(resources_.size()),
-                   "bad resource id %d", id);
-    return resources_[static_cast<std::size_t>(id)];
-}
-
-Resource &
-Topology::resource(ResourceId id)
-{
-    DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(resources_.size()),
-                   "bad resource id %d", id);
-    return resources_[static_cast<std::size_t>(id)];
-}
-
-const std::vector<HalfLinkId> &
-Topology::outgoing(ComponentId id) const
-{
-    DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(adjacency_.size()),
-                   "bad component id %d", id);
-    return adjacency_[static_cast<std::size_t>(id)];
-}
-
 std::vector<ComponentId>
 Topology::componentsOfKind(ComponentKind kind) const
 {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hw/link.hh"
+#include "util/logging.hh"
 #include "util/units.hh"
 
 namespace dstrain {
@@ -98,6 +99,22 @@ class Topology
 
     // --- construction -------------------------------------------------
 
+    /**
+     * Pre-size the graph arrays (a growth hint, not a limit).
+     * Resource records embed strings and a RateLog, so letting the
+     * vectors double repeatedly while a large cluster streams in
+     * move-constructs every record O(log n) times; builders that know
+     * their rough footprint call this once instead.
+     */
+    void reserve(std::size_t components, std::size_t resources,
+                 std::size_t half_links)
+    {
+        components_.reserve(components);
+        adjacency_.reserve(components);
+        resources_.reserve(resources);
+        half_links_.reserve(half_links);
+    }
+
     /** Add a component; returns its id. */
     ComponentId addComponent(ComponentKind kind, std::string name,
                              int node, int socket, int index);
@@ -134,17 +151,48 @@ class Topology
 
     // --- accessors -----------------------------------------------------
 
-    const Component &component(ComponentId id) const;
-    const HalfLink &halfLink(HalfLinkId id) const;
-    const Resource &resource(ResourceId id) const;
-    Resource &resource(ResourceId id);
+    // Defined inline: these four sit on the BFS/DFS hot paths of the
+    // router and the per-edge loops of the flow scheduler, where an
+    // out-of-line call per edge visit is measurable.
+    const Component &component(ComponentId id) const
+    {
+        DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(components_.size()),
+                       "bad component id %d", id);
+        return components_[static_cast<std::size_t>(id)];
+    }
+
+    const HalfLink &halfLink(HalfLinkId id) const
+    {
+        DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(half_links_.size()),
+                       "bad half-link id %d", id);
+        return half_links_[static_cast<std::size_t>(id)];
+    }
+
+    const Resource &resource(ResourceId id) const
+    {
+        DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(resources_.size()),
+                       "bad resource id %d", id);
+        return resources_[static_cast<std::size_t>(id)];
+    }
+
+    Resource &resource(ResourceId id)
+    {
+        DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(resources_.size()),
+                       "bad resource id %d", id);
+        return resources_[static_cast<std::size_t>(id)];
+    }
 
     std::size_t componentCount() const { return components_.size(); }
     std::size_t halfLinkCount() const { return half_links_.size(); }
     std::size_t resourceCount() const { return resources_.size(); }
 
     /** Outgoing half-link ids of a component. */
-    const std::vector<HalfLinkId> &outgoing(ComponentId id) const;
+    const std::vector<HalfLinkId> &outgoing(ComponentId id) const
+    {
+        DSTRAIN_ASSERT(id >= 0 && id < static_cast<int>(adjacency_.size()),
+                       "bad component id %d", id);
+        return adjacency_[static_cast<std::size_t>(id)];
+    }
 
     /** All components of a given kind, in id order. */
     std::vector<ComponentId> componentsOfKind(ComponentKind kind) const;

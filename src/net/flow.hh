@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,10 @@ struct FlowSpec {
     std::string tag;
 };
 
+/** finish_at value for flows that are not progressing. */
+constexpr SimTime kFlowNeverFinishes =
+    std::numeric_limits<SimTime>::infinity();
+
 /** Internal representation of an active flow (scheduler-owned). */
 struct Flow {
     FlowId id = 0;
@@ -60,9 +65,24 @@ struct Flow {
     /** Scheduler bookkeeping: this flow's index inside each crossed
      * resource's crossing-flow list, parallel to `resources`. */
     std::vector<std::uint32_t> res_pos;
+    /**
+     * Bytes left as of `anchor`. The scheduler keeps (anchor,
+     * remaining) exact and settles a flow — one multiply-subtract
+     * over the whole constant-rate span — only when its rate
+     * changes or its remaining is observed, never piecewise at
+     * unrelated events.
+     */
     Bytes remaining = 0.0;
-    Bps rate = 0.0;       ///< current assigned rate
-    Bps cap = 0.0;        ///< min(route cap, spec cap)
+    SimTime anchor = 0.0;  ///< time `remaining` was last made exact
+    /**
+     * Predicted completion time, anchor + remaining / rate, kept in
+     * the scheduler's completion index; kFlowNeverFinishes while the
+     * flow is rate-less (stalled or mid-batch).
+     */
+    SimTime finish_at = kFlowNeverFinishes;
+    Bps rate = 0.0;        ///< current assigned rate
+    Bps cap = 0.0;         ///< min(route cap, spec cap)
+    bool stalled = false;  ///< parked: every crossed link at zero capacity
     std::function<void()> on_complete;
     std::string tag;
 };

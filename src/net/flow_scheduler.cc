@@ -2,7 +2,7 @@
  * @file
  * Implementation of the max-min fair flow scheduler.
  *
- * Three invariants drive the incremental paths (see DESIGN.md
+ * Four invariants drive the incremental paths (see DESIGN.md
  * "Performance architecture"):
  *
  *  - A new flow whose crossed resources all keep slack for its full
@@ -24,7 +24,21 @@
  *    as the global pass does. The region solver exploits this to
  *    re-solve only the component(s) an event touches; flows outside
  *    keep their frozen rates, which by the same argument are still
- *    their global max-min rates.
+ *    their global max-min rates. It also makes components of one
+ *    solve independent units of work: they can be filled concurrently
+ *    and committed in canonical order, bit-identical to serial.
+ *
+ *  - A flow's remaining-bytes trajectory is piecewise linear in its
+ *    rate. Keeping (anchor, remaining) exact and settling in ONE
+ *    multiply-subtract per constant-rate span — only when the rate
+ *    value actually changes or the remaining is observed — is the
+ *    scheduler's definition of progress. (Settling the same span
+ *    piecewise would change the float result, so unchanged flows are
+ *    deliberately never touched; that is also what makes per-event
+ *    cost independent of the number of unaffected flows.) The stored
+ *    predicted finish time, anchor + remaining / rate, changes only
+ *    at those same points, which is what lets the completion index
+ *    be maintained incrementally.
  *
  * Everything else falls back to a water-filling pass (global or
  * region-scoped by mode) over flat, reusable per-resource arrays.
@@ -36,6 +50,7 @@
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/task_pool.hh"
 
 namespace dstrain {
 
@@ -50,10 +65,21 @@ constexpr double kSaturationFraction = 1e-9;
 } // namespace
 
 FlowScheduler::FlowScheduler(Simulation &sim, Topology &topo,
-                             FlowSolverMode mode, bool verify_fair_share)
-    : sim_(sim), topo_(topo), mode_(mode), verify_(verify_fair_share)
+                             FlowSchedulerOptions opts)
+    : sim_(sim), topo_(topo), mode_(opts.mode),
+      verify_(opts.verify_fair_share),
+      use_index_(opts.completion_index), pool_(opts.fill_pool),
+      parallel_threshold_(opts.parallel_fill_threshold)
 {
     ensureResourceArrays();
+}
+
+FlowScheduler::FlowScheduler(Simulation &sim, Topology &topo,
+                             FlowSolverMode mode, bool verify_fair_share)
+    : FlowScheduler(sim, topo,
+                    FlowSchedulerOptions{mode, verify_fair_share, true,
+                                         nullptr, 16})
+{
 }
 
 FlowScheduler::~FlowScheduler()
@@ -61,6 +87,8 @@ FlowScheduler::~FlowScheduler()
     if (active_count_ != 0)
         warn("FlowScheduler destroyed with %zu active flows",
              active_count_);
+    if (batch_depth_ != 0)
+        warn("FlowScheduler destroyed with an open batch");
 }
 
 void
@@ -80,6 +108,7 @@ FlowScheduler::ensureResourceArrays()
     res_mark_.resize(n, 0);
     res_comp_mark_.resize(n, 0);
     res_saturated_.resize(n, 0);
+    res_local_.resize(n, 0);
     for (std::size_t i = old; i < n; ++i) {
         const Resource &r = topo_.resource(static_cast<ResourceId>(i));
         eff_cap_[i] = r.capacity * linkClassEfficiency(r.cls);
@@ -106,12 +135,31 @@ FlowScheduler::registerFlow(Flow f)
         prev_slot_.push_back(-1);
         flow_mark_.push_back(0);
         comp_mark_.push_back(0);
+        index_seq_.push_back(0);
+        stalled_pos_.push_back(0);
+        rate_slot_.push_back(0.0);
+        stalled_slot_.push_back(0);
+        route_begin_.push_back(0);
+        route_len_.push_back(0);
+        cap_slot_.push_back(0.0);
     } else {
         slot = free_slots_.back();
         free_slots_.pop_back();
         slots_[slot] = std::move(f);
+        rate_slot_[slot] = 0.0;
+        stalled_slot_[slot] = 0;
     }
     Flow &g = slots_[slot];
+    cap_slot_[slot] = g.cap;
+    if (route_arena_.size() + g.resources.size() >
+        2 * arena_live_ + 64) {
+        compactRouteArena();
+    }
+    route_begin_[slot] = static_cast<std::uint32_t>(route_arena_.size());
+    route_len_[slot] = static_cast<std::uint32_t>(g.resources.size());
+    route_arena_.insert(route_arena_.end(), g.resources.begin(),
+                        g.resources.end());
+    arena_live_ += g.resources.size();
     slot_of_id_[static_cast<std::size_t>(g.id - 1)] =
         static_cast<std::int32_t>(slot);
 
@@ -132,7 +180,6 @@ FlowScheduler::registerFlow(Flow f)
         g.res_pos.push_back(static_cast<std::uint32_t>(lst.size()));
         lst.push_back({slot, static_cast<std::uint32_t>(k)});
     }
-    order_.emplace(g.id, static_cast<std::int32_t>(slot));
     ++active_count_;
     return slot;
 }
@@ -150,6 +197,7 @@ FlowScheduler::detachFlow(std::uint32_t slot)
         lst.pop_back();
     }
     slot_of_id_[static_cast<std::size_t>(f.id - 1)] = -1;
+    arena_live_ -= route_len_[slot];
 
     const std::int32_t prev = prev_slot_[slot];
     const std::int32_t next = next_slot_[slot];
@@ -171,6 +219,111 @@ FlowScheduler::releaseSlot(std::uint32_t slot)
     free_slots_.push_back(slot);
 }
 
+void
+FlowScheduler::compactRouteArena()
+{
+    // Rewrite the arena with only the active slots' spans (walked in
+    // active-list order; the order of spans is irrelevant, only each
+    // span's internal order matters). Triggered when dead spans
+    // outnumber live ones, so the copy cost amortizes to O(1) per
+    // registration.
+    std::vector<ResourceId> packed;
+    packed.reserve(arena_live_);
+    for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s]) {
+        const std::uint32_t slot = static_cast<std::uint32_t>(s);
+        const std::uint32_t at = static_cast<std::uint32_t>(packed.size());
+        packed.insert(packed.end(),
+                      route_arena_.begin() + route_begin_[slot],
+                      route_arena_.begin() + route_begin_[slot] +
+                          route_len_[slot]);
+        route_begin_[slot] = at;
+    }
+    route_arena_ = std::move(packed);
+}
+
+// --- completion index ----------------------------------------------------
+
+void
+FlowScheduler::indexUpdate(std::uint32_t slot, SimTime key)
+{
+    if (!use_index_)
+        return;
+    index_seq_[slot] = next_index_seq_++;
+    index_.push(IndexEntry{key, index_seq_[slot], slot});
+    ++stats_.completion_index_updates;
+}
+
+void
+FlowScheduler::skimIndex()
+{
+    while (!index_.empty()) {
+        const IndexEntry &e = index_.top();
+        if (index_seq_[e.slot] == e.seq)
+            break;
+        index_.pop();
+    }
+}
+
+void
+FlowScheduler::compactIndexIfBloated()
+{
+    // Rate churn leaves superseded entries in the heap (lazy
+    // invalidation). Rebuild from the live entries once the stale
+    // ones dominate: O(active) work amortized against the >= active
+    // pushes it took to get here. The live (key, seq, slot) triples
+    // are preserved exactly, so pop/peek outcomes are unchanged.
+    if (index_.size() <= 2 * active_count_ + 64)
+        return;
+    std::vector<IndexEntry> fresh;
+    fresh.reserve(active_count_);
+    for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s]) {
+        const std::uint32_t slot = static_cast<std::uint32_t>(s);
+        if (index_seq_[slot] != 0)
+            fresh.push_back(IndexEntry{slots_[slot].finish_at,
+                                       index_seq_[slot], slot});
+    }
+    index_ = IndexHeap(IndexLater{}, std::move(fresh));
+}
+
+// --- stalled-flow parking ------------------------------------------------
+
+void
+FlowScheduler::parkStalled(std::uint32_t slot)
+{
+    Flow &f = slots_[slot];
+    f.finish_at = kFlowNeverFinishes;
+    indexRemove(slot);
+    if (f.stalled)
+        return;
+    f.stalled = true;
+    stalled_slot_[slot] = 1;
+    stalled_pos_[slot] = static_cast<std::uint32_t>(stalled_.size());
+    stalled_.push_back(slot);
+    ++stats_.stalled_parks;
+}
+
+void
+FlowScheduler::unparkStalled(std::uint32_t slot)
+{
+    Flow &f = slots_[slot];
+    DSTRAIN_ASSERT(f.stalled, "unpark of a flow that is not stalled");
+    f.stalled = false;
+    stalled_slot_[slot] = 0;
+    const std::uint32_t pos = stalled_pos_[slot];
+    const std::uint32_t back = stalled_.back();
+    stalled_[pos] = back;
+    stalled_pos_[back] = pos;
+    stalled_.pop_back();
+}
+
+void
+FlowScheduler::unparkResource(ResourceId rid)
+{
+    for (const ResFlow &rf : res_flows_[rid])
+        if (stalled_slot_[rf.slot])
+            unparkStalled(rf.slot);
+}
+
 // --- region machinery ----------------------------------------------------
 
 void
@@ -183,6 +336,8 @@ FlowScheduler::beginRegion()
 void
 FlowScheduler::seedRegionFlow(std::uint32_t slot)
 {
+    if (slots_[slot].stalled)
+        return;
     if (flow_mark_[slot] != mark_epoch_) {
         flow_mark_[slot] = mark_epoch_;
         region_flows_.push_back(slot);
@@ -204,41 +359,87 @@ FlowScheduler::partitionComponents()
     // flow joins, dragging in every flow crossing it — the ripple
     // propagation: any chain of shared (potentially saturating)
     // resources is followed to the full connected component, so no
-    // rate outside a component can move.
+    // rate outside a component can move. Stalled flows are invisible
+    // here: they hold rate zero on every link they cross, so they
+    // neither bridge components nor participate in any fill until a
+    // capacity restore unparks them.
+    // The BFS touches every member flow's route and every discovered
+    // resource's crossing list exactly once anyway, so it also
+    // gathers everything the fills will need — the per-flow CSR of
+    // component-local resource ids, initial crossing counts and
+    // capacity images — leaving the fills free of any global-array
+    // striding (see FillScratch).
     components_.clear();
     comp_ranges_.clear();
+    comp_flow_res_.clear();
+    comp_flow_begin_.clear();
+    comp_fcap_.clear();
+    comp_rids_.clear();
+    comp_rid_ranges_.clear();
+    comp_crossing_.clear();
+    comp_rcap_.clear();
     ++comp_epoch_;
     for (std::uint32_t seed : region_flows_) {
         if (comp_mark_[seed] == comp_epoch_)
             continue;
         const std::size_t begin = components_.size();
+        const std::size_t rbegin = comp_rids_.size();
         comp_ranges_.push_back(begin);
+        comp_rid_ranges_.push_back(rbegin);
         comp_mark_[seed] = comp_epoch_;
         components_.push_back(seed);
         for (std::size_t i = begin; i < components_.size(); ++i) {
-            const Flow &f = slots_[components_[i]];
-            for (ResourceId rid : f.resources) {
-                if (res_comp_mark_[rid] == comp_epoch_)
-                    continue;
-                res_comp_mark_[rid] = comp_epoch_;
-                for (const ResFlow &rf : res_flows_[rid]) {
-                    if (comp_mark_[rf.slot] != comp_epoch_) {
-                        comp_mark_[rf.slot] = comp_epoch_;
-                        components_.push_back(rf.slot);
+            const std::uint32_t slot = components_[i];
+            comp_flow_begin_.push_back(
+                static_cast<std::uint32_t>(comp_flow_res_.size()));
+            comp_fcap_.push_back(cap_slot_[slot]);
+            const ResourceId *rr = route_arena_.data() + route_begin_[slot];
+            const std::uint32_t rlen = route_len_[slot];
+            for (std::uint32_t ri = 0; ri < rlen; ++ri) {
+                const ResourceId rid = rr[ri];
+                std::uint32_t l;
+                if (res_comp_mark_[rid] != comp_epoch_) {
+                    res_comp_mark_[rid] = comp_epoch_;
+                    l = static_cast<std::uint32_t>(comp_rids_.size() -
+                                                   rbegin);
+                    res_local_[rid] = l;
+                    comp_rids_.push_back(rid);
+                    comp_rcap_.push_back(eff_cap_[rid]);
+                    // The closure puts every non-stalled crosser of
+                    // rid into this component, and routes are deduped,
+                    // so the list count below equals the number of
+                    // component flows crossing rid.
+                    int crossing = 0;
+                    for (const ResFlow &rf : res_flows_[rid]) {
+                        if (stalled_slot_[rf.slot])
+                            continue;
+                        ++crossing;
+                        if (comp_mark_[rf.slot] != comp_epoch_) {
+                            comp_mark_[rf.slot] = comp_epoch_;
+                            components_.push_back(rf.slot);
+                        }
                     }
+                    comp_crossing_.push_back(crossing);
+                } else {
+                    l = res_local_[rid];
                 }
+                comp_flow_res_.push_back(l);
             }
         }
         // Components stay in BFS discovery order — deterministic for
         // a given event history, and sufficient: the fill arithmetic
         // is order-insensitive (min-reductions plus a uniform
-        // increment), and every order-*observable* consumer (totals,
-        // finisher callbacks) iterates order_, not components_.
+        // increment), and every order-*observable* consumer (totals
+        // summation, finisher callbacks) runs in a fixed canonical
+        // order of its own (resource-list order, ascending flow ids).
     }
+    comp_flow_begin_.push_back(
+        static_cast<std::uint32_t>(comp_flow_res_.size()));
 }
 
 void
-FlowScheduler::fillComponent(std::size_t begin, std::size_t end)
+FlowScheduler::fillComponent(std::size_t c, FillScratch &ws,
+                             std::vector<ResourceId> &out)
 {
     // Progressive filling over one connected component of
     // components_. The component is closed under sharing, so each
@@ -251,53 +452,87 @@ FlowScheduler::fillComponent(std::size_t begin, std::size_t end)
     // components, so its floating-point sums can differ from a local
     // fill in the last bit, which would make incremental region
     // solves irreproducible. Every path (region solve, Global-mode
-    // recompute, the verify oracle) fills per component.
-    unfrozen_.clear();
-    comp_resources_.clear();
-    for (std::size_t i = begin; i < end; ++i) {
-        Flow &f = slots_[components_[i]];
-        f.rate = 0.0;
-        unfrozen_.push_back(&f);
-        for (ResourceId rid : f.resources) {
-            if (crossing_[rid]++ == 0) {
-                residual_[rid] = eff_cap_[rid];
-                comp_resources_.push_back(rid);
-                active_resources_.push_back(rid);
+    // recompute, the verify oracle, a pool worker) fills per
+    // component.
+    //
+    // The rounds run on dense component-local arrays (see
+    // FillScratch) seeded from the partition CSR, so the round scans
+    // hit a few KB of contiguous scratch instead of striding over
+    // O(cluster) global arrays — that cache footprint, not the
+    // operation count, dominated the fill at 10^4+ links. The
+    // sequence of arithmetic operations is unchanged, so rates are
+    // bit-identical to the global-array fill.
+    const std::size_t begin = comp_ranges_[c];
+    const std::size_t end = (c + 1 < comp_ranges_.size())
+                                ? comp_ranges_[c + 1]
+                                : components_.size();
+    const std::size_t rbegin = comp_rid_ranges_[c];
+    const std::size_t rend = (c + 1 < comp_rid_ranges_.size())
+                                 ? comp_rid_ranges_[c + 1]
+                                 : comp_rids_.size();
+    const std::size_t nf = end - begin;
+    const std::size_t nr = rend - rbegin;
+
+    ws.residual.assign(comp_rcap_.begin() + rbegin,
+                       comp_rcap_.begin() + rend);
+    ws.crossing.assign(comp_crossing_.begin() + rbegin,
+                       comp_crossing_.begin() + rend);
+    ws.sat.assign(nr, 0);
+    ws.live.resize(nr);
+    for (std::uint32_t l = 0; l < nr; ++l)
+        ws.live[l] = l;
+    ws.frate.assign(nf, 0.0);
+    ws.unfrozen.resize(nf);
+    for (std::uint32_t fi = 0; fi < nf; ++fi)
+        ws.unfrozen[fi] = fi;
+    // Shared read-only views of the component's CSR slice: flow fi's
+    // local resource ids and its rate cap.
+    const double *fcap = comp_fcap_.data() + begin;
+    const std::uint32_t *fbegin = comp_flow_begin_.data() + begin;
+    const std::uint32_t *fres = comp_flow_res_.data();
+    const double *rcap = comp_rcap_.data() + rbegin;
+
+    while (!ws.unfrozen.empty()) {
+        // The inc scan doubles as the live-list compaction: resources
+        // whose crossing count dropped to zero in the previous round's
+        // freeze pass cannot bind the increment (their residual stops
+        // moving), so skipping them here and squeezing them out in the
+        // same pass is bit-exact and saves a dedicated sweep per round.
+        double inc = std::numeric_limits<double>::max();
+        std::size_t lw = 0;
+        for (std::uint32_t l : ws.live) {
+            const int n = ws.crossing[l];
+            if (n > 0) {
+                inc = std::min(inc, ws.residual[l] / n);
+                ws.live[lw++] = l;
             }
         }
-    }
-
-    while (!unfrozen_.empty()) {
-        double inc = std::numeric_limits<double>::max();
-        for (ResourceId rid : comp_resources_) {
-            const int n = crossing_[rid];
-            if (n > 0)
-                inc = std::min(inc, residual_[rid] / n);
-        }
-        for (Flow *f : unfrozen_)
-            inc = std::min(inc, f->cap - f->rate);
+        ws.live.resize(lw);
+        for (std::uint32_t fi : ws.unfrozen)
+            inc = std::min(inc, fcap[fi] - ws.frate[fi]);
         DSTRAIN_ASSERT(inc >= 0.0, "negative water-filling increment");
 
-        for (Flow *f : unfrozen_)
-            f->rate += inc;
-        for (ResourceId rid : comp_resources_) {
-            residual_[rid] -= inc * crossing_[rid];
+        for (std::uint32_t fi : ws.unfrozen)
+            ws.frate[fi] += inc;
+        for (std::uint32_t l : ws.live) {
+            ws.residual[l] -= inc * ws.crossing[l];
             // One saturation test per resource per round; the per-flow
             // freeze check reads the flag instead of re-deriving it.
-            // Every resource an unfrozen flow crosses has crossing_
-            // >= 1 and so is still in comp_resources_ with a fresh
-            // flag.
-            res_saturated_[rid] = residual_[rid] <=
-                                  eff_cap_[rid] * kSaturationFraction;
+            // Every resource an unfrozen flow crosses has a crossing
+            // count >= 1 and so is still in ws.live with a fresh flag.
+            ws.sat[l] =
+                ws.residual[l] <= rcap[l] * kSaturationFraction;
         }
 
-        still_.clear();
+        ws.still.clear();
         bool any_frozen = false;
-        for (Flow *f : unfrozen_) {
-            bool froze = f->rate >= f->cap * (1.0 - kSaturationFraction);
+        for (std::uint32_t fi : ws.unfrozen) {
+            bool froze =
+                ws.frate[fi] >= fcap[fi] * (1.0 - kSaturationFraction);
             if (!froze) {
-                for (ResourceId rid : f->resources) {
-                    if (res_saturated_[rid]) {
+                for (std::uint32_t k = fbegin[fi]; k < fbegin[fi + 1];
+                     ++k) {
+                    if (ws.sat[fres[k]]) {
                         froze = true;
                         break;
                     }
@@ -305,25 +540,131 @@ FlowScheduler::fillComponent(std::size_t begin, std::size_t end)
             }
             if (froze) {
                 any_frozen = true;
-                for (ResourceId rid : f->resources)
-                    crossing_[rid] -= 1;
+                for (std::uint32_t k = fbegin[fi]; k < fbegin[fi + 1];
+                     ++k)
+                    ws.crossing[fres[k]] -= 1;
             } else {
-                still_.push_back(f);
+                ws.still.push_back(fi);
             }
         }
-        DSTRAIN_ASSERT(any_frozen || still_.empty(),
+        DSTRAIN_ASSERT(any_frozen || ws.still.empty(),
                        "water-filling failed to make progress");
-        unfrozen_.swap(still_);
+        ws.unfrozen.swap(ws.still);
+        // Resources the freeze pass just orphaned (crossing now zero)
+        // are squeezed out by the next round's inc scan above.
+    }
 
-        // Drop resources no unfrozen flow crosses anymore: with a
-        // crossing count of zero they cannot bind the increment and
-        // their residual stops moving (inc times zero), so removal is
-        // bit-exact and the round scans keep shrinking.
-        std::size_t w = 0;
-        for (ResourceId rid : comp_resources_)
-            if (crossing_[rid] > 0)
-                comp_resources_[w++] = rid;
-        comp_resources_.resize(w);
+    // One write per flow back into slot state (plus the dense rate
+    // mirror); nothing else in the fill touched globals, so a
+    // parallel fill's writes are confined to its own component.
+    for (std::size_t i = begin; i < end; ++i) {
+        slots_[components_[i]].rate = ws.frate[i - begin];
+        rate_slot_[components_[i]] = ws.frate[i - begin];
+    }
+    out.insert(out.end(), comp_rids_.begin() + rbegin,
+               comp_rids_.begin() + rend);
+}
+
+void
+FlowScheduler::solveComponents()
+{
+    const std::size_t ncomp = comp_ranges_.size();
+    const std::size_t nflows = components_.size();
+
+    // Pre-fill rates, captured before any fill zeroes them: the
+    // commit pass settles each changed flow over [anchor, now] at the
+    // rate it actually ran.
+    prev_rate_.resize(nflows);
+    for (std::size_t i = 0; i < nflows; ++i)
+        prev_rate_[i] = slots_[components_[i]].rate;
+
+    if (fill_scratch_.empty())
+        fill_scratch_.resize(
+            pool_ ? static_cast<std::size_t>(pool_->workers()) : 1);
+
+    const bool parallel =
+        pool_ != nullptr && ncomp >= 2 && nflows >= parallel_threshold_;
+    if (!parallel) {
+        for (std::size_t c = 0; c < ncomp; ++c)
+            fillComponent(c, fill_scratch_[0], active_resources_);
+    } else {
+        // Components write disjoint flow and per-resource state
+        // (closure guarantees their resource sets are disjoint), so
+        // the fills are race-free; each worker uses its own scratch.
+        // Per-component resource lists land in comp_out_ and are
+        // concatenated serially in component order, so
+        // active_resources_ is identical to the serial fill's.
+        stats_.parallel_component_solves += ncomp;
+        comp_out_.resize(ncomp);
+        pool_->parallelFor(ncomp, [&](std::size_t c, int worker) {
+            comp_out_[c].clear();
+            fillComponent(c,
+                          fill_scratch_[static_cast<std::size_t>(worker)],
+                          comp_out_[c]);
+        });
+        for (std::size_t c = 0; c < ncomp; ++c)
+            active_resources_.insert(active_resources_.end(),
+                                     comp_out_[c].begin(),
+                                     comp_out_[c].end());
+    }
+
+    commitRates();
+}
+
+void
+FlowScheduler::commitRates()
+{
+    // Serial commit in canonical component order: settle flows whose
+    // rate changed (at the old rate, over the whole constant-rate
+    // span — flows whose rate is unchanged are deliberately left
+    // alone, see the file comment), refresh their finish times and
+    // index entries, and park flows the fill left at rate zero.
+    const SimTime now = sim_.now();
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        const std::uint32_t slot = components_[i];
+        Flow &f = slots_[slot];
+        const double old_rate = prev_rate_[i];
+        if (f.rate != old_rate) {
+            if (now > f.anchor) {
+                f.remaining -= old_rate * (now - f.anchor);
+                if (f.remaining < 0.0)
+                    f.remaining = 0.0;
+            }
+            f.anchor = now;
+        }
+        if (f.rate <= 0.0) {
+            // Water-filling assigns rate 0 only to flows stranded on
+            // a link faulted to zero capacity: they have no finish
+            // time and resume when setCapacity() restores the link.
+            DSTRAIN_ASSERT(stalledByFault(f),
+                           "active flow '%s' got zero rate",
+                           f.tag.c_str());
+            parkStalled(slot);
+        } else if (f.rate != old_rate) {
+            f.finish_at = f.anchor + f.remaining / f.rate;
+            indexUpdate(slot, f.finish_at);
+        }
+    }
+}
+
+void
+FlowScheduler::writeRegionTotals()
+{
+    // Per-resource totals re-summed from the crossing-flow lists of
+    // the solved resources alone — O(region), not O(active flows).
+    // The list order is the registration history (swap-remove on
+    // detach), identical in every mode, so the float summation order
+    // is canonical. The closure guarantees every non-stalled flow
+    // crossing a solved resource is in the solved component; stalled
+    // crossers contribute exactly 0.0, which is bit-neutral.
+    const SimTime now = sim_.now();
+    for (ResourceId rid : active_resources_) {
+        double total = 0.0;
+        for (const ResFlow &rf : res_flows_[rid])
+            total += rate_slot_[rf.slot];
+        total_rate_[rid] = total;
+        topo_.resource(rid).log.setRate(now, total);
+        ++stats_.rate_updates;
     }
 }
 
@@ -345,37 +686,8 @@ FlowScheduler::solveRegion()
     stats_.region_hist[std::min(bucket, kRegionHistBuckets - 1)] += 1;
 
     active_resources_.clear();
-    for (std::size_t c = 0; c < comp_ranges_.size(); ++c) {
-        const std::size_t end = (c + 1 < comp_ranges_.size())
-                                    ? comp_ranges_[c + 1]
-                                    : components_.size();
-        fillComponent(comp_ranges_[c], end);
-    }
-
-    // --- region telemetry logs -------------------------------------------
-    // Only the region's resources can have changed; every other log
-    // already holds its (unchanged) rate. The totals accumulate in
-    // order_'s iteration order — the legacy container order the
-    // golden fingerprints pin. A different summation order can move
-    // the last bit, and the closure guarantees every flow crossing a
-    // region resource is component-marked, so the marked subsequence
-    // of order_ contributes to each region total in exactly the order
-    // the legacy full pass did.
-    const SimTime now = sim_.now();
-    for (ResourceId rid : active_resources_)
-        total_rate_[rid] = 0.0;
-    for (const auto &[id, s] : order_) {
-        const std::uint32_t slot = static_cast<std::uint32_t>(s);
-        if (comp_mark_[slot] != comp_epoch_)
-            continue;
-        const Flow &f = slots_[slot];
-        for (ResourceId rid : f.resources)
-            total_rate_[rid] += f.rate;
-    }
-    for (ResourceId rid : active_resources_) {
-        topo_.resource(rid).log.setRate(now, total_rate_[rid]);
-        ++stats_.rate_updates;
-    }
+    solveComponents();
+    writeRegionTotals();
 }
 
 void
@@ -414,6 +726,7 @@ FlowScheduler::start(FlowSpec spec)
     Flow f;
     f.id = id;
     f.remaining = spec.bytes;
+    f.anchor = sim_.now();
     f.on_complete = std::move(spec.on_complete);
     f.tag = std::move(spec.tag);
     f.cap = spec.route.rate_cap;
@@ -436,23 +749,31 @@ FlowScheduler::start(FlowSpec spec)
         }
     }
 
-    settle();
     ensureResourceArrays();
     for (ResourceId rid : f.resources)
         nflows_[rid] += 1;
+    const std::uint32_t slot = registerFlow(std::move(f));
+    Flow &g = slots_[slot];
+    if (batch_depth_ > 0) {
+        // Deferred admission: the flow sits rate-less (not stalled,
+        // no finish time) until the batch flush solves its region.
+        ++stats_.batched_events;
+        batch_start_slots_.push_back(slot);
+        batch_need_solve_ = true;
+        return id;
+    }
     // Verify mode forces the full solve: the oracle is a from-scratch
     // component fill, and a fast-path rate — assigned directly rather
     // than summed through fill increments — matches it mathematically
     // but not always in the last bit. Disabling the fast paths keeps
     // the invariant "stored rate == fresh fill of its component"
     // exact, so the oracle flags real closure bugs, not float dust.
-    if (!verify_ && tryFastStart(f)) {
+    if (!verify_ && tryFastStart(g)) {
         ++stats_.fast_starts;
-        registerFlow(std::move(f));
+        indexUpdate(slot, g.finish_at);
         maybeVerify();
         return id;
     }
-    const std::uint32_t slot = registerFlow(std::move(f));
     if (mode_ == FlowSolverMode::Global) {
         recompute();
     } else {
@@ -508,12 +829,15 @@ FlowScheduler::tryFastStart(Flow &f)
     }
 
     const SimTime done_at = now + f.remaining / f.rate;
-    if (completion_event_ == 0 || done_at < completion_time_) {
-        if (completion_event_ != 0)
-            sim_.events().cancel(completion_event_);
+    f.finish_at = done_at;
+    if (completion_event_ == 0) {
         completion_time_ = done_at;
         completion_event_ = sim_.events().schedule(
             done_at, [this] { onCompletionEvent(); });
+    } else if (done_at < completion_time_) {
+        completion_time_ = done_at;
+        completion_event_ =
+            sim_.events().reschedule(completion_event_, done_at);
     }
     return true;
 }
@@ -547,19 +871,39 @@ FlowScheduler::setCapacity(ResourceId rid, Bps capacity)
         return;
     ++stats_.capacity_updates;
 
+    const bool was_zero = eff_cap_[rid] <= 0.0;
+    const bool slack_before = !saturated(rid);
+    eff_cap_[rid] = new_eff;
+    const bool slack_after = new_eff > 0.0 && !saturated(rid);
+    // A restore from zero wakes the parked crossers: they rejoin the
+    // (possibly deferred) solve below, which re-parks any of them
+    // still blocked on another downed link.
+    if (was_zero && new_eff > 0.0)
+        unparkResource(rid);
+
+    if (batch_depth_ > 0) {
+        // Deferred: match setCapacities() batch semantics — rates are
+        // pre-batch (stale), so every changed resource with flows
+        // seeds the flush region, and a failed fast check anywhere
+        // forces the flush solve.
+        ++stats_.batched_events;
+        if (nflows_[rid] > 0) {
+            batch_dirty_.push_back(rid);
+            if (!(slack_before && slack_after))
+                batch_need_solve_ = true;
+        }
+        return;
+    }
+
     // Fast path: with no crossing flows — or with the resource
     // strictly unsaturated under both the old and the new capacity —
     // every flow's bottleneck stays where it is, so no rate changes
     // and neither a recompute nor a log write is needed.
-    const bool slack_before = !saturated(rid);
-    eff_cap_[rid] = new_eff;
-    const bool slack_after = new_eff > 0.0 && !saturated(rid);
     if (nflows_[rid] == 0 || (slack_before && slack_after)) {
         ++stats_.fast_capacity_updates;
         return;
     }
 
-    settle();
     if (mode_ == FlowSolverMode::Global) {
         recompute();
     } else {
@@ -591,9 +935,12 @@ FlowScheduler::setCapacities(
         if (new_eff == eff_cap_[rid])
             continue;
         any_change = true;
+        const bool was_zero = eff_cap_[rid] <= 0.0;
         const bool slack_before = !saturated(rid);
         eff_cap_[rid] = new_eff;
         const bool slack_after = new_eff > 0.0 && !saturated(rid);
+        if (was_zero && new_eff > 0.0)
+            unparkResource(rid);
         if (nflows_[rid] == 0)
             continue;
         // Every changed resource with flows seeds the solve region
@@ -607,19 +954,88 @@ FlowScheduler::setCapacities(
     if (!any_change)
         return;
     ++stats_.capacity_updates;  // the whole batch counts once
+
+    if (batch_depth_ > 0) {
+        // Fold into the open storm batch.
+        ++stats_.batched_events;
+        batch_dirty_.insert(batch_dirty_.end(), cap_dirty_.begin(),
+                            cap_dirty_.end());
+        if (need_solve)
+            batch_need_solve_ = true;
+        return;
+    }
+
     if (!need_solve) {
         ++stats_.fast_capacity_updates;
         maybeVerify();
         return;
     }
 
-    settle();
     if (mode_ == FlowSolverMode::Global) {
         recompute();
     } else {
         beginRegion();
         for (ResourceId rid : cap_dirty_)
             seedRegionResource(rid);
+        solveRegion();
+        scheduleNextCompletion();
+    }
+    maybeVerify();
+}
+
+void
+FlowScheduler::beginBatch()
+{
+    ++batch_depth_;
+}
+
+void
+FlowScheduler::endBatch()
+{
+    DSTRAIN_ASSERT(batch_depth_ > 0, "endBatch without beginBatch");
+    if (--batch_depth_ > 0)
+        return;
+    flushBatch();
+}
+
+void
+FlowScheduler::flushBatch()
+{
+    if (batch_start_slots_.empty() && batch_dirty_.empty()) {
+        batch_need_solve_ = false;
+        maybeVerify();
+        return;
+    }
+    if (!batch_need_solve_) {
+        // Capacity-only batch where every entry passed its fast
+        // check: no rate can have moved.
+        ++stats_.fast_capacity_updates;
+        batch_dirty_.clear();
+        maybeVerify();
+        return;
+    }
+    // Seed order feeds component *enumeration* order only; the fill
+    // and every observable consumer are enumeration-order-invariant,
+    // so dedup by sort is safe and keeps the closure walk linear.
+    std::sort(batch_dirty_.begin(), batch_dirty_.end());
+    batch_dirty_.erase(
+        std::unique(batch_dirty_.begin(), batch_dirty_.end()),
+        batch_dirty_.end());
+
+    if (mode_ == FlowSolverMode::Global) {
+        batch_start_slots_.clear();
+        batch_dirty_.clear();
+        batch_need_solve_ = false;
+        recompute();
+    } else {
+        beginRegion();
+        for (std::uint32_t slot : batch_start_slots_)
+            seedRegionFlow(slot);
+        for (ResourceId rid : batch_dirty_)
+            seedRegionResource(rid);
+        batch_start_slots_.clear();
+        batch_dirty_.clear();
+        batch_need_solve_ = false;
         solveRegion();
         scheduleNextCompletion();
     }
@@ -633,16 +1049,37 @@ FlowScheduler::cancel(FlowId id, Bytes *remaining)
     if (s < 0)
         return false;
     const std::uint32_t slot = static_cast<std::uint32_t>(s);
-    settle();
+    Flow &f = slots_[slot];
+    settleFlow(f, sim_.now());  // observation point for `remaining`
     if (remaining)
-        *remaining = slots_[slot].remaining;
-    for (ResourceId rid : slots_[slot].resources)
+        *remaining = f.remaining;
+    for (ResourceId rid : f.resources)
         nflows_[rid] -= 1;
-    order_.erase(id);
+    if (f.stalled)
+        unparkStalled(slot);
+    indexRemove(slot);
     detachFlow(slot);
     Flow removed = std::move(slots_[slot]);
     releaseSlot(slot);
     ++stats_.cancels;
+
+    if (batch_depth_ > 0) {
+        ++stats_.batched_events;
+        // A start deferred in this same batch leaves no seed behind.
+        batch_start_slots_.erase(std::remove(batch_start_slots_.begin(),
+                                             batch_start_slots_.end(),
+                                             slot),
+                                 batch_start_slots_.end());
+        ++mark_epoch_;  // fresh epoch for zeroIfIdle deduplication
+        for (ResourceId rid : removed.resources)
+            zeroIfIdle(rid);
+        for (ResourceId rid : removed.resources)
+            if (nflows_[rid] > 0)
+                batch_dirty_.push_back(rid);
+        batch_need_solve_ = true;
+        return true;
+    }
+
     if (mode_ == FlowSolverMode::Global) {
         recompute();
     } else {
@@ -663,21 +1100,26 @@ FlowScheduler::cancel(FlowId id, Bytes *remaining)
 std::size_t
 FlowScheduler::cancelAll()
 {
+    DSTRAIN_ASSERT(batch_depth_ == 0, "cancelAll inside a batch");
     if (active_count_ == 0)
         return 0;
-    settle();
+    const SimTime now = sim_.now();
     const std::size_t n = active_count_;
-    order_.clear();
+    // Terminal observation point: make every flow's remaining exact.
+    for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s])
+        settleFlow(slots_[static_cast<std::size_t>(s)], now);
     if (mode_ == FlowSolverMode::Global) {
         for (std::int32_t s = head_slot_; s >= 0;) {
             const std::uint32_t slot = static_cast<std::uint32_t>(s);
             s = next_slot_[slot];
             for (ResourceId rid : slots_[slot].resources)
                 nflows_[rid] -= 1;
+            indexRemove(slot);
             detachFlow(slot);
             releaseSlot(slot);
         }
         stats_.cancels += n;
+        stalled_.clear();
         // One recompute over the (now empty) flow set: every
         // previously touched resource logs a rate of exactly zero, so
         // the abort instant is bit-reproducible.
@@ -689,6 +1131,7 @@ FlowScheduler::cancelAll()
             s = next_slot_[slot];
             for (ResourceId rid : slots_[slot].resources)
                 nflows_[rid] -= 1;
+            indexRemove(slot);
             detachFlow(slot);
             Flow removed = std::move(slots_[slot]);
             releaseSlot(slot);
@@ -696,6 +1139,7 @@ FlowScheduler::cancelAll()
                 zeroIfIdle(rid);
         }
         stats_.cancels += n;
+        stalled_.clear();
         scheduleNextCompletion();  // cancels the pending event
     }
     maybeVerify();
@@ -712,23 +1156,6 @@ FlowScheduler::stalledByFault(const Flow &f) const
 }
 
 void
-FlowScheduler::settle()
-{
-    const SimTime now = sim_.now();
-    const SimTime dt = now - last_settle_;
-    DSTRAIN_ASSERT(dt >= 0.0, "settle time went backwards");
-    if (dt > 0.0) {
-        for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s]) {
-            Flow &f = slots_[static_cast<std::size_t>(s)];
-            f.remaining -= f.rate * dt;
-            if (f.remaining < 0.0)
-                f.remaining = 0.0;
-        }
-    }
-    last_settle_ = now;
-}
-
-void
 FlowScheduler::recompute()
 {
     const SimTime now = sim_.now();
@@ -736,34 +1163,28 @@ FlowScheduler::recompute()
     ++stats_.recomputes;
 
     // --- water-filling ---------------------------------------------------
-    // Seed every active flow, split into connected components, and
-    // fill each component independently. Filling per component is the
-    // bit-exact definition of fair share (see fillComponent()): it
-    // makes Global mode, the incremental region solver, and the
-    // verify oracle produce identical rates down to the last bit.
+    // Seed every active non-stalled flow, split into connected
+    // components, and fill each component independently. Filling per
+    // component is the bit-exact definition of fair share (see
+    // fillComponent()): it makes Global mode, the incremental region
+    // solver, and the verify oracle produce identical rates down to
+    // the last bit.
     region_flows_.clear();
-    for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s])
-        region_flows_.push_back(static_cast<std::uint32_t>(s));
+    for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s]) {
+        if (!slots_[static_cast<std::size_t>(s)].stalled)
+            region_flows_.push_back(static_cast<std::uint32_t>(s));
+    }
     partitionComponents();
 
     active_resources_.clear();
-    for (std::size_t c = 0; c < comp_ranges_.size(); ++c) {
-        const std::size_t end = (c + 1 < comp_ranges_.size())
-                                    ? comp_ranges_[c + 1]
-                                    : components_.size();
-        fillComponent(comp_ranges_[c], end);
-    }
+    solveComponents();
 
     // --- update telemetry logs -------------------------------------------
-    // Totals accumulate in order_'s iteration order — the legacy
-    // container order the golden fingerprints pin (summation order
-    // moves the last bit; see solveRegion()).
-    for (ResourceId rid : active_resources_)
-        total_rate_[rid] = 0.0;
-    for (const auto &[id, s] : order_) {
-        const Flow &f = slots_[static_cast<std::uint32_t>(s)];
-        for (ResourceId rid : f.resources)
-            total_rate_[rid] += f.rate;
+    for (ResourceId rid : active_resources_) {
+        double total = 0.0;
+        for (const ResFlow &rf : res_flows_[rid])
+            total += rate_slot_[rf.slot];
+        total_rate_[rid] = total;
     }
 
     std::sort(active_resources_.begin(), active_resources_.end());
@@ -790,42 +1211,81 @@ FlowScheduler::recompute()
 void
 FlowScheduler::scheduleNextCompletion()
 {
-    if (completion_event_ != 0) {
-        sim_.events().cancel(completion_event_);
-        completion_event_ = 0;
-    }
-    if (active_count_ == 0)
-        return;
-
-    SimTime best = std::numeric_limits<SimTime>::max();
-    for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s]) {
-        const Flow &f = slots_[static_cast<std::size_t>(s)];
-        if (f.rate <= 0.0) {
-            // Water-filling assigns rate 0 only to flows stranded on
-            // a link faulted to zero capacity: they have no finish
-            // time and resume when setCapacity() restores the link.
-            DSTRAIN_ASSERT(stalledByFault(f),
-                           "active flow '%s' got zero rate",
-                           f.tag.c_str());
-            continue;
+    SimTime best = kFlowNeverFinishes;
+    if (active_count_ > 0) {
+        if (use_index_) {
+            // The index serves the minimum directly; no walk over the
+            // active list. Stored finish times and index keys are the
+            // same doubles, so the scheduled time is bit-identical to
+            // the legacy scan's.
+            ++stats_.completion_scans_avoided;
+            compactIndexIfBloated();
+            skimIndex();
+            if (!index_.empty())
+                best = index_.top().key;
+        } else {
+            for (std::int32_t s = head_slot_; s >= 0;
+                 s = next_slot_[s]) {
+                const Flow &f = slots_[static_cast<std::size_t>(s)];
+                if (!f.stalled && f.finish_at < best)
+                    best = f.finish_at;
+            }
         }
-        best = std::min(best, f.remaining / f.rate);
     }
-    if (best == std::numeric_limits<SimTime>::max())
-        return;  // everything stalled: nothing to schedule
-    completion_time_ = sim_.now() + best;
-    completion_event_ = sim_.events().schedule(
-        completion_time_, [this] { onCompletionEvent(); });
+    if (best == kFlowNeverFinishes) {
+        // Nothing running (everything finished or stalled).
+        if (completion_event_ != 0) {
+            sim_.events().cancel(completion_event_);
+            completion_event_ = 0;
+        }
+        return;
+    }
+    completion_time_ = best;
+    // Always re-stamp the event (fresh FIFO sequence), exactly as the
+    // historical cancel+schedule pair did on every solve: same-time
+    // tie order against other subsystems' events is part of the
+    // pinned deterministic behavior.
+    if (completion_event_ != 0)
+        completion_event_ =
+            sim_.events().reschedule(completion_event_, best);
+    else
+        completion_event_ = sim_.events().schedule(
+            best, [this] { onCompletionEvent(); });
 }
 
 void
 FlowScheduler::onCompletionEvent()
 {
     completion_event_ = 0;
-    settle();
+    const SimTime now = sim_.now();
 
-    // Collect finished flows first so callbacks observe a consistent
-    // scheduler state (finished flows removed, rates recomputed).
+    // Collect finishers: flows whose predicted finish time has
+    // arrived. Both paths produce the same set in ascending-id order
+    // (the heap pops are sorted; the scan walks the ascending active
+    // list) — the canonical completion-callback order.
+    finisher_slots_.clear();
+    if (use_index_) {
+        while (!index_.empty() && index_.top().key <= now) {
+            const IndexEntry e = index_.top();
+            index_.pop();
+            if (index_seq_[e.slot] == e.seq) {
+                index_seq_[e.slot] = 0;
+                finisher_slots_.push_back(e.slot);
+            }
+        }
+        std::sort(finisher_slots_.begin(), finisher_slots_.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      return slots_[a].id < slots_[b].id;
+                  });
+    } else {
+        for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s]) {
+            const std::uint32_t slot = static_cast<std::uint32_t>(s);
+            const Flow &f = slots_[slot];
+            if (!f.stalled && f.finish_at <= now)
+                finisher_slots_.push_back(slot);
+        }
+    }
+
     // Reuse the member buffers but operate on moved-out locals so a
     // callback that re-enters the scheduler can't alias them.
     std::vector<Flow> finished = std::move(finished_);
@@ -833,22 +1293,30 @@ FlowScheduler::onCompletionEvent()
     finished.clear();
     callbacks.clear();
 
-    // Collect finishers in order_'s iteration order — the legacy
-    // container order the golden fingerprint hashes were captured
-    // under (see the order_ member comment). The order is observable:
-    // completion callbacks schedule follow-up work, so it decides
-    // which dependent task grabs shared capacity first.
-    for (auto it = order_.begin(); it != order_.end();) {
-        const std::uint32_t slot =
-            static_cast<std::uint32_t>(it->second);
-        if (slots_[slot].remaining <= kByteEpsilon) {
-            it = order_.erase(it);
-            detachFlow(slot);
-            finished.push_back(std::move(slots_[slot]));
-            releaseSlot(slot);
-        } else {
-            ++it;
+    for (std::uint32_t slot : finisher_slots_) {
+        Flow &f = slots_[slot];
+        settleFlow(f, now);
+        if (f.remaining > kByteEpsilon) {
+            // Float dust: the exact settle says the flow is not quite
+            // done (predicted finish rounded early). Re-predict and
+            // let it fire again; never finish a flow with real bytes
+            // left.
+            f.finish_at = f.anchor + f.remaining / f.rate;
+            indexUpdate(slot, f.finish_at);
+            continue;
         }
+        detachFlow(slot);
+        finished.push_back(std::move(slots_[slot]));
+        releaseSlot(slot);
+    }
+
+    if (finished.empty()) {
+        // Dust-only event: every candidate was re-queued.
+        scheduleNextCompletion();
+        maybeVerify();
+        finished_ = std::move(finished);
+        callbacks_ = std::move(callbacks);
+        return;
     }
 
     // A full recompute is needed only when a finisher frees capacity
@@ -890,7 +1358,6 @@ FlowScheduler::onCompletionEvent()
             scheduleNextCompletion();
         }
     } else {
-        const SimTime now = sim_.now();
         for (Flow &f : finished) {
             ++stats_.fast_finishes;
             for (ResourceId rid : f.resources) {
@@ -994,18 +1461,20 @@ FlowScheduler::oracleFillComponent(std::size_t begin, std::size_t end)
 void
 FlowScheduler::maybeVerify()
 {
-    if (!verify_)
+    if (!verify_ || batch_depth_ > 0)
         return;
     ++stats_.verified_solves;
 
     // The oracle: a from-scratch per-component fill over every active
-    // flow — the same definition of fair share recompute() computes —
-    // into scratch rates. crossing_/residual_ are safe to reuse:
-    // every solve leaves crossing_ at zero.
+    // non-stalled flow — the same definition of fair share
+    // recompute() computes — into scratch rates. crossing_/residual_
+    // are safe to reuse: every solve leaves crossing_ at zero.
     oracle_rate_.resize(slots_.size());
     region_flows_.clear();
-    for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s])
-        region_flows_.push_back(static_cast<std::uint32_t>(s));
+    for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s]) {
+        if (!slots_[static_cast<std::size_t>(s)].stalled)
+            region_flows_.push_back(static_cast<std::uint32_t>(s));
+    }
     partitionComponents();
     for (std::size_t c = 0; c < comp_ranges_.size(); ++c) {
         const std::size_t end = (c + 1 < comp_ranges_.size())
@@ -1014,9 +1483,20 @@ FlowScheduler::maybeVerify()
         oracleFillComponent(comp_ranges_[c], end);
     }
 
+    SimTime best = kFlowNeverFinishes;
+    std::size_t nstalled = 0;
     for (std::int32_t s = head_slot_; s >= 0; s = next_slot_[s]) {
         const std::uint32_t slot = static_cast<std::uint32_t>(s);
         const Flow &f = slots_[slot];
+        if (f.stalled) {
+            ++nstalled;
+            if (f.rate != 0.0 || !stalledByFault(f))
+                fatal("verify-fair-share: flow '%s' (id %llu) parked "
+                      "while not fault-stalled at t=%g",
+                      f.tag.c_str(),
+                      static_cast<unsigned long long>(f.id), sim_.now());
+            continue;
+        }
         if (oracle_rate_[slot] != f.rate) {
             fatal("verify-fair-share: flow '%s' (id %llu) rate %a "
                   "diverged from the oracle's %a at t=%g",
@@ -1024,13 +1504,55 @@ FlowScheduler::maybeVerify()
                   static_cast<unsigned long long>(f.id), f.rate,
                   oracle_rate_[slot], sim_.now());
         }
+        // The stored finish time must be the exact function of the
+        // stored (anchor, remaining, rate) triple...
+        const SimTime expect = f.anchor + f.remaining / f.rate;
+        if (f.finish_at != expect) {
+            fatal("verify-fair-share: flow '%s' (id %llu) finish %a "
+                  "!= anchor+remaining/rate %a at t=%g",
+                  f.tag.c_str(),
+                  static_cast<unsigned long long>(f.id), f.finish_at,
+                  expect, sim_.now());
+        }
+        if (use_index_ && index_seq_[slot] == 0)
+            fatal("verify-fair-share: flow '%s' (id %llu) missing "
+                  "from the completion index at t=%g",
+                  f.tag.c_str(),
+                  static_cast<unsigned long long>(f.id), sim_.now());
+        if (f.finish_at < best)
+            best = f.finish_at;
+    }
+    if (nstalled != stalled_.size())
+        fatal("verify-fair-share: stalled list holds %zu flows but "
+              "%zu active flows are parked at t=%g",
+              stalled_.size(), nstalled, sim_.now());
+
+    // ... and the scheduled completion event (fed by the index or the
+    // scan — same stored values) must sit at the minimum of them.
+    if (best == kFlowNeverFinishes) {
+        if (completion_event_ != 0)
+            fatal("verify-fair-share: completion event pending with "
+                  "no running flow at t=%g", sim_.now());
+    } else {
+        if (completion_event_ == 0 || completion_time_ != best)
+            fatal("verify-fair-share: completion scheduled at %a, "
+                  "stored finish times say %a at t=%g",
+                  completion_time_, best, sim_.now());
+        if (use_index_) {
+            skimIndex();
+            if (index_.empty() || index_.top().key != best)
+                fatal("verify-fair-share: completion index min %a != "
+                      "scan min %a at t=%g",
+                      index_.empty() ? kFlowNeverFinishes
+                                     : index_.top().key,
+                      best, sim_.now());
+        }
     }
 }
 
 void
 FlowScheduler::finalizeLogs()
 {
-    settle();
     topo_.finalizeLogs(sim_.now());
 }
 

@@ -29,6 +29,18 @@
  *    solver is verified against (`--verify-fair-share` runs both on
  *    every event and asserts identical rates).
  *
+ * Per-event cost is O(region) end-to-end, not just for the solve:
+ * each flow carries an anchored (time, remaining) pair settled only
+ * when its rate changes, a stored predicted finish time kept in a
+ * lazy-invalidation min-heap (the completion index) touched only for
+ * flows whose rate changed, and per-resource totals are re-summed
+ * from the crossing-flow lists of the region's resources alone.
+ * Fault-stalled zero-rate flows are parked on a stalled list that no
+ * fill, scan, or index operation revisits until setCapacity()
+ * restores their link. Independent components of one solve can be
+ * filled concurrently on a TaskPool with results committed in
+ * canonical component order — bit-identical to the serial fill.
+ *
  * Either way the water-filling works on flat, reusable per-resource
  * scratch arrays indexed by ResourceId (no hashing, no per-recompute
  * allocation once warm); flows live in a dense slot map with an
@@ -42,7 +54,7 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <queue>
 #include <utility>
 #include <vector>
 
@@ -53,10 +65,38 @@
 
 namespace dstrain {
 
+class TaskPool;
+
 /** Which fair-share solver runs on scheduler events. */
 enum class FlowSolverMode {
     Region,  ///< re-solve only the affected contention region (default)
     Global,  ///< full water-filling pass every event (the oracle)
+};
+
+/** Construction options for FlowScheduler. */
+struct FlowSchedulerOptions {
+    /** Which solver handles events. */
+    FlowSolverMode mode = FlowSolverMode::Region;
+
+    /** Run the global oracle after every event and assert that the
+     * stored rates, the completion index and the stalled list all
+     * match a from-scratch solve bitwise (slow; debugging). */
+    bool verify_fair_share = false;
+
+    /** Keep the incremental completion-time index (the default).
+     * False restores the legacy full scan over the active list when
+     * scheduling the next completion — same stored finish times, so
+     * results are bit-identical either way. */
+    bool completion_index = true;
+
+    /** Fill independent components of one solve concurrently on this
+     * pool (nullptr = serial). Results are committed in canonical
+     * component order, bit-identical to the serial fill. */
+    TaskPool *fill_pool = nullptr;
+
+    /** Parallel fills engage only when a solve covers at least two
+     * components and this many flows in total. */
+    std::size_t parallel_fill_threshold = 16;
 };
 
 /**
@@ -84,16 +124,23 @@ class FlowScheduler
         std::uint64_t region_flows = 0;   ///< total flows across region solves
         std::uint64_t region_peak = 0;    ///< largest region solved (flows)
         std::uint64_t verified_solves = 0;  ///< oracle comparisons performed
+        std::uint64_t completion_index_updates = 0;  ///< finish-time (re)insertions
+        std::uint64_t completion_scans_avoided = 0;  ///< reschedules served by the index
+        std::uint64_t batched_events = 0;  ///< ops whose solve a batch deferred
+        std::uint64_t parallel_component_solves = 0;  ///< components filled on the pool
+        std::uint64_t stalled_parks = 0;  ///< flows parked on the stalled list
         /** Region-size histogram: bucket k counts solves with a region
          * of [2^k, 2^(k+1)) flows (last bucket is open-ended). */
         std::array<std::uint64_t, kRegionHistBuckets> region_hist{};
     };
 
+    /** Build with explicit options. */
+    FlowScheduler(Simulation &sim, Topology &topo,
+                  FlowSchedulerOptions opts);
+
     /**
-     * @param sim the simulation context; @param topo the network;
-     * @param mode which solver handles events; @param verify_fair_share
-     * run the global oracle after every event and assert that region
-     * rates match it bitwise (slow; debugging).
+     * Legacy convenience constructor: default options with @p mode
+     * and @p verify_fair_share overridden.
      */
     FlowScheduler(Simulation &sim, Topology &topo,
                   FlowSolverMode mode = FlowSolverMode::Region,
@@ -117,6 +164,9 @@ class FlowScheduler
 
     /** Number of currently active flows. */
     std::size_t activeCount() const { return active_count_; }
+
+    /** Number of flows currently parked on the stalled list. */
+    std::size_t stalledCount() const { return stalled_.size(); }
 
     /**
      * Current rate of an active flow; 0 if unknown/finished. Use
@@ -143,9 +193,10 @@ class FlowScheduler
      *
      * A capacity of 0 models a downed link: crossing flows stall at
      * rate zero (their telemetry logs record the dropout exactly) and
-     * resume automatically when capacity is restored. Stalled flows
-     * have no completion event; a plan that downs a route forever
-     * without rerouting will deadlock by design.
+     * are parked on the stalled list — no fill, completion scan or
+     * index touches them — until a restore unparks them. Stalled
+     * flows have no completion event; a plan that downs a route
+     * forever without rerouting will deadlock by design.
      */
     void setCapacity(ResourceId rid, Bps capacity);
 
@@ -162,6 +213,40 @@ class FlowScheduler
     void setCapacities(const std::vector<std::pair<ResourceId, Bps>> &updates);
 
     /**
+     * Open an event-storm batch: until the matching endBatch(),
+     * setCapacity()/setCapacities() update capacities (and the
+     * topology) immediately but defer their solves, and start()/
+     * cancel() defer theirs too; endBatch() closes the union region
+     * once and runs a single solve. Nestable; only the outermost
+     * endBatch() flushes.
+     *
+     * Capacity-only batches are state-equivalent to the unbatched
+     * call sequence (water-filling is a pure function of the final
+     * capacities, and a capacity change that leaves a resource
+     * unsaturated never moves the fill's binding minimum — see
+     * DESIGN.md §6.5). Batches containing start()/cancel() trade that
+     * equivalence for one solve (fast-start admission is skipped);
+     * the fault injector only batches capacity storms.
+     */
+    void beginBatch();
+
+    /** Close a batch; the outermost call flushes the deferred solve. */
+    void endBatch();
+
+    /** RAII wrapper for beginBatch()/endBatch(). */
+    class ScopedBatch
+    {
+      public:
+        explicit ScopedBatch(FlowScheduler &s) : s_(s) { s_.beginBatch(); }
+        ~ScopedBatch() { s_.endBatch(); }
+        ScopedBatch(const ScopedBatch &) = delete;
+        ScopedBatch &operator=(const ScopedBatch &) = delete;
+
+      private:
+        FlowScheduler &s_;
+    };
+
+    /**
      * Remove an active flow without invoking its completion callback
      * (the transfer-manager reroute path). Remaining un-transferred
      * bytes are written to @p remaining when non-null.
@@ -173,7 +258,7 @@ class FlowScheduler
      * Remove every active flow at once without invoking completion
      * callbacks (the hard-failure abort path). Per-resource rates and
      * telemetry logs drop to zero deterministically; pending
-     * completion events are cancelled.
+     * completion events are cancelled. Not callable inside a batch.
      * @return the number of flows removed.
      */
     std::size_t cancelAll();
@@ -197,8 +282,60 @@ class FlowScheduler
         std::uint32_t idx;   ///< index of this resource in its route
     };
 
-    /** Integrate current rates from last_settle_ to now. */
-    void settle();
+    /**
+     * Per-worker water-filling scratch (one per pool worker).
+     *
+     * The fill rounds run on dense component-local arrays indexed by
+     * local flow / resource ids (the CSR built by
+     * partitionComponents()), so they touch a few KB of contiguous,
+     * cache-resident memory instead of striding over O(cluster)
+     * global arrays. The arithmetic — the values and the order they
+     * combine in — is exactly the global-array fill's, so the result
+     * is bit-identical; only the memory locations differ.
+     */
+    struct FillScratch {
+        // Mutable per-resource round state, indexed by local id
+        // (initialized from the comp_* spans on entry).
+        std::vector<double> residual;
+        std::vector<int> crossing;
+        std::vector<unsigned char> sat;
+        std::vector<std::uint32_t> live;    ///< pruned local working set
+        // Mutable per-flow round state, local flow index = offset in
+        // the component's span of components_.
+        std::vector<double> frate;
+        std::vector<std::uint32_t> unfrozen;
+        std::vector<std::uint32_t> still;
+    };
+
+    /** One completion-index heap entry; stale when the slot's
+     * index_seq_ no longer matches seq (lazy invalidation, same idiom
+     * as the event queue's slot/generation scheme). */
+    struct IndexEntry {
+        SimTime key;        ///< predicted finish time
+        std::uint64_t seq;  ///< insertion stamp for staleness checks
+        std::uint32_t slot; ///< the flow's slot
+    };
+    struct IndexLater {
+        bool operator()(const IndexEntry &a, const IndexEntry &b) const
+        {
+            return a.key > b.key;
+        }
+    };
+    using IndexHeap =
+        std::priority_queue<IndexEntry, std::vector<IndexEntry>,
+                            IndexLater>;
+
+    /** Make @p f.remaining exact at @p now (rate constant since its
+     * anchor); one multiply-subtract over the whole span. */
+    static void settleFlow(Flow &f, SimTime now)
+    {
+        if (now > f.anchor) {
+            f.remaining -= f.rate * (now - f.anchor);
+            if (f.remaining < 0.0)
+                f.remaining = 0.0;
+            f.anchor = now;
+        }
+    }
 
     /** Global water-filling + log update + completion reschedule. */
     void recompute();
@@ -213,7 +350,9 @@ class FlowScheduler
     /** Completion event handler. */
     void onCompletionEvent();
 
-    /** Schedule (or reschedule) the next completion event. */
+    /** Schedule (or reschedule) the next completion event from the
+     * completion index (or the legacy scan over stored finish
+     * times when the index is disabled). */
     void scheduleNextCompletion();
 
     /** Grow the per-resource scratch arrays to the topology's size. */
@@ -224,6 +363,40 @@ class FlowScheduler
 
     /** Does @p f cross a resource faulted to zero capacity? */
     bool stalledByFault(const Flow &f) const;
+
+    // --- completion index -------------------------------------------------
+
+    /** Record @p slot's new predicted finish time in the index. */
+    void indexUpdate(std::uint32_t slot, SimTime key);
+
+    /** Invalidate @p slot's index entry (lazy: skimmed on pop). */
+    void indexRemove(std::uint32_t slot)
+    {
+        index_seq_[slot] = 0;
+    }
+
+    /** Drop stale entries from the top of the index heap. */
+    void skimIndex();
+
+    /** Rebuild the heap from live entries when stale ones pile up. */
+    void compactIndexIfBloated();
+
+    /** Repack route_arena_ to active spans only (see route_arena_). */
+    void compactRouteArena();
+
+    // --- stalled-flow parking ---------------------------------------------
+
+    /** Park @p slot on the stalled list (idempotent); clears its
+     * finish time and index entry. */
+    void parkStalled(std::uint32_t slot);
+
+    /** Remove @p slot from the stalled list and clear its flag. */
+    void unparkStalled(std::uint32_t slot);
+
+    /** Unpark every stalled flow crossing @p rid (capacity-restore
+     * path); flows still blocked elsewhere re-park at the next
+     * solve's commit. */
+    void unparkResource(ResourceId rid);
 
     // --- dense slot map ---------------------------------------------------
 
@@ -251,7 +424,8 @@ class FlowScheduler
     /** Start a new region (bumps the BFS mark epoch). */
     void beginRegion();
 
-    /** Seed the region with one active flow. */
+    /** Seed the region with one active flow (stalled flows are
+     * skipped: they hold no rate and join no fill until unparked). */
     void seedRegionFlow(std::uint32_t slot);
 
     /** Seed the region with every flow crossing @p rid. */
@@ -272,23 +446,45 @@ class FlowScheduler
      * (deterministic for a given event history; the fill is
      * order-insensitive, see fillComponent()); comp_ranges_ receives
      * each group's start offset. Membership is marked in comp_mark_
-     * at comp_epoch_.
+     * at comp_epoch_. Stalled flows never join.
      */
     void partitionComponents();
 
     /**
-     * Progressive filling over components_[begin, end) — one
-     * connected component. Assigns flow rates; collects the
-     * component's resources into comp_resources_ and appends them to
-     * active_resources_. Increment rounds are component-local: this
-     * is the solver's bit-exact definition of fair share (see
-     * DESIGN.md), identical whether a component is re-solved alone
-     * or as part of a full pass.
+     * Fill every partitioned component — serially, or concurrently on
+     * the pool when the solve is large enough — then commit the
+     * results in canonical component order: settle each flow whose
+     * rate changed at its old rate, refresh its finish time and index
+     * entry, and park flows filled at rate zero. Appends the solved
+     * resources to active_resources_ in component order.
      */
-    void fillComponent(std::size_t begin, std::size_t end);
+    void solveComponents();
+
+    /** The serial commit pass of solveComponents() (see above). */
+    void commitRates();
+
+    /**
+     * Progressive filling over component @p c (its flow span of
+     * components_ and its resource span of the partition CSR).
+     * Assigns flow rates; appends the component's resources to
+     * @p out (in discovery order). Increment rounds are
+     * component-local: this is the solver's bit-exact definition of
+     * fair share (see DESIGN.md), identical whether a component is
+     * re-solved alone or as part of a full pass, serially or on a
+     * pool worker. Reads only the shared partition CSR (built before
+     * any fill starts) and writes only its own scratch and its own
+     * component's flow slots, so concurrent calls on disjoint
+     * components are race-free.
+     */
+    void fillComponent(std::size_t c, FillScratch &ws,
+                       std::vector<ResourceId> &out);
 
     /** fillComponent() into oracle_rate_, leaving flows untouched. */
     void oracleFillComponent(std::size_t begin, std::size_t end);
+
+    /** Re-sum per-resource totals of active_resources_ from their
+     * crossing-flow lists and write the rate logs. */
+    void writeRegionTotals();
 
     /**
      * Zero the telemetry log and total of @p rid if no flow crosses
@@ -296,15 +492,21 @@ class FlowScheduler
      */
     void zeroIfIdle(ResourceId rid);
 
-    /** Run the global oracle and assert bitwise-equal rates. */
+    /** Flush the outermost batch: one closure, one solve. */
+    void flushBatch();
+
+    /** Run the global oracle and assert bitwise-equal rates, a
+     * consistent completion index and a sound stalled list. */
     void maybeVerify();
 
     Simulation &sim_;
     Topology &topo_;
     const FlowSolverMode mode_;
     const bool verify_;
+    const bool use_index_;
+    TaskPool *const pool_;
+    const std::size_t parallel_threshold_;
     FlowId next_id_ = 1;
-    SimTime last_settle_ = 0.0;
     EventId completion_event_ = 0;
     SimTime completion_time_ = 0.0;  ///< when completion_event_ fires
     Stats stats_;
@@ -316,27 +518,51 @@ class FlowScheduler
     /** Intrusive doubly-linked active list. Ids are issued
      * monotonically and always appended at the tail, so iteration
      * from head_slot_ is in ascending-id order — the canonical,
-     * deterministic flow order of every solver loop. */
+     * deterministic flow order of every solver loop and of
+     * simultaneous-finisher callbacks. */
     std::vector<std::int32_t> next_slot_;
     std::vector<std::int32_t> prev_slot_;
     std::int32_t head_slot_ = -1;
     std::int32_t tail_slot_ = -1;
     std::size_t active_count_ = 0;
-    /**
-     * Legacy-order shim: id -> slot, mirroring the insert/erase
-     * sequence the pre-slot-map `unordered_map<FlowId, Flow>`
-     * container saw. Simultaneous finishers must run their completion
-     * callbacks in that container's iteration order — the order the
-     * golden fingerprint hashes were captured under — and hash-map
-     * iteration order is a pure function of the key insert/erase
-     * history, so replaying the history on this map reproduces it
-     * exactly. Consulted only where order is observable: finisher
-     * collection in onCompletionEvent() and the per-resource totals
-     * accumulation after each solve (floating-point summation order
-     * moves the last bit). The water-fill loops themselves iterate
-     * the intrusive list / components_ (ascending ids).
-     */
-    std::unordered_map<FlowId, std::int32_t> order_;
+
+    // --- completion index -------------------------------------------------
+    IndexHeap index_;
+    /** Per-slot stamp of the live heap entry; 0 = none. */
+    std::vector<std::uint64_t> index_seq_;
+    std::uint64_t next_index_seq_ = 1;
+    std::vector<std::uint32_t> finisher_slots_;  ///< per-event scratch
+
+    // --- stalled-flow parking ---------------------------------------------
+    std::vector<std::uint32_t> stalled_;      ///< parked slots
+    std::vector<std::uint32_t> stalled_pos_;  ///< slot -> index in stalled_
+
+    /** Dense per-slot mirrors of Flow::rate and Flow::stalled. The
+     * per-edge loops (BFS closure, totals summation) read these 8- /
+     * 1-byte arrays instead of pulling a whole Flow struct into
+     * cache per edge; every writer of the mirrored fields updates
+     * them in the same statement. */
+    std::vector<double> rate_slot_;
+    std::vector<std::uint8_t> stalled_slot_;
+
+    /** Flat mirror of every active flow's resource list (and rate
+     * cap), appended at registration and compacted when the arena
+     * doubles its live footprint — same lazy-reclamation idea as the
+     * completion index. The partition BFS walks these contiguous
+     * spans instead of dereferencing each Flow's own vector, which
+     * kept one cache-missing struct hop per member flow in the
+     * per-solve closure. */
+    std::vector<ResourceId> route_arena_;
+    std::vector<std::uint32_t> route_begin_;  ///< per-slot arena offset
+    std::vector<std::uint32_t> route_len_;    ///< per-slot span length
+    std::size_t arena_live_ = 0;  ///< summed span length of active slots
+    std::vector<double> cap_slot_;  ///< Flow::cap mirror (set once)
+
+    // --- event-storm batching ---------------------------------------------
+    int batch_depth_ = 0;
+    bool batch_need_solve_ = false;
+    std::vector<std::uint32_t> batch_start_slots_;  ///< deferred starts
+    std::vector<ResourceId> batch_dirty_;  ///< deferred capacity seeds
 
     // --- flat per-resource state (indexed by ResourceId) -----------------
     std::vector<double> eff_cap_;     ///< capacity * class efficiency
@@ -360,14 +586,29 @@ class FlowScheduler
     std::uint64_t comp_epoch_ = 0;
     std::vector<std::uint32_t> components_;  ///< slots grouped by component
     std::vector<std::size_t> comp_ranges_;   ///< start offset per group
-    std::vector<ResourceId> comp_resources_; ///< one component's resources
+    std::vector<double> prev_rate_;  ///< pre-fill rates, parallel to components_
+    std::vector<ResourceId> comp_resources_; ///< oracle-fill working set
+    /** The partition CSR: everything a fill needs, gathered by the
+     * BFS (which touches each flow and each crossing list anyway) so
+     * the fills themselves never stride over global state. Resource
+     * ids inside a component are component-local (0..n-1 in discovery
+     * order). comp_flow_begin_ is aligned with components_ (one tail
+     * entry); comp_rid_ranges_ with comp_ranges_. */
+    std::vector<std::uint32_t> comp_flow_res_;   ///< local rid per route edge
+    std::vector<std::uint32_t> comp_flow_begin_; ///< CSR offsets per flow
+    std::vector<double> comp_fcap_;          ///< flow caps, per components_
+    std::vector<ResourceId> comp_rids_;      ///< local id -> rid, flat
+    std::vector<std::size_t> comp_rid_ranges_;  ///< rid span per component
+    std::vector<int> comp_crossing_;   ///< initial crossing counts, flat
+    std::vector<double> comp_rcap_;    ///< effective caps, flat
+    std::vector<std::uint32_t> res_local_;  ///< rid -> local id (comp-epoch)
 
     // --- reusable scratch buffers ----------------------------------------
+    std::vector<FillScratch> fill_scratch_;  ///< one per pool worker
+    std::vector<std::vector<ResourceId>> comp_out_;  ///< per-component rids
     std::vector<ResourceId> active_resources_;  ///< crossed by any flow
     std::vector<ResourceId> touched_;  ///< nonzero-log resources (Global)
     std::vector<ResourceId> cap_dirty_;  ///< batch-update seeds
-    std::vector<Flow *> unfrozen_;
-    std::vector<Flow *> still_;
     std::vector<std::function<void()>> callbacks_;
     std::vector<Flow> finished_;
     std::vector<double> oracle_rate_;          ///< verify-mode rates

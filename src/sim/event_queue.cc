@@ -55,6 +55,25 @@ EventQueue::cancel(EventId id)
     return true;
 }
 
+EventId
+EventQueue::reschedule(EventId id, SimTime when)
+{
+    DSTRAIN_ASSERT(when >= now_,
+                   "cannot reschedule into the past (when=%g, now=%g)",
+                   when, now_);
+    const std::uint32_t slot = slotOf(id);
+    DSTRAIN_ASSERT(slot < slots_.size(), "reschedule of unknown event");
+    Slot &s = slots_[slot];
+    DSTRAIN_ASSERT(s.gen == genOf(id) && s.live,
+                   "reschedule of executed or cancelled event");
+    // Bump the generation: the old heap entry goes stale (skimmed on
+    // pop without recycling the slot, which the new id still owns).
+    ++s.gen;
+    const EventId fresh = encodeId(s.gen, slot);
+    heap_.push(Entry{when, next_seq_++, fresh});
+    return fresh;
+}
+
 void
 EventQueue::releaseSlot(std::uint32_t slot)
 {

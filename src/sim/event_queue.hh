@@ -71,6 +71,17 @@ class EventQueue
      */
     bool cancel(EventId id);
 
+    /**
+     * Move a pending event to a new time, keeping its callback.
+     *
+     * Equivalent to cancel(id) + schedule(when, same-callback) — the
+     * event is assigned a fresh sequence number, so it runs after
+     * events already pending at @p when — but without re-copying the
+     * callback. @p id must be pending (not executed or cancelled);
+     * the returned id replaces it.
+     */
+    EventId reschedule(EventId id, SimTime when);
+
     /** True when no live events remain. */
     bool empty() const { return live_ == 0; }
 

@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "hw/cluster.hh"
 #include "net/flow_scheduler.hh"
 #include "util/rng.hh"
+#include "util/task_pool.hh"
 
 namespace dstrain {
 namespace {
@@ -420,6 +422,220 @@ TEST_F(FlowSchedulerTest, CancelAllRemovesEveryFlowSilently)
     EXPECT_EQ(flows_.stats().cancels, 3u);
     // The simulation drained: no completion events left dangling.
     EXPECT_NEAR(sim_.now(), 0.2, 1e-9);
+}
+
+TEST_F(FlowSchedulerTest, StalledFlowsParkOnTheStalledList)
+{
+    // A downed link parks its flows: they leave every fill / scan /
+    // index structure (observable via stalledCount) until the
+    // capacity restore unparks them.
+    FlowSpec spec;
+    spec.route = gpuRoute(0, 1);
+    spec.bytes = 80e9;
+    const std::vector<ResourceId> rids =
+        routeResources(cluster_.topology(), spec.route);
+    const FlowId id = flows_.start(std::move(spec));
+    EXPECT_EQ(flows_.stalledCount(), 0u);
+    sim_.events().schedule(0.5, [&] {
+        for (ResourceId rid : rids)
+            flows_.setCapacity(rid, 0.0);
+        EXPECT_EQ(flows_.stalledCount(), 1u);
+        EXPECT_GE(flows_.stats().stalled_parks, 1u);
+        EXPECT_TRUE(flows_.isActive(id));
+    });
+    sim_.events().schedule(1.0, [&] {
+        for (ResourceId rid : rids) {
+            const Resource &r = cluster_.topology().resource(rid);
+            flows_.setCapacity(rid, r.nominal_capacity);
+        }
+        EXPECT_EQ(flows_.stalledCount(), 0u);
+        EXPECT_GT(flows_.currentRate(id), 0.0);
+    });
+    sim_.run();
+    EXPECT_NEAR(sim_.now(), 1.5, 1e-6);
+}
+
+TEST_F(FlowSchedulerTest, StallResumeKeepsCompletionOrder)
+{
+    // Three equal flows on one link finish at the same instant; their
+    // callbacks must fire in ascending start order — and a stall /
+    // resume cycle in the middle (which reinserts all three into the
+    // completion index from the unpark path) must not perturb that
+    // order.
+    std::vector<int> order;
+    std::vector<ResourceId> rids;
+    for (int i = 0; i < 3; ++i) {
+        FlowSpec spec;
+        spec.route = gpuRoute(0, 1);
+        spec.bytes = 30e9;
+        if (i == 0)
+            rids = routeResources(cluster_.topology(), spec.route);
+        spec.on_complete = [&order, i] { order.push_back(i); };
+        flows_.start(std::move(spec));
+    }
+    sim_.events().schedule(0.3, [&] {
+        for (ResourceId rid : rids)
+            flows_.setCapacity(rid, 0.0);
+        EXPECT_EQ(flows_.stalledCount(), 3u);
+    });
+    sim_.events().schedule(0.8, [&] {
+        for (ResourceId rid : rids) {
+            const Resource &r = cluster_.topology().resource(rid);
+            flows_.setCapacity(rid, r.nominal_capacity);
+        }
+    });
+    sim_.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+    // 90 GB over 80 GBps plus the 0.5 s outage.
+    EXPECT_NEAR(sim_.now(), 90.0 / 80.0 + 0.5, 1e-6);
+    EXPECT_GE(flows_.stats().stalled_parks, 3u);
+}
+
+/** A self-contained sim + cluster + scheduler built from options. */
+struct OptsTwin {
+    explicit OptsTwin(const FlowSchedulerOptions &opts)
+        : cluster(ClusterSpec{}), flows(sim, cluster.topology(), opts)
+    {
+    }
+
+    Route
+    gpuRoute(int a, int b)
+    {
+        return cluster.router().route(cluster.gpuByRank(a),
+                                      cluster.gpuByRank(b));
+    }
+
+    Simulation sim;
+    Cluster cluster;
+    FlowScheduler flows;
+};
+
+TEST(FlowSchedulerBatchTest, CapacityStormMatchesUnbatchedCalls)
+{
+    // A capacity-only batch is state-equivalent to the per-link call
+    // sequence: rates after the storm and the final drain time must
+    // match bitwise, with the batch solving once instead of per link.
+    OptsTwin plain{FlowSchedulerOptions{}};
+    OptsTwin batched{FlowSchedulerOptions{}};
+
+    std::vector<FlowId> ids;
+    std::vector<ResourceId> rids;
+    for (OptsTwin *tw : {&plain, &batched}) {
+        for (int pair = 0; pair < 2; ++pair) {
+            for (int dup = 0; dup < 2; ++dup) {
+                FlowSpec spec;
+                spec.route = tw->gpuRoute(pair * 2, pair * 2 + 1);
+                if (tw == &plain && dup == 0)
+                    for (ResourceId rid : routeResources(
+                             tw->cluster.topology(), spec.route))
+                        rids.push_back(rid);
+                spec.bytes = 40e9;
+                const FlowId id = tw->flows.start(std::move(spec));
+                if (tw == &plain)
+                    ids.push_back(id);
+            }
+        }
+    }
+
+    auto storm = [&](OptsTwin &tw, double factor) {
+        for (ResourceId rid : rids) {
+            const Resource &r = tw.cluster.topology().resource(rid);
+            tw.flows.setCapacity(rid, r.nominal_capacity * factor);
+        }
+    };
+    plain.sim.events().schedule(0.25, [&] { storm(plain, 0.5); });
+    batched.sim.events().schedule(0.25, [&] {
+        FlowScheduler::ScopedBatch batch(batched.flows);
+        storm(batched, 0.5);
+    });
+    plain.sim.runUntil(0.5);
+    batched.sim.runUntil(0.5);
+    for (FlowId id : ids)
+        ASSERT_EQ(plain.flows.currentRate(id),
+                  batched.flows.currentRate(id))
+            << "rate diverged for flow " << id;
+    EXPECT_GT(batched.flows.stats().batched_events, 0u);
+    EXPECT_LT(batched.flows.stats().recomputes +
+                  batched.flows.stats().region_solves,
+              plain.flows.stats().recomputes +
+                  plain.flows.stats().region_solves);
+    EXPECT_EQ(plain.sim.run(), batched.sim.run());
+}
+
+TEST(FlowSchedulerIndexTest, LegacyScanIsBitIdenticalAndCounted)
+{
+    // completion_index = false restores the legacy full scan; stored
+    // finish times are the same values, so every completion instant
+    // must match the indexed scheduler bitwise.
+    FlowSchedulerOptions legacy_opts;
+    legacy_opts.completion_index = false;
+    OptsTwin indexed{FlowSchedulerOptions{}};
+    OptsTwin legacy{legacy_opts};
+
+    std::vector<SimTime> indexed_done;
+    std::vector<SimTime> legacy_done;
+    for (OptsTwin *tw : {&indexed, &legacy}) {
+        std::vector<SimTime> &done =
+            tw == &indexed ? indexed_done : legacy_done;
+        for (int i = 0; i < 6; ++i) {
+            FlowSpec spec;
+            spec.route = tw->gpuRoute(i % 2 == 0 ? 0 : 2,
+                                      i % 2 == 0 ? 1 : 3);
+            spec.bytes = 10e9 * (i + 1);
+            spec.on_complete = [&done, tw] {
+                done.push_back(tw->sim.now());
+            };
+            tw->flows.start(std::move(spec));
+        }
+    }
+    EXPECT_EQ(indexed.sim.run(), legacy.sim.run());
+    ASSERT_EQ(indexed_done.size(), legacy_done.size());
+    for (std::size_t i = 0; i < indexed_done.size(); ++i)
+        EXPECT_EQ(indexed_done[i], legacy_done[i]);
+
+    // The knob really switched implementations.
+    EXPECT_GT(indexed.flows.stats().completion_index_updates, 0u);
+    EXPECT_GT(indexed.flows.stats().completion_scans_avoided, 0u);
+    EXPECT_EQ(legacy.flows.stats().completion_index_updates, 0u);
+    EXPECT_EQ(legacy.flows.stats().completion_scans_avoided, 0u);
+}
+
+TEST(FlowSchedulerParallelTest, PooledFillsMatchSerialBitwise)
+{
+    // Batched starts force one solve spanning two components; with a
+    // pool and a low threshold the components fill concurrently, and
+    // the committed rates must equal the serial twin's bitwise.
+    TaskPool pool(2);
+    FlowSchedulerOptions par_opts;
+    par_opts.fill_pool = &pool;
+    par_opts.parallel_fill_threshold = 2;
+    OptsTwin serial{FlowSchedulerOptions{}};
+    OptsTwin par{par_opts};
+
+    std::vector<FlowId> ids;
+    for (OptsTwin *tw : {&serial, &par}) {
+        FlowScheduler::ScopedBatch batch(tw->flows);
+        for (int pair = 0; pair < 2; ++pair) {
+            for (int dup = 0; dup < 2; ++dup) {
+                FlowSpec spec;
+                spec.route = tw->gpuRoute(pair * 2, pair * 2 + 1);
+                spec.bytes = 20e9 + 10e9 * dup;
+                const FlowId id = tw->flows.start(std::move(spec));
+                if (tw == &serial)
+                    ids.push_back(id);
+            }
+        }
+    }
+    for (FlowId id : ids)
+        ASSERT_EQ(serial.flows.currentRate(id),
+                  par.flows.currentRate(id))
+            << "rate diverged for flow " << id;
+    EXPECT_GT(par.flows.stats().parallel_component_solves, 0u);
+    EXPECT_EQ(serial.flows.stats().parallel_component_solves, 0u);
+    EXPECT_EQ(serial.sim.run(), par.sim.run());
 }
 
 TEST_F(FlowSchedulerTest, CancelReturnsRemainingBytes)

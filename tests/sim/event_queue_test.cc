@@ -297,5 +297,96 @@ TEST_P(EventOrderProperty, NondecreasingExecution)
 INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderProperty,
                          testing::Range(1, 11));
 
+TEST(EventQueueTest, RescheduleMovesEventWithoutCopyingCallback)
+{
+    // The completion-index path moves the single pending completion
+    // event instead of cancel+schedule; the callback must survive and
+    // fire exactly once at the new time.
+    EventQueue q;
+    int fired = 0;
+    const EventId id = q.schedule(5.0, [&] { fired += 1; });
+    const EventId moved = q.reschedule(id, 2.0);
+    EXPECT_NE(moved, id);
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, RescheduleLaterDelaysExecution)
+{
+    EventQueue q;
+    std::vector<int> order;
+    EventId a = q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    a = q.reschedule(a, 3.0);
+    q.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+    EXPECT_FALSE(q.cancel(a));  // executed: id is dead
+}
+
+TEST(EventQueueTest, RescheduleRunsAfterEventsAlreadyPendingThere)
+{
+    // A rescheduled event takes a fresh sequence number: it lands
+    // *behind* events already queued at the target timestamp, exactly
+    // like a cancel + re-schedule would.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(2.0, [&] { order.push_back(1); });
+    const EventId id = q.schedule(1.0, [&] { order.push_back(2); });
+    q.reschedule(id, 2.0);
+    q.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(EventQueueTest, RescheduleInvalidatesTheOldId)
+{
+    EventQueue q;
+    int fired = 0;
+    const EventId id = q.schedule(4.0, [&] { fired += 1; });
+    const EventId moved = q.reschedule(id, 1.0);
+    // The old id no longer names a pending event; cancelling it is a
+    // safe no-op and does not disturb the moved event.
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 1);
+    // The new id executed, so it is dead too.
+    EXPECT_FALSE(q.cancel(moved));
+}
+
+TEST(EventQueueTest, RescheduledEventCanBeCancelled)
+{
+    EventQueue q;
+    int fired = 0;
+    const EventId id = q.schedule(1.0, [&] { fired += 1; });
+    const EventId moved = q.reschedule(id, 2.0);
+    EXPECT_TRUE(q.cancel(moved));
+    q.schedule(3.0, [] {});
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, RepeatedReschedulesKeepOneLiveEvent)
+{
+    // The scheduler reschedules the completion event many times per
+    // run; the heap may hold stale entries but size() must stay 1 and
+    // only the final time fires.
+    EventQueue q;
+    int fired = 0;
+    EventId id = q.schedule(10.0, [&] { fired += 1; });
+    for (int i = 0; i < 100; ++i)
+        id = q.reschedule(id, 10.0 + i);
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 109.0);
+}
+
 } // namespace
 } // namespace dstrain

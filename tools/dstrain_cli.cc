@@ -365,7 +365,8 @@ runCli(int argc, const char *const *argv)
                    "write a chrome://tracing JSON of the final "
                    "iteration to this path");
     args.addFlag("telemetry-stats",
-                 "print the telemetry-engine counters");
+                 "print the telemetry-engine and flow-scheduler "
+                 "counters");
     args.addFlag("csv", "emit the bandwidth row as CSV");
     args.addFlag("energy", "print the energy-model estimate");
     args.addFlag("timeline", "print the ASCII iteration timeline");
@@ -408,8 +409,10 @@ runCli(int argc, const char *const *argv)
                   << "\n";
     }
 
-    if (args.getFlag("telemetry-stats"))
-        std::cout << "\n" << summarizeTelemetry(report.telemetry) << "\n";
+    if (args.getFlag("telemetry-stats")) {
+        std::cout << "\n" << summarizeTelemetry(report.telemetry) << "\n"
+                  << summarizeScheduler(report.scheduler) << "\n";
+    }
 
     const auto &ends = report.execution.iteration_ends;
     const SimTime last_begin = ends[ends.size() - 2];

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Fail CI when the flow-scheduler micro-bench regresses.
+
+Compares one or more fresh micro_flow_scheduler JSONL runs against the
+committed baseline and exits non-zero when any guarded scenario's
+events/sec falls more than --threshold (default 30%) below baseline.
+
+CI runners (and the capture machine) are single-vCPU boxes that other
+tenants time-share, so raw wall-clock is bimodal: the same binary can
+read 2x slower under a noisy neighbor. Two defenses:
+
+  * Best-of-N: pass several run files; each scenario is scored on its
+    best run (the run least disturbed by external load).
+
+  * Machine normalization: the event_queue_churn scenario is a pure
+    CPU canary — no solver code under test dominates it — so the
+    ratio of its current to baseline ops/sec estimates the machine
+    speed delta, and guarded scenarios are scored after dividing that
+    factor out. A slow machine slows the canary and the scenario
+    together; a real regression slows only the scenario.
+
+Usage:
+  perf_guard.py --baseline bench/baselines/micro_flow_scheduler.jsonl \
+      run1.jsonl [run2.jsonl ...]
+"""
+
+import argparse
+import json
+import sys
+
+# Scenario -> JSON field guarded. event_queue_churn is the canary and
+# the sweep comparison measures thread scaling, not solver speed, so
+# neither is guarded directly.
+GUARDED_METRIC = "events_per_sec"
+CANARY_SCENARIO = "event_queue_churn"
+CANARY_METRIC = "ops_per_sec"
+SKIPPED_SCENARIOS = {CANARY_SCENARIO, "sweep_jobs"}
+
+
+def scenario_key(rec):
+    """Identity of one bench line: scenario plus solver mode (the
+    region and global passes of one scenario are separate series)."""
+    key = rec.get("scenario")
+    if key is None:
+        return None
+    solver = rec.get("solver")
+    return f"{key}/{solver}" if solver else key
+
+
+def load_jsonl(path):
+    recs = {}
+    canary = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            key = scenario_key(rec)
+            if key is None:
+                continue
+            if rec.get("scenario") == CANARY_SCENARIO:
+                canary = rec.get(CANARY_METRIC)
+            elif rec.get("scenario") not in SKIPPED_SCENARIOS:
+                metric = rec.get(GUARDED_METRIC)
+                if metric is not None:
+                    recs[key] = float(metric)
+    return recs, canary
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSONL")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max fractional regression (default 0.30)")
+    ap.add_argument("runs", nargs="+",
+                    help="fresh JSONL files (best-of-N per scenario)")
+    args = ap.parse_args()
+
+    base, base_canary = load_jsonl(args.baseline)
+    if not base:
+        print(f"perf_guard: no guarded scenarios in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    best = {}
+    best_canary = None
+    for path in args.runs:
+        recs, canary = load_jsonl(path)
+        for key, val in recs.items():
+            if key not in best or val > best[key]:
+                best[key] = val
+        if canary is not None and (best_canary is None
+                                   or canary > best_canary):
+            best_canary = canary
+
+    machine = 1.0
+    if base_canary and best_canary:
+        machine = best_canary / base_canary
+        print(f"machine factor (churn canary): {machine:.3f} "
+              f"({best_canary:.3g} now vs {base_canary:.3g} baseline)")
+
+    failures = []
+    for key, base_val in sorted(base.items()):
+        if key not in best:
+            print(f"MISSING  {key}: in baseline but not in any run")
+            failures.append(key)
+            continue
+        normalized = best[key] / machine
+        ratio = normalized / base_val
+        status = "ok" if ratio >= 1.0 - args.threshold else "REGRESSED"
+        print(f"{status:9s} {key}: {best[key]:.1f} raw, "
+              f"{normalized:.1f} normalized vs {base_val:.1f} baseline "
+              f"({ratio:.2f}x)")
+        if status != "ok":
+            failures.append(key)
+
+    for key in sorted(set(best) - set(base)):
+        print(f"new      {key}: {best[key]:.1f} (no baseline; skipped)")
+
+    if failures:
+        print(f"perf_guard: {len(failures)} scenario(s) regressed more "
+              f"than {args.threshold:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("perf_guard: all scenarios within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
