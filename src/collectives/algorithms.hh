@@ -1,42 +1,132 @@
 /**
  * @file
- * Topology-aware collective algorithm selection, mirroring what NCCL
- * does on the XE8545: intra-node groups ride the NVLink mesh with a
- * single ring; inter-node groups use one ring per NIC with the ring
- * ordered node-major so each ring crosses the inter-node fabric
- * exactly twice (once out, once back).
+ * The pluggable collective-algorithm library.
+ *
+ * A CollectiveAlgorithm turns (op, group, payload) into per-round
+ * transfer schedules; the CollectiveEngine executes the rounds as
+ * real flows. Four families are implemented, mirroring the regimes
+ * NCCL (and HCL's agRunRing/agRunPairwise split) selects:
+ *
+ *  - Ring: the node-major rings the engine has always modeled —
+ *    bandwidth-optimal, N-1 rounds of bytes/N chunks, pipelined for
+ *    the rooted ops. Bit-identical to the pre-library engine.
+ *  - Pairwise: direct exchange; round r sends rank i's chunk
+ *    straight to rank (i + r + 1) mod N. Also the canonical
+ *    all-to-all schedule.
+ *  - Tree: binomial broadcast/reduce (log2 N rounds of full-payload
+ *    hops — latency-optimal) and recursive doubling/halving
+ *    all-gather/reduce-scatter for power-of-two groups.
+ *  - Hierarchical: the two-level decomposition — intra-node rings
+ *    reduce/spread on NVLink, per-local-rank rail rings cross the
+ *    inter-node fabric exactly once per chunk, cutting RoCE volume
+ *    from (N-1)/N to (M-1)/N per payload byte on M nodes.
+ *
+ * `chooseCollectiveAlgorithm` is the topology-aware `auto` policy;
+ * `resolveCollectiveAlgorithm` applies it plus the deterministic
+ * fallback chain for unsupported (op, group) combinations, so the
+ * algorithm recorded in usage accounting is always the one that ran.
  */
 
 #ifndef DSTRAIN_COLLECTIVES_ALGORITHMS_HH
 #define DSTRAIN_COLLECTIVES_ALGORITHMS_HH
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "collectives/communicator.hh"
+#include "collectives/topology_view.hh"
 #include "hw/cluster.hh"
 
 namespace dstrain {
 
 /**
- * Order the ranks of @p group node-major (all ranks of node 0, then
- * node 1, ...), preserving relative order within a node. This is the
- * canonical ring order: it minimizes inter-node hops per ring.
+ * One schedule family. Implementations are stateless singletons
+ * (collectiveAlgorithm below); rounds() must be a pure function of
+ * its arguments so repeated runs are deterministic.
+ */
+class CollectiveAlgorithm
+{
+  public:
+    virtual ~CollectiveAlgorithm() = default;
+
+    /** The family's CollectiveAlgo tag. */
+    virtual CollectiveAlgo id() const = 0;
+
+    /** Human-readable name (== collectiveAlgoName(id())). */
+    const char *name() const { return collectiveAlgoName(id()); }
+
+    /**
+     * Can this family natively schedule @p op over @p group? When
+     * not, resolveCollectiveAlgorithm falls back deterministically
+     * (ring for the rooted ops, pairwise for all-to-all).
+     */
+    virtual bool supports(CollectiveOp op, const CommGroup &group,
+                          const TopologyView &view) const = 0;
+
+    /**
+     * The transfer schedule for one channel's share of the payload.
+     * @p share is the per-rank logical payload of this channel
+     * (bytes / channels); @p root is the root rank for Broadcast and
+     * Reduce and ignored otherwise. Rounds execute sequentially with
+     * a barrier between them; hops within a round run concurrently.
+     */
+    virtual std::vector<CollectiveRound>
+    rounds(CollectiveOp op, const CommGroup &group, Bytes share,
+           int root, const TopologyView &view) const = 0;
+};
+
+/** The singleton implementation of @p algo (not Auto). */
+const CollectiveAlgorithm &collectiveAlgorithm(CollectiveAlgo algo);
+
+/**
+ * The topology-aware `auto` policy: hierarchical for the unrooted
+ * bandwidth ops on multi-node groups with a uniform rank-per-node
+ * layout, tree for small payloads and the rooted ops on larger
+ * groups, pairwise for all-to-all, ring otherwise.
+ */
+CollectiveAlgo chooseCollectiveAlgorithm(CollectiveOp op,
+                                         const CommGroup &group,
+                                         Bytes bytes,
+                                         const TopologyView &view);
+
+/**
+ * Resolve @p requested (possibly Auto) to the concrete algorithm
+ * that will run @p op over @p group: Auto goes through
+ * chooseCollectiveAlgorithm, then unsupported combinations fall back
+ * (all-to-all -> Pairwise, everything else -> Ring). Never returns
+ * Auto; the result always supports (op, group).
+ */
+CollectiveAlgo resolveCollectiveAlgorithm(CollectiveOp op,
+                                          const CommGroup &group,
+                                          Bytes bytes,
+                                          CollectiveAlgo requested,
+                                          const TopologyView &view);
+
+/** Parse one algorithm name (`ring`, `pairwise`, `tree`, `hierarchical`, `auto`). */
+std::optional<CollectiveAlgo> parseCollectiveAlgo(const std::string &name);
+
+/**
+ * Parse the `--collective-algo` grammar: a comma-separated list of
+ * either a bare algorithm name (sets the default) or `<op>=<algo>`
+ * overrides, e.g. `auto`, `tree`, `allgather=hierarchical`,
+ * `ring,allreduce=hierarchical,alltoall=pairwise`. Op names accept
+ * both the compact (`allreduce`) and display (`all-reduce`) forms.
+ * Returns std::nullopt and fills @p error on a malformed spec.
+ */
+std::optional<CollectiveAlgoSpec>
+parseCollectiveAlgoSpec(const std::string &spec, std::string *error);
+
+/**
+ * @deprecated Use TopologyView::orderNodeMajor. Thin wrapper kept
+ * for one PR while callers migrate.
  */
 CommGroup orderNodeMajor(const CommGroup &group, const Cluster &cluster);
 
-/**
- * Number of inter-node ring hops for a node-major ring over
- * @p group — 0 for intra-node groups, otherwise the number of
- * adjacent rank pairs whose nodes differ plus the wraparound hop.
- */
+/** @deprecated Use TopologyView::interNodeHops. */
 int interNodeHops(const CommGroup &group, const Cluster &cluster);
 
-/**
- * The bottleneck per-hop effective bandwidth of a ring over
- * @p group: the slowest hop (NVLink pair intra-node, the NIC/RoCE
- * path inter-node, including protocol efficiency and SerDes
- * degradation).
- */
+/** @deprecated Use TopologyView::ringBottleneckBandwidth. */
 Bps ringBottleneckBandwidth(const CommGroup &group,
                             const Cluster &cluster);
 

@@ -1,14 +1,18 @@
 /**
  * @file
- * Implementation of the collective engine (ring algorithms).
+ * Implementation of the collective engine: algorithm resolution,
+ * channel splitting and round-by-round flow execution.
  */
 
 #include "collectives/communicator.hh"
 
 #include <memory>
-#include <tuple>
 #include <numeric>
+#include <tuple>
 
+#include "collectives/algorithms.hh"
+#include "collectives/topology_view.hh"
+#include "collectives/volume.hh"
 #include "util/logging.hh"
 
 namespace dstrain {
@@ -36,26 +40,33 @@ collectiveOpName(CollectiveOp op)
         return "broadcast";
       case CollectiveOp::Reduce:
         return "reduce";
+      case CollectiveOp::AllToAll:
+        return "all-to-all";
     }
     panic("unknown CollectiveOp %d", static_cast<int>(op));
+}
+
+const char *
+collectiveAlgoName(CollectiveAlgo algo)
+{
+    switch (algo) {
+      case CollectiveAlgo::Auto:
+        return "auto";
+      case CollectiveAlgo::Ring:
+        return "ring";
+      case CollectiveAlgo::Pairwise:
+        return "pairwise";
+      case CollectiveAlgo::Tree:
+        return "tree";
+      case CollectiveAlgo::Hierarchical:
+        return "hierarchical";
+    }
+    panic("unknown CollectiveAlgo %d", static_cast<int>(algo));
 }
 
 CollectiveEngine::CollectiveEngine(TransferManager &tm)
     : tm_(tm)
 {
-}
-
-bool
-CollectiveEngine::spansNodes(const CommGroup &group) const
-{
-    const Cluster &cl = tm_.cluster();
-    if (group.ranks.empty())
-        return false;
-    const int first = cl.nodeOfRank(group.ranks.front());
-    for (int r : group.ranks)
-        if (cl.nodeOfRank(r) != first)
-            return true;
-    return false;
 }
 
 std::vector<ComponentId>
@@ -81,16 +92,17 @@ CollectiveEngine::viaNics(int src_rank, int dst_rank, int channel,
 
 void
 CollectiveEngine::runRounds(const CommGroup &group,
-                            std::vector<Round> rounds, int channel,
-                            int channels, bool pin, double bw_factor,
-                            const std::string &tag, Callback on_done)
+                            std::vector<CollectiveRound> rounds,
+                            int channel, int channels, bool pin,
+                            double bw_factor, const std::string &tag,
+                            Callback on_done)
 {
     // Self-destructing state machine: advance() launches round i and
     // recurses when all of its transfers land.
     struct State {
         CollectiveEngine *eng;
         CommGroup group;
-        std::vector<Round> rounds;
+        std::vector<CollectiveRound> rounds;
         int channel;
         int channels;
         bool pin;
@@ -119,10 +131,10 @@ CollectiveEngine::runRounds(const CommGroup &group,
                 st->on_done();
             return;
         }
-        const Round &round = st->rounds[st->next_round++];
+        const CollectiveRound &round = st->rounds[st->next_round++];
         DSTRAIN_ASSERT(!round.empty(), "empty collective round");
         st->outstanding = static_cast<int>(round.size());
-        for (const Hop &hop : round) {
+        for (const CollectiveHop &hop : round) {
             Cluster &cl = st->eng->tm_.cluster();
             TransferOptions opts;
             opts.waypoints = st->eng->viaNics(
@@ -146,16 +158,44 @@ CollectiveEngine::runRounds(const CommGroup &group,
 }
 
 void
-CollectiveEngine::runChanneled(
-    const CommGroup &group, Bytes bytes, CollectiveOptions opts,
-    const std::string &kind,
-    std::function<std::vector<Round>(int, Bytes)> maker, Callback on_done)
+CollectiveEngine::recordUsage(CollectiveOp op, CollectiveAlgo algo,
+                              int n, Bytes bytes)
 {
+    for (CollectiveUsage &u : usage_) {
+        if (u.op == op && u.algo == algo) {
+            ++u.invocations;
+            u.payload_bytes += bytes;
+            u.fabric_bytes += collectiveTotalVolume(op, n, bytes);
+            return;
+        }
+    }
+    CollectiveUsage u;
+    u.op = op;
+    u.algo = algo;
+    u.invocations = 1;
+    u.payload_bytes = bytes;
+    u.fabric_bytes = collectiveTotalVolume(op, n, bytes);
+    usage_.push_back(u);
+}
+
+void
+CollectiveEngine::runOp(CollectiveOp op, const CommGroup &group,
+                        int root, Bytes bytes, CollectiveOptions opts,
+                        Callback on_done)
+{
+    const std::string kind = collectiveOpName(op);
     DSTRAIN_ASSERT(group.size() >= 2, "%s needs >= 2 ranks (got %d)",
                    kind.c_str(), group.size());
-    int channels = opts.channels;
-    if (channels == 0)
-        channels = spansNodes(group) ? 2 : 1;
+    const TopologyView view(tm_.cluster());
+    const int channels = resolveChannels(group, opts.channels, view);
+
+    const CollectiveAlgo requested =
+        opts.algorithm != CollectiveAlgo::Auto ? opts.algorithm
+                                               : spec_.requestedFor(op);
+    const CollectiveAlgo algo =
+        resolveCollectiveAlgorithm(op, group, bytes, requested, view);
+    const CollectiveAlgorithm &impl = collectiveAlgorithm(algo);
+    recordUsage(op, algo, group.size(), bytes);
 
     const std::string tag =
         opts.tag.empty() ? kind : opts.tag + "/" + kind;
@@ -164,7 +204,8 @@ CollectiveEngine::runChanneled(
     auto done = std::make_shared<Callback>(std::move(on_done));
     for (int c = 0; c < channels; ++c) {
         const Bytes share = bytes / channels;
-        std::vector<Round> rounds = maker(c, share);
+        std::vector<CollectiveRound> rounds =
+            impl.rounds(op, group, share, root, view);
         runRounds(group, std::move(rounds), c, channels,
                   opts.pin_channels_to_nics, opts.bandwidth_factor, tag,
                   [this, remaining, done] {
@@ -181,163 +222,48 @@ void
 CollectiveEngine::reduceScatter(const CommGroup &group, Bytes bytes,
                                 Callback on_done, CollectiveOptions opts)
 {
-    const int n = group.size();
-    auto maker = [&group, n](int, Bytes share) {
-        std::vector<Round> rounds;
-        const Bytes chunk = share / n;
-        for (int r = 0; r < n - 1; ++r) {
-            Round round;
-            for (int i = 0; i < n; ++i) {
-                round.push_back(Hop{group.ranks[static_cast<std::size_t>(i)],
-                                    group.ranks[static_cast<std::size_t>(
-                                        (i + 1) % n)],
-                                    chunk});
-            }
-            rounds.push_back(std::move(round));
-        }
-        return rounds;
-    };
-    runChanneled(group, bytes, std::move(opts), "reduce-scatter", maker,
-                 std::move(on_done));
+    runOp(CollectiveOp::ReduceScatter, group, -1, bytes,
+          std::move(opts), std::move(on_done));
 }
 
 void
 CollectiveEngine::allGather(const CommGroup &group, Bytes bytes,
                             Callback on_done, CollectiveOptions opts)
 {
-    // Identical traffic pattern to reduce-scatter (ring all-gather).
-    const int n = group.size();
-    auto maker = [&group, n](int, Bytes share) {
-        std::vector<Round> rounds;
-        const Bytes chunk = share / n;
-        for (int r = 0; r < n - 1; ++r) {
-            Round round;
-            for (int i = 0; i < n; ++i) {
-                round.push_back(Hop{group.ranks[static_cast<std::size_t>(i)],
-                                    group.ranks[static_cast<std::size_t>(
-                                        (i + 1) % n)],
-                                    chunk});
-            }
-            rounds.push_back(std::move(round));
-        }
-        return rounds;
-    };
-    runChanneled(group, bytes, std::move(opts), "all-gather", maker,
-                 std::move(on_done));
+    runOp(CollectiveOp::AllGather, group, -1, bytes, std::move(opts),
+          std::move(on_done));
 }
 
 void
 CollectiveEngine::allReduce(const CommGroup &group, Bytes bytes,
                             Callback on_done, CollectiveOptions opts)
 {
-    // Ring all-reduce: reduce-scatter rounds then all-gather rounds.
-    const int n = group.size();
-    auto maker = [&group, n](int, Bytes share) {
-        std::vector<Round> rounds;
-        const Bytes chunk = share / n;
-        for (int phase = 0; phase < 2; ++phase) {
-            for (int r = 0; r < n - 1; ++r) {
-                Round round;
-                for (int i = 0; i < n; ++i) {
-                    round.push_back(
-                        Hop{group.ranks[static_cast<std::size_t>(i)],
-                            group.ranks[static_cast<std::size_t>((i + 1) %
-                                                                 n)],
-                            chunk});
-                }
-                rounds.push_back(std::move(round));
-            }
-        }
-        return rounds;
-    };
-    runChanneled(group, bytes, std::move(opts), "all-reduce", maker,
-                 std::move(on_done));
+    runOp(CollectiveOp::AllReduce, group, -1, bytes, std::move(opts),
+          std::move(on_done));
 }
 
 void
 CollectiveEngine::broadcast(const CommGroup &group, int root, Bytes bytes,
                             Callback on_done, CollectiveOptions opts)
 {
-    // Pipelined ring broadcast: the payload is cut into slices that
-    // travel down the ring; with k slices the makespan approaches
-    // (1 + (n-2)/k) * bytes / bw. Rounds model the pipeline steps.
-    const int n = group.size();
-    const int slices = 8;
-    // Rotate the ring so the root is first.
-    std::vector<int> order;
-    std::size_t root_pos = 0;
-    for (std::size_t i = 0; i < group.ranks.size(); ++i)
-        if (group.ranks[i] == root)
-            root_pos = i;
-    for (int i = 0; i < n; ++i)
-        order.push_back(group.ranks[(root_pos + static_cast<std::size_t>(i))
-                                    % group.ranks.size()]);
-
-    auto maker = [order, n, slices](int, Bytes share) {
-        std::vector<Round> rounds;
-        const Bytes slice = share / slices;
-        // Pipeline steps: at step t, link i (i -> i+1) carries slice
-        // (t - i) when 0 <= t - i < slices.
-        const int steps = slices + n - 2;
-        for (int t = 0; t < steps; ++t) {
-            Round round;
-            for (int i = 0; i < n - 1; ++i) {
-                const int s = t - i;
-                if (s < 0 || s >= slices)
-                    continue;
-                round.push_back(Hop{order[static_cast<std::size_t>(i)],
-                                    order[static_cast<std::size_t>(i + 1)],
-                                    slice});
-            }
-            if (!round.empty())
-                rounds.push_back(std::move(round));
-        }
-        return rounds;
-    };
-    runChanneled(group, bytes, std::move(opts), "broadcast", maker,
-                 std::move(on_done));
+    runOp(CollectiveOp::Broadcast, group, root, bytes, std::move(opts),
+          std::move(on_done));
 }
 
 void
 CollectiveEngine::reduce(const CommGroup &group, int root, Bytes bytes,
                          Callback on_done, CollectiveOptions opts)
 {
-    // Ring reduce toward the root: same pipeline as broadcast but in
-    // the opposite direction (traffic volume is identical).
-    const int n = group.size();
-    const int slices = 8;
-    std::vector<int> order;
-    std::size_t root_pos = 0;
-    for (std::size_t i = 0; i < group.ranks.size(); ++i)
-        if (group.ranks[i] == root)
-            root_pos = i;
-    // order[0] is the farthest rank; order[n-1] == root.
-    for (int i = 0; i < n; ++i)
-        order.push_back(
-            group.ranks[(root_pos + 1 + static_cast<std::size_t>(i)) %
-                        group.ranks.size()]);
+    runOp(CollectiveOp::Reduce, group, root, bytes, std::move(opts),
+          std::move(on_done));
+}
 
-    auto maker = [order, n, slices](int, Bytes share) {
-        std::vector<Round> rounds;
-        const Bytes slice = share / slices;
-        const int steps = slices + n - 2;
-        for (int t = 0; t < steps; ++t) {
-            Round round;
-            for (int i = 0; i < n - 1; ++i) {
-                const int s = t - i;
-                if (s < 0 || s >= slices)
-                    continue;
-                round.push_back(Hop{order[static_cast<std::size_t>(i)],
-                                    order[static_cast<std::size_t>(i + 1)],
-                                    slice});
-            }
-            if (!round.empty())
-                rounds.push_back(std::move(round));
-        }
-        return rounds;
-    };
-    runChanneled(group, bytes, std::move(opts), "reduce", maker,
-                 std::move(on_done));
+void
+CollectiveEngine::allToAll(const CommGroup &group, Bytes bytes,
+                           Callback on_done, CollectiveOptions opts)
+{
+    runOp(CollectiveOp::AllToAll, group, -1, bytes, std::move(opts),
+          std::move(on_done));
 }
 
 void

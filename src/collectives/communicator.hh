@@ -2,13 +2,18 @@
  * @file
  * Communicator groups and the collective-communication engine.
  *
- * Collectives are modeled as their ring algorithms (the algorithms
- * NCCL selects on this topology): reduce-scatter and all-gather run
- * N-1 rounds in which every rank ships `bytes / N` to its ring
- * neighbor; all-reduce is a reduce-scatter followed by an all-gather;
- * broadcast is a pipelined ring. Every round's transfers are real
- * flows on the simulated fabric, so link telemetry sees exactly the
- * traffic pattern the paper's profilers saw.
+ * Collectives are modeled as per-round transfer schedules emitted by
+ * a pluggable CollectiveAlgorithm (collectives/algorithms.hh). The
+ * default is the ring family NCCL selects on this topology:
+ * reduce-scatter and all-gather run N-1 rounds in which every rank
+ * ships `bytes / N` to its ring neighbor; all-reduce is a
+ * reduce-scatter followed by an all-gather; broadcast is a pipelined
+ * ring. Pairwise, tree and hierarchical two-level schedules are
+ * selectable per invocation (CollectiveOptions::algorithm) or per
+ * engine (CollectiveAlgoSpec, the `--collective-algo` grammar).
+ * Every round's transfers are real flows on the simulated fabric, so
+ * link telemetry sees exactly the traffic pattern the paper's
+ * profilers saw.
  *
  * For groups spanning nodes the engine splits traffic across
  * channels pinned to the node's NICs round-robin — mirroring NCCL's
@@ -20,6 +25,7 @@
 #ifndef DSTRAIN_COLLECTIVES_COMMUNICATOR_HH
 #define DSTRAIN_COLLECTIVES_COMMUNICATOR_HH
 
+#include <array>
 #include <functional>
 #include <string>
 #include <vector>
@@ -46,16 +52,69 @@ enum class CollectiveOp {
     AllGather,
     Broadcast,
     Reduce,
+    AllToAll,
 };
+
+/** Number of CollectiveOp values (spec tables are indexed by op). */
+constexpr int kNumCollectiveOps = 6;
 
 /** Human-readable collective name (timeline labels). */
 const char *collectiveOpName(CollectiveOp op);
+
+/**
+ * The schedule families a collective can run as. Auto defers the
+ * choice: per invocation to the engine's spec, and in the spec to
+ * the topology-aware policy (chooseCollectiveAlgorithm).
+ */
+enum class CollectiveAlgo {
+    Auto,
+    Ring,
+    Pairwise,
+    Tree,
+    Hierarchical,
+};
+
+/** Human-readable algorithm name (CLI, report tables). */
+const char *collectiveAlgoName(CollectiveAlgo algo);
+
+/**
+ * Per-engine algorithm selection: a default plus optional per-op
+ * overrides, populated from the `--collective-algo` grammar
+ * (parseCollectiveAlgoSpec in algorithms.hh). The shipped default —
+ * ring for every op — reproduces the pre-library engine bit for bit.
+ */
+struct CollectiveAlgoSpec {
+    /** Algorithm when no per-op override matches; Auto = topology pick. */
+    CollectiveAlgo default_algo = CollectiveAlgo::Ring;
+
+    /** Per-op override; Auto = fall through to default_algo. */
+    std::array<CollectiveAlgo, kNumCollectiveOps> per_op{};
+
+    /** The requested (possibly Auto) algorithm for @p op. */
+    CollectiveAlgo requestedFor(CollectiveOp op) const
+    {
+        const CollectiveAlgo o =
+            per_op[static_cast<std::size_t>(static_cast<int>(op))];
+        return o != CollectiveAlgo::Auto ? o : default_algo;
+    }
+};
+
+/** One transfer of a collective round (global src/dst ranks). */
+struct CollectiveHop {
+    int src_rank;
+    int dst_rank;
+    Bytes bytes;
+};
+
+/** One round: every entry transfers concurrently; rounds barrier. */
+using CollectiveRound = std::vector<CollectiveHop>;
 
 /** Tuning knobs for one collective invocation. */
 struct CollectiveOptions {
     /**
      * Number of parallel channels (rings). 0 = automatic: 1 for
-     * intra-node groups, 2 (one per NIC) for inter-node groups.
+     * intra-node groups, 2 (one per NIC) for inter-node groups
+     * (resolveChannels in topology_view.hh).
      */
     int channels = 0;
 
@@ -72,8 +131,30 @@ struct CollectiveOptions {
      */
     double bandwidth_factor = 1.0;
 
+    /**
+     * Schedule family for this invocation. Auto defers to the
+     * engine's CollectiveAlgoSpec (whose shipped default is Ring).
+     */
+    CollectiveAlgo algorithm = CollectiveAlgo::Auto;
+
     /** Debug label. */
     std::string tag;
+};
+
+/**
+ * Per-(op, algorithm) accounting of what the engine actually ran —
+ * the algorithm recorded is the concrete one after Auto resolution
+ * and fallback, so the report shows what was simulated, not what was
+ * asked for.
+ */
+struct CollectiveUsage {
+    CollectiveOp op;
+    CollectiveAlgo algo;
+    std::uint64_t invocations = 0;
+    /** Sum of logical payloads passed to the collective calls. */
+    Bytes payload_bytes = 0;
+    /** Closed-form fabric bytes (collectiveTotalVolume) for them. */
+    Bytes fabric_bytes = 0;
 };
 
 /**
@@ -88,6 +169,16 @@ class CollectiveEngine
 
     CollectiveEngine(const CollectiveEngine &) = delete;
     CollectiveEngine &operator=(const CollectiveEngine &) = delete;
+
+    /**
+     * Engine-wide algorithm selection (the `--collective-algo`
+     * spec). Per-invocation CollectiveOptions::algorithm wins over
+     * it. Default: ring everywhere.
+     */
+    void setAlgoSpec(const CollectiveAlgoSpec &spec) { spec_ = spec; }
+
+    /** The engine-wide algorithm spec. */
+    const CollectiveAlgoSpec &algoSpec() const { return spec_; }
 
     /**
      * All-reduce @p bytes per rank across @p group.
@@ -115,6 +206,14 @@ class CollectiveEngine
     void reduce(const CommGroup &group, int root, Bytes bytes,
                 Callback on_done, CollectiveOptions opts = {});
 
+    /**
+     * All-to-all of @p bytes per rank: every rank holds @p bytes of
+     * which 1/N is destined to each peer (MoE token dispatch and
+     * combine). Runs as N-1 pairwise-exchange rounds.
+     */
+    void allToAll(const CommGroup &group, Bytes bytes, Callback on_done,
+                  CollectiveOptions opts = {});
+
     /** Plain point-to-point send between two ranks. */
     void pointToPoint(int src_rank, int dst_rank, Bytes bytes,
                       Callback on_done, const std::string &tag = "p2p");
@@ -122,32 +221,30 @@ class CollectiveEngine
     /** Number of collectives completed (test/diagnostic hook). */
     std::uint64_t completedCount() const { return completed_; }
 
-  private:
-    /** One ring round: every entry transfers concurrently. */
-    struct Hop {
-        int src_rank;
-        int dst_rank;
-        Bytes bytes;
-    };
-    using Round = std::vector<Hop>;
+    /** What ran so far, keyed by (op, concrete algorithm). */
+    const std::vector<CollectiveUsage> &usage() const { return usage_; }
 
+  private:
     /**
      * Execute @p rounds sequentially (round barrier) on channel
      * @p channel of @p channels, then invoke @p on_done.
      */
-    void runRounds(const CommGroup &group, std::vector<Round> rounds,
+    void runRounds(const CommGroup &group,
+                   std::vector<CollectiveRound> rounds,
                    int channel, int channels, bool pin,
                    double bw_factor, const std::string &tag,
                    Callback on_done);
 
-    /** Split a collective across channels and run them. */
-    void runChanneled(const CommGroup &group, Bytes bytes,
-                      CollectiveOptions opts, const std::string &kind,
-                      std::function<std::vector<Round>(int, Bytes)> maker,
-                      Callback on_done);
+    /**
+     * Resolve the algorithm, split @p bytes across channels, fetch
+     * each channel's rounds from the algorithm and run them.
+     */
+    void runOp(CollectiveOp op, const CommGroup &group, int root,
+               Bytes bytes, CollectiveOptions opts, Callback on_done);
 
-    /** Does the group span more than one node? */
-    bool spansNodes(const CommGroup &group) const;
+    /** Fold one invocation into the usage table. */
+    void recordUsage(CollectiveOp op, CollectiveAlgo algo, int n,
+                     Bytes bytes);
 
     /**
      * Resolve the pinned route waypoints for a hop: the src node's
@@ -158,6 +255,8 @@ class CollectiveEngine
     viaNics(int src_rank, int dst_rank, int channel, bool pin) const;
 
     TransferManager &tm_;
+    CollectiveAlgoSpec spec_;
+    std::vector<CollectiveUsage> usage_;
     std::uint64_t completed_ = 0;
 };
 

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Implementation of the topology view.
+ */
+
+#include "collectives/topology_view.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+bool
+TopologyView::spansNodes(const CommGroup &group) const
+{
+    if (group.ranks.empty())
+        return false;
+    const int first = cluster_->nodeOfRank(group.ranks.front());
+    for (int r : group.ranks)
+        if (cluster_->nodeOfRank(r) != first)
+            return true;
+    return false;
+}
+
+CommGroup
+TopologyView::orderNodeMajor(const CommGroup &group) const
+{
+    CommGroup out = group;
+    std::stable_sort(out.ranks.begin(), out.ranks.end(),
+                     [this](int a, int b) {
+                         return cluster_->nodeOfRank(a) <
+                                cluster_->nodeOfRank(b);
+                     });
+    return out;
+}
+
+int
+TopologyView::interNodeHops(const CommGroup &group) const
+{
+    const int n = group.size();
+    if (n < 2)
+        return 0;
+    int hops = 0;
+    for (int i = 0; i < n; ++i) {
+        const int a = group.ranks[static_cast<std::size_t>(i)];
+        const int b = group.ranks[static_cast<std::size_t>((i + 1) % n)];
+        if (cluster_->nodeOfRank(a) != cluster_->nodeOfRank(b))
+            ++hops;
+    }
+    return hops;
+}
+
+Bps
+TopologyView::ringBottleneckBandwidth(const CommGroup &group) const
+{
+    DSTRAIN_ASSERT(group.size() >= 2, "ring needs >= 2 ranks");
+    Bps worst = std::numeric_limits<Bps>::max();
+    const int n = group.size();
+    for (int i = 0; i < n; ++i) {
+        const int a = group.ranks[static_cast<std::size_t>(i)];
+        const int b = group.ranks[static_cast<std::size_t>((i + 1) % n)];
+        const Route &r = cluster_->router().route(cluster_->gpuByRank(a),
+                                                  cluster_->gpuByRank(b));
+        worst = std::min(worst, r.rate_cap);
+    }
+    return worst;
+}
+
+std::vector<int>
+TopologyView::nodesOf(const CommGroup &group) const
+{
+    std::vector<int> nodes;
+    for (int r : group.ranks) {
+        const int node = cluster_->nodeOfRank(r);
+        if (std::find(nodes.begin(), nodes.end(), node) == nodes.end())
+            nodes.push_back(node);
+    }
+    return nodes;
+}
+
+CommGroup
+TopologyView::ranksOnNode(const CommGroup &group, int node) const
+{
+    CommGroup out;
+    for (int r : group.ranks)
+        if (cluster_->nodeOfRank(r) == node)
+            out.ranks.push_back(r);
+    return out;
+}
+
+bool
+TopologyView::uniformRanksPerNode(const CommGroup &group) const
+{
+    const std::vector<int> nodes = nodesOf(group);
+    if (nodes.empty())
+        return false;
+    const int first =
+        ranksOnNode(group, nodes.front()).size();
+    for (int node : nodes)
+        if (ranksOnNode(group, node).size() != first)
+            return false;
+    return true;
+}
+
+int
+resolveChannels(const CommGroup &group, int requested,
+                const TopologyView &view)
+{
+    if (requested > 0)
+        return requested;
+    return view.spansNodes(group) ? 2 : 1;
+}
+
+} // namespace dstrain

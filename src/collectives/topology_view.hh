@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Read-only topology queries collective algorithms need.
+ *
+ * TopologyView wraps a Cluster and answers the questions a
+ * CollectiveAlgorithm asks while laying out its rounds: which node a
+ * rank lives on, the canonical node-major ring order, how many ring
+ * hops cross the inter-node fabric, and the bottleneck bandwidth of a
+ * ring. Keeping these behind one helper (instead of the former free
+ * functions in algorithms.hh) gives every algorithm the same
+ * vocabulary and keeps Cluster out of their signatures.
+ */
+
+#ifndef DSTRAIN_COLLECTIVES_TOPOLOGY_VIEW_HH
+#define DSTRAIN_COLLECTIVES_TOPOLOGY_VIEW_HH
+
+#include <vector>
+
+#include "collectives/communicator.hh"
+#include "hw/cluster.hh"
+
+namespace dstrain {
+
+/** Topology queries over one Cluster, consumed by CollectiveAlgorithm. */
+class TopologyView
+{
+  public:
+    explicit TopologyView(const Cluster &cluster) : cluster_(&cluster) {}
+
+    /** The wrapped cluster. */
+    const Cluster &cluster() const { return *cluster_; }
+
+    /** Node index hosting global rank @p rank. */
+    int nodeOfRank(int rank) const { return cluster_->nodeOfRank(rank); }
+
+    /** Does the group span more than one node? */
+    bool spansNodes(const CommGroup &group) const;
+
+    /**
+     * Order the ranks of @p group node-major (all ranks of node 0,
+     * then node 1, ...), preserving relative order within a node.
+     * This is the canonical ring order: it minimizes inter-node hops
+     * per ring.
+     */
+    CommGroup orderNodeMajor(const CommGroup &group) const;
+
+    /**
+     * Number of inter-node ring hops for a node-major ring over
+     * @p group — 0 for intra-node groups, otherwise the number of
+     * adjacent rank pairs whose nodes differ plus the wraparound hop.
+     */
+    int interNodeHops(const CommGroup &group) const;
+
+    /**
+     * The bottleneck per-hop effective bandwidth of a ring over
+     * @p group: the slowest hop (NVLink pair intra-node, the
+     * NIC/RoCE path inter-node, including protocol efficiency and
+     * SerDes degradation).
+     */
+    Bps ringBottleneckBandwidth(const CommGroup &group) const;
+
+    /** Distinct nodes of @p group, in order of first appearance. */
+    std::vector<int> nodesOf(const CommGroup &group) const;
+
+    /**
+     * Ranks of @p group living on @p node, preserving group order.
+     */
+    CommGroup ranksOnNode(const CommGroup &group, int node) const;
+
+    /**
+     * Does every node hosting part of @p group host the same number
+     * of its ranks? (The precondition for the two-level hierarchical
+     * decomposition.)
+     */
+    bool uniformRanksPerNode(const CommGroup &group) const;
+
+  private:
+    const Cluster *cluster_;
+};
+
+/**
+ * Resolve CollectiveOptions::channels: 0 means automatic — one ring
+ * for intra-node groups, two (one per NIC) for groups spanning nodes.
+ * The single source of truth shared by the engine and any volume or
+ * bench accounting.
+ */
+int resolveChannels(const CommGroup &group, int requested,
+                    const TopologyView &view);
+
+} // namespace dstrain
+
+#endif // DSTRAIN_COLLECTIVES_TOPOLOGY_VIEW_HH

@@ -25,6 +25,9 @@ collectiveSendVolumePerRank(CollectiveOp op, int n, Bytes bytes)
         // Ring pipeline: every non-terminal rank forwards the whole
         // payload once; averaged per rank this is (n-1)/n * bytes.
         return frac * bytes;
+      case CollectiveOp::AllToAll:
+        // Each rank ships bytes/n to each of its n-1 peers.
+        return frac * bytes;
     }
     panic("unknown CollectiveOp %d", static_cast<int>(op));
 }
@@ -40,6 +43,8 @@ collectiveTotalVolume(CollectiveOp op, int n, Bytes bytes)
         return static_cast<double>(n - 1) * bytes;
       case CollectiveOp::Broadcast:
       case CollectiveOp::Reduce:
+        return static_cast<double>(n - 1) * bytes;
+      case CollectiveOp::AllToAll:
         return static_cast<double>(n - 1) * bytes;
     }
     panic("unknown CollectiveOp %d", static_cast<int>(op));
@@ -62,8 +67,60 @@ ringCollectiveIdealTime(CollectiveOp op, int n, Bytes bytes,
         // Pipelined with k slices: (k + n - 2)/k * bytes / bw; the
         // engine uses k = 8.
         return (8.0 + n - 2.0) / 8.0 * bytes / per_hop_bw;
+      case CollectiveOp::AllToAll:
+        // n-1 pairwise-exchange rounds of bytes/n each.
+        return (n - 1) * chunk / per_hop_bw;
     }
     panic("unknown CollectiveOp %d", static_cast<int>(op));
+}
+
+Bytes
+collectiveInterNodeBytes(CollectiveOp op, CollectiveAlgo algo,
+                         int nodes, int ranks_per_node, Bytes bytes)
+{
+    DSTRAIN_ASSERT(nodes >= 2 && ranks_per_node >= 1,
+                   "inter-node volume needs >= 2 nodes");
+    const int n = nodes * ranks_per_node;
+    const double m = nodes;
+    double payloads = 0.0;  // full-payload crossings of the fabric
+    switch (algo) {
+      case CollectiveAlgo::Hierarchical:
+        // Only the rail rings touch the fabric: 2(m-1) (all-reduce)
+        // or (m-1) rounds of n hops carrying bytes/n each.
+        switch (op) {
+          case CollectiveOp::AllReduce:
+            payloads = 2.0 * (m - 1.0);
+            break;
+          case CollectiveOp::ReduceScatter:
+          case CollectiveOp::AllGather:
+            payloads = m - 1.0;
+            break;
+          default:
+            panic("no inter-node closed form for %s/%s",
+                  collectiveOpName(op), collectiveAlgoName(algo));
+        }
+        break;
+      case CollectiveAlgo::Ring:
+        // A node-major ring crosses the fabric m times per lap, so
+        // each of the n-1 rounds ships m chunks of bytes/n across.
+        switch (op) {
+          case CollectiveOp::AllReduce:
+            payloads = 2.0 * (n - 1.0) * m / n;
+            break;
+          case CollectiveOp::ReduceScatter:
+          case CollectiveOp::AllGather:
+            payloads = (n - 1.0) * m / n;
+            break;
+          default:
+            panic("no inter-node closed form for %s/%s",
+                  collectiveOpName(op), collectiveAlgoName(algo));
+        }
+        break;
+      default:
+        panic("no inter-node closed form for algorithm %s",
+              collectiveAlgoName(algo));
+    }
+    return payloads * bytes;
 }
 
 } // namespace dstrain

@@ -32,6 +32,19 @@ Bytes collectiveTotalVolume(CollectiveOp op, int n, Bytes bytes);
 SimTime ringCollectiveIdealTime(CollectiveOp op, int n, Bytes bytes,
                                 Bps per_hop_bw);
 
+/**
+ * Bytes crossing the *inter-node* fabric for one collective over
+ * @p nodes nodes of @p ranks_per_node group ranks each, under
+ * @p algo's schedule. Defined for the bandwidth ops (all-reduce,
+ * reduce-scatter, all-gather) on the node-major Ring and the
+ * two-level Hierarchical schedules — the pair whose RoCE footprints
+ * the paper's regimes distinguish: hierarchical ships (M-1) payloads
+ * across the fabric where the flat ring ships (N-1) * M / N.
+ */
+Bytes collectiveInterNodeBytes(CollectiveOp op, CollectiveAlgo algo,
+                               int nodes, int ranks_per_node,
+                               Bytes bytes);
+
 } // namespace dstrain
 
 #endif // DSTRAIN_COLLECTIVES_VOLUME_HH

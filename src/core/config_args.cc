@@ -8,6 +8,8 @@
 #include <algorithm>
 
 #include "core/presets.hh"
+#include "collectives/algorithms.hh"
+#include "strategies/strategy.hh"
 #include "util/logging.hh"
 
 namespace dstrain {
@@ -15,37 +17,22 @@ namespace dstrain {
 std::optional<StrategyConfig>
 parseStrategyName(const std::string &name, int tp, int pp)
 {
-    if (name == "ddp")
-        return StrategyConfig::ddp();
-    if (name == "megatron")
-        return StrategyConfig::megatron(tp > 0 ? tp : 4,
-                                        pp > 0 ? pp : 1);
-    if (name == "zero1")
-        return tp > 1 ? StrategyConfig::hybridZero(1, tp)
-                      : StrategyConfig::zero(1);
-    if (name == "zero2")
-        return tp > 1 ? StrategyConfig::hybridZero(2, tp)
-                      : StrategyConfig::zero(2);
-    if (name == "zero3")
-        return StrategyConfig::zero(3);
-    if (name == "zero1-cpu")
-        return StrategyConfig::zeroOffloadCpu(1);
-    if (name == "zero2-cpu")
-        return StrategyConfig::zeroOffloadCpu(2);
-    if (name == "zero3-cpu")
-        return StrategyConfig::zeroOffloadCpu(3);
-    if (name == "zero3-nvme")
-        return StrategyConfig::zeroInfinityNvme(false);
-    if (name == "zero3-nvme-params")
-        return StrategyConfig::zeroInfinityNvme(true);
-    return std::nullopt;
+    const StrategyFactory *factory = Strategy::find(name);
+    if (!factory)
+        return std::nullopt;
+    return factory->configure(tp, pp);
 }
 
-const char *
+std::string
 strategyNameHelp()
 {
-    return "ddp | megatron | zero1 | zero2 | zero3 | zero1-cpu | "
-           "zero2-cpu | zero3-cpu | zero3-nvme | zero3-nvme-params";
+    std::string help;
+    for (const std::string &name : Strategy::names()) {
+        if (!help.empty())
+            help += " | ";
+        help += name;
+    }
+    return help;
 }
 
 void
@@ -66,8 +53,18 @@ addExperimentOptions(ArgParser &args)
     args.addOption("model", "0",
                    "model size in billions (0 = largest that fits)");
     args.addOption("tp", "0",
-                   "tensor-parallel degree (megatron/hybrid)");
-    args.addOption("pp", "0", "pipeline-parallel degree (megatron)");
+                   "tensor-parallel degree (megatron/hybrid/hybrid3d)");
+    args.addOption("pp", "0",
+                   "pipeline-parallel degree (megatron/hybrid3d)");
+    args.addOption("experts", "0",
+                   "MoE expert count (moe strategy; 0 = one per GPU)");
+    args.addOption(
+        "collective-algo", "",
+        "collective schedule family: '<algo>' default and/or "
+        "'<op>=<algo>' overrides, comma-separated (algos: auto | ring "
+        "| pairwise | tree | hierarchical; ops: all-reduce, "
+        "reduce-scatter, all-gather, broadcast, reduce, all-to-all); "
+        "empty = calibrated ring default");
     args.addOption("batch", "16", "per-GPU batch size");
     args.addOption("iterations", "4", "iterations to simulate");
     args.addOption("placement", "B",
@@ -111,14 +108,21 @@ experimentFromArgs(const ArgParser &args)
 {
     ParsedExperiment out;
 
-    const auto strategy = parseStrategyName(
+    auto strategy = parseStrategyName(
         args.get("strategy"), args.getInt("tp"), args.getInt("pp"));
     if (!strategy) {
         out.errors.push_back(
             {"strategy",
              csprintf("unknown strategy '%s' (expected %s)",
                       args.get("strategy").c_str(),
-                      strategyNameHelp())});
+                      strategyNameHelp().c_str())});
+        return out;
+    }
+    if (strategy->kind == StrategyKind::Moe)
+        strategy->experts = args.getInt("experts");
+    else if (args.getInt("experts") != 0) {
+        out.errors.push_back(
+            {"experts", "--experts applies to the moe strategy only"});
         return out;
     }
 
@@ -146,6 +150,16 @@ experimentFromArgs(const ArgParser &args)
         out.config.cluster.groups = parseNodesSpec(
             args.get("nodes-spec"), out.config.cluster.node,
             &out.errors);
+    }
+
+    if (!args.get("collective-algo").empty()) {
+        std::string algo_err;
+        const auto spec = parseCollectiveAlgoSpec(
+            args.get("collective-algo"), &algo_err);
+        if (spec)
+            out.config.collective_algos = *spec;
+        else
+            out.errors.push_back({"collective-algo", algo_err});
     }
 
     out.config.cluster.node.model_serdes_contention =

@@ -33,8 +33,11 @@ struct ParsedExperiment {
 std::optional<StrategyConfig>
 parseStrategyName(const std::string &name, int tp = 0, int pp = 0);
 
-/** The names parseStrategyName() accepts, for help text. */
-const char *strategyNameHelp();
+/**
+ * The names parseStrategyName() accepts (" | "-joined, for help
+ * text), enumerated from the strategy registry.
+ */
+std::string strategyNameHelp();
 
 /**
  * Declare the experiment-defining options (--nodes, --strategy,

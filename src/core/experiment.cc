@@ -177,6 +177,7 @@ Experiment::Experiment(ExperimentConfig cfg)
                                              fopts);
     tm_ = std::make_unique<TransferManager>(*sim_, *cluster_, *flows_);
     coll_ = std::make_unique<CollectiveEngine>(*tm_);
+    coll_->setAlgoSpec(cfg_.collective_algos);
     aio_ = std::make_unique<AioEngine>(*tm_);
     executor_ = std::make_unique<Executor>(*sim_, *cluster_, *flows_,
                                            *tm_, *coll_, *aio_,
@@ -289,6 +290,7 @@ Experiment::run()
     }
     if (rm_)
         report.recovery = rm_->buildReport(report.execution);
+    report.collectives = coll_->usage();
     report.scheduler = flows_->stats();
     return report;
 }

@@ -21,6 +21,7 @@
 
 #include <memory>
 
+#include "collectives/communicator.hh"
 #include "engine/executor.hh"
 #include "fault/fault_injector.hh"
 #include "net/flow_scheduler.hh"
@@ -62,6 +63,14 @@ struct ExperimentConfig {
 
     MemoryCalibration memory_cal;
     EngineCalibration engine_cal;
+
+    /**
+     * Collective-algorithm selection (`--collective-algo`): a default
+     * schedule family plus optional per-op overrides. The shipped
+     * default (ring everywhere, all-to-all pairwise) reproduces the
+     * NCCL-ring behavior every baseline was calibrated against.
+     */
+    CollectiveAlgoSpec collective_algos;
 
     /**
      * Telemetry collection mode (streaming by default). Benches that
@@ -148,6 +157,9 @@ struct ExperimentReport {
 
     /** Per-fault impact deltas (empty when no faults configured). */
     std::vector<FaultImpact> faults;
+
+    /** Per-(op, algorithm) collective usage and volume accounting. */
+    std::vector<CollectiveUsage> collectives;
 
     /** Goodput/recovery accounting (inactive when no checkpoint
      * policy and no hard faults are configured). */

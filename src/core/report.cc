@@ -240,6 +240,24 @@ recoveryTable(const std::vector<ExperimentReport> &reports)
     return table;
 }
 
+TextTable
+collectiveUsageTable(const ExperimentReport &report)
+{
+    TextTable table({"Collective", "Algorithm", "Invocations",
+                     "Payload", "Fabric traffic"});
+    for (const CollectiveUsage &u : report.collectives) {
+        table.addRow({
+            collectiveOpName(u.op),
+            collectiveAlgoName(u.algo),
+            csprintf("%llu",
+                     static_cast<unsigned long long>(u.invocations)),
+            formatBytes(u.payload_bytes),
+            formatBytes(u.fabric_bytes),
+        });
+    }
+    return table;
+}
+
 std::string
 reportFingerprint(const ExperimentReport &report)
 {
@@ -283,6 +301,23 @@ reportFingerprint(const ExperimentReport &report)
                                 li.nominal, li.faulted, li.avg_before,
                                 li.avg_during, li.avg_after);
             out += ";";
+        }
+    }
+    // Gated on a non-ring algorithm actually being used: the default
+    // spec resolves every op the presets issue to ring, so plain runs
+    // (and explicit `--collective-algo ring` runs) fingerprint
+    // identically to the pre-algorithm-library goldens.
+    bool non_ring = false;
+    for (const CollectiveUsage &u : report.collectives)
+        non_ring |= u.algo != CollectiveAlgo::Ring;
+    if (non_ring) {
+        out += csprintf("|collectives=%zu", report.collectives.size());
+        for (const CollectiveUsage &u : report.collectives) {
+            out += csprintf("%s/%s/%llu/%a/%a;", collectiveOpName(u.op),
+                            collectiveAlgoName(u.algo),
+                            static_cast<unsigned long long>(
+                                u.invocations),
+                            u.payload_bytes, u.fabric_bytes);
         }
     }
     // Likewise gated: a disabled checkpoint policy with no hard

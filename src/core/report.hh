@@ -78,6 +78,13 @@ std::string summarizeRecovery(const RecoveryReport &recovery);
 TextTable recoveryTable(const std::vector<ExperimentReport> &reports);
 
 /**
+ * A per-(op, algorithm) collective-usage table: invocation count,
+ * payload bytes and total fabric bytes for every collective flavor
+ * the run issued. Empty table when the run issued none.
+ */
+TextTable collectiveUsageTable(const ExperimentReport &report);
+
+/**
  * A bit-exact serialization of every numeric field of a report
  * (floats rendered with the hex "%a" format, so two fingerprints
  * compare equal iff the reports are bit-identical). Used by the

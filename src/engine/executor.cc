@@ -238,6 +238,7 @@ Executor::startTask(RunState &st, int task_id)
                 CollectiveOptions opts;
                 opts.pin_channels_to_nics = task.pin_channels;
                 opts.bandwidth_factor = task.comm_bw_factor;
+                opts.algorithm = task.algo;
                 bool spans = false;
                 const int node0 =
                     cluster_.nodeOfRank(group.ranks.front());
@@ -267,6 +268,9 @@ Executor::startTask(RunState &st, int task_id)
                   case CollectiveOp::Reduce:
                     coll_.reduce(group, mapRank(task.root), task.bytes,
                                  done, opts);
+                    break;
+                  case CollectiveOp::AllToAll:
+                    coll_.allToAll(group, task.bytes, done, opts);
                     break;
                 }
             });

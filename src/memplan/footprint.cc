@@ -154,6 +154,38 @@ computeFootprintShaped(const TransformerConfig &cfg,
         }
         break;
       }
+      case StrategyKind::Fsdp: {
+        // Flat-param shards: all states 1/N like ZeRO-3, but no
+        // DeepSpeed prefetch-coordination buffers.
+        fp.gpu_per_gpu = states.total() / n +
+                         dataParallelActivations(cfg, batch_per_gpu, cal);
+        break;
+      }
+      case StrategyKind::Moe: {
+        // Shared third replicated; expert two-thirds partitioned over
+        // the expert-parallel group (== world for experts=0).
+        const int ep = strategy.experts > 0
+                           ? std::min(strategy.experts, n)
+                           : n;
+        const double f = 1.0 / 3.0;
+        fp.gpu_per_gpu = f * states.total() +
+                         (1.0 - f) * states.total() / ep +
+                         dataParallelActivations(cfg, batch_per_gpu, cal);
+        break;
+      }
+      case StrategyKind::Hybrid3d: {
+        const int mp = strategy.modelParallelSize();
+        DSTRAIN_ASSERT(n % mp == 0,
+                       "model-parallel size %d does not divide %d GPUs",
+                       mp, n);
+        // fp16 states shard over the model-parallel grid; optimizer
+        // states additionally ZeRO-shard over the DP axis.
+        fp.gpu_per_gpu =
+            (states.fp16_params + states.fp16_grads) / mp +
+            states.fp32_optimizer / n +
+            megatronActivations(cfg, batch_per_gpu, mp, cal);
+        break;
+      }
     }
 
     DSTRAIN_ASSERT(fp.gpu_per_gpu > 0.0, "footprint came out empty");

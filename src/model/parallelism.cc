@@ -23,6 +23,12 @@ strategyKindName(StrategyKind kind)
         return "ZeRO-2";
       case StrategyKind::Zero3:
         return "ZeRO-3";
+      case StrategyKind::Fsdp:
+        return "FSDP";
+      case StrategyKind::Moe:
+        return "MoE";
+      case StrategyKind::Hybrid3d:
+        return "3D-Hybrid";
     }
     panic("unknown StrategyKind %d", static_cast<int>(kind));
 }
@@ -42,6 +48,10 @@ validateStrategy(const StrategyConfig &cfg)
     }
     if (cfg.offload_params && cfg.offload == OffloadTarget::None)
         fatal("parameter offload requires an offload target");
+    if (cfg.experts != 0 && cfg.kind != StrategyKind::Moe)
+        fatal("expert count applies to the MoE strategy only");
+    if (cfg.experts < 0)
+        fatal("MoE expert count must be >= 0 (got %d)", cfg.experts);
     if (cfg.isHybridZero()) {
         if (cfg.pipeline_parallel != 1)
             fatal("hybrid ZeRO supports tensor parallelism only");
@@ -49,9 +59,15 @@ validateStrategy(const StrategyConfig &cfg)
             fatal("hybrid ZeRO does not support offloading");
         return;
     }
+    if (cfg.kind == StrategyKind::Hybrid3d) {
+        if (cfg.tensor_parallel < 1 || cfg.pipeline_parallel < 1)
+            fatal("3D hybrid needs TP and PP degrees >= 1");
+        return;
+    }
     if (cfg.kind != StrategyKind::Megatron &&
         (cfg.tensor_parallel != 1 || cfg.pipeline_parallel != 1)) {
-        fatal("TP/PP degrees apply to Megatron-LM or hybrid ZeRO-1/2");
+        fatal("TP/PP degrees apply to Megatron-LM, hybrid ZeRO-1/2 "
+              "or the 3D hybrid");
     }
 }
 
@@ -66,8 +82,10 @@ StrategyConfig::isHybridZero() const
 int
 StrategyConfig::modelParallelSize() const
 {
-    if (kind == StrategyKind::Megatron)
+    if (kind == StrategyKind::Megatron ||
+        kind == StrategyKind::Hybrid3d) {
         return tensor_parallel * pipeline_parallel;
+    }
     if (isHybridZero())
         return tensor_parallel;
     return 1;
@@ -87,11 +105,14 @@ std::string
 StrategyConfig::displayName() const
 {
     std::string name = strategyKindName(kind);
-    if (kind == StrategyKind::Megatron) {
+    if (kind == StrategyKind::Megatron ||
+        kind == StrategyKind::Hybrid3d) {
         name += csprintf(" (TP=%d,PP=%d)", tensor_parallel,
                          pipeline_parallel);
     } else if (isHybridZero()) {
         name += csprintf(" +TP=%d", tensor_parallel);
+    } else if (kind == StrategyKind::Moe && experts > 0) {
+        name += csprintf(" (E=%d)", experts);
     }
     switch (offload) {
       case OffloadTarget::None:
@@ -168,6 +189,35 @@ StrategyConfig::zeroInfinityNvme(bool params_too)
     StrategyConfig c = zero(3);
     c.offload = OffloadTarget::Nvme;
     c.offload_params = params_too;
+    return c;
+}
+
+StrategyConfig
+StrategyConfig::fsdp()
+{
+    StrategyConfig c;
+    c.kind = StrategyKind::Fsdp;
+    return c;
+}
+
+StrategyConfig
+StrategyConfig::moe(int experts)
+{
+    DSTRAIN_ASSERT(experts >= 0, "bad MoE expert count %d", experts);
+    StrategyConfig c;
+    c.kind = StrategyKind::Moe;
+    c.experts = experts;
+    return c;
+}
+
+StrategyConfig
+StrategyConfig::hybrid3d(int tp, int pp)
+{
+    DSTRAIN_ASSERT(tp >= 1 && pp >= 1, "bad TP/PP degrees %d/%d", tp, pp);
+    StrategyConfig c;
+    c.kind = StrategyKind::Hybrid3d;
+    c.tensor_parallel = tp;
+    c.pipeline_parallel = pp;
     return c;
 }
 

@@ -21,6 +21,9 @@ enum class StrategyKind {
     Zero1,     ///< DeepSpeed ZeRO stage 1 (optimizer partitioned)
     Zero2,     ///< stage 2 (optimizer + gradients partitioned)
     Zero3,     ///< stage 3 (all model states partitioned)
+    Fsdp,      ///< PyTorch FSDP (flat-param shards, bounded prefetch)
+    Moe,       ///< Expert parallelism (all-to-all dispatch/combine)
+    Hybrid3d,  ///< DP x TP x PP with ZeRO-sharded data parallelism
 };
 
 /** Offload target for model states (paper Table I). */
@@ -53,8 +56,14 @@ struct StrategyConfig {
      */
     int tensor_parallel = 1;
 
-    /** Megatron pipeline-parallel degree (ignored otherwise). */
+    /** Megatron/3D-hybrid pipeline-parallel degree (ignored otherwise). */
     int pipeline_parallel = 1;
+
+    /**
+     * MoE expert count (Moe only). 0 = one expert per GPU, resolved
+     * at plan time against the cluster size.
+     */
+    int experts = 0;
 
     /** Model-parallel group size (Megatron/hybrid), else 1. */
     int modelParallelSize() const;
@@ -80,6 +89,12 @@ struct StrategyConfig {
     static StrategyConfig zeroOffloadCpu(int stage);
     /** ZeRO-3 with NVMe offload (optionally parameters too). */
     static StrategyConfig zeroInfinityNvme(bool params_too);
+    /** PyTorch FSDP: per-block flat-param shards, bounded prefetch. */
+    static StrategyConfig fsdp();
+    /** MoE expert parallelism; 0 experts = one per GPU. */
+    static StrategyConfig moe(int experts = 0);
+    /** 3D hybrid: TP x PP model parallelism, ZeRO-sharded DP. */
+    static StrategyConfig hybrid3d(int tp, int pp);
 };
 
 /** Name of a StrategyKind ("DDP", "Megatron-LM", "ZeRO-1", ...). */

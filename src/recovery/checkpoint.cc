@@ -5,6 +5,7 @@
 
 #include "recovery/checkpoint.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -114,8 +115,30 @@ checkpointShardBytes(const StrategyConfig &strategy, std::int64_t params,
         return opt + par;
       }
       case StrategyKind::Zero3:
+      case StrategyKind::Fsdp:
         // Everything is partitioned: every rank writes an equal slice.
         return (state.fp16_params + state.fp32_optimizer) / n;
+      case StrategyKind::Moe: {
+        // The replicated shared third is written once by rank 0; the
+        // expert two-thirds is partitioned across the first expert
+        // group (other groups hold duplicates).
+        const int ep = strategy.experts > 0
+                           ? std::min(strategy.experts, total_gpus)
+                           : total_gpus;
+        const double f = 1.0 / 3.0;
+        const Bytes full = state.fp16_params + state.fp32_optimizer;
+        const Bytes shared = rank == 0 ? f * full : 0.0;
+        const Bytes expert =
+            rank < ep ? (1.0 - f) * full / ep : 0.0;
+        return shared + expert;
+      }
+      case StrategyKind::Hybrid3d: {
+        // fp16 params sharded over the first replica's MP ranks;
+        // optimizer states ZeRO-partitioned across every rank.
+        const Bytes opt = state.fp32_optimizer / n;
+        const Bytes par = rank < mp ? state.fp16_params / mp : 0.0;
+        return opt + par;
+      }
     }
     panic("unknown StrategyKind %d", static_cast<int>(strategy.kind));
 }

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Implementation of the FSDP plan builder.
+ */
+
+#include "strategies/fsdp.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+FsdpStrategy::FsdpStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.kind == StrategyKind::Fsdp, "wrong config kind");
+}
+
+IterationPlan
+FsdpStrategy::buildIteration(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const int n = ctx.cluster.spec().totalGpus();
+    const int blocks = planBlocks(ctx.model, ctx.tuning);
+    const int prefetch = std::max(1, ctx.tuning.fsdp_prefetch);
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+    const Bytes param_block = 2.0 * params / blocks;
+    const Bytes grad_block = 2.0 * params / blocks;
+    const Flops fwd_block = dpForwardFlopsPerRank(ctx) / blocks;
+    const Flops bwd_block = 3.0 * fwd_block;
+
+    // Forward: gather each block's flat parameter ahead of use. The
+    // gather of block b waits only on the gather chain and on block
+    // b-1-prefetch's compute — so with the default window of 2, up to
+    // two gathered-but-unconsumed blocks are in flight and the gather
+    // of block L+1 runs concurrently with block L's compute.
+    std::vector<std::vector<int>> fwd(
+        static_cast<std::size_t>(n),
+        std::vector<int>(static_cast<std::size_t>(blocks), -1));
+    int prev_ag = -1;
+    for (int b = 0; b < blocks; ++b) {
+        std::vector<int> ag_deps;
+        if (prev_ag >= 0)
+            ag_deps.push_back(prev_ag);
+        const int gate = b - 1 - prefetch;
+        if (gate >= 0) {
+            for (int r = 0; r < n; ++r)
+                ag_deps.push_back(fwd[static_cast<std::size_t>(r)]
+                                     [static_cast<std::size_t>(gate)]);
+        }
+        prev_ag = plan.collective(CollectiveOp::AllGather,
+                                  CommGroup::worldOf(n), param_block,
+                                  std::move(ag_deps),
+                                  csprintf("fsdp fwd ag b%d", b));
+        for (int r = 0; r < n; ++r) {
+            std::vector<int> deps = {prev_ag};
+            if (b > 0)
+                deps.push_back(fwd[static_cast<std::size_t>(r)]
+                                  [static_cast<std::size_t>(b - 1)]);
+            fwd[static_cast<std::size_t>(r)]
+               [static_cast<std::size_t>(b)] = plan.gpuCompute(
+                r, fwd_block, ComputePhase::Forward, std::move(deps),
+                csprintf("fwd r%d b%d", r, b));
+        }
+    }
+
+    // Backward (reverse block order): parameters resharded after the
+    // forward, so each block re-gathers — same prefetch window,
+    // gated on the backward compute prefetch blocks ahead. Each
+    // block's gradient reduce-scatters as soon as its backward
+    // completes.
+    std::vector<int> last_bwd(static_cast<std::size_t>(n), -1);
+    for (int r = 0; r < n; ++r)
+        last_bwd[static_cast<std::size_t>(r)] =
+            fwd[static_cast<std::size_t>(r)]
+               [static_cast<std::size_t>(blocks - 1)];
+    std::vector<std::vector<int>> bwd(
+        static_cast<std::size_t>(n),
+        std::vector<int>(static_cast<std::size_t>(blocks), -1));
+    int prev_rs = -1;
+    for (int b = blocks - 1; b >= 0; --b) {
+        std::vector<int> ag_deps = {prev_ag};
+        const int gate = b + 1 + prefetch;
+        if (gate <= blocks - 1) {
+            // Block `gate` runs prefetch+1 backward steps before
+            // block b, bounding the number of gathered shards live.
+            for (int r = 0; r < n; ++r)
+                ag_deps.push_back(bwd[static_cast<std::size_t>(r)]
+                                     [static_cast<std::size_t>(gate)]);
+        }
+        prev_ag = plan.collective(CollectiveOp::AllGather,
+                                  CommGroup::worldOf(n), param_block,
+                                  std::move(ag_deps),
+                                  csprintf("fsdp bwd ag b%d", b));
+        std::vector<int> block_tasks;
+        for (int r = 0; r < n; ++r) {
+            std::vector<int> deps = {
+                prev_ag, last_bwd[static_cast<std::size_t>(r)]};
+            last_bwd[static_cast<std::size_t>(r)] = plan.gpuCompute(
+                r, bwd_block, ComputePhase::Backward, std::move(deps),
+                csprintf("bwd r%d b%d", r, b));
+            block_tasks.push_back(last_bwd[static_cast<std::size_t>(r)]);
+            bwd[static_cast<std::size_t>(r)]
+               [static_cast<std::size_t>(b)] =
+                last_bwd[static_cast<std::size_t>(r)];
+        }
+        if (prev_rs >= 0)
+            block_tasks.push_back(prev_rs);
+        prev_rs = plan.collective(CollectiveOp::ReduceScatter,
+                                  CommGroup::worldOf(n), grad_block,
+                                  std::move(block_tasks),
+                                  csprintf("fsdp rs b%d", b));
+    }
+
+    // Optimizer on each rank's 1/N shard; parameters stay sharded.
+    for (int r = 0; r < n; ++r) {
+        plan.gpuCompute(r, kGpuOptimizerFlopsPerParam * params / n,
+                        ComputePhase::Optimizer, {prev_rs},
+                        csprintf("adam r%d", r));
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * PyTorch FSDP (FullyShardedDataParallel): model states sharded 1/N
+ * like ZeRO-3, but with per-block *flat parameters* gathered at full
+ * link bandwidth and a bounded prefetch window
+ * (PlanTuning::fsdp_prefetch) that lets the all-gather of block L+1
+ * overlap block L's compute. Parameters reshard after the forward
+ * pass and are re-gathered for the backward; each block's gradients
+ * reduce-scatter as soon as its backward completes.
+ *
+ * Contrast with ZeroStrategy::buildStage3: no per-parameter fetch
+ * coordination (kZero3FetchOverhead) and no small-call bandwidth
+ * penalty (kZero3GatherBandwidthFactor) — the flat-param design
+ * issues one large NCCL call per block.
+ */
+
+#ifndef DSTRAIN_STRATEGIES_FSDP_HH
+#define DSTRAIN_STRATEGIES_FSDP_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/** See file comment. */
+class FsdpStrategy : public Strategy
+{
+  public:
+    explicit FsdpStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_FSDP_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Implementation of the 3D hybrid (DP x TP x PP + ZeRO) plan builder.
+ */
+
+#include "strategies/hybrid3d.hh"
+
+#include <algorithm>
+
+#include "model/flops.hh"
+#include "util/logging.hh"
+
+namespace dstrain {
+
+Hybrid3dStrategy::Hybrid3dStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.kind == StrategyKind::Hybrid3d,
+                   "wrong config kind");
+}
+
+IterationPlan
+Hybrid3dStrategy::buildIteration(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const int n = ctx.cluster.spec().totalGpus();
+    const int tp = cfg_.tensor_parallel;
+    const int pp = cfg_.pipeline_parallel;
+    const int mp = tp * pp;
+    const int dp = cfg_.dataParallelSize(n);
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+
+    // Same GPipe schedule as MegatronStrategy: replica g on ranks
+    // [g*mp, (g+1)*mp), pp micro-batches, tp ranks per stage in
+    // lockstep with activation all-reduces.
+    const int microbatches = std::max(1, pp);
+    const std::int64_t tokens_replica =
+        static_cast<std::int64_t>(ctx.batch_per_gpu) * ctx.model.seq_len *
+        mp;
+    const std::int64_t tokens_mb = tokens_replica / microbatches;
+    const Flops fwd_mb = forwardFlops(ctx.model, tokens_mb);
+
+    const int layers_per_stage =
+        std::max(1, ctx.model.layers / std::max(1, pp));
+    const int sub_blocks = std::clamp(
+        ctx.tuning.max_blocks / std::max(1, pp * microbatches), 1,
+        layers_per_stage);
+
+    const Bytes act_mb = static_cast<Bytes>(tokens_mb) * ctx.model.hidden *
+                         2.0;
+    const Bytes ar_per_subblock =
+        2.0 * act_mb * layers_per_stage / sub_blocks;
+    const Flops fwd_rank_sb = fwd_mb / mp / sub_blocks;
+
+    auto stage_ranks = [&](int g, int s) {
+        CommGroup grp;
+        for (int t = 0; t < tp; ++t)
+            grp.ranks.push_back(g * mp + s * tp + t);
+        return grp;
+    };
+    const auto idx = [&](int s, int m) {
+        return static_cast<std::size_t>(s) *
+                   static_cast<std::size_t>(microbatches) +
+               static_cast<std::size_t>(m);
+    };
+    std::vector<std::vector<int>> fwd_done(
+        static_cast<std::size_t>(dp),
+        std::vector<int>(static_cast<std::size_t>(pp * microbatches),
+                         -1));
+    std::vector<std::vector<int>> bwd_done = fwd_done;
+
+    for (int g = 0; g < dp; ++g) {
+        for (int s = 0; s < pp; ++s) {
+            for (int m = 0; m < microbatches; ++m) {
+                std::vector<int> cell_deps;
+                if (s > 0)
+                    cell_deps.push_back(fwd_done[g][idx(s - 1, m)]);
+                if (m > 0)
+                    cell_deps.push_back(fwd_done[g][idx(s, m - 1)]);
+
+                int prev = -1;
+                for (int b = 0; b < sub_blocks; ++b) {
+                    std::vector<int> comp_deps = cell_deps;
+                    if (prev >= 0)
+                        comp_deps = {prev};
+                    std::vector<int> rank_tasks;
+                    for (int t = 0; t < tp; ++t) {
+                        const int r = g * mp + s * tp + t;
+                        rank_tasks.push_back(plan.gpuCompute(
+                            r, fwd_rank_sb, ComputePhase::Forward,
+                            comp_deps,
+                            csprintf("h3d fwd g%d s%d m%d b%d r%d", g, s,
+                                     m, b, r)));
+                    }
+                    if (tp > 1) {
+                        prev = plan.collective(
+                            CollectiveOp::AllReduce, stage_ranks(g, s),
+                            ar_per_subblock, std::move(rank_tasks),
+                            csprintf("h3d tp-ar fwd g%d s%d m%d b%d", g,
+                                     s, m, b));
+                    } else {
+                        prev = plan.barrier(std::move(rank_tasks),
+                                            "h3d fwd sync");
+                    }
+                }
+                fwd_done[g][idx(s, m)] = prev;
+            }
+        }
+
+        for (int s = pp - 1; s >= 0; --s) {
+            for (int m = 0; m < microbatches; ++m) {
+                std::vector<int> cell_deps = {
+                    fwd_done[g][idx(pp - 1, microbatches - 1)]};
+                if (s < pp - 1)
+                    cell_deps.push_back(bwd_done[g][idx(s + 1, m)]);
+                if (m > 0)
+                    cell_deps.push_back(bwd_done[g][idx(s, m - 1)]);
+
+                int prev = -1;
+                for (int b = 0; b < sub_blocks; ++b) {
+                    std::vector<int> comp_deps = cell_deps;
+                    if (prev >= 0)
+                        comp_deps = {prev};
+                    std::vector<int> rank_tasks;
+                    for (int t = 0; t < tp; ++t) {
+                        const int r = g * mp + s * tp + t;
+                        rank_tasks.push_back(plan.gpuCompute(
+                            r, 3.0 * fwd_rank_sb, ComputePhase::Backward,
+                            comp_deps,
+                            csprintf("h3d bwd g%d s%d m%d b%d r%d", g, s,
+                                     m, b, r)));
+                    }
+                    if (tp > 1) {
+                        // Recompute re-runs the forward all-reduces.
+                        prev = plan.collective(
+                            CollectiveOp::AllReduce, stage_ranks(g, s),
+                            2.0 * ar_per_subblock, std::move(rank_tasks),
+                            csprintf("h3d tp-ar bwd g%d s%d m%d b%d", g,
+                                     s, m, b));
+                    } else {
+                        prev = plan.barrier(std::move(rank_tasks),
+                                            "h3d bwd sync");
+                    }
+                }
+                bwd_done[g][idx(s, m)] = prev;
+            }
+        }
+    }
+
+    // ZeRO across the DP axis: per model-parallel position, the dp
+    // replicas holding the same shard reduce-scatter their gradients
+    // (instead of Megatron's all-reduce), update 1/dp of the shard's
+    // optimizer states each, and all-gather the fresh parameters.
+    std::vector<int> grads_ready;
+    for (int g = 0; g < dp; ++g)
+        grads_ready.push_back(bwd_done[g][idx(0, microbatches - 1)]);
+    int opt_dep = plan.barrier(grads_ready, "h3d grads ready");
+
+    auto dp_group = [&](int pos) {
+        CommGroup grp;
+        for (int g = 0; g < dp; ++g)
+            grp.ranks.push_back(g * mp + pos);
+        return grp;
+    };
+    if (dp > 1) {
+        std::vector<int> rss;
+        for (int pos = 0; pos < mp; ++pos) {
+            rss.push_back(plan.collective(
+                CollectiveOp::ReduceScatter, dp_group(pos),
+                2.0 * params / mp, {opt_dep},
+                csprintf("h3d dp-rs pos%d", pos)));
+        }
+        opt_dep = plan.barrier(std::move(rss), "h3d dp-rs done");
+    }
+
+    // Each rank owns 1/(mp x dp) of the optimizer states.
+    std::vector<int> opt_tasks;
+    for (int r = 0; r < n; ++r) {
+        opt_tasks.push_back(plan.gpuCompute(
+            r, kGpuOptimizerFlopsPerParam * params / (mp * dp),
+            ComputePhase::Optimizer, {opt_dep}, csprintf("adam r%d", r)));
+    }
+
+    if (dp > 1) {
+        const int opt_done = plan.barrier(std::move(opt_tasks),
+                                          "h3d opt done");
+        for (int pos = 0; pos < mp; ++pos) {
+            plan.collective(CollectiveOp::AllGather, dp_group(pos),
+                            2.0 * params / mp, {opt_done},
+                            csprintf("h3d dp-ag pos%d", pos));
+        }
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

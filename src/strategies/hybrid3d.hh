@@ -1,0 +1,30 @@
+/**
+ * @file
+ * 3D hybrid parallelism: Megatron-style tensor + pipeline model
+ * parallelism inside each replica, with *ZeRO-sharded* data
+ * parallelism across replicas — gradients reduce-scatter over the
+ * DP axis, each rank updates a 1/(mp x dp) optimizer shard, and the
+ * fresh fp16 parameters all-gather back (DeepSpeed's 3D strategy,
+ * paper Sec. II-C). Generalizes HybridZeroStrategy (TP only) to the
+ * full DP x TP x PP grid.
+ */
+
+#ifndef DSTRAIN_STRATEGIES_HYBRID3D_HH
+#define DSTRAIN_STRATEGIES_HYBRID3D_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/** See file comment. */
+class Hybrid3dStrategy : public Strategy
+{
+  public:
+    explicit Hybrid3dStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_HYBRID3D_HH

@@ -135,12 +135,13 @@ int
 IterationPlan::collective(CollectiveOp op, CommGroup group, Bytes bytes,
                           std::vector<int> deps, std::string label,
                           bool pin_channels, SimTime extra_latency,
-                          double bw_factor)
+                          double bw_factor, CollectiveAlgo algo)
 {
     PlanTask t;
     t.kind = TaskKind::Collective;
     t.extra_latency = extra_latency;
     t.comm_bw_factor = bw_factor;
+    t.algo = algo;
     t.phase = ComputePhase::Communication;
     t.op = op;
     t.group = std::move(group);

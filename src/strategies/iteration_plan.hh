@@ -70,6 +70,12 @@ struct PlanTask {
     /** Per-hop bandwidth factor of the collective (see strategy.hh). */
     double comm_bw_factor = 1.0;
 
+    /**
+     * Schedule family for the collective; Auto defers to the
+     * engine's `--collective-algo` spec (default: ring).
+     */
+    CollectiveAlgo algo = CollectiveAlgo::Auto;
+
     // HostTransfer: direction and size.
     bool to_host = false;
     // (bytes field shared with Collective.)
@@ -133,7 +139,8 @@ class IterationPlan
     int collective(CollectiveOp op, CommGroup group, Bytes bytes,
                    std::vector<int> deps, std::string label,
                    bool pin_channels = true, SimTime extra_latency = 0.0,
-                   double bw_factor = 1.0);
+                   double bw_factor = 1.0,
+                   CollectiveAlgo algo = CollectiveAlgo::Auto);
 
     int hostTransfer(int rank, Bytes bytes, bool to_host,
                      std::vector<int> deps, std::string label);

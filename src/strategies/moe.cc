@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Implementation of the MoE expert-parallel plan builder.
+ */
+
+#include "strategies/moe.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dstrain {
+
+MoeStrategy::MoeStrategy(StrategyConfig cfg)
+    : Strategy(cfg)
+{
+    DSTRAIN_ASSERT(cfg.kind == StrategyKind::Moe, "wrong config kind");
+}
+
+int
+MoeStrategy::expertParallelSize(int total_gpus) const
+{
+    const int ep = cfg_.experts > 0 ? std::min(cfg_.experts, total_gpus)
+                                    : total_gpus;
+    DSTRAIN_ASSERT(total_gpus % ep == 0,
+                   "GPU count %d not divisible by expert-parallel size %d",
+                   total_gpus, ep);
+    return ep;
+}
+
+IterationPlan
+MoeStrategy::buildIteration(const PlanContext &ctx) const
+{
+    IterationPlan plan;
+    plan.setModelLayers(ctx.model.layers);
+    const int n = ctx.cluster.spec().totalGpus();
+    const int ep = expertParallelSize(n);
+    const int groups = n / ep;
+    const int blocks = planBlocks(ctx.model, ctx.tuning);
+    const double params =
+        static_cast<double>(ctx.model.parameterCount());
+    const Flops fwd_block = dpForwardFlopsPerRank(ctx) / blocks;
+    const Flops bwd_block = 3.0 * fwd_block;
+
+    // Per-rank token activations routed per layer: every token's
+    // hidden vector crosses the group twice per MoE layer (dispatch
+    // to its expert, combine back), fp16.
+    const std::int64_t tokens_rank =
+        static_cast<std::int64_t>(ctx.batch_per_gpu) * ctx.model.seq_len;
+    const Bytes a2a_block = static_cast<Bytes>(tokens_rank) *
+                            ctx.model.hidden * 2.0 * ctx.model.layers /
+                            blocks;
+
+    // Expert group g = ranks [g*ep, (g+1)*ep).
+    auto expert_group = [&](int g) {
+        CommGroup grp;
+        for (int j = 0; j < ep; ++j)
+            grp.ranks.push_back(g * ep + j);
+        return grp;
+    };
+
+    // Forward / backward: dense compute per block with the block's
+    // dispatch + combine all-to-alls chained behind it (paper-era
+    // DeepSpeed does not overlap the routing exchange with compute).
+    std::vector<int> tail(static_cast<std::size_t>(n), -1);
+    auto phase_blocks = [&](ComputePhase phase, Flops block_flops,
+                            const char *tag) {
+        for (int b = 0; b < blocks; ++b) {
+            std::vector<std::vector<int>> group_tasks(
+                static_cast<std::size_t>(groups));
+            for (int r = 0; r < n; ++r) {
+                std::vector<int> deps;
+                if (tail[static_cast<std::size_t>(r)] >= 0)
+                    deps.push_back(tail[static_cast<std::size_t>(r)]);
+                const int t = plan.gpuCompute(
+                    r, block_flops, phase, std::move(deps),
+                    csprintf("%s r%d b%d", tag, r, b));
+                tail[static_cast<std::size_t>(r)] = t;
+                group_tasks[static_cast<std::size_t>(r / ep)].push_back(t);
+            }
+            if (ep < 2)
+                continue;
+            for (int g = 0; g < groups; ++g) {
+                const int dispatch = plan.collective(
+                    CollectiveOp::AllToAll, expert_group(g), a2a_block,
+                    std::move(group_tasks[static_cast<std::size_t>(g)]),
+                    csprintf("moe %s dispatch g%d b%d", tag, g, b));
+                const int combine = plan.collective(
+                    CollectiveOp::AllToAll, expert_group(g), a2a_block,
+                    {dispatch},
+                    csprintf("moe %s combine g%d b%d", tag, g, b));
+                for (int j = 0; j < ep; ++j)
+                    tail[static_cast<std::size_t>(g * ep + j)] = combine;
+            }
+        }
+    };
+    phase_blocks(ComputePhase::Forward, fwd_block, "fwd");
+    phase_blocks(ComputePhase::Backward, bwd_block, "bwd");
+
+    // Shared (attention/embedding) gradients all-reduce over the
+    // whole world, bucketed and launched after the backward pass.
+    const Bytes shared_grads = 2.0 * params * kMoeSharedFraction;
+    const int buckets = std::min(ctx.tuning.grad_buckets, blocks);
+    int prev = plan.barrier(tail, "moe grads ready");
+    if (n > 1) {
+        for (int k = 0; k < buckets; ++k) {
+            prev = plan.collective(CollectiveOp::AllReduce,
+                                   CommGroup::worldOf(n),
+                                   shared_grads / buckets, {prev},
+                                   csprintf("moe grad bucket %d", k));
+        }
+    }
+
+    // Expert gradients: local to the group, but replicated across the
+    // `groups` expert-group replicas — all-reduce per expert position.
+    if (groups > 1) {
+        std::vector<int> ars;
+        const Bytes expert_grads_rank =
+            2.0 * params * (1.0 - kMoeSharedFraction) / ep;
+        for (int j = 0; j < ep; ++j) {
+            CommGroup grp;
+            for (int g = 0; g < groups; ++g)
+                grp.ranks.push_back(g * ep + j);
+            ars.push_back(plan.collective(
+                CollectiveOp::AllReduce, std::move(grp),
+                expert_grads_rank, {prev},
+                csprintf("moe expert-ar pos%d", j)));
+        }
+        prev = plan.barrier(std::move(ars), "moe expert-ar done");
+    }
+
+    // Local optimizer: the full shared set (replicated) plus this
+    // rank's expert slice.
+    const double opt_params = params * kMoeSharedFraction +
+                              params * (1.0 - kMoeSharedFraction) / ep;
+    for (int r = 0; r < n; ++r) {
+        plan.gpuCompute(r, kGpuOptimizerFlopsPerParam * opt_params,
+                        ComputePhase::Optimizer, {prev},
+                        csprintf("adam r%d", r));
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace dstrain

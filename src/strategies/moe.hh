@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Mixture-of-experts expert parallelism: each rank in an expert
+ * group hosts distinct experts; tokens route to their expert via an
+ * all-to-all *dispatch* before the expert FFN and return via an
+ * all-to-all *combine* after it, in both the forward and backward
+ * pass (GShard / DeepSpeed-MoE). The shared (attention/embedding)
+ * parameters stay data-parallel and all-reduce their gradients;
+ * expert parameters are local to their group and, when the expert
+ * groups are replicated, all-reduce across replicas.
+ */
+
+#ifndef DSTRAIN_STRATEGIES_MOE_HH
+#define DSTRAIN_STRATEGIES_MOE_HH
+
+#include "strategies/strategy.hh"
+
+namespace dstrain {
+
+/**
+ * Fraction of the model's parameters shared across all ranks
+ * (attention + embeddings); the remaining 1 - f is expert FFN weight,
+ * partitioned over the expert-parallel group. Matches the roughly
+ * 1/3 attention : 2/3 FFN split of the paper's GPT-style models.
+ */
+inline constexpr double kMoeSharedFraction = 1.0 / 3.0;
+
+/** See file comment. */
+class MoeStrategy : public Strategy
+{
+  public:
+    explicit MoeStrategy(StrategyConfig cfg);
+
+    IterationPlan buildIteration(const PlanContext &ctx) const override;
+
+    /**
+     * The expert-parallel group size on @p total_gpus: the configured
+     * expert count (one expert per rank), capped by the cluster;
+     * 0 experts = one per GPU = the whole world.
+     */
+    int expertParallelSize(int total_gpus) const;
+};
+
+} // namespace dstrain
+
+#endif // DSTRAIN_STRATEGIES_MOE_HH

@@ -9,8 +9,11 @@
 
 #include "model/flops.hh"
 #include "strategies/ddp.hh"
+#include "strategies/fsdp.hh"
+#include "strategies/hybrid3d.hh"
 #include "strategies/hybrid_zero.hh"
 #include "strategies/megatron.hh"
+#include "strategies/moe.hh"
 #include "strategies/zero.hh"
 #include "strategies/zero_infinity.hh"
 #include "strategies/zero_offload.hh"
@@ -31,27 +34,191 @@ Strategy::Strategy(StrategyConfig cfg)
     validateStrategy(cfg_);
 }
 
+namespace {
+
+/** The registry storage (lazily filled with the builtins). */
+std::vector<StrategyFactory> &
+registrySlot()
+{
+    static std::vector<StrategyFactory> entries;
+    return entries;
+}
+
+template <typename S>
+std::unique_ptr<Strategy>
+makeStrategy(const StrategyConfig &cfg)
+{
+    return std::make_unique<S>(cfg);
+}
+
+/**
+ * The built-in entries, in `--strategy` help order. zero1/zero2
+ * promote to the hybrid TP+ZeRO mode when a TP degree is given, so
+ * their configure/instantiate branch on it.
+ */
+void
+registerBuiltins(std::vector<StrategyFactory> &reg)
+{
+    auto zeroEntry = [&](int stage, StrategyKind kind) {
+        reg.push_back(
+            {csprintf("zero%d", stage),
+             csprintf("DeepSpeed ZeRO stage %d%s", stage,
+                      stage < 3 ? " (--tp > 1 selects hybrid TP+ZeRO)"
+                                : " (fully partitioned states)"),
+             [stage](int tp, int) {
+                 return tp > 1 && stage < 3
+                            ? StrategyConfig::hybridZero(stage, tp)
+                            : StrategyConfig::zero(stage);
+             },
+             [kind](const StrategyConfig &c) {
+                 return c.kind == kind && c.offload == OffloadTarget::None;
+             },
+             [](const StrategyConfig &c) -> std::unique_ptr<Strategy> {
+                 if (c.isHybridZero())
+                     return std::make_unique<HybridZeroStrategy>(c);
+                 return std::make_unique<ZeroStrategy>(c);
+             }});
+    };
+    auto zeroCpuEntry = [&](int stage, StrategyKind kind) {
+        reg.push_back(
+            {csprintf("zero%d-cpu", stage),
+             csprintf("ZeRO-%d + CPU optimizer offload (ZeRO-Offload)",
+                      stage),
+             [stage](int, int) {
+                 return StrategyConfig::zeroOffloadCpu(stage);
+             },
+             [kind](const StrategyConfig &c) {
+                 return c.kind == kind && c.offload == OffloadTarget::Cpu;
+             },
+             makeStrategy<ZeroOffloadStrategy>});
+    };
+
+    reg.push_back({"ddp",
+                   "PyTorch DDP (replicated states, gradient all-reduce)",
+                   [](int, int) { return StrategyConfig::ddp(); },
+                   [](const StrategyConfig &c) {
+                       return c.kind == StrategyKind::Ddp;
+                   },
+                   makeStrategy<DdpStrategy>});
+    reg.push_back({"megatron",
+                   "Megatron-LM TP x PP (defaults TP=4, PP=1)",
+                   [](int tp, int pp) {
+                       return StrategyConfig::megatron(tp > 0 ? tp : 4,
+                                                       pp > 0 ? pp : 1);
+                   },
+                   [](const StrategyConfig &c) {
+                       return c.kind == StrategyKind::Megatron;
+                   },
+                   makeStrategy<MegatronStrategy>});
+    zeroEntry(1, StrategyKind::Zero1);
+    zeroEntry(2, StrategyKind::Zero2);
+    zeroEntry(3, StrategyKind::Zero3);
+    zeroCpuEntry(1, StrategyKind::Zero1);
+    zeroCpuEntry(2, StrategyKind::Zero2);
+    zeroCpuEntry(3, StrategyKind::Zero3);
+    reg.push_back({"zero3-nvme",
+                   "ZeRO-Infinity (NVMe optimizer offload)",
+                   [](int, int) {
+                       return StrategyConfig::zeroInfinityNvme(false);
+                   },
+                   [](const StrategyConfig &c) {
+                       return c.kind == StrategyKind::Zero3 &&
+                              c.offload == OffloadTarget::Nvme &&
+                              !c.offload_params;
+                   },
+                   makeStrategy<ZeroInfinityStrategy>});
+    reg.push_back({"zero3-nvme-params",
+                   "ZeRO-Infinity (NVMe optimizer + parameter offload)",
+                   [](int, int) {
+                       return StrategyConfig::zeroInfinityNvme(true);
+                   },
+                   [](const StrategyConfig &c) {
+                       return c.kind == StrategyKind::Zero3 &&
+                              c.offload == OffloadTarget::Nvme &&
+                              c.offload_params;
+                   },
+                   makeStrategy<ZeroInfinityStrategy>});
+    reg.push_back({"fsdp",
+                   "PyTorch FSDP (flat-param shards, prefetched gathers)",
+                   [](int, int) { return StrategyConfig::fsdp(); },
+                   [](const StrategyConfig &c) {
+                       return c.kind == StrategyKind::Fsdp;
+                   },
+                   makeStrategy<FsdpStrategy>});
+    reg.push_back({"moe",
+                   "Expert parallelism (all-to-all dispatch; --experts)",
+                   [](int, int) { return StrategyConfig::moe(); },
+                   [](const StrategyConfig &c) {
+                       return c.kind == StrategyKind::Moe;
+                   },
+                   makeStrategy<MoeStrategy>});
+    reg.push_back({"hybrid3d",
+                   "3D hybrid: TP x PP + ZeRO-sharded DP "
+                   "(defaults TP=2, PP=2)",
+                   [](int tp, int pp) {
+                       return StrategyConfig::hybrid3d(tp > 0 ? tp : 2,
+                                                       pp > 0 ? pp : 2);
+                   },
+                   [](const StrategyConfig &c) {
+                       return c.kind == StrategyKind::Hybrid3d;
+                   },
+                   makeStrategy<Hybrid3dStrategy>});
+}
+
+/**
+ * The registry with the builtins guaranteed present. Lazy (not a
+ * namespace-scope initializer) so registration survives static
+ * archive linking and ordering.
+ */
+std::vector<StrategyFactory> &
+strategyRegistry()
+{
+    auto &reg = registrySlot();
+    static bool builtins_done = (registerBuiltins(reg), true);
+    (void)builtins_done;
+    return reg;
+}
+
+} // namespace
+
 std::unique_ptr<Strategy>
 Strategy::create(const StrategyConfig &cfg)
 {
     validateStrategy(cfg);
-    switch (cfg.kind) {
-      case StrategyKind::Ddp:
-        return std::make_unique<DdpStrategy>(cfg);
-      case StrategyKind::Megatron:
-        return std::make_unique<MegatronStrategy>(cfg);
-      case StrategyKind::Zero1:
-      case StrategyKind::Zero2:
-      case StrategyKind::Zero3:
-        if (cfg.isHybridZero())
-            return std::make_unique<HybridZeroStrategy>(cfg);
-        if (cfg.offload == OffloadTarget::Cpu)
-            return std::make_unique<ZeroOffloadStrategy>(cfg);
-        if (cfg.offload == OffloadTarget::Nvme)
-            return std::make_unique<ZeroInfinityStrategy>(cfg);
-        return std::make_unique<ZeroStrategy>(cfg);
-    }
-    panic("unknown StrategyKind %d", static_cast<int>(cfg.kind));
+    for (const StrategyFactory &f : strategyRegistry())
+        if (f.matches(cfg))
+            return f.instantiate(cfg);
+    panic("no strategy registered for kind %s",
+          strategyKindName(cfg.kind));
+}
+
+void
+Strategy::registerFactory(StrategyFactory factory)
+{
+    DSTRAIN_ASSERT(!factory.name.empty() && factory.configure &&
+                       factory.matches && factory.instantiate,
+                   "incomplete strategy factory");
+    DSTRAIN_ASSERT(!find(factory.name),
+                   "duplicate strategy name '%s'", factory.name.c_str());
+    strategyRegistry().push_back(std::move(factory));
+}
+
+std::vector<std::string>
+Strategy::names()
+{
+    std::vector<std::string> out;
+    for (const StrategyFactory &f : strategyRegistry())
+        out.push_back(f.name);
+    return out;
+}
+
+const StrategyFactory *
+Strategy::find(const std::string &name)
+{
+    for (const StrategyFactory &f : strategyRegistry())
+        if (f.name == name)
+            return &f;
+    return nullptr;
 }
 
 int

@@ -8,7 +8,10 @@
 #ifndef DSTRAIN_STRATEGIES_STRATEGY_HH
 #define DSTRAIN_STRATEGIES_STRATEGY_HH
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "hw/cluster.hh"
 #include "model/parallelism.hh"
@@ -37,6 +40,15 @@ struct PlanTuning {
      * See bench/ablation_overlap for the what-if.
      */
     bool overlap_grad_reduction = false;
+
+    /**
+     * FSDP prefetch lookahead: the all-gather for block b may run
+     * while up to this many earlier blocks still compute (PyTorch's
+     * forward_prefetch/backward_prefetch window). >= 1; unlike
+     * ZeRO-3's strict depth-1 gather chain, this is what lets the
+     * gather of layer L+1 fully overlap layer L's compute.
+     */
+    int fsdp_prefetch = 2;
 };
 
 /** Everything a strategy needs to build a plan. */
@@ -52,10 +64,38 @@ struct PlanContext {
     std::int64_t globalTokens() const;
 };
 
+class Strategy;
+
+/**
+ * One entry of the name-keyed strategy registry: how to spell a
+ * strategy on the CLI, configure it from the tp/pp degrees, decide
+ * whether a StrategyConfig belongs to it, and instantiate it.
+ */
+struct StrategyFactory {
+    /** CLI spelling (`--strategy <name>`). */
+    std::string name;
+
+    /** One-line help text for the name. */
+    std::string help;
+
+    /**
+     * Build this name's StrategyConfig. @p tp / @p pp are the CLI
+     * degrees (0 = the entry's default).
+     */
+    std::function<StrategyConfig(int tp, int pp)> configure;
+
+    /** Does instantiate() handle @p cfg? First match wins. */
+    std::function<bool(const StrategyConfig &)> matches;
+
+    /** Make the strategy for a matching config. */
+    std::function<std::unique_ptr<Strategy>(const StrategyConfig &)>
+        instantiate;
+};
+
 /**
  * Abstract strategy. Concrete classes: DdpStrategy,
  * MegatronStrategy, ZeroStrategy (stages 1-3), ZeroOffloadStrategy,
- * ZeroInfinityStrategy.
+ * ZeroInfinityStrategy, FsdpStrategy, MoeStrategy, Hybrid3dStrategy.
  */
 class Strategy
 {
@@ -72,8 +112,24 @@ class Strategy
     /** Build the task graph for one training iteration. */
     virtual IterationPlan buildIteration(const PlanContext &ctx) const = 0;
 
-    /** Factory dispatching on the configuration. */
+    /**
+     * Factory dispatching on the configuration: walks the registry
+     * in registration order and instantiates the first entry whose
+     * matches() accepts @p cfg.
+     */
     static std::unique_ptr<Strategy> create(const StrategyConfig &cfg);
+
+    /**
+     * Add a registry entry. The built-in strategies self-register on
+     * first registry use; additional entries append after them.
+     */
+    static void registerFactory(StrategyFactory factory);
+
+    /** All registered names, in registration order. */
+    static std::vector<std::string> names();
+
+    /** The entry spelled @p name, or nullptr. */
+    static const StrategyFactory *find(const std::string &name);
 
   protected:
     StrategyConfig cfg_;

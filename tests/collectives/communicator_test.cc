@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "collectives/algorithms.hh"
 #include "collectives/volume.hh"
 
 namespace dstrain {
@@ -187,6 +188,139 @@ TEST_F(CollectiveTest, BandwidthFactorSlowsCollective)
     coll2.allReduce(CommGroup::worldOf(4), 4e9, nullptr, opts);
     sim2.run();
     EXPECT_NEAR(sim2.now(), 2.0 * fast, fast * 0.05);
+}
+
+TEST_F(CollectiveTest, PairwiseAllReduceMatchesRingVolume)
+{
+    // Different schedule, same fabric bytes: pairwise exchange moves
+    // 2 (N-1) S just like the ring (every intra-node pair has a
+    // direct NVLink, so logical hops == fabric traffic).
+    const Bytes payload = 4e9;
+    CollectiveOptions opts;
+    opts.algorithm = CollectiveAlgo::Pairwise;
+    coll_.allReduce(CommGroup::worldOf(4), payload, nullptr, opts);
+    sim_.run();
+    EXPECT_NEAR(fabricBytes(LinkClass::NvLink), 6.0 * payload,
+                payload * 1e-6);
+}
+
+TEST_F(CollectiveTest, TreeAllReduceMatchesRingVolume)
+{
+    const Bytes payload = 4e9;
+    CollectiveOptions opts;
+    opts.algorithm = CollectiveAlgo::Tree;
+    coll_.allReduce(CommGroup::worldOf(4), payload, nullptr, opts);
+    sim_.run();
+    EXPECT_NEAR(fabricBytes(LinkClass::NvLink), 6.0 * payload,
+                payload * 1e-6);
+}
+
+TEST_F(CollectiveTest, TreeReduceScatterMatchesRingVolume)
+{
+    const Bytes payload = 4e9;
+    CollectiveOptions opts;
+    opts.algorithm = CollectiveAlgo::Tree;
+    coll_.reduceScatter(CommGroup::worldOf(4), payload, nullptr, opts);
+    sim_.run();
+    EXPECT_NEAR(fabricBytes(LinkClass::NvLink), 3.0 * payload,
+                payload * 1e-6);
+}
+
+TEST_F(CollectiveTest, AllToAllVolumeAndCompletion)
+{
+    // (N-1)/N of every rank's payload leaves the GPU: (N-1) S total.
+    const Bytes payload = 4e9;
+    bool done = false;
+    coll_.allToAll(CommGroup::worldOf(4), payload, [&] { done = true; });
+    sim_.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(fabricBytes(LinkClass::NvLink), 3.0 * payload,
+                payload * 1e-6);
+}
+
+TEST_F(CollectiveTest, UsageRecordsConcreteAlgorithms)
+{
+    const Bytes payload = 1e9;
+    coll_.allReduce(CommGroup::worldOf(4), payload, nullptr);
+    // The ring default cannot run all-to-all; usage must show the
+    // pairwise fallback that actually ran, not the requested ring.
+    coll_.allToAll(CommGroup::worldOf(4), payload, nullptr);
+    sim_.run();
+
+    ASSERT_EQ(coll_.usage().size(), 2u);
+    const CollectiveUsage &ar = coll_.usage()[0];
+    EXPECT_EQ(ar.op, CollectiveOp::AllReduce);
+    EXPECT_EQ(ar.algo, CollectiveAlgo::Ring);
+    EXPECT_EQ(ar.invocations, 1u);
+    EXPECT_DOUBLE_EQ(ar.payload_bytes, payload);
+    EXPECT_DOUBLE_EQ(ar.fabric_bytes,
+                     collectiveTotalVolume(CollectiveOp::AllReduce, 4,
+                                           payload));
+    const CollectiveUsage &a2a = coll_.usage()[1];
+    EXPECT_EQ(a2a.op, CollectiveOp::AllToAll);
+    EXPECT_EQ(a2a.algo, CollectiveAlgo::Pairwise);
+    EXPECT_DOUBLE_EQ(a2a.fabric_bytes,
+                     collectiveTotalVolume(CollectiveOp::AllToAll, 4,
+                                           payload));
+}
+
+TEST_F(CollectiveTest, EngineSpecDrivesAutoInvocations)
+{
+    std::string err;
+    const auto spec = parseCollectiveAlgoSpec("pairwise", &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    coll_.setAlgoSpec(*spec);
+    coll_.allReduce(CommGroup::worldOf(4), 1e9, nullptr);
+    // Per-invocation options still win over the engine spec.
+    CollectiveOptions opts;
+    opts.algorithm = CollectiveAlgo::Ring;
+    coll_.allReduce(CommGroup::worldOf(4), 1e9, nullptr, opts);
+    sim_.run();
+
+    ASSERT_EQ(coll_.usage().size(), 2u);
+    EXPECT_EQ(coll_.usage()[0].algo, CollectiveAlgo::Pairwise);
+    EXPECT_EQ(coll_.usage()[1].algo, CollectiveAlgo::Ring);
+}
+
+/** RoCE bytes of one dual-node 8-rank all-reduce under @p algo. */
+Bytes
+dualNodeRoceBytes(CollectiveAlgo algo)
+{
+    Simulation sim;
+    ClusterSpec spec;
+    spec.nodes = 2;
+    Cluster cluster(spec);
+    FlowScheduler flows(sim, cluster.topology());
+    TransferManager tm(sim, cluster, flows);
+    CollectiveEngine coll(tm);
+    CollectiveOptions opts;
+    opts.algorithm = algo;
+    coll.allReduce(CommGroup::worldOf(8), 4e9, nullptr, opts);
+    sim.run();
+    flows.finalizeLogs();
+    Bytes total = 0.0;
+    for (const Resource &r : cluster.topology().resources())
+        if (r.cls == LinkClass::Roce)
+            total += r.log.totalBytes();
+    return total;
+}
+
+TEST_F(DualNodeCollectiveTest, HierarchicalCutsRoceByClosedForm)
+{
+    // The measured RoCE ratio between the hierarchical and flat-ring
+    // all-reduce must match the collectiveInterNodeBytes closed form:
+    // 2 (M-1) vs 2 (N-1) M / N payloads, = 4/7 on 2 nodes x 4 GPUs.
+    const double measured =
+        dualNodeRoceBytes(CollectiveAlgo::Hierarchical) /
+        dualNodeRoceBytes(CollectiveAlgo::Ring);
+    const double closed =
+        collectiveInterNodeBytes(CollectiveOp::AllReduce,
+                                 CollectiveAlgo::Hierarchical, 2, 4,
+                                 1e9) /
+        collectiveInterNodeBytes(CollectiveOp::AllReduce,
+                                 CollectiveAlgo::Ring, 2, 4, 1e9);
+    EXPECT_NEAR(measured, closed, 0.01);
+    EXPECT_NEAR(closed, 4.0 / 7.0, 1e-12);
 }
 
 TEST_F(CollectiveTest, DeathOnSingletonGroup)

@@ -42,7 +42,8 @@ TEST_P(CollectiveScaling, AllReduceTracksAnalyticRing)
     coll.allReduce(group, c.payload_gb * 1e9, nullptr, opts);
     sim.run();
 
-    const Bps bottleneck = ringBottleneckBandwidth(group, cluster);
+    const Bps bottleneck =
+        TopologyView(cluster).ringBottleneckBandwidth(group);
     const SimTime ideal = ringCollectiveIdealTime(
         CollectiveOp::AllReduce, c.ranks, c.payload_gb * 1e9,
         bottleneck);

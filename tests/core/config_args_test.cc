@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/config_args.hh"
+#include "strategies/strategy.hh"
 
 namespace dstrain {
 namespace {
@@ -118,10 +119,59 @@ TEST(ConfigArgsTest, StrategyNamesRoundTrip)
 {
     for (const char *name :
          {"ddp", "megatron", "zero1", "zero2", "zero3", "zero1-cpu",
-          "zero2-cpu", "zero3-cpu", "zero3-nvme", "zero3-nvme-params"}) {
+          "zero2-cpu", "zero3-cpu", "zero3-nvme", "zero3-nvme-params",
+          "fsdp", "moe", "hybrid3d"}) {
         EXPECT_TRUE(parseStrategyName(name).has_value()) << name;
     }
-    EXPECT_FALSE(parseStrategyName("fsdp").has_value());
+    EXPECT_FALSE(parseStrategyName("zero9").has_value());
+}
+
+TEST(ConfigArgsTest, RegistryDrivesNamesAndHelp)
+{
+    // Every registered name parses, round-trips through create(),
+    // and appears in the help string.
+    const std::string help = strategyNameHelp();
+    for (const std::string &name : Strategy::names()) {
+        const auto cfg = parseStrategyName(name);
+        ASSERT_TRUE(cfg.has_value()) << name;
+        EXPECT_NE(help.find(name), std::string::npos) << name;
+        const auto strategy = Strategy::create(*cfg);
+        ASSERT_NE(strategy, nullptr) << name;
+        EXPECT_EQ(strategy->config().kind, cfg->kind) << name;
+    }
+    EXPECT_GE(Strategy::names().size(), 13u);
+}
+
+TEST(ConfigArgsTest, CollectiveAlgoFlagReachesTheConfig)
+{
+    const ArgParser args = parsedArgs(
+        {"--collective-algo", "hierarchical,all-to-all=pairwise"});
+    const ParsedExperiment parsed = experimentFromArgs(args);
+    ASSERT_TRUE(parsed.ok()) << formatConfigErrors(parsed.errors);
+    EXPECT_EQ(parsed.config.collective_algos.default_algo,
+              CollectiveAlgo::Hierarchical);
+    EXPECT_EQ(parsed.config.collective_algos.requestedFor(
+                  CollectiveOp::AllToAll),
+              CollectiveAlgo::Pairwise);
+
+    const ArgParser bad = parsedArgs({"--collective-algo", "mesh"});
+    const ParsedExperiment bad_parsed = experimentFromArgs(bad);
+    ASSERT_FALSE(bad_parsed.ok());
+    EXPECT_EQ(bad_parsed.errors[0].field, "collective-algo");
+}
+
+TEST(ConfigArgsTest, ExpertsFlagIsMoeOnly)
+{
+    const ArgParser moe =
+        parsedArgs({"--strategy", "moe", "--experts", "4"});
+    const ParsedExperiment parsed = experimentFromArgs(moe);
+    ASSERT_TRUE(parsed.ok()) << formatConfigErrors(parsed.errors);
+    EXPECT_EQ(parsed.config.strategy.kind, StrategyKind::Moe);
+    EXPECT_EQ(parsed.config.strategy.experts, 4);
+
+    const ArgParser bad =
+        parsedArgs({"--strategy", "ddp", "--experts", "4"});
+    EXPECT_FALSE(experimentFromArgs(bad).ok());
 }
 
 } // namespace

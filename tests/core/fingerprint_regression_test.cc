@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "collectives/algorithms.hh"
 #include "core/presets.hh"
 #include "core/report.hh"
 
@@ -184,6 +185,25 @@ TEST(FingerprintRegression, ParallelComponentSolveLineup)
     EXPECT_EQ(runHash(1, StrategyConfig::zeroOffloadCpu(3), 11.4, R,
                       false, true, 3),
               0x464f8a60f5f83cc1ull);
+}
+
+TEST(FingerprintRegression, ExplicitRingAlgoMatchesDefaultGolden)
+{
+    // `--collective-algo ring` pins every collective to the ring
+    // family the engine has always modeled: the run must stay
+    // bit-identical to the pre-library golden (and the fingerprint
+    // must not sprout a collectives section for all-ring runs).
+    std::string err;
+    const auto spec = parseCollectiveAlgoSpec("ring", &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    ExperimentConfig cfg =
+        paperExperiment(2, StrategyConfig::ddp(), 0.0);
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    cfg.collective_algos = *spec;
+    const ExperimentReport report = runExperiment(std::move(cfg));
+    EXPECT_EQ(fnv1a64(reportFingerprint(report)),
+              0x0b7a72c8312a4dbeull);
 }
 
 TEST(FingerprintRegression, EcmpOffMatchesEcmpOnSingleSwitch)

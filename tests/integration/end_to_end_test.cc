@@ -33,6 +33,11 @@ class EveryStrategyRuns
             StrategyConfig::zeroOffloadCpu(3),
             StrategyConfig::zeroInfinityNvme(false),
             StrategyConfig::zeroInfinityNvme(true),
+            StrategyConfig::fsdp(),
+            StrategyConfig::moe(),
+            StrategyConfig::moe(2),
+            StrategyConfig::hybrid3d(2, 1),
+            StrategyConfig::hybrid3d(2, 2),
         };
     }
 };
@@ -55,7 +60,7 @@ TEST_P(EveryStrategyRuns, CompletesAndReportsSaneNumbers)
 
 INSTANTIATE_TEST_SUITE_P(
     AllStrategiesBothShapes, EveryStrategyRuns,
-    testing::Combine(testing::Range(0, 11), testing::Values(1, 2)));
+    testing::Combine(testing::Range(0, 16), testing::Values(1, 2)));
 
 TEST(EndToEndTest, MoreIterationsRefineNotChangeSteadyState)
 {

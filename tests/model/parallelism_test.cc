@@ -69,7 +69,8 @@ TEST(ValidateStrategyDeathTest, IllegalCombinations)
     StrategyConfig tp_on_ddp = StrategyConfig::ddp();
     tp_on_ddp.tensor_parallel = 2;
     EXPECT_EXIT(validateStrategy(tp_on_ddp),
-                testing::ExitedWithCode(1), "Megatron-LM or hybrid");
+                testing::ExitedWithCode(1),
+                "Megatron-LM, hybrid ZeRO-1/2 or the 3D hybrid");
 }
 
 TEST(StrategyConfigDeathTest, BadStageIsFatal)

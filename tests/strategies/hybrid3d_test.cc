@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the 3D hybrid (DP x TP x PP + ZeRO) plan builder: the
+ * ZeRO-style reduce-scatter / all-gather pair across the DP axis,
+ * optimizer sharding over every rank, and the dp == 1 degenerate
+ * case collapsing to the pure Megatron schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "strategies/hybrid3d.hh"
+
+namespace dstrain {
+namespace {
+
+IterationPlan
+buildPlan(int nodes, int tp, int pp)
+{
+    ClusterSpec spec;
+    spec.nodes = nodes;
+    Cluster cluster(spec);
+    PlanContext ctx{cluster, TransformerConfig::gpt2Like(26), 16,
+                    nvmePlacementConfig('B'), PlanTuning{}};
+    return Strategy::create(StrategyConfig::hybrid3d(tp, pp))
+        ->buildIteration(ctx);
+}
+
+TEST(Hybrid3dPlanTest, DpAxisReduceScattersAndRegathersParams)
+{
+    // 8 GPUs, mp = 4 -> dp = 2: each of the mp positions
+    // reduce-scatters its 2P/mp gradient shard across the replicas
+    // and all-gathers the fresh parameters after the optimizer.
+    const IterationPlan plan = buildPlan(2, 2, 2);
+    const double p = static_cast<double>(
+        TransformerConfig::gpt2Like(26).parameterCount());
+    Bytes rs = 0.0, ag = 0.0;
+    int rs_count = 0, ag_count = 0;
+    for (const PlanTask &t : plan.tasks()) {
+        if (t.kind != TaskKind::Collective)
+            continue;
+        if (t.label.find("h3d dp-rs") != std::string::npos) {
+            rs += t.bytes;
+            ++rs_count;
+            EXPECT_EQ(t.group.size(), 2);  // the dp replicas
+        } else if (t.label.find("h3d dp-ag") != std::string::npos) {
+            ag += t.bytes;
+            ++ag_count;
+        }
+    }
+    EXPECT_EQ(rs_count, 4);  // one per model-parallel position
+    EXPECT_EQ(ag_count, 4);
+    EXPECT_NEAR(rs, 2.0 * p, 1e3);
+    EXPECT_NEAR(ag, 2.0 * p, 1e3);
+}
+
+TEST(Hybrid3dPlanTest, ParameterGatherFollowsOptimizer)
+{
+    const IterationPlan plan = buildPlan(2, 2, 2);
+    int max_adam = -1;
+    for (const PlanTask &t : plan.tasks())
+        if (t.phase == ComputePhase::Optimizer)
+            max_adam = std::max(max_adam, t.id);
+    ASSERT_GE(max_adam, 0);
+    for (const PlanTask &t : plan.tasks()) {
+        if (t.label.find("h3d dp-ag") != std::string::npos) {
+            EXPECT_GT(t.id, max_adam);
+        }
+    }
+}
+
+TEST(Hybrid3dPlanTest, OptimizerShardedAcrossAllAxes)
+{
+    // Every rank owns 1/(mp x dp) = 1/8 of the states: total work
+    // still sums to one optimizer pass over the model.
+    const IterationPlan plan = buildPlan(2, 2, 2);
+    const double p = static_cast<double>(
+        TransformerConfig::gpt2Like(26).parameterCount());
+    double opt_flops = 0.0;
+    for (const PlanTask &t : plan.tasks())
+        if (t.phase == ComputePhase::Optimizer)
+            opt_flops += t.flops;
+    EXPECT_NEAR(opt_flops, kGpuOptimizerFlopsPerParam * p,
+                opt_flops * 1e-9);
+}
+
+TEST(Hybrid3dPlanTest, PureModelParallelSkipsDpCollectives)
+{
+    // 4 GPUs, mp = 4 -> dp = 1: no replicas, so the DP-axis
+    // reduce-scatter / all-gather pair must vanish while the TP
+    // activation all-reduces stay.
+    const IterationPlan plan = buildPlan(1, 2, 2);
+    bool has_tp_ar = false;
+    for (const PlanTask &t : plan.tasks()) {
+        EXPECT_EQ(t.label.find("h3d dp-"), std::string::npos)
+            << t.label;
+        has_tp_ar |= t.label.find("h3d tp-ar") != std::string::npos;
+    }
+    EXPECT_TRUE(has_tp_ar);
+}
+
+TEST(Hybrid3dPlanTest, PipelineStagesChainMicrobatches)
+{
+    // GPipe dependency: stage 1's first microbatch waits on stage
+    // 0's, so its forward compute must depend (transitively) on a
+    // stage-0 task. Spot-check the direct dependency ids are valid
+    // and the plan validates with 26 layers of metadata.
+    const IterationPlan plan = buildPlan(2, 2, 2);
+    plan.validate();
+    EXPECT_EQ(plan.modelLayers(), 26);
+    EXPECT_GT(plan.size(), 0u);
+}
+
+} // namespace
+} // namespace dstrain

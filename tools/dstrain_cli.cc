@@ -38,6 +38,7 @@
 #include "core/config_args.hh"
 #include "core/energy.hh"
 #include "core/presets.hh"
+#include "strategies/strategy.hh"
 #include "core/report.hh"
 #include "core/sweep_runner.hh"
 #include "telemetry/probe.hh"
@@ -70,10 +71,18 @@ splitList(const std::string &csv)
     return items;
 }
 
-/** The default `sweep` lineup: every named single-degree strategy. */
-const char *const kAllStrategies =
-    "ddp,megatron,zero1,zero2,zero3,zero1-cpu,zero2-cpu,zero3-cpu,"
-    "zero3-nvme,zero3-nvme-params";
+/** The `sweep --strategies all` lineup: every registered name. */
+std::string
+allStrategiesCsv()
+{
+    std::string csv;
+    for (const std::string &name : Strategy::names()) {
+        if (!csv.empty())
+            csv += ",";
+        csv += name;
+    }
+    return csv;
+}
 
 int
 runSweep(int argc, const char *const *argv)
@@ -103,7 +112,7 @@ runSweep(int argc, const char *const *argv)
 
     std::string strategy_csv = args.get("strategies");
     if (strategy_csv == "all")
-        strategy_csv = kAllStrategies;
+        strategy_csv = allStrategiesCsv();
 
     FaultPlan faults;
     if (!args.get("faults").empty()) {
@@ -396,6 +405,12 @@ runCli(int argc, const char *const *argv)
         bw.setTitle(
             "Aggregate bidirectional per-node bandwidth (GBps):");
         std::cout << bw;
+    }
+
+    if (!report.collectives.empty()) {
+        TextTable usage = collectiveUsageTable(report);
+        usage.setTitle("Collective usage:");
+        std::cout << "\n" << usage;
     }
 
     if (!report.faults.empty()) {
