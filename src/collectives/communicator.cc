@@ -6,6 +6,7 @@
 
 #include "collectives/communicator.hh"
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <tuple>
@@ -13,6 +14,7 @@
 #include "collectives/algorithms.hh"
 #include "collectives/topology_view.hh"
 #include "collectives/volume.hh"
+#include "net/resilience.hh"
 #include "util/logging.hh"
 
 namespace dstrain {
@@ -98,7 +100,12 @@ CollectiveEngine::runRounds(const CommGroup &group,
                             Callback on_done)
 {
     // Self-destructing state machine: advance() launches round i and
-    // recurses when all of its transfers land.
+    // recurses when all of its transfers land. With resilience
+    // attached, a per-round progress watchdog (the NCCL-watchdog
+    // model) additionally rescues rounds stranded on a dead route:
+    // stalled hops are cancelled byte-conservingly and relaunched
+    // with the undelivered remainder once routing has reconverged —
+    // completed rounds never re-run.
     struct State {
         CollectiveEngine *eng;
         CommGroup group;
@@ -111,6 +118,14 @@ CollectiveEngine::runRounds(const CommGroup &group,
         Callback on_done;
         std::size_t next_round = 0;
         int outstanding = 0;
+        /** Current round's hops; bytes shrink on rescue relaunch. */
+        CollectiveRound cur;
+        /** Transfer ids of the current round (0 = untracked). */
+        std::vector<std::uint64_t> xids;
+        /** Bumped per round launch: stale watchdog events bail. */
+        std::uint64_t round_gen = 0;
+        /** Watchdog rescues performed for this invocation. */
+        int resumes = 0;
     };
     auto st = std::make_shared<State>();
     st->eng = this;
@@ -123,9 +138,43 @@ CollectiveEngine::runRounds(const CommGroup &group,
     st->tag = tag;
     st->on_done = std::move(on_done);
 
+    ResilienceCoordinator *rc = resilience_;
+    const SimTime timeout =
+        rc != nullptr ? rc->config().collective_timeout : 0.0;
+
     // advance is stored so the completion lambdas can call it.
     auto advance = std::make_shared<std::function<void()>>();
-    *advance = [st, advance]() {
+    // Launches hop i of the current round (initial launch and
+    // watchdog relaunch share it so both attempts are identical).
+    auto start_hop =
+        std::make_shared<std::function<void(std::size_t)>>();
+    // The watchdog body; parameters pin the (round, abort-epoch) it
+    // was armed for.
+    auto watch = std::make_shared<
+        std::function<void(std::uint64_t, std::uint64_t)>>();
+
+    *start_hop = [st, advance](std::size_t i) {
+        Cluster &cl = st->eng->tm_.cluster();
+        const CollectiveHop &hop = st->cur[i];
+        TransferOptions opts;
+        opts.waypoints = st->eng->viaNics(
+            hop.src_rank, hop.dst_rank, st->channel, st->pin);
+        opts.rate_factor = st->bw_factor;
+        // On multipath fabrics, ECMP spreads the channels over
+        // the equal-cost trunks (deterministically).
+        opts.flow_key = static_cast<std::uint64_t>(st->channel);
+        opts.tag = st->tag;
+        st->xids[i] = st->eng->tm_.start(
+            cl.gpuByRank(hop.src_rank), cl.gpuByRank(hop.dst_rank),
+            hop.bytes,
+            [st, advance] {
+                if (--st->outstanding == 0)
+                    (*advance)();
+            },
+            std::move(opts));
+    };
+
+    *advance = [st, advance, start_hop, watch, rc, timeout]() {
         if (st->next_round >= st->rounds.size()) {
             if (st->on_done)
                 st->on_done();
@@ -133,28 +182,123 @@ CollectiveEngine::runRounds(const CommGroup &group,
         }
         const CollectiveRound &round = st->rounds[st->next_round++];
         DSTRAIN_ASSERT(!round.empty(), "empty collective round");
+        st->cur = round;
+        st->xids.assign(round.size(), 0);
         st->outstanding = static_cast<int>(round.size());
-        for (const CollectiveHop &hop : round) {
-            Cluster &cl = st->eng->tm_.cluster();
-            TransferOptions opts;
-            opts.waypoints = st->eng->viaNics(
-                hop.src_rank, hop.dst_rank, st->channel, st->pin);
-            opts.rate_factor = st->bw_factor;
-            // On multipath fabrics, ECMP spreads the channels over
-            // the equal-cost trunks (deterministically).
-            opts.flow_key = static_cast<std::uint64_t>(st->channel);
-            opts.tag = st->tag;
-            st->eng->tm_.start(
-                cl.gpuByRank(hop.src_rank), cl.gpuByRank(hop.dst_rank),
-                hop.bytes,
-                [st, advance] {
-                    if (--st->outstanding == 0)
-                        (*advance)();
-                },
-                std::move(opts));
+        ++st->round_gen;
+        for (std::size_t i = 0; i < st->cur.size(); ++i)
+            (*start_hop)(i);
+        if (rc != nullptr && timeout > 0.0) {
+            TransferManager &tm = st->eng->tm_;
+            const std::uint64_t gen = st->round_gen;
+            const std::uint64_t epoch = tm.abortEpoch();
+            tm.sim().events().scheduleAfter(
+                timeout, [watch, gen, epoch] { (*watch)(gen, epoch); });
         }
     };
+
+    *watch = [st, watch, start_hop, advance, rc,
+              timeout](std::uint64_t gen, std::uint64_t epoch) {
+        TransferManager &tm = st->eng->tm_;
+        if (epoch != tm.abortEpoch())
+            return;  // hard-fault abort killed this attempt
+        if (gen != st->round_gen || st->outstanding == 0)
+            return;  // the round completed; a new watchdog owns the next
+        bool rescued = false;
+        if (st->resumes < rc->config().max_collective_resumes) {
+            for (std::size_t i = 0; i < st->xids.size(); ++i) {
+                if (st->xids[i] == 0 ||
+                    !tm.transferStalled(st->xids[i]))
+                    continue;
+                // Byte-conserving round resume: the stalled hop's
+                // delivered bytes stay delivered, only the remainder
+                // relaunches — after routing has reconverged, so the
+                // fresh transfer resolves around the cut.
+                const Bytes rem = tm.cancelTransfer(st->xids[i]);
+                st->xids[i] = 0;
+                rescued = true;
+                if (rem <= 0.0) {
+                    // Everything had landed; the cancelled callback
+                    // never fires, so settle the hop as a completion
+                    // (deferred: advancing mid-loop would launch the
+                    // next round while hops are still under review).
+                    tm.sim().events().scheduleAfter(
+                        0.0, [st, advance] {
+                            if (--st->outstanding == 0)
+                                (*advance)();
+                        });
+                    continue;
+                }
+                st->cur[i].bytes = rem;
+                const std::uint64_t g = st->round_gen;
+                const std::uint64_t e = tm.abortEpoch();
+                const SimTime at = rc->reconvergedAt();
+                tm.sim().events().schedule(
+                    at, [st, start_hop, i, g, e] {
+                        TransferManager &tm2 = st->eng->tm_;
+                        if (e != tm2.abortEpoch() ||
+                            g != st->round_gen)
+                            return;
+                        (*start_hop)(i);
+                    });
+            }
+        }
+        if (rescued) {
+            ++rc->stats().collective_timeouts;
+            ++st->resumes;
+        }
+        if (st->outstanding > 0 &&
+            st->resumes < rc->config().max_collective_resumes) {
+            const std::uint64_t g = st->round_gen;
+            const std::uint64_t e = tm.abortEpoch();
+            tm.sim().events().scheduleAfter(
+                timeout, [watch, g, e] { (*watch)(g, e); });
+        }
+    };
+
     (*advance)();
+}
+
+void
+CollectiveEngine::markRanksDead(const std::vector<int> &ranks)
+{
+    if (ranks.empty())
+        return;
+    dead_ranks_.insert(dead_ranks_.end(), ranks.begin(), ranks.end());
+    std::sort(dead_ranks_.begin(), dead_ranks_.end());
+    dead_ranks_.erase(
+        std::unique(dead_ranks_.begin(), dead_ranks_.end()),
+        dead_ranks_.end());
+    // One elastic communicator-shrink event; per-group reforms are
+    // counted again as they happen in runOp.
+    if (resilience_ != nullptr)
+        ++resilience_->stats().comm_shrinks;
+}
+
+bool
+CollectiveEngine::rankDead(int rank) const
+{
+    return std::binary_search(dead_ranks_.begin(), dead_ranks_.end(),
+                              rank);
+}
+
+bool
+CollectiveEngine::hierarchicalDomainCut(const CommGroup &group) const
+{
+    Cluster &cl = tm_.cluster();
+    const Topology &topo = cl.topology();
+    std::vector<std::uint8_t> involved(
+        static_cast<std::size_t>(cl.nodeCount()), 0);
+    for (const int r : group.ranks)
+        involved[static_cast<std::size_t>(cl.nodeOfRank(r))] = 1;
+    for (const Resource &res : topo.resources()) {
+        if (res.cls != LinkClass::NvLink || res.node < 0)
+            continue;
+        if (involved[static_cast<std::size_t>(res.node)] &&
+            res.capacity <= 0.0)
+            return true;
+    }
+    return false;
 }
 
 void
@@ -187,15 +331,68 @@ CollectiveEngine::runOp(CollectiveOp op, const CommGroup &group,
     DSTRAIN_ASSERT(group.size() >= 2, "%s needs >= 2 ranks (got %d)",
                    kind.c_str(), group.size());
     const TopologyView view(tm_.cluster());
-    const int channels = resolveChannels(group, opts.channels, view);
+
+    // Elastic communicator shrink: reform the group over survivors
+    // before the algorithm resolves, so a strategy that still names
+    // a lost rank degrades instead of panicking inside the schedule.
+    CommGroup live = group;
+    if (resilience_ != nullptr && !dead_ranks_.empty()) {
+        std::vector<int> alive;
+        alive.reserve(live.ranks.size());
+        for (const int r : live.ranks)
+            if (!rankDead(r))
+                alive.push_back(r);
+        if (alive.size() != live.ranks.size()) {
+            ++resilience_->stats().comm_shrinks;
+            live.ranks = std::move(alive);
+        }
+    }
+    if (live.size() < 2) {
+        // Degenerate post-shrink group: a lone survivor has nothing
+        // to exchange. Complete asynchronously (callers expect the
+        // callback after, not during, the invocation).
+        if (on_done)
+            tm_.sim().events().scheduleAfter(0.0, std::move(on_done));
+        return;
+    }
+    if (root >= 0 && rankDead(root))
+        root = live.ranks.front();
+
+    const int channels = resolveChannels(live, opts.channels, view);
 
     const CollectiveAlgo requested =
         opts.algorithm != CollectiveAlgo::Auto ? opts.algorithm
                                                : spec_.requestedFor(op);
-    const CollectiveAlgo algo =
-        resolveCollectiveAlgorithm(op, group, bytes, requested, view);
+    CollectiveAlgo algo =
+        resolveCollectiveAlgorithm(op, live, bytes, requested, view);
+    if (resilience_ != nullptr &&
+        resilience_->config().collective_fallback) {
+        // Degraded-schedule fallback: an algorithm whose structural
+        // assumption is cut re-resolves deterministically through
+        // the Auto policy's universal fallbacks (all-to-all ->
+        // pairwise, everything else -> ring). Tree's pow2 assumption
+        // after rank loss resolves inside resolveCollectiveAlgorithm
+        // (the shrunk group fails supports()); hierarchical's
+        // intra-node NVLink domain is checked here because the
+        // schedule, not the group shape, depends on it.
+        CollectiveAlgo degraded = algo;
+        if (degraded == CollectiveAlgo::Hierarchical &&
+            hierarchicalDomainCut(live)) {
+            degraded = op == CollectiveOp::AllToAll
+                           ? CollectiveAlgo::Pairwise
+                           : CollectiveAlgo::Ring;
+        }
+        const bool shrunk = live.size() != group.size();
+        const CollectiveAlgo healthy =
+            shrunk ? resolveCollectiveAlgorithm(op, group, bytes,
+                                                requested, view)
+                   : algo;
+        if (degraded != healthy)
+            ++resilience_->stats().collective_fallbacks;
+        algo = degraded;
+    }
     const CollectiveAlgorithm &impl = collectiveAlgorithm(algo);
-    recordUsage(op, algo, group.size(), bytes);
+    recordUsage(op, algo, live.size(), bytes);
 
     const std::string tag =
         opts.tag.empty() ? kind : opts.tag + "/" + kind;
@@ -205,8 +402,8 @@ CollectiveEngine::runOp(CollectiveOp op, const CommGroup &group,
     for (int c = 0; c < channels; ++c) {
         const Bytes share = bytes / channels;
         std::vector<CollectiveRound> rounds =
-            impl.rounds(op, group, share, root, view);
-        runRounds(group, std::move(rounds), c, channels,
+            impl.rounds(op, live, share, root, view);
+        runRounds(live, std::move(rounds), c, channels,
                   opts.pin_channels_to_nics, opts.bandwidth_factor, tag,
                   [this, remaining, done] {
                       if (--*remaining == 0) {

@@ -181,6 +181,31 @@ class CollectiveEngine
     const CollectiveAlgoSpec &algoSpec() const { return spec_; }
 
     /**
+     * Attach the degraded-mode resilience coordinator
+     * (net/resilience.hh). Enables the per-round progress watchdog
+     * (config().collective_timeout), the degraded-schedule fallback
+     * (config().collective_fallback) and dead-rank group filtering.
+     * nullptr detaches; detached behavior is bit-identical to the
+     * pre-resilience engine.
+     */
+    void configureResilience(ResilienceCoordinator *rc)
+    {
+        resilience_ = rc;
+    }
+
+    /**
+     * Mark @p ranks dead (the elastic communicator shrink): every
+     * subsequent group is reformed over its surviving ranks before
+     * the algorithm resolves, so a strategy that still names a lost
+     * rank degrades instead of panicking. No-op without an attached
+     * resilience coordinator.
+     */
+    void markRanksDead(const std::vector<int> &ranks);
+
+    /** Forget dead-rank marks (replacement restart revives all). */
+    void clearDeadRanks() { dead_ranks_.clear(); }
+
+    /**
      * All-reduce @p bytes per rank across @p group.
      * @p on_done fires when every rank holds the reduced result.
      */
@@ -254,10 +279,23 @@ class CollectiveEngine
     std::vector<ComponentId>
     viaNics(int src_rank, int dst_rank, int channel, bool pin) const;
 
+    /** Is @p rank marked dead (elastic shrink)? */
+    bool rankDead(int rank) const;
+
+    /**
+     * Is a participating node's intra-node NVLink domain cut? The
+     * structural assumption of the hierarchical schedule; when true
+     * the degraded fallback re-resolves to ring/pairwise.
+     */
+    bool hierarchicalDomainCut(const CommGroup &group) const;
+
     TransferManager &tm_;
     CollectiveAlgoSpec spec_;
     std::vector<CollectiveUsage> usage_;
     std::uint64_t completed_ = 0;
+    ResilienceCoordinator *resilience_ = nullptr;
+    /** Sorted unique ranks lost to hard faults (elastic shrink). */
+    std::vector<int> dead_ranks_;
 };
 
 } // namespace dstrain

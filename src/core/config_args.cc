@@ -82,6 +82,16 @@ addExperimentOptions(ArgParser &args)
         "every-k-iterations, or 'off'");
     args.addOption("recovery", "restart",
                    "hard-fault recovery policy: restart | elastic");
+    args.addFlag("resilience",
+                 "enable degraded-mode network resilience: routing "
+                 "reconvergence around dead links, the collective "
+                 "progress watchdog and elastic communicator shrink");
+    args.addOption("reconverge", "0.002",
+                   "routing-reconvergence delay in seconds "
+                   "(with --resilience)");
+    args.addOption("collective-timeout", "0.025",
+                   "collective per-round progress timeout in seconds; "
+                   "0 disables the watchdog (with --resilience)");
     args.addOption("flow-solver", "region",
                    "fair-share solver: region (scoped incremental) | "
                    "global (full-pass oracle)");
@@ -187,6 +197,12 @@ experimentFromArgs(const ArgParser &args)
     if (!args.get("faults").empty())
         out.config.faults =
             parseFaultSpec(args.get("faults"), &out.errors);
+
+    out.config.resilience.enabled = args.getFlag("resilience");
+    out.config.resilience.reconvergence_delay =
+        args.getDouble("reconverge");
+    out.config.resilience.collective_timeout =
+        args.getDouble("collective-timeout");
 
     out.config.recovery.checkpoint =
         parseCheckpointSpec(args.get("checkpoint"), &out.errors);

@@ -124,6 +124,8 @@ ExperimentConfig::validate() const
         errors.push_back(std::move(e));
     for (ConfigError &e : recovery.validate(faults, cluster.nodeCount()))
         errors.push_back(std::move(e));
+    for (ConfigError &e : resilience.validate())
+        errors.push_back(std::move(e));
     return errors;
 }
 
@@ -189,12 +191,32 @@ Experiment::Experiment(ExperimentConfig cfg)
             *sim_, *cluster_, *flows_, *tm_, *executor_, *aio_,
             cfg_.faults);
     }
+    if (cfg_.resilience.enabled) {
+        // Degraded mode: routes avoid dead links after the
+        // reconvergence window, transfers defer reroute scans to the
+        // window's close, collectives get the progress watchdog and
+        // the degraded-schedule fallback.
+        cluster_->router().setAvoidDeadLinks(true);
+        resilience_ = std::make_unique<ResilienceCoordinator>(
+            *sim_, cluster_->router(), cfg_.resilience);
+        tm_->setResilience(resilience_.get());
+        coll_->configureResilience(resilience_.get());
+        if (injector_)
+            injector_->setTopologyBus(&resilience_->bus());
+    }
     if (cfg_.recovery.checkpoint.enabled() ||
         hasHardFaults(cfg_.faults)) {
         rm_ = std::make_unique<RecoveryManager>(*sim_, *cluster_, *tm_,
                                                 *executor_, cfg_.recovery);
         if (injector_)
             rm_->attachInjector(*injector_);
+        if (resilience_ &&
+            cfg_.recovery.policy == RecoveryPolicyKind::Elastic) {
+            rm_->setCommShrinkHook(
+                [this](const std::vector<int> &dead_ranks) {
+                    coll_->markRanksDead(dead_ranks);
+                });
+        }
     }
 }
 
@@ -290,6 +312,8 @@ Experiment::run()
     }
     if (rm_)
         report.recovery = rm_->buildReport(report.execution);
+    if (resilience_)
+        report.resilience = resilience_->stats();
     report.collectives = coll_->usage();
     report.scheduler = flows_->stats();
     return report;

@@ -25,6 +25,7 @@
 #include "engine/executor.hh"
 #include "fault/fault_injector.hh"
 #include "net/flow_scheduler.hh"
+#include "net/resilience.hh"
 #include "memplan/capacity_solver.hh"
 #include "memplan/composition.hh"
 #include "recovery/recovery_manager.hh"
@@ -96,6 +97,15 @@ struct ExperimentConfig {
      */
     RecoveryConfig recovery;
 
+    /**
+     * Degraded-mode network resilience (`--resilience`): routing
+     * reconvergence after hard link cuts, the collective progress
+     * watchdog and elastic communicator shrink. Disabled (the
+     * default) is bit-identical to the pre-resilience engine; see
+     * net/resilience.hh and DESIGN.md "Degraded-mode semantics".
+     */
+    ResilienceConfig resilience;
+
     std::uint64_t seed = 1;
 
     /**
@@ -164,6 +174,10 @@ struct ExperimentReport {
     /** Goodput/recovery accounting (inactive when no checkpoint
      * policy and no hard faults are configured). */
     RecoveryReport recovery;
+
+    /** Degraded-mode counters (all zero unless resilience was enabled
+     * and the fabric was actually damaged). */
+    ResilienceStats resilience;
 };
 
 /**
@@ -200,6 +214,9 @@ class Experiment
     /** The recovery manager (null without checkpoints/hard faults). */
     RecoveryManager *recovery() { return rm_.get(); }
 
+    /** The resilience coordinator (null unless enabled). */
+    ResilienceCoordinator *resilience() { return resilience_.get(); }
+
   private:
     ExperimentConfig cfg_;
     LadderEntry model_;
@@ -212,6 +229,7 @@ class Experiment
     std::unique_ptr<AioEngine> aio_;
     std::unique_ptr<Executor> executor_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<ResilienceCoordinator> resilience_;
     std::unique_ptr<RecoveryManager> rm_;
     /** Elastic recovery's degraded planning context + plan: built by
      * the replan callback, kept alive for the rest of the run. */

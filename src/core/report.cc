@@ -209,6 +209,27 @@ summarizeRecovery(const RecoveryReport &recovery)
         recovery.lost_iterations == 1 ? "" : "s");
 }
 
+std::string
+summarizeResilience(const ResilienceStats &stats)
+{
+    if (!stats.any())
+        return "";
+    return csprintf(
+        "resilience: %llu route invalidation%s, %llu deferred scan%s, "
+        "%llu collective timeout%s, %llu fallback%s, %llu comm "
+        "shrink%s",
+        static_cast<unsigned long long>(stats.route_invalidations),
+        stats.route_invalidations == 1 ? "" : "s",
+        static_cast<unsigned long long>(stats.reconvergence_waits),
+        stats.reconvergence_waits == 1 ? "" : "s",
+        static_cast<unsigned long long>(stats.collective_timeouts),
+        stats.collective_timeouts == 1 ? "" : "s",
+        static_cast<unsigned long long>(stats.collective_fallbacks),
+        stats.collective_fallbacks == 1 ? "" : "s",
+        static_cast<unsigned long long>(stats.comm_shrinks),
+        stats.comm_shrinks == 1 ? "" : "s");
+}
+
 TextTable
 recoveryTable(const std::vector<ExperimentReport> &reports)
 {
@@ -332,6 +353,19 @@ reportFingerprint(const ExperimentReport &report)
                         rc.lost_iterations, rc.time_to_recover,
                         rc.goodput_tflops, rc.throughput_tflops,
                         rc.checkpoint_overhead);
+    }
+    // Gated on a counter actually firing: resilience enabled on a
+    // healthy fabric changes no routing decision and no schedule, so
+    // it fingerprints identically to a plain run.
+    if (report.resilience.any()) {
+        const ResilienceStats &rs = report.resilience;
+        out += csprintf(
+            "|resilience=%llu/%llu/%llu/%llu/%llu",
+            static_cast<unsigned long long>(rs.route_invalidations),
+            static_cast<unsigned long long>(rs.reconvergence_waits),
+            static_cast<unsigned long long>(rs.collective_timeouts),
+            static_cast<unsigned long long>(rs.collective_fallbacks),
+            static_cast<unsigned long long>(rs.comm_shrinks));
     }
     return out;
 }

@@ -70,6 +70,13 @@ TextTable faultImpactTable(const ExperimentReport &report);
 std::string summarizeRecovery(const RecoveryReport &recovery);
 
 /**
+ * One-line summary of the degraded-mode resilience counters
+ * ("resilience: 2 route invalidations, 1 deferred scan, ..."). Empty
+ * string when no counter fired.
+ */
+std::string summarizeResilience(const ResilienceStats &stats);
+
+/**
  * A goodput/recovery comparison table over several reports:
  * goodput vs throughput, checkpoint count/overhead, recoveries,
  * lost work, time-to-recover. Reports without an active recovery

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "net/resilience.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -93,7 +94,8 @@ FaultInjector::resolve(const FaultEvent &ev) const
     Resolved r;
     switch (ev.kind) {
       case FaultKind::LinkDegrade:
-      case FaultKind::LinkFlap: {
+      case FaultKind::LinkFlap:
+      case FaultKind::LinkDown: {
         int idx = 0;
         if (tryIndexed(ev.target, "rail", &idx)) {
             // Rail r: the RoCE uplinks of NIC r on every node (on a
@@ -342,6 +344,7 @@ FaultInjector::apply(std::size_t i)
     const SimTime now = sim_.now();
     const double fraction =
         (ev.kind == FaultKind::LinkFlap ||
+         ev.kind == FaultKind::LinkDown ||
          ev.kind == FaultKind::NicFailover || isHardFault(ev.kind))
             ? 0.0
             : ev.fraction;
@@ -359,6 +362,8 @@ FaultInjector::apply(std::size_t i)
     // solve — for the whole failure domain (a switch or rail fault
     // can scale hundreds of links in one event).
     updateCapacities(r.rids);
+    if (bus_ != nullptr && !r.rids.empty())
+        bus_->publish(r.rids);
     // Record the capacities that resulted (overlap-aware).
     for (std::size_t k = 0; k < r.rids.size(); ++k) {
         const Resource &res = topo.resource(r.rids[k]);
@@ -420,6 +425,8 @@ FaultInjector::restore(std::size_t i)
     for (ResourceId rid : r.rids)
         popFraction(rid, fraction);
     updateCapacities(r.rids);
+    if (bus_ != nullptr && !r.rids.empty())
+        bus_->publish(r.rids);
 
     if (r.rank >= 0) {
         auto &v = gpu_active_[static_cast<std::size_t>(r.rank)];
@@ -456,6 +463,8 @@ FaultInjector::restoreHard(std::size_t i)
     for (ResourceId rid : r.rids)
         popFraction(rid, 0.0);
     updateCapacities(r.rids);
+    if (bus_ != nullptr && !r.rids.empty())
+        bus_->publish(r.rids);
 
     inform("hardware replaced: %s healthy at t=%s", ev.target.c_str(),
            formatTime(now).c_str());

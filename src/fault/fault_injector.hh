@@ -29,6 +29,8 @@
 
 namespace dstrain {
 
+class TopologyChangeBus;
+
 /** Measured effect of one fault on one affected link direction. */
 struct LinkImpact {
     std::string label;        ///< resource label, e.g. "n0.roce0.fwd"
@@ -123,6 +125,15 @@ class FaultInjector
      */
     void restoreHard(std::size_t i);
 
+    /**
+     * Publish every capacity change on @p bus (the resilience
+     * coordinator's topology-change bus, net/resilience.hh), so the
+     * router's cached routes are invalidated after the configured
+     * reconvergence window. nullptr (the default) publishes nothing —
+     * routes stay permanently cached, the pre-resilience behavior.
+     */
+    void setTopologyBus(TopologyChangeBus *bus) { bus_ = bus; }
+
   private:
     /** Byte-counter baselines of one affected resource. */
     struct Snapshot {
@@ -178,6 +189,9 @@ class FaultInjector
 
     /** Sink for applied hard faults (the RecoveryManager). */
     std::function<void(std::size_t)> hard_handler_;
+
+    /** Optional capacity-change sink (degraded-mode resilience). */
+    TopologyChangeBus *bus_ = nullptr;
 
     bool armed_ = false;
 };

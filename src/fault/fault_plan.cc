@@ -55,7 +55,8 @@ targetSyntaxError(FaultKind kind, const std::string &target)
     int idx = 0;
     switch (kind) {
       case FaultKind::LinkDegrade:
-      case FaultKind::LinkFlap: {
+      case FaultKind::LinkFlap:
+      case FaultKind::LinkDown: {
         // <class>[/n<k>|/rack<k>] | rail<r> | sw<j>
         if (parseIndexed(target, "rail", &idx) ||
             parseIndexed(target, "sw", &idx)) {
@@ -123,6 +124,8 @@ parseKind(std::string_view name, FaultKind *out)
         *out = FaultKind::LinkDegrade;
     else if (name == "flap")
         *out = FaultKind::LinkFlap;
+    else if (name == "linkdown")
+        *out = FaultKind::LinkDown;
     else if (name == "nicdown")
         *out = FaultKind::NicFailover;
     else if (name == "straggler")
@@ -164,6 +167,8 @@ faultKindName(FaultKind kind)
         return "degrade";
       case FaultKind::LinkFlap:
         return "flap";
+      case FaultKind::LinkDown:
+        return "linkdown";
       case FaultKind::NicFailover:
         return "nicdown";
       case FaultKind::GpuStraggler:
@@ -216,7 +221,8 @@ FaultPlan::validate() const
             errors.push_back({field, "begin time must be >= 0"});
         if (ev.duration < 0.0)
             errors.push_back({field, "duration must be >= 0"});
-        if (isHardFault(ev.kind) && ev.duration > 0.0) {
+        if ((isHardFault(ev.kind) || ev.kind == FaultKind::LinkDown) &&
+            ev.duration > 0.0) {
             errors.push_back(
                 {field, csprintf("%s is permanent and takes no "
                                  "'+<duration>'",
@@ -295,8 +301,8 @@ parseFaultSpec(const std::string &spec, std::vector<ConfigError> *errors)
         if (!parseKind(item.substr(0, at), &ev.kind)) {
             errors->push_back(
                 {field, "unknown kind '" + item.substr(0, at) +
-                            "' (degrade, flap, nicdown, straggler, "
-                            "nvme, gpudown, nodedown)"});
+                            "' (degrade, flap, linkdown, nicdown, "
+                            "straggler, nvme, gpudown, nodedown)"});
             continue;
         }
         const auto colon = item.find(':', at);

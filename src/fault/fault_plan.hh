@@ -54,6 +54,18 @@ enum class FaultKind {
     LinkFlap,
 
     /**
+     * Permanent link kill: the targeted links drop to capacity zero
+     * at `begin` and never restore — a fiber cut or a fried switch,
+     * killing fabric without killing GPUs. Same failure-domain
+     * targets as LinkDegrade (`<class>[/n<k>|/rack<k>]`, `rail<r>`,
+     * `sw<j>`); takes no duration and no fraction. Soft from the
+     * recovery manager's perspective (no checkpoint rewind); the
+     * resilience layer's reconvergence/reroute machinery is what
+     * carries traffic around it.
+     */
+    LinkDown,
+
+    /**
      * One NIC dies: its PCIe attach and its RoCE links drop to zero
      * for the window. Target: `n<k>.nic<j>`. Traffic pinned through
      * the dead NIC fails over to the node's alternate NIC.
@@ -150,15 +162,17 @@ bool hasHardFaults(const FaultPlan &plan);
  *
  *   <kind>@<begin>[+<duration>]:<target>[:<fraction>]
  *
- * where <kind> is `degrade`, `flap`, `nicdown`, `straggler`, `nvme`,
- * `gpudown` or `nodedown`; times are simulated seconds; a missing
- * duration means the rest of the run (and the hard kinds gpudown /
- * nodedown reject a duration — they are permanent). Examples:
+ * where <kind> is `degrade`, `flap`, `linkdown`, `nicdown`,
+ * `straggler`, `nvme`, `gpudown` or `nodedown`; times are simulated
+ * seconds; a missing duration means the rest of the run (and the
+ * permanent kinds linkdown / gpudown / nodedown reject a duration).
+ * Examples:
  *
  *   degrade@1+0.5:roce:0.4      RoCE at 40% for 0.5 s starting at 1 s
  *   flap@2+0.2:roce/n1          node 1's RoCE links down for 200 ms
  *   degrade@1+1:rail1:0.3       rail 1 (every node's NIC 1) at 30%
  *   flap@2+0.5:sw3              everything on switch 3 down for 0.5 s
+ *   linkdown@2:rail1            rail 1 dies at 2 s and stays dead
  *   degrade@1:roce/rack0:0.5    rack 0's RoCE at half speed onwards
  *   nicdown@1+1:n0.nic1         node 0's NIC 1 dead for 1 s
  *   straggler@0+2:rank3:0.6     rank 3 at 60% speed for 2 s

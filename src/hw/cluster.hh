@@ -83,6 +83,9 @@ class Cluster
     const Topology &topology() const { return topo_; }
     const Router &router() const { return *router_; }
 
+    /** Mutable router access (degraded-mode toggles only). */
+    Router &router() { return *router_; }
+
     int nodeCount() const { return static_cast<int>(nodes_.size()); }
 
     /** Handles for one node. */

@@ -70,6 +70,70 @@ Router::Router(const Topology &topo, bool model_serdes, EcmpConfig ecmp)
 {
 }
 
+bool
+Router::edgeDead(HalfLinkId hid) const
+{
+    const HalfLink &hl = topo_.halfLink(hid);
+    return topo_.resource(hl.resource).capacity <= 0.0;
+}
+
+void
+Router::invalidateRouteCaches() const
+{
+    cache_.clear();
+    ecmp_cache_.clear();
+    rev_dist_cache_.clear();
+    tree_src_ = kNoComponent;
+    tree_scratch_.complete = false;
+    ++invalidations_;
+}
+
+Route
+Router::staleRoute(ComponentId src, ComponentId dst) const
+{
+    // Self-contained unfiltered BFS over the Nav arrays: mirrors
+    // sourceTree()'s traversal order exactly, minus the capacity
+    // filter and the shared scratch (mixing filtered and unfiltered
+    // levels in one tree would corrupt both).
+    const Nav &nv = nav();
+    const std::size_t n = topo_.componentCount();
+    std::vector<HalfLinkId> via(n, -1);
+    std::vector<std::uint8_t> seen(n, 0);
+    std::vector<ComponentId> queue;
+    seen[static_cast<std::size_t>(src)] = 1;
+    queue.push_back(src);
+    bool hit = false;
+    for (std::size_t head = 0; head < queue.size() && !hit; ++head) {
+        const std::size_t cur = static_cast<std::size_t>(queue[head]);
+        const std::uint32_t end = nv.out_begin[cur + 1];
+        for (std::uint32_t k = nv.out_begin[cur]; k < end; ++k) {
+            const std::size_t next =
+                static_cast<std::size_t>(nv.out_to[k]);
+            if (seen[next])
+                continue;
+            seen[next] = 1;
+            via[next] = nv.out_edge[k];
+            if (static_cast<ComponentId>(next) == dst) {
+                hit = true;
+                break;
+            }
+            if (nv.transit[next])
+                queue.push_back(static_cast<ComponentId>(next));
+        }
+    }
+    if (!hit)
+        return Route{};
+    std::vector<HalfLinkId> hops;
+    for (ComponentId cur = dst; cur != src;) {
+        const HalfLinkId hid = via[static_cast<std::size_t>(cur)];
+        DSTRAIN_ASSERT(hid >= 0, "broken BFS back-pointer");
+        hops.push_back(hid);
+        cur = topo_.halfLink(hid).from;
+    }
+    std::reverse(hops.begin(), hops.end());
+    return finishRoute(std::move(hops));
+}
+
 const Route &
 Router::route(ComponentId src, ComponentId dst) const
 {
@@ -300,6 +364,11 @@ Router::sourceTree(ComponentId src, ComponentId dst) const
                     static_cast<std::size_t>(nv.out_to[k]);
                 if (tree.stamp[next] == tree.epoch)
                     continue;
+                // Degraded mode: a hard-failed edge attracts no new
+                // shortest paths (no-op while healthy — capacities
+                // are all positive, so no edge is ever skipped).
+                if (avoid_dead_ && edgeDead(nv.out_edge[k]))
+                    continue;
                 tree.stamp[next] = tree.epoch;
                 tree.dist[next] = tree.dist[cur] + 1;
                 tree.via[next] = nv.out_edge[k];
@@ -341,6 +410,8 @@ Router::distToDst(ComponentId dst) const
                 static_cast<std::size_t>(nv.in_from[k]);
             if (dist[prev] != std::numeric_limits<int>::max())
                 continue;
+            if (avoid_dead_ && edgeDead(nv.in_edge[k]))
+                continue;
             dist[prev] = dist[cur] + 1;
             if (nv.transit[prev])
                 queue.push_back(static_cast<ComponentId>(prev));
@@ -354,8 +425,14 @@ Router::computeRoute(ComponentId src, ComponentId dst) const
 {
     const SourceTree &tree = sourceTree(src, dst);
     if (!tree.reaches(static_cast<std::size_t>(dst)) ||
-        tree.via[static_cast<std::size_t>(dst)] < 0)
+        tree.via[static_cast<std::size_t>(dst)] < 0) {
+        // Degraded mode with dst fully cut off: serve the healthy-
+        // topology path (stale FIB — the flow parks on the dead hop
+        // until the fault restores or the transfer layer reroutes).
+        if (avoid_dead_)
+            return staleRoute(src, dst);
         return Route{};
+    }
 
     std::vector<HalfLinkId> hops;
     for (ComponentId cur = dst; cur != src;) {
@@ -396,6 +473,14 @@ Router::computeEqualCost(ComponentId src, ComponentId dst) const
     const std::vector<int> &rev = distToDst(dst);
     const int target = rev[static_cast<std::size_t>(src)];
     if (target == kUnreached) {
+        // Degraded mode: no surviving path — fall back to the stale
+        // healthy-topology route (see computeRoute).
+        if (avoid_dead_) {
+            std::vector<Route> one;
+            one.push_back(staleRoute(src, dst));
+            if (one.front().valid())
+                return one;
+        }
         fatal("no route from %s to %s in this topology",
               topo_.component(src).name.c_str(),
               topo_.component(dst).name.c_str());
@@ -428,6 +513,8 @@ Router::computeEqualCost(ComponentId src, ComponentId dst) const
             ComponentId next = nv.out_to[k];
             if (next != dst && !nv.transit[static_cast<std::size_t>(next)])
                 continue;
+            if (avoid_dead_ && edgeDead(hid))
+                continue;
             // On-a-shortest-path prune: exactly remaining-distance
             // budget left at next. Descending blindly is not enough —
             // from a spine every leaf is one hop away, and without
@@ -445,11 +532,22 @@ Router::computeEqualCost(ComponentId src, ComponentId dst) const
         }
     };
     dfs(dfs, src, 0);
+    if (paths.empty() && avoid_dead_) {
+        // The reverse distances were cached before a further cut:
+        // the pruned DAG no longer reaches dst. Serve the stale
+        // path; the next cache flush recomputes both consistently.
+        paths.push_back(staleRoute(src, dst));
+        if (!paths.front().valid())
+            paths.clear();
+    }
     DSTRAIN_ASSERT(!paths.empty(), "DAG enumeration found no path");
-    if (paths.size() == 1) {
+    if (paths.size() == 1 && !avoid_dead_) {
         // The unique shortest path must be the BFS one; keeping the
         // exact object aligned keeps routeForFlow bit-identical.
-        // (Only this branch pays for the forward tree.)
+        // (Only this branch pays for the forward tree. Degraded mode
+        // skips the check: the forward tree and the reverse
+        // distances may snapshot different instants between cache
+        // flushes.)
         DSTRAIN_ASSERT(paths.front().hops == route(src, dst).hops,
                        "unique path disagrees with BFS route");
     }

@@ -138,6 +138,36 @@ class Router
 
     const EcmpConfig &ecmp() const { return ecmp_; }
 
+    /**
+     * Degraded-mode routing (the resilience layer,
+     * net/resilience.hh): when on, route computations skip edges
+     * whose resource capacity is currently zero — a hard-failed link
+     * no longer attracts new shortest paths. When every path to a
+     * destination is cut the router falls back to the healthy-
+     * topology shortest path (the flow launches and parks, exactly
+     * the stale-FIB behavior of a real fabric mid-partition) instead
+     * of panicking. Off (the default), capacities never influence
+     * path choice and behavior is bit-identical to the legacy
+     * router.
+     */
+    void setAvoidDeadLinks(bool on) { avoid_dead_ = on; }
+
+    /** Whether degraded-mode dead-link avoidance is on. */
+    bool avoidDeadLinks() const { return avoid_dead_; }
+
+    /**
+     * Drop every cached route, ECMP enumeration and BFS tree so the
+     * next computation sees the current capacities. Called by the
+     * ResilienceCoordinator when a routing-reconvergence window
+     * closes; cheap relative to the reconvergence delay it models.
+     * The structural navigation arrays survive (the graph itself
+     * never mutates).
+     */
+    void invalidateRouteCaches() const;
+
+    /** Cache flushes so far (test/diagnostic hook). */
+    std::uint64_t cacheInvalidations() const { return invalidations_; }
+
   private:
     /**
      * The BFS shortest-path tree from one source, shared by every
@@ -251,6 +281,17 @@ class Router
     /** Analyze crossings/latency/cap of a hop sequence. */
     Route finishRoute(std::vector<HalfLinkId> hops) const;
 
+    /** Is @p hid's resource at capacity zero right now? */
+    bool edgeDead(HalfLinkId hid) const;
+
+    /**
+     * Shortest path ignoring capacities (a dedicated, cache-free
+     * BFS): the degraded-mode fallback when the live topology has no
+     * surviving path. Kept off the caches so it cannot poison a
+     * filtered tree with unfiltered levels.
+     */
+    Route staleRoute(ComponentId src, ComponentId dst) const;
+
     static std::uint64_t cacheKey(ComponentId src, ComponentId dst)
     {
         return (static_cast<std::uint64_t>(
@@ -262,6 +303,9 @@ class Router
     const Topology &topo_;
     bool model_serdes_ = true;
     EcmpConfig ecmp_;
+    /** Degraded mode: skip capacity-zero edges (see setAvoidDeadLinks). */
+    bool avoid_dead_ = false;
+    mutable std::uint64_t invalidations_ = 0;
     /**
      * Sparse route caches. Node-based maps keep returned references
      * stable across later insertions; sparseness matters because a

@@ -1,0 +1,88 @@
+#include "net/resilience.hh"
+
+namespace dstrain {
+
+std::vector<ConfigError>
+ResilienceConfig::validate() const
+{
+    std::vector<ConfigError> errors;
+    if (!(reconvergence_delay >= 0.0))
+        errors.push_back({"resilience.reconvergence_delay",
+                          "must be >= 0"});
+    if (!(collective_timeout >= 0.0))
+        errors.push_back({"resilience.collective_timeout",
+                          "must be >= 0 (0 disables the watchdog)"});
+    if (max_collective_resumes < 0)
+        errors.push_back({"resilience.max_collective_resumes",
+                          "must be >= 0"});
+    return errors;
+}
+
+ResilienceCoordinator::ResilienceCoordinator(Simulation &sim,
+                                             const Router &router,
+                                             ResilienceConfig config)
+    : sim_(sim), router_(router), cfg_(std::move(config))
+{
+    bus_.subscribe(
+        [this](const std::vector<ResourceId> &) { onTopologyChange(); });
+}
+
+bool
+ResilienceCoordinator::inReconvergence() const
+{
+    return dirty_ && sim_.now() < converging_until_;
+}
+
+SimTime
+ResilienceCoordinator::reconvergedAt() const
+{
+    return inReconvergence() ? converging_until_ : sim_.now();
+}
+
+void
+ResilienceCoordinator::onTopologyChange()
+{
+    const SimTime until = sim_.now() + cfg_.reconvergence_delay;
+    converging_until_ = dirty_ ? std::max(converging_until_, until)
+                               : until;
+    dirty_ = true;
+    if (!flush_armed_) {
+        flush_armed_ = true;
+        sim_.events().schedule(converging_until_,
+                               [this] { maybeInvalidate(); });
+    }
+}
+
+void
+ResilienceCoordinator::maybeInvalidate()
+{
+    flush_armed_ = false;
+    if (!dirty_)
+        return;  // ensureFresh() already flushed
+    if (sim_.now() < converging_until_) {
+        // A later change extended the window past this event; re-arm
+        // at the new end.
+        flush_armed_ = true;
+        sim_.events().schedule(converging_until_,
+                               [this] { maybeInvalidate(); });
+        return;
+    }
+    invalidate();
+}
+
+void
+ResilienceCoordinator::ensureFresh()
+{
+    if (dirty_)
+        invalidate();
+}
+
+void
+ResilienceCoordinator::invalidate()
+{
+    router_.invalidateRouteCaches();
+    ++stats_.route_invalidations;
+    dirty_ = false;
+}
+
+} // namespace dstrain

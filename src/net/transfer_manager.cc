@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/resilience.hh"
 #include "util/logging.hh"
 
 namespace dstrain {
@@ -46,7 +47,7 @@ TransferManager::TransferManager(Simulation &sim, Cluster &cluster,
 {
 }
 
-void
+std::uint64_t
 TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
                        std::function<void()> on_done, TransferOptions opts)
 {
@@ -80,7 +81,7 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
         pending_.emplace(xid, std::move(p));
         sim_.events().scheduleAfter(
             latency, [this, xid] { launchPending(xid); });
-        return;
+        return xid;
     }
 
     const Bps rate_cap =
@@ -111,6 +112,7 @@ TransferManager::start(ComponentId src, ComponentId dst, Bytes bytes,
     };
 
     sim_.events().scheduleAfter(latency, std::move(launch));
+    return 0;
 }
 
 void
@@ -192,9 +194,64 @@ TransferManager::notifyCapacityChange()
     });
 }
 
+bool
+TransferManager::transferStalled(std::uint64_t xid) const
+{
+    const auto it = pending_.find(xid);
+    if (it == pending_.end())
+        return false;
+    const Pending &p = it->second;
+    return p.flow != 0 && flows_.isActive(p.flow) &&
+           flows_.currentRate(p.flow) <= 0.0;
+}
+
+Bytes
+TransferManager::cancelTransfer(std::uint64_t xid)
+{
+    auto it = pending_.find(xid);
+    if (it == pending_.end())
+        return 0.0;
+    Pending &p = it->second;
+    Bytes remaining = p.remaining;
+    if (p.flow != 0 && flows_.isActive(p.flow)) {
+        flows_.cancel(p.flow, &remaining);
+        p.flow = 0;
+    }
+    // Same ledger entries as one abortAll() iteration: whatever the
+    // attempts moved counts delivered, the remainder aborted, and the
+    // completion callback never fires — the caller owns continuation.
+    p.delivered += p.remaining - remaining;
+    ++stats_.aborted;
+    stats_.bytes_aborted += remaining;
+    stats_.bytes_delivered += p.delivered;
+    pending_.erase(it);
+    return remaining;
+}
+
 void
 TransferManager::checkStranded()
 {
+    if (resilience_ != nullptr) {
+        if (resilience_->inReconvergence()) {
+            // Routing has not reconverged: rerouting now would
+            // re-resolve onto the same stale trees. Hold the scan
+            // until the window closes (the coordinator's cache-flush
+            // event is enqueued ahead of this one, FIFO order, so the
+            // deferred scan reroutes on fresh state).
+            ++resilience_->stats().reconvergence_waits;
+            if (!check_scheduled_) {
+                check_scheduled_ = true;
+                sim_.events().schedule(resilience_->reconvergedAt(),
+                                       [this] {
+                                           check_scheduled_ = false;
+                                           checkStranded();
+                                       });
+            }
+            return;
+        }
+        // Never reroute through routes cached before the fault.
+        resilience_->ensureFresh();
+    }
     for (auto &[xid, p] : pending_) {
         if (p.flow == 0 || !flows_.isActive(p.flow))
             continue;  // not yet launched, or between attempts

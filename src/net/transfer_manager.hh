@@ -30,6 +30,8 @@
 
 namespace dstrain {
 
+class ResilienceCoordinator;
+
 /** Options for TransferManager::start(). */
 struct TransferOptions {
     /**
@@ -127,16 +129,59 @@ class TransferManager
     /**
      * Transfer @p bytes from @p src to @p dst; @p on_done fires when
      * the last byte lands.
+     *
+     * @return the transfer id when the retry policy is enabled (a
+     *         handle for transferStalled()/cancelTransfer()), 0 on
+     *         the stateless fault-free path.
      */
-    void start(ComponentId src, ComponentId dst, Bytes bytes,
-               std::function<void()> on_done,
-               TransferOptions opts = {});
+    std::uint64_t start(ComponentId src, ComponentId dst, Bytes bytes,
+                        std::function<void()> on_done,
+                        TransferOptions opts = {});
 
     /** Install the stranded-flow recovery policy (fault injection). */
     void configureRetry(const RetryPolicy &policy) { retry_ = policy; }
 
     /** The active recovery policy. */
     const RetryPolicy &retryPolicy() const { return retry_; }
+
+    /**
+     * Attach the degraded-mode resilience coordinator
+     * (net/resilience.hh). The stranded-flow scan then defers
+     * reroutes to the end of an open routing-reconvergence window
+     * and force-flushes the router's route caches before any reroute
+     * attempt, so a retried flow can never relaunch onto a route
+     * cached before the fault. nullptr detaches.
+     */
+    void setResilience(ResilienceCoordinator *rc) { resilience_ = rc; }
+
+    /** The attached resilience coordinator (may be nullptr). */
+    ResilienceCoordinator *resilience() const { return resilience_; }
+
+    /**
+     * Is transfer @p xid currently launched and moving zero bytes/s?
+     * False for unknown ids, transfers between attempts, and moving
+     * flows. The collective watchdog's progress probe.
+     */
+    bool transferStalled(std::uint64_t xid) const;
+
+    /**
+     * Byte-conservingly abort one in-flight transfer: cancel its
+     * flow, account delivered-so-far as delivered and the remainder
+     * as aborted, and drop the bookkeeping *without* firing the
+     * completion callback. The collective watchdog uses this to
+     * replace a stalled hop with a fresh transfer of the remaining
+     * bytes on reconverged routes.
+     *
+     * @return the undelivered remainder (0 for unknown ids).
+     */
+    Bytes cancelTransfer(std::uint64_t xid);
+
+    /**
+     * The abort epoch: bumped by abortAll(). Externally scheduled
+     * continuations (the collective watchdog) capture it to detect a
+     * hard-fault abort between scheduling and firing.
+     */
+    std::uint64_t abortEpoch() const { return epoch_; }
 
     /**
      * Fault-injector notification that some resource capacity just
@@ -236,6 +281,7 @@ class TransferManager
     FlowScheduler &flows_;
     Stats stats_;
     RetryPolicy retry_;
+    ResilienceCoordinator *resilience_ = nullptr;
     /** Ordered by transfer id so recovery scans are deterministic. */
     std::map<std::uint64_t, Pending> pending_;
     std::uint64_t next_xfer_ = 1;

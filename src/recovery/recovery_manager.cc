@@ -293,6 +293,16 @@ RecoveryManager::beginElastic(std::size_t event_index, SimTime fault_time)
     DSTRAIN_ASSERT(dead_node >= 0, "elastic recovery needs a nodedown");
     node_alive_[static_cast<std::size_t>(dead_node)] = false;
 
+    if (comm_shrink_) {
+        // Tell the collective engine which global ranks died so any
+        // group formed from here on is reformed over the survivors.
+        std::vector<int> dead_ranks;
+        for (int r = 0; r < cluster_.spec().totalGpus(); ++r)
+            if (cluster_.nodeOfRank(r) == dead_node)
+                dead_ranks.push_back(r);
+        comm_shrink_(dead_ranks);
+    }
+
     sim_.events().scheduleAfter(
         cfg_.detect_delay + cfg_.rendezvous,
         [this, dead_node, fault_time] {

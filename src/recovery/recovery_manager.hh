@@ -141,6 +141,18 @@ class RecoveryManager
     void setReplanner(ReplanFn fn) { replan_ = std::move(fn); }
 
     /**
+     * Hook fired when elastic recovery drops a node, with the dead
+     * node's global GPU ranks. The experiment wires this to
+     * CollectiveEngine::markRanksDead so every subsequent communicator
+     * group reforms over the survivors (the elastic shrink).
+     */
+    void setCommShrinkHook(
+        std::function<void(const std::vector<int> &)> hook)
+    {
+        comm_shrink_ = std::move(hook);
+    }
+
+    /**
      * Hook this manager up as @p injector's hard-fault sink. Call
      * before the injector arms; optional when the plan has no hard
      * faults.
@@ -210,6 +222,8 @@ class RecoveryManager
     FaultInjector *injector_ = nullptr;
     RecoveryConfig cfg_;
     ReplanFn replan_;
+    /** Elastic shrink sink (the collective engine's dead-rank marks). */
+    std::function<void(const std::vector<int> &)> comm_shrink_;
 
     // --- checkpoint sizing (arm()) ---------------------------------------
     StrategyConfig strategy_;

@@ -206,6 +206,24 @@ TEST(FingerprintRegression, ExplicitRingAlgoMatchesDefaultGolden)
               0x0b7a72c8312a4dbeull);
 }
 
+TEST(FingerprintRegression, ResilienceOnHealthyFabricMatchesGolden)
+{
+    // Enabling the degraded-mode resilience layer on a clean run
+    // changes nothing: no fault ever fires, so no route is
+    // invalidated, no watchdog trips, every counter stays zero and
+    // the fingerprint grows no resilience section. The busiest
+    // dual-node preset must pin the exact golden hash.
+    ExperimentConfig cfg =
+        paperExperiment(2, StrategyConfig::zero(3), 0.0);
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    cfg.resilience.enabled = true;
+    const ExperimentReport report = runExperiment(std::move(cfg));
+    EXPECT_FALSE(report.resilience.any());
+    EXPECT_EQ(fnv1a64(reportFingerprint(report)),
+              0x250b601e5ae1fffdull);
+}
+
 TEST(FingerprintRegression, EcmpOffMatchesEcmpOnSingleSwitch)
 {
     // Every route on the single-switch fabric has exactly one

@@ -73,6 +73,36 @@ TEST(FaultPlanTest, DefaultsWhenOmitted)
     EXPECT_TRUE(plan.retry.enabled);
 }
 
+TEST(FaultPlanTest, ParsesLinkDown)
+{
+    const FaultPlan plan =
+        parseOk("linkdown@2:rail1,linkdown@3:sw0,"
+                "linkdown@1:roce/rack0,linkdown@4:nvlink/n1");
+    ASSERT_EQ(plan.events.size(), 4u);
+    for (const FaultEvent &ev : plan.events) {
+        EXPECT_EQ(ev.kind, FaultKind::LinkDown);
+        EXPECT_DOUBLE_EQ(ev.duration, 0.0);
+        EXPECT_FALSE(isHardFault(ev.kind));
+    }
+    EXPECT_EQ(plan.events[0].target, "rail1");
+    EXPECT_EQ(plan.events[0].str(), "linkdown@2:rail1");
+
+    // Round-trip through the rendering.
+    const FaultPlan again = parseOk(plan.str());
+    ASSERT_EQ(again.events.size(), plan.events.size());
+    for (std::size_t i = 0; i < plan.events.size(); ++i)
+        EXPECT_EQ(again.events[i].str(), plan.events[i].str());
+}
+
+TEST(FaultPlanTest, LinkDownRejectsDurationFractionAndBadTargets)
+{
+    parseBad("linkdown@2+1:rail1");      // permanent: no duration
+    parseBad("linkdown@2:rail1:0.5");    // takes no fraction
+    parseBad("linkdown@2:rank3");        // link targets only
+    parseBad("linkdown@2:n0.nic1");      // nicdown's namespace
+    parseBad("linkdown@2:warp-core");    // unknown class
+}
+
 TEST(FaultPlanTest, EmptySpecIsEmptyPlan)
 {
     EXPECT_TRUE(parseOk("").empty());

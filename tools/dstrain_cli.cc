@@ -424,6 +424,10 @@ runCli(int argc, const char *const *argv)
                   << "\n";
     }
 
+    if (report.resilience.any())
+        std::cout << "\n" << summarizeResilience(report.resilience)
+                  << "\n";
+
     if (args.getFlag("telemetry-stats")) {
         std::cout << "\n" << summarizeTelemetry(report.telemetry) << "\n"
                   << summarizeScheduler(report.scheduler) << "\n";
